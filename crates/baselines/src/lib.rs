@@ -1,0 +1,25 @@
+//! Baseline accelerator models LUT-DLA is compared against (paper §VII):
+//! analytical re-implementations of the NVDLA official performance model
+//! and a Gemmini-style weight-stationary systolic array, a PQA-mode
+//! configuration of the LUT-DLA simulator, and the published spec rows of
+//! Table VIII with technology-node normalisation.
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_baselines::{nvdla_gemm, NvdlaConfig};
+//! use lutdla_sim::Gemm;
+//!
+//! let est = nvdla_gemm(&NvdlaConfig::large(), &Gemm::new(512, 768, 768));
+//! assert!(est.cycles >= 294_912); // 512 × ⌈768/32⌉ × ⌈768/32⌉
+//! ```
+
+mod nvdla;
+mod pqa;
+mod specs;
+mod systolic;
+
+pub use nvdla::{nvdla_gemm, nvdla_model, NvdlaConfig};
+pub use pqa::{pqa_config, pqa_onchip_bytes, simulate_pqa};
+pub use specs::{table8_specs, AcceleratorSpec, Func};
+pub use systolic::{gemmini_spec, systolic_gemm, systolic_model, PerfEstimate, SystolicConfig};

@@ -1,0 +1,150 @@
+//! Published accelerator specifications (paper Table VIII) and node
+//! normalisation.
+//!
+//! These are the literature rows the paper compares against: the numbers
+//! are taken from the cited publications, and — exactly as the paper does —
+//! efficiencies are rescaled to a common technology node with the
+//! Stillmaker–Baas equations before comparison.
+
+use lutdla_hwmodel::TechNode;
+
+/// Which workload families an accelerator supports (Table VIII "Func").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Func {
+    /// CNNs only.
+    Cnn,
+    /// Transformers only.
+    Transformer,
+    /// Both.
+    Both,
+}
+
+impl std::fmt::Display for Func {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Func::Cnn => "C",
+            Func::Transformer => "T",
+            Func::Both => "C/T",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One accelerator's published headline figures.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AcceleratorSpec {
+    /// Name as cited.
+    pub name: String,
+    /// Technology node.
+    pub node: TechNode,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// Die / block area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Peak throughput in GOPS.
+    pub perf_gops: f64,
+    /// Supported workloads.
+    pub func: Func,
+}
+
+impl AcceleratorSpec {
+    /// Raw area efficiency (GOPS/mm²) at the native node.
+    pub fn gops_per_mm2(&self) -> f64 {
+        self.perf_gops / self.area_mm2
+    }
+
+    /// Raw power efficiency (GOPS/mW) at the native node.
+    pub fn gops_per_mw(&self) -> f64 {
+        self.perf_gops / self.power_mw
+    }
+
+    /// Area efficiency scaled to `target` (the paper normalises to 28 nm).
+    pub fn scaled_gops_per_mm2(&self, target: TechNode) -> f64 {
+        let area = self.node.convert_area_to(target, self.area_mm2);
+        self.perf_gops / area
+    }
+
+    /// Power efficiency scaled to `target`.
+    pub fn scaled_gops_per_mw(&self, target: TechNode) -> f64 {
+        // Power = energy/op × ops/s; only the energy term scales.
+        let power = self.node.convert_energy_to(target, self.power_mw);
+        self.perf_gops / power
+    }
+}
+
+fn spec(
+    name: &str,
+    nm: u32,
+    freq_mhz: f64,
+    area_mm2: f64,
+    power_mw: f64,
+    perf_gops: f64,
+    func: Func,
+) -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: name.to_string(),
+        node: TechNode(nm),
+        freq_mhz,
+        area_mm2,
+        power_mw,
+        perf_gops,
+        func,
+    }
+}
+
+/// The Table VIII comparison rows (excluding the LUT-DLA designs, which our
+/// own model generates).
+pub fn table8_specs() -> Vec<AcceleratorSpec> {
+    vec![
+        spec("NVIDIA A100", 7, 1512.0, 826.0, 300_000.0, 624_000.0, Func::Both),
+        spec("Gemmini", 16, 500.0, 1.21, 312.41, 256.0, Func::Both),
+        spec("NVDLA-Small", 28, 1000.0, 0.91, 55.0, 64.0, Func::Cnn),
+        spec("NVDLA-Large", 28, 1000.0, 5.5, 766.0, 2048.0, Func::Cnn),
+        spec("ELSA", 40, 1000.0, 2.147, 1047.08, 1088.0, Func::Transformer),
+        spec("FACT", 28, 500.0, 6.03, 337.07, 928.0, Func::Transformer),
+        spec("RRAM-DNN", 22, 120.0, 10.8, 127.9, 123.0, Func::Cnn),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_raw_efficiencies_match_paper() {
+        // Spot-check the paper's own efficiency columns (which it computes
+        // from the same raw numbers): NVDLA-Small = 70.3 GOPS/mm²,
+        // Gemmini = 86.7 (pre-scaling values come out of the raw division
+        // for the same-node rows).
+        let specs = table8_specs();
+        let nvdla_s = specs.iter().find(|s| s.name == "NVDLA-Small").unwrap();
+        assert!((nvdla_s.gops_per_mm2() - 70.3).abs() < 0.5);
+        assert!((nvdla_s.gops_per_mw() - 1.2).abs() < 0.1);
+        let a100 = specs.iter().find(|s| s.name == "NVIDIA A100").unwrap();
+        assert!((a100.gops_per_mw() - 2.08).abs() < 0.1); // 624000/300000
+    }
+
+    #[test]
+    fn scaling_to_28nm_changes_other_nodes_only() {
+        let specs = table8_specs();
+        let nvdla = specs.iter().find(|s| s.name == "NVDLA-Large").unwrap();
+        assert!(
+            (nvdla.scaled_gops_per_mm2(TechNode::N28) - nvdla.gops_per_mm2()).abs() < 1e-9,
+            "28nm row must be unchanged"
+        );
+        let gemmini = specs.iter().find(|s| s.name == "Gemmini").unwrap();
+        // Scaling 16nm → 28nm grows area, so efficiency must drop.
+        assert!(gemmini.scaled_gops_per_mm2(TechNode::N28) < gemmini.gops_per_mm2());
+    }
+
+    #[test]
+    fn a100_efficiency_modest_despite_scale() {
+        // The paper's point: even the A100's scaled efficiency is far below
+        // LUT-DLA's (Table VIII shows 18.6 GOPS/mm² at 7nm).
+        let specs = table8_specs();
+        let a100 = specs.iter().find(|s| s.name == "NVIDIA A100").unwrap();
+        assert!(a100.gops_per_mm2() < 1000.0);
+    }
+}

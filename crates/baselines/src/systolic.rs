@@ -1,0 +1,177 @@
+//! Gemmini-style weight-stationary systolic-array performance model.
+//!
+//! Reproduces the first-order behaviour of the Gemmini cycle counts the
+//! paper obtains from Verilator: an `R×C` INT8 MAC array computes a GEMM as
+//! `⌈K/R⌉·⌈N/C⌉` weight tiles; each tile costs a weight-load phase
+//! (`R` cycles), `M` streaming cycles, and a drain, with a DRAM-bandwidth
+//! roofline on top.
+
+use crate::specs::AcceleratorSpec;
+use lutdla_sim::Gemm;
+
+/// Configuration of a systolic accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystolicConfig {
+    /// Array rows (reduction dimension).
+    pub rows: usize,
+    /// Array columns (output dimension).
+    pub cols: usize,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// DRAM bandwidth in bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Operand bytes (1 for INT8).
+    pub operand_bytes: usize,
+    /// Accumulator/output bytes.
+    pub output_bytes: usize,
+    /// Energy per MAC in pJ (datapath + local register movement).
+    pub mac_energy_pj: f64,
+    /// Static + clock power in mW (used for leakage-style energy).
+    pub idle_power_mw: f64,
+}
+
+impl SystolicConfig {
+    /// Gemmini's published default: 16×16 INT8 array at 500 MHz
+    /// (Genc et al., DAC'21), with DDR4-class bandwidth.
+    pub fn gemmini() -> Self {
+        Self {
+            rows: 16,
+            cols: 16,
+            freq_mhz: 500.0,
+            bandwidth_bytes_per_s: 25.6e9,
+            operand_bytes: 1,
+            output_bytes: 4,
+            // INT8 MAC ≈ mult(0.08) + add(0.012) + pipeline regs ≈ 0.2pJ @16nm-ish
+            mac_energy_pj: 0.2,
+            idle_power_mw: 60.0,
+        }
+    }
+}
+
+/// Performance/energy estimate for one workload on a systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerfEstimate {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds.
+    pub time_s: f64,
+    /// Effective throughput, GOPS.
+    pub gops: f64,
+    /// Total energy including DRAM interface energy, mJ.
+    pub energy_mj: f64,
+    /// Chip-only energy (datapath + SRAM + static), mJ — the basis of the
+    /// paper's Fig. 13 energy comparison.
+    pub chip_energy_mj: f64,
+    /// DRAM traffic, bytes.
+    pub dram_bytes: u64,
+}
+
+/// Estimates one GEMM on the systolic array.
+pub fn systolic_gemm(cfg: &SystolicConfig, g: &Gemm) -> PerfEstimate {
+    let k_tiles = g.k.div_ceil(cfg.rows);
+    let n_tiles = g.n.div_ceil(cfg.cols);
+    // Per tile: load R rows of weights, stream M inputs, drain R+C.
+    let per_tile = cfg.rows as u64 + g.m as u64 + (cfg.rows + cfg.cols) as u64;
+    let compute_cycles = k_tiles as u64 * n_tiles as u64 * per_tile;
+
+    // DRAM: weights once, inputs once per n-tile pass, outputs once.
+    let weight_bytes = (g.k * g.n * cfg.operand_bytes) as u64;
+    let input_bytes = (g.m * g.k * cfg.operand_bytes) as u64 * n_tiles as u64;
+    let output_bytes = (g.m * g.n * cfg.output_bytes) as u64;
+    let dram_bytes = weight_bytes + input_bytes + output_bytes;
+
+    let freq = cfg.freq_mhz * 1e6;
+    let compute_s = compute_cycles as f64 / freq;
+    let dram_s = dram_bytes as f64 / cfg.bandwidth_bytes_per_s;
+    let time_s = compute_s.max(dram_s);
+    let cycles = (time_s * freq).ceil() as u64;
+
+    let macs = g.m as f64 * g.k as f64 * g.n as f64;
+    let chip_energy_mj = macs * cfg.mac_energy_pj * 1e-9 + cfg.idle_power_mw * time_s;
+    let energy_mj = chip_energy_mj + dram_bytes as f64 * 15.0 * 1e-9;
+    PerfEstimate {
+        cycles,
+        time_s,
+        gops: g.ops() as f64 / time_s / 1e9,
+        energy_mj,
+        chip_energy_mj,
+        dram_bytes,
+    }
+}
+
+/// Estimates a sequence of GEMMs (a whole model).
+pub fn systolic_model(cfg: &SystolicConfig, gemms: &[Gemm]) -> PerfEstimate {
+    let mut total = PerfEstimate {
+        cycles: 0,
+        time_s: 0.0,
+        gops: 0.0,
+        energy_mj: 0.0,
+        chip_energy_mj: 0.0,
+        dram_bytes: 0,
+    };
+    let mut ops = 0u64;
+    for g in gemms {
+        let e = systolic_gemm(cfg, g);
+        total.cycles += e.cycles;
+        total.time_s += e.time_s;
+        total.energy_mj += e.energy_mj;
+        total.chip_energy_mj += e.chip_energy_mj;
+        total.dram_bytes += e.dram_bytes;
+        ops += g.ops();
+    }
+    total.gops = ops as f64 / total.time_s.max(1e-12) / 1e9;
+    total
+}
+
+/// The published Gemmini spec row (for Table VIII joins).
+pub fn gemmini_spec() -> AcceleratorSpec {
+    crate::specs::table8_specs()
+        .into_iter()
+        .find(|s| s.name == "Gemmini")
+        .expect("Gemmini row present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_utilisation_bounded_by_array() {
+        let cfg = SystolicConfig::gemmini();
+        // A large square GEMM should approach but not exceed peak
+        // (2·16·16·500MHz = 256 GOPS).
+        let g = Gemm::new(4096, 1024, 1024);
+        let e = systolic_gemm(&cfg, &g);
+        assert!(e.gops < 256.0, "gops {}", e.gops);
+        assert!(e.gops > 120.0, "gops {}", e.gops);
+    }
+
+    #[test]
+    fn small_k_underutilises() {
+        let cfg = SystolicConfig::gemmini();
+        let full = systolic_gemm(&cfg, &Gemm::new(1024, 16, 256)).gops;
+        let tiny = systolic_gemm(&cfg, &Gemm::new(1024, 4, 256)).gops;
+        assert!(tiny < full * 0.5, "tiny {tiny} vs full {full}");
+    }
+
+    #[test]
+    fn memory_bound_when_starved() {
+        let cfg = SystolicConfig {
+            bandwidth_bytes_per_s: 1e8,
+            ..SystolicConfig::gemmini()
+        };
+        let fast = SystolicConfig::gemmini();
+        let g = Gemm::new(64, 2048, 2048); // weight-heavy
+        assert!(systolic_gemm(&cfg, &g).time_s > systolic_gemm(&fast, &g).time_s);
+    }
+
+    #[test]
+    fn model_sums_layers() {
+        let cfg = SystolicConfig::gemmini();
+        let g = Gemm::new(128, 128, 128);
+        let one = systolic_gemm(&cfg, &g);
+        let two = systolic_model(&cfg, &[g, g]);
+        assert_eq!(two.cycles, 2 * one.cycles);
+        assert!((two.energy_mj - 2.0 * one.energy_mj).abs() < 1e-9);
+    }
+}

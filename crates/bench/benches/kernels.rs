@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the algorithmic kernels: distance
+//! evaluation, k-means, LUT construction, and AMM vs exact GEMM.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lutdla_tensor::Tensor;
+use lutdla_vq::{
+    approx_matmul, kmeans, Distance, KmeansConfig, LutQuant, LutTable, ProductQuantizer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::rand_uniform(&mut rng, &[64], -1.0, 1.0);
+    let cents = Tensor::rand_uniform(&mut rng, &[32 * 64], -1.0, 1.0);
+    let mut g = c.benchmark_group("distance_argmin_v64_c32");
+    for d in Distance::ALL {
+        g.bench_function(d.to_string(), |b| {
+            b.iter(|| black_box(d.argmin(a.data(), cents.data())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = Tensor::rand_uniform(&mut rng, &[1024 * 4], -1.0, 1.0);
+    c.bench_function("kmeans_1024x4_c16", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(3);
+            black_box(kmeans(
+                data.data(),
+                4,
+                &KmeansConfig {
+                    k: 16,
+                    max_iters: 10,
+                    ..Default::default()
+                },
+                &mut r,
+            ))
+        })
+    });
+}
+
+fn bench_amm_vs_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = Tensor::rand_uniform(&mut rng, &[256, 256], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[256, 256], -1.0, 1.0);
+    let pq = ProductQuantizer::fit(&a, 4, 16, Distance::L2, &mut rng);
+    let lut = LutTable::build(&pq, &b, LutQuant::F32);
+    let mut g = c.benchmark_group("matmul_256");
+    g.bench_function("exact_gemm", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    g.bench_function("lut_amm", |bch| {
+        bch.iter(|| black_box(approx_matmul(&a, &pq, &lut)))
+    });
+    g.finish();
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Tensor::rand_uniform(&mut rng, &[256, 128], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[128, 128], -1.0, 1.0);
+    let pq = ProductQuantizer::fit(&a, 4, 32, Distance::L2, &mut rng);
+    c.bench_function("lut_build_128x128_c32", |bch| {
+        bch.iter(|| black_box(LutTable::build(&pq, &b, LutQuant::Int8)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_kmeans,
+    bench_amm_vs_gemm,
+    bench_lut_build
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the cycle engine and the analytical models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lutdla_dse::{search, Constraints, SearchSpace, SurrogateAccuracy};
+use lutdla_hwmodel::{design_cost, LutDlaHwConfig};
+use lutdla_sim::{analytic_cycles, simulate_gemm, Gemm, SimConfig};
+
+fn bench_cycle_engine(c: &mut Criterion) {
+    let cfg = SimConfig::baseline();
+    let mut g = c.benchmark_group("cycle_engine");
+    for (name, gemm) in [
+        ("gemm_128", Gemm::new(128, 128, 128)),
+        ("gemm_bert_proj", Gemm::new(512, 768, 768)),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(simulate_gemm(&cfg, &gemm))));
+    }
+    g.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let cfg = SimConfig::baseline();
+    let gemm = Gemm::new(512, 768, 768);
+    c.bench_function("analytic_eq5", |b| {
+        b.iter(|| black_box(analytic_cycles(&cfg, &gemm)))
+    });
+}
+
+fn bench_design_cost(c: &mut Criterion) {
+    let cfg = LutDlaHwConfig::baseline();
+    c.bench_function("design_cost_eq3_eq4", |b| {
+        b.iter(|| black_box(design_cost(&cfg)))
+    });
+}
+
+fn bench_dse_search(c: &mut Criterion) {
+    let space = SearchSpace::figure11();
+    let target = Gemm::new(512, 768, 768);
+    let oracle = SurrogateAccuracy::resnet20_cifar10();
+    c.bench_function("dse_full_search", |b| {
+        b.iter(|| {
+            black_box(search(
+                &space,
+                &target,
+                &Constraints::relaxed(),
+                &oracle,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cycle_engine,
+    bench_analytic,
+    bench_design_cost,
+    bench_dse_search
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure, printing each section and writing
+//! the combined report to `results/experiments.txt`.
+use std::io::Write;
+
+fn main() {
+    let quick = lutdla_bench::quick_flag();
+    let mut combined = String::new();
+    for (id, body) in lutdla_bench::all_experiments(quick) {
+        let header = format!("==================== {id} ====================\n");
+        print!("{header}{body}\n");
+        combined.push_str(&header);
+        combined.push_str(&body);
+        combined.push('\n');
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f = std::fs::File::create("results/experiments.txt").expect("create report");
+    f.write_all(combined.as_bytes()).expect("write report");
+    eprintln!("wrote results/experiments.txt");
+}

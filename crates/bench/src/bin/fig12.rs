@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 (see `lutdla_bench::experiments::accuracy`).
+fn main() {
+    println!("{}", lutdla_bench::experiments::accuracy::fig12(lutdla_bench::quick_flag()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 (see `lutdla_bench::experiments::hw`).
+fn main() {
+    println!("{}", lutdla_bench::experiments::hw::fig14());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 (see `lutdla_bench::experiments::accuracy`).
+fn main() {
+    println!("{}", lutdla_bench::experiments::accuracy::table5(lutdla_bench::quick_flag()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table9 (see `lutdla_bench::experiments::hw`).
+fn main() {
+    println!("{}", lutdla_bench::experiments::hw::table9());
+}

@@ -1,0 +1,256 @@
+//! Shared experiment plumbing: pre-trained model caches and conversion
+//! helpers reused by every accuracy-side table/figure generator.
+
+use lutdla_lutboost::{
+    convert_and_train_images, convert_and_train_seq, fresh_pretrained_convnet,
+    fresh_pretrained_transformer, ConversionOutcome, ConvertPolicy, LutConfig, Strategy,
+    TrainSchedule,
+};
+use lutdla_models::trainable::{
+    bert_mini, distilbert_mini, lenet_mini, opt125m_mini, resnet18_mini, resnet20_mini,
+    resnet32_mini, resnet56_mini, vgg11_mini, ConvNet, ConvNetConfig, TransformerClassifier,
+    TransformerConfig,
+};
+use lutdla_nn::data::{
+    synthetic_images, synthetic_sequences, ImageDataset, ImageTaskConfig, SeqDataset,
+    SeqTaskConfig,
+};
+use lutdla_nn::{eval_images, eval_seq, train_epoch_images, train_epoch_seq, Optimizer, ParamSet, Sgd};
+
+/// Which CNN proxy to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnnKind {
+    /// ResNet-20 proxy.
+    ResNet20,
+    /// ResNet-32 proxy.
+    ResNet32,
+    /// ResNet-56 proxy.
+    ResNet56,
+    /// ResNet-18 proxy.
+    ResNet18,
+    /// VGG-11 proxy.
+    Vgg11,
+    /// LeNet proxy.
+    LeNet,
+}
+
+impl CnnKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CnnKind::ResNet20 => "ResNet20",
+            CnnKind::ResNet32 => "ResNet32",
+            CnnKind::ResNet56 => "ResNet56",
+            CnnKind::ResNet18 => "ResNet18",
+            CnnKind::Vgg11 => "VGG11",
+            CnnKind::LeNet => "LeNet",
+        }
+    }
+
+    fn build(&self, ps: &mut ParamSet, classes: usize) -> ConvNet {
+        match self {
+            CnnKind::ResNet20 => resnet20_mini(ps, classes),
+            CnnKind::ResNet32 => resnet32_mini(ps, classes),
+            CnnKind::ResNet56 => resnet56_mini(ps, classes),
+            CnnKind::ResNet18 => resnet18_mini(ps, classes),
+            CnnKind::Vgg11 => vgg11_mini(ps, classes),
+            CnnKind::LeNet => lenet_mini(ps, classes),
+        }
+    }
+}
+
+/// A pre-trained CNN whose weights can be re-instantiated per strategy.
+pub struct PretrainedCnn {
+    cfg: ConvNetConfig,
+    trained: ParamSet,
+    /// Dense-model test accuracy (%), the tables' "Baseline" column.
+    pub baseline_acc: f32,
+    /// The training split.
+    pub train: ImageDataset,
+    /// The held-out split.
+    pub test: ImageDataset,
+}
+
+impl PretrainedCnn {
+    /// Trains the dense baseline once.
+    pub fn train(kind: CnnKind, data_cfg: &ImageTaskConfig, epochs: usize) -> Self {
+        let (train, test) = synthetic_images(data_cfg);
+        let mut ps = ParamSet::new();
+        let net = kind.build(&mut ps, data_cfg.num_classes);
+        let cfg = *net.config();
+        let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
+        for _ in 0..epochs {
+            train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
+        }
+        let baseline_acc = eval_images(&net, &ps, &test, 32) * 100.0;
+        Self {
+            cfg,
+            trained: ps,
+            baseline_acc,
+            train,
+            test,
+        }
+    }
+
+    /// Re-instantiates the trained model and runs one conversion strategy,
+    /// returning the outcome (accuracy in percent) and the converted model.
+    pub fn convert(
+        &self,
+        strategy: Strategy,
+        lut_cfg: LutConfig,
+        schedule: &TrainSchedule,
+        seed: u64,
+    ) -> (ConversionOutcome, ConvNet, ParamSet) {
+        let (mut net, mut ps) = fresh_pretrained_convnet(self.cfg, &self.trained);
+        let mut outcome = convert_and_train_images(
+            &mut net,
+            &mut ps,
+            strategy,
+            lut_cfg,
+            ConvertPolicy::default(),
+            schedule,
+            &self.train,
+            &self.test,
+            seed,
+        );
+        outcome.test_accuracy *= 100.0;
+        (outcome, net, ps)
+    }
+}
+
+/// Which transformer proxy to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformerKind {
+    /// BERT proxy.
+    Bert,
+    /// DistilBERT proxy.
+    DistilBert,
+    /// OPT-125M proxy.
+    Opt125m,
+}
+
+impl TransformerKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransformerKind::Bert => "BERT",
+            TransformerKind::DistilBert => "DistillBERT",
+            TransformerKind::Opt125m => "OPT-125M",
+        }
+    }
+
+    fn build(&self, ps: &mut ParamSet, classes: usize) -> TransformerClassifier {
+        match self {
+            TransformerKind::Bert => bert_mini(ps, classes),
+            TransformerKind::DistilBert => distilbert_mini(ps, classes),
+            TransformerKind::Opt125m => opt125m_mini(ps, classes),
+        }
+    }
+}
+
+/// A pre-trained transformer with strategy re-instantiation.
+pub struct PretrainedTransformer {
+    cfg: TransformerConfig,
+    trained: ParamSet,
+    /// Dense-model test accuracy (%).
+    pub baseline_acc: f32,
+    /// The training split.
+    pub train: SeqDataset,
+    /// The held-out split.
+    pub test: SeqDataset,
+}
+
+impl PretrainedTransformer {
+    /// Trains the dense baseline once on a GLUE-proxy task.
+    pub fn train(kind: TransformerKind, data_cfg: &SeqTaskConfig, epochs: usize) -> Self {
+        let (train, test) = synthetic_sequences(data_cfg);
+        let mut ps = ParamSet::new();
+        let net = kind.build(&mut ps, data_cfg.num_classes);
+        let cfg = *net.config();
+        let mut opt = Optimizer::Adam(lutdla_nn::Adam::new(3e-3));
+        for _ in 0..epochs {
+            train_epoch_seq(&net, &mut ps, &mut opt, &train, 32);
+        }
+        let baseline_acc = eval_seq(&net, &ps, &test, 32) * 100.0;
+        Self {
+            cfg,
+            trained: ps,
+            baseline_acc,
+            train,
+            test,
+        }
+    }
+
+    /// Re-instantiates and converts with one strategy.
+    pub fn convert(
+        &self,
+        strategy: Strategy,
+        lut_cfg: LutConfig,
+        schedule: &TrainSchedule,
+        seed: u64,
+    ) -> (ConversionOutcome, TransformerClassifier, ParamSet) {
+        let (mut net, mut ps) = fresh_pretrained_transformer(self.cfg, &self.trained);
+        let mut outcome = convert_and_train_seq(
+            &mut net,
+            &mut ps,
+            strategy,
+            lut_cfg,
+            ConvertPolicy::default(),
+            schedule,
+            &self.train,
+            &self.test,
+            seed,
+        );
+        outcome.test_accuracy *= 100.0;
+        (outcome, net, ps)
+    }
+}
+
+/// Effort level: `quick` shrinks datasets/epochs so smoke tests stay fast;
+/// the default settings drive the recorded EXPERIMENTS.md numbers.
+pub fn image_task(quick: bool, base: ImageTaskConfig) -> ImageTaskConfig {
+    if quick {
+        ImageTaskConfig {
+            n_train: 128,
+            n_test: 64,
+            ..base
+        }
+    } else {
+        base
+    }
+}
+
+/// Sequence-task counterpart of [`image_task`].
+pub fn seq_task(quick: bool, base: SeqTaskConfig) -> SeqTaskConfig {
+    if quick {
+        SeqTaskConfig {
+            n_train: 128,
+            n_test: 64,
+            ..base
+        }
+    } else {
+        base
+    }
+}
+
+/// Epoch schedule scaled by effort.
+pub fn schedule(quick: bool) -> TrainSchedule {
+    if quick {
+        TrainSchedule {
+            centroid_epochs: 1,
+            joint_epochs: 2,
+            ..Default::default()
+        }
+    } else {
+        TrainSchedule::default()
+    }
+}
+
+/// Baseline pre-training epochs scaled by effort.
+pub fn pretrain_epochs(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        10
+    }
+}

@@ -1,0 +1,565 @@
+//! Hardware-side experiment generators (no training required):
+//! Fig. 1, Table I, Fig. 9, Fig. 10, Fig. 11, Table VII, Table VIII,
+//! Table IX, Fig. 13, Fig. 14.
+
+use lutdla_core::prelude::*;
+use lutdla_core::{end_to_end, fnum, TextTable};
+use lutdla_hwmodel::alu_eff::{alu_series, lut_series, AluKind};
+use lutdla_hwmodel::{dpe_cost, CostModel};
+use lutdla_models::zoo::TransformerGemmOpts;
+use lutdla_sim::memory_footprint;
+
+/// Fig. 1: LUT vs ALU area/power efficiency across (equivalent) bitwidths.
+pub fn fig1() -> String {
+    let node = TechNode::N28;
+    let bits = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let mut out = String::from(
+        "Fig. 1 — Area & power efficiency: LUT-based approximate computing vs ALU\n\
+         (28 nm, per-cycle basis; paper claims LUT gains of 1–5 orders in OPs/mm²\n\
+         and 1–2 orders in OPs/pJ)\n\n",
+    );
+
+    let mut alu = TextTable::new(["ALU", "bits", "OPs/mm2", "OPs/pJ"]);
+    for kind in [AluKind::IntAdd, AluKind::IntMult, AluKind::FpAdd, AluKind::FpMult] {
+        for p in alu_series(node, kind, &bits) {
+            alu.row([
+                kind.to_string(),
+                fnum(p.bits),
+                fnum(p.ops_per_mm2),
+                fnum(p.ops_per_pj),
+            ]);
+        }
+    }
+    out.push_str(&alu.render());
+    out.push('\n');
+
+    let mut lut = TextTable::new(["LUT config", "equiv. bits", "OPs/mm2", "OPs/pJ"]);
+    for v in [2usize, 4, 8, 16] {
+        for p in lut_series(node, v, &[8, 16, 32, 64, 128, 256, 512]) {
+            let c = (2f64.powf(p.bits * v as f64)).round() as usize;
+            lut.row([
+                format!("V={v}, C={c}"),
+                format!("{:.3}", p.bits),
+                fnum(p.ops_per_mm2),
+                fnum(p.ops_per_pj),
+            ]);
+        }
+    }
+    out.push_str(&lut.render());
+
+    // Headline gains.
+    let best_lut = lut_series(node, 16, &[8])[0];
+    let int8_mult = alu_series(node, AluKind::IntMult, &[8.0])[0];
+    let fp32_mult = alu_series(node, AluKind::FpMult, &[32.0])[0];
+    out.push_str(&format!(
+        "\nheadline: LUT(V=16,C=8) vs INT8 MULT: {:.0}x area-eff, {:.0}x power-eff\n\
+         headline: LUT(V=16,C=8) vs FP32 MULT: {:.0}x area-eff, {:.0}x power-eff\n",
+        best_lut.ops_per_mm2 / int8_mult.ops_per_mm2,
+        best_lut.ops_per_pj / int8_mult.ops_per_pj,
+        best_lut.ops_per_mm2 / fp32_mult.ops_per_mm2,
+        best_lut.ops_per_pj / fp32_mult.ops_per_pj,
+    ));
+    out
+}
+
+/// Table I: dataflow impact on on-chip memory (M=512, K=N=768, v=4, c=32).
+pub fn table1() -> String {
+    let g = Gemm::new(512, 768, 768);
+    let p = DataflowParams::table1();
+    let paper: [(&str, f64); 6] = [
+        ("MNK", 2064.1),
+        ("NMK", 2090.9),
+        ("MKN", 2064.8),
+        ("KMN", 408.0),
+        ("KNM", 385.3),
+        ("LUT-Stationary", 17.3),
+    ];
+    let mut t = TextTable::new([
+        "Dataflow",
+        "Scratchpad KB",
+        "Indices KB",
+        "PSumLUT KB",
+        "Total KB",
+        "Paper total KB",
+    ]);
+    for (df, (pname, ptotal)) in Dataflow::ALL.iter().zip(paper) {
+        let f = memory_footprint(*df, &g, &p);
+        assert_eq!(df.to_string(), pname);
+        t.row([
+            df.to_string(),
+            fnum(f.scratchpad / 1024.0),
+            format!("{:.2}", f.indices / 1024.0),
+            fnum(f.psum_lut / 1024.0),
+            fnum(f.total_kb()),
+            fnum(ptotal),
+        ]);
+    }
+    format!(
+        "Table I — Dataflow impact on on-chip memory (M=512, K=N=768, v=4, c=32)\n\
+         (paper entry precision is unstated; ours is INT8 — the ordering and the\n\
+         ~2-order gap between K-inner orders and LUT-Stationary are the results)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 9: dPE area/power vs similarity metric and vector length.
+pub fn fig9() -> String {
+    let m = CostModel::new(TechNode::N28);
+    let freq_hz = 300e6;
+    let mut left = TextTable::new(["Metric", "Precision", "Area mm2 (v=8)", "Power mW (v=8)"]);
+    for metric in Metric::ALL {
+        for (fmt, name) in [(NumFormat::Fp32, "FP32"), (NumFormat::Fp16, "FP16")] {
+            let c = dpe_cost(&m, metric, 8, fmt);
+            left.row([
+                metric.to_string(),
+                name.to_string(),
+                format!("{:.5}", c.area_um2 / 1e6),
+                format!("{:.4}", c.energy_pj * freq_hz * 1e-9),
+            ]);
+        }
+    }
+    let mut right = TextTable::new(["v", "Metric", "Area mm2", "Power mW"]);
+    for v in [4usize, 8, 16] {
+        for metric in Metric::ALL {
+            let c = dpe_cost(&m, metric, v, NumFormat::Fp16);
+            right.row([
+                v.to_string(),
+                metric.to_string(),
+                format!("{:.5}", c.area_um2 / 1e6),
+                format!("{:.4}", c.energy_pj * freq_hz * 1e-9),
+            ]);
+        }
+    }
+    format!(
+        "Fig. 9 — dPE hardware overhead (28 nm @ 300 MHz)\n\
+         Left: metric/precision at v=8. Right: scaling with vector length.\n\
+         (paper: L2 > L1 > Chebyshev; FP16 ≈ several× cheaper than FP32;\n\
+         cost ≈ linear in v)\n\n{}\n{}",
+        left.render(),
+        right.render()
+    )
+}
+
+/// Fig. 10: expanding a lookup-limited design with more IMMs.
+pub fn fig10() -> String {
+    let g = Gemm::new(512, 768, 768);
+    let base = design1().sim_config();
+    let mut t = TextTable::new([
+        "nIMM",
+        "cycles",
+        "IMM util",
+        "CCM busy frac",
+        "speedup vs 1 IMM",
+    ]);
+    let mut first_cycles = 0u64;
+    for n_imm in [1usize, 2, 4, 8] {
+        let cfg = SimConfig { n_imm, ..base };
+        let r = simulate_gemm(&cfg, &g);
+        if n_imm == 1 {
+            first_cycles = r.cycles;
+        }
+        t.row([
+            n_imm.to_string(),
+            r.cycles.to_string(),
+            format!("{:.3}", r.imm_utilization),
+            format!("{:.3}", r.ccm_busy as f64 / r.cycles as f64),
+            format!("{:.2}x", first_cycles as f64 / r.cycles as f64),
+        ]);
+    }
+    format!(
+        "Fig. 10 — Expanding the lookup-limited design with more IMMs\n\
+         (BERT projection GEMM 512×768×768 on Design-1-class hardware; the\n\
+         paper's point: doubling IMMs ≈ doubles throughput while reusing the CCM)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 11: the co-design search engine's pruning heatmaps + searched point.
+pub fn fig11() -> String {
+    use lutdla_dse::{accuracy_heatmap, prune_grid, tau_heatmap};
+    let space = SearchSpace::figure11();
+    let target = Gemm::new(512, 768, 768);
+    let constraints = Constraints {
+        min_accuracy: 90.5,
+        max_area_mm2: 4.0,
+        max_power_mw: 600.0,
+        ..Constraints::relaxed()
+    };
+    let oracle = SurrogateAccuracy::resnet20_cifar10();
+    let result = search(&space, &target, &constraints, &oracle);
+
+    let mut out = String::from(
+        "Fig. 11 — Co-Design Space Search Engine\n\
+         (paper's example search lands on v=3, c=16, nIMM=8, nCCM=2)\n\n",
+    );
+    out.push_str(&tau_heatmap(&space.vs, &space.cs, &target, Metric::L2).render());
+    out.push('\n');
+    out.push_str(
+        &accuracy_heatmap(&space.vs, &space.cs, Metric::L2, &oracle).render(),
+    );
+    out.push('\n');
+    out.push_str(&prune_grid(&result, Metric::L2, &space.vs, &space.cs));
+    out.push('\n');
+    if let Some(best) = result.best() {
+        out.push_str(&format!(
+            "searched design: v={}, c={}, metric={}, nIMM={}, nCCU={} \
+             (omega={:.0} cycles, {:.3} mm2, {:.1} mW, est. acc {:.2}%)\n",
+            best.config.v,
+            best.config.c,
+            best.config.metric,
+            best.config.n_imm,
+            best.config.n_ccu,
+            best.omega.omega(),
+            best.cost.area_mm2,
+            best.cost.power_mw,
+            best.accuracy,
+        ));
+    }
+    out
+}
+
+/// Table VII: per-IMM settings and resource needs of Designs 1–3.
+pub fn table7() -> String {
+    let mut t = TextTable::new([
+        "Design",
+        "V",
+        "Nc",
+        "Tn",
+        "M",
+        "SRAM KB (model)",
+        "SRAM KB (paper)",
+        "BW GB/s (model)",
+        "BW GB/s (paper)",
+    ]);
+    for d in all_designs() {
+        let imm = d.hw.imm_config();
+        let bw = imm.min_bandwidth_bytes_per_s(d.hw.freq_mhz * 1e6) / 1e9;
+        t.row([
+            d.name.to_string(),
+            d.hw.v.to_string(),
+            d.hw.nc.to_string(),
+            d.hw.tn.to_string(),
+            d.hw.m_rows.to_string(),
+            format!("{:.1}", imm.total_kb()),
+            format!("{:.1}", d.paper_sram_kb),
+            format!("{:.1}", bw),
+            format!("{:.1}", d.paper_bandwidth_gbps),
+        ]);
+    }
+    format!(
+        "Table VII — IMM settings and resource needs\n\n{}",
+        t.render()
+    )
+}
+
+/// Table VIII: PPA comparison with other accelerators (normalised to 28 nm).
+pub fn table8() -> String {
+    let mut t = TextTable::new([
+        "Accelerator",
+        "Tech nm",
+        "Freq MHz",
+        "Area mm2",
+        "Power mW",
+        "Perf GOPS",
+        "GOPS/mm2 @28nm",
+        "GOPS/mW @28nm",
+    ]);
+    for s in table8_specs() {
+        t.row([
+            s.name.clone(),
+            s.node.0.to_string(),
+            fnum(s.freq_mhz),
+            fnum(s.area_mm2),
+            fnum(s.power_mw),
+            fnum(s.perf_gops),
+            fnum(s.scaled_gops_per_mm2(TechNode::N28)),
+            format!("{:.2}", s.scaled_gops_per_mw(TechNode::N28)),
+        ]);
+    }
+    let mut min_area_gain = f64::INFINITY;
+    let mut max_area_gain: f64 = 0.0;
+    let mut min_power_gain = f64::INFINITY;
+    let mut max_power_gain: f64 = 0.0;
+    for d in all_designs() {
+        let c = design_cost(&d.hw);
+        t.row([
+            d.name.to_string(),
+            d.hw.node.0.to_string(),
+            fnum(d.hw.freq_mhz),
+            format!("{:.3}", c.area_mm2),
+            fnum(c.power_mw),
+            fnum(c.peak_gops),
+            fnum(c.gops_per_mm2),
+            format!("{:.2}", c.gops_per_mw),
+        ]);
+        for s in table8_specs() {
+            let ag = c.gops_per_mm2 / s.scaled_gops_per_mm2(TechNode::N28);
+            let pg = c.gops_per_mw / s.scaled_gops_per_mw(TechNode::N28);
+            min_area_gain = min_area_gain.min(ag);
+            max_area_gain = max_area_gain.max(ag);
+            min_power_gain = min_power_gain.min(pg);
+            max_power_gain = max_power_gain.max(pg);
+        }
+    }
+    format!(
+        "Table VIII — Comparison with other accelerators\n\
+         (paper LUT-DLA rows: 0.755/1.701/3.64 mm², 219.6/315.0/496.4 mW,\n\
+         460.8/1228.8/2764.8 GOPS; paper gains: 1.5–146.1x area-eff, 1.4–7.0x power-eff)\n\n{}\n\
+         measured gain ranges vs literature rows: area-eff {:.1}–{:.1}x, power-eff {:.1}–{:.1}x\n",
+        t.render(),
+        min_area_gain,
+        max_area_gain,
+        min_power_gain,
+        max_power_gain,
+    )
+}
+
+/// Table IX: LUT-DLA vs the PQA execution model.
+pub fn table9() -> String {
+    let cfg = SimConfig {
+        v: 4,
+        c: 32,
+        tn: 16,
+        m_rows: 512,
+        nc_buffer: 192,
+        n_ccu: 2,
+        n_imm: 1,
+        ..design3().sim_config()
+    };
+    let g = Gemm::new(512, 768, 768);
+    let ls = simulate_gemm(&cfg, &g);
+    let pqa = simulate_pqa(&cfg, &g);
+    let ls_onchip_kb = (2 * cfg.bank_bytes()
+        + (cfg.m_rows * cfg.tn) as u64 * cfg.acc_bits as u64 / 8
+        + (cfg.m_rows * 192) as u64 * 5 / 8) as f64
+        / 1024.0;
+    let pqa_kb = pqa_onchip_bytes(&cfg, &g) as f64 / 1024.0;
+
+    let mut t = TextTable::new([
+        "Design",
+        "On-chip mem KB",
+        "Cycles (k)",
+        "Paper mem KB",
+        "Paper cycles (k)",
+    ]);
+    t.row([
+        "PQA".to_string(),
+        fnum(pqa_kb),
+        fnum(pqa.cycles as f64 / 1e3),
+        "6912.25".to_string(),
+        "7864".to_string(),
+    ]);
+    t.row([
+        "LUT-DLA (LS)".to_string(),
+        fnum(ls_onchip_kb),
+        fnum(ls.cycles as f64 / 1e3),
+        "10.5".to_string(),
+        "4743".to_string(),
+    ]);
+    format!(
+        "Table IX — Comparison with the PQA LUT-based accelerator\n\
+         (GEMM 512×768×768, c=32, v=4, 16 lookup lanes; the paper's PQA pause\n\
+         magnitude depends on its FPGA memory system — at DDR4 bandwidth the\n\
+         pause shrinks, the on-chip-memory gap does not)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 13: end-to-end throughput and energy across workloads and designs.
+pub fn fig13() -> String {
+    let designs: Vec<(String, SimConfig)> = all_designs()
+        .iter()
+        .map(|d| (d.name.to_string(), d.sim_config()))
+        .collect();
+    let workloads = [
+        zoo::resnet_imagenet(18, 1000),
+        zoo::resnet_imagenet(34, 1000),
+        zoo::resnet50(1000),
+        zoo::bert_base(TransformerGemmOpts::default()),
+    ];
+    let mut t = TextTable::new([
+        "Workload",
+        "Design",
+        "time ms",
+        "GOPS",
+        "chip energy mJ",
+        "speedup vs NVDLA-L",
+        "energy vs NVDLA-L",
+    ]);
+    let mut out = String::from(
+        "Fig. 13 — End-to-end throughput and energy (batch 1, DDR4 25.6 GB/s)\n\
+         (paper: Design2 beats NVDLA-Large on ResNets with ~11x less energy;\n\
+         Design3 up to 72x faster on BERT with 11.5x less energy)\n\n",
+    );
+    for w in &workloads {
+        let e = end_to_end(w, 1, &designs);
+        let nvdla_t = e.nvdla_large.time_s;
+        let nvdla_e = e.nvdla_large.chip_energy_mj;
+        t.row([
+            w.name.clone(),
+            "NVDLA-Small".to_string(),
+            fnum(e.nvdla_small.time_s * 1e3),
+            fnum(e.nvdla_small.gops),
+            fnum(e.nvdla_small.chip_energy_mj),
+            format!("{:.2}x", nvdla_t / e.nvdla_small.time_s),
+            format!("{:.2}x", e.nvdla_small.chip_energy_mj / nvdla_e),
+        ]);
+        t.row([
+            w.name.clone(),
+            "NVDLA-Large".to_string(),
+            fnum(nvdla_t * 1e3),
+            fnum(e.nvdla_large.gops),
+            fnum(nvdla_e),
+            "1.00x".to_string(),
+            "1.00x".to_string(),
+        ]);
+        t.row([
+            w.name.clone(),
+            "Gemmini".to_string(),
+            fnum(e.gemmini.time_s * 1e3),
+            fnum(e.gemmini.gops),
+            fnum(e.gemmini.chip_energy_mj),
+            format!("{:.2}x", nvdla_t / e.gemmini.time_s),
+            format!("{:.2}x", e.gemmini.chip_energy_mj / nvdla_e),
+        ]);
+        for (name, r) in &e.lutdla {
+            t.row([
+                w.name.clone(),
+                name.clone(),
+                fnum(r.time_s * 1e3),
+                fnum(r.effective_gops()),
+                fnum(r.energy.chip_mj()),
+                format!("{:.2}x", nvdla_t / r.time_s),
+                format!("{:.2}x", r.energy.chip_mj() / nvdla_e),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 14: normalised performance / area-efficiency / energy-efficiency.
+pub fn fig14() -> String {
+    let designs: Vec<(String, SimConfig)> = all_designs()
+        .iter()
+        .map(|d| (d.name.to_string(), d.sim_config()))
+        .collect();
+    let areas: Vec<f64> = all_designs()
+        .iter()
+        .map(|d| design_cost(&d.hw).area_mm2)
+        .collect();
+    let workloads = [
+        zoo::bert_base(TransformerGemmOpts::default()),
+        zoo::resnet_imagenet(18, 1000),
+    ];
+    let mut out = String::from(
+        "Fig. 14 — PPA analysis, normalised to NVDLA-Small = 1.0\n\
+         (paper: Design1 is 6.2x/12.0x faster than NVDLA-Small on BERT/ResNet18\n\
+         at similar area; area-eff gains 2.5x/4.8x, energy-eff 1.1x/4.01x)\n\n",
+    );
+    for w in &workloads {
+        let e = end_to_end(w, 1, &designs);
+        let base_t = e.nvdla_small.time_s;
+        let base_area_eff = 1.0 / (base_t * 0.91);
+        let base_energy_eff = 1.0 / e.nvdla_small.chip_energy_mj;
+        let mut t = TextTable::new([
+            "Design",
+            "norm. perf",
+            "norm. area-eff",
+            "norm. energy-eff",
+        ]);
+        t.row([
+            "NVDLA-Small".to_string(),
+            "1.00".to_string(),
+            "1.00".to_string(),
+            "1.00".to_string(),
+        ]);
+        t.row([
+            "NVDLA-Large".to_string(),
+            format!("{:.2}", base_t / e.nvdla_large.time_s),
+            format!("{:.2}", (1.0 / (e.nvdla_large.time_s * 5.5)) / base_area_eff),
+            format!("{:.2}", (1.0 / e.nvdla_large.chip_energy_mj) / base_energy_eff),
+        ]);
+        t.row([
+            "Gemmini".to_string(),
+            format!("{:.2}", base_t / e.gemmini.time_s),
+            format!("{:.2}", (1.0 / (e.gemmini.time_s * 1.21)) / base_area_eff),
+            format!("{:.2}", (1.0 / e.gemmini.chip_energy_mj) / base_energy_eff),
+        ]);
+        for ((name, r), area) in e.lutdla.iter().zip(&areas) {
+            t.row([
+                name.clone(),
+                format!("{:.2}", base_t / r.time_s),
+                format!("{:.2}", (1.0 / (r.time_s * area)) / base_area_eff),
+                format!("{:.2}", (1.0 / r.energy.chip_mj()) / base_energy_eff),
+            ]);
+        }
+        out.push_str(&format!("workload: {}\n{}\n", w.name, t.render()));
+    }
+    out
+}
+
+/// Design-choice ablation: LS dataflow vs PQA buffering vs no-overlap, and
+/// clock-domain decoupling (the DESIGN.md ablation bench).
+pub fn ablation_hw() -> String {
+    let g = Gemm::new(512, 768, 768);
+    let base = design2().sim_config();
+    let mut t = TextTable::new(["Variant", "cycles", "vs base", "on-chip note"]);
+    let b = simulate_gemm(&base, &g);
+    t.row([
+        "LS + ping-pong (base)".to_string(),
+        b.cycles.to_string(),
+        "1.00x".to_string(),
+        "2 banks".to_string(),
+    ]);
+    let no_overlap = simulate_gemm(
+        &SimConfig {
+            overlap_load: false,
+            ..base
+        },
+        &g,
+    );
+    t.row([
+        "no ping-pong".to_string(),
+        no_overlap.cycles.to_string(),
+        format!("{:.2}x", no_overlap.cycles as f64 / b.cycles as f64),
+        "1 bank".to_string(),
+    ]);
+    let pqa = simulate_pqa(&base, &g);
+    t.row([
+        "whole-layer LUT (PQA)".to_string(),
+        pqa.cycles.to_string(),
+        format!("{:.2}x", pqa.cycles as f64 / b.cycles as f64),
+        "full table resident".to_string(),
+    ]);
+    let slow_ccm = simulate_gemm(
+        &SimConfig {
+            ccm_clock_mult: 1,
+            ..base
+        },
+        &g,
+    );
+    t.row([
+        "CCM at IMM clock".to_string(),
+        slow_ccm.cycles.to_string(),
+        format!("{:.2}x", slow_ccm.cycles as f64 / b.cycles as f64),
+        "no clock decoupling".to_string(),
+    ]);
+    let starved = simulate_gemm(
+        &SimConfig {
+            bw_bytes_per_cycle: base.bw_bytes_per_cycle / 16.0,
+            ..base
+        },
+        &g,
+    );
+    t.row([
+        "1/16 bandwidth".to_string(),
+        starved.cycles.to_string(),
+        format!("{:.2}x", starved.cycles as f64 / b.cycles as f64),
+        "load-bound regime".to_string(),
+    ]);
+    format!(
+        "Ablation — architectural choices on the Table IX GEMM (Design 2)\n\n{}",
+        t.render()
+    )
+}

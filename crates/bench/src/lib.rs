@@ -1,0 +1,97 @@
+//! Benchmark harness regenerating every table and figure of the LUT-DLA
+//! paper.
+//!
+//! Each experiment is a function returning the rendered report (measured
+//! values printed next to the paper's reference numbers). The binaries in
+//! `src/bin/` are thin wrappers; `cargo run --release -p lutdla-bench --bin
+//! all` regenerates everything and the criterion benches in `benches/`
+//! micro-benchmark the underlying kernels.
+//!
+//! Pass `--quick` to any binary to shrink datasets/epochs for smoke runs.
+
+pub mod common;
+
+/// One generator per paper table/figure.
+pub mod experiments {
+    /// Accuracy-side experiments (require LUTBoost training).
+    pub mod accuracy;
+    /// Hardware-side experiments (models + simulator only).
+    pub mod hw;
+}
+
+/// Parses the conventional `--quick` flag from process args.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Every experiment in paper order, as `(id, generator)`.
+pub fn all_experiments(quick: bool) -> Vec<(&'static str, String)> {
+    use experiments::{accuracy, hw};
+    vec![
+        ("fig1", hw::fig1()),
+        ("table1", hw::table1()),
+        ("fig7", accuracy::fig7(quick)),
+        ("table2", accuracy::table2(quick)),
+        ("fig8", accuracy::fig8(quick)),
+        ("fig9", hw::fig9()),
+        ("fig10", hw::fig10()),
+        ("fig11", hw::fig11()),
+        ("table4", accuracy::table4(quick)),
+        ("table5", accuracy::table5(quick)),
+        ("table6", accuracy::table6(quick)),
+        ("fig12", accuracy::fig12(quick)),
+        ("table7", hw::table7()),
+        ("table8", hw::table8()),
+        ("table9", hw::table9()),
+        ("fig13", hw::fig13()),
+        ("fig14", hw::fig14()),
+        ("ablation_hw", hw::ablation_hw()),
+        ("metric_sweep", accuracy::metric_sweep(quick)),
+        ("ablation_train", accuracy::ablation_train(quick)),
+        ("centroid_share", accuracy::centroid_share(quick)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::experiments::hw;
+
+    // Hardware-side generators are cheap; smoke-test them all.
+    #[test]
+    fn fig1_renders() {
+        let s = hw::fig1();
+        assert!(s.contains("INT MULT") && s.contains("V=16"));
+    }
+
+    #[test]
+    fn table1_renders() {
+        let s = hw::table1();
+        assert!(s.contains("LUT-Stationary"));
+    }
+
+    #[test]
+    fn fig9_and_10_render() {
+        assert!(hw::fig9().contains("Chebyshev"));
+        assert!(hw::fig10().contains("speedup"));
+    }
+
+    #[test]
+    fn fig11_finds_a_design() {
+        let s = hw::fig11();
+        assert!(s.contains("searched design"), "{s}");
+    }
+
+    #[test]
+    fn tables_7_8_9_render() {
+        assert!(hw::table7().contains("Design1"));
+        assert!(hw::table8().contains("NVDLA-Large"));
+        assert!(hw::table9().contains("PQA"));
+    }
+
+    #[test]
+    fn ablation_hw_orders_variants() {
+        let s = hw::ablation_hw();
+        assert!(s.contains("ping-pong"));
+        assert!(s.contains("whole-layer LUT"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The framework facade: glue between the algorithm stack (vq/lutboost),
+//! the workload zoo, the simulator, and the baselines.
+
+use lutdla_baselines::{nvdla_model, systolic_model, NvdlaConfig, PerfEstimate, SystolicConfig};
+use lutdla_hwmodel::Metric;
+use lutdla_models::Workload;
+use lutdla_sim::{simulate_gemm, Gemm, SimConfig, SimReport};
+use lutdla_vq::Distance;
+
+/// Converts the algorithmic distance enum to the hardware metric enum.
+pub fn distance_to_metric(d: Distance) -> Metric {
+    match d {
+        Distance::L2 => Metric::L2,
+        Distance::L1 => Metric::L1,
+        Distance::Chebyshev => Metric::Chebyshev,
+    }
+}
+
+/// Converts the hardware metric enum to the algorithmic distance enum.
+pub fn metric_to_distance(m: Metric) -> Distance {
+    match m {
+        Metric::L2 => Distance::L2,
+        Metric::L1 => Distance::L1,
+        Metric::Chebyshev => Distance::Chebyshev,
+    }
+}
+
+/// Converts a workload layer list into simulator GEMMs at a batch size.
+pub fn workload_gemms(w: &Workload, batch: usize) -> Vec<Gemm> {
+    w.gemms(batch)
+        .into_iter()
+        .map(|d| Gemm::new(d.m, d.k, d.n))
+        .collect()
+}
+
+/// Simulates every GEMM of a workload on a LUT-DLA instance and merges the
+/// per-layer reports.
+pub fn simulate_workload(cfg: &SimConfig, w: &Workload, batch: usize) -> SimReport {
+    let reports: Vec<SimReport> = workload_gemms(w, batch)
+        .iter()
+        .map(|g| simulate_gemm(cfg, g))
+        .collect();
+    SimReport::merge(&reports)
+}
+
+/// End-to-end comparison of one workload across LUT-DLA and the baselines
+/// (the Fig. 13 data generator).
+#[derive(Debug, Clone)]
+pub struct EndToEnd {
+    /// Workload name.
+    pub workload: String,
+    /// (design name, report) for each LUT-DLA design.
+    pub lutdla: Vec<(String, SimReport)>,
+    /// NVDLA-Small estimate.
+    pub nvdla_small: PerfEstimate,
+    /// NVDLA-Large estimate.
+    pub nvdla_large: PerfEstimate,
+    /// Gemmini estimate.
+    pub gemmini: PerfEstimate,
+}
+
+/// Runs the full Fig. 13 comparison for one workload.
+pub fn end_to_end(w: &Workload, batch: usize, designs: &[(String, SimConfig)]) -> EndToEnd {
+    let gemms = workload_gemms(w, batch);
+    EndToEnd {
+        workload: w.name.clone(),
+        lutdla: designs
+            .iter()
+            .map(|(name, cfg)| (name.clone(), simulate_workload(cfg, w, batch)))
+            .collect(),
+        nvdla_small: nvdla_model(&NvdlaConfig::small(), &gemms),
+        nvdla_large: nvdla_model(&NvdlaConfig::large(), &gemms),
+        gemmini: systolic_model(&SystolicConfig::gemmini(), &gemms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lutdla_dse::design1;
+    use lutdla_models::zoo;
+
+    #[test]
+    fn distance_metric_round_trip() {
+        for d in Distance::ALL {
+            assert_eq!(metric_to_distance(distance_to_metric(d)), d);
+        }
+    }
+
+    #[test]
+    fn workload_simulation_aggregates_layers() {
+        let w = zoo::lenet();
+        let cfg = design1().sim_config();
+        let report = simulate_workload(&cfg, &w, 1);
+        assert_eq!(report.effective_ops, w.total_ops(1));
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn end_to_end_contains_all_baselines() {
+        let w = zoo::lenet();
+        let designs = vec![("D1".to_string(), design1().sim_config())];
+        let e = end_to_end(&w, 1, &designs);
+        assert_eq!(e.lutdla.len(), 1);
+        assert!(e.nvdla_small.time_s > 0.0);
+        assert!(e.gemmini.time_s > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Accuracy oracles for the co-design search (paper §VI-C step 3).
+//!
+//! The search needs a *fast* accuracy estimate per `(v, c, metric)` point.
+//! The paper uses LUTBoost's early-stage training for this; we provide the
+//! same hook as a trait, plus a closed-form surrogate fitted to the paper's
+//! own sensitivity data (Fig. 8 + Table V), which the benches use so the
+//! search runs in milliseconds.
+
+use lutdla_hwmodel::Metric;
+
+/// An oracle estimating model accuracy for a quantization configuration.
+pub trait AccuracyModel {
+    /// Estimated accuracy (0–100) for `(v, c, metric)`.
+    fn estimate(&self, v: usize, c: usize, metric: Metric) -> f64;
+}
+
+/// Closed-form surrogate: Table V shows the ResNet-20 accuracy drop is, to
+/// a good approximation, inversely proportional to the *equivalent
+/// bitwidth* `log₂(c)/v`:
+///
+/// `drop ≈ κ / (log₂(c)/v) + metric_penalty`
+///
+/// Fitting κ on the six Table V L2 points gives κ ≈ 1.33 with ≤0.7%
+/// residual; L1 sits ≈0.5% below L2 and Chebyshev ≈0.8% below (Table IV /
+/// §VII-A).
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateAccuracy {
+    /// Dense-model accuracy (e.g. 91.73 for ResNet-20/CIFAR-10).
+    pub baseline: f64,
+    /// Drop coefficient κ.
+    pub kappa: f64,
+    /// Additional drop for L1.
+    pub l1_penalty: f64,
+    /// Additional drop for Chebyshev.
+    pub chebyshev_penalty: f64,
+}
+
+impl SurrogateAccuracy {
+    /// The ResNet-20/CIFAR-10 fit used throughout the paper's DSE examples.
+    pub fn resnet20_cifar10() -> Self {
+        Self {
+            baseline: 91.73,
+            kappa: 1.33,
+            l1_penalty: 0.5,
+            chebyshev_penalty: 0.8,
+        }
+    }
+}
+
+impl AccuracyModel for SurrogateAccuracy {
+    fn estimate(&self, v: usize, c: usize, metric: Metric) -> f64 {
+        let eq_bits = (c as f64).log2().ceil() / v as f64;
+        let mut drop = self.kappa / eq_bits.max(1e-9);
+        drop += match metric {
+            Metric::L2 => 0.0,
+            Metric::L1 => self.l1_penalty,
+            Metric::Chebyshev => self.chebyshev_penalty,
+        };
+        (self.baseline - drop).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_matches_table5_l2_points() {
+        // Table V (ResNet-20, L2): (v, c, accuracy)
+        let points = [
+            (9, 8, 87.78),
+            (9, 16, 89.45),
+            (6, 8, 89.18),
+            (6, 16, 90.18),
+            (3, 8, 90.48),
+            (3, 16, 90.78),
+        ];
+        let s = SurrogateAccuracy::resnet20_cifar10();
+        for (v, c, paper) in points {
+            let est = s.estimate(v, c, Metric::L2);
+            assert!(
+                (est - paper).abs() < 0.8,
+                "(v={v}, c={c}): surrogate {est:.2} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn shorter_vectors_score_higher() {
+        let s = SurrogateAccuracy::resnet20_cifar10();
+        assert!(s.estimate(3, 16, Metric::L2) > s.estimate(9, 16, Metric::L2));
+    }
+
+    #[test]
+    fn more_centroids_score_higher() {
+        let s = SurrogateAccuracy::resnet20_cifar10();
+        assert!(s.estimate(4, 64, Metric::L2) > s.estimate(4, 8, Metric::L2));
+    }
+
+    #[test]
+    fn metric_ordering() {
+        let s = SurrogateAccuracy::resnet20_cifar10();
+        let l2 = s.estimate(4, 16, Metric::L2);
+        let l1 = s.estimate(4, 16, Metric::L1);
+        let che = s.estimate(4, 16, Metric::Chebyshev);
+        assert!(l2 > l1 && l1 > che);
+    }
+
+    #[test]
+    fn never_negative() {
+        let s = SurrogateAccuracy {
+            baseline: 1.0,
+            ..SurrogateAccuracy::resnet20_cifar10()
+        };
+        assert_eq!(s.estimate(64, 2, Metric::Chebyshev), 0.0);
+    }
+}

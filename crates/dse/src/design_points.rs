@@ -1,0 +1,172 @@
+//! The three evaluated LUT-DLA instances (paper Table VII / §VII-B):
+//! Design 1 "Tiny" (NVDLA-Small-class area), Design 2 "Large"
+//! (NVDLA-Large-class throughput), Design 3 "Fit" (the co-design engine's
+//! BERT-throughput optimum).
+
+use lutdla_hwmodel::{LutDlaHwConfig, Metric, NumFormat, TechNode};
+use lutdla_sim::SimConfig;
+
+/// A named design point with its published Table VII parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// Display name.
+    pub name: &'static str,
+    /// The hardware configuration.
+    pub hw: LutDlaHwConfig,
+    /// Paper's per-IMM SRAM figure (KB), for cross-checks.
+    pub paper_sram_kb: f64,
+    /// Paper's minimum-bandwidth figure (GB/s).
+    pub paper_bandwidth_gbps: f64,
+    /// Paper's area (mm²).
+    pub paper_area_mm2: f64,
+    /// Paper's power (mW).
+    pub paper_power_mw: f64,
+    /// Paper's peak performance (GOPS).
+    pub paper_perf_gops: f64,
+}
+
+impl DesignPoint {
+    /// A simulator config at DDR4 bandwidth (paper's end-to-end setting).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::from_hw(&self.hw, 25.6e9)
+    }
+}
+
+fn base(v: usize, tn: usize, m_rows: usize, n_imm: usize, n_ccu: usize) -> LutDlaHwConfig {
+    LutDlaHwConfig {
+        metric: Metric::L2,
+        v,
+        c: 16,
+        tn,
+        m_rows,
+        nc: 16,
+        n_ccu,
+        n_imm,
+        ccm_format: NumFormat::Bf16,
+        lut_bits: 8,
+        acc_bits: 8,
+        freq_mhz: 300.0,
+        ccm_clock_mult: 2,
+        node: TechNode::N28,
+    }
+}
+
+/// Design 1 (Tiny): v=3, Nc=16, Tn=128, M=256 — NVDLA-Small-class area.
+pub fn design1() -> DesignPoint {
+    DesignPoint {
+        name: "LUT-DLA Design1 (Tiny)",
+        hw: base(3, 128, 256, 2, 1),
+        paper_sram_kb: 36.1,
+        paper_bandwidth_gbps: 4.1,
+        paper_area_mm2: 0.755,
+        paper_power_mw: 219.57,
+        paper_perf_gops: 460.8,
+    }
+}
+
+/// Design 2 (Large): v=4, Nc=16, Tn=256, M=256 — NVDLA-Large-class
+/// throughput at a fraction of the area.
+pub fn design2() -> DesignPoint {
+    DesignPoint {
+        name: "LUT-DLA Design2 (Large)",
+        hw: base(4, 256, 256, 2, 2),
+        paper_sram_kb: 72.1,
+        paper_bandwidth_gbps: 7.0,
+        paper_area_mm2: 1.701,
+        paper_power_mw: 314.975,
+        paper_perf_gops: 1228.8,
+    }
+}
+
+/// Design 3 (Fit): v=3, Nc=16, Tn=768, M=512 — the co-design engine's
+/// BERT-optimised point.
+pub fn design3() -> DesignPoint {
+    DesignPoint {
+        name: "LUT-DLA Design3 (Fit)",
+        hw: base(3, 768, 512, 2, 4),
+        paper_sram_kb: 408.2,
+        paper_bandwidth_gbps: 8.7,
+        paper_area_mm2: 3.64,
+        paper_power_mw: 496.4,
+        paper_perf_gops: 2764.8,
+    }
+}
+
+/// All three designs in Table VII order.
+pub fn all_designs() -> [DesignPoint; 3] {
+    [design1(), design2(), design3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lutdla_hwmodel::design_cost;
+
+    #[test]
+    fn peak_gops_match_paper_exactly() {
+        // Peak = 2·v·Tn·nIMM·freq is a definition, so these must be exact.
+        for d in all_designs() {
+            assert!(
+                (d.hw.peak_gops() - d.paper_perf_gops).abs() < 1e-6,
+                "{}: {} vs {}",
+                d.name,
+                d.hw.peak_gops(),
+                d.paper_perf_gops
+            );
+        }
+    }
+
+    #[test]
+    fn sram_within_15_percent_of_table7() {
+        for d in all_designs() {
+            let kb = d.hw.imm_config().total_kb();
+            let rel = (kb - d.paper_sram_kb).abs() / d.paper_sram_kb;
+            assert!(rel < 0.15, "{}: {kb} KB vs paper {} KB", d.name, d.paper_sram_kb);
+        }
+    }
+
+    #[test]
+    fn bandwidth_within_2x_of_table7() {
+        for d in all_designs() {
+            let gbps = d.hw.imm_config().min_bandwidth_bytes_per_s(d.hw.freq_mhz * 1e6) / 1e9;
+            let ratio = gbps / d.paper_bandwidth_gbps;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "{}: {gbps} GB/s vs paper {}",
+                d.name,
+                d.paper_bandwidth_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_ppa_same_order_as_paper() {
+        for d in all_designs() {
+            let c = design_cost(&d.hw);
+            let area_ratio = c.area_mm2 / d.paper_area_mm2;
+            let power_ratio = c.power_mw / d.paper_power_mw;
+            assert!(
+                (0.2..5.0).contains(&area_ratio),
+                "{}: area {} vs paper {}",
+                d.name,
+                c.area_mm2,
+                d.paper_area_mm2
+            );
+            assert!(
+                (0.1..5.0).contains(&power_ratio),
+                "{}: power {} vs paper {}",
+                d.name,
+                c.power_mw,
+                d.paper_power_mw
+            );
+        }
+    }
+
+    #[test]
+    fn designs_ordered_by_size() {
+        let [d1, d2, d3] = all_designs();
+        let a = |d: &DesignPoint| design_cost(&d.hw).area_mm2;
+        assert!(a(&d1) < a(&d2));
+        assert!(a(&d2) < a(&d3));
+    }
+}

@@ -1,0 +1,172 @@
+//! (v, c) heatmap generation for Fig. 11: each pruning step of the search
+//! engine visualised as a 2-D grid, renderable as aligned text or CSV.
+
+use lutdla_hwmodel::Metric;
+use lutdla_sim::Gemm;
+
+use crate::accuracy::AccuracyModel;
+use crate::model::{phi_bits, tau_ops};
+use crate::search::{PruneReason, SearchResult};
+
+/// A labelled 2-D grid over (v, c).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Row axis: subvector lengths.
+    pub vs: Vec<usize>,
+    /// Column axis: centroid counts.
+    pub cs: Vec<usize>,
+    /// `values[vi][ci]`.
+    pub values: Vec<Vec<f64>>,
+    /// What the values are.
+    pub label: String,
+}
+
+impl Heatmap {
+    /// Builds a grid by evaluating `f(v, c)`.
+    pub fn build(
+        label: &str,
+        vs: &[usize],
+        cs: &[usize],
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
+        let values = vs
+            .iter()
+            .map(|&v| cs.iter().map(|&c| f(v, c)).collect())
+            .collect();
+        Self {
+            vs: vs.to_vec(),
+            cs: cs.to_vec(),
+            values,
+            label: label.to_string(),
+        }
+    }
+
+    /// Renders as an aligned text table (rows = v, columns = c).
+    pub fn render(&self) -> String {
+        let mut out = format!("{} (rows: v, cols: c)\n", self.label);
+        out.push_str("      ");
+        for c in &self.cs {
+            out.push_str(&format!("{c:>12}"));
+        }
+        out.push('\n');
+        for (vi, v) in self.vs.iter().enumerate() {
+            out.push_str(&format!("v={v:<4}"));
+            for ci in 0..self.cs.len() {
+                out.push_str(&format!("{:>12.4e}", self.values[vi][ci]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("v\\c");
+        for c in &self.cs {
+            out.push_str(&format!(",{c}"));
+        }
+        out.push('\n');
+        for (vi, v) in self.vs.iter().enumerate() {
+            out.push_str(&v.to_string());
+            for ci in 0..self.cs.len() {
+                out.push_str(&format!(",{}", self.values[vi][ci]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The τ (Eq. 1) grid of Fig. 11(a).
+pub fn tau_heatmap(vs: &[usize], cs: &[usize], g: &Gemm, metric: Metric) -> Heatmap {
+    Heatmap::build("tau: computational cost (ops)", vs, cs, |v, c| {
+        tau_ops(g, v, c, metric)
+    })
+}
+
+/// The ϕ (Eq. 2) grid of Fig. 11(b).
+pub fn phi_heatmap(vs: &[usize], cs: &[usize], g: &Gemm, lut_bits: u32) -> Heatmap {
+    Heatmap::build("phi: memory footprint (bits)", vs, cs, |v, c| {
+        phi_bits(g, v, c, lut_bits, 16)
+    })
+}
+
+/// The accuracy grid of Fig. 11(d).
+pub fn accuracy_heatmap(
+    vs: &[usize],
+    cs: &[usize],
+    metric: Metric,
+    oracle: &dyn AccuracyModel,
+) -> Heatmap {
+    Heatmap::build("estimated accuracy (%)", vs, cs, |v, c| {
+        oracle.estimate(v, c, metric)
+    })
+}
+
+/// Renders the pruning outcome of a finished search as a character grid
+/// (one map per metric): `.` kept, `C`ompute, `M`emory, `H`ardware,
+/// `A`ccuracy.
+pub fn prune_grid(result: &SearchResult, metric: Metric, vs: &[usize], cs: &[usize]) -> String {
+    let mut out = format!("pruning map ({metric})\n      ");
+    for c in cs {
+        out.push_str(&format!("{c:>4}"));
+    }
+    out.push('\n');
+    for &v in vs {
+        out.push_str(&format!("v={v:<4}"));
+        for &c in cs {
+            let reason = result
+                .prune_map
+                .iter()
+                .find(|(pv, pc, pm, _)| *pv == v && *pc == c && *pm == metric)
+                .map(|(_, _, _, r)| *r)
+                .unwrap_or(PruneReason::Kept);
+            let ch = match reason {
+                PruneReason::Kept => '.',
+                PruneReason::Compute => 'C',
+                PruneReason::Memory => 'M',
+                PruneReason::Hardware => 'H',
+                PruneReason::Accuracy => 'A',
+            };
+            out.push_str(&format!("{ch:>4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::SurrogateAccuracy;
+
+    #[test]
+    fn grid_shape() {
+        let h = tau_heatmap(&[2, 4], &[8, 16, 32], &Gemm::new(64, 64, 64), Metric::L2);
+        assert_eq!(h.values.len(), 2);
+        assert_eq!(h.values[0].len(), 3);
+    }
+
+    #[test]
+    fn tau_monotone_in_c() {
+        let h = tau_heatmap(&[4], &[8, 16, 32, 64], &Gemm::new(64, 64, 64), Metric::L2);
+        for w in h.values[0].windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn render_contains_axes() {
+        let h = accuracy_heatmap(
+            &[3, 6],
+            &[8, 64],
+            Metric::L2,
+            &SurrogateAccuracy::resnet20_cifar10(),
+        );
+        let s = h.render();
+        assert!(s.contains("v=3"));
+        assert!(s.contains("64"));
+        let csv = h.to_csv();
+        assert!(csv.starts_with("v\\c,8,64"));
+    }
+}

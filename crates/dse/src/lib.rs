@@ -1,0 +1,34 @@
+//! Co-Design Space Exploration engine for LUT-DLA (paper §VI).
+//!
+//! Implements the analytical models (Eqs. 1–5), the pruning + LUT-first
+//! greedy search of Algorithm 2, the Fig. 11 heatmaps, and the three
+//! evaluated design points of Table VII.
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_dse::{search, Constraints, SearchSpace, SurrogateAccuracy};
+//! use lutdla_sim::Gemm;
+//!
+//! let result = search(
+//!     &SearchSpace::figure11(),
+//!     &Gemm::new(512, 768, 768),
+//!     &Constraints::relaxed(),
+//!     &SurrogateAccuracy::resnet20_cifar10(),
+//! );
+//! assert!(result.best().is_some());
+//! ```
+
+mod accuracy;
+mod design_points;
+mod heatmap;
+mod model;
+mod search;
+
+pub use accuracy::{AccuracyModel, SurrogateAccuracy};
+pub use design_points::{all_designs, design1, design2, design3, DesignPoint};
+pub use heatmap::{accuracy_heatmap, phi_heatmap, prune_grid, tau_heatmap, Heatmap};
+pub use model::{
+    alpha_sim, dense_bits, dense_ops, hw_cost, omega, phi_bits, tau_ops, OmegaBreakdown, Stage,
+};
+pub use search::{search, Candidate, Constraints, PruneReason, SearchResult, SearchSpace};

@@ -1,0 +1,173 @@
+//! The analytical models of paper §VI-B: computation (Eq. 1), memory
+//! (Eq. 2), hardware cost (Eqs. 3/4 via `lutdla-hwmodel`), and parallelism
+//! (Eq. 5).
+
+use lutdla_hwmodel::{design_cost, DesignCost, LutDlaHwConfig, Metric};
+use lutdla_sim::Gemm;
+
+/// α_sim: elementary ops per element-pair in a distance evaluation
+/// (paper: 2 for L2 — one multiply, one add; the L1/Chebyshev datapaths
+/// also touch each element twice, with cheaper units).
+pub fn alpha_sim(metric: Metric) -> f64 {
+    match metric {
+        Metric::L2 | Metric::L1 | Metric::Chebyshev => 2.0,
+    }
+}
+
+/// Eq. (1) — computational cost `τ(v, c)`: similarity ops + accumulations.
+///
+/// `OP_sim = α_sim · c · M · v · ⌈K/v⌉` (each of the `⌈K/v⌉` subspaces of
+/// each of the `M` rows scans `c` centroids over `v` dims) and
+/// `OP_add = M · N · ⌈K/v⌉`. Note: the paper's Eq. (1) prints `⌈c/v⌉` in
+/// the first term; dimensional analysis and the surrounding text
+/// ("computations for similarity comparisons") indicate `⌈K/v⌉`, which we
+/// implement.
+pub fn tau_ops(g: &Gemm, v: usize, c: usize, metric: Metric) -> f64 {
+    let nc = g.k.div_ceil(v) as f64;
+    let sim = alpha_sim(metric) * c as f64 * g.m as f64 * v as f64 * nc;
+    let add = g.m as f64 * g.n as f64 * nc;
+    sim + add
+}
+
+/// Dense-GEMM op count the LUT approach must beat (2·M·K·N).
+pub fn dense_ops(g: &Gemm) -> f64 {
+    2.0 * g.m as f64 * g.k as f64 * g.n as f64
+}
+
+/// Eq. (2) — memory footprint `ϕ(v, c)` in bits: LUT + outputs + indices.
+pub fn phi_bits(g: &Gemm, v: usize, c: usize, lut_bits: u32, out_bits: u32) -> f64 {
+    let nc = g.k.div_ceil(v) as f64;
+    let mem_lut = g.n as f64 * c as f64 * nc * lut_bits as f64;
+    let mem_out = g.m as f64 * g.n as f64 * out_bits as f64;
+    let mem_idx = nc * g.m as f64 * (c as f64).log2().ceil();
+    mem_lut + mem_out + mem_idx
+}
+
+/// Dense-GEMM memory footprint in bits (weights + outputs), the Eq. (2)
+/// comparison point.
+pub fn dense_bits(g: &Gemm, weight_bits: u32, out_bits: u32) -> f64 {
+    g.k as f64 * g.n as f64 * weight_bits as f64 + g.m as f64 * g.n as f64 * out_bits as f64
+}
+
+/// Eq. (5) — pipeline-stage cycle counts and their max `ω`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OmegaBreakdown {
+    /// LUT-loading cycles (bandwidth-limited).
+    pub load: f64,
+    /// Similarity-comparison cycles.
+    pub sim: f64,
+    /// Table-lookup cycles.
+    pub lut: f64,
+}
+
+impl OmegaBreakdown {
+    /// The pipeline bottleneck `ω = max(load, sim, lut)`.
+    pub fn omega(&self) -> f64 {
+        self.load.max(self.sim).max(self.lut)
+    }
+
+    /// Which stage limits the design.
+    pub fn bottleneck(&self) -> Stage {
+        if self.lut >= self.load && self.lut >= self.sim {
+            Stage::Lookup
+        } else if self.sim >= self.load {
+            Stage::Similarity
+        } else {
+            Stage::Load
+        }
+    }
+}
+
+/// The three pipeline stages of Eq. (5)/Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Stage {
+    /// DRAM → LUT bank streaming.
+    Load,
+    /// CCM similarity comparison.
+    Similarity,
+    /// IMM table lookup.
+    Lookup,
+}
+
+/// Evaluates Eq. (5) for a GEMM on a configuration.
+///
+/// `beta_bits_per_cycle` is the memory bandwidth in bits per IMM cycle;
+/// `tn` refines the paper's formula with the output-tile width (each IMM
+/// retires a `Tn`-wide row per cycle).
+pub fn omega(
+    g: &Gemm,
+    v: usize,
+    c: usize,
+    tn: usize,
+    lut_bits: u32,
+    beta_bits_per_cycle: f64,
+    n_ccu: usize,
+    ccm_clock_mult: u32,
+    n_imm: usize,
+) -> OmegaBreakdown {
+    let nc = g.k.div_ceil(v) as f64;
+    let no = g.n.div_ceil(tn) as f64;
+    // Total LUT bits ÷ bandwidth (every bank loaded exactly once under LS).
+    let load = nc * no * (c * tn) as f64 * lut_bits as f64 / beta_bits_per_cycle;
+    let sim = g.m as f64 * nc / (n_ccu as f64 * ccm_clock_mult as f64);
+    let lut = g.m as f64 * nc * no / n_imm as f64;
+    OmegaBreakdown { load, sim, lut }
+}
+
+/// Eqs. (3)/(4) — delegated to the hardware model.
+pub fn hw_cost(cfg: &LutDlaHwConfig) -> DesignCost {
+    design_cost(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Gemm {
+        Gemm::new(512, 768, 768)
+    }
+
+    #[test]
+    fn tau_far_below_dense() {
+        // v=4, c=32: the whole point of the approach.
+        let t = tau_ops(&g(), 4, 32, Metric::L2);
+        assert!(t < dense_ops(&g()) / 3.0, "tau {t} vs dense {}", dense_ops(&g()));
+    }
+
+    #[test]
+    fn tau_grows_with_centroids() {
+        assert!(tau_ops(&g(), 4, 64, Metric::L2) > tau_ops(&g(), 4, 8, Metric::L2));
+    }
+
+    #[test]
+    fn phi_dominated_by_lut_for_large_c() {
+        let total = phi_bits(&g(), 4, 32, 8, 16);
+        let nc = 192.0;
+        let lut = 768.0 * 32.0 * nc * 8.0;
+        assert!(lut / total > 0.5);
+    }
+
+    #[test]
+    fn omega_lookup_bound_then_balanced() {
+        // Fig. 10: with 1 IMM the lookup stage dominates; adding IMMs moves
+        // the bottleneck.
+        let o1 = omega(&g(), 4, 32, 128, 8, 512.0, 1, 2, 1);
+        assert_eq!(o1.bottleneck(), Stage::Lookup);
+        let o8 = omega(&g(), 4, 32, 128, 8, 512.0, 1, 2, 8);
+        assert!(o8.omega() < o1.omega());
+    }
+
+    #[test]
+    fn omega_load_bound_when_bandwidth_starved() {
+        let o = omega(&g(), 4, 32, 128, 8, 1.0, 4, 2, 8);
+        assert_eq!(o.bottleneck(), Stage::Load);
+    }
+
+    #[test]
+    fn more_ccus_shrink_sim_term() {
+        let a = omega(&g(), 4, 32, 128, 8, 512.0, 1, 2, 4);
+        let b = omega(&g(), 4, 32, 128, 8, 512.0, 4, 2, 4);
+        assert!(b.sim < a.sim);
+        assert_eq!(b.lut, a.lut);
+    }
+}

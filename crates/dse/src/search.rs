@@ -1,0 +1,334 @@
+//! The Co-Design Space Search Engine (paper Algorithm 2, Fig. 11):
+//! analytical pruning → accuracy pruning → LUT-first greedy parallelism
+//! expansion → ranking by the Eq. (5) bottleneck.
+
+use lutdla_hwmodel::{design_cost, LutDlaHwConfig, Metric};
+use lutdla_sim::Gemm;
+
+use crate::accuracy::AccuracyModel;
+use crate::model::{dense_bits, dense_ops, omega, phi_bits, tau_ops, OmegaBreakdown};
+
+/// Constraint set for a search (the `s.t.` block of §VI-C).
+#[derive(Debug, Clone, Copy)]
+pub struct Constraints {
+    /// τ must not exceed this fraction of the dense GEMM's op count.
+    pub max_compute_fraction: f64,
+    /// ϕ must not exceed this fraction of the dense GEMM's footprint.
+    pub max_memory_fraction: f64,
+    /// Area ceiling, mm².
+    pub max_area_mm2: f64,
+    /// Power ceiling, mW.
+    pub max_power_mw: f64,
+    /// Accuracy floor (percent).
+    pub min_accuracy: f64,
+}
+
+impl Constraints {
+    /// A permissive default used by tests and examples.
+    pub fn relaxed() -> Self {
+        Self {
+            max_compute_fraction: 1.0,
+            max_memory_fraction: 4.0,
+            max_area_mm2: 10.0,
+            max_power_mw: 2000.0,
+            min_accuracy: 0.0,
+        }
+    }
+}
+
+/// The searchable space: candidate `v`, `c`, and metrics; parallelism is
+/// derived by the greedy expansion.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Candidate subvector lengths.
+    pub vs: Vec<usize>,
+    /// Candidate centroid counts.
+    pub cs: Vec<usize>,
+    /// Candidate metrics.
+    pub metrics: Vec<Metric>,
+    /// Hardware template: everything but `(v, c, metric, n_ccu, n_imm)`.
+    pub template: LutDlaHwConfig,
+    /// Memory bandwidth in bits per IMM cycle (for Eq. 5).
+    pub beta_bits_per_cycle: f64,
+}
+
+impl SearchSpace {
+    /// The paper's Fig. 11 axes: v ∈ {2..9}, c ∈ {8..64}, L2/L1.
+    pub fn figure11() -> Self {
+        Self {
+            vs: (2..=9).collect(),
+            cs: vec![8, 16, 32, 64],
+            metrics: vec![Metric::L2, Metric::L1],
+            template: LutDlaHwConfig::baseline(),
+            beta_bits_per_cycle: 25.6e9 * 8.0 / 300e6,
+        }
+    }
+}
+
+/// Why a candidate was pruned (for the Fig. 11 heatmaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PruneReason {
+    /// Survived all pruning.
+    Kept,
+    /// Eq. (1) exceeded the compute budget.
+    Compute,
+    /// Eq. (2) exceeded the memory budget.
+    Memory,
+    /// Eqs. (3)/(4) exceeded area/power even at minimal parallelism.
+    Hardware,
+    /// Below the accuracy floor.
+    Accuracy,
+}
+
+/// One fully expanded candidate design.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The hardware configuration (with expanded parallelism).
+    pub config: LutDlaHwConfig,
+    /// Estimated accuracy.
+    pub accuracy: f64,
+    /// Eq. (5) breakdown at the expanded parallelism.
+    pub omega: OmegaBreakdown,
+    /// Area/power/throughput at the expanded parallelism.
+    pub cost: lutdla_hwmodel::DesignCost,
+}
+
+/// Full search output: ranked candidates plus the pruning map.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Candidates sorted by ascending ω (best first).
+    pub ranked: Vec<Candidate>,
+    /// `(v, c, metric, reason)` for every visited point.
+    pub prune_map: Vec<(usize, usize, Metric, PruneReason)>,
+}
+
+impl SearchResult {
+    /// The winning design, if any candidate survived.
+    pub fn best(&self) -> Option<&Candidate> {
+        self.ranked.first()
+    }
+}
+
+/// Runs Algorithm 2 against a target GEMM.
+pub fn search(
+    space: &SearchSpace,
+    target: &Gemm,
+    constraints: &Constraints,
+    accuracy: &dyn AccuracyModel,
+) -> SearchResult {
+    let mut ranked = Vec::new();
+    let mut prune_map = Vec::new();
+
+    for &metric in &space.metrics {
+        for &v in &space.vs {
+            for &c in &space.cs {
+                // Step 1a: computation pruning (Eq. 1).
+                if tau_ops(target, v, c, metric)
+                    > constraints.max_compute_fraction * dense_ops(target)
+                {
+                    prune_map.push((v, c, metric, PruneReason::Compute));
+                    continue;
+                }
+                // Step 1b: memory pruning (Eq. 2).
+                let phi = phi_bits(target, v, c, space.template.lut_bits, 16);
+                if phi > constraints.max_memory_fraction * dense_bits(target, 8, 16) {
+                    prune_map.push((v, c, metric, PruneReason::Memory));
+                    continue;
+                }
+                // Step 2: hardware pruning at minimal parallelism (Eqs. 3/4).
+                let minimal = LutDlaHwConfig {
+                    metric,
+                    v,
+                    c,
+                    n_ccu: 1,
+                    n_imm: 1,
+                    ..space.template
+                };
+                let min_cost = design_cost(&minimal);
+                if min_cost.area_mm2 > constraints.max_area_mm2
+                    || min_cost.power_mw > constraints.max_power_mw
+                {
+                    prune_map.push((v, c, metric, PruneReason::Hardware));
+                    continue;
+                }
+                // Step 3: coarse accuracy pruning.
+                let acc = accuracy.estimate(v, c, metric);
+                if acc < constraints.min_accuracy {
+                    prune_map.push((v, c, metric, PruneReason::Accuracy));
+                    continue;
+                }
+                prune_map.push((v, c, metric, PruneReason::Kept));
+
+                // Step 4: LUT-first greedy parallelism expansion.
+                let cfg = expand_parallelism(&minimal, target, constraints, space);
+                let cost = design_cost(&cfg);
+                let om = omega_for(&cfg, target, space.beta_bits_per_cycle);
+                ranked.push(Candidate {
+                    config: cfg,
+                    accuracy: acc,
+                    omega: om,
+                    cost,
+                });
+            }
+        }
+    }
+
+    ranked.sort_by(|a, b| {
+        a.omega
+            .omega()
+            .partial_cmp(&b.omega.omega())
+            .expect("finite omegas")
+    });
+    SearchResult { ranked, prune_map }
+}
+
+fn omega_for(cfg: &LutDlaHwConfig, g: &Gemm, beta: f64) -> OmegaBreakdown {
+    omega(
+        g,
+        cfg.v,
+        cfg.c,
+        cfg.tn,
+        cfg.lut_bits,
+        beta,
+        cfg.n_ccu,
+        cfg.ccm_clock_mult,
+        cfg.n_imm,
+    )
+}
+
+/// The paper's LUT-first greedy strategy (Algorithm 2 steps 3–4): grow
+/// `n_imm` while the design is lookup-bound (the common case after im2col
+/// inflates `M`), otherwise grow `n_ccu`, stopping at the area/power walls.
+fn expand_parallelism(
+    start: &LutDlaHwConfig,
+    g: &Gemm,
+    constraints: &Constraints,
+    space: &SearchSpace,
+) -> LutDlaHwConfig {
+    let mut cfg = *start;
+    loop {
+        let om = omega_for(&cfg, g, space.beta_bits_per_cycle);
+        let mut next = cfg;
+        // IMM-bound check (`n_imm < n_ccu · N` in the paper's notation):
+        // expand whichever unit is the current bottleneck.
+        if om.lut >= om.sim {
+            next.n_imm += 1;
+        } else {
+            next.n_ccu += 1;
+        }
+        let cost = design_cost(&next);
+        if cost.area_mm2 > constraints.max_area_mm2 || cost.power_mw > constraints.max_power_mw {
+            return cfg;
+        }
+        // Stop if no stage improves (load-bound: parallelism can't help).
+        let next_om = omega_for(&next, g, space.beta_bits_per_cycle);
+        if next_om.omega() >= om.omega() {
+            return cfg;
+        }
+        cfg = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::SurrogateAccuracy;
+
+    fn run(constraints: Constraints) -> SearchResult {
+        let space = SearchSpace::figure11();
+        let target = Gemm::new(512, 768, 768);
+        search(
+            &space,
+            &target,
+            &constraints,
+            &SurrogateAccuracy::resnet20_cifar10(),
+        )
+    }
+
+    #[test]
+    fn search_finds_candidates_under_relaxed_constraints() {
+        let r = run(Constraints::relaxed());
+        assert!(!r.ranked.is_empty());
+        let best = r.best().unwrap();
+        assert!(best.cost.area_mm2 <= 10.0);
+        assert!(best.config.n_imm >= 1);
+    }
+
+    #[test]
+    fn accuracy_floor_prunes_long_vectors() {
+        let strict = Constraints {
+            min_accuracy: 90.5,
+            ..Constraints::relaxed()
+        };
+        let r = run(strict);
+        for c in &r.ranked {
+            assert!(c.accuracy >= 90.5);
+            // Only short vectors with enough centroids survive a 90.5 floor.
+            assert!(c.config.v <= 4, "v = {}", c.config.v);
+        }
+        assert!(r
+            .prune_map
+            .iter()
+            .any(|(_, _, _, reason)| *reason == PruneReason::Accuracy));
+    }
+
+    #[test]
+    fn area_ceiling_limits_expansion() {
+        let tight = Constraints {
+            max_area_mm2: 1.0,
+            ..Constraints::relaxed()
+        };
+        let r = run(tight);
+        for c in &r.ranked {
+            assert!(c.cost.area_mm2 <= 1.0, "area {}", c.cost.area_mm2);
+        }
+    }
+
+    #[test]
+    fn pruning_is_sound() {
+        // Soundness: every Kept point must actually satisfy the analytic
+        // constraints it was checked against.
+        let constraints = Constraints {
+            min_accuracy: 88.0,
+            ..Constraints::relaxed()
+        };
+        let space = SearchSpace::figure11();
+        let target = Gemm::new(512, 768, 768);
+        let acc = SurrogateAccuracy::resnet20_cifar10();
+        let r = search(&space, &target, &constraints, &acc);
+        for (v, c, metric, reason) in &r.prune_map {
+            if *reason == PruneReason::Kept {
+                assert!(acc.estimate(*v, *c, *metric) >= 88.0);
+                assert!(
+                    tau_ops(&target, *v, *c, *metric) <= dense_ops(&target),
+                    "kept point violates compute budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_expansion_monotone_in_budget() {
+        // A larger area budget can only improve (or keep) the best ω.
+        let small = run(Constraints {
+            max_area_mm2: 1.0,
+            ..Constraints::relaxed()
+        });
+        let large = run(Constraints {
+            max_area_mm2: 8.0,
+            ..Constraints::relaxed()
+        });
+        let os = small.best().unwrap().omega.omega();
+        let ol = large.best().unwrap().omega.omega();
+        assert!(ol <= os, "ω small-budget {os} < large-budget {ol}");
+    }
+
+    #[test]
+    fn expansion_targets_lookup_bottleneck_first() {
+        let r = run(Constraints::relaxed());
+        let best = r.best().unwrap();
+        // After expansion the design should not be trivially lookup-bound
+        // with idle CCUs: nIMM grows beyond 1 for im2col-sized GEMMs.
+        assert!(best.config.n_imm > 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Fig. 1 — area/power efficiency of LUT-based approximate computing vs
+//! conventional ALUs across (equivalent) bitwidths.
+//!
+//! The ALU side sweeps INT/FP adders and multipliers over bitwidths; the
+//! LUT side sweeps vector length `V` and centroid count `C`, whose
+//! equivalent bitwidth is `log₂C / V` — sub-1-bit once `V` exceeds
+//! `log₂C`, which is precisely the regime scalar quantization cannot reach.
+
+use crate::components::CostModel;
+use crate::sram::SramModel;
+use crate::tech::TechNode;
+
+/// One point of an efficiency curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EffPoint {
+    /// (Equivalent) bitwidth of the representation.
+    pub bits: f64,
+    /// Operations per mm² per cycle.
+    pub ops_per_mm2: f64,
+    /// Operations per pJ.
+    pub ops_per_pj: f64,
+}
+
+/// The ALU operation being swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// Integer addition.
+    IntAdd,
+    /// Integer multiplication.
+    IntMult,
+    /// Floating-point addition.
+    FpAdd,
+    /// Floating-point multiplication.
+    FpMult,
+}
+
+impl std::fmt::Display for AluKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AluKind::IntAdd => "INT ADD",
+            AluKind::IntMult => "INT MULT",
+            AluKind::FpAdd => "FP ADD",
+            AluKind::FpMult => "FP MULT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Efficiency of a single ALU of `kind` at `bits` width (one op per cycle).
+pub fn alu_point(node: TechNode, kind: AluKind, bits: f64) -> EffPoint {
+    let m = CostModel::new(node);
+    let cost = match kind {
+        AluKind::IntAdd => m.int_adder_bits(bits),
+        AluKind::IntMult => m.int_mult_bits(bits),
+        AluKind::FpAdd => m.fp_adder_bits(bits),
+        AluKind::FpMult => m.fp_mult_bits(bits),
+    };
+    EffPoint {
+        bits,
+        ops_per_mm2: 1e6 / cost.area_um2,
+        ops_per_pj: 1.0 / cost.energy_pj,
+    }
+}
+
+/// Sweeps an ALU kind over the paper's bitwidth axis. Integer/FP ALUs
+/// cannot go below 1 bit — the curve simply stops, which is Fig. 1's point.
+pub fn alu_series(node: TechNode, kind: AluKind, bit_points: &[f64]) -> Vec<EffPoint> {
+    bit_points
+        .iter()
+        .filter(|&&b| b >= 1.0)
+        .map(|&b| alu_point(node, kind, b))
+        .collect()
+}
+
+/// Efficiency of the LUT approach for a `(v, c)` configuration.
+///
+/// Per cycle, one accumulate lane retires one table entry that stands for
+/// `v` MACs (`2v` ops). Costs are computed for a `tn`-lane tile sharing one
+/// ping-pong LUT macro (`2·c·tn` entries) and divided back per lane; the
+/// similarity engine (`c` dPEs per subvector) is amortised over the
+/// `n_share` output columns its index serves (the paper's 1k×1k×1k GEMM →
+/// `n_share = 1024`).
+pub fn lut_point(node: TechNode, v: usize, c: usize, lut_bits: u32, n_share: usize) -> EffPoint {
+    const TN: usize = 512;
+    let m = CostModel::new(node);
+    let sram = SramModel::new(node);
+    let acc = m.adder(crate::components::NumFormat::Int(16));
+
+    // One macro for the whole tile, both ping-pong banks.
+    let macro_bits = (2 * c * TN) as u64 * lut_bits as u64;
+    let row_bits = (TN as u32) * lut_bits;
+    let lut_macro = sram.macro_cost(macro_bits.max(row_bits as u64), row_bits);
+    let sram_area_per_lane = lut_macro.area_um2 / TN as f64;
+    let sram_read_per_lane = lut_macro.read_pj / TN as f64;
+
+    // Similarity: a c-dPE scan per v-subvector, serving n_share lanes. The
+    // Fig. 1 regime quantizes activations to the LUT entry width, so the
+    // similarity datapath is integer at `lut_bits`.
+    let sim_unit = crate::dpe::dpe_cost(
+        &m,
+        crate::dpe::Metric::L2,
+        v,
+        crate::components::NumFormat::Int(lut_bits),
+    );
+    let sim_area = sim_unit.area_um2 * c as f64 / n_share as f64;
+    let sim_energy = sim_unit.energy_pj * c as f64 / n_share as f64;
+
+    let area = acc.area_um2 + sram_area_per_lane + sim_area;
+    let energy = acc.energy_pj + sram_read_per_lane + sim_energy;
+    let ops = 2.0 * v as f64;
+    EffPoint {
+        bits: (c as f64).log2() / v as f64,
+        ops_per_mm2: ops * 1e6 / area,
+        ops_per_pj: ops / energy,
+    }
+}
+
+/// Sweeps centroid counts for a fixed vector length (one Fig. 1 LUT curve).
+pub fn lut_series(node: TechNode, v: usize, cs: &[usize]) -> Vec<EffPoint> {
+    cs.iter().map(|&c| lut_point(node, v, c, 8, 1024)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N28: TechNode = TechNode::N28;
+
+    #[test]
+    fn alu_efficiency_falls_with_bits() {
+        for kind in [AluKind::IntAdd, AluKind::IntMult, AluKind::FpAdd, AluKind::FpMult] {
+            let s = alu_series(N28, kind, &[8.0, 16.0, 32.0, 64.0]);
+            for w in s.windows(2) {
+                assert!(w[1].ops_per_mm2 < w[0].ops_per_mm2, "{kind}");
+                assert!(w[1].ops_per_pj < w[0].ops_per_pj, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_series_stops_at_one_bit() {
+        let s = alu_series(N28, AluKind::IntAdd, &[0.125, 0.5, 1.0, 2.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].bits, 1.0);
+    }
+
+    #[test]
+    fn lut_reaches_sub_bit_widths() {
+        let p = lut_point(N28, 16, 8, 8, 1024);
+        assert!(p.bits < 0.2, "equivalent bits = {}", p.bits);
+    }
+
+    #[test]
+    fn lut_beats_alu_by_orders_of_magnitude() {
+        // Paper: 1–5 orders of magnitude in area efficiency, 1–2 in power
+        // efficiency, compared at matching (equivalent) bitwidths.
+        let lut = lut_point(N28, 8, 16, 8, 1024); // 0.5 equivalent bits
+        let alu = alu_point(N28, AluKind::IntMult, 8.0);
+        let area_gain = lut.ops_per_mm2 / alu.ops_per_mm2;
+        let power_gain = lut.ops_per_pj / alu.ops_per_pj;
+        assert!(area_gain > 10.0, "area gain {area_gain}");
+        assert!(power_gain > 10.0, "power gain {power_gain}");
+        assert!(area_gain < 1e6 && power_gain < 1e4, "gains implausibly large");
+    }
+
+    #[test]
+    fn longer_vectors_improve_lut_efficiency() {
+        let v2 = lut_point(N28, 2, 16, 8, 1024);
+        let v16 = lut_point(N28, 16, 16, 8, 1024);
+        assert!(v16.ops_per_mm2 > v2.ops_per_mm2);
+        assert!(v16.ops_per_pj > v2.ops_per_pj);
+    }
+
+    #[test]
+    fn more_centroids_lower_lut_efficiency() {
+        let c8 = lut_point(N28, 8, 8, 8, 1024);
+        let c512 = lut_point(N28, 8, 512, 8, 1024);
+        assert!(c8.ops_per_mm2 > c512.ops_per_mm2);
+    }
+}

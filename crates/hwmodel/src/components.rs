@@ -1,0 +1,285 @@
+//! Arithmetic component cost library.
+//!
+//! Base numbers are the widely used 45 nm energy/area table (Horowitz,
+//! *"Computing's energy problem (and what we can do about it)"*, ISSCC'14),
+//! extended across bitwidths with the standard asymptotics — linear in bits
+//! for integer adders, quadratic for integer multipliers, fitted power laws
+//! between the FP16/FP32 anchors for floating point — and scaled to the
+//! target node with [`TechNode`].
+
+use crate::tech::TechNode;
+
+/// Numeric format of a datapath operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NumFormat {
+    /// Two's-complement integer of the given bit width.
+    Int(u32),
+    /// IEEE single precision.
+    Fp32,
+    /// IEEE half precision.
+    Fp16,
+    /// bfloat16 (same width as FP16; slightly cheaper multiplier, modelled
+    /// identically to FP16 here).
+    Bf16,
+}
+
+impl NumFormat {
+    /// Operand width in bits.
+    pub fn bits(&self) -> u32 {
+        match self {
+            NumFormat::Int(b) => *b,
+            NumFormat::Fp32 => 32,
+            NumFormat::Fp16 | NumFormat::Bf16 => 16,
+        }
+    }
+
+    /// Whether this is a floating-point format.
+    pub fn is_float(&self) -> bool {
+        !matches!(self, NumFormat::Int(_))
+    }
+}
+
+/// Area (µm²) and per-operation energy (pJ) of one hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UnitCost {
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Energy per operation in pJ.
+    pub energy_pj: f64,
+}
+
+impl UnitCost {
+    /// Sums two costs (composition).
+    pub fn plus(self, other: UnitCost) -> UnitCost {
+        UnitCost {
+            area_um2: self.area_um2 + other.area_um2,
+            energy_pj: self.energy_pj + other.energy_pj,
+        }
+    }
+
+    /// Scales the cost by a replication count.
+    pub fn times(self, n: f64) -> UnitCost {
+        UnitCost {
+            area_um2: self.area_um2 * n,
+            energy_pj: self.energy_pj * n,
+        }
+    }
+
+    /// A zero cost.
+    pub fn zero() -> UnitCost {
+        UnitCost {
+            area_um2: 0.0,
+            energy_pj: 0.0,
+        }
+    }
+}
+
+// 45 nm anchors (Horowitz ISSCC'14).
+const INT8_ADD: (f64, f64) = (36.0, 0.03); // (area µm², energy pJ)
+const INT32_ADD: (f64, f64) = (137.0, 0.10);
+const INT8_MULT: (f64, f64) = (282.0, 0.20);
+const INT32_MULT: (f64, f64) = (3495.0, 3.10);
+const FP16_ADD: (f64, f64) = (1360.0, 0.40);
+const FP32_ADD: (f64, f64) = (4184.0, 0.90);
+const FP16_MULT: (f64, f64) = (1640.0, 1.10);
+const FP32_MULT: (f64, f64) = (7700.0, 3.70);
+
+fn power_law(b16: (f64, f64), b32: (f64, f64), bits: f64) -> (f64, f64) {
+    // value(bits) = v16 · (bits/16)^p with p from the two anchors.
+    let fit = |v16: f64, v32: f64| {
+        let p = (v32 / v16).ln() / 2f64.ln();
+        v16 * (bits / 16.0).powf(p)
+    };
+    (fit(b16.0, b32.0), fit(b16.1, b32.1))
+}
+
+/// Component cost model at a given technology node.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_hwmodel::{CostModel, NumFormat, TechNode};
+///
+/// let m = CostModel::new(TechNode::N28);
+/// let add8 = m.adder(NumFormat::Int(8));
+/// let add32 = m.adder(NumFormat::Int(32));
+/// assert!(add8.area_um2 < add32.area_um2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    node: TechNode,
+}
+
+impl CostModel {
+    /// Creates a model for `node`.
+    pub fn new(node: TechNode) -> Self {
+        Self { node }
+    }
+
+    /// The model's technology node.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    fn scaled(&self, (area, energy): (f64, f64)) -> UnitCost {
+        UnitCost {
+            area_um2: self.node.scale_area(area),
+            energy_pj: self.node.scale_energy(energy),
+        }
+    }
+
+    /// An adder for the given format.
+    pub fn adder(&self, f: NumFormat) -> UnitCost {
+        let raw = match f {
+            NumFormat::Int(bits) => {
+                // Linear interpolation through the 8/32-bit anchors.
+                let t = bits as f64 / 8.0;
+                (INT8_ADD.0 * t, INT8_ADD.1 * t.max(0.25))
+            }
+            NumFormat::Fp16 | NumFormat::Bf16 => FP16_ADD,
+            NumFormat::Fp32 => FP32_ADD,
+        };
+        let raw = if let NumFormat::Int(bits) = f {
+            // Pin the 32-bit point exactly to the anchor.
+            if bits == 32 {
+                INT32_ADD
+            } else {
+                raw
+            }
+        } else {
+            raw
+        };
+        self.scaled(raw)
+    }
+
+    /// A multiplier for the given format.
+    pub fn multiplier(&self, f: NumFormat) -> UnitCost {
+        let raw = match f {
+            NumFormat::Int(bits) => {
+                if bits == 32 {
+                    INT32_MULT
+                } else {
+                    // Quadratic in bits, anchored at 8 bits.
+                    let t = (bits as f64 / 8.0).powi(2);
+                    (INT8_MULT.0 * t, INT8_MULT.1 * t)
+                }
+            }
+            NumFormat::Fp16 | NumFormat::Bf16 => FP16_MULT,
+            NumFormat::Fp32 => FP32_MULT,
+        };
+        self.scaled(raw)
+    }
+
+    /// A floating-point unit at an arbitrary width (power-law fit between
+    /// the FP16/FP32 anchors) — used for the Fig. 1 bitwidth sweep.
+    pub fn fp_adder_bits(&self, bits: f64) -> UnitCost {
+        let (a, e) = power_law(FP16_ADD, FP32_ADD, bits);
+        self.scaled((a, e))
+    }
+
+    /// Floating-point multiplier at an arbitrary width.
+    pub fn fp_mult_bits(&self, bits: f64) -> UnitCost {
+        let (a, e) = power_law(FP16_MULT, FP32_MULT, bits);
+        self.scaled((a, e))
+    }
+
+    /// Integer adder at an arbitrary (possibly fractional) width — Fig. 1.
+    pub fn int_adder_bits(&self, bits: f64) -> UnitCost {
+        let t = bits / 8.0;
+        self.scaled((INT8_ADD.0 * t, INT8_ADD.1 * t.max(0.25)))
+    }
+
+    /// Integer multiplier at an arbitrary width — Fig. 1.
+    pub fn int_mult_bits(&self, bits: f64) -> UnitCost {
+        let t = (bits / 8.0).powi(2);
+        self.scaled((INT8_MULT.0 * t, INT8_MULT.1 * t))
+    }
+
+    /// A magnitude comparator. Cheaper than an adder: it produces only a
+    /// flag, needs no sum output, and for sign-magnitude floats reduces to
+    /// a lexicographic bit compare.
+    pub fn comparator(&self, f: NumFormat) -> UnitCost {
+        self.adder(f).times(0.6)
+    }
+
+    /// An absolute-difference unit `|a − b|` (subtract + conditional negate).
+    pub fn abs_diff(&self, f: NumFormat) -> UnitCost {
+        self.adder(f).times(1.3)
+    }
+
+    /// A two-input max unit (comparator + mux).
+    pub fn max_unit(&self, f: NumFormat) -> UnitCost {
+        self.comparator(f).times(1.15)
+    }
+
+    /// One bit of pipeline register.
+    pub fn register_bit(&self) -> UnitCost {
+        self.scaled((2.5, 0.0015))
+    }
+
+    /// A register of `bits` width.
+    pub fn register(&self, bits: u32) -> UnitCost {
+        self.register_bit().times(bits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m28() -> CostModel {
+        CostModel::new(TechNode::N28)
+    }
+
+    #[test]
+    fn multiplier_dwarfs_adder() {
+        let m = m28();
+        for f in [NumFormat::Int(8), NumFormat::Fp16, NumFormat::Fp32] {
+            assert!(m.multiplier(f).area_um2 > m.adder(f).area_um2, "{f:?}");
+            assert!(m.multiplier(f).energy_pj > m.adder(f).energy_pj, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn int_mult_scales_quadratically() {
+        let m = m28();
+        let a8 = m.multiplier(NumFormat::Int(8)).area_um2;
+        let a16 = m.multiplier(NumFormat::Int(16)).area_um2;
+        assert!((a16 / a8 - 4.0).abs() < 0.2, "ratio {}", a16 / a8);
+    }
+
+    #[test]
+    fn fp32_more_expensive_than_fp16() {
+        let m = m28();
+        assert!(m.adder(NumFormat::Fp32).area_um2 > m.adder(NumFormat::Fp16).area_um2);
+        assert!(m.multiplier(NumFormat::Fp32).energy_pj > m.multiplier(NumFormat::Fp16).energy_pj);
+    }
+
+    #[test]
+    fn node_scaling_applies() {
+        let a45 = CostModel::new(TechNode::N45).adder(NumFormat::Int(32));
+        let a28 = m28().adder(NumFormat::Int(32));
+        assert!(a28.area_um2 < a45.area_um2);
+        assert!(a28.energy_pj < a45.energy_pj);
+    }
+
+    #[test]
+    fn power_law_hits_anchors() {
+        let m = CostModel::new(TechNode::N45);
+        let a16 = m.fp_adder_bits(16.0);
+        assert!((a16.area_um2 - FP16_ADD.0).abs() < 1.0);
+        let a32 = m.fp_adder_bits(32.0);
+        assert!((a32.area_um2 - FP32_ADD.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn composition_helpers() {
+        let a = UnitCost {
+            area_um2: 1.0,
+            energy_pj: 2.0,
+        };
+        let b = a.plus(a).times(3.0);
+        assert_eq!(b.area_um2, 6.0);
+        assert_eq!(b.energy_pj, 12.0);
+    }
+}

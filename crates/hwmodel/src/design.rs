@@ -1,0 +1,229 @@
+//! Whole-accelerator cost composition — the `φ_area`/`φ_power` models of
+//! paper Eqs. (3)/(4) — plus peak-throughput accounting for Table VIII.
+
+use crate::components::{CostModel, NumFormat};
+use crate::dpe::{ccu_cost, ccu_energy_per_vector_pj, Metric};
+use crate::imm::{imm_cost, ImmConfig, ImmCost};
+use crate::sram::SramModel;
+use crate::tech::TechNode;
+
+/// Full hardware configuration of a LUT-DLA instance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LutDlaHwConfig {
+    /// Similarity metric of the dPEs.
+    pub metric: Metric,
+    /// Subvector length `v`.
+    pub v: usize,
+    /// Centroids per codebook `c`.
+    pub c: usize,
+    /// Output-tile width per IMM (`Tn`).
+    pub tn: usize,
+    /// Scratchpad rows per IMM (`M` in Table VII).
+    pub m_rows: usize,
+    /// Buffered subspace count (`Nc`).
+    pub nc: usize,
+    /// Number of CCUs (across all CCMs).
+    pub n_ccu: usize,
+    /// Number of IMMs.
+    pub n_imm: usize,
+    /// Similarity datapath number format.
+    pub ccm_format: NumFormat,
+    /// LUT entry bits.
+    pub lut_bits: u32,
+    /// Scratchpad accumulator bits.
+    pub acc_bits: u32,
+    /// IMM clock in MHz (CCM runs at `ccm_clock_mult ×` this).
+    pub freq_mhz: f64,
+    /// CCM clock multiplier (decoupled clock domains, §IV-A).
+    pub ccm_clock_mult: u32,
+    /// Technology node.
+    pub node: TechNode,
+}
+
+impl LutDlaHwConfig {
+    /// A reasonable starting configuration at 28 nm / 300 MHz.
+    pub fn baseline() -> Self {
+        Self {
+            metric: Metric::L2,
+            v: 4,
+            c: 16,
+            tn: 128,
+            m_rows: 256,
+            nc: 16,
+            n_ccu: 1,
+            n_imm: 2,
+            ccm_format: NumFormat::Bf16,
+            lut_bits: 8,
+            acc_bits: 16,
+            freq_mhz: 300.0,
+            ccm_clock_mult: 2,
+            node: TechNode::N28,
+        }
+    }
+
+    /// The IMM geometry induced by this configuration.
+    pub fn imm_config(&self) -> ImmConfig {
+        ImmConfig {
+            c: self.c,
+            tn: self.tn,
+            m_rows: self.m_rows,
+            nc: self.nc,
+            lut_bits: self.lut_bits,
+            acc_bits: self.acc_bits,
+            idx_bits: (usize::BITS - (self.c - 1).leading_zeros()).max(1),
+        }
+    }
+
+    /// Peak throughput in GOPS: each IMM retires `Tn` table entries per
+    /// cycle, each entry standing for `v` MACs (= `2v` ops).
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.v as f64 * self.tn as f64 * self.n_imm as f64 * self.freq_mhz * 1e6 / 1e9
+    }
+}
+
+/// Area/power breakdown of a complete LUT-DLA instance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DesignCost {
+    /// Total area, mm².
+    pub area_mm2: f64,
+    /// CCM share of the area, mm².
+    pub ccm_area_mm2: f64,
+    /// IMM share of the area, mm².
+    pub imm_area_mm2: f64,
+    /// Interconnect/control/prefetch overhead share, mm².
+    pub other_area_mm2: f64,
+    /// Total power at full utilisation, mW.
+    pub power_mw: f64,
+    /// Dynamic CCM power, mW.
+    pub ccm_power_mw: f64,
+    /// Dynamic IMM power, mW.
+    pub imm_power_mw: f64,
+    /// SRAM leakage, mW.
+    pub leakage_mw: f64,
+    /// Peak throughput, GOPS.
+    pub peak_gops: f64,
+    /// Area efficiency, GOPS/mm².
+    pub gops_per_mm2: f64,
+    /// Power efficiency, GOPS/mW (≙ TOPS/W).
+    pub gops_per_mw: f64,
+}
+
+/// Fixed overhead fractions for blocks the parametric model doesn't
+/// enumerate (interconnect, control FSMs, prefetcher, FIFOs).
+const OTHER_AREA_FRAC: f64 = 0.15;
+const OTHER_POWER_FRAC: f64 = 0.20;
+
+/// Evaluates Eqs. (3)/(4) for a configuration.
+pub fn design_cost(cfg: &LutDlaHwConfig) -> DesignCost {
+    let m = CostModel::new(cfg.node);
+    let sram = SramModel::new(cfg.node);
+
+    let ccu = ccu_cost(&m, cfg.metric, cfg.v, cfg.c, cfg.ccm_format);
+    // Input/centroid staging buffers per CCU: double-buffered input vectors
+    // + codebook SRAM (c×v words).
+    let centroid_bits = (cfg.c * cfg.v) as u64 * cfg.ccm_format.bits() as u64;
+    let ccm_bufs = sram.macro_cost(
+        (centroid_bits * 2).max(256),
+        (cfg.ccm_format.bits() * cfg.v as u32).min(centroid_bits as u32 * 2),
+    );
+    let ccm_area = (ccu.area_um2 + ccm_bufs.area_um2) * cfg.n_ccu as f64;
+
+    let imm: ImmCost = imm_cost(&m, &sram, &cfg.imm_config());
+    let imm_area = imm.area_um2 * cfg.n_imm as f64;
+
+    let other_area = (ccm_area + imm_area) * OTHER_AREA_FRAC / (1.0 - OTHER_AREA_FRAC);
+    let area_um2 = ccm_area + imm_area + other_area;
+
+    // Dynamic power at full utilisation.
+    let imm_hz = cfg.freq_mhz * 1e6;
+    let ccm_hz = imm_hz * cfg.ccm_clock_mult as f64;
+    let ccm_dyn_mw = ccu_energy_per_vector_pj(&m, cfg.metric, cfg.v, cfg.c, cfg.ccm_format)
+        * ccm_hz
+        * cfg.n_ccu as f64
+        * 1e-9; // pJ×Hz → mW is ×1e-9? pJ·Hz = 1e-12 J/s = 1e-9 mW… yes.
+    let imm_dyn_mw = imm.energy_per_lookup_pj * imm_hz * cfg.n_imm as f64 * 1e-9;
+    let leak_mw = imm.leakage_mw * cfg.n_imm as f64 + ccm_bufs.leakage_mw * cfg.n_ccu as f64;
+    let other_mw = (ccm_dyn_mw + imm_dyn_mw + leak_mw) * OTHER_POWER_FRAC / (1.0 - OTHER_POWER_FRAC);
+    let power_mw = ccm_dyn_mw + imm_dyn_mw + leak_mw + other_mw;
+
+    let peak_gops = cfg.peak_gops();
+    let area_mm2 = area_um2 / 1e6;
+    DesignCost {
+        area_mm2,
+        ccm_area_mm2: ccm_area / 1e6,
+        imm_area_mm2: imm_area / 1e6,
+        other_area_mm2: other_area / 1e6,
+        power_mw,
+        ccm_power_mw: ccm_dyn_mw,
+        imm_power_mw: imm_dyn_mw,
+        leakage_mw: leak_mw,
+        peak_gops,
+        gops_per_mm2: peak_gops / area_mm2,
+        gops_per_mw: peak_gops / power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_cost_plausible() {
+        let c = design_cost(&LutDlaHwConfig::baseline());
+        assert!(c.area_mm2 > 0.05 && c.area_mm2 < 10.0, "area {}", c.area_mm2);
+        assert!(c.power_mw > 5.0 && c.power_mw < 2000.0, "power {}", c.power_mw);
+        assert!(c.peak_gops > 100.0);
+    }
+
+    #[test]
+    fn more_imms_cost_more_but_raise_throughput() {
+        let base = LutDlaHwConfig::baseline();
+        let big = LutDlaHwConfig {
+            n_imm: 4,
+            ..base
+        };
+        let c1 = design_cost(&base);
+        let c2 = design_cost(&big);
+        assert!(c2.area_mm2 > c1.area_mm2);
+        assert!(c2.power_mw > c1.power_mw);
+        assert!((c2.peak_gops / c1.peak_gops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_design_cheaper_than_l2() {
+        let l2 = design_cost(&LutDlaHwConfig::baseline());
+        let l1 = design_cost(&LutDlaHwConfig {
+            metric: Metric::L1,
+            ..LutDlaHwConfig::baseline()
+        });
+        assert!(l1.area_mm2 < l2.area_mm2);
+        assert!(l1.power_mw < l2.power_mw);
+        // Same throughput → better efficiency.
+        assert!(l1.gops_per_mm2 > l2.gops_per_mm2);
+    }
+
+    #[test]
+    fn efficiency_fields_consistent() {
+        let c = design_cost(&LutDlaHwConfig::baseline());
+        assert!((c.gops_per_mm2 - c.peak_gops / c.area_mm2).abs() < 1e-9);
+        assert!((c.gops_per_mw - c.peak_gops / c.power_mw).abs() < 1e-12);
+        let total = c.ccm_area_mm2 + c.imm_area_mm2 + c.other_area_mm2;
+        assert!((total - c.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lut_dla_beats_int8_alu_area_efficiency() {
+        // The headline claim of Fig. 1/Table VIII: LUT-DLA's GOPS/mm²
+        // exceeds a dense INT8 MAC array's. A 28nm INT8 MAC (mult+add)
+        // ≈ 123µm² → a 1mm² array of ~8100 MACs at 300MHz ≈ 4.9 TOPS/mm²
+        // *without* SRAM; with realistic SRAM shares (≥70%) ≈ 1.5 GOPS/mm²/MHz…
+        // rather than replicate that here, just require LUT-DLA to clear the
+        // NVDLA-Large figure from Table VIII (372 GOPS/mm²).
+        let c = design_cost(&LutDlaHwConfig {
+            tn: 256,
+            v: 4,
+            ..LutDlaHwConfig::baseline()
+        });
+        assert!(c.gops_per_mm2 > 372.0, "GOPS/mm² = {}", c.gops_per_mm2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cost composition of the similarity datapath: dPE → CCU → CCM
+//! (paper Fig. 5 and Fig. 9).
+//!
+//! A dPE evaluates one (input-subvector, centroid) distance per cycle and
+//! keeps the running argmin. Its datapath depends on the metric:
+//!
+//! * **L2** — `v` multipliers + `v` subtractors + a `(v−1)`-adder reduction
+//!   tree + 1 min-comparator;
+//! * **L1** — `v` absolute-difference units + the adder tree + comparator
+//!   (multiplication-free);
+//! * **Chebyshev** — `v` absolute-difference units + a `(v−1)`-comparator
+//!   *max* tree + comparator (the cheapest).
+//!
+//! A CCU chains `c` dPEs (one per centroid) into a pipeline; a CCM groups
+//! `n_ccu` CCUs with the centroid/input buffers.
+
+use crate::components::{CostModel, NumFormat, UnitCost};
+
+/// The similarity metric implemented by a dPE (hardware mirror of the
+/// algorithmic `Distance` enum in `lutdla-vq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Metric {
+    /// Squared Euclidean.
+    L2,
+    /// Manhattan.
+    L1,
+    /// Chebyshev (max of absolute differences).
+    Chebyshev,
+}
+
+impl Metric {
+    /// All metrics, in decreasing hardware cost.
+    pub const ALL: [Metric; 3] = [Metric::L2, Metric::L1, Metric::Chebyshev];
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Metric::L2 => "L2",
+            Metric::L1 => "L1",
+            Metric::Chebyshev => "Chebyshev",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cost of a single distance processing element.
+///
+/// `energy_pj` is the energy of one full distance evaluation + compare
+/// (i.e. one cycle of useful work).
+pub fn dpe_cost(m: &CostModel, metric: Metric, v: usize, fmt: NumFormat) -> UnitCost {
+    let v = v as f64;
+    let tree_stages = (v - 1.0).max(0.0);
+    let datapath = match metric {
+        Metric::L2 => m
+            .adder(fmt) // subtract
+            .times(v)
+            .plus(m.multiplier(fmt).times(v)) // square
+            .plus(m.adder(fmt).times(tree_stages)), // reduction tree
+        Metric::L1 => m
+            .abs_diff(fmt)
+            .times(v)
+            .plus(m.adder(fmt).times(tree_stages)),
+        Metric::Chebyshev => m
+            .abs_diff(fmt)
+            .times(v)
+            .plus(m.max_unit(fmt).times(tree_stages)), // max tree
+    };
+    // Running-min comparator + index register + forwarding registers for the
+    // input vector (the dPE chain passes the vector downstream, Fig. 5).
+    datapath
+        .plus(m.comparator(fmt))
+        .plus(m.register(fmt.bits() * v as u32 + 16))
+}
+
+/// Cost of a CCU: `c` pipelined dPEs + the resident centroid registers.
+pub fn ccu_cost(m: &CostModel, metric: Metric, v: usize, c: usize, fmt: NumFormat) -> UnitCost {
+    let dpe = dpe_cost(m, metric, v, fmt);
+    // Each dPE stores its own centroid (v words).
+    let centroid_regs = m.register(fmt.bits() * v as u32).times(c as f64);
+    dpe.times(c as f64).plus(centroid_regs)
+}
+
+/// Per-cycle *active* energy of a CCU (one vector advancing through the
+/// pipeline touches every dPE stage).
+pub fn ccu_energy_per_vector_pj(m: &CostModel, metric: Metric, v: usize, c: usize, fmt: NumFormat) -> f64 {
+    dpe_cost(m, metric, v, fmt).energy_pj * c as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::TechNode;
+
+    fn m() -> CostModel {
+        CostModel::new(TechNode::N28)
+    }
+
+    #[test]
+    fn metric_cost_ordering_l2_gt_l1_gt_chebyshev() {
+        // The paper's Fig. 9 core claim.
+        for v in [4, 8, 16] {
+            let l2 = dpe_cost(&m(), Metric::L2, v, NumFormat::Fp32);
+            let l1 = dpe_cost(&m(), Metric::L1, v, NumFormat::Fp32);
+            let che = dpe_cost(&m(), Metric::Chebyshev, v, NumFormat::Fp32);
+            assert!(l2.area_um2 > l1.area_um2, "v={v}");
+            assert!(l1.area_um2 >= che.area_um2, "v={v}");
+            assert!(l2.energy_pj > l1.energy_pj, "v={v}");
+            assert!(l1.energy_pj >= che.energy_pj, "v={v}");
+        }
+    }
+
+    #[test]
+    fn cost_roughly_linear_in_v() {
+        // Fig. 9: area/power grow approximately linearly with vector length.
+        let a4 = dpe_cost(&m(), Metric::L2, 4, NumFormat::Fp16).area_um2;
+        let a8 = dpe_cost(&m(), Metric::L2, 8, NumFormat::Fp16).area_um2;
+        let a16 = dpe_cost(&m(), Metric::L2, 16, NumFormat::Fp16).area_um2;
+        let r1 = a8 / a4;
+        let r2 = a16 / a8;
+        assert!((1.5..2.5).contains(&r1), "r1={r1}");
+        assert!((1.5..2.5).contains(&r2), "r2={r2}");
+    }
+
+    #[test]
+    fn fp16_cheaper_than_fp32() {
+        let h = dpe_cost(&m(), Metric::L2, 8, NumFormat::Fp16);
+        let s = dpe_cost(&m(), Metric::L2, 8, NumFormat::Fp32);
+        assert!(h.area_um2 < s.area_um2);
+        assert!(h.energy_pj < s.energy_pj);
+    }
+
+    #[test]
+    fn ccu_scales_with_centroids() {
+        let c8 = ccu_cost(&m(), Metric::L1, 4, 8, NumFormat::Fp16);
+        let c32 = ccu_cost(&m(), Metric::L1, 4, 32, NumFormat::Fp16);
+        let ratio = c32.area_um2 / c8.area_um2;
+        assert!((3.0..5.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn l1_removes_all_multiplier_area() {
+        // The area delta between L2 and L1 must be at least the multiplier
+        // bank.
+        let v = 8;
+        let l2 = dpe_cost(&m(), Metric::L2, v, NumFormat::Fp32);
+        let l1 = dpe_cost(&m(), Metric::L1, v, NumFormat::Fp32);
+        let mults = m().multiplier(NumFormat::Fp32).area_um2 * v as f64;
+        // L1's abs-diff units are slightly dearer than plain subtractors, so
+        // the saving is a bit below the full multiplier bank.
+        assert!(l2.area_um2 - l1.area_um2 > 0.7 * mults);
+    }
+}

@@ -1,0 +1,46 @@
+//! Analytical hardware cost models for LUT-DLA.
+//!
+//! This crate plays the role of the paper's synthesis flow (Chisel →
+//! Cadence Genus @ 28 nm FD-SOI) and ARM memory compilers: it converts a
+//! hardware configuration into area, power, energy-per-event, and peak
+//! throughput, which the simulator (`lutdla-sim`), the design-space
+//! explorer (`lutdla-dse`), and the PPA benches consume.
+//!
+//! * [`CostModel`] — arithmetic components vs bitwidth (45 nm-anchored,
+//!   node-scaled);
+//! * [`SramModel`] — SRAM macros (capacity/width → area, pJ/access,
+//!   leakage);
+//! * [`dpe_cost`]/[`ccu_cost`] — the similarity datapath per [`Metric`];
+//! * [`ImmConfig`]/[`imm_cost`] — the in-memory matching module;
+//! * [`design_cost`] — whole-accelerator φ_area/φ_power (paper Eqs. 3/4);
+//! * [`alu_eff`] — the Fig. 1 LUT-vs-ALU efficiency curves;
+//! * [`TechNode`] — Stillmaker–Baas technology scaling (paper ref. [54]).
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_hwmodel::{design_cost, LutDlaHwConfig, Metric};
+//!
+//! let cfg = LutDlaHwConfig {
+//!     metric: Metric::L1,
+//!     ..LutDlaHwConfig::baseline()
+//! };
+//! let cost = design_cost(&cfg);
+//! assert!(cost.area_mm2 > 0.0 && cost.gops_per_mw > 0.0);
+//! ```
+
+pub mod alu_eff;
+mod components;
+mod design;
+mod dpe;
+mod imm;
+mod sram;
+mod tech;
+
+pub use alu_eff::{alu_point, alu_series, lut_point, lut_series, AluKind, EffPoint};
+pub use components::{CostModel, NumFormat, UnitCost};
+pub use design::{design_cost, DesignCost, LutDlaHwConfig};
+pub use dpe::{ccu_cost, ccu_energy_per_vector_pj, dpe_cost, Metric};
+pub use imm::{imm_cost, ImmConfig, ImmCost};
+pub use sram::{SramCost, SramModel};
+pub use tech::TechNode;

@@ -1,0 +1,133 @@
+//! Analytical SRAM macro model (the role of the ARM memory compilers in the
+//! paper's methodology): capacity + port width → area, access energy,
+//! leakage.
+//!
+//! The model follows the usual CACTI-style asymptotics: area is linear in
+//! capacity with a fixed-overhead factor that penalises small macros;
+//! per-bit access energy grows with √capacity (longer bit/word lines).
+//! Constants are set for a 28 nm-class high-density macro and scaled to
+//! other nodes via [`TechNode`].
+
+use crate::tech::TechNode;
+
+/// Cost figures of one SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SramCost {
+    /// Macro area in µm².
+    pub area_um2: f64,
+    /// Energy per read access of the full port width, in pJ.
+    pub read_pj: f64,
+    /// Energy per write access of the full port width, in pJ.
+    pub write_pj: f64,
+    /// Leakage power in mW.
+    pub leakage_mw: f64,
+}
+
+/// SRAM model bound to a technology node.
+#[derive(Debug, Clone, Copy)]
+pub struct SramModel {
+    node: TechNode,
+}
+
+// 28nm-class constants.
+const BIT_AREA_UM2_28: f64 = 0.20; // effective µm²/bit incl. periphery
+const BIT_READ_PJ_BASE_28: f64 = 0.004; // pJ/bit at 1 KB
+const BIT_READ_PJ_SLOPE_28: f64 = 0.0020; // additional pJ/bit per √KB
+const LEAK_MW_PER_KB_28: f64 = 0.0045;
+
+impl SramModel {
+    /// Creates an SRAM model for `node`.
+    pub fn new(node: TechNode) -> Self {
+        Self { node }
+    }
+
+    /// Cost of a macro of `capacity_bits` with a `width_bits` r/w port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or width is zero, or width exceeds capacity.
+    pub fn macro_cost(&self, capacity_bits: u64, width_bits: u32) -> SramCost {
+        assert!(capacity_bits > 0 && width_bits > 0, "empty macro");
+        assert!(
+            (width_bits as u64) <= capacity_bits,
+            "port wider than the macro"
+        );
+        let kb = capacity_bits as f64 / 8192.0;
+        // Small macros pay proportionally more periphery.
+        let overhead = 1.0 + 1.2 / (kb + 0.25).sqrt();
+        let area_28 = capacity_bits as f64 * BIT_AREA_UM2_28 * overhead;
+        let e_bit_28 = BIT_READ_PJ_BASE_28 + BIT_READ_PJ_SLOPE_28 * kb.sqrt();
+        let read_28 = e_bit_28 * width_bits as f64;
+        let write_28 = read_28 * 1.2;
+        let leak_28 = LEAK_MW_PER_KB_28 * kb;
+
+        // Constants are 28nm-calibrated; rescale through the 45nm reference.
+        let a_factor = self.node.area_factor() / TechNode::N28.area_factor();
+        let e_factor = self.node.energy_factor() / TechNode::N28.energy_factor();
+        SramCost {
+            area_um2: area_28 * a_factor,
+            read_pj: read_28 * e_factor,
+            write_pj: write_28 * e_factor,
+            leakage_mw: leak_28 * e_factor,
+        }
+    }
+
+    /// Convenience: macro cost from capacity in KB.
+    pub fn from_kb(&self, capacity_kb: f64, width_bits: u32) -> SramCost {
+        self.macro_cost((capacity_kb * 8192.0).ceil() as u64, width_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> SramModel {
+        SramModel::new(TechNode::N28)
+    }
+
+    #[test]
+    fn area_grows_with_capacity() {
+        let a1 = m().from_kb(1.0, 32).area_um2;
+        let a64 = m().from_kb(64.0, 32).area_um2;
+        // 64× the capacity costs ≳30× the area (small-macro overhead shrinks).
+        assert!(a64 > 30.0 * a1, "a1={a1} a64={a64}");
+    }
+
+    #[test]
+    fn small_macros_pay_overhead() {
+        // µm²/bit should be worse for a 0.5KB macro than a 64KB macro.
+        let per_bit = |kb: f64| m().from_kb(kb, 32).area_um2 / (kb * 8192.0);
+        assert!(per_bit(0.5) > per_bit(64.0));
+    }
+
+    #[test]
+    fn read_energy_grows_with_capacity_and_width() {
+        let base = m().from_kb(8.0, 64).read_pj;
+        assert!(m().from_kb(512.0, 64).read_pj > base);
+        assert!(m().from_kb(8.0, 128).read_pj > base);
+    }
+
+    #[test]
+    fn magnitudes_plausible_at_28nm() {
+        // A 64KB macro should be a few hundredths of a mm² and a read of a
+        // 128-bit word should cost on the order of a picojoule.
+        let c = m().from_kb(64.0, 128);
+        let mm2 = c.area_um2 / 1e6;
+        assert!((0.05..0.3).contains(&mm2), "64KB area = {mm2} mm²");
+        assert!((0.5..10.0).contains(&c.read_pj), "read = {} pJ", c.read_pj);
+    }
+
+    #[test]
+    fn node_scaling() {
+        let a28 = m().from_kb(16.0, 32).area_um2;
+        let a7 = SramModel::new(TechNode::N7).from_kb(16.0, 32).area_um2;
+        assert!(a7 < a28);
+    }
+
+    #[test]
+    #[should_panic(expected = "port wider")]
+    fn rejects_overwide_port() {
+        let _ = m().macro_cost(64, 128);
+    }
+}

@@ -1,0 +1,154 @@
+//! Technology-node scaling, after Stillmaker & Baas, *"Scaling equations for
+//! the accurate prediction of CMOS device performance from 180 nm to 7 nm"*
+//! (Integration, 2017) — the same reference the paper uses to normalise
+//! Table VIII to a common node.
+//!
+//! Factors are expressed relative to the 45 nm node, where the component
+//! cost library is calibrated (Horowitz, ISSCC'14).
+
+use std::fmt;
+
+/// A CMOS technology node in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TechNode(pub u32);
+
+impl TechNode {
+    /// 7 nm.
+    pub const N7: TechNode = TechNode(7);
+    /// 16 nm.
+    pub const N16: TechNode = TechNode(16);
+    /// 22 nm.
+    pub const N22: TechNode = TechNode(22);
+    /// 28 nm — the node all LUT-DLA designs are evaluated at.
+    pub const N28: TechNode = TechNode(28);
+    /// 40 nm.
+    pub const N40: TechNode = TechNode(40);
+    /// 45 nm — calibration baseline of the component library.
+    pub const N45: TechNode = TechNode(45);
+
+    /// Known (node, area-factor, energy-factor) triples vs 45 nm,
+    /// approximating the Stillmaker–Baas general-purpose scaling tables.
+    const TABLE: [(u32, f64, f64); 13] = [
+        (180, 16.0, 10.0),
+        (130, 8.34, 6.5),
+        (90, 4.0, 3.1),
+        (65, 2.08, 1.9),
+        (45, 1.0, 1.0),
+        (40, 0.79, 0.88),
+        (32, 0.505, 0.64),
+        (28, 0.387, 0.54),
+        (22, 0.239, 0.42),
+        (16, 0.126, 0.30),
+        (14, 0.097, 0.26),
+        (10, 0.049, 0.19),
+        (7, 0.024, 0.14),
+    ];
+
+    /// Area scaling factor relative to 45 nm (log-interpolated between
+    /// table entries for unlisted nodes).
+    pub fn area_factor(&self) -> f64 {
+        Self::interp(self.0, 1)
+    }
+
+    /// Energy-per-operation scaling factor relative to 45 nm.
+    pub fn energy_factor(&self) -> f64 {
+        Self::interp(self.0, 2)
+    }
+
+    /// Scales an area figure calibrated at 45 nm to this node.
+    pub fn scale_area(&self, area_um2_45nm: f64) -> f64 {
+        area_um2_45nm * self.area_factor()
+    }
+
+    /// Scales an energy figure calibrated at 45 nm to this node.
+    pub fn scale_energy(&self, energy_pj_45nm: f64) -> f64 {
+        energy_pj_45nm * self.energy_factor()
+    }
+
+    /// Converts a figure *measured at this node* to another node (used to
+    /// normalise published accelerator PPA to 28 nm, as Table VIII does).
+    pub fn convert_area_to(&self, target: TechNode, area: f64) -> f64 {
+        area / self.area_factor() * target.area_factor()
+    }
+
+    /// Energy counterpart of [`TechNode::convert_area_to`].
+    pub fn convert_energy_to(&self, target: TechNode, energy: f64) -> f64 {
+        energy / self.energy_factor() * target.energy_factor()
+    }
+
+    fn interp(nm: u32, col: usize) -> f64 {
+        let pick = |row: &(u32, f64, f64)| if col == 1 { row.1 } else { row.2 };
+        let table = &Self::TABLE;
+        if nm >= table[0].0 {
+            return pick(&table[0]);
+        }
+        if nm <= table[table.len() - 1].0 {
+            return pick(&table[table.len() - 1]);
+        }
+        for w in table.windows(2) {
+            let (hi, lo) = (&w[0], &w[1]);
+            if nm <= hi.0 && nm >= lo.0 {
+                if nm == hi.0 {
+                    return pick(hi);
+                }
+                if nm == lo.0 {
+                    return pick(lo);
+                }
+                // log-log interpolation
+                let t = ((nm as f64).ln() - (lo.0 as f64).ln())
+                    / ((hi.0 as f64).ln() - (lo.0 as f64).ln());
+                return (pick(lo).ln() + t * (pick(hi).ln() - pick(lo).ln())).exp();
+            }
+        }
+        unreachable!("interpolation table covers the range");
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_identity() {
+        assert_eq!(TechNode::N45.area_factor(), 1.0);
+        assert_eq!(TechNode::N45.energy_factor(), 1.0);
+    }
+
+    #[test]
+    fn smaller_nodes_shrink() {
+        assert!(TechNode::N28.area_factor() < 1.0);
+        assert!(TechNode::N7.area_factor() < TechNode::N16.area_factor());
+        assert!(TechNode::N28.energy_factor() < 1.0);
+    }
+
+    #[test]
+    fn interpolation_monotone() {
+        let mut last = f64::INFINITY;
+        for nm in [180, 130, 90, 65, 45, 33, 28, 20, 12, 7] {
+            let f = TechNode(nm).area_factor();
+            assert!(f <= last, "area factor not monotone at {nm}nm");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        let a28 = 2.0;
+        let a7 = TechNode::N28.convert_area_to(TechNode::N7, a28);
+        let back = TechNode::N7.convert_area_to(TechNode::N28, a7);
+        assert!((back - a28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_28nm_area_examples() {
+        // 45→28nm should roughly follow the (28/45)² ≈ 0.39 dimensional law.
+        let f = TechNode::N28.area_factor();
+        assert!((0.3..0.5).contains(&f), "28nm area factor {f}");
+    }
+}

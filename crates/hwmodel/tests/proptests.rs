@@ -1,0 +1,107 @@
+//! Property-based tests of the hardware cost models: monotonicity and
+//! composition invariants that must hold across the whole parameter space.
+
+use lutdla_hwmodel::{
+    ccu_cost, design_cost, dpe_cost, imm_cost, CostModel, ImmConfig, LutDlaHwConfig, Metric,
+    NumFormat, SramModel, TechNode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// dPE cost is monotone in vector length for every metric/format.
+    #[test]
+    fn dpe_monotone_in_v(v in 2usize..24) {
+        let m = CostModel::new(TechNode::N28);
+        for metric in Metric::ALL {
+            for fmt in [NumFormat::Int(8), NumFormat::Fp16, NumFormat::Fp32] {
+                let small = dpe_cost(&m, metric, v, fmt);
+                let large = dpe_cost(&m, metric, v + 1, fmt);
+                prop_assert!(large.area_um2 > small.area_um2);
+                prop_assert!(large.energy_pj > small.energy_pj);
+            }
+        }
+    }
+
+    /// The L2 ≥ L1 ≥ Chebyshev cost ordering holds everywhere (Fig. 9).
+    #[test]
+    fn metric_ordering_universal(v in 2usize..24, fp32 in any::<bool>()) {
+        let m = CostModel::new(TechNode::N28);
+        let fmt = if fp32 { NumFormat::Fp32 } else { NumFormat::Fp16 };
+        let l2 = dpe_cost(&m, Metric::L2, v, fmt);
+        let l1 = dpe_cost(&m, Metric::L1, v, fmt);
+        let che = dpe_cost(&m, Metric::Chebyshev, v, fmt);
+        prop_assert!(l2.area_um2 > l1.area_um2);
+        prop_assert!(l1.area_um2 >= che.area_um2);
+        prop_assert!(l2.energy_pj > l1.energy_pj);
+        prop_assert!(l1.energy_pj >= che.energy_pj);
+    }
+
+    /// CCU cost scales superlinearly-at-least-linearly with centroid count.
+    #[test]
+    fn ccu_monotone_in_c(c in 2usize..64, v in 2usize..10) {
+        let m = CostModel::new(TechNode::N28);
+        let small = ccu_cost(&m, Metric::L1, v, c, NumFormat::Fp16);
+        let large = ccu_cost(&m, Metric::L1, v, c + 1, NumFormat::Fp16);
+        prop_assert!(large.area_um2 > small.area_um2);
+    }
+
+    /// IMM SRAM totals are exactly the sum of their three structures.
+    #[test]
+    fn imm_kb_decomposition(
+        c_pow in 2u32..7,
+        tn in 16usize..512,
+        m_rows in 32usize..512,
+        nc in 4usize..64,
+    ) {
+        let cfg = ImmConfig::new(2usize.pow(c_pow), tn, m_rows, nc);
+        let total = cfg.total_kb();
+        let parts = (cfg.lut_bits_total() + cfg.scratchpad_bits() + cfg.indices_bits()) as f64
+            / 8192.0;
+        prop_assert!((total - parts).abs() < 1e-9);
+        // And the macro cost model accepts the geometry.
+        let m = CostModel::new(TechNode::N28);
+        let sram = SramModel::new(TechNode::N28);
+        let cost = imm_cost(&m, &sram, &cfg);
+        prop_assert!(cost.area_um2 > 0.0 && cost.energy_per_lookup_pj > 0.0);
+    }
+
+    /// Technology scaling is order-preserving: smaller node, smaller cost.
+    #[test]
+    fn tech_scaling_order(nm_small in 7u32..28, delta in 1u32..40) {
+        let small = TechNode(nm_small);
+        let big = TechNode(nm_small + delta);
+        prop_assert!(small.area_factor() <= big.area_factor());
+        prop_assert!(small.energy_factor() <= big.energy_factor());
+        // Round-trip conversion is exact.
+        let x = 3.17;
+        let there = small.convert_area_to(big, x);
+        prop_assert!((big.convert_area_to(small, there) - x).abs() < 1e-9);
+    }
+
+    /// Peak throughput is invariant to the metric (the metric only affects
+    /// cost), and efficiency therefore strictly improves L2 → Chebyshev.
+    #[test]
+    fn metric_only_affects_cost(tn in 32usize..512, v in 2usize..9) {
+        let base = LutDlaHwConfig { tn, v, ..LutDlaHwConfig::baseline() };
+        let costs: Vec<_> = Metric::ALL
+            .iter()
+            .map(|&metric| design_cost(&LutDlaHwConfig { metric, ..base }))
+            .collect();
+        prop_assert_eq!(costs[0].peak_gops, costs[1].peak_gops);
+        prop_assert_eq!(costs[1].peak_gops, costs[2].peak_gops);
+        prop_assert!(costs[1].gops_per_mm2 > costs[0].gops_per_mm2); // L1 > L2
+        prop_assert!(costs[2].gops_per_mm2 >= costs[1].gops_per_mm2); // Che ≥ L1
+    }
+
+    /// Bandwidth floor formula: doubling M halves the requirement.
+    #[test]
+    fn bandwidth_inverse_in_m(c_pow in 2u32..6, tn in 16usize..256, m_rows in 16usize..256) {
+        let a = ImmConfig::new(2usize.pow(c_pow), tn, m_rows, 16);
+        let b = ImmConfig::new(2usize.pow(c_pow), tn, 2 * m_rows, 16);
+        let freq = 300e6;
+        let ratio = a.min_bandwidth_bytes_per_s(freq) / b.min_bandwidth_bytes_per_s(freq);
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

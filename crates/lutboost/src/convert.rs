@@ -1,0 +1,229 @@
+//! Operator replacement (paper Fig. 6 step ➀): swap the GEMMs of a trained
+//! network for LUT operators, preserving the rest of the architecture.
+
+use lutdla_nn::{ParamId, ParamSet};
+use lutdla_tensor::Tensor;
+use rand::Rng;
+
+use lutdla_models::trainable::{ConvNet, DenseUnit, TransformerClassifier};
+
+use crate::lut_gemm::{LutConfig, LutGemm};
+
+/// How centroids are initialised at conversion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CentroidInit {
+    /// K-means over calibration activations (LUTBoost).
+    Kmeans,
+    /// Random Gaussian (the single-stage / from-scratch baselines).
+    Random,
+}
+
+/// Which dense units to convert.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvertPolicy {
+    /// Leave the first GEMM (stem conv / first projection) dense. Keeping
+    /// the input layer full-precision is the standard LUT-NN practice.
+    pub skip_first: bool,
+    /// Leave the classifier head dense.
+    pub skip_head: bool,
+}
+
+impl Default for ConvertPolicy {
+    fn default() -> Self {
+        Self {
+            skip_first: true,
+            skip_head: true,
+        }
+    }
+}
+
+/// Handles to the LUT state created by a conversion.
+#[derive(Debug, Clone)]
+pub struct LutHandles {
+    /// Centroid parameters across all converted units (freeze/unfreeze set).
+    pub centroid_params: Vec<ParamId>,
+    /// Indices into the model's `dense_units` order that were converted.
+    pub converted_units: Vec<usize>,
+}
+
+impl LutHandles {
+    /// Total number of centroid scalars (the paper's "LUT-model parameters").
+    pub fn centroid_scalars(&self, ps: &ParamSet) -> usize {
+        self.centroid_params
+            .iter()
+            .map(|&id| ps.value(id).numel())
+            .sum()
+    }
+}
+
+fn convert_units<R: Rng>(
+    units: Vec<&mut DenseUnit>,
+    calib: &[Tensor],
+    ps: &mut ParamSet,
+    cfg: LutConfig,
+    init: CentroidInit,
+    policy: ConvertPolicy,
+    rng: &mut R,
+) -> LutHandles {
+    assert_eq!(
+        units.len(),
+        calib.len(),
+        "calibration capture does not match unit count"
+    );
+    let last = units.len() - 1;
+    let mut handles = LutHandles {
+        centroid_params: Vec::new(),
+        converted_units: Vec::new(),
+    };
+    for (i, unit) in units.into_iter().enumerate() {
+        if (policy.skip_first && i == 0) || (policy.skip_head && i == last) {
+            continue;
+        }
+        let weight = unit
+            .gemm
+            .weight_param()
+            .expect("unit to convert must expose a dense weight");
+        let name = format!("{}.lut", unit.name);
+        let lut = match init {
+            CentroidInit::Kmeans => {
+                LutGemm::from_weight_kmeans(ps, rng, &name, weight, cfg, &calib[i])
+            }
+            CentroidInit::Random => LutGemm::from_weight_random(ps, rng, &name, weight, cfg),
+        };
+        handles
+            .centroid_params
+            .extend_from_slice(lut.centroid_params());
+        handles.converted_units.push(i);
+        unit.gemm = Box::new(lut);
+    }
+    handles
+}
+
+/// Converts a [`ConvNet`]'s GEMMs to LUT operators.
+///
+/// `calib_images` is a representative input batch; its per-layer `im2col`
+/// matrices seed the k-means initialisation.
+pub fn lutify_convnet<R: Rng>(
+    net: &mut ConvNet,
+    ps: &mut ParamSet,
+    cfg: LutConfig,
+    init: CentroidInit,
+    policy: ConvertPolicy,
+    calib_images: Tensor,
+    rng: &mut R,
+) -> LutHandles {
+    let calib = net.capture_gemm_inputs(ps, calib_images);
+    convert_units(net.dense_units_mut(), &calib, ps, cfg, init, policy, rng)
+}
+
+/// Converts a [`TransformerClassifier`]'s projection/FFN GEMMs to LUT
+/// operators.
+pub fn lutify_transformer<R: Rng>(
+    net: &mut TransformerClassifier,
+    ps: &mut ParamSet,
+    cfg: LutConfig,
+    init: CentroidInit,
+    policy: ConvertPolicy,
+    calib_tokens: &[usize],
+    batch: usize,
+    seq_len: usize,
+    rng: &mut R,
+) -> LutHandles {
+    let calib = net.capture_gemm_inputs(ps, calib_tokens, batch, seq_len);
+    convert_units(net.dense_units_mut(), &calib, ps, cfg, init, policy, rng)
+}
+
+/// Downcasts a unit's op to [`LutGemm`] if it was converted.
+pub fn as_lut(unit: &DenseUnit) -> Option<&LutGemm> {
+    unit.gemm.as_any().downcast_ref::<LutGemm>()
+}
+
+/// Mutable variant of [`as_lut`].
+pub fn as_lut_mut(unit: &mut DenseUnit) -> Option<&mut LutGemm> {
+    unit.gemm.as_any_mut().downcast_mut::<LutGemm>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lutdla_models::trainable::resnet20_mini;
+    use lutdla_nn::{Graph, ImageModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conversion_swaps_middle_units_only() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 10);
+        let calib = Tensor::randn(&mut rng, &[8, 3, 16, 16], 1.0);
+        let handles = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            calib,
+            &mut rng,
+        );
+        let units = net.dense_units();
+        assert!(as_lut(units[0]).is_none(), "stem must stay dense");
+        assert!(as_lut(units[units.len() - 1]).is_none(), "head must stay dense");
+        assert_eq!(handles.converted_units.len(), units.len() - 2);
+        assert!(!handles.centroid_params.is_empty());
+    }
+
+    #[test]
+    fn converted_net_still_produces_logits() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 10);
+        let calib = Tensor::randn(&mut rng, &[8, 3, 16, 16], 1.0);
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            calib.clone(),
+            &mut rng,
+        );
+        let mut g = Graph::new(false);
+        let y = net.logits(&mut g, &ps, calib);
+        assert_eq!(g.value(y).dims(), &[8, 10]);
+        assert!(g.value(y).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn kmeans_conversion_perturbs_outputs_less_than_random() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let images = Tensor::randn(&mut rng, &[8, 3, 16, 16], 1.0);
+
+        let run = |init: CentroidInit, rng: &mut StdRng| {
+            let mut ps = ParamSet::new();
+            let mut net = resnet20_mini(&mut ps, 10);
+            let mut g = Graph::new(false);
+            let node = net.logits(&mut g, &ps, images.clone());
+            let before = g.value(node).clone();
+            let _ = lutify_convnet(
+                &mut net,
+                &mut ps,
+                LutConfig {
+                    c: 32,
+                    ..Default::default()
+                },
+                init,
+                ConvertPolicy::default(),
+                images.clone(),
+                rng,
+            );
+            let mut g = Graph::new(false);
+            let node = net.logits(&mut g, &ps, images.clone());
+            let after = g.value(node).clone();
+            after.rel_error(&before)
+        };
+        let km = run(CentroidInit::Kmeans, &mut rng);
+        let rnd = run(CentroidInit::Random, &mut rng);
+        assert!(km < rnd, "kmeans err {km} not below random err {rnd}");
+    }
+}

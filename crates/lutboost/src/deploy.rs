@@ -1,0 +1,185 @@
+//! Deployment: freeze a converted model into lookup tables and evaluate it
+//! exactly as the IMM hardware would execute it (Table IV's FP32/BF16+INT8
+//! columns).
+
+use lutdla_nn::data::{ImageDataset, SeqDataset};
+use lutdla_nn::{eval_images, eval_seq, ParamSet};
+use lutdla_vq::{FloatPrecision, LutQuant};
+
+use lutdla_models::trainable::{ConvNet, TransformerClassifier};
+
+use crate::convert::as_lut;
+
+/// Numeric configuration of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployConfig {
+    /// Precision of the stored LUT entries.
+    pub lut_quant: LutQuant,
+    /// Precision of the similarity (distance) datapath.
+    pub precision: FloatPrecision,
+}
+
+impl DeployConfig {
+    /// Full-precision deployment (paper's "FP32+FP32").
+    pub fn fp32() -> Self {
+        Self {
+            lut_quant: LutQuant::F32,
+            precision: FloatPrecision::Fp32,
+        }
+    }
+
+    /// The paper's efficient deployment: BF16 distances + INT8 tables.
+    pub fn bf16_int8() -> Self {
+        Self {
+            lut_quant: LutQuant::Int8,
+            precision: FloatPrecision::Bf16,
+        }
+    }
+}
+
+/// Puts every LUT unit of a [`ConvNet`] into deployment mode.
+pub fn deploy_convnet(net: &ConvNet, ps: &ParamSet, cfg: DeployConfig) {
+    for unit in net.dense_units() {
+        if let Some(lut) = as_lut(unit) {
+            lut.prepare_deploy(ps, cfg.lut_quant, cfg.precision);
+        }
+    }
+}
+
+/// Reverts a [`ConvNet`] to training-mode forwards.
+pub fn undeploy_convnet(net: &ConvNet) {
+    for unit in net.dense_units() {
+        if let Some(lut) = as_lut(unit) {
+            lut.clear_deploy();
+        }
+    }
+}
+
+/// Puts every LUT unit of a [`TransformerClassifier`] into deployment mode.
+pub fn deploy_transformer(net: &TransformerClassifier, ps: &ParamSet, cfg: DeployConfig) {
+    for unit in net.dense_units() {
+        if let Some(lut) = as_lut(unit) {
+            lut.prepare_deploy(ps, cfg.lut_quant, cfg.precision);
+        }
+    }
+}
+
+/// Reverts a [`TransformerClassifier`] to training-mode forwards.
+pub fn undeploy_transformer(net: &TransformerClassifier) {
+    for unit in net.dense_units() {
+        if let Some(lut) = as_lut(unit) {
+            lut.clear_deploy();
+        }
+    }
+}
+
+/// Evaluates a converted [`ConvNet`] through the table-lookup path.
+pub fn eval_images_deployed(
+    net: &ConvNet,
+    ps: &ParamSet,
+    data: &ImageDataset,
+    batch_size: usize,
+    cfg: DeployConfig,
+) -> f32 {
+    deploy_convnet(net, ps, cfg);
+    let acc = eval_images(net, ps, data, batch_size);
+    undeploy_convnet(net);
+    acc
+}
+
+/// Evaluates a converted [`TransformerClassifier`] through the table-lookup
+/// path.
+pub fn eval_seq_deployed(
+    net: &TransformerClassifier,
+    ps: &ParamSet,
+    data: &SeqDataset,
+    batch_size: usize,
+    cfg: DeployConfig,
+) -> f32 {
+    deploy_transformer(net, ps, cfg);
+    let acc = eval_seq(net, ps, data, batch_size);
+    undeploy_transformer(net);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{lutify_convnet, CentroidInit, ConvertPolicy};
+    use crate::lut_gemm::LutConfig;
+    use lutdla_models::trainable::resnet20_mini;
+    use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
+    use lutdla_nn::{Graph, ImageModel};
+    use lutdla_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deployed_fp32_matches_training_forward() {
+        let mut rng = StdRng::seed_from_u64(110);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        let images = Tensor::randn(&mut rng, &[4, 3, 16, 16], 1.0);
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            images.clone(),
+            &mut rng,
+        );
+
+        // Eval forward (quantized path, no deploy) …
+        let mut g = Graph::new(false);
+        let node = net.logits(&mut g, &ps, images.clone());
+        let base = g.value(node).clone();
+        // … must equal the FP32-deployed table path.
+        deploy_convnet(&net, &ps, DeployConfig::fp32());
+        let mut g = Graph::new(false);
+        let node = net.logits(&mut g, &ps, images.clone());
+        let deployed = g.value(node).clone();
+        undeploy_convnet(&net);
+        assert!(
+            deployed.allclose(&base, 1e-3),
+            "rel err {}",
+            deployed.rel_error(&base)
+        );
+    }
+
+    #[test]
+    fn bf16_int8_deployment_stays_close() {
+        let (train, test) = synthetic_images(&ImageTaskConfig {
+            num_classes: 4,
+            n_train: 64,
+            n_test: 48,
+            noise: 0.25,
+            ..ImageTaskConfig::cifar10_proxy()
+        });
+        let mut rng = StdRng::seed_from_u64(111);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        let calib = train.batch(0, 32).0;
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig {
+                c: 32,
+                ..Default::default()
+            },
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            calib,
+            &mut rng,
+        );
+        let fp32 = eval_images_deployed(&net, &ps, &test, 32, DeployConfig::fp32());
+        let int8 = eval_images_deployed(&net, &ps, &test, 32, DeployConfig::bf16_int8());
+        // Paper: BF16+INT8 costs < 1% accuracy; allow a generous margin on
+        // the toy task (untrained conversion → near-chance accuracy is fine,
+        // but the two paths must not diverge wildly).
+        assert!(
+            (fp32 - int8).abs() < 0.25,
+            "fp32 {fp32} vs bf16+int8 {int8}"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Batch-norm folding (paper §IV-A: "For batch normalization, LUT-DLA
+//! could integrate normalization into weights").
+//!
+//! At inference, `BN(conv(x)) = γ·(W·x − μ)/σ + β` is an affine function of
+//! the conv output, so the scale can be folded into the GEMM weight columns
+//! and the shift into a bias. After folding, the lookup tables built from
+//! the folded weight already produce normalised outputs — the IMM needs no
+//! separate normalisation datapath.
+
+use lutdla_nn::ParamSet;
+use lutdla_tensor::Tensor;
+
+/// Frozen batch-norm statistics + affine parameters for one channel set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnParams {
+    /// Learned scale γ.
+    pub gamma: Vec<f32>,
+    /// Learned shift β.
+    pub beta: Vec<f32>,
+    /// Running mean μ.
+    pub mean: Vec<f32>,
+    /// Running variance σ².
+    pub var: Vec<f32>,
+    /// Stability epsilon.
+    pub eps: f32,
+}
+
+impl BnParams {
+    /// Per-channel multiplicative factor `γ/√(σ²+ε)`.
+    pub fn scale(&self) -> Vec<f32> {
+        self.gamma
+            .iter()
+            .zip(&self.var)
+            .map(|(&g, &v)| g / (v + self.eps).sqrt())
+            .collect()
+    }
+
+    /// Per-channel additive term `β − μ·scale`.
+    pub fn shift(&self) -> Vec<f32> {
+        let scale = self.scale();
+        self.beta
+            .iter()
+            .zip(&self.mean)
+            .zip(&scale)
+            .map(|((&b, &m), &s)| b - m * s)
+            .collect()
+    }
+}
+
+/// Folds batch-norm into a GEMM weight `[K, N]` (N = channels), returning
+/// the folded weight and the bias to add after the GEMM.
+///
+/// # Panics
+///
+/// Panics if the channel counts disagree.
+pub fn fold_bn_into_weight(weight: &Tensor, bn: &BnParams) -> (Tensor, Vec<f32>) {
+    assert_eq!(weight.shape().rank(), 2, "weight must be [K, N]");
+    let (k, n) = (weight.dims()[0], weight.dims()[1]);
+    assert_eq!(bn.gamma.len(), n, "channel count mismatch");
+    let scale = bn.scale();
+    let shift = bn.shift();
+    let mut folded = weight.clone();
+    for row in 0..k {
+        for col in 0..n {
+            folded.data_mut()[row * n + col] *= scale[col];
+        }
+    }
+    (folded, shift)
+}
+
+/// Folds batch-norm into a weight *parameter* in place and returns the bias
+/// (convenience over [`fold_bn_into_weight`] for `ParamSet`-resident
+/// weights).
+pub fn fold_bn_param(ps: &mut ParamSet, weight: lutdla_nn::ParamId, bn: &BnParams) -> Vec<f32> {
+    let (folded, shift) = fold_bn_into_weight(ps.value(weight), bn);
+    *ps.value_mut(weight) = folded;
+    shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bn(rng: &mut StdRng, n: usize) -> BnParams {
+        BnParams {
+            gamma: (0..n).map(|_| rng.gen_range(0.5f32..1.5)).collect(),
+            beta: (0..n).map(|_| rng.gen_range(-0.5f32..0.5)).collect(),
+            mean: (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            var: (0..n).map(|_| rng.gen_range(0.25f32..2.0)).collect(),
+            eps: 1e-5,
+        }
+    }
+
+    /// Reference: apply BN explicitly to the GEMM output.
+    fn bn_apply(y: &Tensor, bn: &BnParams) -> Tensor {
+        let n = y.dims()[1];
+        let scale = bn.scale();
+        let shift = bn.shift();
+        let mut out = y.clone();
+        for row in 0..y.dims()[0] {
+            for col in 0..n {
+                let v = &mut out.data_mut()[row * n + col];
+                *v = *v * scale[col] + shift[col];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn folded_gemm_equals_bn_after_gemm() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let x = Tensor::rand_uniform(&mut rng, &[16, 12], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[12, 6], -1.0, 1.0);
+        let bn = random_bn(&mut rng, 6);
+
+        let reference = bn_apply(&x.matmul(&w), &bn);
+
+        let (folded, bias) = fold_bn_into_weight(&w, &bn);
+        let mut fused = x.matmul(&folded);
+        for row in 0..16 {
+            for col in 0..6 {
+                fused.data_mut()[row * 6 + col] += bias[col];
+            }
+        }
+        assert!(
+            fused.allclose(&reference, 1e-4),
+            "rel err {}",
+            fused.rel_error(&reference)
+        );
+    }
+
+    #[test]
+    fn folded_lut_table_produces_normalised_outputs() {
+        // Build the LUT from the folded weight: lookup+bias must equal
+        // BN(exact GEMM of quantized activations).
+        use lutdla_vq::{approx_matmul, Distance, LutQuant, LutTable, ProductQuantizer};
+        let mut rng = StdRng::seed_from_u64(121);
+        let x = Tensor::rand_uniform(&mut rng, &[32, 8], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[8, 4], -1.0, 1.0);
+        let bn = random_bn(&mut rng, 4);
+        let pq = ProductQuantizer::fit(&x, 4, 16, Distance::L2, &mut rng);
+
+        let (folded, bias) = fold_bn_into_weight(&w, &bn);
+        let lut = LutTable::build(&pq, &folded, LutQuant::F32);
+        let mut via_lut = approx_matmul(&x, &pq, &lut);
+        for row in 0..32 {
+            for col in 0..4 {
+                via_lut.data_mut()[row * 4 + col] += bias[col];
+            }
+        }
+
+        let codes = pq.encode(&x);
+        let ahat = pq.decode(&codes, 32);
+        let reference = bn_apply(&ahat.matmul(&w), &bn);
+        assert!(
+            via_lut.allclose(&reference, 1e-4),
+            "rel err {}",
+            via_lut.rel_error(&reference)
+        );
+    }
+
+    #[test]
+    fn fold_param_in_place() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::rand_uniform(&mut rng, &[4, 3], -1.0, 1.0));
+        let before = ps.value(w).clone();
+        let bn = random_bn(&mut rng, 3);
+        let bias = fold_bn_param(&mut ps, w, &bn);
+        assert_eq!(bias.len(), 3);
+        assert!(!ps.value(w).allclose(&before, 1e-9), "weight unchanged");
+        // Column scaling only: ratios within a column are preserved.
+        let after = ps.value(w);
+        let r0 = after.at(&[0, 1]) / before.at(&[0, 1]);
+        let r1 = after.at(&[3, 1]) / before.at(&[3, 1]);
+        assert!((r0 - r1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identity_bn_is_noop() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let w = Tensor::rand_uniform(&mut rng, &[5, 4], -1.0, 1.0);
+        let bn = BnParams {
+            gamma: vec![1.0; 4],
+            beta: vec![0.0; 4],
+            mean: vec![0.0; 4],
+            var: vec![1.0; 4],
+            eps: 0.0,
+        };
+        let (folded, bias) = fold_bn_into_weight(&w, &bn);
+        assert!(folded.allclose(&w, 1e-6));
+        assert!(bias.iter().all(|&b| b.abs() < 1e-6));
+    }
+}

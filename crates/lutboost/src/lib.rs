@@ -1,0 +1,58 @@
+//! LUTBoost: the lightweight multistage converter that turns trained neural
+//! networks into LUT-based models (paper §V).
+//!
+//! The crate provides:
+//!
+//! * [`LutGemm`] — the lookup-table GEMM operator with straight-through
+//!   gradient estimation and the symmetric reconstruction loss;
+//! * [`convert`] — operator replacement over the `lutdla-models` trainable
+//!   architectures (stage ➀ of Fig. 6);
+//! * [`trainer`] — the multistage schedule (stage ➁ centroid calibration,
+//!   stage ➂ joint training) plus the single-stage / from-scratch baselines
+//!   used in Figs. 7 & 12 and Table II;
+//! * [`deploy`] — freezing a converted model into quantized lookup tables
+//!   and evaluating it exactly as the IMM hardware executes it (Table IV).
+//!
+//! # Example: convert a tiny ResNet and deploy at BF16+INT8
+//!
+//! ```no_run
+//! use lutdla_lutboost::{
+//!     convert_and_train_images, eval_images_deployed, DeployConfig, LutConfig, Strategy,
+//!     ConvertPolicy, TrainSchedule,
+//! };
+//! use lutdla_models::trainable::resnet20_mini;
+//! use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
+//! use lutdla_nn::ParamSet;
+//!
+//! let (train, test) = synthetic_images(&ImageTaskConfig::cifar10_proxy());
+//! let mut ps = ParamSet::new();
+//! let mut net = resnet20_mini(&mut ps, 10);
+//! // … pretrain `net` …
+//! let outcome = convert_and_train_images(
+//!     &mut net, &mut ps, Strategy::Multistage, LutConfig::default(),
+//!     ConvertPolicy::default(), &TrainSchedule::default(), &train, &test, 0,
+//! );
+//! let acc = eval_images_deployed(&net, &ps, &test, 32, DeployConfig::bf16_int8());
+//! println!("LUT model accuracy: {acc} (train-path: {})", outcome.test_accuracy);
+//! ```
+
+mod convert;
+mod deploy;
+mod fold;
+mod lut_gemm;
+mod trainer;
+
+pub use convert::{
+    as_lut, as_lut_mut, lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy,
+    LutHandles,
+};
+pub use deploy::{
+    deploy_convnet, deploy_transformer, eval_images_deployed, eval_seq_deployed, undeploy_convnet,
+    undeploy_transformer, DeployConfig,
+};
+pub use fold::{fold_bn_into_weight, fold_bn_param, BnParams};
+pub use lut_gemm::{LutConfig, LutGemm};
+pub use trainer::{
+    convert_and_train_images, convert_and_train_seq, fresh_pretrained_convnet,
+    fresh_pretrained_transformer, ConversionOutcome, Strategy, TrainSchedule,
+};

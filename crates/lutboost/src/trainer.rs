@@ -1,0 +1,380 @@
+//! The LUTBoost multistage training pipeline (paper §V, Fig. 6).
+//!
+//! Stage ➀ — operator replacement with k-means-initialised centroids
+//! (see [`crate::convert`]); Stage ➁ — *centroid calibration*: every
+//! parameter except the centroids is frozen; Stage ➂ — joint training of
+//! centroids and weights. The single-stage and from-scratch baselines the
+//! paper compares against (Fig. 7, Fig. 12, Table II) are provided by the
+//! same engine under different [`Strategy`] values.
+
+use lutdla_nn::data::{ImageDataset, SeqDataset};
+use lutdla_nn::{
+    eval_images, eval_seq, train_epoch_images, train_epoch_seq, Optimizer, ParamSet, Sgd,
+};
+use lutdla_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lutdla_models::trainable::{ConvNet, TransformerClassifier};
+
+use crate::convert::{
+    lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles,
+};
+use crate::lut_gemm::LutConfig;
+
+/// The conversion strategy being evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// LUTBoost: k-means init → centroid calibration → joint training.
+    Multistage,
+    /// Prior work's conversion: random centroids, joint training only.
+    SingleStage,
+    /// PECAN/PQA-style: random weights *and* centroids, trained jointly
+    /// from scratch (no pre-trained model). The engine reinitialises the
+    /// dense weights before training when this strategy is selected.
+    FromScratch,
+}
+
+/// Epoch/learning-rate schedule for conversion training.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainSchedule {
+    /// Stage-➁ epochs (centroid-only). Ignored for single-stage baselines,
+    /// whose budget is folded into joint epochs so totals match.
+    pub centroid_epochs: usize,
+    /// Stage-➂ epochs (joint).
+    pub joint_epochs: usize,
+    /// Stage-➁ learning rate (paper: 1e-3).
+    pub lr_centroid: f32,
+    /// Stage-➂ learning rate (paper: 5e-4 / 5e-5).
+    pub lr_joint: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+}
+
+impl Default for TrainSchedule {
+    fn default() -> Self {
+        Self {
+            centroid_epochs: 4,
+            joint_epochs: 8,
+            lr_centroid: 5e-2,
+            lr_joint: 1e-2,
+            batch_size: 32,
+        }
+    }
+}
+
+/// Everything the benches need from one conversion run.
+#[derive(Debug, Clone)]
+pub struct ConversionOutcome {
+    /// Mean loss of every training epoch, across stages, in order.
+    pub epoch_losses: Vec<f32>,
+    /// Index into `epoch_losses` where the joint stage began.
+    pub joint_start: usize,
+    /// Test accuracy after conversion training.
+    pub test_accuracy: f32,
+    /// Handles to the created LUT state.
+    pub handles: LutHandles,
+}
+
+fn freeze_all_but_centroids(ps: &mut ParamSet, handles: &LutHandles) {
+    ps.set_all_trainable(false);
+    for &cid in &handles.centroid_params {
+        ps.set_trainable(cid, true);
+    }
+}
+
+/// Converts and trains an image model according to `strategy`.
+///
+/// `net` must already be trained (except for [`Strategy::FromScratch`],
+/// where its weights are reinitialised via fresh random values).
+#[allow(clippy::too_many_arguments)]
+pub fn convert_and_train_images(
+    net: &mut ConvNet,
+    ps: &mut ParamSet,
+    strategy: Strategy,
+    lut_cfg: LutConfig,
+    policy: ConvertPolicy,
+    schedule: &TrainSchedule,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    seed: u64,
+) -> ConversionOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if strategy == Strategy::FromScratch {
+        reinit_weights(ps, &mut rng);
+    }
+    let calib = train.batch(0, schedule.batch_size.min(train.len())).0;
+    let init = match strategy {
+        Strategy::Multistage => CentroidInit::Kmeans,
+        Strategy::SingleStage | Strategy::FromScratch => CentroidInit::Random,
+    };
+    let handles = lutify_convnet(net, ps, lut_cfg, init, policy, calib, &mut rng);
+
+    let mut epoch_losses = Vec::new();
+    let mut joint_start = 0;
+    if strategy == Strategy::Multistage {
+        freeze_all_but_centroids(ps, &handles);
+        let mut opt = Optimizer::Sgd(Sgd::new(schedule.lr_centroid, 0.9, 0.0));
+        for _ in 0..schedule.centroid_epochs {
+            let stats = train_epoch_images(net, ps, &mut opt, train, schedule.batch_size);
+            epoch_losses.push(stats.loss);
+        }
+        ps.set_all_trainable(true);
+        joint_start = epoch_losses.len();
+    }
+    // Joint stage: single-stage variants get the full epoch budget here.
+    let joint_epochs = match strategy {
+        Strategy::Multistage => schedule.joint_epochs,
+        _ => schedule.centroid_epochs + schedule.joint_epochs,
+    };
+    let mut opt = Optimizer::Sgd(Sgd::new(schedule.lr_joint, 0.9, 1e-4));
+    for _ in 0..joint_epochs {
+        let stats = train_epoch_images(net, ps, &mut opt, train, schedule.batch_size);
+        epoch_losses.push(stats.loss);
+    }
+
+    let test_accuracy = eval_images(net, ps, test, schedule.batch_size);
+    ConversionOutcome {
+        epoch_losses,
+        joint_start,
+        test_accuracy,
+        handles,
+    }
+}
+
+/// Converts and trains a transformer classifier according to `strategy`.
+#[allow(clippy::too_many_arguments)]
+pub fn convert_and_train_seq(
+    net: &mut TransformerClassifier,
+    ps: &mut ParamSet,
+    strategy: Strategy,
+    lut_cfg: LutConfig,
+    policy: ConvertPolicy,
+    schedule: &TrainSchedule,
+    train: &SeqDataset,
+    test: &SeqDataset,
+    seed: u64,
+) -> ConversionOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if strategy == Strategy::FromScratch {
+        reinit_weights(ps, &mut rng);
+    }
+    let bs = schedule.batch_size.min(train.len());
+    let (calib_tokens, _) = train.batch(0, bs);
+    let init = match strategy {
+        Strategy::Multistage => CentroidInit::Kmeans,
+        Strategy::SingleStage | Strategy::FromScratch => CentroidInit::Random,
+    };
+    let handles = lutify_transformer(
+        net,
+        ps,
+        lut_cfg,
+        init,
+        policy,
+        &calib_tokens,
+        bs,
+        train.seq_len,
+        &mut rng,
+    );
+
+    let mut epoch_losses = Vec::new();
+    let mut joint_start = 0;
+    if strategy == Strategy::Multistage {
+        freeze_all_but_centroids(ps, &handles);
+        let mut opt = Optimizer::Sgd(Sgd::new(schedule.lr_centroid, 0.9, 0.0));
+        for _ in 0..schedule.centroid_epochs {
+            let stats = train_epoch_seq(net, ps, &mut opt, train, schedule.batch_size);
+            epoch_losses.push(stats.loss);
+        }
+        ps.set_all_trainable(true);
+        joint_start = epoch_losses.len();
+    }
+    let joint_epochs = match strategy {
+        Strategy::Multistage => schedule.joint_epochs,
+        _ => schedule.centroid_epochs + schedule.joint_epochs,
+    };
+    let mut opt = Optimizer::Sgd(Sgd::new(schedule.lr_joint, 0.9, 0.0));
+    for _ in 0..joint_epochs {
+        let stats = train_epoch_seq(net, ps, &mut opt, train, schedule.batch_size);
+        epoch_losses.push(stats.loss);
+    }
+
+    let test_accuracy = eval_seq(net, ps, test, schedule.batch_size);
+    ConversionOutcome {
+        epoch_losses,
+        joint_start,
+        test_accuracy,
+        handles,
+    }
+}
+
+/// Re-randomises every parameter value (used by the from-scratch baseline).
+fn reinit_weights(ps: &mut ParamSet, rng: &mut StdRng) {
+    for (_, p) in ps.iter_mut() {
+        let dims = p.value.dims().to_vec();
+        let fan_in = dims[0].max(1);
+        p.value = Tensor::kaiming(rng, &dims, fan_in);
+    }
+}
+
+/// Rebuilds a [`ConvNet`] with identical parameter ids and copies the
+/// trained values from `trained`.
+///
+/// Parameter registration order is deterministic given the config, so a
+/// fresh `ParamSet` receives the same ids. Batch-norm running statistics are
+/// *not* transferred; conversion training re-estimates them (its forward
+/// passes run in training mode).
+pub fn fresh_pretrained_convnet(
+    cfg: lutdla_models::trainable::ConvNetConfig,
+    trained: &ParamSet,
+) -> (ConvNet, ParamSet) {
+    let mut ps = ParamSet::new();
+    let net = ConvNet::new(&mut ps, cfg);
+    copy_values(trained, &mut ps);
+    (net, ps)
+}
+
+/// Transformer counterpart of [`fresh_pretrained_convnet`].
+pub fn fresh_pretrained_transformer(
+    cfg: lutdla_models::trainable::TransformerConfig,
+    trained: &ParamSet,
+) -> (TransformerClassifier, ParamSet) {
+    let mut ps = ParamSet::new();
+    let net = TransformerClassifier::new(&mut ps, cfg);
+    copy_values(trained, &mut ps);
+    (net, ps)
+}
+
+fn copy_values(src: &ParamSet, dst: &mut ParamSet) {
+    assert!(
+        dst.len() <= src.len(),
+        "source ParamSet is missing parameters"
+    );
+    let ids: Vec<_> = dst.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let v = src.value(id).clone();
+        assert_eq!(
+            v.dims(),
+            dst.value(id).dims(),
+            "parameter shape mismatch for {}",
+            dst.name(id)
+        );
+        *dst.value_mut(id) = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lutdla_models::trainable::{resnet20_mini, ConvNetConfig};
+    use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
+
+    fn small_task() -> (ImageDataset, ImageDataset) {
+        synthetic_images(&ImageTaskConfig {
+            num_classes: 4,
+            n_train: 96,
+            n_test: 48,
+            noise: 0.25,
+            ..ImageTaskConfig::cifar10_proxy()
+        })
+    }
+
+    fn pretrain(net: &ConvNet, ps: &mut ParamSet, train: &ImageDataset) {
+        let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
+        for _ in 0..5 {
+            train_epoch_images(net, ps, &mut opt, train, 32);
+        }
+    }
+
+    #[test]
+    fn multistage_pipeline_runs_and_keeps_accuracy() {
+        let (train, test) = small_task();
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        pretrain(&net, &mut ps, &train);
+        let baseline_acc = eval_images(&net, &ps, &test, 32);
+
+        let schedule = TrainSchedule {
+            centroid_epochs: 2,
+            joint_epochs: 3,
+            ..Default::default()
+        };
+        let outcome = convert_and_train_images(
+            &mut net,
+            &mut ps,
+            Strategy::Multistage,
+            LutConfig {
+                c: 16,
+                v: 4,
+                ..Default::default()
+            },
+            ConvertPolicy::default(),
+            &schedule,
+            &train,
+            &test,
+            7,
+        );
+        assert_eq!(outcome.epoch_losses.len(), 5);
+        assert_eq!(outcome.joint_start, 2);
+        assert!(outcome.epoch_losses.iter().all(|l| l.is_finite()));
+        // The LUT model should stay within striking distance of the baseline.
+        assert!(
+            outcome.test_accuracy > baseline_acc * 0.6,
+            "LUT acc {} vs baseline {baseline_acc}",
+            outcome.test_accuracy
+        );
+    }
+
+    #[test]
+    fn fresh_pretrained_copies_values() {
+        let (train, _) = small_task();
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 4);
+        pretrain(&net, &mut ps, &train);
+
+        let cfg = ConvNetConfig {
+            in_channels: 3,
+            image_size: 16,
+            width: 8,
+            blocks_per_stage: 1,
+            num_classes: 4,
+            seed: 101,
+        };
+        let (net2, ps2) = fresh_pretrained_convnet(cfg, &ps);
+        // Same dense-unit structure, identical weight values.
+        let u1 = net.dense_units();
+        let u2 = net2.dense_units();
+        assert_eq!(u1.len(), u2.len());
+        for (a, b) in u1.iter().zip(&u2) {
+            let wa = a.gemm.weight_param().expect("plain");
+            let wb = b.gemm.weight_param().expect("plain");
+            assert!(ps.value(wa).allclose(ps2.value(wb), 0.0));
+        }
+    }
+
+    #[test]
+    fn single_stage_uses_full_budget_jointly() {
+        let (train, test) = small_task();
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        pretrain(&net, &mut ps, &train);
+        let schedule = TrainSchedule {
+            centroid_epochs: 2,
+            joint_epochs: 2,
+            ..Default::default()
+        };
+        let outcome = convert_and_train_images(
+            &mut net,
+            &mut ps,
+            Strategy::SingleStage,
+            LutConfig::default(),
+            ConvertPolicy::default(),
+            &schedule,
+            &train,
+            &test,
+            8,
+        );
+        assert_eq!(outcome.epoch_losses.len(), 4);
+        assert_eq!(outcome.joint_start, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload zoo for LUT-DLA: full-size layer-shape descriptors of every
+//! model the paper evaluates, and tiny *trainable* counterparts used by the
+//! LUTBoost accuracy experiments.
+//!
+//! - [`shapes`]/[`zoo`] — shape-only workloads (GEMM sequences) consumed by
+//!   the simulator, the baselines, and the design-space explorer.
+//! - [`trainable`] — scale-downs of the same architectures built on
+//!   `lutdla-nn`, with a [`trainable::GemmOp`] seam through which LUTBoost
+//!   substitutes lookup-table operators.
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_models::zoo;
+//!
+//! let bert = zoo::bert_base(zoo::TransformerGemmOpts::default());
+//! let gemms = bert.gemms(1);
+//! assert_eq!(gemms.len(), 60); // 12 layers × (3 QKV + 2 FFN)
+//! ```
+
+pub mod shapes;
+pub mod trainable;
+pub mod zoo;
+
+pub use shapes::{GemmDims, LayerShape, Workload};

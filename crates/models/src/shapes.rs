@@ -1,0 +1,165 @@
+//! Layer-shape descriptors and GEMM extraction for the paper's workloads.
+//!
+//! LUT-DLA accelerates GEMM; every workload is therefore described as the
+//! sequence of GEMMs it lowers to — convolutions via `im2col`
+//! ([`lutdla_tensor::Conv2dGeometry`]), transformer blocks via their
+//! projection/FFN matrices.
+
+use lutdla_tensor::Conv2dGeometry;
+
+/// The dimensions of one GEMM `[M, K] × [K, N]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmDims {
+    /// Rows of the activation matrix.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl GemmDims {
+    /// Creates GEMM dimensions.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Multiply–accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Operation count (2 ops per MAC, the convention used in Table VIII).
+    pub fn ops(&self) -> u64 {
+        2 * self.macs()
+    }
+}
+
+/// One layer of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerShape {
+    /// A 2-D convolution, lowered to GEMM by `im2col`.
+    Conv(Conv2dGeometry),
+    /// A dense projection applied to `tokens` rows.
+    Linear {
+        /// Number of activation rows (batch × tokens or batch × pixels).
+        tokens: usize,
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl LayerShape {
+    /// The GEMM this layer lowers to, for a given image batch size
+    /// (ignored for `Linear`, whose row count is already in `tokens`).
+    pub fn gemm(&self, batch: usize) -> GemmDims {
+        match self {
+            LayerShape::Conv(g) => GemmDims::new(g.gemm_m(batch), g.gemm_k(), g.gemm_n()),
+            LayerShape::Linear {
+                tokens,
+                in_features,
+                out_features,
+            } => GemmDims::new(*tokens, *in_features, *out_features),
+        }
+    }
+}
+
+/// A named workload: an ordered list of GEMM-bearing layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Human-readable name (e.g. `"ResNet18"`).
+    pub name: String,
+    /// The layers, in execution order.
+    pub layers: Vec<LayerShape>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerShape>) -> Self {
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// All GEMMs for a given batch size.
+    pub fn gemms(&self, batch: usize) -> Vec<GemmDims> {
+        self.layers.iter().map(|l| l.gemm(batch)).collect()
+    }
+
+    /// Total MAC count at a given batch size.
+    pub fn total_macs(&self, batch: usize) -> u64 {
+        self.gemms(batch).iter().map(GemmDims::macs).sum()
+    }
+
+    /// Total op count (2×MACs).
+    pub fn total_ops(&self, batch: usize) -> u64 {
+        2 * self.total_macs(batch)
+    }
+
+    /// Total weight parameter count across GEMM layers.
+    pub fn total_weights(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                let g = l.gemm(1);
+                g.k as u64 * g.n as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_gemm() {
+        let g = Conv2dGeometry::new(3, 64, (32, 32), (3, 3), 1, 1);
+        let l = LayerShape::Conv(g);
+        let d = l.gemm(2);
+        assert_eq!(d.m, 2 * 32 * 32);
+        assert_eq!(d.k, 27);
+        assert_eq!(d.n, 64);
+    }
+
+    #[test]
+    fn linear_layer_gemm_ignores_batch() {
+        let l = LayerShape::Linear {
+            tokens: 512,
+            in_features: 768,
+            out_features: 3072,
+        };
+        assert_eq!(l.gemm(99), GemmDims::new(512, 768, 3072));
+    }
+
+    #[test]
+    fn ops_double_macs() {
+        let d = GemmDims::new(4, 5, 6);
+        assert_eq!(d.macs(), 120);
+        assert_eq!(d.ops(), 240);
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::new(
+            "toy",
+            vec![
+                LayerShape::Linear {
+                    tokens: 2,
+                    in_features: 3,
+                    out_features: 4,
+                },
+                LayerShape::Linear {
+                    tokens: 2,
+                    in_features: 4,
+                    out_features: 5,
+                },
+            ],
+        );
+        assert_eq!(w.total_macs(1), 2 * 3 * 4 + 2 * 4 * 5);
+        assert_eq!(w.total_weights(), 12 + 20);
+    }
+}

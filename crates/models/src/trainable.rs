@@ -1,0 +1,1032 @@
+//! Tiny trainable counterparts of the paper's workloads.
+//!
+//! Architectures here are *structure-preserving scale-downs*: a CIFAR
+//! ResNet-20 becomes a 2-stage residual CNN on 16×16 synthetic images, a
+//! BERT becomes a 2-block encoder over a 64-token vocabulary. Every matrix
+//! multiplication flows through a [`DenseUnit`], whose inner [`GemmOp`] box
+//! is the seam where LUTBoost swaps a plain weight matrix for a LUT
+//! operator — so the baseline network and its LUT-converted form share all
+//! non-GEMM structure (batch norm, residuals, attention) exactly.
+
+use std::cell::RefCell;
+
+use lutdla_tensor::{Conv2dGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lutdla_nn::{
+    BatchNorm2d, Embedding, Graph, ImageModel, LayerNorm, Module, NodeId, ParamId, ParamSet,
+    SeqModel,
+};
+
+/// A pluggable GEMM: maps `[M, K] → [M, N]` activations.
+///
+/// The plain implementation is a weight matrix ([`PlainGemm`]); LUTBoost
+/// provides a lookup-table implementation with a straight-through gradient.
+pub trait GemmOp {
+    /// Records the GEMM on the tape.
+    fn forward_gemm(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId;
+
+    /// Parameters owned by this op.
+    fn params(&self) -> Vec<ParamId>;
+
+    /// Input features `K`.
+    fn in_dim(&self) -> usize;
+
+    /// Output features `N`.
+    fn out_dim(&self) -> usize;
+
+    /// Takes (and clears) the auxiliary loss produced by the most recent
+    /// forward, if any (LUT ops emit their reconstruction loss here).
+    fn take_aux(&self) -> Option<NodeId> {
+        None
+    }
+
+    /// The dense weight parameter, when the op is backed by one (both the
+    /// plain GEMM and the LUT operator are; custom ops may not be).
+    fn weight_param(&self) -> Option<ParamId> {
+        None
+    }
+
+    /// Downcast support, so converters can recover the concrete type.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A dense projection backed by a single weight parameter `[K, N]`.
+#[derive(Debug)]
+pub struct PlainGemm {
+    weight: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl PlainGemm {
+    /// Creates a plain GEMM with Kaiming initialisation.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let weight = ps.add(
+            format!("{name}.weight"),
+            Tensor::kaiming(rng, &[in_dim, out_dim], in_dim),
+        );
+        Self {
+            weight,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// The weight handle.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+}
+
+impl GemmOp for PlainGemm {
+    fn forward_gemm(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let w = g.param(ps, self.weight);
+        g.matmul(x, w)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        vec![self.weight]
+    }
+
+    fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn weight_param(&self) -> Option<ParamId> {
+        Some(self.weight)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A GEMM plus optional bias — the unit LUTBoost converts.
+pub struct DenseUnit {
+    /// The projection (plain weight or LUT operator).
+    pub gemm: Box<dyn GemmOp>,
+    /// Optional bias of length `N`.
+    pub bias: Option<ParamId>,
+    /// Name for reporting.
+    pub name: String,
+}
+
+impl DenseUnit {
+    /// Creates a plain dense unit.
+    pub fn plain<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let gemm = Box::new(PlainGemm::new(ps, rng, name, in_dim, out_dim));
+        let bias = bias.then(|| ps.add(format!("{name}.bias"), Tensor::zeros(&[out_dim])));
+        Self {
+            gemm,
+            bias,
+            name: name.to_string(),
+        }
+    }
+
+    /// Forward over `[M, K]` activations.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let y = self.gemm.forward_gemm(g, ps, x);
+        match self.bias {
+            Some(b) => {
+                let bn = g.param(ps, b);
+                g.add_bias(y, bn)
+            }
+            None => y,
+        }
+    }
+
+    /// All parameters (gemm + bias).
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut p = self.gemm.params();
+        p.extend(self.bias);
+        p
+    }
+}
+
+impl std::fmt::Debug for DenseUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseUnit")
+            .field("name", &self.name)
+            .field("in_dim", &self.gemm.in_dim())
+            .field("out_dim", &self.gemm.out_dim())
+            .field("bias", &self.bias.is_some())
+            .finish()
+    }
+}
+
+/// Rearranges GEMM conv output `[batch·oh·ow, cout]` into NCHW.
+fn nchw_from_gemm(
+    g: &mut Graph,
+    y: NodeId,
+    batch: usize,
+    cout: usize,
+    oh: usize,
+    ow: usize,
+) -> NodeId {
+    let r = g.reshape(y, &[batch, oh * ow, cout]);
+    let t = g.transpose_last2(r);
+    g.reshape(t, &[batch, cout, oh, ow])
+}
+
+/// Convolution + batch norm, GEMM exposed through a [`DenseUnit`].
+#[derive(Debug)]
+pub struct ConvUnit {
+    /// Convolution geometry.
+    pub geom: Conv2dGeometry,
+    /// The `im2col`-GEMM.
+    pub dense: DenseUnit,
+    /// Post-conv batch norm.
+    pub bn: BatchNorm2d,
+}
+
+impl ConvUnit {
+    fn new(ps: &mut ParamSet, rng: &mut StdRng, name: &str, geom: Conv2dGeometry) -> Self {
+        let dense = DenseUnit::plain(ps, rng, name, geom.gemm_k(), geom.out_channels, false);
+        let bn = BatchNorm2d::new(ps, &format!("{name}.bn"), geom.out_channels);
+        Self { geom, dense, bn }
+    }
+
+    /// Forward; optionally records the `im2col` GEMM input in `sink`
+    /// (LUTBoost calibration).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        x: NodeId,
+        sink: &mut Option<&mut Vec<Tensor>>,
+    ) -> NodeId {
+        let batch = g.value(x).dims()[0];
+        let cols = g.im2col(x, self.geom);
+        if let Some(s) = sink.as_deref_mut() {
+            s.push(g.value(cols).clone());
+        }
+        let y = self.dense.forward(g, ps, cols);
+        let (oh, ow) = self.geom.out_hw();
+        let nchw = nchw_from_gemm(g, y, batch, self.geom.out_channels, oh, ow);
+        self.bn.forward(g, ps, nchw)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        let mut p = self.dense.params();
+        p.extend(self.bn.params());
+        p
+    }
+}
+
+/// A pre-activation-free basic residual block (two 3×3 convs + shortcut).
+#[derive(Debug)]
+pub struct BasicBlock {
+    conv1: ConvUnit,
+    conv2: ConvUnit,
+    downsample: Option<ConvUnit>,
+}
+
+impl BasicBlock {
+    fn new(
+        ps: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        cin: usize,
+        cout: usize,
+        hw: usize,
+        stride: usize,
+    ) -> Self {
+        let g1 = Conv2dGeometry::new(cin, cout, (hw, hw), (3, 3), stride, 1);
+        let (oh, _) = g1.out_hw();
+        let g2 = Conv2dGeometry::new(cout, cout, (oh, oh), (3, 3), 1, 1);
+        let downsample = (stride != 1 || cin != cout).then(|| {
+            ConvUnit::new(
+                ps,
+                rng,
+                &format!("{name}.down"),
+                Conv2dGeometry::new(cin, cout, (hw, hw), (1, 1), stride, 0),
+            )
+        });
+        Self {
+            conv1: ConvUnit::new(ps, rng, &format!("{name}.conv1"), g1),
+            conv2: ConvUnit::new(ps, rng, &format!("{name}.conv2"), g2),
+            downsample,
+        }
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        x: NodeId,
+        sink: &mut Option<&mut Vec<Tensor>>,
+    ) -> NodeId {
+        let h = self.conv1.forward(g, ps, x, sink);
+        let h = g.relu(h);
+        let h = self.conv2.forward(g, ps, h, sink);
+        let skip = match &self.downsample {
+            Some(d) => d.forward(g, ps, x, sink),
+            None => x,
+        };
+        let sum = g.add(h, skip);
+        g.relu(sum)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        if let Some(d) = &self.downsample {
+            p.extend(d.params());
+        }
+        p
+    }
+}
+
+/// Configuration of a tiny residual CNN.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvNetConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial size (square).
+    pub image_size: usize,
+    /// Stem / stage-1 width.
+    pub width: usize,
+    /// Residual blocks per stage (2 stages; stage 2 doubles the width).
+    pub blocks_per_stage: usize,
+    /// Output classes.
+    pub num_classes: usize,
+    /// Initialisation seed.
+    pub seed: u64,
+}
+
+/// A 2-stage residual CNN — the trainable proxy for the CIFAR ResNets.
+pub struct ConvNet {
+    stem: ConvUnit,
+    blocks: Vec<BasicBlock>,
+    head: DenseUnit,
+    cfg: ConvNetConfig,
+    aux: RefCell<Vec<NodeId>>,
+}
+
+impl ConvNet {
+    /// Builds the network, registering all parameters in `ps`.
+    pub fn new(ps: &mut ParamSet, cfg: ConvNetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let s = cfg.image_size;
+        let w = cfg.width;
+        let stem = ConvUnit::new(
+            ps,
+            &mut rng,
+            "stem",
+            Conv2dGeometry::new(cfg.in_channels, w, (s, s), (3, 3), 1, 1),
+        );
+        let mut blocks = Vec::new();
+        for b in 0..cfg.blocks_per_stage {
+            blocks.push(BasicBlock::new(
+                ps,
+                &mut rng,
+                &format!("s1.b{b}"),
+                w,
+                w,
+                s,
+                1,
+            ));
+        }
+        for b in 0..cfg.blocks_per_stage {
+            let (cin, stride, hw) = if b == 0 { (w, 2, s) } else { (2 * w, 1, s / 2) };
+            blocks.push(BasicBlock::new(
+                ps,
+                &mut rng,
+                &format!("s2.b{b}"),
+                cin,
+                2 * w,
+                hw,
+                stride,
+            ));
+        }
+        let head = DenseUnit::plain(ps, &mut rng, "head", 2 * w, cfg.num_classes, true);
+        Self {
+            stem,
+            blocks,
+            head,
+            cfg,
+            aux: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &ConvNetConfig {
+        &self.cfg
+    }
+
+    /// Forward pass; `sink`, when provided, receives every GEMM input
+    /// (in [`ConvNet::dense_units_mut`] order) for LUTBoost calibration.
+    pub fn forward_collect(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        images: Tensor,
+        mut sink: Option<&mut Vec<Tensor>>,
+    ) -> NodeId {
+        self.aux.borrow_mut().clear();
+        let x = g.input(images);
+        let h = self.stem.forward(g, ps, x, &mut sink);
+        let mut h = g.relu(h);
+        for b in &self.blocks {
+            h = b.forward(g, ps, h, &mut sink);
+        }
+        let pooled = g.global_avg_pool(h);
+        if let Some(s) = sink.as_deref_mut() {
+            s.push(g.value(pooled).clone());
+        }
+        let logits = self.head.forward(g, ps, pooled);
+        // Collect aux losses emitted by LUT gemms during this forward.
+        let mut aux = self.aux.borrow_mut();
+        for unit in self.dense_units() {
+            if let Some(a) = unit.gemm.take_aux() {
+                aux.push(a);
+            }
+        }
+        logits
+    }
+
+    /// All dense units in forward order (stem, block convs, head).
+    pub fn dense_units(&self) -> Vec<&DenseUnit> {
+        let mut units = vec![&self.stem.dense];
+        for b in &self.blocks {
+            units.push(&b.conv1.dense);
+            units.push(&b.conv2.dense);
+            if let Some(d) = &b.downsample {
+                units.push(&d.dense);
+            }
+        }
+        units.push(&self.head);
+        units
+    }
+
+    /// Mutable dense units in the same order (LUTBoost conversion seam).
+    pub fn dense_units_mut(&mut self) -> Vec<&mut DenseUnit> {
+        let mut units: Vec<&mut DenseUnit> = vec![&mut self.stem.dense];
+        for b in &mut self.blocks {
+            units.push(&mut b.conv1.dense);
+            units.push(&mut b.conv2.dense);
+            if let Some(d) = &mut b.downsample {
+                units.push(&mut d.dense);
+            }
+        }
+        units.push(&mut self.head);
+        units
+    }
+
+    /// Runs a calibration forward and returns each GEMM's input matrix, in
+    /// [`ConvNet::dense_units_mut`] order.
+    pub fn capture_gemm_inputs(&self, ps: &ParamSet, images: Tensor) -> Vec<Tensor> {
+        let mut g = Graph::new(false);
+        let mut captured = Vec::new();
+        let _ = self.forward_collect(&mut g, ps, images, Some(&mut captured));
+        captured
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut p = self.stem.params();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+}
+
+impl std::fmt::Debug for ConvNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConvNet")
+            .field("cfg", &self.cfg)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl ImageModel for ConvNet {
+    fn logits(&self, g: &mut Graph, ps: &ParamSet, images: Tensor) -> NodeId {
+        self.forward_collect(g, ps, images, None)
+    }
+
+    fn aux_loss(&self, g: &mut Graph, _ps: &ParamSet) -> Option<NodeId> {
+        let aux = self.aux.borrow();
+        let mut it = aux.iter().copied();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, n| g.add(acc, n)))
+    }
+}
+
+/// ResNet-20 proxy: 1 block per stage, width 8.
+pub fn resnet20_mini(ps: &mut ParamSet, num_classes: usize) -> ConvNet {
+    ConvNet::new(
+        ps,
+        ConvNetConfig {
+            in_channels: 3,
+            image_size: 16,
+            width: 8,
+            blocks_per_stage: 1,
+            num_classes,
+            seed: 101,
+        },
+    )
+}
+
+/// ResNet-32 proxy: 2 blocks per stage, width 8.
+pub fn resnet32_mini(ps: &mut ParamSet, num_classes: usize) -> ConvNet {
+    ConvNet::new(
+        ps,
+        ConvNetConfig {
+            in_channels: 3,
+            image_size: 16,
+            width: 8,
+            blocks_per_stage: 2,
+            num_classes,
+            seed: 102,
+        },
+    )
+}
+
+/// ResNet-56 proxy: 3 blocks per stage, width 8.
+pub fn resnet56_mini(ps: &mut ParamSet, num_classes: usize) -> ConvNet {
+    ConvNet::new(
+        ps,
+        ConvNetConfig {
+            in_channels: 3,
+            image_size: 16,
+            width: 8,
+            blocks_per_stage: 3,
+            num_classes,
+            seed: 103,
+        },
+    )
+}
+
+/// ResNet-18 proxy: wider (12 → 24 channels), 2 blocks per stage.
+pub fn resnet18_mini(ps: &mut ParamSet, num_classes: usize) -> ConvNet {
+    ConvNet::new(
+        ps,
+        ConvNetConfig {
+            in_channels: 3,
+            image_size: 16,
+            width: 12,
+            blocks_per_stage: 2,
+            num_classes,
+            seed: 104,
+        },
+    )
+}
+
+/// VGG-11 proxy: width 10, 1 block per stage (no residual benefit at this
+/// scale; the residual structure is retained for implementation symmetry).
+pub fn vgg11_mini(ps: &mut ParamSet, num_classes: usize) -> ConvNet {
+    ConvNet::new(
+        ps,
+        ConvNetConfig {
+            in_channels: 3,
+            image_size: 16,
+            width: 10,
+            blocks_per_stage: 1,
+            num_classes,
+            seed: 105,
+        },
+    )
+}
+
+/// LeNet proxy: single channel input, width 6.
+pub fn lenet_mini(ps: &mut ParamSet, num_classes: usize) -> ConvNet {
+    ConvNet::new(
+        ps,
+        ConvNetConfig {
+            in_channels: 1,
+            image_size: 16,
+            width: 6,
+            blocks_per_stage: 1,
+            num_classes,
+            seed: 106,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Transformer classifier
+// ---------------------------------------------------------------------
+
+/// Configuration of the tiny transformer encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN expansion width.
+    pub d_ff: usize,
+    /// Encoder blocks.
+    pub layers: usize,
+    /// Output classes.
+    pub num_classes: usize,
+    /// Initialisation seed.
+    pub seed: u64,
+}
+
+struct EncoderBlock {
+    wq: DenseUnit,
+    wk: DenseUnit,
+    wv: DenseUnit,
+    wo: DenseUnit,
+    ff1: DenseUnit,
+    ff2: DenseUnit,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    heads: usize,
+}
+
+impl EncoderBlock {
+    fn new(ps: &mut ParamSet, rng: &mut StdRng, name: &str, d: usize, d_ff: usize, heads: usize) -> Self {
+        Self {
+            wq: DenseUnit::plain(ps, rng, &format!("{name}.wq"), d, d, true),
+            wk: DenseUnit::plain(ps, rng, &format!("{name}.wk"), d, d, true),
+            wv: DenseUnit::plain(ps, rng, &format!("{name}.wv"), d, d, true),
+            wo: DenseUnit::plain(ps, rng, &format!("{name}.wo"), d, d, true),
+            ff1: DenseUnit::plain(ps, rng, &format!("{name}.ff1"), d, d_ff, true),
+            ff2: DenseUnit::plain(ps, rng, &format!("{name}.ff2"), d_ff, d, true),
+            ln1: LayerNorm::new(ps, &format!("{name}.ln1"), d),
+            ln2: LayerNorm::new(ps, &format!("{name}.ln2"), d),
+            heads,
+        }
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        x: NodeId, // [B, T, D]
+        sink: &mut Option<&mut Vec<Tensor>>,
+    ) -> NodeId {
+        let dims = g.value(x).dims().to_vec();
+        let (b, t, d) = (dims[0], dims[1], dims[2]);
+        let flat = g.reshape(x, &[b * t, d]);
+        let grab = |g: &mut Graph, node: NodeId, sink: &mut Option<&mut Vec<Tensor>>| {
+            if let Some(s) = sink.as_deref_mut() {
+                s.push(g.value(node).clone());
+            }
+        };
+        grab(g, flat, sink);
+        let q = self.wq.forward(g, ps, flat);
+        grab(g, flat, sink);
+        let k = self.wk.forward(g, ps, flat);
+        grab(g, flat, sink);
+        let v = self.wv.forward(g, ps, flat);
+
+        let q3 = g.reshape(q, &[b, t, d]);
+        let k3 = g.reshape(k, &[b, t, d]);
+        let v3 = g.reshape(v, &[b, t, d]);
+        let qh = g.split_heads(q3, self.heads);
+        let kh = g.split_heads(k3, self.heads);
+        let vh = g.split_heads(v3, self.heads);
+        let kt = g.transpose_last2(kh);
+        let scores = g.bmm(qh, kt);
+        let dh = d / self.heads;
+        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let att = g.softmax(scaled);
+        let ctx = g.bmm(att, vh);
+        let merged = g.merge_heads(ctx, self.heads);
+        let mflat = g.reshape(merged, &[b * t, d]);
+        grab(g, mflat, sink);
+        let proj = self.wo.forward(g, ps, mflat);
+        let proj3 = g.reshape(proj, &[b, t, d]);
+        let res1 = g.add(x, proj3);
+        let norm1 = self.ln1.forward(g, ps, res1);
+
+        let nflat = g.reshape(norm1, &[b * t, d]);
+        grab(g, nflat, sink);
+        let h = self.ff1.forward(g, ps, nflat);
+        let h = g.gelu(h);
+        grab(g, h, sink);
+        let h = self.ff2.forward(g, ps, h);
+        let h3 = g.reshape(h, &[b, t, d]);
+        let res2 = g.add(norm1, h3);
+        self.ln2.forward(g, ps, res2)
+    }
+
+    fn dense_units(&self) -> Vec<&DenseUnit> {
+        vec![&self.wq, &self.wk, &self.wv, &self.wo, &self.ff1, &self.ff2]
+    }
+
+    fn dense_units_mut(&mut self) -> Vec<&mut DenseUnit> {
+        vec![
+            &mut self.wq,
+            &mut self.wk,
+            &mut self.wv,
+            &mut self.wo,
+            &mut self.ff1,
+            &mut self.ff2,
+        ]
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        let mut p: Vec<ParamId> = self
+            .dense_units()
+            .iter()
+            .flat_map(|u| u.params())
+            .collect();
+        p.extend(self.ln1.params());
+        p.extend(self.ln2.params());
+        p
+    }
+}
+
+/// A tiny transformer encoder classifier (BERT/DistilBERT/OPT proxy).
+pub struct TransformerClassifier {
+    emb: Embedding,
+    pos: ParamId,
+    blocks: Vec<EncoderBlock>,
+    head: DenseUnit,
+    cfg: TransformerConfig,
+    aux: RefCell<Vec<NodeId>>,
+}
+
+impl TransformerClassifier {
+    /// Builds the model, registering parameters in `ps`.
+    pub fn new(ps: &mut ParamSet, cfg: TransformerConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let emb = Embedding::new(ps, &mut rng, "emb", cfg.vocab, cfg.d_model);
+        let pos = ps.add(
+            "pos",
+            Tensor::randn(&mut rng, &[cfg.max_seq, cfg.d_model], 0.02),
+        );
+        let blocks = (0..cfg.layers)
+            .map(|i| {
+                EncoderBlock::new(
+                    ps,
+                    &mut rng,
+                    &format!("block{i}"),
+                    cfg.d_model,
+                    cfg.d_ff,
+                    cfg.heads,
+                )
+            })
+            .collect();
+        let head = DenseUnit::plain(ps, &mut rng, "cls", cfg.d_model, cfg.num_classes, true);
+        Self {
+            emb,
+            pos,
+            blocks,
+            head,
+            cfg,
+            aux: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Forward with optional GEMM-input capture.
+    pub fn forward_collect(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        tokens: &[usize],
+        batch: usize,
+        seq_len: usize,
+        mut sink: Option<&mut Vec<Tensor>>,
+    ) -> NodeId {
+        assert!(seq_len <= self.cfg.max_seq, "sequence too long");
+        assert_eq!(tokens.len(), batch * seq_len, "token buffer mismatch");
+        self.aux.borrow_mut().clear();
+        let e = self.emb.lookup(g, ps, tokens); // [B·T, D]
+        let d = self.cfg.d_model;
+        // positional add: tile pos[0..T] across the batch
+        let pos_v = ps.value(self.pos);
+        let mut tiled = vec![0.0f32; batch * seq_len * d];
+        for bi in 0..batch {
+            for t in 0..seq_len {
+                let dst = (bi * seq_len + t) * d;
+                tiled[dst..dst + d].copy_from_slice(&pos_v.data()[t * d..(t + 1) * d]);
+            }
+        }
+        let pos_node = g.input(Tensor::from_vec(tiled, &[batch * seq_len, d]));
+        let x = g.add(e, pos_node);
+        let mut h = g.reshape(x, &[batch, seq_len, d]);
+        for b in &self.blocks {
+            h = b.forward(g, ps, h, &mut sink);
+        }
+        // Mean-pool over tokens: [B, T, D] → [B, D] via reshape+transpose.
+        let ht = g.transpose_last2(h); // [B, D, T]
+        let flat = g.reshape(ht, &[batch * d, seq_len]);
+        let pooled = g.mean_last_axis_node(flat); // [B·D]
+        let pooled2 = g.reshape(pooled, &[batch, d]);
+        if let Some(s) = sink.as_deref_mut() {
+            s.push(g.value(pooled2).clone());
+        }
+        let logits = self.head.forward(g, ps, pooled2);
+        let mut aux = self.aux.borrow_mut();
+        for unit in self.dense_units() {
+            if let Some(a) = unit.gemm.take_aux() {
+                aux.push(a);
+            }
+        }
+        logits
+    }
+
+    /// All dense units in forward order (per block: q,k,v,o,ff1,ff2; head).
+    pub fn dense_units(&self) -> Vec<&DenseUnit> {
+        let mut units: Vec<&DenseUnit> =
+            self.blocks.iter().flat_map(|b| b.dense_units()).collect();
+        units.push(&self.head);
+        units
+    }
+
+    /// Mutable dense units in the same order.
+    pub fn dense_units_mut(&mut self) -> Vec<&mut DenseUnit> {
+        let mut units: Vec<&mut DenseUnit> = self
+            .blocks
+            .iter_mut()
+            .flat_map(|b| b.dense_units_mut())
+            .collect();
+        units.push(&mut self.head);
+        units
+    }
+
+    /// Calibration capture of every GEMM input.
+    pub fn capture_gemm_inputs(
+        &self,
+        ps: &ParamSet,
+        tokens: &[usize],
+        batch: usize,
+        seq_len: usize,
+    ) -> Vec<Tensor> {
+        let mut g = Graph::new(false);
+        let mut captured = Vec::new();
+        let _ = self.forward_collect(&mut g, ps, tokens, batch, seq_len, Some(&mut captured));
+        captured
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut p = vec![self.emb.table(), self.pos];
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.head.params());
+        p
+    }
+}
+
+impl std::fmt::Debug for TransformerClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransformerClassifier")
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl SeqModel for TransformerClassifier {
+    fn logits(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        tokens: &[usize],
+        batch: usize,
+        seq_len: usize,
+    ) -> NodeId {
+        self.forward_collect(g, ps, tokens, batch, seq_len, None)
+    }
+
+    fn aux_loss(&self, g: &mut Graph, _ps: &ParamSet) -> Option<NodeId> {
+        let aux = self.aux.borrow();
+        let mut it = aux.iter().copied();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, n| g.add(acc, n)))
+    }
+}
+
+/// BERT proxy: 2 encoder blocks, d=32.
+pub fn bert_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassifier {
+    TransformerClassifier::new(
+        ps,
+        TransformerConfig {
+            vocab: 64,
+            max_seq: 16,
+            d_model: 32,
+            heads: 4,
+            d_ff: 64,
+            layers: 2,
+            num_classes,
+            seed: 201,
+        },
+    )
+}
+
+/// DistilBERT proxy: 1 encoder block, d=32.
+pub fn distilbert_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassifier {
+    TransformerClassifier::new(
+        ps,
+        TransformerConfig {
+            vocab: 64,
+            max_seq: 16,
+            d_model: 32,
+            heads: 4,
+            d_ff: 64,
+            layers: 1,
+            num_classes,
+            seed: 202,
+        },
+    )
+}
+
+/// OPT-125M proxy: 2 encoder blocks, d=40.
+pub fn opt125m_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassifier {
+    TransformerClassifier::new(
+        ps,
+        TransformerConfig {
+            vocab: 64,
+            max_seq: 16,
+            d_model: 40,
+            heads: 4,
+            d_ff: 80,
+            layers: 2,
+            num_classes,
+            seed: 203,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lutdla_nn::data::{synthetic_images, synthetic_sequences, ImageTaskConfig, SeqTaskConfig};
+    use lutdla_nn::{
+        eval_images, eval_seq, train_epoch_images, train_epoch_seq, Adam, Optimizer, Sgd,
+    };
+
+    #[test]
+    fn convnet_shapes() {
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 10);
+        let mut g = Graph::new(false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&mut rng, &[2, 3, 16, 16], 1.0);
+        let y = net.logits(&mut g, &ps, x);
+        assert_eq!(g.value(y).dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn convnet_dense_unit_order_matches_capture() {
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&mut rng, &[2, 3, 16, 16], 1.0);
+        let captured = net.capture_gemm_inputs(&ps, x);
+        let units = net.dense_units();
+        assert_eq!(captured.len(), units.len());
+        for (c, u) in captured.iter().zip(&units) {
+            assert_eq!(
+                c.dims()[1],
+                u.gemm.in_dim(),
+                "capture/unit mismatch for {}",
+                u.name
+            );
+        }
+    }
+
+    #[test]
+    fn convnet_learns() {
+        let cfg = ImageTaskConfig {
+            num_classes: 4,
+            n_train: 96,
+            n_test: 48,
+            noise: 0.25,
+            ..ImageTaskConfig::cifar10_proxy()
+        };
+        let (train, test) = synthetic_images(&cfg);
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 4);
+        let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
+        for _ in 0..6 {
+            train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
+        }
+        let acc = eval_images(&net, &ps, &test, 32);
+        assert!(acc > 0.5, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn transformer_shapes() {
+        let mut ps = ParamSet::new();
+        let net = bert_mini(&mut ps, 3);
+        let mut g = Graph::new(false);
+        let tokens: Vec<usize> = (0..2 * 16).map(|i| i % 64).collect();
+        let y = net.logits(&mut g, &ps, &tokens, 2, 16);
+        assert_eq!(g.value(y).dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn transformer_capture_matches_units() {
+        let mut ps = ParamSet::new();
+        let net = bert_mini(&mut ps, 3);
+        let tokens: Vec<usize> = (0..2 * 16).map(|i| i % 64).collect();
+        let captured = net.capture_gemm_inputs(&ps, &tokens, 2, 16);
+        let units = net.dense_units();
+        assert_eq!(captured.len(), units.len());
+        for (c, u) in captured.iter().zip(&units) {
+            assert_eq!(c.dims()[1], u.gemm.in_dim(), "mismatch for {}", u.name);
+        }
+    }
+
+    #[test]
+    fn transformer_learns() {
+        let cfg = SeqTaskConfig {
+            n_train: 192,
+            n_test: 96,
+            ..SeqTaskConfig::glue_proxy(9, 2)
+        };
+        let (train, test) = synthetic_sequences(&cfg);
+        let mut ps = ParamSet::new();
+        let net = distilbert_mini(&mut ps, 2);
+        let mut opt = Optimizer::Adam(Adam::new(3e-3));
+        for _ in 0..8 {
+            train_epoch_seq(&net, &mut ps, &mut opt, &train, 32);
+        }
+        let acc = eval_seq(&net, &ps, &test, 32);
+        assert!(acc > 0.7, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn param_counts_scale_with_depth() {
+        let mut ps20 = ParamSet::new();
+        let _ = resnet20_mini(&mut ps20, 10);
+        let mut ps56 = ParamSet::new();
+        let _ = resnet56_mini(&mut ps56, 10);
+        assert!(ps56.num_scalars() > 2 * ps20.num_scalars());
+    }
+}

@@ -1,0 +1,330 @@
+//! The workload zoo: full-size layer shapes of every model the paper
+//! evaluates (ResNet family, VGG11, LeNet, BERT, DistilBERT, OPT-125M).
+//!
+//! These descriptors drive the performance/energy experiments (Tables
+//! VIII/IX, Figs. 13/14); they are *shape-only* — the trainable counterparts
+//! used for accuracy experiments live in [`crate::trainable`].
+
+use lutdla_tensor::Conv2dGeometry;
+
+use crate::shapes::{LayerShape, Workload};
+
+fn conv(cin: usize, cout: usize, hw: usize, k: usize, stride: usize, pad: usize) -> LayerShape {
+    LayerShape::Conv(Conv2dGeometry::new(
+        cin,
+        cout,
+        (hw, hw),
+        (k, k),
+        stride,
+        pad,
+    ))
+}
+
+/// CIFAR-style ResNet (He et al.): depth ∈ {20, 32, 56}, 3 stages of
+/// `(depth-2)/6` basic blocks at 16/32/64 channels on 32×32 inputs.
+///
+/// # Panics
+///
+/// Panics if `depth % 6 != 2`.
+pub fn resnet_cifar(depth: usize, num_classes: usize) -> Workload {
+    assert_eq!(depth % 6, 2, "CIFAR ResNet depth must be 6n+2");
+    let n = (depth - 2) / 6;
+    let mut layers = vec![conv(3, 16, 32, 3, 1, 1)];
+    let stage = |layers: &mut Vec<LayerShape>, cin: usize, cout: usize, hw: usize, blocks: usize| {
+        for b in 0..blocks {
+            let (stride, in_c, in_hw) = if b == 0 && cin != cout {
+                (2, cin, hw * 2)
+            } else {
+                (1, cout, hw)
+            };
+            layers.push(conv(in_c, cout, in_hw, 3, stride, 1));
+            layers.push(conv(cout, cout, hw, 3, 1, 1));
+            if b == 0 && cin != cout {
+                // 1×1 projection shortcut
+                layers.push(conv(cin, cout, in_hw, 1, 2, 0));
+            }
+        }
+    };
+    stage(&mut layers, 16, 16, 32, n);
+    stage(&mut layers, 16, 32, 16, n);
+    stage(&mut layers, 32, 64, 8, n);
+    layers.push(LayerShape::Linear {
+        tokens: 1,
+        in_features: 64,
+        out_features: num_classes,
+    });
+    Workload::new(format!("ResNet{depth}"), layers)
+}
+
+/// ImageNet-style ResNet-18/34 (basic blocks) on 224×224 inputs.
+///
+/// # Panics
+///
+/// Panics if `depth` is not 18 or 34.
+pub fn resnet_imagenet(depth: usize, num_classes: usize) -> Workload {
+    let blocks: [usize; 4] = match depth {
+        18 => [2, 2, 2, 2],
+        34 => [3, 4, 6, 3],
+        other => panic!("unsupported basic-block ResNet depth {other}"),
+    };
+    let mut layers = vec![conv(3, 64, 224, 7, 2, 3)];
+    // maxpool 3x3/2 → 56×56 (pooling carries no GEMM)
+    let chans = [64usize, 128, 256, 512];
+    let hws = [56usize, 28, 14, 7];
+    let mut cin = 64;
+    for s in 0..4 {
+        let cout = chans[s];
+        let hw = hws[s];
+        for b in 0..blocks[s] {
+            let (stride, in_c, in_hw) = if b == 0 && s > 0 {
+                (2, cin, hw * 2)
+            } else {
+                (1, cout, hw)
+            };
+            layers.push(conv(in_c, cout, in_hw, 3, stride, 1));
+            layers.push(conv(cout, cout, hw, 3, 1, 1));
+            if b == 0 && s > 0 {
+                layers.push(conv(cin, cout, in_hw, 1, 2, 0));
+            }
+        }
+        cin = cout;
+    }
+    layers.push(LayerShape::Linear {
+        tokens: 1,
+        in_features: 512,
+        out_features: num_classes,
+    });
+    Workload::new(format!("ResNet{depth}"), layers)
+}
+
+/// ResNet-50 (bottleneck blocks) on 224×224 inputs.
+pub fn resnet50(num_classes: usize) -> Workload {
+    let blocks = [3usize, 4, 6, 3];
+    let mut layers = vec![conv(3, 64, 224, 7, 2, 3)];
+    let mid = [64usize, 128, 256, 512];
+    let hws = [56usize, 28, 14, 7];
+    let mut cin = 64;
+    for s in 0..4 {
+        let m = mid[s];
+        let cout = m * 4;
+        let hw = hws[s];
+        for b in 0..blocks[s] {
+            let (stride, in_c, in_hw) = if b == 0 {
+                if s == 0 {
+                    (1, cin, hw)
+                } else {
+                    (2, cin, hw * 2)
+                }
+            } else {
+                (1, cout, hw)
+            };
+            layers.push(conv(in_c, m, in_hw, 1, 1, 0));
+            layers.push(conv(m, m, if stride == 2 { in_hw } else { hw }, 3, stride, 1));
+            layers.push(conv(m, cout, hw, 1, 1, 0));
+            if b == 0 {
+                layers.push(conv(in_c, cout, in_hw, 1, stride, 0));
+            }
+        }
+        cin = cout;
+    }
+    layers.push(LayerShape::Linear {
+        tokens: 1,
+        in_features: 2048,
+        out_features: num_classes,
+    });
+    Workload::new("ResNet50", layers)
+}
+
+/// VGG-11 on 32×32 inputs (the CIFAR variant used in Table IV).
+pub fn vgg11(num_classes: usize) -> Workload {
+    let mut layers = Vec::new();
+    let cfg: [(usize, usize, usize); 8] = [
+        (3, 64, 32),
+        (64, 128, 16),
+        (128, 256, 8),
+        (256, 256, 8),
+        (256, 512, 4),
+        (512, 512, 4),
+        (512, 512, 2),
+        (512, 512, 2),
+    ];
+    for (cin, cout, hw) in cfg {
+        layers.push(conv(cin, cout, hw, 3, 1, 1));
+    }
+    layers.push(LayerShape::Linear {
+        tokens: 1,
+        in_features: 512,
+        out_features: 512,
+    });
+    layers.push(LayerShape::Linear {
+        tokens: 1,
+        in_features: 512,
+        out_features: num_classes,
+    });
+    Workload::new("VGG11", layers)
+}
+
+/// LeNet-5 on 28×28 MNIST inputs.
+pub fn lenet() -> Workload {
+    Workload::new(
+        "LeNet",
+        vec![
+            conv(1, 6, 28, 5, 1, 2),
+            conv(6, 16, 14, 5, 1, 0),
+            LayerShape::Linear {
+                tokens: 1,
+                in_features: 16 * 5 * 5,
+                out_features: 120,
+            },
+            LayerShape::Linear {
+                tokens: 1,
+                in_features: 120,
+                out_features: 84,
+            },
+            LayerShape::Linear {
+                tokens: 1,
+                in_features: 84,
+                out_features: 10,
+            },
+        ],
+    )
+}
+
+/// Options controlling which transformer GEMMs are counted.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerGemmOpts {
+    /// Sequence length (rows of every projection GEMM).
+    pub seq_len: usize,
+    /// Include the attention output projection. The paper's end-to-end
+    /// methodology counts "QKV Projection and FFN layers" only, so the
+    /// default is `false`.
+    pub include_out_proj: bool,
+}
+
+impl Default for TransformerGemmOpts {
+    fn default() -> Self {
+        Self {
+            seq_len: 512,
+            include_out_proj: false,
+        }
+    }
+}
+
+/// Generic transformer encoder stack: `layers` blocks of width `d_model`
+/// with FFN expansion `d_ff`.
+pub fn transformer(
+    name: &str,
+    layers: usize,
+    d_model: usize,
+    d_ff: usize,
+    opts: TransformerGemmOpts,
+) -> Workload {
+    let mut shapes = Vec::new();
+    let lin = |inf: usize, outf: usize| LayerShape::Linear {
+        tokens: opts.seq_len,
+        in_features: inf,
+        out_features: outf,
+    };
+    for _ in 0..layers {
+        // QKV projections
+        shapes.push(lin(d_model, d_model));
+        shapes.push(lin(d_model, d_model));
+        shapes.push(lin(d_model, d_model));
+        if opts.include_out_proj {
+            shapes.push(lin(d_model, d_model));
+        }
+        // FFN
+        shapes.push(lin(d_model, d_ff));
+        shapes.push(lin(d_ff, d_model));
+    }
+    Workload::new(name, shapes)
+}
+
+/// BERT-base: 12 layers, d=768, FFN 3072.
+pub fn bert_base(opts: TransformerGemmOpts) -> Workload {
+    transformer("BERT", 12, 768, 3072, opts)
+}
+
+/// DistilBERT: 6 layers, d=768, FFN 3072.
+pub fn distilbert(opts: TransformerGemmOpts) -> Workload {
+    transformer("DistilBERT", 6, 768, 3072, opts)
+}
+
+/// OPT-125M: 12 layers, d=768, FFN 3072.
+pub fn opt_125m(opts: TransformerGemmOpts) -> Workload {
+    transformer("OPT-125M", 12, 768, 3072, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet20_layer_count() {
+        // stem + 3 stages × 3 blocks × 2 convs + 2 projection shortcuts + fc
+        let w = resnet_cifar(20, 10);
+        assert_eq!(w.layers.len(), 1 + 18 + 2 + 1);
+    }
+
+    #[test]
+    fn resnet18_macs_close_to_published() {
+        // Published: ~1.82 GMACs for 224×224 ResNet-18.
+        let w = resnet_imagenet(18, 1000);
+        let gmacs = w.total_macs(1) as f64 / 1e9;
+        assert!(
+            (1.6..2.1).contains(&gmacs),
+            "ResNet18 GMACs = {gmacs}, expected ≈1.8"
+        );
+    }
+
+    #[test]
+    fn resnet50_macs_close_to_published() {
+        // Published: ~4.1 GMACs.
+        let w = resnet50(1000);
+        let gmacs = w.total_macs(1) as f64 / 1e9;
+        assert!(
+            (3.5..4.6).contains(&gmacs),
+            "ResNet50 GMACs = {gmacs}, expected ≈4.1"
+        );
+    }
+
+    #[test]
+    fn resnet20_weights_close_to_published() {
+        // Paper §V-1: ResNet20 has ~0.27M parameters.
+        let w = resnet_cifar(20, 10);
+        let params = w.total_weights() as f64 / 1e6;
+        assert!(
+            (0.2..0.35).contains(&params),
+            "ResNet20 params = {params}M, expected ≈0.27M"
+        );
+    }
+
+    #[test]
+    fn bert_projection_gemm_matches_paper_table9() {
+        // Table IX computes GEMM 512×768×768 — the QKV projection shape.
+        let w = bert_base(TransformerGemmOpts::default());
+        let g = w.gemms(1);
+        assert_eq!(g[0].m, 512);
+        assert_eq!(g[0].k, 768);
+        assert_eq!(g[0].n, 768);
+        // 12 layers × (3 QKV + 2 FFN) = 60 GEMMs
+        assert_eq!(g.len(), 60);
+    }
+
+    #[test]
+    fn distilbert_half_of_bert() {
+        let opts = TransformerGemmOpts::default();
+        assert_eq!(
+            distilbert(opts).total_macs(1) * 2,
+            bert_base(opts).total_macs(1)
+        );
+    }
+
+    #[test]
+    fn lenet_shapes_consistent() {
+        let w = lenet();
+        let g = w.gemms(1);
+        assert_eq!(g[0].k, 25); // 1×5×5
+        assert_eq!(g[2].k, 400); // 16×5×5
+    }
+}

@@ -1,0 +1,450 @@
+//! Synthetic datasets standing in for CIFAR/ImageNet/GLUE.
+//!
+//! The paper's accuracy experiments require labelled image and text corpora
+//! that are not available in this environment. These generators produce
+//! classification tasks with the property that matters for every LUT-DLA
+//! experiment: *activations carry clusterable semantic structure*, so vector
+//! quantization with enough centroids preserves accuracy and starves it with
+//! too few. Task difficulty is controlled by class count, noise level, and
+//! intra-class jitter, mirroring the CIFAR-10 → CIFAR-100 difficulty step.
+
+use lutdla_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled image-classification dataset in NCHW layout.
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    /// Stacked images `[n, c, h, w]`.
+    pub images: Tensor,
+    /// One label per image.
+    pub labels: Vec<usize>,
+    /// Channel count.
+    pub channels: usize,
+    /// Spatial size.
+    pub hw: (usize, usize),
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl ImageDataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Extracts minibatch `i` of size `bs` (last batch may be smaller).
+    pub fn batch(&self, i: usize, bs: usize) -> (Tensor, Vec<usize>) {
+        let n = self.len();
+        let start = i * bs;
+        let end = (start + bs).min(n);
+        assert!(start < n, "batch index out of range");
+        let per = self.channels * self.hw.0 * self.hw.1;
+        let data = self.images.data()[start * per..end * per].to_vec();
+        (
+            Tensor::from_vec(data, &[end - start, self.channels, self.hw.0, self.hw.1]),
+            self.labels[start..end].to_vec(),
+        )
+    }
+
+    /// Number of minibatches of size `bs`.
+    pub fn num_batches(&self, bs: usize) -> usize {
+        self.len().div_ceil(bs)
+    }
+}
+
+/// Configuration for [`synthetic_images`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImageTaskConfig {
+    /// Number of classes (10 for the CIFAR-10 proxy, 100 for CIFAR-100).
+    pub num_classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Spatial size (square).
+    pub size: usize,
+    /// Training examples.
+    pub n_train: usize,
+    /// Test examples.
+    pub n_test: usize,
+    /// Additive noise σ — larger is harder.
+    pub noise: f32,
+    /// Maximum circular shift in pixels — larger is harder.
+    pub jitter: usize,
+    /// RNG seed (datasets are fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl ImageTaskConfig {
+    /// The CIFAR-10 proxy used throughout the benches: 10 easy classes.
+    pub fn cifar10_proxy() -> Self {
+        Self {
+            num_classes: 10,
+            channels: 3,
+            size: 16,
+            n_train: 512,
+            n_test: 256,
+            noise: 0.35,
+            jitter: 2,
+            seed: 1001,
+        }
+    }
+
+    /// The CIFAR-100 proxy: more classes, noisier → lower achievable accuracy.
+    pub fn cifar100_proxy() -> Self {
+        Self {
+            num_classes: 20,
+            channels: 3,
+            size: 16,
+            n_train: 768,
+            n_test: 384,
+            noise: 0.55,
+            jitter: 2,
+            seed: 1002,
+        }
+    }
+
+    /// MNIST proxy: single channel, nearly separable.
+    pub fn mnist_proxy() -> Self {
+        Self {
+            num_classes: 10,
+            channels: 1,
+            size: 16,
+            n_train: 512,
+            n_test: 256,
+            noise: 0.2,
+            jitter: 1,
+            seed: 1003,
+        }
+    }
+
+    /// Tiny-ImageNet proxy: harder than the CIFAR-100 proxy.
+    pub fn tiny_imagenet_proxy() -> Self {
+        Self {
+            num_classes: 25,
+            channels: 3,
+            size: 16,
+            n_train: 1000,
+            n_test: 500,
+            noise: 0.65,
+            jitter: 3,
+            seed: 1004,
+        }
+    }
+
+    /// ImageNet proxy: the hardest image setting we generate.
+    pub fn imagenet_proxy() -> Self {
+        Self {
+            num_classes: 30,
+            channels: 3,
+            size: 16,
+            n_train: 1200,
+            n_test: 600,
+            noise: 0.7,
+            jitter: 3,
+            seed: 1005,
+        }
+    }
+}
+
+/// Generates a train/test pair of synthetic image-classification datasets.
+///
+/// Each class is a smooth random prototype (coarse 4×4 noise grid upsampled
+/// bilinearly); examples are prototype + Gaussian noise, circularly shifted
+/// by up to `jitter` pixels.
+pub fn synthetic_images(cfg: &ImageTaskConfig) -> (ImageDataset, ImageDataset) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (c, s) = (cfg.channels, cfg.size);
+    // Class prototypes.
+    let prototypes: Vec<Tensor> = (0..cfg.num_classes)
+        .map(|_| smooth_pattern(&mut rng, c, s))
+        .collect();
+
+    let make = |n: usize, rng: &mut StdRng| {
+        let mut images = vec![0.0f32; n * c * s * s];
+        let mut labels = vec![0usize; n];
+        for i in 0..n {
+            let class = rng.gen_range(0..cfg.num_classes);
+            labels[i] = class;
+            let dy = if cfg.jitter > 0 {
+                rng.gen_range(0..=2 * cfg.jitter) as isize - cfg.jitter as isize
+            } else {
+                0
+            };
+            let dx = if cfg.jitter > 0 {
+                rng.gen_range(0..=2 * cfg.jitter) as isize - cfg.jitter as isize
+            } else {
+                0
+            };
+            let proto = &prototypes[class];
+            for ci in 0..c {
+                for y in 0..s {
+                    for x in 0..s {
+                        let sy = (y as isize + dy).rem_euclid(s as isize) as usize;
+                        let sx = (x as isize + dx).rem_euclid(s as isize) as usize;
+                        let noise: f32 = {
+                            // cheap Gaussian via sum of uniforms
+                            let u: f32 = (0..4).map(|_| rng.gen::<f32>()).sum::<f32>() - 2.0;
+                            u * cfg.noise
+                        };
+                        images[((i * c + ci) * s + y) * s + x] =
+                            proto.at(&[ci, sy, sx]) + noise;
+                    }
+                }
+            }
+        }
+        ImageDataset {
+            images: Tensor::from_vec(images, &[n, c, s, s]),
+            labels,
+            channels: c,
+            hw: (s, s),
+            num_classes: cfg.num_classes,
+        }
+    };
+
+    let train = make(cfg.n_train, &mut rng);
+    let test = make(cfg.n_test, &mut rng);
+    (train, test)
+}
+
+fn smooth_pattern(rng: &mut StdRng, c: usize, s: usize) -> Tensor {
+    const COARSE: usize = 4;
+    let mut out = Tensor::zeros(&[c, s, s]);
+    for ci in 0..c {
+        let grid: Vec<f32> = (0..COARSE * COARSE)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        for y in 0..s {
+            for x in 0..s {
+                // bilinear sample of the coarse grid
+                let fy = y as f32 / s as f32 * (COARSE - 1) as f32;
+                let fx = x as f32 / s as f32 * (COARSE - 1) as f32;
+                let (y0, x0) = (fy as usize, fx as usize);
+                let (y1, x1) = ((y0 + 1).min(COARSE - 1), (x0 + 1).min(COARSE - 1));
+                let (wy, wx) = (fy - y0 as f32, fx - x0 as f32);
+                let v = grid[y0 * COARSE + x0] * (1.0 - wy) * (1.0 - wx)
+                    + grid[y0 * COARSE + x1] * (1.0 - wy) * wx
+                    + grid[y1 * COARSE + x0] * wy * (1.0 - wx)
+                    + grid[y1 * COARSE + x1] * wy * wx;
+                out.set(&[ci, y, x], v);
+            }
+        }
+    }
+    out
+}
+
+/// A labelled sequence-classification dataset (GLUE proxy).
+#[derive(Debug, Clone)]
+pub struct SeqDataset {
+    /// Token ids, flattened `[n, seq_len]` row-major.
+    pub tokens: Vec<usize>,
+    /// One label per sequence.
+    pub labels: Vec<usize>,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl SeqDataset {
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Extracts minibatch `i` of size `bs`: flat token ids + labels.
+    pub fn batch(&self, i: usize, bs: usize) -> (Vec<usize>, Vec<usize>) {
+        let n = self.len();
+        let start = i * bs;
+        let end = (start + bs).min(n);
+        assert!(start < n, "batch index out of range");
+        (
+            self.tokens[start * self.seq_len..end * self.seq_len].to_vec(),
+            self.labels[start..end].to_vec(),
+        )
+    }
+
+    /// Number of minibatches of size `bs`.
+    pub fn num_batches(&self, bs: usize) -> usize {
+        self.len().div_ceil(bs)
+    }
+}
+
+/// Configuration for [`synthetic_sequences`].
+#[derive(Debug, Clone, Copy)]
+pub struct SeqTaskConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Training sequences.
+    pub n_train: usize,
+    /// Test sequences.
+    pub n_test: usize,
+    /// Probability that a trigger token is replaced by noise — harder when
+    /// larger.
+    pub corruption: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SeqTaskConfig {
+    /// A GLUE-like binary/multi-class proxy: class ⇔ which trigger-token family
+    /// appears in the sequence.
+    pub fn glue_proxy(task_seed: u64, num_classes: usize) -> Self {
+        Self {
+            num_classes,
+            vocab: 64,
+            seq_len: 16,
+            n_train: 512,
+            n_test: 256,
+            corruption: 0.3,
+            seed: 2000 + task_seed,
+        }
+    }
+}
+
+/// Generates a train/test pair of sequence-classification datasets.
+///
+/// Each class owns a small set of trigger tokens; a sequence of class `k`
+/// embeds several of `k`'s triggers among uniform noise tokens. A model must
+/// learn token identity + aggregation — the same shape of problem as GLUE
+/// single-sentence tasks, at toy scale.
+pub fn synthetic_sequences(cfg: &SeqTaskConfig) -> (SeqDataset, SeqDataset) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let triggers_per_class = 3usize;
+    // Reserve the top of the vocabulary for triggers, one disjoint set per class.
+    let trigger_base = cfg.vocab - cfg.num_classes * triggers_per_class;
+    assert!(trigger_base > 4, "vocab too small for class count");
+
+    let make = |n: usize, rng: &mut StdRng| {
+        let mut tokens = vec![0usize; n * cfg.seq_len];
+        let mut labels = vec![0usize; n];
+        for i in 0..n {
+            let class = rng.gen_range(0..cfg.num_classes);
+            labels[i] = class;
+            for t in 0..cfg.seq_len {
+                tokens[i * cfg.seq_len + t] = rng.gen_range(0..trigger_base);
+            }
+            // plant 4 trigger tokens at random positions
+            for _ in 0..4 {
+                if rng.gen::<f32>() < cfg.corruption {
+                    continue;
+                }
+                let pos = rng.gen_range(0..cfg.seq_len);
+                let trig =
+                    trigger_base + class * triggers_per_class + rng.gen_range(0..triggers_per_class);
+                tokens[i * cfg.seq_len + pos] = trig;
+            }
+        }
+        SeqDataset {
+            tokens,
+            labels,
+            seq_len: cfg.seq_len,
+            vocab: cfg.vocab,
+            num_classes: cfg.num_classes,
+        }
+    };
+
+    let train = make(cfg.n_train, &mut rng);
+    let test = make(cfg.n_test, &mut rng);
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_dataset_shapes() {
+        let cfg = ImageTaskConfig {
+            n_train: 32,
+            n_test: 16,
+            ..ImageTaskConfig::cifar10_proxy()
+        };
+        let (train, test) = synthetic_images(&cfg);
+        assert_eq!(train.len(), 32);
+        assert_eq!(test.len(), 16);
+        assert_eq!(train.images.dims(), &[32, 3, 16, 16]);
+        assert!(train.labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn image_batches_cover_dataset() {
+        let cfg = ImageTaskConfig {
+            n_train: 10,
+            n_test: 5,
+            ..ImageTaskConfig::cifar10_proxy()
+        };
+        let (train, _) = synthetic_images(&cfg);
+        let bs = 4;
+        assert_eq!(train.num_batches(bs), 3);
+        let mut total = 0;
+        for i in 0..train.num_batches(bs) {
+            let (x, y) = train.batch(i, bs);
+            assert_eq!(x.dims()[0], y.len());
+            total += y.len();
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn datasets_deterministic_given_seed() {
+        let cfg = ImageTaskConfig::cifar10_proxy();
+        let (a, _) = synthetic_images(&cfg);
+        let (b, _) = synthetic_images(&cfg);
+        assert_eq!(a.labels, b.labels);
+        assert!(a.images.allclose(&b.images, 0.0));
+    }
+
+    #[test]
+    fn seq_dataset_in_vocab() {
+        let cfg = SeqTaskConfig::glue_proxy(0, 2);
+        let (train, test) = synthetic_sequences(&cfg);
+        assert_eq!(train.len(), 512);
+        assert_eq!(test.len(), 256);
+        assert!(train.tokens.iter().all(|&t| t < cfg.vocab));
+    }
+
+    #[test]
+    fn class_signal_exists() {
+        // Trigger tokens of a class should appear far more often in that
+        // class's sequences.
+        let cfg = SeqTaskConfig::glue_proxy(1, 2);
+        let (train, _) = synthetic_sequences(&cfg);
+        let trigger_base = cfg.vocab - 2 * 3;
+        let mut count_match = 0usize;
+        let mut count_cross = 0usize;
+        for i in 0..train.len() {
+            let class = train.labels[i];
+            for t in 0..cfg.seq_len {
+                let tok = train.tokens[i * cfg.seq_len + t];
+                if tok >= trigger_base {
+                    let tok_class = (tok - trigger_base) / 3;
+                    if tok_class == class {
+                        count_match += 1;
+                    } else {
+                        count_cross += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            count_match > 5 * count_cross.max(1),
+            "match={count_match} cross={count_cross}"
+        );
+    }
+}

@@ -1,0 +1,1385 @@
+//! Define-by-run tape autograd over [`lutdla_tensor::Tensor`].
+//!
+//! A [`Graph`] records every operation as a node referencing earlier nodes,
+//! so reverse iteration over node indices is a valid reverse-topological
+//! order. The op set is a closed enum covering everything the workload zoo
+//! needs, plus a [`CustomOp`] escape hatch through which `lutdla-lutboost`
+//! injects its straight-through-estimator quantization op without this crate
+//! knowing anything about vector quantization.
+
+use lutdla_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+
+use crate::params::{ParamId, ParamSet};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Raw index of the node in creation order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A differentiable operation with caller-provided forward and backward.
+///
+/// The forward value is computed by the caller *before* registering the node
+/// (see [`Graph::custom`]); only the backward rule lives in the trait. This
+/// lets downstream crates implement non-differentiable forwards (argmin,
+/// table lookups) with surrogate gradients (straight-through estimators).
+pub trait CustomOp {
+    /// Name used in debug output.
+    fn name(&self) -> &str;
+
+    /// Given `∂L/∂value`, the parents' forward values, and this node's own
+    /// forward value, returns `∂L/∂parent` for each parent (or `None` for
+    /// parents that receive no gradient).
+    fn backward(
+        &self,
+        grad_out: &Tensor,
+        parent_values: &[&Tensor],
+        value: &Tensor,
+    ) -> Vec<Option<Tensor>>;
+}
+
+enum Op {
+    /// Leaf with no gradient.
+    Input,
+    /// Leaf whose gradient is routed back to a [`ParamSet`] entry.
+    Param(ParamId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Div(NodeId, NodeId),
+    Neg(NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId, #[allow(dead_code)] f32),
+    Matmul(NodeId, NodeId),
+    Bmm(NodeId, NodeId),
+    Transpose(NodeId),
+    TransposeLast2(NodeId),
+    Reshape(NodeId, Vec<usize>),
+    Relu(NodeId),
+    Gelu(NodeId),
+    Abs(NodeId),
+    Square(NodeId),
+    Sqrt(NodeId),
+    AddBiasLastDim(NodeId, NodeId),
+    AddBiasChannel(NodeId, NodeId),
+    SoftmaxLastDim(NodeId),
+    LayerNormLastDim {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        /// Saved normalized activations.
+        xhat: Tensor,
+        /// Saved per-row 1/σ.
+        inv_std: Vec<f32>,
+    },
+    BatchNorm2d {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    Im2col {
+        x: NodeId,
+        geom: Conv2dGeometry,
+        batch: usize,
+    },
+    MaxPool2d {
+        x: NodeId,
+        in_dims: [usize; 4],
+        argmax: Vec<usize>,
+    },
+    GlobalAvgPool(NodeId),
+    CrossEntropyLogits {
+        logits: NodeId,
+        labels: Vec<usize>,
+        softmax: Tensor,
+    },
+    MseLoss(NodeId, NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    MeanLastAxis(NodeId),
+    Embedding {
+        table: NodeId,
+        ids: Vec<usize>,
+    },
+    SplitHeads {
+        x: NodeId,
+        heads: usize,
+    },
+    MergeHeads {
+        x: NodeId,
+        heads: usize,
+    },
+    Dropout {
+        x: NodeId,
+        mask: Vec<f32>,
+    },
+    StopGradient(#[allow(dead_code)] NodeId),
+    Custom {
+        parents: Vec<NodeId>,
+        op: Box<dyn CustomOp>,
+    },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+/// A single forward/backward tape.
+///
+/// Build one `Graph` per training step, call [`Graph::backward`] on the loss
+/// node, then flush parameter gradients with [`Graph::apply_param_grads`].
+///
+/// # Example
+///
+/// ```
+/// use lutdla_nn::{Graph, ParamSet};
+/// use lutdla_tensor::Tensor;
+///
+/// let mut ps = ParamSet::new();
+/// let w = ps.add("w", Tensor::from_vec(vec![2.0], &[1, 1]));
+/// let mut g = Graph::new(true);
+/// let x = g.input(Tensor::from_vec(vec![3.0], &[1, 1]));
+/// let wn = g.param(&ps, w);
+/// let y = g.matmul(x, wn);
+/// let loss = g.sum_all(y);
+/// g.backward(loss);
+/// g.apply_param_grads(&mut ps);
+/// assert_eq!(ps.grad(w).data(), &[3.0]);
+/// ```
+pub struct Graph {
+    nodes: Vec<Node>,
+    train: bool,
+}
+
+impl Graph {
+    /// Creates a new tape. `train = true` enables dropout and batch-norm
+    /// batch statistics.
+    pub fn new(train: bool) -> Self {
+        Self {
+            nodes: Vec::new(),
+            train,
+        }
+    }
+
+    /// Whether this tape was created in training mode.
+    pub fn is_train(&self) -> bool {
+        self.train
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient of a node, if backward has reached it.
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> NodeId {
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Registers an input (no gradient).
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(Op::Input, value)
+    }
+
+    /// Registers a parameter leaf; its gradient is routed back to `ps` by
+    /// [`Graph::apply_param_grads`].
+    pub fn param(&mut self, ps: &ParamSet, id: ParamId) -> NodeId {
+        self.push(Op::Param(id), ps.value(id).clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).div(self.value(b));
+        self.push(Op::Div(a, b), v)
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).scale(-1.0);
+        self.push(Op::Neg(a), v)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.value(a).scale(k);
+        self.push(Op::Scale(a, k), v)
+    }
+
+    /// Scalar addition.
+    pub fn add_scalar(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.value(a).add_scalar(k);
+        self.push(Op::AddScalar(a, k), v)
+    }
+
+    /// Matrix product of rank-2 nodes.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::Matmul(a, b), v)
+    }
+
+    /// Batched matrix product of rank-3 nodes.
+    pub fn bmm(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).bmm(self.value(b));
+        self.push(Op::Bmm(a, b), v)
+    }
+
+    /// Transpose of a rank-2 node.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Swaps the last two axes of a rank-3 node.
+    pub fn transpose_last2(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose_last2();
+        self.push(Op::TransposeLast2(a), v)
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&mut self, a: NodeId, dims: &[usize]) -> NodeId {
+        let old = self.value(a).dims().to_vec();
+        let v = self.value(a).reshape(dims);
+        self.push(Op::Reshape(a, old), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Activations & pointwise nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(gelu_fwd);
+        self.push(Op::Gelu(a), v)
+    }
+
+    /// Elementwise absolute value (STE-free; exact sign gradient).
+    pub fn abs(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::abs);
+        self.push(Op::Abs(a), v)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x * x);
+        self.push(Op::Square(a), v)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::sqrt);
+        self.push(Op::Sqrt(a), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast bias
+    // ------------------------------------------------------------------
+
+    /// `x + b` where `b` has the size of `x`'s last axis.
+    pub fn add_bias(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let bv = self.value(b);
+        let n = *xv.dims().last().expect("non-empty");
+        assert_eq!(bv.numel(), n, "bias length must match last axis");
+        let mut out = xv.clone();
+        for chunk in out.data_mut().chunks_exact_mut(n) {
+            for (o, &bb) in chunk.iter_mut().zip(bv.data()) {
+                *o += bb;
+            }
+        }
+        self.push(Op::AddBiasLastDim(x, b), out)
+    }
+
+    /// `x + b` where `x` is NCHW and `b` has length C.
+    pub fn add_bias_channel(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let bv = self.value(b);
+        assert_eq!(xv.shape().rank(), 4, "add_bias_channel expects NCHW");
+        let dims = xv.dims().to_vec();
+        let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+        assert_eq!(bv.numel(), c, "bias length must match channel count");
+        let mut out = xv.clone();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let bb = bv.data()[ci];
+                for v in &mut out.data_mut()[base..base + hw] {
+                    *v += bb;
+                }
+            }
+        }
+        self.push(Op::AddBiasChannel(x, b), out)
+    }
+
+    // ------------------------------------------------------------------
+    // Normalization & softmax
+    // ------------------------------------------------------------------
+
+    /// Numerically-stable softmax over the last axis.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let v = softmax_last_dim(self.value(a));
+        self.push(Op::SoftmaxLastDim(a), v)
+    }
+
+    /// Layer normalization over the last axis with affine parameters.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let xv = self.value(x);
+        let d = *xv.dims().last().expect("non-empty");
+        assert_eq!(self.value(gamma).numel(), d, "gamma length mismatch");
+        assert_eq!(self.value(beta).numel(), d, "beta length mismatch");
+        let rows = xv.numel() / d;
+        let mut xhat = Tensor::zeros(xv.dims());
+        let mut inv_std = vec![0.0f32; rows];
+        let gv = self.value(gamma).data().to_vec();
+        let bv = self.value(beta).data().to_vec();
+        let mut out = Tensor::zeros(xv.dims());
+        for r in 0..rows {
+            let src = &xv.data()[r * d..(r + 1) * d];
+            let mean = src.iter().sum::<f32>() / d as f32;
+            let var = src.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for j in 0..d {
+                let xh = (src[j] - mean) * istd;
+                xhat.data_mut()[r * d + j] = xh;
+                out.data_mut()[r * d + j] = xh * gv[j] + bv[j];
+            }
+        }
+        self.push(
+            Op::LayerNormLastDim {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+            out,
+        )
+    }
+
+    /// Batch normalization over NCHW with affine parameters, using batch
+    /// statistics. Running-statistics bookkeeping lives in the layer; this op
+    /// also returns the per-channel batch mean/var so the layer can update
+    /// them.
+    pub fn batch_norm2d(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> (NodeId, Vec<f32>, Vec<f32>) {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 4, "batch_norm2d expects NCHW");
+        let dims = xv.dims().to_vec();
+        let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+        let count = (n * hw) as f32;
+        let gv = self.value(gamma).data().to_vec();
+        let bv = self.value(beta).data().to_vec();
+
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut sum = 0.0;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                sum += xv.data()[base..base + hw].iter().sum::<f32>();
+            }
+            mean[ci] = sum / count;
+            let mut sq = 0.0;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                sq += xv.data()[base..base + hw]
+                    .iter()
+                    .map(|&v| (v - mean[ci]) * (v - mean[ci]))
+                    .sum::<f32>();
+            }
+            var[ci] = sq / count;
+        }
+
+        let mut xhat = Tensor::zeros(&dims);
+        let mut out = Tensor::zeros(&dims);
+        let mut inv_std = vec![0.0f32; c];
+        for ci in 0..c {
+            inv_std[ci] = 1.0 / (var[ci] + eps).sqrt();
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                for j in 0..hw {
+                    let xh = (xv.data()[base + j] - mean[ci]) * inv_std[ci];
+                    xhat.data_mut()[base + j] = xh;
+                    out.data_mut()[base + j] = xh * gv[ci] + bv[ci];
+                }
+            }
+        }
+        let node = self.push(
+            Op::BatchNorm2d {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+            out,
+        );
+        (node, mean, var)
+    }
+
+    /// Frozen-statistics batch norm (inference mode): an affine transform per
+    /// channel using running statistics. Differentiable with respect to `x`,
+    /// `gamma`, `beta` through ordinary ops.
+    pub fn batch_norm2d_inference(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        running_mean: &[f32],
+        running_var: &[f32],
+        eps: f32,
+    ) -> NodeId {
+        // scale = gamma / sqrt(var + eps); shift = beta - mean * scale.
+        let gv = self.value(gamma).data().to_vec();
+        let bv = self.value(beta).data().to_vec();
+        let c = gv.len();
+        let scale: Vec<f32> = (0..c)
+            .map(|i| gv[i] / (running_var[i] + eps).sqrt())
+            .collect();
+        let shift: Vec<f32> = (0..c).map(|i| bv[i] - running_mean[i] * scale[i]).collect();
+        // Implemented as x * scale[c] + shift[c] via custom inline math:
+        // channelwise scale uses mul with a broadcast input tensor.
+        let xv = self.value(x);
+        let dims = xv.dims().to_vec();
+        let mut scale_t = Tensor::zeros(&dims);
+        let mut shift_t = Tensor::zeros(&dims);
+        let (n, hw) = (dims[0], dims[2] * dims[3]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                scale_t.data_mut()[base..base + hw].fill(scale[ci]);
+                shift_t.data_mut()[base..base + hw].fill(shift[ci]);
+            }
+        }
+        let s = self.input(scale_t);
+        let sh = self.input(shift_t);
+        let scaled = self.mul(x, s);
+        self.add(scaled, sh)
+    }
+
+    // ------------------------------------------------------------------
+    // Convolution & pooling plumbing
+    // ------------------------------------------------------------------
+
+    /// `im2col` patch extraction (NCHW → patch matrix).
+    pub fn im2col(&mut self, x: NodeId, geom: Conv2dGeometry) -> NodeId {
+        let batch = self.value(x).dims()[0];
+        let v = im2col(self.value(x), &geom);
+        self.push(Op::Im2col { x, geom, batch }, v)
+    }
+
+    /// 2-D max pooling with square kernel and stride equal to the kernel.
+    pub fn max_pool2d(&mut self, x: NodeId, kernel: usize) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 4, "max_pool2d expects NCHW");
+        let dims = xv.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert!(
+            h % kernel == 0 && w % kernel == 0,
+            "pool kernel must divide spatial dims"
+        );
+        let (oh, ow) = (h / kernel, w / kernel);
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        for ky in 0..kernel {
+                            for kx in 0..kernel {
+                                let idx = base + (oy * kernel + ky) * w + (ox * kernel + kx);
+                                let v = xv.data()[idx];
+                                if v > out[oidx] {
+                                    out[oidx] = v;
+                                    argmax[oidx] = idx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let in_dims = [n, c, h, w];
+        let value = Tensor::from_vec(out, &[n, c, oh, ow]);
+        self.push(
+            Op::MaxPool2d {
+                x,
+                in_dims,
+                argmax,
+            },
+            value,
+        )
+    }
+
+    /// Global average pooling: NCHW → `[N, C]`.
+    pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 4, "global_avg_pool expects NCHW");
+        let dims = xv.dims();
+        let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+        let mut out = vec![0.0f32; n * c];
+        for i in 0..n * c {
+            out[i] = xv.data()[i * hw..(i + 1) * hw].iter().sum::<f32>() / hw as f32;
+        }
+        let value = Tensor::from_vec(out, &[n, c]);
+        self.push(Op::GlobalAvgPool(x), value)
+    }
+
+    // ------------------------------------------------------------------
+    // Losses & reductions
+    // ------------------------------------------------------------------
+
+    /// Mean cross-entropy of `logits` (`[N, C]`) against integer labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the label count.
+    pub fn cross_entropy(&mut self, logits: NodeId, labels: &[usize]) -> NodeId {
+        let lv = self.value(logits);
+        assert_eq!(lv.shape().rank(), 2, "cross_entropy expects [N, C] logits");
+        let (n, c) = (lv.dims()[0], lv.dims()[1]);
+        assert_eq!(n, labels.len(), "label count mismatch");
+        let sm = softmax_last_dim(lv);
+        let mut loss = 0.0f32;
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range");
+            loss -= (sm.data()[i * c + label]).max(1e-12).ln();
+        }
+        loss /= n as f32;
+        self.push(
+            Op::CrossEntropyLogits {
+                logits,
+                labels: labels.to_vec(),
+                softmax: sm,
+            },
+            Tensor::scalar(loss),
+        )
+    }
+
+    /// Mean squared error between two same-shape nodes (scalar output).
+    pub fn mse_loss(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let d = self.value(a).sub(self.value(b));
+        let loss = d.norm_sq() / d.numel() as f32;
+        self.push(Op::MseLoss(a, b), Tensor::scalar(loss))
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Mean over the last axis: `[.., d] → [..]`.
+    pub fn mean_last_axis_node(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).mean_last_axis();
+        self.push(Op::MeanLastAxis(a), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Embedding, attention plumbing, dropout, stop-gradient
+    // ------------------------------------------------------------------
+
+    /// Gathers rows of `table` (`[V, D]`) by token id → `[ids.len(), D]`.
+    pub fn embedding(&mut self, table: NodeId, ids: &[usize]) -> NodeId {
+        let tv = self.value(table);
+        assert_eq!(tv.shape().rank(), 2, "embedding table must be [V, D]");
+        let (v, d) = (tv.dims()[0], tv.dims()[1]);
+        let mut out = vec![0.0f32; ids.len() * d];
+        for (i, &id) in ids.iter().enumerate() {
+            assert!(id < v, "token id {id} out of vocabulary of size {v}");
+            out[i * d..(i + 1) * d].copy_from_slice(&tv.data()[id * d..(id + 1) * d]);
+        }
+        let value = Tensor::from_vec(out, &[ids.len(), d]);
+        self.push(
+            Op::Embedding {
+                table,
+                ids: ids.to_vec(),
+            },
+            value,
+        )
+    }
+
+    /// `[B, T, H·dh] → [B·H, T, dh]` head split for attention.
+    pub fn split_heads(&mut self, x: NodeId, heads: usize) -> NodeId {
+        let v = split_heads_fwd(self.value(x), heads);
+        self.push(Op::SplitHeads { x, heads }, v)
+    }
+
+    /// `[B·H, T, dh] → [B, T, H·dh]` inverse of [`Graph::split_heads`].
+    pub fn merge_heads(&mut self, x: NodeId, heads: usize) -> NodeId {
+        let v = merge_heads_fwd(self.value(x), heads);
+        self.push(Op::MergeHeads { x, heads }, v)
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`. Identity when the tape
+    /// is in eval mode.
+    pub fn dropout<R: rand::Rng>(&mut self, x: NodeId, p: f32, rng: &mut R) -> NodeId {
+        if !self.train || p <= 0.0 {
+            return x;
+        }
+        let keep = 1.0 - p;
+        let xv = self.value(x);
+        let mask: Vec<f32> = (0..xv.numel())
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mut out = xv.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            *o *= m;
+        }
+        self.push(Op::Dropout { x, mask }, out)
+    }
+
+    /// Identity forward, zero backward — the `SG(·)` operator of the
+    /// LUTBoost reconstruction loss.
+    pub fn stop_gradient(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).clone();
+        self.push(Op::StopGradient(x), v)
+    }
+
+    /// Registers a caller-computed forward value with a custom backward rule.
+    pub fn custom(&mut self, parents: &[NodeId], value: Tensor, op: Box<dyn CustomOp>) -> NodeId {
+        self.push(
+            Op::Custom {
+                parents: parents.to_vec(),
+                op,
+            },
+            value,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from `loss` (which must be scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element node.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss"
+        );
+        self.nodes[loss.0].grad = Some(Tensor::ones(&[1]));
+
+        for i in (0..=loss.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Split borrow: read-only view of earlier nodes + grad sink.
+            let contributions = self.backward_one(i, &grad);
+            for (pid, g) in contributions {
+                match &mut self.nodes[pid.0].grad {
+                    Some(existing) => existing.add_mut(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+    }
+
+    /// Flushes parameter-leaf gradients into the [`ParamSet`].
+    pub fn apply_param_grads(&self, ps: &mut ParamSet) {
+        for node in &self.nodes {
+            if let (Op::Param(pid), Some(grad)) = (&node.op, &node.grad) {
+                ps.accumulate_grad(*pid, grad);
+            }
+        }
+    }
+
+    fn backward_one(&self, i: usize, grad: &Tensor) -> Vec<(NodeId, Tensor)> {
+        let node = &self.nodes[i];
+        let val = |id: NodeId| &self.nodes[id.0].value;
+        match &node.op {
+            Op::Input | Op::Param(_) => vec![],
+            Op::Add(a, b) => vec![(*a, grad.clone()), (*b, grad.clone())],
+            Op::Sub(a, b) => vec![(*a, grad.clone()), (*b, grad.scale(-1.0))],
+            Op::Mul(a, b) => vec![(*a, grad.mul(val(*b))), (*b, grad.mul(val(*a)))],
+            Op::Div(a, b) => {
+                let bv = val(*b);
+                let ga = grad.div(bv);
+                let gb = grad.mul(val(*a)).div(bv).div(bv).scale(-1.0);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Neg(a) => vec![(*a, grad.scale(-1.0))],
+            Op::Scale(a, k) => vec![(*a, grad.scale(*k))],
+            Op::AddScalar(a, _) => vec![(*a, grad.clone())],
+            Op::Matmul(a, b) => {
+                let ga = grad.matmul(&val(*b).transpose());
+                let gb = val(*a).transpose().matmul(grad);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Bmm(a, b) => {
+                let ga = grad.bmm(&val(*b).transpose_last2());
+                let gb = val(*a).transpose_last2().bmm(grad);
+                vec![(*a, ga), (*b, gb)]
+            }
+            Op::Transpose(a) => vec![(*a, grad.transpose())],
+            Op::TransposeLast2(a) => vec![(*a, grad.transpose_last2())],
+            Op::Reshape(a, old) => vec![(*a, grad.reshape(old))],
+            Op::Relu(a) => {
+                let g = val(*a).zip_with(grad, |x, g| if x > 0.0 { g } else { 0.0 });
+                vec![(*a, g)]
+            }
+            Op::Gelu(a) => {
+                let g = val(*a).zip_with(grad, |x, g| g * gelu_bwd(x));
+                vec![(*a, g)]
+            }
+            Op::Abs(a) => {
+                let g = val(*a).zip_with(grad, |x, g| if x >= 0.0 { g } else { -g });
+                vec![(*a, g)]
+            }
+            Op::Square(a) => {
+                let g = val(*a).zip_with(grad, |x, g| 2.0 * x * g);
+                vec![(*a, g)]
+            }
+            Op::Sqrt(a) => {
+                let g = node.value.zip_with(grad, |y, g| g / (2.0 * y.max(1e-12)));
+                vec![(*a, g)]
+            }
+            Op::AddBiasLastDim(x, b) => {
+                let n = self.nodes[b.0].value.numel();
+                let mut gb = vec![0.0f32; n];
+                for chunk in grad.data().chunks_exact(n) {
+                    for (o, &g) in gb.iter_mut().zip(chunk) {
+                        *o += g;
+                    }
+                }
+                vec![(*x, grad.clone()), (*b, Tensor::from_vec(gb, &[n]))]
+            }
+            Op::AddBiasChannel(x, b) => {
+                let dims = node.value.dims().to_vec();
+                let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+                let mut gb = vec![0.0f32; c];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        gb[ci] += grad.data()[base..base + hw].iter().sum::<f32>();
+                    }
+                }
+                vec![(*x, grad.clone()), (*b, Tensor::from_vec(gb, &[c]))]
+            }
+            Op::SoftmaxLastDim(a) => {
+                // dx = y ⊙ (g − Σ g⊙y) per row.
+                let y = &node.value;
+                let d = *y.dims().last().expect("non-empty");
+                let mut out = Tensor::zeros(y.dims());
+                for (r, (yc, gc)) in y
+                    .data()
+                    .chunks_exact(d)
+                    .zip(grad.data().chunks_exact(d))
+                    .enumerate()
+                {
+                    let dot: f32 = yc.iter().zip(gc).map(|(&a, &b)| a * b).sum();
+                    for j in 0..d {
+                        out.data_mut()[r * d + j] = yc[j] * (gc[j] - dot);
+                    }
+                }
+                vec![(*a, out)]
+            }
+            Op::LayerNormLastDim {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            } => {
+                let d = *xhat.dims().last().expect("non-empty");
+                let rows = xhat.numel() / d;
+                let gv = val(*gamma).data();
+                let mut gx = Tensor::zeros(xhat.dims());
+                let mut ggamma = vec![0.0f32; d];
+                let mut gbeta = vec![0.0f32; d];
+                for r in 0..rows {
+                    let xh = &xhat.data()[r * d..(r + 1) * d];
+                    let go = &grad.data()[r * d..(r + 1) * d];
+                    let mut sum_gy = 0.0f32;
+                    let mut sum_gy_xh = 0.0f32;
+                    for j in 0..d {
+                        let gy = go[j] * gv[j];
+                        sum_gy += gy;
+                        sum_gy_xh += gy * xh[j];
+                        ggamma[j] += go[j] * xh[j];
+                        gbeta[j] += go[j];
+                    }
+                    for j in 0..d {
+                        let gy = go[j] * gv[j];
+                        gx.data_mut()[r * d + j] =
+                            inv_std[r] / d as f32 * (d as f32 * gy - sum_gy - xh[j] * sum_gy_xh);
+                    }
+                }
+                vec![
+                    (*x, gx),
+                    (*gamma, Tensor::from_vec(ggamma, &[d])),
+                    (*beta, Tensor::from_vec(gbeta, &[d])),
+                ]
+            }
+            Op::BatchNorm2d {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            } => {
+                let dims = xhat.dims().to_vec();
+                let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+                let count = (n * hw) as f32;
+                let gv = val(*gamma).data();
+                let mut ggamma = vec![0.0f32; c];
+                let mut gbeta = vec![0.0f32; c];
+                let mut sum_gy = vec![0.0f32; c];
+                let mut sum_gy_xh = vec![0.0f32; c];
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        for j in 0..hw {
+                            let go = grad.data()[base + j];
+                            let xh = xhat.data()[base + j];
+                            ggamma[ci] += go * xh;
+                            gbeta[ci] += go;
+                            let gy = go * gv[ci];
+                            sum_gy[ci] += gy;
+                            sum_gy_xh[ci] += gy * xh;
+                        }
+                    }
+                }
+                let mut gx = Tensor::zeros(&dims);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * hw;
+                        for j in 0..hw {
+                            let go = grad.data()[base + j];
+                            let xh = xhat.data()[base + j];
+                            let gy = go * gv[ci];
+                            gx.data_mut()[base + j] = inv_std[ci] / count
+                                * (count * gy - sum_gy[ci] - xh * sum_gy_xh[ci]);
+                        }
+                    }
+                }
+                vec![
+                    (*x, gx),
+                    (*gamma, Tensor::from_vec(ggamma, &[c])),
+                    (*beta, Tensor::from_vec(gbeta, &[c])),
+                ]
+            }
+            Op::Im2col { x, geom, batch } => {
+                vec![(*x, col2im(grad, geom, *batch))]
+            }
+            Op::MaxPool2d {
+                x,
+                in_dims,
+                argmax,
+            } => {
+                let mut gx = Tensor::zeros(in_dims);
+                for (o, &src) in argmax.iter().enumerate() {
+                    gx.data_mut()[src] += grad.data()[o];
+                }
+                vec![(*x, gx)]
+            }
+            Op::GlobalAvgPool(x) => {
+                let dims = val(*x).dims().to_vec();
+                let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+                let mut gx = Tensor::zeros(&dims);
+                for i in 0..n * c {
+                    let g = grad.data()[i] / hw as f32;
+                    gx.data_mut()[i * hw..(i + 1) * hw].fill(g);
+                }
+                vec![(*x, gx)]
+            }
+            Op::CrossEntropyLogits {
+                logits,
+                labels,
+                softmax,
+            } => {
+                let (n, c) = (softmax.dims()[0], softmax.dims()[1]);
+                let g = grad.data()[0] / n as f32;
+                let mut gx = softmax.scale(g);
+                for (i, &label) in labels.iter().enumerate() {
+                    gx.data_mut()[i * c + label] -= g;
+                }
+                vec![(*logits, gx)]
+            }
+            Op::MseLoss(a, b) => {
+                let diff = val(*a).sub(val(*b));
+                let k = 2.0 * grad.data()[0] / diff.numel() as f32;
+                vec![(*a, diff.scale(k)), (*b, diff.scale(-k))]
+            }
+            Op::SumAll(a) => {
+                let g = Tensor::full(val(*a).dims(), grad.data()[0]);
+                vec![(*a, g)]
+            }
+            Op::MeanAll(a) => {
+                let n = val(*a).numel() as f32;
+                let g = Tensor::full(val(*a).dims(), grad.data()[0] / n);
+                vec![(*a, g)]
+            }
+            Op::MeanLastAxis(a) => {
+                let dims = val(*a).dims().to_vec();
+                let d = *dims.last().expect("non-empty");
+                let mut gx = Tensor::zeros(&dims);
+                for (r, g) in grad.data().iter().enumerate() {
+                    gx.data_mut()[r * d..(r + 1) * d].fill(g / d as f32);
+                }
+                vec![(*a, gx)]
+            }
+            Op::Embedding { table, ids } => {
+                let tv = val(*table);
+                let d = tv.dims()[1];
+                let mut gt = Tensor::zeros(tv.dims());
+                for (i, &id) in ids.iter().enumerate() {
+                    for j in 0..d {
+                        gt.data_mut()[id * d + j] += grad.data()[i * d + j];
+                    }
+                }
+                vec![(*table, gt)]
+            }
+            Op::SplitHeads { x, heads } => {
+                vec![(*x, merge_heads_fwd(grad, *heads))]
+            }
+            Op::MergeHeads { x, heads } => {
+                vec![(*x, split_heads_fwd(grad, *heads))]
+            }
+            Op::Dropout { x, mask } => {
+                let mut g = grad.clone();
+                for (gv, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
+                    *gv *= m;
+                }
+                vec![(*x, g)]
+            }
+            Op::StopGradient(_) => vec![],
+            Op::Custom { parents, op } => {
+                let parent_values: Vec<&Tensor> = parents.iter().map(|p| val(*p)).collect();
+                let grads = op.backward(grad, &parent_values, &node.value);
+                assert_eq!(
+                    grads.len(),
+                    parents.len(),
+                    "custom op `{}` returned wrong gradient count",
+                    op.name()
+                );
+                parents
+                    .iter()
+                    .zip(grads)
+                    .filter_map(|(p, g)| g.map(|g| (*p, g)))
+                    .collect()
+            }
+        }
+    }
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_56; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_56;
+    let u = C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+fn softmax_last_dim(x: &Tensor) -> Tensor {
+    let d = *x.dims().last().expect("non-empty");
+    let mut out = Tensor::zeros(x.dims());
+    for (r, chunk) in x.data().chunks_exact(d).enumerate() {
+        let m = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for j in 0..d {
+            let e = (chunk[j] - m).exp();
+            out.data_mut()[r * d + j] = e;
+            sum += e;
+        }
+        for j in 0..d {
+            out.data_mut()[r * d + j] /= sum;
+        }
+    }
+    out
+}
+
+fn split_heads_fwd(x: &Tensor, heads: usize) -> Tensor {
+    assert_eq!(x.shape().rank(), 3, "split_heads expects [B, T, D]");
+    let (b, t, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    assert_eq!(d % heads, 0, "model dim not divisible by head count");
+    let dh = d / heads;
+    let mut out = vec![0.0f32; b * t * d];
+    for bi in 0..b {
+        for ti in 0..t {
+            for h in 0..heads {
+                let src = (bi * t + ti) * d + h * dh;
+                let dst = ((bi * heads + h) * t + ti) * dh;
+                out[dst..dst + dh].copy_from_slice(&x.data()[src..src + dh]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b * heads, t, dh])
+}
+
+fn merge_heads_fwd(x: &Tensor, heads: usize) -> Tensor {
+    assert_eq!(x.shape().rank(), 3, "merge_heads expects [B·H, T, dh]");
+    let (bh, t, dh) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    assert_eq!(bh % heads, 0, "batch·head dim not divisible by head count");
+    let b = bh / heads;
+    let d = dh * heads;
+    let mut out = vec![0.0f32; b * t * d];
+    for bi in 0..b {
+        for h in 0..heads {
+            for ti in 0..t {
+                let src = ((bi * heads + h) * t + ti) * dh;
+                let dst = (bi * t + ti) * d + h * dh;
+                out[dst..dst + dh].copy_from_slice(&x.data()[src..src + dh]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, t, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerically checks d(loss)/d(x) for a graph builder `f` that maps an
+    /// input node to a scalar loss node.
+    fn grad_check(x0: &Tensor, f: impl Fn(&mut Graph, NodeId) -> NodeId) {
+        let mut g = Graph::new(true);
+        let x = g.input(x0.clone());
+        let loss = f(&mut g, x);
+        g.backward(loss);
+        let analytic = g.grad(x).expect("input grad").clone();
+
+        let eps = 1e-3f32;
+        for i in 0..x0.numel() {
+            let mut plus = x0.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x0.clone();
+            minus.data_mut()[i] -= eps;
+            let lp = {
+                let mut g = Graph::new(true);
+                let x = g.input(plus);
+                let l = f(&mut g, x);
+                g.value(l).data()[0]
+            };
+            let lm = {
+                let mut g = Graph::new(true);
+                let x = g.input(minus);
+                let l = f(&mut g, x);
+                g.value(l).data()[0]
+            };
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: analytic={a} numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul_sum() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x0 = Tensor::randn(&mut rng, &[3, 4], 1.0);
+        let w = Tensor::randn(&mut rng, &[4, 2], 1.0);
+        grad_check(&x0, |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.matmul(x, wn);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_relu_square() {
+        let x0 = Tensor::from_vec(vec![-1.0, 0.5, 2.0, -0.3], &[4]);
+        grad_check(&x0, |g, x| {
+            let r = g.relu(x);
+            let s = g.square(r);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_gelu() {
+        let x0 = Tensor::from_vec(vec![-2.0, -0.5, 0.1, 1.5], &[4]);
+        grad_check(&x0, |g, x| {
+            let y = g.gelu(x);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_weighted() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x0 = Tensor::randn(&mut rng, &[2, 5], 1.0);
+        let w = Tensor::randn(&mut rng, &[2, 5], 1.0);
+        grad_check(&x0, |g, x| {
+            let s = g.softmax(x);
+            let wn = g.input(w.clone());
+            let p = g.mul(s, wn);
+            g.sum_all(p)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x0 = Tensor::randn(&mut rng, &[3, 6], 1.0);
+        let gamma = Tensor::rand_uniform(&mut rng, &[6], 0.5, 1.5);
+        let beta = Tensor::randn(&mut rng, &[6], 0.1);
+        let w = Tensor::randn(&mut rng, &[3, 6], 1.0);
+        grad_check(&x0, |g, x| {
+            let ga = g.input(gamma.clone());
+            let be = g.input(beta.clone());
+            let y = g.layer_norm(x, ga, be, 1e-5);
+            let wn = g.input(w.clone());
+            let p = g.mul(y, wn);
+            g.sum_all(p)
+        });
+    }
+
+    #[test]
+    fn grad_batch_norm() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let x0 = Tensor::randn(&mut rng, &[2, 3, 2, 2], 1.0);
+        let gamma = Tensor::rand_uniform(&mut rng, &[3], 0.5, 1.5);
+        let beta = Tensor::randn(&mut rng, &[3], 0.1);
+        let w = Tensor::randn(&mut rng, &[2, 3, 2, 2], 1.0);
+        grad_check(&x0, |g, x| {
+            let ga = g.input(gamma.clone());
+            let be = g.input(beta.clone());
+            let (y, _, _) = g.batch_norm2d(x, ga, be, 1e-5);
+            let wn = g.input(w.clone());
+            let p = g.mul(y, wn);
+            g.sum_all(p)
+        });
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let x0 = Tensor::randn(&mut rng, &[4, 3], 1.0);
+        grad_check(&x0, |g, x| g.cross_entropy(x, &[0, 2, 1, 1]));
+    }
+
+    #[test]
+    fn grad_im2col_conv() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let x0 = Tensor::randn(&mut rng, &[1, 2, 4, 4], 1.0);
+        let geom = Conv2dGeometry::new(2, 3, (4, 4), (3, 3), 1, 1);
+        let w = Tensor::randn(&mut rng, &[geom.gemm_k(), 3], 0.5);
+        grad_check(&x0, |g, x| {
+            let cols = g.im2col(x, geom);
+            let wn = g.input(w.clone());
+            let y = g.matmul(cols, wn);
+            let s = g.square(y);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_max_pool() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let x0 = Tensor::randn(&mut rng, &[1, 2, 4, 4], 1.0);
+        grad_check(&x0, |g, x| {
+            let p = g.max_pool2d(x, 2);
+            let s = g.square(p);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_global_avg_pool() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let x0 = Tensor::randn(&mut rng, &[2, 3, 2, 2], 1.0);
+        grad_check(&x0, |g, x| {
+            let p = g.global_avg_pool(x);
+            let s = g.square(p);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_bmm_attention_path() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x0 = Tensor::randn(&mut rng, &[2, 3, 4], 1.0);
+        let k = Tensor::randn(&mut rng, &[2, 3, 4], 1.0);
+        grad_check(&x0, |g, x| {
+            let kn = g.input(k.clone());
+            let kt = g.transpose_last2(kn);
+            let scores = g.bmm(x, kt);
+            let att = g.softmax(scores);
+            let out = g.bmm(att, kn);
+            let s = g.square(out);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn grad_split_merge_heads_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let x0 = Tensor::randn(&mut rng, &[2, 3, 8], 1.0);
+        let w = Tensor::randn(&mut rng, &[2, 3, 8], 1.0);
+        grad_check(&x0, |g, x| {
+            let s = g.split_heads(x, 2);
+            let m = g.merge_heads(s, 2);
+            let wn = g.input(w.clone());
+            let p = g.mul(m, wn);
+            g.sum_all(p)
+        });
+    }
+
+    #[test]
+    fn grad_embedding() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let table = Tensor::randn(&mut rng, &[5, 3], 1.0);
+        let mut ps = ParamSet::new();
+        let tid = ps.add("emb", table);
+        let mut g = Graph::new(true);
+        let tn = g.param(&ps, tid);
+        let e = g.embedding(tn, &[1, 1, 4]);
+        let s = g.square(e);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        g.apply_param_grads(&mut ps);
+        // Row 1 gathered twice → grad = 2·(2x) = 4x; row 4 once → 2x; others 0.
+        let gt = ps.grad(tid);
+        let tv = ps.value(tid);
+        for j in 0..3 {
+            assert!((gt.at(&[1, j]) - 4.0 * tv.at(&[1, j])).abs() < 1e-4);
+            assert!((gt.at(&[4, j]) - 2.0 * tv.at(&[4, j])).abs() < 1e-4);
+            assert_eq!(gt.at(&[0, j]), 0.0);
+        }
+    }
+
+    #[test]
+    fn stop_gradient_blocks_flow() {
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::scalar(2.0));
+        let s = g.stop_gradient(x);
+        let y = g.square(s);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!(g.grad(x).is_none(), "gradient leaked through SG");
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut g = Graph::new(false);
+        let x = g.input(Tensor::ones(&[8]));
+        let y = g.dropout(x, 0.5, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_train_mode_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::ones(&[100_000]));
+        let y = g.dropout(x, 0.3, &mut rng);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn param_grads_route_to_paramset() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let mut g = Graph::new(true);
+        let wn = g.param(&ps, w);
+        let s = g.square(wn);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        g.apply_param_grads(&mut ps);
+        assert_eq!(ps.grad(w).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_grad() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let x0 = Tensor::randn(&mut rng, &[3, 4], 1.0);
+        let b = Tensor::randn(&mut rng, &[4], 1.0);
+        grad_check(&x0, |g, x| {
+            let bn = g.input(b.clone());
+            let y = g.add_bias(x, bn);
+            let s = g.square(y);
+            g.sum_all(s)
+        });
+    }
+}

@@ -1,0 +1,525 @@
+//! Neural-network layers over the autograd [`Graph`].
+//!
+//! Every layer registers its parameters in a shared [`ParamSet`] at
+//! construction time and holds only [`ParamId`]s, so models are cheap to
+//! clone and the optimizer sees a flat parameter list.
+
+use std::cell::RefCell;
+
+use lutdla_tensor::{Conv2dGeometry, Tensor};
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{ParamId, ParamSet};
+
+/// A component with trainable parameters that maps one node to another.
+///
+/// `forward` takes `&mut Graph` (the tape) and `&ParamSet` (current values).
+pub trait Module {
+    /// Records the layer's computation on the tape.
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId;
+
+    /// All parameters owned by this layer (and its children).
+    fn params(&self) -> Vec<ParamId>;
+}
+
+/// Fully connected layer: `y = x·W + b` with `W: [in, out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming fan-in initialisation.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = ps.add(
+            format!("{name}.weight"),
+            Tensor::kaiming(rng, &[in_features, out_features], in_features),
+        );
+        let bias = bias.then(|| ps.add(format!("{name}.bias"), Tensor::zeros(&[out_features])));
+        Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter handle.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+
+    /// The bias parameter handle, if present.
+    pub fn bias(&self) -> Option<ParamId> {
+        self.bias
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let w = g.param(ps, self.weight);
+        let y = g.matmul(x, w);
+        match self.bias {
+            Some(b) => {
+                let bn = g.param(ps, b);
+                g.add_bias(y, bn)
+            }
+            None => y,
+        }
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        let mut p = vec![self.weight];
+        p.extend(self.bias);
+        p
+    }
+}
+
+/// 2-D convolution implemented as `im2col` + GEMM.
+///
+/// The weight is stored GEMM-ready as `[cin·kh·kw, cout]`, which is also the
+/// layout LUTBoost quantizes.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    geom: Conv2dGeometry,
+}
+
+impl Conv2d {
+    /// Creates a convolution for a fixed input geometry.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        geom: Conv2dGeometry,
+        bias: bool,
+    ) -> Self {
+        let k = geom.gemm_k();
+        let weight = ps.add(
+            format!("{name}.weight"),
+            Tensor::kaiming(rng, &[k, geom.out_channels], k),
+        );
+        let bias = bias.then(|| {
+            ps.add(
+                format!("{name}.bias"),
+                Tensor::zeros(&[geom.out_channels]),
+            )
+        });
+        Self { weight, bias, geom }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// The GEMM-layout weight handle (`[cin·kh·kw, cout]`).
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let batch = g.value(x).dims()[0];
+        let cols = g.im2col(x, self.geom);
+        let w = g.param(ps, self.weight);
+        let mut y = g.matmul(cols, w); // [batch·oh·ow, cout]
+        if let Some(b) = self.bias {
+            let bn = g.param(ps, b);
+            y = g.add_bias(y, bn);
+        }
+        // [batch·oh·ow, cout] → NCHW requires a (pixel, channel) transpose.
+        let (oh, ow) = self.geom.out_hw();
+        let cout = self.geom.out_channels;
+        let t = g.transpose(y); // [cout, batch·oh·ow]
+        let r = g.reshape(t, &[cout, batch, oh * ow]);
+        let t2 = g.transpose_last2(r); // wrong axis order; fix below
+        // We need [batch, cout, oh, ow]; t2 is [cout, oh·ow, batch].
+        // Simpler: go through split/merge-free path with an explicit reshape
+        // chain: [cout, batch, oh·ow] -> transpose axes 0,1 via rank-3 trick.
+        let _ = t2; // discarded; see below
+        nchw_from_gemm(g, y, batch, cout, oh, ow)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        let mut p = vec![self.weight];
+        p.extend(self.bias);
+        p
+    }
+}
+
+/// Rearranges GEMM conv output `[batch·oh·ow, cout]` into NCHW.
+fn nchw_from_gemm(
+    g: &mut Graph,
+    y: NodeId,
+    batch: usize,
+    cout: usize,
+    oh: usize,
+    ow: usize,
+) -> NodeId {
+    // [batch·oh·ow, cout] → [batch, oh·ow, cout] → [batch, cout, oh·ow] → NCHW
+    let r = g.reshape(y, &[batch, oh * ow, cout]);
+    let t = g.transpose_last2(r);
+    g.reshape(t, &[batch, cout, oh, ow])
+}
+
+/// Batch normalization over NCHW with running statistics for inference.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: ParamId,
+    beta: ParamId,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    running: RefCell<RunningStats>,
+}
+
+#[derive(Debug, Clone)]
+struct RunningStats {
+    mean: Vec<f32>,
+    var: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(ps: &mut ParamSet, name: &str, channels: usize) -> Self {
+        let gamma = ps.add(format!("{name}.gamma"), Tensor::ones(&[channels]));
+        let beta = ps.add(format!("{name}.beta"), Tensor::zeros(&[channels]));
+        Self {
+            gamma,
+            beta,
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            running: RefCell::new(RunningStats {
+                mean: vec![0.0; channels],
+                var: vec![1.0; channels],
+            }),
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let gamma = g.param(ps, self.gamma);
+        let beta = g.param(ps, self.beta);
+        if g.is_train() {
+            let (y, mean, var) = g.batch_norm2d(x, gamma, beta, self.eps);
+            let mut run = self.running.borrow_mut();
+            for c in 0..self.channels {
+                run.mean[c] = (1.0 - self.momentum) * run.mean[c] + self.momentum * mean[c];
+                run.var[c] = (1.0 - self.momentum) * run.var[c] + self.momentum * var[c];
+            }
+            y
+        } else {
+            let run = self.running.borrow();
+            g.batch_norm2d_inference(x, gamma, beta, &run.mean, &run.var, self.eps)
+        }
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        vec![self.gamma, self.beta]
+    }
+}
+
+/// Layer normalization over the last axis.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm for feature dimension `dim`.
+    pub fn new(ps: &mut ParamSet, name: &str, dim: usize) -> Self {
+        let gamma = ps.add(format!("{name}.gamma"), Tensor::ones(&[dim]));
+        let beta = ps.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
+        Self {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let gamma = g.param(ps, self.gamma);
+        let beta = g.param(ps, self.beta);
+        g.layer_norm(x, gamma, beta, self.eps)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        vec![self.gamma, self.beta]
+    }
+}
+
+/// Token embedding table.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding of `vocab` tokens into `dim` dimensions.
+    pub fn new<R: Rng>(ps: &mut ParamSet, rng: &mut R, name: &str, vocab: usize, dim: usize) -> Self {
+        let table = ps.add(
+            format!("{name}.table"),
+            Tensor::randn(rng, &[vocab, dim], 0.02),
+        );
+        Self { table, dim }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a flat id list, producing `[ids.len(), dim]`.
+    pub fn lookup(&self, g: &mut Graph, ps: &ParamSet, ids: &[usize]) -> NodeId {
+        let t = g.param(ps, self.table);
+        g.embedding(t, ids)
+    }
+
+    /// The table parameter handle.
+    pub fn table(&self) -> ParamId {
+        self.table
+    }
+}
+
+/// Multi-head self-attention (bidirectional, no mask — sufficient for the
+/// encoder-style GLUE-proxy workloads).
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Fused QKV projection handles kept separate for LUTBoost conversion.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with `heads` heads over model dim `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        dim: usize,
+        heads: usize,
+    ) -> Self {
+        assert_eq!(dim % heads, 0, "dim must be divisible by heads");
+        Self {
+            wq: Linear::new(ps, rng, &format!("{name}.wq"), dim, dim, true),
+            wk: Linear::new(ps, rng, &format!("{name}.wk"), dim, dim, true),
+            wv: Linear::new(ps, rng, &format!("{name}.wv"), dim, dim, true),
+            wo: Linear::new(ps, rng, &format!("{name}.wo"), dim, dim, true),
+            heads,
+            dim,
+        }
+    }
+
+    /// Attention over `x: [B, T, D]` (passed as a rank-3 node).
+    pub fn attend(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        let dims = g.value(x).dims().to_vec();
+        let (b, t, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.dim, "model dim mismatch");
+
+        let flat = g.reshape(x, &[b * t, d]);
+        let q = self.wq.forward(g, ps, flat);
+        let k = self.wk.forward(g, ps, flat);
+        let v = self.wv.forward(g, ps, flat);
+
+        let q3 = g.reshape(q, &[b, t, d]);
+        let k3 = g.reshape(k, &[b, t, d]);
+        let v3 = g.reshape(v, &[b, t, d]);
+        let qh = g.split_heads(q3, self.heads); // [B·H, T, dh]
+        let kh = g.split_heads(k3, self.heads);
+        let vh = g.split_heads(v3, self.heads);
+
+        let kt = g.transpose_last2(kh);
+        let scores = g.bmm(qh, kt);
+        let dh = d / self.heads;
+        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let att = g.softmax(scaled);
+        let ctx = g.bmm(att, vh); // [B·H, T, dh]
+        let merged = g.merge_heads(ctx, self.heads); // [B, T, D]
+        let mflat = g.reshape(merged, &[b * t, d]);
+        let out = self.wo.forward(g, ps, mflat);
+        g.reshape(out, &[b, t, d])
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
+        self.attend(g, ps, x)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+            .iter()
+            .flat_map(|l| l.params())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut ps = ParamSet::new();
+        let l = Linear::new(&mut ps, &mut rng, "fc", 4, 3, true);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::ones(&[2, 4]));
+        let y = l.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).dims(), &[2, 3]);
+        assert_eq!(l.params().len(), 2);
+    }
+
+    #[test]
+    fn conv_output_is_nchw() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ps = ParamSet::new();
+        let geom = Conv2dGeometry::new(3, 8, (8, 8), (3, 3), 1, 1);
+        let c = Conv2d::new(&mut ps, &mut rng, "conv", geom, false);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::ones(&[2, 3, 8, 8]));
+        let y = c.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv_channel_layout_correct() {
+        // A conv whose weight extracts only channel 1 must reproduce the
+        // input's channel-1 plane in every output channel position 0.
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut ps = ParamSet::new();
+        let geom = Conv2dGeometry::new(2, 1, (3, 3), (1, 1), 1, 0);
+        let c = Conv2d::new(&mut ps, &mut rng, "conv", geom, false);
+        // weight layout [cin·kh·kw, cout] = [2, 1]; select channel 1.
+        *ps.value_mut(c.weight()) = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
+        let mut x = Tensor::zeros(&[1, 2, 3, 3]);
+        for i in 0..9 {
+            x.data_mut()[9 + i] = i as f32; // channel 1 plane = 0..9
+        }
+        let mut g = Graph::new(true);
+        let xn = g.input(x);
+        let y = c.forward(&mut g, &ps, xn);
+        let yv = g.value(y);
+        assert_eq!(yv.dims(), &[1, 1, 3, 3]);
+        for i in 0..9 {
+            assert_eq!(yv.data()[i], i as f32);
+        }
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut ps = ParamSet::new();
+        let bn = BatchNorm2d::new(&mut ps, "bn", 2);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::randn(&mut rng, &[4, 2, 3, 3], 5.0));
+        let y = bn.forward(&mut g, &ps, x);
+        let yv = g.value(y);
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let hw = 9;
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..4 {
+                let base = (n * 2 + c) * hw;
+                vals.extend_from_slice(&yv.data()[base..base + hw]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean = {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var = {var}");
+        }
+    }
+
+    #[test]
+    fn attention_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut ps = ParamSet::new();
+        let mha = MultiHeadAttention::new(&mut ps, &mut rng, "attn", 8, 2);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::randn(&mut rng, &[2, 5, 8], 1.0));
+        let y = mha.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).dims(), &[2, 5, 8]);
+        assert_eq!(mha.params().len(), 8);
+    }
+
+    #[test]
+    fn attention_backward_reaches_all_params() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut ps = ParamSet::new();
+        let mha = MultiHeadAttention::new(&mut ps, &mut rng, "attn", 8, 2);
+        let mut g = Graph::new(true);
+        let x = g.input(Tensor::randn(&mut rng, &[1, 4, 8], 1.0));
+        let y = mha.forward(&mut g, &ps, x);
+        let s = g.square(y);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        g.apply_param_grads(&mut ps);
+        for pid in mha.params() {
+            assert!(
+                ps.grad(pid).norm() > 0.0,
+                "no grad for {}",
+                ps.name(pid)
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_shape() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let mut ps = ParamSet::new();
+        let emb = Embedding::new(&mut ps, &mut rng, "emb", 10, 4);
+        let mut g = Graph::new(true);
+        let e = emb.lookup(&mut g, &ps, &[0, 3, 9]);
+        assert_eq!(g.value(e).dims(), &[3, 4]);
+    }
+}

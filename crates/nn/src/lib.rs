@@ -1,0 +1,49 @@
+//! Tape autograd, layers, optimizers, and synthetic datasets for LUT-DLA.
+//!
+//! This crate is the training substrate for the LUTBoost model converter:
+//! a define-by-run autograd [`Graph`] over [`lutdla_tensor::Tensor`]s, the
+//! layer set needed by the paper's workloads (convolutions via `im2col`,
+//! batch/layer norm, pooling, multi-head attention, embeddings), SGD/Adam,
+//! and deterministic synthetic stand-ins for the image/text corpora (see
+//! `DESIGN.md` for the substitution rationale).
+//!
+//! # Example: one gradient step
+//!
+//! ```
+//! use lutdla_nn::{Graph, ParamSet, Sgd};
+//! use lutdla_tensor::Tensor;
+//!
+//! let mut ps = ParamSet::new();
+//! let w = ps.add("w", Tensor::from_vec(vec![0.0, 0.0], &[2, 1]));
+//!
+//! let mut g = Graph::new(true);
+//! let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+//! let wn = g.param(&ps, w);
+//! let y = g.matmul(x, wn);
+//! let target = g.input(Tensor::from_vec(vec![3.0], &[1, 1]));
+//! let loss = g.mse_loss(y, target);
+//! g.backward(loss);
+//! g.apply_param_grads(&mut ps);
+//!
+//! let mut opt = Sgd::new(0.1, 0.0, 0.0);
+//! opt.step(&mut ps);
+//! assert!(ps.value(w).data()[0] > 0.0);
+//! ```
+
+pub mod data;
+mod graph;
+mod layers;
+mod optim;
+mod params;
+mod train;
+
+pub use graph::{CustomOp, Graph, NodeId};
+pub use layers::{
+    BatchNorm2d, Conv2d, Embedding, LayerNorm, Linear, Module, MultiHeadAttention,
+};
+pub use optim::{Adam, CosineLr, Sgd, StepLr};
+pub use params::{ParamId, ParamSet, Parameter};
+pub use train::{
+    eval_images, eval_seq, train_epoch_images, train_epoch_seq, EpochStats, ImageModel, Optimizer,
+    SeqModel,
+};

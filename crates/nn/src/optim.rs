@@ -1,0 +1,256 @@
+//! Optimizers and learning-rate schedules.
+
+use lutdla_tensor::Tensor;
+
+use crate::params::ParamSet;
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_nn::{ParamSet, Sgd};
+/// use lutdla_tensor::Tensor;
+///
+/// let mut ps = ParamSet::new();
+/// let w = ps.add("w", Tensor::scalar(1.0));
+/// ps.accumulate_grad(w, &Tensor::scalar(0.5));
+/// let mut opt = Sgd::new(0.1, 0.0, 0.0);
+/// opt.step(&mut ps);
+/// assert!((ps.value(w).data()[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay applied directly to the values.
+    pub weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update to every trainable parameter, then leaves the
+    /// gradients untouched (call [`ParamSet::zero_grad`] afterwards).
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        if self.velocity.len() < ps.len() {
+            self.velocity.resize(ps.len(), None);
+        }
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        for (id, p) in ps.iter_mut() {
+            if !p.trainable {
+                continue;
+            }
+            let mut update = p.grad.clone();
+            if wd > 0.0 {
+                update.axpy_mut(wd, &p.value);
+            }
+            if momentum > 0.0 {
+                let vel = self.velocity[id.index()].get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+                vel.scale_mut(momentum);
+                vel.add_mut(&update);
+                update = vel.clone();
+            }
+            p.value.axpy_mut(-lr, &update);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style).
+    pub weight_decay: f32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β defaults.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Sets decoupled weight decay and returns `self` (builder style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Applies one Adam update to every trainable parameter.
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        if self.m.len() < ps.len() {
+            self.m.resize(ps.len(), None);
+            self.v.resize(ps.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, p) in ps.iter_mut() {
+            if !p.trainable {
+                continue;
+            }
+            let m = self.m[id.index()].get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+            let v = self.v[id.index()].get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+            m.scale_mut(self.beta1);
+            m.axpy_mut(1.0 - self.beta1, &p.grad);
+            let grad_sq = p.grad.mul(&p.grad);
+            v.scale_mut(self.beta2);
+            v.axpy_mut(1.0 - self.beta2, &grad_sq);
+            if self.weight_decay > 0.0 {
+                let decay = self.lr * self.weight_decay;
+                let current = p.value.clone();
+                p.value.axpy_mut(-decay, &current);
+            }
+            for i in 0..p.value.numel() {
+                let mhat = m.data()[i] / bc1;
+                let vhat = v.data()[i] / bc2;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Step-decay learning-rate schedule: multiply by `gamma` every
+/// `step_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    /// Base learning rate at epoch 0.
+    pub base_lr: f32,
+    /// Decay factor.
+    pub gamma: f32,
+    /// Epoch interval between decays.
+    pub step_epochs: usize,
+}
+
+impl StepLr {
+    /// Learning rate at a given epoch.
+    pub fn at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_epochs) as i32)
+    }
+}
+
+/// Cosine-annealing schedule from `base_lr` to `min_lr` over `total_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineLr {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Floor learning rate.
+    pub min_lr: f32,
+    /// Annealing horizon.
+    pub total_epochs: usize,
+}
+
+impl CosineLr {
+    /// Learning rate at a given epoch.
+    pub fn at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs)) as f32 / self.total_epochs.max(1) as f32;
+        self.min_lr
+            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        ps.accumulate_grad(w, &Tensor::scalar(1.0));
+        let mut opt = Sgd::new(0.5, 0.0, 0.0);
+        opt.step(&mut ps);
+        assert!((ps.value(w).data()[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(1.0, 0.9, 0.0);
+        ps.accumulate_grad(w, &Tensor::scalar(1.0));
+        opt.step(&mut ps);
+        ps.zero_grad();
+        ps.accumulate_grad(w, &Tensor::scalar(1.0));
+        opt.step(&mut ps);
+        // v1 = 1; v2 = 0.9 + 1 = 1.9; w = -(1 + 1.9) = -2.9
+        assert!((ps.value(w).data()[0] + 2.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_respects_frozen_params() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(1.0));
+        ps.set_trainable(w, false);
+        ps.accumulate_grad(w, &Tensor::scalar(1.0));
+        let mut opt = Sgd::new(0.5, 0.0, 0.0);
+        opt.step(&mut ps);
+        assert_eq!(ps.value(w).data()[0], 1.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize (w - 3)² with Adam.
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            ps.zero_grad();
+            let grad = 2.0 * (ps.value(w).data()[0] - 3.0);
+            ps.accumulate_grad(w, &Tensor::scalar(grad));
+            opt.step(&mut ps);
+        }
+        assert!((ps.value(w).data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn schedules_decay() {
+        let s = StepLr {
+            base_lr: 1.0,
+            gamma: 0.1,
+            step_epochs: 10,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(10) - 0.1).abs() < 1e-7);
+        let c = CosineLr {
+            base_lr: 1.0,
+            min_lr: 0.0,
+            total_epochs: 100,
+        };
+        assert!((c.at(0) - 1.0).abs() < 1e-6);
+        assert!(c.at(100) < 1e-6);
+        assert!(c.at(50) < c.at(10));
+    }
+}

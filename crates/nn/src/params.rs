@@ -1,0 +1,216 @@
+//! Parameter storage shared between layers, the autograd graph, and
+//! optimizers.
+
+use lutdla_tensor::Tensor;
+
+/// Handle to a parameter stored in a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of this parameter within its [`ParamSet`].
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A named, trainable tensor with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Human-readable name (used in reports and debugging).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether the optimizer may update this parameter. LUTBoost's centroid
+    /// calibration stage freezes everything except centroids by toggling this.
+    pub trainable: bool,
+}
+
+/// The owning store for all parameters of a model.
+///
+/// Layers hold [`ParamId`]s; the graph reads values through `&ParamSet` and
+/// writes gradients back after `backward`; optimizers update values in place.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_nn::ParamSet;
+/// use lutdla_tensor::Tensor;
+///
+/// let mut ps = ParamSet::new();
+/// let w = ps.add("w", Tensor::ones(&[2, 2]));
+/// assert_eq!(ps.value(w).numel(), 4);
+/// ps.zero_grad();
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ParamSet {
+    params: Vec<Parameter>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.dims());
+        self.params.push(Parameter {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.numel()).sum()
+    }
+
+    /// The value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to the value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.params[id.0].grad.add_mut(delta);
+    }
+
+    /// Zeroes all gradients. Call once per optimization step.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_mut(0.0);
+        }
+    }
+
+    /// Marks a parameter as (not) updatable by optimizers.
+    pub fn set_trainable(&mut self, id: ParamId, trainable: bool) {
+        self.params[id.0].trainable = trainable;
+    }
+
+    /// Marks every parameter as (not) updatable.
+    pub fn set_all_trainable(&mut self, trainable: bool) {
+        for p in &mut self.params {
+            p.trainable = trainable;
+        }
+    }
+
+    /// Whether a parameter is updatable.
+    pub fn is_trainable(&self, id: ParamId) -> bool {
+        self.params[id.0].trainable
+    }
+
+    /// The name a parameter was registered with.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over `(id, parameter)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Parameter)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Iterates mutably over `(id, parameter)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Parameter)> {
+        self.params
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients to a maximum global norm, returning the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let k = max_norm / norm;
+            for p in &mut self.params {
+                p.grad.scale_mut(k);
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_back() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::full(&[3], 2.0));
+        assert_eq!(ps.value(id).data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(ps.name(id), "w");
+        assert_eq!(ps.num_scalars(), 3);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[2]));
+        ps.accumulate_grad(id, &Tensor::ones(&[2]));
+        ps.accumulate_grad(id, &Tensor::ones(&[2]));
+        assert_eq!(ps.grad(id).data(), &[2.0, 2.0]);
+        ps.zero_grad();
+        assert_eq!(ps.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn trainable_flag() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[1]));
+        assert!(ps.is_trainable(id));
+        ps.set_trainable(id, false);
+        assert!(!ps.is_trainable(id));
+        ps.set_all_trainable(true);
+        assert!(ps.is_trainable(id));
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut ps = ParamSet::new();
+        let id = ps.add("w", Tensor::zeros(&[2]));
+        ps.accumulate_grad(id, &Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let pre = ps.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-5);
+    }
+}

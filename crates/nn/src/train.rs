@@ -1,0 +1,252 @@
+//! Generic training/evaluation loops shared by the baseline models and the
+//! LUTBoost converter stages.
+
+use lutdla_tensor::Tensor;
+
+use crate::data::{ImageDataset, SeqDataset};
+use crate::graph::{Graph, NodeId};
+use crate::optim::{Adam, Sgd};
+use crate::params::ParamSet;
+
+/// A model that maps a batch of images to classification logits.
+pub trait ImageModel {
+    /// Builds the forward computation for `images` (NCHW) on the tape and
+    /// returns the `[batch, classes]` logits node.
+    fn logits(&self, g: &mut Graph, ps: &ParamSet, images: Tensor) -> NodeId;
+
+    /// Optional auxiliary loss terms (e.g. LUTBoost's reconstruction loss)
+    /// appended to the task loss. Default: none.
+    fn aux_loss(&self, _g: &mut Graph, _ps: &ParamSet) -> Option<NodeId> {
+        None
+    }
+}
+
+/// A model that maps a batch of token sequences to classification logits.
+pub trait SeqModel {
+    /// Builds the forward computation for flat `tokens` (`batch × seq_len`
+    /// ids) and returns the `[batch, classes]` logits node.
+    fn logits(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        tokens: &[usize],
+        batch: usize,
+        seq_len: usize,
+    ) -> NodeId;
+
+    /// Optional auxiliary loss terms. Default: none.
+    fn aux_loss(&self, _g: &mut Graph, _ps: &ParamSet) -> Option<NodeId> {
+        None
+    }
+}
+
+/// Either supported optimizer, so training loops stay monomorphic.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// SGD with momentum.
+    Sgd(Sgd),
+    /// Adam.
+    Adam(Adam),
+}
+
+impl Optimizer {
+    /// Applies one update step.
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        match self {
+            Optimizer::Sgd(o) => o.step(ps),
+            Optimizer::Adam(o) => o.step(ps),
+        }
+    }
+
+    /// Overrides the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        match self {
+            Optimizer::Sgd(o) => o.lr = lr,
+            Optimizer::Adam(o) => o.lr = lr,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+/// Runs one epoch of image-classification training; returns mean loss and
+/// training accuracy.
+pub fn train_epoch_images<M: ImageModel>(
+    model: &M,
+    ps: &mut ParamSet,
+    opt: &mut Optimizer,
+    data: &ImageDataset,
+    batch_size: usize,
+) -> EpochStats {
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for bi in 0..data.num_batches(batch_size) {
+        let (x, labels) = data.batch(bi, batch_size);
+        let mut g = Graph::new(true);
+        let logits = model.logits(&mut g, ps, x);
+        let mut loss = g.cross_entropy(logits, &labels);
+        if let Some(aux) = model.aux_loss(&mut g, ps) {
+            loss = g.add(loss, aux);
+        }
+        ps.zero_grad();
+        g.backward(loss);
+        g.apply_param_grads(ps);
+        opt.step(ps);
+
+        total_loss += g.value(loss).data()[0] as f64 * labels.len() as f64;
+        correct += count_correct(g.value(logits), &labels);
+        seen += labels.len();
+    }
+    EpochStats {
+        loss: (total_loss / seen as f64) as f32,
+        accuracy: correct as f32 / seen as f32,
+    }
+}
+
+/// Evaluates image-classification accuracy (eval-mode forward).
+pub fn eval_images<M: ImageModel>(
+    model: &M,
+    ps: &ParamSet,
+    data: &ImageDataset,
+    batch_size: usize,
+) -> f32 {
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for bi in 0..data.num_batches(batch_size) {
+        let (x, labels) = data.batch(bi, batch_size);
+        let mut g = Graph::new(false);
+        let logits = model.logits(&mut g, ps, x);
+        correct += count_correct(g.value(logits), &labels);
+        seen += labels.len();
+    }
+    correct as f32 / seen as f32
+}
+
+/// Runs one epoch of sequence-classification training.
+pub fn train_epoch_seq<M: SeqModel>(
+    model: &M,
+    ps: &mut ParamSet,
+    opt: &mut Optimizer,
+    data: &SeqDataset,
+    batch_size: usize,
+) -> EpochStats {
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for bi in 0..data.num_batches(batch_size) {
+        let (tokens, labels) = data.batch(bi, batch_size);
+        let batch = labels.len();
+        let mut g = Graph::new(true);
+        let logits = model.logits(&mut g, ps, &tokens, batch, data.seq_len);
+        let mut loss = g.cross_entropy(logits, &labels);
+        if let Some(aux) = model.aux_loss(&mut g, ps) {
+            loss = g.add(loss, aux);
+        }
+        ps.zero_grad();
+        g.backward(loss);
+        g.apply_param_grads(ps);
+        opt.step(ps);
+
+        total_loss += g.value(loss).data()[0] as f64 * batch as f64;
+        correct += count_correct(g.value(logits), &labels);
+        seen += batch;
+    }
+    EpochStats {
+        loss: (total_loss / seen as f64) as f32,
+        accuracy: correct as f32 / seen as f32,
+    }
+}
+
+/// Evaluates sequence-classification accuracy (eval-mode forward).
+pub fn eval_seq<M: SeqModel>(
+    model: &M,
+    ps: &ParamSet,
+    data: &SeqDataset,
+    batch_size: usize,
+) -> f32 {
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for bi in 0..data.num_batches(batch_size) {
+        let (tokens, labels) = data.batch(bi, batch_size);
+        let batch = labels.len();
+        let mut g = Graph::new(false);
+        let logits = model.logits(&mut g, ps, &tokens, batch, data.seq_len);
+        correct += count_correct(g.value(logits), &labels);
+        seen += batch;
+    }
+    correct as f32 / seen as f32
+}
+
+fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    logits
+        .argmax_last_axis()
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| *p == *l)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{synthetic_images, ImageTaskConfig};
+    use crate::layers::{Linear, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimal linear classifier over flattened pixels.
+    struct LinearProbe {
+        fc: Linear,
+        in_dim: usize,
+    }
+
+    impl ImageModel for LinearProbe {
+        fn logits(&self, g: &mut Graph, ps: &ParamSet, images: Tensor) -> NodeId {
+            let n = images.dims()[0];
+            let x = g.input(images.reshape(&[n, self.in_dim]));
+            self.fc.forward(g, ps, x)
+        }
+    }
+
+    #[test]
+    fn linear_probe_learns_synthetic_task() {
+        let cfg = ImageTaskConfig {
+            num_classes: 4,
+            n_train: 128,
+            n_test: 64,
+            noise: 0.2,
+            ..ImageTaskConfig::cifar10_proxy()
+        };
+        let (train, test) = synthetic_images(&cfg);
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut ps = ParamSet::new();
+        let in_dim = 3 * 16 * 16;
+        let model = LinearProbe {
+            fc: Linear::new(&mut ps, &mut rng, "probe", in_dim, 4, true),
+            in_dim,
+        };
+        let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 0.0));
+        let mut last = EpochStats {
+            loss: f32::INFINITY,
+            accuracy: 0.0,
+        };
+        for _ in 0..15 {
+            last = train_epoch_images(&model, &mut ps, &mut opt, &train, 32);
+        }
+        let test_acc = eval_images(&model, &ps, &test, 32);
+        assert!(
+            last.accuracy > 0.8,
+            "train accuracy too low: {:?}",
+            last
+        );
+        assert!(test_acc > 0.6, "test accuracy too low: {test_acc}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based gradient checks: for random shapes and random op
+//! compositions, analytic gradients must match central differences.
+
+use lutdla_nn::{Graph, NodeId};
+use lutdla_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn numeric_check(x0: &Tensor, f: impl Fn(&mut Graph, NodeId) -> NodeId) -> Result<(), String> {
+    let mut g = Graph::new(true);
+    let x = g.input(x0.clone());
+    let loss = f(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x).ok_or("no grad")?.clone();
+
+    let eps = 1e-2f32;
+    for i in 0..x0.numel() {
+        let mut plus = x0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[i] -= eps;
+        let eval = |t: Tensor| {
+            let mut g = Graph::new(true);
+            let x = g.input(t);
+            let l = f(&mut g, x);
+            g.value(l).data()[0]
+        };
+        let numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        if (a - numeric).abs() > 5e-2 * (1.0 + numeric.abs()) {
+            return Err(format!("grad mismatch at {i}: {a} vs {numeric}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Linear → ReLU → square → sum pipelines differentiate correctly for
+    /// arbitrary shapes.
+    #[test]
+    fn grad_linear_relu(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        numeric_check(&x0, |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.matmul(x, wn);
+            let r = g.relu(y);
+            let s = g.square(r);
+            g.sum_all(s)
+        }).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Softmax + weighted sum differentiates correctly.
+    #[test]
+    fn grad_softmax(rows in 1usize..4, cols in 2usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::rand_uniform(&mut rng, &[rows, cols], -1.5, 1.5);
+        let w = Tensor::rand_uniform(&mut rng, &[rows, cols], -1.0, 1.0);
+        numeric_check(&x0, |g, x| {
+            let s = g.softmax(x);
+            let wn = g.input(w.clone());
+            let p = g.mul(s, wn);
+            g.sum_all(p)
+        }).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Cross-entropy with random labels differentiates correctly.
+    #[test]
+    fn grad_cross_entropy(rows in 1usize..4, classes in 2usize..5, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::rand_uniform(&mut rng, &[rows, classes], -1.0, 1.0);
+        let labels: Vec<usize> = (0..rows).map(|i| (seed as usize + i) % classes).collect();
+        numeric_check(&x0, |g, x| g.cross_entropy(x, &labels))
+            .map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Mean over the last axis differentiates correctly (transformer pooling path).
+    #[test]
+    fn grad_mean_last_axis(rows in 1usize..5, cols in 1usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::rand_uniform(&mut rng, &[rows, cols], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[rows], -1.0, 1.0);
+        numeric_check(&x0, |g, x| {
+            let m = g.mean_last_axis_node(x);
+            let wn = g.input(w.clone());
+            let p = g.mul(m, wn);
+            let s = g.square(p);
+            g.sum_all(s)
+        }).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Elementwise div/abs/sqrt chain differentiates correctly away from
+    /// the singularities.
+    #[test]
+    fn grad_div_abs_sqrt(n in 1usize..8, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::rand_uniform(&mut rng, &[n], 0.5, 2.0);
+        let d = Tensor::rand_uniform(&mut rng, &[n], 1.0, 3.0);
+        numeric_check(&x0, |g, x| {
+            let dn = g.input(d.clone());
+            let q = g.div(x, dn);
+            let a = g.abs(q);
+            let r = g.sqrt(a);
+            g.sum_all(r)
+        }).map_err(|e| TestCaseError::fail(e))?;
+    }
+}

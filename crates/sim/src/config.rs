@@ -1,0 +1,174 @@
+//! Simulator configuration and GEMM shape types.
+
+use lutdla_hwmodel::{LutDlaHwConfig, Metric, NumFormat, TechNode};
+
+/// The dimensions of one GEMM to execute: `A[M,K] × B[K,N]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Gemm {
+    /// Activation rows.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl Gemm {
+    /// Creates a GEMM shape.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Equivalent dense operation count (2 ops per MAC).
+    pub fn ops(&self) -> u64 {
+        2 * self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+/// Complete configuration of a simulated LUT-DLA instance.
+///
+/// Extends the PPA-level [`LutDlaHwConfig`] with the microarchitectural
+/// knobs the cycle engine needs (bandwidth, FIFO depth, buffering policy).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimConfig {
+    /// Subvector length `v`.
+    pub v: usize,
+    /// Centroids per codebook `c`.
+    pub c: usize,
+    /// Output-tile width per IMM (`Tn`).
+    pub tn: usize,
+    /// Scratchpad rows (`M` tile height).
+    pub m_rows: usize,
+    /// Indices-buffer capacity in subspaces (`Nc`).
+    pub nc_buffer: usize,
+    /// Number of CCUs.
+    pub n_ccu: usize,
+    /// Number of IMMs.
+    pub n_imm: usize,
+    /// Similarity metric (for energy accounting).
+    pub metric: Metric,
+    /// Similarity datapath format.
+    pub ccm_format: NumFormat,
+    /// LUT entry bits.
+    pub lut_bits: u32,
+    /// Activation bits (input streaming traffic).
+    pub act_bits: u32,
+    /// Scratchpad accumulator bits.
+    pub acc_bits: u32,
+    /// Off-chip bandwidth in bytes per IMM-clock cycle.
+    pub bw_bytes_per_cycle: f64,
+    /// CCM clock multiplier over the IMM clock.
+    pub ccm_clock_mult: u32,
+    /// Index-FIFO depth between CCM and each IMM.
+    pub fifo_depth: usize,
+    /// Ping-pong LUT banks: prefetch the next bank during compute.
+    pub overlap_load: bool,
+    /// PQA mode: resident whole-layer LUT loaded up-front, no tiling reuse.
+    pub whole_layer_lut: bool,
+    /// IMM clock in MHz.
+    pub freq_mhz: f64,
+    /// Technology node (energy accounting).
+    pub node: TechNode,
+}
+
+impl SimConfig {
+    /// A LUT-DLA instance mirroring [`LutDlaHwConfig::baseline`] with
+    /// DDR4-class bandwidth (25.6 GB/s, the paper's end-to-end assumption).
+    pub fn baseline() -> Self {
+        Self::from_hw(&LutDlaHwConfig::baseline(), 25.6e9)
+    }
+
+    /// Builds a simulator config from a PPA config plus a bandwidth budget
+    /// in bytes/s.
+    pub fn from_hw(hw: &LutDlaHwConfig, bandwidth_bytes_per_s: f64) -> Self {
+        Self {
+            v: hw.v,
+            c: hw.c,
+            tn: hw.tn,
+            m_rows: hw.m_rows,
+            nc_buffer: hw.nc,
+            n_ccu: hw.n_ccu,
+            n_imm: hw.n_imm,
+            metric: hw.metric,
+            ccm_format: hw.ccm_format,
+            lut_bits: hw.lut_bits,
+            act_bits: hw.ccm_format.bits(),
+            acc_bits: hw.acc_bits,
+            bw_bytes_per_cycle: bandwidth_bytes_per_s / (hw.freq_mhz * 1e6),
+            ccm_clock_mult: hw.ccm_clock_mult,
+            fifo_depth: 64,
+            overlap_load: true,
+            whole_layer_lut: false,
+            freq_mhz: hw.freq_mhz,
+            node: hw.node,
+        }
+    }
+
+    /// The PPA-level view of this configuration.
+    pub fn to_hw(&self) -> LutDlaHwConfig {
+        LutDlaHwConfig {
+            metric: self.metric,
+            v: self.v,
+            c: self.c,
+            tn: self.tn,
+            m_rows: self.m_rows,
+            nc: self.nc_buffer,
+            n_ccu: self.n_ccu,
+            n_imm: self.n_imm,
+            ccm_format: self.ccm_format,
+            lut_bits: self.lut_bits,
+            acc_bits: self.acc_bits,
+            freq_mhz: self.freq_mhz,
+            ccm_clock_mult: self.ccm_clock_mult,
+            node: self.node,
+        }
+    }
+
+    /// Number of subspaces a `K` dimension splits into.
+    pub fn num_subspaces(&self, k: usize) -> usize {
+        k.div_ceil(self.v)
+    }
+
+    /// Bytes of one ping-pong LUT bank (`c × Tn` entries).
+    pub fn bank_bytes(&self) -> u64 {
+        (self.c * self.tn) as u64 * self.lut_bits as u64 / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_ops() {
+        assert_eq!(Gemm::new(2, 3, 4).ops(), 48);
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let cfg = SimConfig::baseline();
+        let hw = cfg.to_hw();
+        assert_eq!(hw.v, cfg.v);
+        assert_eq!(hw.n_imm, cfg.n_imm);
+        let back = SimConfig::from_hw(&hw, 25.6e9);
+        assert_eq!(back.bank_bytes(), cfg.bank_bytes());
+    }
+
+    #[test]
+    fn bank_bytes_int8() {
+        let cfg = SimConfig {
+            c: 32,
+            tn: 16,
+            lut_bits: 8,
+            ..SimConfig::baseline()
+        };
+        assert_eq!(cfg.bank_bytes(), 512);
+    }
+
+    #[test]
+    fn bandwidth_cycles_conversion() {
+        let cfg = SimConfig::baseline();
+        // 25.6 GB/s at 300 MHz = 85.33 B/cycle.
+        assert!((cfg.bw_bytes_per_cycle - 85.33).abs() < 0.1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Analytic on-chip memory requirements of the six candidate dataflows
+//! (paper Table I) and LUT reload accounting.
+//!
+//! Loop-order notation: the three letters give the nesting from outer to
+//! inner for the `(M×K)·(K×N)` GEMM; `LutStationary` is the paper's
+//! `N → K → M` order with `Tn`-tiling of N and on-demand bank streaming.
+
+use crate::config::Gemm;
+
+/// The candidate loop orders of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Dataflow {
+    /// m → n → k.
+    Mnk,
+    /// n → m → k.
+    Nmk,
+    /// m → k → n.
+    Mkn,
+    /// k → m → n.
+    Kmn,
+    /// k → n → m.
+    Knm,
+    /// The proposed LUT-Stationary order (n → k → m with N-tiling).
+    LutStationary,
+}
+
+impl Dataflow {
+    /// All six candidates, in Table I order.
+    pub const ALL: [Dataflow; 6] = [
+        Dataflow::Mnk,
+        Dataflow::Nmk,
+        Dataflow::Mkn,
+        Dataflow::Kmn,
+        Dataflow::Knm,
+        Dataflow::LutStationary,
+    ];
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dataflow::Mnk => "MNK",
+            Dataflow::Nmk => "NMK",
+            Dataflow::Mkn => "MKN",
+            Dataflow::Kmn => "KMN",
+            Dataflow::Knm => "KNM",
+            Dataflow::LutStationary => "LUT-Stationary",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-structure on-chip requirements of a dataflow, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryFootprint {
+    /// Partial-sum scratchpad bytes.
+    pub scratchpad: f64,
+    /// Indices-buffer bytes.
+    pub indices: f64,
+    /// Resident PSum-LUT bytes.
+    pub psum_lut: f64,
+}
+
+impl MemoryFootprint {
+    /// Total on-chip bytes.
+    pub fn total(&self) -> f64 {
+        self.scratchpad + self.indices + self.psum_lut
+    }
+
+    /// Total in KB (Table I units).
+    pub fn total_kb(&self) -> f64 {
+        self.total() / 1024.0
+    }
+}
+
+/// Parameters shared by all dataflow analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct DataflowParams {
+    /// Subvector length.
+    pub v: usize,
+    /// Centroids per codebook.
+    pub c: usize,
+    /// N-tile width for the tiled dataflows (LS; also bounds KNM's live set).
+    pub tn: usize,
+    /// Partial-sum entry bytes.
+    pub acc_bytes: f64,
+    /// LUT entry bytes.
+    pub lut_bytes: f64,
+}
+
+impl DataflowParams {
+    /// Table I's configuration: v=4, c=32, INT8 entries, Tn=32, 8-bit psums.
+    pub fn table1() -> Self {
+        Self {
+            v: 4,
+            c: 32,
+            tn: 32,
+            acc_bytes: 1.0,
+            lut_bytes: 1.0,
+        }
+    }
+}
+
+/// Minimum on-chip sizes such that no LUT bank is loaded more than once
+/// (the constraint Table I states).
+pub fn memory_footprint(df: Dataflow, g: &Gemm, p: &DataflowParams) -> MemoryFootprint {
+    let nc = g.k.div_ceil(p.v) as f64;
+    let (m, n) = (g.m as f64, g.n as f64);
+    let idx_bytes = ((p.c as f64).log2().ceil() / 8.0).max(0.125);
+    let full_lut = nc * p.c as f64 * n * p.lut_bytes;
+    match df {
+        // K innermost: one output element accumulates at a time, but every
+        // (k, n) pair recurs for each m ⇒ whole LUT must stay resident.
+        Dataflow::Mnk => MemoryFootprint {
+            scratchpad: p.acc_bytes * p.tn as f64, // an output burst register
+            indices: nc * idx_bytes,               // one row's codes
+            psum_lut: full_lut,
+        },
+        Dataflow::Nmk => MemoryFootprint {
+            scratchpad: p.acc_bytes * p.tn as f64,
+            // n outermost, k inner: every row's codes recur per n ⇒ buffer all.
+            indices: m * nc * idx_bytes,
+            psum_lut: full_lut,
+        },
+        Dataflow::Mkn => MemoryFootprint {
+            // full output row live while k accumulates
+            scratchpad: n * p.acc_bytes,
+            indices: idx_bytes, // single code at a time
+            psum_lut: full_lut,
+        },
+        Dataflow::Kmn => MemoryFootprint {
+            // all partial sums live across the k loop
+            scratchpad: m * n * p.acc_bytes,
+            indices: idx_bytes,
+            psum_lut: p.c as f64 * n * p.lut_bytes, // one subspace's table
+        },
+        Dataflow::Knm => MemoryFootprint {
+            scratchpad: m * n * p.acc_bytes,
+            indices: m * idx_bytes, // one subspace's codes for all rows
+            psum_lut: p.c as f64 * p.tn as f64 * p.lut_bytes, // one n-burst
+        },
+        Dataflow::LutStationary => MemoryFootprint {
+            // N tiled by Tn: only an M×Tn slab of partial sums is live.
+            scratchpad: m * p.tn as f64 * p.acc_bytes,
+            indices: m * idx_bytes,
+            psum_lut: p.c as f64 * p.tn as f64 * p.lut_bytes,
+        },
+    }
+}
+
+/// How many times the same LUT contents are (re)loaded from DRAM under each
+/// dataflow when on-chip capacity holds exactly [`memory_footprint`]; all
+/// six orders here achieve 1.0 by construction (the table's premise), so
+/// this returns the *traffic* in bytes instead: total LUT bytes moved.
+pub fn lut_traffic_bytes(g: &Gemm, p: &DataflowParams) -> f64 {
+    let nc = g.k.div_ceil(p.v) as f64;
+    nc * p.c as f64 * g.n as f64 * p.lut_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_gemm() -> Gemm {
+        Gemm::new(512, 768, 768)
+    }
+
+    #[test]
+    fn lut_stationary_is_smallest() {
+        let g = table1_gemm();
+        let p = DataflowParams::table1();
+        let ls = memory_footprint(Dataflow::LutStationary, &g, &p).total();
+        for df in Dataflow::ALL {
+            if df != Dataflow::LutStationary {
+                assert!(
+                    memory_footprint(df, &g, &p).total() >= ls,
+                    "{df} smaller than LS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_ls_row_matches_paper() {
+        // Paper: LS = 16 KB scratchpad, 0.31 KB indices, 1 KB PSumLUT.
+        let g = table1_gemm();
+        let p = DataflowParams::table1();
+        let f = memory_footprint(Dataflow::LutStationary, &g, &p);
+        assert!((f.scratchpad / 1024.0 - 16.0).abs() < 0.5, "scratch {}", f.scratchpad / 1024.0);
+        assert!((f.indices / 1024.0 - 0.31).abs() < 0.05, "idx {}", f.indices / 1024.0);
+        assert!((f.psum_lut / 1024.0 - 1.0).abs() < 0.1, "lut {}", f.psum_lut / 1024.0);
+    }
+
+    #[test]
+    fn table1_knm_and_kmn_rows_match_paper() {
+        // Paper: KMN = 384 KB scratch + 24 KB LUT; KNM = 384 KB + 1 KB.
+        let g = table1_gemm();
+        let p = DataflowParams::table1();
+        let kmn = memory_footprint(Dataflow::Kmn, &g, &p);
+        assert!((kmn.scratchpad / 1024.0 - 384.0).abs() < 1.0);
+        assert!((kmn.psum_lut / 1024.0 - 24.0).abs() < 0.5);
+        let knm = memory_footprint(Dataflow::Knm, &g, &p);
+        assert!((knm.scratchpad / 1024.0 - 384.0).abs() < 1.0);
+        assert!((knm.psum_lut / 1024.0 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn k_inner_dataflows_need_full_lut_residency() {
+        let g = table1_gemm();
+        let p = DataflowParams::table1();
+        let full = lut_traffic_bytes(&g, &p);
+        for df in [Dataflow::Mnk, Dataflow::Nmk, Dataflow::Mkn] {
+            let f = memory_footprint(df, &g, &p);
+            assert!((f.psum_lut - full).abs() < 1.0, "{df}");
+            // Orders of magnitude above LS.
+            let ls = memory_footprint(Dataflow::LutStationary, &g, &p);
+            assert!(f.total() > 50.0 * ls.total(), "{df}");
+        }
+    }
+
+    #[test]
+    fn nmk_buffers_all_indices() {
+        let g = table1_gemm();
+        let p = DataflowParams::table1();
+        let f = memory_footprint(Dataflow::Nmk, &g, &p);
+        // 512 rows × 192 subspaces × 5 bits ≈ 60KB at byte granularity;
+        // Table I says 26.9KB (bit-packed). We store byte-rounded codes ≥
+        // the paper's packed figure.
+        assert!(f.indices > memory_footprint(Dataflow::Mnk, &g, &p).indices * 100.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Simulation reports: cycles, utilisation, DRAM traffic, and event-based
+//! energy integration against the `lutdla-hwmodel` cost library.
+
+use lutdla_hwmodel::{ccu_energy_per_vector_pj, imm_cost, CostModel, SramModel};
+
+use crate::config::{Gemm, SimConfig};
+
+/// Raw event tallies from one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EventCounts {
+    /// Full c-deep dPE scans (one per produced index).
+    pub dpe_scans: u64,
+    /// `Tn`-wide LUT row reads (lookup-accumulates).
+    pub lut_row_reads: u64,
+    /// Scratchpad row accesses (read + write counted separately).
+    pub scratch_accesses: u64,
+    /// Indices-buffer writes.
+    pub index_writes: u64,
+    /// Indices-buffer reads.
+    pub index_reads: u64,
+    /// LUT bytes moved from DRAM.
+    pub dram_lut_bytes: u64,
+    /// Activation bytes streamed in.
+    pub dram_input_bytes: u64,
+    /// Output bytes written back.
+    pub dram_output_bytes: u64,
+}
+
+impl EventCounts {
+    /// Total DRAM traffic in bytes.
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_lut_bytes + self.dram_input_bytes + self.dram_output_bytes
+    }
+}
+
+/// Energy breakdown in millijoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyBreakdown {
+    /// Similarity-comparison energy.
+    pub ccm_mj: f64,
+    /// Lookup/accumulate energy (LUT + scratchpad + adder lanes).
+    pub imm_mj: f64,
+    /// DRAM access energy.
+    pub dram_mj: f64,
+    /// Leakage over the run.
+    pub leakage_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.ccm_mj + self.imm_mj + self.dram_mj + self.leakage_mj
+    }
+
+    /// Chip-only energy (excluding the DRAM interface), mJ — the basis of
+    /// the paper's Fig. 13 energy comparison.
+    pub fn chip_mj(&self) -> f64 {
+        self.ccm_mj + self.imm_mj + self.leakage_mj
+    }
+}
+
+/// DRAM access energy per byte (pJ/B) — DDR4-class interface energy.
+const DRAM_PJ_PER_BYTE: f64 = 15.0;
+
+/// The result of simulating one GEMM (or an aggregate of a whole model).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimReport {
+    /// IMM-clock cycles to completion.
+    pub cycles: u64,
+    /// Cycles during which the CCM cluster produced indices.
+    pub ccm_busy: u64,
+    /// Sum over IMMs of lookup cycles (utilisation numerator).
+    pub imm_busy: u64,
+    /// IMM-cycles stalled waiting for a LUT bank.
+    pub stall_load: u64,
+    /// IMM-cycles stalled waiting for an index.
+    pub stall_index: u64,
+    /// Event tallies.
+    pub events: EventCounts,
+    /// Energy integration.
+    pub energy: EnergyBreakdown,
+    /// Wall-clock seconds at the configured frequency.
+    pub time_s: f64,
+    /// Dense-equivalent operations executed.
+    pub effective_ops: u64,
+    /// IMM lookup-slot utilisation ∈ [0, 1].
+    pub imm_utilization: f64,
+}
+
+impl SimReport {
+    /// Builds a report from raw simulation outputs (crate-internal).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        cfg: &SimConfig,
+        g: &Gemm,
+        cycles: u64,
+        events: EventCounts,
+        ccm_busy: u64,
+        imm_busy: u64,
+        stall_load: u64,
+        stall_index: u64,
+    ) -> Self {
+        let m = CostModel::new(cfg.node);
+        let sram = SramModel::new(cfg.node);
+        let imm = imm_cost(&m, &sram, &cfg.to_hw().imm_config());
+
+        let ccm_pj =
+            ccu_energy_per_vector_pj(&m, cfg.metric, cfg.v, cfg.c, cfg.ccm_format)
+                * events.dpe_scans as f64;
+        let imm_pj = imm.energy_per_lookup_pj * events.lut_row_reads as f64;
+        let dram_pj = events.dram_total_bytes() as f64 * DRAM_PJ_PER_BYTE;
+
+        let time_s = cycles as f64 / (cfg.freq_mhz * 1e6);
+        let leak_mw = imm.leakage_mw * cfg.n_imm as f64;
+        let leakage_mj = leak_mw * time_s; // mW × s = mJ
+
+        let effective_ops = g.ops();
+        let imm_slots = cycles.max(1) * cfg.n_imm as u64;
+        SimReport {
+            cycles,
+            ccm_busy,
+            imm_busy,
+            stall_load,
+            stall_index,
+            events,
+            energy: EnergyBreakdown {
+                ccm_mj: ccm_pj * 1e-9,
+                imm_mj: imm_pj * 1e-9,
+                dram_mj: dram_pj * 1e-9,
+                leakage_mj,
+            },
+            time_s,
+            effective_ops,
+            imm_utilization: imm_busy as f64 / imm_slots as f64,
+        }
+    }
+
+    /// Effective throughput in GOPS (dense-equivalent ops over wall time).
+    pub fn effective_gops(&self) -> f64 {
+        self.effective_ops as f64 / self.time_s / 1e9
+    }
+
+    /// Merges per-layer reports into a whole-model aggregate.
+    pub fn merge(reports: &[SimReport]) -> SimReport {
+        assert!(!reports.is_empty(), "nothing to merge");
+        let mut out = reports[0];
+        for r in &reports[1..] {
+            out.cycles += r.cycles;
+            out.ccm_busy += r.ccm_busy;
+            out.imm_busy += r.imm_busy;
+            out.stall_load += r.stall_load;
+            out.stall_index += r.stall_index;
+            out.events.dpe_scans += r.events.dpe_scans;
+            out.events.lut_row_reads += r.events.lut_row_reads;
+            out.events.scratch_accesses += r.events.scratch_accesses;
+            out.events.index_writes += r.events.index_writes;
+            out.events.index_reads += r.events.index_reads;
+            out.events.dram_lut_bytes += r.events.dram_lut_bytes;
+            out.events.dram_input_bytes += r.events.dram_input_bytes;
+            out.events.dram_output_bytes += r.events.dram_output_bytes;
+            out.energy.ccm_mj += r.energy.ccm_mj;
+            out.energy.imm_mj += r.energy.imm_mj;
+            out.energy.dram_mj += r.energy.dram_mj;
+            out.energy.leakage_mj += r.energy.leakage_mj;
+            out.time_s += r.time_s;
+            out.effective_ops += r.effective_ops;
+        }
+        let slots = out.cycles.max(1); // aggregate utilisation re-derived
+        out.imm_utilization = out.imm_busy as f64 / slots as f64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_gemm;
+
+    #[test]
+    fn merge_accumulates() {
+        let cfg = SimConfig::baseline();
+        let g = Gemm::new(64, 64, 64);
+        let r = simulate_gemm(&cfg, &g);
+        let merged = SimReport::merge(&[r, r]);
+        assert_eq!(merged.cycles, 2 * r.cycles);
+        assert_eq!(merged.effective_ops, 2 * r.effective_ops);
+        assert!((merged.energy.total_mj() - 2.0 * r.energy.total_mj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gops_consistent_with_time() {
+        let cfg = SimConfig::baseline();
+        let g = Gemm::new(128, 128, 128);
+        let r = simulate_gemm(&cfg, &g);
+        let gops = r.effective_gops();
+        assert!((gops - r.effective_ops as f64 / r.time_s / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_totals_add_up() {
+        let e = EventCounts {
+            dram_lut_bytes: 10,
+            dram_input_bytes: 20,
+            dram_output_bytes: 30,
+            ..Default::default()
+        };
+        assert_eq!(e.dram_total_bytes(), 60);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-crate validation: the simulator's LUT-Stationary loop nest must
+//! compute exactly the same matrix as the algorithmic AMM reference in
+//! `lutdla-vq`, for every metric and tiling.
+
+use lutdla_sim::{functional_ls, Gemm, SimConfig, TableSource};
+use lutdla_tensor::Tensor;
+use lutdla_vq::{approx_matmul_from_codes, Distance, LutQuant, LutTable, ProductQuantizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct VqTable<'a>(&'a LutTable);
+
+impl TableSource for VqTable<'_> {
+    fn entry(&self, subspace: usize, centroid: usize, col: usize) -> f32 {
+        self.0.row(subspace, centroid)[col]
+    }
+}
+
+fn check(metric: Distance, v: usize, c: usize, tn: usize, m_rows: usize, n_imm: usize) {
+    let mut rng = StdRng::seed_from_u64(7 + v as u64 + c as u64);
+    let g = Gemm::new(24, 16, 20);
+    let a = Tensor::rand_uniform(&mut rng, &[g.m, g.k], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[g.k, g.n], -1.0, 1.0);
+    let pq = ProductQuantizer::fit(&a, v, c, metric, &mut rng);
+    let lut = LutTable::build(&pq, &b, LutQuant::F32);
+    let codes = pq.encode(&a);
+
+    let reference = approx_matmul_from_codes(&codes, g.m, &pq, &lut);
+
+    let cfg = SimConfig {
+        v,
+        c,
+        tn,
+        m_rows,
+        n_imm,
+        ..SimConfig::baseline()
+    };
+    let hw = functional_ls(&cfg, &g, &codes, &VqTable(&lut));
+    for (i, (x, y)) in hw.iter().zip(reference.data()).enumerate() {
+        assert!(
+            (x - y).abs() < 1e-4,
+            "{metric} v={v} c={c} tn={tn}: mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn ls_dataflow_matches_amm_l2() {
+    check(Distance::L2, 4, 8, 20, 24, 1);
+}
+
+#[test]
+fn ls_dataflow_matches_amm_l1_tiled() {
+    check(Distance::L1, 4, 8, 5, 8, 2);
+}
+
+#[test]
+fn ls_dataflow_matches_amm_chebyshev_ragged_tiles() {
+    // tn does not divide n, m_rows does not divide m.
+    check(Distance::Chebyshev, 4, 16, 7, 5, 3);
+}
+
+#[test]
+fn ls_dataflow_matches_amm_padded_k() {
+    // v does not divide k (zero-padded final subspace).
+    check(Distance::L2, 5, 8, 10, 12, 2);
+}

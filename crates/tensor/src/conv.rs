@@ -1,0 +1,290 @@
+//! `im2col`/`col2im` lowering of 2-D convolution onto GEMM.
+//!
+//! LUT-DLA accelerates GEMM; convolutions reach the accelerator through the
+//! same `im2col` transform implemented here (the paper assumes im2col when it
+//! says "as input matrix shape increases (commonly after im2col)"). The
+//! training stack reuses the same functions so a `Conv2d` layer is exactly an
+//! `im2col` followed by a matrix multiplication.
+
+use crate::Tensor;
+
+/// Static geometry of a 2-D convolution: shapes in, shapes out, and the
+/// GEMM dimensions it lowers to.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 16, (32, 32), (3, 3), 1, 1);
+/// assert_eq!(g.out_hw(), (32, 32));
+/// assert_eq!(g.gemm_k(), 27);          // 3 × 3 × 3
+/// assert_eq!(g.gemm_m(1), 32 * 32);    // one output row per output pixel
+/// assert_eq!(g.gemm_n(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input spatial size (height, width).
+    pub in_hw: (usize, usize),
+    /// Kernel size (height, width).
+    pub kernel: (usize, usize),
+    /// Stride (same for both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is zero or the kernel does not fit in the padded
+    /// input.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_hw: (usize, usize),
+        kernel: (usize, usize),
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let g = Self {
+            in_channels,
+            out_channels,
+            in_hw,
+            kernel,
+            stride,
+            padding,
+        };
+        let (oh, ow) = g.out_hw();
+        assert!(oh > 0 && ow > 0, "kernel does not fit in padded input");
+        g
+    }
+
+    /// Output spatial size (height, width).
+    pub fn out_hw(&self) -> (usize, usize) {
+        let oh = (self.in_hw.0 + 2 * self.padding).saturating_sub(self.kernel.0) / self.stride + 1;
+        let ow = (self.in_hw.1 + 2 * self.padding).saturating_sub(self.kernel.1) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// GEMM `M` dimension for a given batch size: one row per output pixel.
+    pub fn gemm_m(&self, batch: usize) -> usize {
+        let (oh, ow) = self.out_hw();
+        batch * oh * ow
+    }
+
+    /// GEMM `K` dimension: `cin × kh × kw`.
+    pub fn gemm_k(&self) -> usize {
+        self.in_channels * self.kernel.0 * self.kernel.1
+    }
+
+    /// GEMM `N` dimension: output channels.
+    pub fn gemm_n(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Multiply–accumulate count for one batch element.
+    pub fn macs(&self) -> u64 {
+        self.gemm_m(1) as u64 * self.gemm_k() as u64 * self.gemm_n() as u64
+    }
+}
+
+/// Unfolds an NCHW input into the `[batch·oh·ow, cin·kh·kw]` patch matrix.
+///
+/// The column ordering is `(c, kh, kw)` fastest-last, which matches the
+/// row ordering of a reshaped `[cout, cin·kh·kw]` weight matrix.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-4 or its channel/spatial dims disagree with
+/// `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "im2col expects NCHW input");
+    let dims = input.dims();
+    let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, geom.in_channels, "channel mismatch");
+    assert_eq!((h, w), geom.in_hw, "spatial size mismatch");
+
+    let (kh, kw) = geom.kernel;
+    let (oh, ow) = geom.out_hw();
+    let k = geom.gemm_k();
+    let m = batch * oh * ow;
+    let pad = geom.padding as isize;
+    let stride = geom.stride;
+
+    let src = input.data();
+    let mut out = vec![0.0f32; m * k];
+    let mut row = 0usize;
+    for b in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let out_row = &mut out[row * k..(row + 1) * k];
+                let mut col = 0usize;
+                for ci in 0..c {
+                    let plane = &src[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            out_row[col] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                            {
+                                plane[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, k])
+}
+
+/// Adjoint of [`im2col`]: folds a `[batch·oh·ow, cin·kh·kw]` gradient back
+/// into an NCHW gradient, summing overlapping patches.
+///
+/// # Panics
+///
+/// Panics if `cols` has the wrong shape for `geom` and `batch`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Tensor {
+    let (kh, kw) = geom.kernel;
+    let (oh, ow) = geom.out_hw();
+    let (h, w) = geom.in_hw;
+    let c = geom.in_channels;
+    let k = geom.gemm_k();
+    let m = batch * oh * ow;
+    assert_eq!(cols.dims(), &[m, k], "col matrix shape mismatch");
+
+    let pad = geom.padding as isize;
+    let stride = geom.stride;
+    let src = cols.data();
+    let mut out = vec![0.0f32; batch * c * h * w];
+    let mut row = 0usize;
+    for b in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let in_row = &src[row * k..(row + 1) * k];
+                let mut col = 0usize;
+                for ci in 0..c {
+                    let base = (b * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                out[base + iy as usize * w + ix as usize] += in_row[col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(16, 32, (8, 8), (3, 3), 1, 1);
+        assert_eq!(g.out_hw(), (8, 8));
+        assert_eq!(g.gemm_k(), 16 * 9);
+        assert_eq!(g.gemm_n(), 32);
+    }
+
+    #[test]
+    fn geometry_stride_two() {
+        let g = Conv2dGeometry::new(3, 8, (32, 32), (3, 3), 2, 1);
+        assert_eq!(g.out_hw(), (16, 16));
+    }
+
+    #[test]
+    fn im2col_1x1_kernel_is_reshape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&mut rng, &[1, 2, 3, 3], 1.0);
+        let g = Conv2dGeometry::new(2, 4, (3, 3), (1, 1), 1, 0);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.dims(), &[9, 2]);
+        // Column c of row (y*w+x) must equal input[c, y, x].
+        for y in 0..3 {
+            for xx in 0..3 {
+                for c in 0..2 {
+                    assert_eq!(cols.at(&[y * 3 + xx, c]), x.at(&[0, c, y, xx]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Direct convolution reference vs im2col+GEMM on a small case.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = Conv2dGeometry::new(2, 3, (5, 5), (3, 3), 1, 1);
+        let x = Tensor::randn(&mut rng, &[2, 2, 5, 5], 1.0);
+        let wt = Tensor::randn(&mut rng, &[3, 2 * 3 * 3], 1.0);
+
+        let cols = im2col(&x, &g);
+        let gemm = cols.matmul(&wt.transpose()); // [2*25, 3]
+
+        // direct conv
+        let (oh, ow) = g.out_hw();
+        for b in 0..2 {
+            for co in 0..3 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..2 {
+                            for ky in 0..3 {
+                                for kx in 0..3 {
+                                    let iy = oy as isize + ky as isize - 1;
+                                    let ix = ox as isize + kx as isize - 1;
+                                    if iy >= 0 && iy < 5 && ix >= 0 && ix < 5 {
+                                        acc += x.at(&[b, ci, iy as usize, ix as usize])
+                                            * wt.at(&[co, ci * 9 + ky * 3 + kx]);
+                                    }
+                                }
+                            }
+                        }
+                        let row = b * oh * ow + oy * ow + ox;
+                        assert!(
+                            (gemm.at(&[row, co]) - acc).abs() < 1e-4,
+                            "mismatch at b={b} co={co} oy={oy} ox={ox}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // which is exactly what correct conv backprop requires.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Conv2dGeometry::new(2, 3, (4, 4), (3, 3), 1, 1);
+        let x = Tensor::randn(&mut rng, &[1, 2, 4, 4], 1.0);
+        let cols = im2col(&x, &g);
+        let y = Tensor::randn(&mut rng, cols.dims(), 1.0);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, &g, 1);
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense `f32` tensor primitives for the LUT-DLA framework.
+//!
+//! This crate provides the minimal numerical substrate the rest of the
+//! workspace builds on: a contiguous row-major [`Tensor`], shape bookkeeping,
+//! BLAS-free (but blocked) matrix multiplication, the `im2col`/`col2im`
+//! transforms used to lower convolutions onto GEMM, and axis reductions.
+//!
+//! The design goal is *predictability over peak speed*: every operation is
+//! plain safe Rust over a `Vec<f32>`, so the numerical behaviour that the
+//! LUTBoost training experiments depend on is easy to audit.
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod conv;
+mod linalg;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by [`Tensor::allclose`] and the test-suites of the
+/// downstream crates.
+pub const DEFAULT_ATOL: f32 = 1e-5;

@@ -1,0 +1,217 @@
+//! Matrix multiplication and transposition.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Implemented as a cache-blocked ikj loop; adequate for the small-model
+    /// training workloads in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.shape().rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+
+        // ikj ordering keeps the b row and out row streaming through cache.
+        const BLOCK: usize = 64;
+        for i0 in (0..m).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(m);
+            for k0 in (0..k).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(k);
+                for i in i0..i1 {
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a[i * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n..(kk + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product of two rank-3 tensors:
+    /// `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks are not 3, batch sizes differ, or inner dims differ.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 3, "bmm lhs must be rank-3");
+        assert_eq!(rhs.shape().rank(), 3, "bmm rhs must be rank-3");
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
+        assert_eq!(b, b2, "bmm batch sizes differ");
+        assert_eq!(k, k2, "bmm inner dimensions differ");
+
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            let lhs_mat = Tensor::from_vec(self.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let rhs_mat = Tensor::from_vec(rhs.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
+            let prod = lhs_mat.matmul(&rhs_mat);
+            out.data_mut()[bi * m * n..(bi + 1) * m * n].copy_from_slice(prod.data());
+        }
+        out
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let src = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Swaps the last two axes of a rank-3 tensor: `[b, m, n] → [b, n, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-3.
+    pub fn transpose_last2(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 3, "transpose_last2 requires rank-3");
+        let (b, m, n) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let src = self.data();
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            let base = bi * m * n;
+            for i in 0..m {
+                for j in 0..n {
+                    out[base + j * m + i] = src[base + i * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, n, m])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn dot(&self, rhs: &Tensor) -> f32 {
+        assert!(
+            self.shape().same_as(rhs.shape()),
+            "dot shape mismatch: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        self.data()
+            .iter()
+            .zip(rhs.data().iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&mut rng, &[5, 5], 1.0);
+        let i = Tensor::eye(5);
+        assert!(a.matmul(&i).allclose(&a, 1e-5));
+        assert!(i.matmul(&a).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(&mut rng, &[17, 33], 1.0);
+        let b = Tensor::randn(&mut rng, &[33, 9], 1.0);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 4]);
+        assert!(c.allclose(&Tensor::full(&[2, 4], 3.0), 1e-6));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&mut rng, &[4, 7], 1.0);
+        assert!(a.transpose().transpose().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn bmm_equals_per_batch_matmul() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn(&mut rng, &[3, 4, 5], 1.0);
+        let b = Tensor::randn(&mut rng, &[3, 5, 2], 1.0);
+        let c = a.bmm(&b);
+        for bi in 0..3 {
+            let am = Tensor::from_vec(a.data()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]);
+            let bm = Tensor::from_vec(b.data()[bi * 10..(bi + 1) * 10].to_vec(), &[5, 2]);
+            let cm = am.matmul(&bm);
+            let got = Tensor::from_vec(c.data()[bi * 8..(bi + 1) * 8].to_vec(), &[4, 2]);
+            assert!(got.allclose(&cm, 1e-5));
+        }
+    }
+
+    #[test]
+    fn transpose_last2_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&mut rng, &[2, 3, 4], 1.0);
+        assert!(a.transpose_last2().transpose_last2().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Axis reductions.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sums over the last axis: `[.., d] → [..]` (rank reduced by one, or
+    /// `[1]` for rank-1 input).
+    pub fn sum_last_axis(&self) -> Tensor {
+        let dims = self.dims();
+        let d = *dims.last().expect("non-empty shape");
+        let outer: usize = dims[..dims.len() - 1].iter().product::<usize>().max(1);
+        let mut out = vec![0.0f32; outer];
+        for (i, chunk) in self.data().chunks_exact(d).enumerate() {
+            out[i] = chunk.iter().sum();
+        }
+        let out_dims: Vec<usize> = if dims.len() == 1 {
+            vec![1]
+        } else {
+            dims[..dims.len() - 1].to_vec()
+        };
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Means over the last axis.
+    pub fn mean_last_axis(&self) -> Tensor {
+        let d = *self.dims().last().expect("non-empty shape") as f32;
+        self.sum_last_axis().scale(1.0 / d)
+    }
+
+    /// Maximum over the last axis.
+    pub fn max_last_axis(&self) -> Tensor {
+        let dims = self.dims();
+        let d = *dims.last().expect("non-empty shape");
+        let outer: usize = dims[..dims.len() - 1].iter().product::<usize>().max(1);
+        let mut out = vec![f32::NEG_INFINITY; outer];
+        for (i, chunk) in self.data().chunks_exact(d).enumerate() {
+            out[i] = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        }
+        let out_dims: Vec<usize> = if dims.len() == 1 {
+            vec![1]
+        } else {
+            dims[..dims.len() - 1].to_vec()
+        };
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Argmax over the last axis, returned as indices.
+    pub fn argmax_last_axis(&self) -> Vec<usize> {
+        let d = *self.dims().last().expect("non-empty shape");
+        self.data()
+            .chunks_exact(d)
+            .map(|chunk| {
+                let mut best = 0;
+                for (j, &v) in chunk.iter().enumerate() {
+                    if v > chunk[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Column sums of a rank-2 tensor: `[m, n] → [n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "sum_rows requires rank-2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_last_axis_matrix() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let s = t.sum_last_axis();
+        assert_eq!(s.dims(), &[2]);
+        assert_eq!(s.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_last_axis_vector_gives_scalar() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(t.sum_last_axis().data(), &[3.0]);
+    }
+
+    #[test]
+    fn mean_last_axis() {
+        let t = Tensor::from_vec(vec![2.0, 4.0], &[1, 2]);
+        assert_eq!(t.mean_last_axis().data(), &[3.0]);
+    }
+
+    #[test]
+    fn max_and_argmax_last_axis() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, 3.0, 7.0, 2.0, 5.0], &[2, 3]);
+        assert_eq!(t.max_last_axis().data(), &[9.0, 7.0]);
+        assert_eq!(t.argmax_last_axis(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_rows_columns() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum_rows().data(), &[4.0, 6.0]);
+    }
+}

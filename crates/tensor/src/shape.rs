@@ -1,0 +1,166 @@
+//! Shape bookkeeping for row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// A `Shape` is a thin wrapper over a `Vec<usize>` that provides the index
+/// arithmetic (strides, linear offsets) every tensor operation needs.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors are never
+    /// meaningful in this workspace and rejecting them early catches shape
+    /// bugs at their source.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// A scalar shape (`[1]`).
+    pub fn scalar() -> Self {
+        Self { dims: vec![1] }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(self.dims.iter())
+            .zip(strides.iter())
+            .map(|((&i, &d), &s)| {
+                assert!(i < d, "index {i} out of bounds for dimension of size {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Whether two shapes are elementwise-compatible (identical dims).
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_walks_last_axis_fastest() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 2]), 2);
+        assert_eq!(s.offset(&[1, 0]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn rejects_zero_dim() {
+        let _ = Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_index() {
+        let s = Shape::new(&[2, 2]);
+        let _ = s.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn scalar_is_single_element() {
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+}

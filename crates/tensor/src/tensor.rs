@@ -1,0 +1,491 @@
+//! The core dense tensor type.
+
+use std::fmt;
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::shape::Shape;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All operations allocate their result; in-place variants carry the `_mut`
+/// suffix. The type is deliberately simple — no views, no reference counting —
+/// because the workloads in this workspace (small-model training, LUT
+/// construction) are dominated by matmul time, not allocation.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_tensor::Tensor;
+///
+/// let x = Tensor::ones(&[2, 3]);
+/// let y = x.scale(2.0).add(&x);
+/// assert!(y.data().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { data, shape }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Self {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A rank-1 tensor holding a single scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(vec![value], &[1])
+    }
+
+    /// Standard-normal initialisation scaled by `std`.
+    pub fn randn<R: Rng>(rng: &mut R, dims: &[usize], std: f32) -> Self {
+        let shape = Shape::new(dims);
+        let normal = StandardNormal;
+        let data = (0..shape.numel())
+            .map(|_| normal.sample(rng) * std)
+            .collect();
+        Self { data, shape }
+    }
+
+    /// Uniform initialisation on `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { data, shape }
+    }
+
+    /// Kaiming-style fan-in initialisation used by the conv/linear layers.
+    pub fn kaiming<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Self::randn(rng, dims, std)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying data slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} into {shape}",
+            self.shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
+    }
+
+    /// Row `i` of a rank-2 tensor, as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let n = self.shape.dim(1);
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// Extracts rows `[start, end)` of a rank-2 tensor into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the range is out of bounds.
+    pub fn rows(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "rows() requires a rank-2 tensor");
+        assert!(start < end && end <= self.shape.dim(0), "row range invalid");
+        let n = self.shape.dim(1);
+        Tensor::from_vec(self.data[start * n..end * n].to_vec(), &[end - start, n])
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum. Shapes must match.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Shapes must match.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product. Shapes must match.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise quotient. Shapes must match.
+    pub fn div(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Adds `k` to every element.
+    pub fn add_scalar(&self, k: f32) -> Tensor {
+        self.map(|v| v + k)
+    }
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_with(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(
+            self.shape.same_as(&rhs.shape),
+            "shape mismatch: {} vs {}",
+            self.shape,
+            rhs.shape
+        );
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_mut(&mut self, rhs: &Tensor) {
+        assert!(
+            self.shape.same_as(&rhs.shape),
+            "shape mismatch: {} vs {}",
+            self.shape,
+            rhs.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += k * rhs` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy_mut(&mut self, k: f32, rhs: &Tensor) {
+        assert!(
+            self.shape.same_as(&rhs.shape),
+            "shape mismatch: {} vs {}",
+            self.shape,
+            rhs.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += k * b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale_mut(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill_mut(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions & statistics (whole-tensor)
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` only for the impossible
+    /// empty case (shapes are non-empty by construction).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Whether all elements are within `atol` of `other`'s.
+    pub fn allclose(&self, other: &Tensor, atol: f32) -> bool {
+        self.shape.same_as(&other.shape)
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= atol)
+    }
+
+    /// Relative Frobenius error `‖self − other‖ / ‖other‖`.
+    ///
+    /// Used throughout the workspace to quantify the approximation error of
+    /// LUT-based matrix multiplication against the exact product.
+    pub fn rel_error(&self, other: &Tensor) -> f32 {
+        let denom = other.norm().max(1e-12);
+        self.sub(other).norm() / denom
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor(shape={}, data=[", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// Box–Muller standard normal sampler (avoids a rand_distr dependency).
+struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box–Muller transform on two uniforms; u1 is kept away from zero so
+        // ln(u1) stays finite.
+        let u1: f32 = rng.gen_range(1e-7f32..1.0);
+        let u2: f32 = rng.gen::<f32>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_checks_length() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(t.numel(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn elementwise_ops_match_reference() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::zeros(&[2]);
+        let b = Tensor::ones(&[2]);
+        a.axpy_mut(0.5, &b);
+        a.axpy_mut(0.5, &b);
+        assert!(a.allclose(&Tensor::ones(&[2]), 1e-6));
+    }
+
+    #[test]
+    fn randn_mean_roughly_zero() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&mut rng, &[10_000], 1.0);
+        assert!(t.mean().abs() < 0.05, "mean = {}", t.mean());
+        let var = t.norm_sq() / t.numel() as f32;
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0, 2.0], &[4]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let t = Tensor::ones(&[4]);
+        assert!(t.rel_error(&t) < 1e-7);
+    }
+
+    #[test]
+    fn rows_slice() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]);
+        let r = t.rows(1, 3);
+        assert_eq!(r.dims(), &[2, 2]);
+        assert_eq!(r.data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+}

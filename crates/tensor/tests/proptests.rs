@@ -1,0 +1,112 @@
+//! Property-based tests of the tensor primitives.
+
+use lutdla_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(&mut rng, dims, -2.0, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_associative(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, p in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let a = tensor(seed, &[m, k]);
+        let b = tensor(seed + 1, &[k, n]);
+        let c = tensor(seed + 2, &[n, p]);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.allclose(&right, 1e-2 * (k * n) as f32));
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributive(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let a = tensor(seed, &[m, k]);
+        let b = tensor(seed + 1, &[k, n]);
+        let c = tensor(seed + 2, &[k, n]);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.allclose(&right, 1e-3 * k as f32));
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let a = tensor(seed, &[m, k]);
+        let b = tensor(seed + 1, &[k, n]);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.allclose(&right, 1e-3 * k as f32));
+    }
+
+    /// Reshape round-trips preserve data.
+    #[test]
+    fn reshape_round_trip(
+        a in 1usize..8, b in 1usize..8, c in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let t = tensor(seed, &[a, b, c]);
+        let r = t.reshape(&[a * b * c]).reshape(&[c, b, a]).reshape(&[a, b, c]);
+        prop_assert!(r.allclose(&t, 0.0));
+    }
+
+    /// The im2col/col2im pair is adjoint: ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩.
+    #[test]
+    fn im2col_col2im_adjoint(
+        cin in 1usize..4,
+        hw in 3usize..8,
+        k in 1usize..4,
+        pad in 0usize..2,
+        batch in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let geom = Conv2dGeometry::new(cin, 3, (hw, hw), (k, k), 1, pad);
+        let x = tensor(seed, &[batch, cin, hw, hw]);
+        let cols = im2col(&x, &geom);
+        let y = tensor(seed + 9, cols.dims());
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let folded = col2im(&y, &geom, batch);
+        let rhs: f64 = x.data().iter().zip(folded.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Reductions agree with naive recomputation.
+    #[test]
+    fn reductions_consistent(rows in 1usize..10, cols in 1usize..10, seed in 0u64..1000) {
+        let t = tensor(seed, &[rows, cols]);
+        let sums = t.sum_last_axis();
+        let maxes = t.max_last_axis();
+        for r in 0..rows {
+            let row = t.row(r);
+            let s: f32 = row.iter().sum();
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!((sums.data()[r] - s).abs() < 1e-4);
+            prop_assert_eq!(maxes.data()[r], m);
+        }
+        prop_assert!((t.sum() - t.data().iter().sum::<f32>()).abs() < 1e-3);
+    }
+
+    /// Norm is absolutely homogeneous: ‖kx‖ == |k|·‖x‖.
+    #[test]
+    fn norm_homogeneous(n in 1usize..64, k in -4.0f32..4.0, seed in 0u64..1000) {
+        let t = tensor(seed, &[n]);
+        let scaled = t.scale(k);
+        prop_assert!((scaled.norm() - k.abs() * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+    }
+}

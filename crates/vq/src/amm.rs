@@ -1,0 +1,207 @@
+//! Approximate matrix multiplication: encode → lookup → accumulate
+//! (paper Fig. 2 steps ➌/➍). This is the *functional* reference the
+//! cycle-accurate simulator is validated against.
+
+use lutdla_tensor::Tensor;
+
+use crate::codebook::ProductQuantizer;
+use crate::lut::LutTable;
+use crate::precision::FloatPrecision;
+
+/// Approximate `A[M,K] × B[K,N]` using a fitted quantizer and a table built
+/// from `B`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the quantizer/table.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_vq::{approx_matmul, Distance, LutQuant, LutTable, ProductQuantizer};
+/// use lutdla_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let a = Tensor::rand_uniform(&mut rng, &[32, 8], -1.0, 1.0);
+/// let b = Tensor::rand_uniform(&mut rng, &[8, 4], -1.0, 1.0);
+/// let pq = ProductQuantizer::fit(&a, 2, 32, Distance::L2, &mut rng);
+/// let lut = LutTable::build(&pq, &b, LutQuant::F32);
+/// let approx = approx_matmul(&a, &pq, &lut);
+/// let exact = a.matmul(&b);
+/// assert!(approx.rel_error(&exact) < 0.3);
+/// ```
+pub fn approx_matmul(a: &Tensor, pq: &ProductQuantizer, lut: &LutTable) -> Tensor {
+    approx_matmul_with_precision(a, pq, lut, FloatPrecision::Fp32)
+}
+
+/// Like [`approx_matmul`] but with the similarity datapath emulated at a
+/// reduced float precision (Table IV's BF16 deployments).
+pub fn approx_matmul_with_precision(
+    a: &Tensor,
+    pq: &ProductQuantizer,
+    lut: &LutTable,
+    precision: FloatPrecision,
+) -> Tensor {
+    let m = a.dims()[0];
+    let codes = pq.encode_with_precision(a, precision);
+    approx_matmul_from_codes(&codes, m, pq, lut)
+}
+
+/// Lookup/accumulate phase only, starting from precomputed codes.
+///
+/// # Panics
+///
+/// Panics if the code buffer doesn't match `m` rows of `pq.num_subspaces()`.
+pub fn approx_matmul_from_codes(
+    codes: &[u16],
+    m: usize,
+    pq: &ProductQuantizer,
+    lut: &LutTable,
+) -> Tensor {
+    let n_sub = pq.num_subspaces();
+    assert_eq!(codes.len(), m * n_sub, "code buffer shape mismatch");
+    assert_eq!(lut.num_subspaces(), n_sub, "table subspace mismatch");
+    let n = lut.output_dim();
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let acc = &mut out.data_mut()[i * n..(i + 1) * n];
+        for s in 0..n_sub {
+            lut.accumulate(s, codes[i * n_sub + s] as usize, acc);
+        }
+    }
+    out
+}
+
+/// Error report comparing an approximate product with the exact one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmmError {
+    /// Relative Frobenius error `‖Ĉ − C‖_F / ‖C‖_F`.
+    pub rel_frobenius: f32,
+    /// Largest absolute elementwise error.
+    pub max_abs: f32,
+}
+
+/// Computes both the approximate product and its error versus the exact GEMM.
+pub fn amm_error(a: &Tensor, b: &Tensor, pq: &ProductQuantizer, lut: &LutTable) -> AmmError {
+    let approx = approx_matmul(a, pq, lut);
+    let exact = a.matmul(b);
+    let rel = approx.rel_error(&exact);
+    let max_abs = approx
+        .sub(&exact)
+        .data()
+        .iter()
+        .fold(0.0f32, |m, &v| m.max(v.abs()));
+    AmmError {
+        rel_frobenius: rel,
+        max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Distance;
+    use crate::lut::LutQuant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_when_rows_are_centroids() {
+        // If every input row is exactly a concatenation of centroids, AMM
+        // must equal the exact GEMM (up to f32 summation order).
+        let mut rng = StdRng::seed_from_u64(80);
+        let calib = Tensor::rand_uniform(&mut rng, &[64, 8], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[8, 5], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&calib, 4, 8, Distance::L2, &mut rng);
+        let lut = LutTable::build(&pq, &b, LutQuant::F32);
+
+        let m = 16;
+        let mut a = Tensor::zeros(&[m, 8]);
+        for i in 0..m {
+            for s in 0..2 {
+                let cent = pq.codebooks()[s].centroid((i + s) % 8);
+                for j in 0..4 {
+                    a.set(&[i, s * 4 + j], cent[j]);
+                }
+            }
+        }
+        let approx = approx_matmul(&a, &pq, &lut);
+        let exact = a.matmul(&b);
+        assert!(
+            approx.allclose(&exact, 1e-4),
+            "rel err {}",
+            approx.rel_error(&exact)
+        );
+    }
+
+    #[test]
+    fn error_decreases_with_centroids() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let a = Tensor::rand_uniform(&mut rng, &[128, 16], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[16, 8], -1.0, 1.0);
+        let err = |c: usize, rng: &mut StdRng| {
+            let pq = ProductQuantizer::fit(&a, 4, c, Distance::L2, rng);
+            let lut = LutTable::build(&pq, &b, LutQuant::F32);
+            amm_error(&a, &b, &pq, &lut).rel_frobenius
+        };
+        let e4 = err(4, &mut rng);
+        let e64 = err(64, &mut rng);
+        assert!(e64 < e4, "e64={e64} e4={e4}");
+    }
+
+    #[test]
+    fn error_decreases_with_shorter_subvectors() {
+        // Paper Fig. 8 (right): shorter v → better accuracy at fixed c.
+        let mut rng = StdRng::seed_from_u64(82);
+        let a = Tensor::rand_uniform(&mut rng, &[128, 24], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[24, 8], -1.0, 1.0);
+        let err = |v: usize, rng: &mut StdRng| {
+            let pq = ProductQuantizer::fit(&a, v, 16, Distance::L2, rng);
+            let lut = LutTable::build(&pq, &b, LutQuant::F32);
+            amm_error(&a, &b, &pq, &lut).rel_frobenius
+        };
+        let e3 = err(3, &mut rng);
+        let e12 = err(12, &mut rng);
+        assert!(e3 < e12, "e3={e3} e12={e12}");
+    }
+
+    #[test]
+    fn all_metrics_produce_reasonable_error() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let a = Tensor::rand_uniform(&mut rng, &[96, 12], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[12, 6], -1.0, 1.0);
+        for metric in Distance::ALL {
+            let pq = ProductQuantizer::fit(&a, 3, 32, metric, &mut rng);
+            let lut = LutTable::build(&pq, &b, LutQuant::F32);
+            let e = amm_error(&a, &b, &pq, &lut).rel_frobenius;
+            assert!(e < 0.5, "{metric}: rel err {e}");
+        }
+    }
+
+    #[test]
+    fn int8_table_close_to_f32_table() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let a = Tensor::rand_uniform(&mut rng, &[64, 16], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[16, 8], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, 4, 16, Distance::L2, &mut rng);
+        let f = LutTable::build(&pq, &b, LutQuant::F32);
+        let q = LutTable::build(&pq, &b, LutQuant::Int8);
+        let cf = approx_matmul(&a, &pq, &f);
+        let cq = approx_matmul(&a, &pq, &q);
+        assert!(cq.rel_error(&cf) < 0.05, "rel {}", cq.rel_error(&cf));
+    }
+
+    #[test]
+    fn codes_path_equals_direct_path() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let a = Tensor::rand_uniform(&mut rng, &[32, 8], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[8, 4], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, 4, 8, Distance::L1, &mut rng);
+        let lut = LutTable::build(&pq, &b, LutQuant::F32);
+        let direct = approx_matmul(&a, &pq, &lut);
+        let codes = pq.encode(&a);
+        let from_codes = approx_matmul_from_codes(&codes, 32, &pq, &lut);
+        assert!(direct.allclose(&from_codes, 0.0));
+    }
+}

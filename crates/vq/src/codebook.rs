@@ -1,0 +1,377 @@
+//! Product quantization: per-subspace codebooks over the GEMM `K` dimension.
+
+use lutdla_tensor::Tensor;
+use rand::Rng;
+
+use crate::distance::Distance;
+use crate::kmeans::{kmeans, KmeansConfig};
+use crate::precision::FloatPrecision;
+
+/// A single subspace's centroid set: row-major `[c, v]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    centroids: Vec<f32>,
+    c: usize,
+    v: usize,
+}
+
+impl Codebook {
+    /// Creates a codebook from a row-major `[c, v]` centroid matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not `c·v`.
+    pub fn new(centroids: Vec<f32>, c: usize, v: usize) -> Self {
+        assert_eq!(centroids.len(), c * v, "centroid buffer shape mismatch");
+        Self { centroids, c, v }
+    }
+
+    /// Number of centroids.
+    pub fn len(&self) -> usize {
+        self.c
+    }
+
+    /// Whether the codebook has no centroids (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.c == 0
+    }
+
+    /// Subvector length.
+    pub fn dim(&self) -> usize {
+        self.v
+    }
+
+    /// Centroid `i` as a slice.
+    pub fn centroid(&self, i: usize) -> &[f32] {
+        &self.centroids[i * self.v..(i + 1) * self.v]
+    }
+
+    /// The raw `[c, v]` centroid buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Mutable access to the raw centroid buffer (used by LUTBoost training).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.centroids
+    }
+
+    /// Index of the closest centroid to `x` under `metric`.
+    pub fn quantize(&self, x: &[f32], metric: Distance) -> usize {
+        metric.argmin(x, &self.centroids)
+    }
+}
+
+/// A product quantizer: the `K` dimension is split into `⌈K/v⌉` subspaces of
+/// length `v`, each with its own `c`-entry [`Codebook`].
+///
+/// # Example
+///
+/// ```
+/// use lutdla_vq::{Distance, ProductQuantizer};
+/// use lutdla_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = Tensor::rand_uniform(&mut rng, &[64, 8], -1.0, 1.0);
+/// let pq = ProductQuantizer::fit(&data, 4, 16, Distance::L2, &mut rng);
+/// assert_eq!(pq.num_subspaces(), 2);
+/// let codes = pq.encode(&data);
+/// assert_eq!(codes.len(), 64 * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductQuantizer {
+    codebooks: Vec<Codebook>,
+    /// Subvector length `v`.
+    v: usize,
+    /// Centroids per codebook `c`.
+    c: usize,
+    /// Original (unpadded) `K`.
+    k: usize,
+    /// Assignment metric.
+    distance: Distance,
+}
+
+impl ProductQuantizer {
+    /// Fits one k-means per subspace on calibration rows `data: [n, K]`.
+    ///
+    /// `K` is zero-padded up to a multiple of `v` (the padding influences
+    /// neither distances nor lookups because weights are padded identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not rank-2 or `v`/`c` are zero.
+    pub fn fit<R: Rng>(data: &Tensor, v: usize, c: usize, distance: Distance, rng: &mut R) -> Self {
+        assert_eq!(data.shape().rank(), 2, "calibration data must be [n, K]");
+        assert!(v > 0 && c > 0, "v and c must be positive");
+        let (n, k) = (data.dims()[0], data.dims()[1]);
+        let n_sub = k.div_ceil(v);
+
+        let mut codebooks = Vec::with_capacity(n_sub);
+        let mut sub = vec![0.0f32; n * v];
+        for s in 0..n_sub {
+            // Gather the (zero-padded) subvectors of subspace s.
+            sub.fill(0.0);
+            for i in 0..n {
+                for j in 0..v {
+                    let col = s * v + j;
+                    if col < k {
+                        sub[i * v + j] = data.at(&[i, col]);
+                    }
+                }
+            }
+            let cfg = KmeansConfig {
+                k: c,
+                max_iters: 25,
+                tol: 1e-4,
+                distance,
+            };
+            let res = kmeans(&sub, v, &cfg, rng);
+            codebooks.push(Codebook::new(res.centroids, c, v));
+        }
+        Self {
+            codebooks,
+            v,
+            c,
+            k,
+            distance,
+        }
+    }
+
+    /// Builds a quantizer from externally trained codebooks (LUTBoost export).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codebooks disagree in shape or don't cover `k`.
+    pub fn from_codebooks(codebooks: Vec<Codebook>, k: usize, distance: Distance) -> Self {
+        assert!(!codebooks.is_empty(), "need at least one codebook");
+        let v = codebooks[0].dim();
+        let c = codebooks[0].len();
+        assert!(
+            codebooks.iter().all(|cb| cb.dim() == v && cb.len() == c),
+            "inconsistent codebook shapes"
+        );
+        assert_eq!(codebooks.len(), k.div_ceil(v), "codebook count mismatch");
+        Self {
+            codebooks,
+            v,
+            c,
+            k,
+            distance,
+        }
+    }
+
+    /// Subvector length `v`.
+    pub fn subvector_len(&self) -> usize {
+        self.v
+    }
+
+    /// Centroids per codebook `c`.
+    pub fn num_centroids(&self) -> usize {
+        self.c
+    }
+
+    /// Original `K` dimension.
+    pub fn input_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Number of subspaces `Nc = ⌈K/v⌉`.
+    pub fn num_subspaces(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Assignment metric.
+    pub fn distance(&self) -> Distance {
+        self.distance
+    }
+
+    /// The codebooks, one per subspace.
+    pub fn codebooks(&self) -> &[Codebook] {
+        &self.codebooks
+    }
+
+    /// Mutable codebooks (LUTBoost joint training writes back here).
+    pub fn codebooks_mut(&mut self) -> &mut [Codebook] {
+        &mut self.codebooks
+    }
+
+    /// Equivalent bits per scalar weight: `⌈log2 c⌉ / v` (paper Table V).
+    pub fn equivalent_bits(&self) -> f64 {
+        (self.c as f64).log2().ceil() / self.v as f64
+    }
+
+    /// Encodes rows of `data: [m, K]` into centroid indices `[m, Nc]`
+    /// (row-major `Vec<u16>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not `[m, K]` with the fitted `K`.
+    pub fn encode(&self, data: &Tensor) -> Vec<u16> {
+        self.encode_with_precision(data, FloatPrecision::Fp32)
+    }
+
+    /// Encodes with the similarity datapath emulated at `precision`
+    /// (Table IV's BF16 column rounds both operands before comparing).
+    pub fn encode_with_precision(&self, data: &Tensor, precision: FloatPrecision) -> Vec<u16> {
+        assert_eq!(data.shape().rank(), 2, "encode expects [m, K]");
+        let (m, k) = (data.dims()[0], data.dims()[1]);
+        assert_eq!(k, self.k, "K mismatch: fitted {} got {k}", self.k);
+        let n_sub = self.num_subspaces();
+        let mut codes = vec![0u16; m * n_sub];
+        let mut sub = vec![0.0f32; self.v];
+
+        // Pre-round centroid copies once when a reduced precision is in play.
+        let rounded: Option<Vec<Vec<f32>>> = if precision != FloatPrecision::Fp32 {
+            Some(
+                self.codebooks
+                    .iter()
+                    .map(|cb| {
+                        let mut c = cb.as_slice().to_vec();
+                        precision.round_slice(&mut c);
+                        c
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        for i in 0..m {
+            for s in 0..n_sub {
+                sub.fill(0.0);
+                for j in 0..self.v {
+                    let col = s * self.v + j;
+                    if col < k {
+                        sub[j] = data.at(&[i, col]);
+                    }
+                }
+                precision.round_slice(&mut sub);
+                let idx = match &rounded {
+                    Some(r) => self.distance.argmin(&sub, &r[s]),
+                    None => self.codebooks[s].quantize(&sub, self.distance),
+                };
+                codes[i * n_sub + s] = idx as u16;
+            }
+        }
+        codes
+    }
+
+    /// Reconstructs `[m, K]` activations from codes (centroid gather).
+    pub fn decode(&self, codes: &[u16], m: usize) -> Tensor {
+        let n_sub = self.num_subspaces();
+        assert_eq!(codes.len(), m * n_sub, "code buffer shape mismatch");
+        let mut out = Tensor::zeros(&[m, self.k]);
+        for i in 0..m {
+            for s in 0..n_sub {
+                let cent = self.codebooks[s].centroid(codes[i * n_sub + s] as usize);
+                for j in 0..self.v {
+                    let col = s * self.v + j;
+                    if col < self.k {
+                        out.set(&[i, col], cent[j]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of centroid scalars (the "LUT-model parameters" the
+    /// paper contrasts with weights, §V-1).
+    pub fn num_centroid_scalars(&self) -> usize {
+        self.num_subspaces() * self.c * self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fit_small(rng: &mut StdRng) -> (Tensor, ProductQuantizer) {
+        let data = Tensor::rand_uniform(rng, &[128, 12], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&data, 4, 8, Distance::L2, rng);
+        (data, pq)
+    }
+
+    #[test]
+    fn subspace_count() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let (_, pq) = fit_small(&mut rng);
+        assert_eq!(pq.num_subspaces(), 3);
+        assert_eq!(pq.subvector_len(), 4);
+        assert_eq!(pq.num_centroids(), 8);
+    }
+
+    #[test]
+    fn padding_when_v_does_not_divide_k() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let data = Tensor::rand_uniform(&mut rng, &[32, 10], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&data, 4, 4, Distance::L2, &mut rng);
+        assert_eq!(pq.num_subspaces(), 3); // ceil(10/4)
+        let codes = pq.encode(&data);
+        let rec = pq.decode(&codes, 32);
+        assert_eq!(rec.dims(), &[32, 10]);
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_with_more_centroids() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let data = Tensor::rand_uniform(&mut rng, &[256, 8], -1.0, 1.0);
+        let err = |c: usize, rng: &mut StdRng| {
+            let pq = ProductQuantizer::fit(&data, 4, c, Distance::L2, rng);
+            let codes = pq.encode(&data);
+            pq.decode(&codes, 256).rel_error(&data)
+        };
+        let e4 = err(4, &mut rng);
+        let e64 = err(64, &mut rng);
+        assert!(e64 < e4, "e64={e64} e4={e4}");
+    }
+
+    #[test]
+    fn decode_is_exact_when_inputs_are_centroids() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let (_, pq) = fit_small(&mut rng);
+        // Build inputs directly from centroids of each subspace.
+        let m = 8;
+        let mut x = Tensor::zeros(&[m, 12]);
+        for i in 0..m {
+            for s in 0..3 {
+                let cent = pq.codebooks()[s].centroid(i % 8);
+                for j in 0..4 {
+                    x.set(&[i, s * 4 + j], cent[j]);
+                }
+            }
+        }
+        let codes = pq.encode(&x);
+        let rec = pq.decode(&codes, m);
+        assert!(rec.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn equivalent_bits_matches_paper_examples() {
+        // Table V: v=9,c=8 → 3/9 ≈ 0.33 bit; v=3,c=16 → 4/3 ≈ 1.33 bit.
+        let mut rng = StdRng::seed_from_u64(64);
+        let data = Tensor::rand_uniform(&mut rng, &[64, 18], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&data, 9, 8, Distance::L2, &mut rng);
+        assert!((pq.equivalent_bits() - 3.0 / 9.0).abs() < 1e-9);
+        let pq2 = ProductQuantizer::fit(&data, 3, 16, Distance::L2, &mut rng);
+        assert!((pq2.equivalent_bits() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bf16_encode_mostly_agrees_with_fp32() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let (data, pq) = fit_small(&mut rng);
+        let full = pq.encode(&data);
+        let reduced = pq.encode_with_precision(&data, FloatPrecision::Bf16);
+        let agree = full
+            .iter()
+            .zip(&reduced)
+            .filter(|(a, b)| a == b)
+            .count() as f32
+            / full.len() as f32;
+        assert!(agree > 0.9, "agreement only {agree}");
+    }
+}

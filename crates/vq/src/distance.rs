@@ -1,0 +1,193 @@
+//! Similarity (distance) kernels: Euclidean, Manhattan, Chebyshev.
+//!
+//! These are the three similarity metrics LUT-DLA's dPE supports (paper
+//! §V-2). Lower distance ⇔ higher similarity; every kernel returns the raw
+//! distance (L2 returns the *squared* Euclidean distance — the square root
+//! is monotone and never materialised in hardware).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The similarity metric used for centroid matching.
+///
+/// Hardware cost decreases down the list: L2 needs multipliers, L1 swaps
+/// them for absolute-difference adders, Chebyshev replaces the adder tree
+/// with a max tree (see `lutdla-hwmodel`'s dPE model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// Squared Euclidean distance `Σ (a−b)²`.
+    L2,
+    /// Manhattan distance `Σ |a−b|` — multiplication-free.
+    L1,
+    /// Chebyshev distance `max |a−b|` — multiplication-free, max-tree only.
+    Chebyshev,
+}
+
+impl Distance {
+    /// All supported metrics, in decreasing hardware cost.
+    pub const ALL: [Distance; 3] = [Distance::L2, Distance::L1, Distance::Chebyshev];
+
+    /// Distance between two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if lengths differ.
+    #[inline]
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "distance operand length mismatch");
+        match self {
+            Distance::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum(),
+            Distance::L1 => a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum(),
+            Distance::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y).abs())
+                .fold(0.0, f32::max),
+        }
+    }
+
+    /// Index of the closest centroid to `v` among `centroids` (row-major
+    /// `[c, v.len()]`).
+    ///
+    /// Ties resolve to the lowest index, matching the dPE chain in the
+    /// hardware (strict `<` comparison as the vector flows down the chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` is not a multiple of `v.len()` or is empty.
+    pub fn argmin(&self, v: &[f32], centroids: &[f32]) -> usize {
+        let dim = v.len();
+        assert!(dim > 0 && !centroids.is_empty(), "empty operands");
+        assert_eq!(centroids.len() % dim, 0, "centroid matrix shape mismatch");
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (i, cent) in centroids.chunks_exact(dim).enumerate() {
+            let d = self.eval(v, cent);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of elementary hardware operations per element-pair, used by
+    /// the computational model (Eq. 1): L2 = multiply + add, L1 = |sub| +
+    /// add, Chebyshev = |sub| + compare.
+    pub fn alpha_sim(&self) -> f64 {
+        match self {
+            Distance::L2 => 2.0,
+            Distance::L1 => 2.0,
+            Distance::Chebyshev => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Distance::L2 => "L2",
+            Distance::L1 => "L1",
+            Distance::Chebyshev => "Chebyshev",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`Distance`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDistanceError(String);
+
+impl fmt::Display for ParseDistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown distance metric `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseDistanceError {}
+
+impl FromStr for Distance {
+    type Err = ParseDistanceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "l2" | "euclidean" => Ok(Distance::L2),
+            "l1" | "manhattan" => Ok(Distance::L1),
+            "chebyshev" | "che" | "linf" => Ok(Distance::Chebyshev),
+            other => Err(ParseDistanceError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_is_squared_euclidean() {
+        assert_eq!(Distance::L2.eval(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn l1_sums_absolute_differences() {
+        assert_eq!(Distance::L1.eval(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_takes_max() {
+        assert_eq!(Distance::Chebyshev.eval(&[0.0, 0.0], &[3.0, -4.0]), 4.0);
+    }
+
+    #[test]
+    fn distances_are_zero_on_identity() {
+        let v = [1.5, -2.0, 0.25];
+        for d in Distance::ALL {
+            assert_eq!(d.eval(&v, &v), 0.0, "{d}");
+        }
+    }
+
+    #[test]
+    fn argmin_finds_closest() {
+        let cents = [0.0, 0.0, /* c1 */ 1.0, 1.0, /* c2 */ 5.0, 5.0];
+        for d in Distance::ALL {
+            assert_eq!(d.argmin(&[0.9, 1.1], &cents), 1, "{d}");
+            assert_eq!(d.argmin(&[4.0, 4.5], &cents), 2, "{d}");
+        }
+    }
+
+    #[test]
+    fn argmin_tie_breaks_low_index() {
+        let cents = [1.0, 0.0, /* mirror */ -1.0, 0.0];
+        for d in Distance::ALL {
+            assert_eq!(d.argmin(&[0.0, 0.0], &cents), 0, "{d}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for d in Distance::ALL {
+            let parsed: Distance = d.to_string().parse().expect("parse");
+            assert_eq!(parsed, d);
+        }
+        assert!("foo".parse::<Distance>().is_err());
+    }
+
+    #[test]
+    fn metrics_order_distances_consistently_near_zero() {
+        // For small perturbations, all three metrics should agree on which of
+        // two centroids is closer when the difference is in a single axis.
+        let a = [1.0, 2.0, 3.0];
+        let close = [1.1, 2.0, 3.0];
+        let far = [1.6, 2.0, 3.0];
+        for d in Distance::ALL {
+            assert!(d.eval(&a, &close) < d.eval(&a, &far), "{d}");
+        }
+    }
+}

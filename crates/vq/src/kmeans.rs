@@ -1,0 +1,323 @@
+//! K-means clustering with k-means++ seeding and metric-aware updates.
+//!
+//! Used by LUTBoost's operator-replacement stage to initialise centroids
+//! from calibration activations (paper Fig. 2 step ➊).
+
+use rand::Rng;
+
+use crate::distance::Distance;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansConfig {
+    /// Number of centroids (`c` in the paper).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Early-stop threshold on relative inertia improvement.
+    pub tol: f64,
+    /// Assignment metric. The update step uses the metric-appropriate
+    /// estimator: mean for L2/Chebyshev, coordinate-wise median for L1.
+    pub distance: Distance,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            max_iters: 25,
+            tol: 1e-4,
+            distance: Distance::L2,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Row-major `[k, dim]` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Final inertia (sum of distances of each point to its centroid).
+    pub inertia: f64,
+    /// Inertia after each Lloyd iteration (monotone non-increasing for L2).
+    pub history: Vec<f64>,
+}
+
+/// Runs k-means on `data` (row-major `[n, dim]`).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `dim` is zero, or `cfg.k` is zero.
+pub fn kmeans<R: Rng>(data: &[f32], dim: usize, cfg: &KmeansConfig, rng: &mut R) -> KmeansResult {
+    assert!(dim > 0, "dim must be positive");
+    assert!(cfg.k > 0, "k must be positive");
+    assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+    let n = data.len() / dim;
+    assert!(n > 0, "empty data");
+
+    let mut centroids = kmeanspp_init(data, dim, n, cfg.k, cfg.distance, rng);
+    let mut assignments = vec![0usize; n];
+    let mut history = Vec::new();
+    let mut last_inertia = f64::INFINITY;
+
+    for _ in 0..cfg.max_iters {
+        // Assignment step.
+        let mut inertia = 0.0f64;
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            let a = cfg.distance.argmin(row, &centroids);
+            assignments[i] = a;
+            inertia += cfg.distance.eval(row, &centroids[a * dim..(a + 1) * dim]) as f64;
+        }
+        history.push(inertia);
+
+        // Update step.
+        match cfg.distance {
+            Distance::L1 => update_median(data, dim, &assignments, cfg.k, &mut centroids),
+            _ => update_mean(data, dim, &assignments, cfg.k, &mut centroids, rng),
+        }
+
+        if last_inertia.is_finite() && (last_inertia - inertia).abs() <= cfg.tol * last_inertia {
+            break;
+        }
+        last_inertia = inertia;
+    }
+
+    // Final assignment against the last centroid update.
+    let mut inertia = 0.0f64;
+    for (i, row) in data.chunks_exact(dim).enumerate() {
+        let a = cfg.distance.argmin(row, &centroids);
+        assignments[i] = a;
+        inertia += cfg.distance.eval(row, &centroids[a * dim..(a + 1) * dim]) as f64;
+    }
+    history.push(inertia);
+
+    KmeansResult {
+        centroids,
+        assignments,
+        inertia,
+        history,
+    }
+}
+
+fn kmeanspp_init<R: Rng>(
+    data: &[f32],
+    dim: usize,
+    n: usize,
+    k: usize,
+    distance: Distance,
+    rng: &mut R,
+) -> Vec<f32> {
+    let mut centroids = Vec::with_capacity(k * dim);
+    // First centroid: uniform random point.
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(&data[first * dim..(first + 1) * dim]);
+
+    let mut dists: Vec<f64> = data
+        .chunks_exact(dim)
+        .map(|row| distance.eval(row, &centroids[0..dim]) as f64)
+        .collect();
+
+    while centroids.len() < k * dim {
+        let total: f64 = dists.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids: fall back to uniform.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        let new_off = centroids.len();
+        centroids.extend_from_slice(&data[chosen * dim..(chosen + 1) * dim]);
+        // Update min-distances with the new centroid.
+        let new_c = centroids[new_off..new_off + dim].to_vec();
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            let d = distance.eval(row, &new_c) as f64;
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+fn update_mean<R: Rng>(
+    data: &[f32],
+    dim: usize,
+    assignments: &[usize],
+    k: usize,
+    centroids: &mut [f32],
+    rng: &mut R,
+) {
+    let n = assignments.len();
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+    for (i, row) in data.chunks_exact(dim).enumerate() {
+        let a = assignments[i];
+        counts[a] += 1;
+        for (s, &v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(row) {
+            *s += v as f64;
+        }
+    }
+    for c in 0..k {
+        if counts[c] == 0 {
+            // Dead centroid: re-seed at a random point to keep k live codes.
+            let j = rng.gen_range(0..n);
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&data[j * dim..(j + 1) * dim]);
+        } else {
+            for d in 0..dim {
+                centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+            }
+        }
+    }
+}
+
+fn update_median(data: &[f32], dim: usize, assignments: &[usize], k: usize, centroids: &mut [f32]) {
+    // Coordinate-wise median minimises the L1 objective (k-medians).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i);
+    }
+    let mut buf = Vec::new();
+    for c in 0..k {
+        if members[c].is_empty() {
+            continue; // keep previous position
+        }
+        for d in 0..dim {
+            buf.clear();
+            buf.extend(members[c].iter().map(|&i| data[i * dim + d]));
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in k-means input"));
+            centroids[c * dim + d] = buf[buf.len() / 2];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng, centers: &[[f32; 2]], per: usize, noise: f32) -> Vec<f32> {
+        let mut data = Vec::new();
+        for c in centers {
+            for _ in 0..per {
+                data.push(c[0] + (rng.gen::<f32>() - 0.5) * noise);
+                data.push(c[1] + (rng.gen::<f32>() - 0.5) * noise);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let data = blobs(&mut rng, &centers, 50, 1.0);
+        let cfg = KmeansConfig {
+            k: 3,
+            ..Default::default()
+        };
+        let res = kmeans(&data, 2, &cfg, &mut rng);
+        // Every true center must be close to some learned centroid.
+        for c in &centers {
+            let best = res
+                .centroids
+                .chunks_exact(2)
+                .map(|cc| Distance::L2.eval(c, cc))
+                .fold(f32::INFINITY, f32::min);
+            assert!(best < 1.0, "center {c:?} not recovered: d²={best}");
+        }
+    }
+
+    #[test]
+    fn inertia_non_increasing_for_l2() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let data: Vec<f32> = (0..600).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let cfg = KmeansConfig {
+            k: 8,
+            max_iters: 20,
+            tol: 0.0,
+            distance: Distance::L2,
+        };
+        let res = kmeans(&data, 3, &cfg, &mut rng);
+        for w in res.history.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "inertia increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn k_one_gives_centroid_at_mean() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let data = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 points in 2-D
+        let cfg = KmeansConfig {
+            k: 1,
+            ..Default::default()
+        };
+        let res = kmeans(&data, 2, &cfg, &mut rng);
+        assert!((res.centroids[0] - 3.0).abs() < 1e-5);
+        assert!((res.centroids[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l1_kmedians_robust_to_outlier() {
+        let mut rng = StdRng::seed_from_u64(53);
+        // 9 points at 0, 1 outlier at 100 → median stays at 0; mean would not.
+        let mut data = vec![0.0f32; 9];
+        data.push(100.0);
+        let cfg = KmeansConfig {
+            k: 1,
+            distance: Distance::L1,
+            ..Default::default()
+        };
+        let res = kmeans(&data, 1, &cfg, &mut rng);
+        assert!(res.centroids[0].abs() < 1e-6, "median pulled to {}", res.centroids[0]);
+    }
+
+    #[test]
+    fn assignments_in_range() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let cfg = KmeansConfig {
+            k: 7,
+            ..Default::default()
+        };
+        let res = kmeans(&data, 2, &cfg, &mut rng);
+        assert_eq!(res.assignments.len(), 50);
+        assert!(res.assignments.iter().all(|&a| a < 7));
+    }
+
+    #[test]
+    fn more_centroids_never_hurt_inertia_much() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let data: Vec<f32> = (0..512).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let inertia_of = |k: usize, rng: &mut StdRng| {
+            let cfg = KmeansConfig {
+                k,
+                max_iters: 30,
+                ..Default::default()
+            };
+            kmeans(&data, 4, &cfg, rng).inertia
+        };
+        let i4 = inertia_of(4, &mut rng);
+        let i32 = inertia_of(32, &mut rng);
+        assert!(
+            i32 < i4,
+            "32 centroids should fit better than 4: {i32} vs {i4}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Lookup-table precomputation (paper Fig. 2 step ➋).
+//!
+//! For a GEMM `A[M,K] × B[K,N]`, the quantizer fixes per-subspace centroids;
+//! because `B` is constant at inference time, the partial product of every
+//! (centroid, output column) pair is precomputed:
+//!
+//! `table[s][ci][n] = Σ_j centroid_s[ci][j] · B[s·v + j][n]`
+//!
+//! The table can be stored in f32 or per-subspace-scaled INT8 (Table IV's
+//! deployment configuration, 4× smaller and 4× cheaper to move on-chip).
+
+use lutdla_tensor::Tensor;
+
+use crate::codebook::ProductQuantizer;
+use crate::precision::Int8Block;
+
+/// Storage precision of the PSum LUT entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutQuant {
+    /// 32-bit float entries.
+    F32,
+    /// 16-bit entries (bf16-rounded f32).
+    F16,
+    /// Symmetric INT8 with one scale per subspace.
+    Int8,
+}
+
+impl LutQuant {
+    /// Bits per stored table entry.
+    pub fn bits(&self) -> u32 {
+        match self {
+            LutQuant::F32 => 32,
+            LutQuant::F16 => 16,
+            LutQuant::Int8 => 8,
+        }
+    }
+}
+
+enum Storage {
+    F32(Vec<f32>),
+    Int8(Vec<Int8Block>), // one block per subspace
+}
+
+/// The precomputed table for one LUT operator.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_vq::{Distance, LutQuant, LutTable, ProductQuantizer};
+/// use lutdla_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let acts = Tensor::rand_uniform(&mut rng, &[64, 8], -1.0, 1.0);
+/// let weight = Tensor::rand_uniform(&mut rng, &[8, 4], -1.0, 1.0);
+/// let pq = ProductQuantizer::fit(&acts, 4, 16, Distance::L2, &mut rng);
+/// let lut = LutTable::build(&pq, &weight, LutQuant::F32);
+/// assert_eq!(lut.row(0, 3).len(), 4);
+/// ```
+pub struct LutTable {
+    storage: Storage,
+    /// Output columns `N`.
+    n: usize,
+    /// Centroids per codebook.
+    c: usize,
+    /// Subspace count `Nc`.
+    n_subspaces: usize,
+    quant: LutQuant,
+}
+
+impl LutTable {
+    /// Precomputes the table for `weight: [K, N]` under `pq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight's `K` doesn't match the quantizer.
+    pub fn build(pq: &ProductQuantizer, weight: &Tensor, quant: LutQuant) -> Self {
+        assert_eq!(weight.shape().rank(), 2, "weight must be [K, N]");
+        let (k, n) = (weight.dims()[0], weight.dims()[1]);
+        assert_eq!(k, pq.input_dim(), "weight K mismatch");
+        let v = pq.subvector_len();
+        let c = pq.num_centroids();
+        let n_sub = pq.num_subspaces();
+
+        let mut raw = vec![0.0f32; n_sub * c * n];
+        for (s, cb) in pq.codebooks().iter().enumerate() {
+            for ci in 0..c {
+                let cent = cb.centroid(ci);
+                let out = &mut raw[(s * c + ci) * n..(s * c + ci + 1) * n];
+                for j in 0..v {
+                    let row = s * v + j;
+                    if row >= k {
+                        break; // zero padding contributes nothing
+                    }
+                    let wrow = weight.row(row);
+                    let cj = cent[j];
+                    if cj == 0.0 {
+                        continue;
+                    }
+                    for (o, &w) in out.iter_mut().zip(wrow) {
+                        *o += cj * w;
+                    }
+                }
+            }
+        }
+
+        let storage = match quant {
+            LutQuant::F32 => Storage::F32(raw),
+            LutQuant::F16 => {
+                let mut r = raw;
+                for x in &mut r {
+                    *x = crate::precision::bf16_round(*x);
+                }
+                Storage::F32(r)
+            }
+            LutQuant::Int8 => {
+                let blocks = raw
+                    .chunks_exact(c * n)
+                    .map(Int8Block::quantize)
+                    .collect();
+                Storage::Int8(blocks)
+            }
+        };
+        Self {
+            storage,
+            n,
+            c,
+            n_subspaces: n_sub,
+            quant,
+        }
+    }
+
+    /// Output width `N`.
+    pub fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Centroids per codebook.
+    pub fn num_centroids(&self) -> usize {
+        self.c
+    }
+
+    /// Subspace count.
+    pub fn num_subspaces(&self) -> usize {
+        self.n_subspaces
+    }
+
+    /// Storage precision.
+    pub fn quant(&self) -> LutQuant {
+        self.quant
+    }
+
+    /// The dequantized table row for (subspace, centroid): `N` partial sums.
+    pub fn row(&self, subspace: usize, centroid: usize) -> Vec<f32> {
+        let off = (subspace * self.c + centroid) * self.n;
+        match &self.storage {
+            Storage::F32(raw) => raw[off..off + self.n].to_vec(),
+            Storage::Int8(blocks) => {
+                let b = &blocks[subspace];
+                let local = centroid * self.n;
+                (0..self.n).map(|j| b.get(local + j)).collect()
+            }
+        }
+    }
+
+    /// Accumulates the row for (subspace, centroid) into `acc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != N`.
+    #[inline]
+    pub fn accumulate(&self, subspace: usize, centroid: usize, acc: &mut [f32]) {
+        assert_eq!(acc.len(), self.n, "accumulator width mismatch");
+        let off = (subspace * self.c + centroid) * self.n;
+        match &self.storage {
+            Storage::F32(raw) => {
+                for (a, &t) in acc.iter_mut().zip(&raw[off..off + self.n]) {
+                    *a += t;
+                }
+            }
+            Storage::Int8(blocks) => {
+                let b = &blocks[subspace];
+                let scale = b.scale;
+                let local = centroid * self.n;
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += b.values[local + j] as f32 * scale;
+                }
+            }
+        }
+    }
+
+    /// Total table size in bytes at the configured entry precision
+    /// (Eq. 2's `mem_lut` term).
+    pub fn size_bytes(&self) -> usize {
+        self.n_subspaces * self.c * self.n * self.quant.bits() as usize / 8
+    }
+}
+
+impl std::fmt::Debug for LutTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LutTable")
+            .field("n", &self.n)
+            .field("c", &self.c)
+            .field("n_subspaces", &self.n_subspaces)
+            .field("quant", &self.quant)
+            .field("size_bytes", &self.size_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rng: &mut StdRng) -> (ProductQuantizer, Tensor) {
+        let acts = Tensor::rand_uniform(rng, &[64, 8], -1.0, 1.0);
+        let weight = Tensor::rand_uniform(rng, &[8, 6], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&acts, 4, 8, Distance::L2, rng);
+        (pq, weight)
+    }
+
+    #[test]
+    fn table_rows_match_direct_dot_products() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let (pq, weight) = setup(&mut rng);
+        let lut = LutTable::build(&pq, &weight, LutQuant::F32);
+        for s in 0..pq.num_subspaces() {
+            for ci in 0..pq.num_centroids() {
+                let cent = pq.codebooks()[s].centroid(ci);
+                let row = lut.row(s, ci);
+                for n in 0..6 {
+                    let direct: f32 = (0..4).map(|j| cent[j] * weight.at(&[s * 4 + j, n])).sum();
+                    assert!(
+                        (row[n] - direct).abs() < 1e-5,
+                        "s={s} ci={ci} n={n}: {} vs {direct}",
+                        row[n]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_table_error_small() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let (pq, weight) = setup(&mut rng);
+        let f32_lut = LutTable::build(&pq, &weight, LutQuant::F32);
+        let i8_lut = LutTable::build(&pq, &weight, LutQuant::Int8);
+        let mut worst: f32 = 0.0;
+        let mut max_abs: f32 = 0.0;
+        for s in 0..pq.num_subspaces() {
+            for ci in 0..pq.num_centroids() {
+                let a = f32_lut.row(s, ci);
+                let b = i8_lut.row(s, ci);
+                for (x, y) in a.iter().zip(&b) {
+                    worst = worst.max((x - y).abs());
+                    max_abs = max_abs.max(x.abs());
+                }
+            }
+        }
+        assert!(worst <= max_abs / 127.0 + 1e-6, "worst={worst}");
+    }
+
+    #[test]
+    fn size_accounts_for_precision() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let (pq, weight) = setup(&mut rng);
+        let f = LutTable::build(&pq, &weight, LutQuant::F32).size_bytes();
+        let h = LutTable::build(&pq, &weight, LutQuant::F16).size_bytes();
+        let q = LutTable::build(&pq, &weight, LutQuant::Int8).size_bytes();
+        assert_eq!(f, 2 * 8 * 6 * 4);
+        assert_eq!(h, f / 2);
+        assert_eq!(q, f / 4);
+    }
+
+    #[test]
+    fn accumulate_matches_row() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let (pq, weight) = setup(&mut rng);
+        let lut = LutTable::build(&pq, &weight, LutQuant::Int8);
+        let mut acc = vec![0.0f32; 6];
+        lut.accumulate(1, 3, &mut acc);
+        lut.accumulate(0, 5, &mut acc);
+        let expect: Vec<f32> = lut
+            .row(1, 3)
+            .iter()
+            .zip(lut.row(0, 5))
+            .map(|(a, b)| a + b)
+            .collect();
+        for (x, y) in acc.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

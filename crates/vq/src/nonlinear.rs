@@ -1,0 +1,236 @@
+//! LUT-based non-linear function approximation (paper §IV-A: "IMM also
+//! supports element-wise activation and dequantization by using polynomial
+//! approximations", citing NN-LUT [61]).
+//!
+//! A [`PiecewiseTable`] partitions an input range into uniform segments and
+//! stores a degree-1 polynomial per segment — exactly the structure NN-LUT
+//! synthesises into hardware. Out-of-range inputs clamp to the boundary
+//! polynomials, matching the saturating behaviour of the hardware unit.
+
+/// The activation functions the IMM's write-back path supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Nonlinearity {
+    /// Rectified linear unit (exact under piecewise-linear).
+    Relu,
+    /// GELU (tanh approximation as the ground truth).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// `exp(x)` on a bounded range (the softmax numerator building block).
+    Exp,
+}
+
+impl Nonlinearity {
+    /// Reference (float) implementation.
+    pub fn eval(&self, x: f32) -> f32 {
+        match self {
+            Nonlinearity::Relu => x.max(0.0),
+            Nonlinearity::Gelu => {
+                const C: f32 = 0.797_884_56;
+                0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+            }
+            Nonlinearity::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Nonlinearity::Tanh => x.tanh(),
+            Nonlinearity::Exp => x.exp(),
+        }
+    }
+
+    /// The natural approximation range used when building tables.
+    pub fn default_range(&self) -> (f32, f32) {
+        match self {
+            Nonlinearity::Relu => (-4.0, 4.0),
+            Nonlinearity::Gelu | Nonlinearity::Tanh | Nonlinearity::Sigmoid => (-6.0, 6.0),
+            Nonlinearity::Exp => (-8.0, 0.0), // softmax uses exp(x - max) ≤ 0
+        }
+    }
+}
+
+impl std::fmt::Display for Nonlinearity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Nonlinearity::Relu => "relu",
+            Nonlinearity::Gelu => "gelu",
+            Nonlinearity::Sigmoid => "sigmoid",
+            Nonlinearity::Tanh => "tanh",
+            Nonlinearity::Exp => "exp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A uniform piecewise-linear approximation table: per segment, `y ≈ a·x+b`.
+///
+/// # Example
+///
+/// ```
+/// use lutdla_vq::{Nonlinearity, PiecewiseTable};
+///
+/// let table = PiecewiseTable::build(Nonlinearity::Gelu, 64);
+/// let err = table.max_error(1000);
+/// assert!(err < 0.01, "max error {err}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseTable {
+    func: Nonlinearity,
+    lo: f32,
+    hi: f32,
+    /// `(slope, intercept)` per segment.
+    coeffs: Vec<(f32, f32)>,
+}
+
+impl PiecewiseTable {
+    /// Builds a table with `segments` uniform pieces over the function's
+    /// default range, interpolating the endpoints of each segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`.
+    pub fn build(func: Nonlinearity, segments: usize) -> Self {
+        let (lo, hi) = func.default_range();
+        Self::build_on_range(func, segments, lo, hi)
+    }
+
+    /// Builds over an explicit `[lo, hi]` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or `lo >= hi`.
+    pub fn build_on_range(func: Nonlinearity, segments: usize, lo: f32, hi: f32) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        assert!(lo < hi, "empty range");
+        let step = (hi - lo) / segments as f32;
+        let coeffs = (0..segments)
+            .map(|i| {
+                let x0 = lo + i as f32 * step;
+                let x1 = x0 + step;
+                let (y0, y1) = (func.eval(x0), func.eval(x1));
+                let a = (y1 - y0) / step;
+                let b = y0 - a * x0;
+                (a, b)
+            })
+            .collect();
+        Self {
+            func,
+            lo,
+            hi,
+            coeffs,
+        }
+    }
+
+    /// The approximated function.
+    pub fn function(&self) -> Nonlinearity {
+        self.func
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Table storage in bytes (two coefficients per segment at `bits`).
+    pub fn size_bytes(&self, coeff_bits: u32) -> usize {
+        self.coeffs.len() * 2 * coeff_bits as usize / 8
+    }
+
+    /// Approximate evaluation: segment select + one multiply + one add —
+    /// the hardware's datapath.
+    pub fn eval(&self, x: f32) -> f32 {
+        let clamped = x.clamp(self.lo, self.hi);
+        let step = (self.hi - self.lo) / self.coeffs.len() as f32;
+        let idx = (((clamped - self.lo) / step) as usize).min(self.coeffs.len() - 1);
+        let (a, b) = self.coeffs[idx];
+        // Outside the range, extend the boundary segments linearly for ReLU
+        // (exact) and clamp for the saturating functions.
+        match self.func {
+            Nonlinearity::Relu => a * x + b,
+            _ => a * clamped + b,
+        }
+    }
+
+    /// Maximum absolute error against the reference over `samples` points
+    /// inside the table range.
+    pub fn max_error(&self, samples: usize) -> f32 {
+        let mut worst = 0.0f32;
+        for i in 0..=samples {
+            let x = self.lo + (self.hi - self.lo) * i as f32 / samples as f32;
+            worst = worst.max((self.eval(x) - self.func.eval(x)).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_is_exact_with_even_segments() {
+        // With an even segment count a breakpoint lands on zero.
+        let t = PiecewiseTable::build(Nonlinearity::Relu, 16);
+        for i in -40..=40 {
+            let x = i as f32 / 10.0;
+            assert!(
+                (t.eval(x) - x.max(0.0)).abs() < 1e-6,
+                "x={x}: {} vs {}",
+                t.eval(x),
+                x.max(0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_segments() {
+        for func in [
+            Nonlinearity::Gelu,
+            Nonlinearity::Sigmoid,
+            Nonlinearity::Tanh,
+            Nonlinearity::Exp,
+        ] {
+            let coarse = PiecewiseTable::build(func, 8).max_error(500);
+            let fine = PiecewiseTable::build(func, 128).max_error(500);
+            assert!(fine < coarse / 10.0, "{func}: {coarse} -> {fine}");
+        }
+    }
+
+    #[test]
+    fn nn_lut_class_accuracy() {
+        // NN-LUT reports ~1e-3-class error with small tables; 64 segments
+        // should beat 1e-2 everywhere.
+        for func in [Nonlinearity::Gelu, Nonlinearity::Sigmoid, Nonlinearity::Tanh] {
+            let t = PiecewiseTable::build(func, 64);
+            assert!(t.max_error(2000) < 1e-2, "{func}: {}", t.max_error(2000));
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let t = PiecewiseTable::build(Nonlinearity::Sigmoid, 32);
+        assert!((t.eval(100.0) - 1.0).abs() < 0.01);
+        assert!(t.eval(-100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let t = PiecewiseTable::build(Nonlinearity::Gelu, 64);
+        assert_eq!(t.size_bytes(16), 64 * 2 * 2);
+    }
+
+    #[test]
+    fn exp_range_covers_softmax_inputs() {
+        // softmax computes exp(x - max) with arguments ≤ 0.
+        let t = PiecewiseTable::build(Nonlinearity::Exp, 128);
+        for i in 0..=80 {
+            let x = -(i as f32) / 10.0;
+            let got = t.eval(x);
+            assert!((got - x.exp()).abs() < 5e-3, "x={x}: {got} vs {}", x.exp());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn rejects_zero_segments() {
+        let _ = PiecewiseTable::build(Nonlinearity::Relu, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Numeric-precision emulation: BF16 rounding and symmetric INT8
+//! quantization.
+//!
+//! Table IV's "BF16+INT8" column uses BF16 arithmetic for the similarity
+//! comparison and INT8 entries in the lookup tables. We emulate both on f32:
+//! BF16 by round-to-nearest-even mantissa truncation, INT8 by per-tensor (or
+//! per-group) symmetric scaling.
+
+/// Floating-point precision of the similarity datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatPrecision {
+    /// IEEE single precision (no rounding).
+    Fp32,
+    /// Brain-float 16: 8 exponent bits, 7 mantissa bits.
+    Bf16,
+    /// IEEE half precision: 5 exponent bits, 10 mantissa bits.
+    Fp16,
+}
+
+impl FloatPrecision {
+    /// Bit width of the representation.
+    pub fn bits(&self) -> u32 {
+        match self {
+            FloatPrecision::Fp32 => 32,
+            FloatPrecision::Bf16 | FloatPrecision::Fp16 => 16,
+        }
+    }
+
+    /// Rounds an f32 value to this precision (and back to f32).
+    pub fn round(&self, x: f32) -> f32 {
+        match self {
+            FloatPrecision::Fp32 => x,
+            FloatPrecision::Bf16 => bf16_round(x),
+            FloatPrecision::Fp16 => fp16_round(x),
+        }
+    }
+
+    /// Rounds a slice in place.
+    pub fn round_slice(&self, xs: &mut [f32]) {
+        if *self == FloatPrecision::Fp32 {
+            return;
+        }
+        for x in xs {
+            *x = self.round(*x);
+        }
+    }
+}
+
+/// Rounds to bfloat16 via round-to-nearest-even on the upper 16 bits.
+pub fn bf16_round(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // round-to-nearest-even: add 0x7FFF + lsb of the kept part.
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + lsb) & 0xFFFF_0000;
+    f32::from_bits(rounded)
+}
+
+/// Rounds to IEEE fp16 (round-to-nearest-even), returned as f32.
+/// Values overflowing fp16 saturate to ±65504.
+pub fn fp16_round(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    const FP16_MAX: f32 = 65504.0;
+    if x.abs() > FP16_MAX {
+        return FP16_MAX.copysign(x);
+    }
+    // Keep 10 mantissa bits: round the lower 13 bits of the f32 mantissa.
+    let bits = x.to_bits();
+    let lsb = (bits >> 13) & 1;
+    let rounded = bits.wrapping_add(0xFFF + lsb) & 0xFFFF_E000;
+    let y = f32::from_bits(rounded);
+    // Flush fp16 subnormals to zero (adequate for our emulation purposes).
+    if y != 0.0 && y.abs() < 6.103_515_6e-5 {
+        0.0
+    } else {
+        y
+    }
+}
+
+/// Symmetric INT8 quantization of a group of values: `q = round(x / scale)`
+/// clamped to `[-127, 127]`, with `scale = max|x| / 127`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int8Block {
+    /// Quantized values.
+    pub values: Vec<i8>,
+    /// Dequantization scale.
+    pub scale: f32,
+}
+
+impl Int8Block {
+    /// Quantizes a slice with a single symmetric scale.
+    pub fn quantize(xs: &[f32]) -> Self {
+        let max_abs = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let values = xs
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self { values, scale }
+    }
+
+    /// Dequantizes back to f32.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Dequantizes a single element.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        self.values[i] as f32 * self.scale
+    }
+
+    /// Number of quantized values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_idempotent() {
+        for &x in &[0.0f32, 1.0, -3.25, 1e-8, 12345.678] {
+            let once = bf16_round(x);
+            assert_eq!(bf16_round(once), once, "x={x}");
+        }
+    }
+
+    #[test]
+    fn bf16_error_bounded() {
+        // bf16 has ~3 decimal digits: relative error ≤ 2^-8.
+        for i in 1..100 {
+            let x = i as f32 * 0.37;
+            let r = bf16_round(x);
+            assert!(((r - x) / x).abs() <= 1.0 / 256.0, "x={x} r={r}");
+        }
+    }
+
+    #[test]
+    fn fp16_error_bounded() {
+        for i in 1..100 {
+            let x = i as f32 * 0.37;
+            let r = fp16_round(x);
+            assert!(((r - x) / x).abs() <= 1.0 / 2048.0, "x={x} r={r}");
+        }
+    }
+
+    #[test]
+    fn fp16_saturates() {
+        assert_eq!(fp16_round(1e6), 65504.0);
+        assert_eq!(fp16_round(-1e6), -65504.0);
+    }
+
+    #[test]
+    fn int8_round_trip_error_bounded() {
+        let xs: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) * 0.173).collect();
+        let q = Int8Block::quantize(&xs);
+        let back = q.dequantize();
+        let max_abs = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= max_abs / 127.0 / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn int8_zero_input() {
+        let q = Int8Block::quantize(&[0.0, 0.0]);
+        assert_eq!(q.dequantize(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn precision_enum_bits() {
+        assert_eq!(FloatPrecision::Fp32.bits(), 32);
+        assert_eq!(FloatPrecision::Bf16.bits(), 16);
+        assert_eq!(FloatPrecision::Fp16.bits(), 16);
+    }
+}

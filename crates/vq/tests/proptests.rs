@@ -1,0 +1,136 @@
+//! Property-based tests of the quantization stack.
+
+use lutdla_tensor::Tensor;
+use lutdla_vq::{
+    amm_error, approx_matmul, bf16_round, fp16_round, kmeans, Distance, Int8Block, KmeansConfig,
+    LutQuant, LutTable, ProductQuantizer,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Distances satisfy the metric axioms we rely on (identity, symmetry,
+    /// non-negativity).
+    #[test]
+    fn distance_axioms(
+        v in prop::collection::vec(-10.0f32..10.0, 1..16),
+        w in prop::collection::vec(-10.0f32..10.0, 1..16),
+    ) {
+        prop_assume!(v.len() == w.len());
+        for d in Distance::ALL {
+            prop_assert!(d.eval(&v, &w) >= 0.0);
+            prop_assert_eq!(d.eval(&v, &v), 0.0);
+            prop_assert!((d.eval(&v, &w) - d.eval(&w, &v)).abs() < 1e-5);
+        }
+    }
+
+    /// argmin returns the index whose distance is truly minimal.
+    #[test]
+    fn argmin_is_minimal(
+        seed in 0u64..2000,
+        dim in 1usize..8,
+        c in 1usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[dim], -1.0, 1.0);
+        let cents = Tensor::rand_uniform(&mut rng, &[c * dim], -1.0, 1.0);
+        for d in Distance::ALL {
+            let best = d.argmin(x.data(), cents.data());
+            let best_d = d.eval(x.data(), &cents.data()[best * dim..(best + 1) * dim]);
+            for i in 0..c {
+                let di = d.eval(x.data(), &cents.data()[i * dim..(i + 1) * dim]);
+                prop_assert!(best_d <= di + 1e-6, "{d}: {best_d} > {di}");
+            }
+        }
+    }
+
+    /// K-means inertia never exceeds the one-cluster (mean) baseline.
+    #[test]
+    fn kmeans_beats_single_mean(seed in 0u64..500, n in 8usize..64, k in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 3;
+        let data = Tensor::rand_uniform(&mut rng, &[n * dim], -1.0, 1.0);
+        let multi = kmeans(data.data(), dim, &KmeansConfig { k, ..Default::default() }, &mut rng);
+        let single = kmeans(data.data(), dim, &KmeansConfig { k: 1, ..Default::default() }, &mut rng);
+        prop_assert!(multi.inertia <= single.inertia + 1e-6);
+    }
+
+    /// PQ reconstruction error is bounded by the worst per-subspace
+    /// assignment distance (definitional sanity).
+    #[test]
+    fn pq_reconstruction_error_bounded(seed in 0u64..500, v in 2usize..5, c_pow in 1u32..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = v * 3;
+        let data = Tensor::rand_uniform(&mut rng, &[32, k], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&data, v, 2usize.pow(c_pow), Distance::L2, &mut rng);
+        let codes = pq.encode(&data);
+        let rec = pq.decode(&codes, 32);
+        // The decoded rows must be the *closest* centroids: re-encoding the
+        // reconstruction must reproduce the codes.
+        let codes2 = pq.encode(&rec);
+        prop_assert_eq!(codes, codes2);
+    }
+
+    /// AMM with the exact (FP32) table equals decode-then-matmul.
+    #[test]
+    fn amm_equals_decode_matmul(seed in 0u64..500, v in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = v * 2;
+        let a = Tensor::rand_uniform(&mut rng, &[16, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, 6], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, 8, Distance::L2, &mut rng);
+        let lut = LutTable::build(&pq, &b, LutQuant::F32);
+        let via_lut = approx_matmul(&a, &pq, &lut);
+        let codes = pq.encode(&a);
+        let via_decode = pq.decode(&codes, 16).matmul(&b);
+        prop_assert!(via_lut.allclose(&via_decode, 1e-3));
+    }
+
+    /// AMM error report is self-consistent: rel_frobenius ≥ 0, and zero only
+    /// if outputs match.
+    #[test]
+    fn amm_error_consistent(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[24, 8], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[8, 4], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, 4, 16, Distance::L1, &mut rng);
+        let lut = LutTable::build(&pq, &b, LutQuant::F32);
+        let e = amm_error(&a, &b, &pq, &lut);
+        prop_assert!(e.rel_frobenius >= 0.0);
+        prop_assert!(e.max_abs >= 0.0);
+    }
+
+    /// Precision rounders are idempotent and monotone-preserving.
+    #[test]
+    fn rounders_idempotent(x in -1e6f32..1e6) {
+        prop_assert_eq!(bf16_round(bf16_round(x)), bf16_round(x));
+        prop_assert_eq!(fp16_round(fp16_round(x)), fp16_round(x));
+    }
+
+    /// INT8 quantize/dequantize error stays within half a step.
+    #[test]
+    fn int8_error_within_half_step(
+        xs in prop::collection::vec(-100.0f32..100.0, 1..64),
+    ) {
+        let q = Int8Block::quantize(&xs);
+        let back = q.dequantize();
+        let max_abs = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let step = max_abs / 127.0;
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    /// Equivalent bits match the definitional formula for all (v, c).
+    #[test]
+    fn equivalent_bits_formula(v in 1usize..10, c_pow in 1u32..8, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = 2usize.pow(c_pow);
+        let data = Tensor::rand_uniform(&mut rng, &[c.max(8), v * 2], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&data, v, c, Distance::L2, &mut rng);
+        prop_assert!((pq.equivalent_bits() - c_pow as f64 / v as f64).abs() < 1e-12);
+    }
+}

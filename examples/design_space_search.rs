@@ -1,0 +1,128 @@
+//! Co-design space exploration: run Algorithm 2 under different constraint
+//! regimes and show how the searched design shifts, including plugging a
+//! *real* LUTBoost quick-evaluation oracle in place of the surrogate.
+//!
+//! ```sh
+//! cargo run --release --example design_space_search
+//! ```
+
+use lutdla::prelude::*;
+use lutdla_dse::{accuracy_heatmap, prune_grid, AccuracyModel};
+use lutdla_lutboost::fresh_pretrained_convnet;
+use lutdla_models::trainable::resnet20_mini;
+use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
+use lutdla_nn::{train_epoch_images, Optimizer, Sgd};
+
+/// The paper's §VI-C step 3: estimate accuracy by running only LUTBoost's
+/// cheap centroid-calibration stage for a couple of epochs.
+struct QuickLutBoostOracle {
+    cfg: lutdla_models::trainable::ConvNetConfig,
+    trained: ParamSet,
+    train: lutdla_nn::data::ImageDataset,
+    test: lutdla_nn::data::ImageDataset,
+}
+
+impl AccuracyModel for QuickLutBoostOracle {
+    fn estimate(&self, v: usize, c: usize, metric: Metric) -> f64 {
+        let (mut net, mut ps) = fresh_pretrained_convnet(self.cfg, &self.trained);
+        let outcome = convert_and_train_images(
+            &mut net,
+            &mut ps,
+            Strategy::Multistage,
+            LutConfig {
+                v,
+                c,
+                distance: metric_to_distance(metric),
+                recon_weight: 0.05,
+            },
+            ConvertPolicy::default(),
+            &TrainSchedule {
+                centroid_epochs: 2,
+                joint_epochs: 0,
+                ..Default::default()
+            },
+            &self.train,
+            &self.test,
+            9,
+        );
+        outcome.test_accuracy as f64 * 100.0
+    }
+}
+
+fn main() {
+    let target = Gemm::new(512, 768, 768);
+    let space = SearchSpace::figure11();
+    let surrogate = SurrogateAccuracy::resnet20_cifar10();
+
+    // --- Regime 1: tiny edge budget. --------------------------------------
+    for (label, constraints) in [
+        (
+            "edge (1 mm², 150 mW)",
+            Constraints {
+                max_area_mm2: 1.0,
+                max_power_mw: 150.0,
+                min_accuracy: 88.0,
+                ..Constraints::relaxed()
+            },
+        ),
+        (
+            "server (6 mm², 800 mW, ≥90.5%)",
+            Constraints {
+                max_area_mm2: 6.0,
+                max_power_mw: 800.0,
+                min_accuracy: 90.5,
+                ..Constraints::relaxed()
+            },
+        ),
+    ] {
+        let result = search(&space, &target, &constraints, &surrogate);
+        println!("=== {label} ===");
+        println!("{}", prune_grid(&result, Metric::L2, &space.vs, &space.cs));
+        match result.best() {
+            Some(best) => println!(
+                "winner: v={} c={} {} nIMM={} nCCU={} → {:.2} mm², {:.0} mW, est. acc {:.1}%\n",
+                best.config.v,
+                best.config.c,
+                best.config.metric,
+                best.config.n_imm,
+                best.config.n_ccu,
+                best.cost.area_mm2,
+                best.cost.power_mw,
+                best.accuracy
+            ),
+            None => println!("no feasible design\n"),
+        }
+    }
+
+    // --- Regime 2: replace the surrogate with real LUTBoost quick-eval. ---
+    println!("=== surrogate vs LUTBoost quick-evaluation oracle ===");
+    let data_cfg = ImageTaskConfig {
+        n_train: 256,
+        n_test: 128,
+        ..ImageTaskConfig::cifar10_proxy()
+    };
+    let (train, test) = synthetic_images(&data_cfg);
+    let mut ps = ParamSet::new();
+    let net = resnet20_mini(&mut ps, data_cfg.num_classes);
+    let cfg = *net.config();
+    let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
+    for _ in 0..6 {
+        train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
+    }
+    let oracle = QuickLutBoostOracle {
+        cfg,
+        trained: ps,
+        train,
+        test,
+    };
+    // Probe a few points with both oracles (full search with the real
+    // oracle would train dozens of conversions).
+    println!("{}", accuracy_heatmap(&[3, 6], &[8, 32], Metric::L2, &surrogate).render());
+    for (v, c) in [(3usize, 32usize), (6, 8)] {
+        println!(
+            "(v={v}, c={c}): surrogate {:.1}% | quick LUTBoost {:.1}% (proxy task)",
+            surrogate.estimate(v, c, Metric::L2),
+            oracle.estimate(v, c, Metric::L2)
+        );
+    }
+}

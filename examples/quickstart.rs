@@ -1,0 +1,60 @@
+//! Quickstart: approximate a GEMM with lookup tables, check the error, and
+//! estimate how fast a LUT-DLA instance executes it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lutdla::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. A GEMM: activations A (M×K) times weights B (K×N).
+    let (m, k, n) = (256, 128, 64);
+    let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+
+    // 2. Fit a product quantizer on the activations (v=4 dims per subvector,
+    //    c=32 centroids → equivalent bitwidth log2(32)/4 = 1.25 bits).
+    let pq = ProductQuantizer::fit(&a, 4, 32, Distance::L1, &mut rng);
+    println!(
+        "quantizer: {} subspaces × {} centroids, {:.2} equivalent bits/weight",
+        pq.num_subspaces(),
+        pq.num_centroids(),
+        pq.equivalent_bits()
+    );
+
+    // 3. Precompute the lookup table from the weights (INT8 entries) and run
+    //    the approximate multiplication: encode → lookup → accumulate.
+    let lut = LutTable::build(&pq, &b, LutQuant::Int8);
+    let approx = approx_matmul(&a, &pq, &lut);
+    let exact = a.matmul(&b);
+    println!(
+        "LUT table: {} KB; relative Frobenius error vs exact GEMM: {:.3}",
+        lut.size_bytes() / 1024,
+        approx.rel_error(&exact)
+    );
+
+    // 4. How fast does LUT-DLA Design 1 execute this GEMM?
+    let design = design1();
+    let report = simulate_gemm(&design.sim_config(), &Gemm::new(m, k, n));
+    println!(
+        "{}: {} cycles @300 MHz = {:.1} µs, {:.1} effective GOPS, {:.4} mJ",
+        design.name,
+        report.cycles,
+        report.time_s * 1e6,
+        report.effective_gops(),
+        report.energy.total_mj()
+    );
+
+    // 5. And the same GEMM on an NVDLA-Small-class MAC array?
+    let nvdla = nvdla_gemm(&NvdlaConfig::small(), &Gemm::new(m, k, n));
+    println!(
+        "NVDLA-Small: {:.1} µs → LUT-DLA speedup {:.1}x",
+        nvdla.time_s * 1e6,
+        nvdla.time_s / report.time_s
+    );
+}

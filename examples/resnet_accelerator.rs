@@ -1,0 +1,94 @@
+//! End-to-end CNN scenario: convert a (tiny proxy) ResNet with LUTBoost,
+//! deploy it at BF16+INT8, and size the accelerator for the full ResNet-18
+//! workload against NVDLA and Gemmini.
+//!
+//! ```sh
+//! cargo run --release --example resnet_accelerator
+//! ```
+
+use lutdla::prelude::*;
+use lutdla_lutboost::fresh_pretrained_convnet;
+use lutdla_models::trainable::resnet20_mini;
+use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
+use lutdla_nn::{eval_images, train_epoch_images, Optimizer, Sgd};
+
+fn main() {
+    // --- 1. Train the dense baseline on the CIFAR-10 proxy. --------------
+    let data_cfg = ImageTaskConfig::cifar10_proxy();
+    let (train, test) = synthetic_images(&data_cfg);
+    let mut ps = ParamSet::new();
+    let net = resnet20_mini(&mut ps, data_cfg.num_classes);
+    let cfg = *net.config();
+    let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
+    for epoch in 0..8 {
+        let stats = train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
+        println!("baseline epoch {epoch}: loss {:.3} acc {:.3}", stats.loss, stats.accuracy);
+    }
+    let baseline = eval_images(&net, &ps, &test, 32);
+    println!("dense baseline test accuracy: {:.1}%\n", baseline * 100.0);
+
+    // --- 2. LUTBoost multistage conversion (v=4, c=16, L1 similarity). ---
+    let (mut lut_net, mut lut_ps) = fresh_pretrained_convnet(cfg, &ps);
+    let outcome = convert_and_train_images(
+        &mut lut_net,
+        &mut lut_ps,
+        Strategy::Multistage,
+        LutConfig {
+            v: 4,
+            c: 16,
+            distance: Distance::L1,
+            recon_weight: 0.05,
+        },
+        ConvertPolicy::default(),
+        &TrainSchedule::default(),
+        &train,
+        &test,
+        1,
+    );
+    println!(
+        "LUT model (train-path) accuracy: {:.1}% (baseline {:.1}%)",
+        outcome.test_accuracy * 100.0,
+        baseline * 100.0
+    );
+
+    // --- 3. Deploy: BF16 similarity + INT8 tables, evaluated through the
+    //        exact table-lookup path the IMM executes. ---------------------
+    let deployed =
+        eval_images_deployed(&lut_net, &lut_ps, &test, 32, DeployConfig::bf16_int8());
+    println!("deployed (BF16+INT8) accuracy: {:.1}%\n", deployed * 100.0);
+
+    // --- 4. Size the accelerator for the full ResNet-18 workload. --------
+    let workload = zoo::resnet_imagenet(18, 1000);
+    let design = design2();
+    let report = simulate_workload(&design.sim_config(), &workload, 1);
+    let gemms = workload_gemms(&workload, 1);
+    let nvdla = nvdla_model(&NvdlaConfig::large(), &gemms);
+    let gemmini = systolic_model(&SystolicConfig::gemmini(), &gemms);
+    println!("ResNet-18 (batch 1) end-to-end:");
+    println!(
+        "  {:24} {:>10.2} ms  {:>8.0} GOPS  {:>8.2} mJ",
+        design.name,
+        report.time_s * 1e3,
+        report.effective_gops(),
+        report.energy.total_mj()
+    );
+    println!(
+        "  {:24} {:>10.2} ms  {:>8.0} GOPS  {:>8.2} mJ",
+        "NVDLA-Large",
+        nvdla.time_s * 1e3,
+        nvdla.gops,
+        nvdla.energy_mj
+    );
+    println!(
+        "  {:24} {:>10.2} ms  {:>8.0} GOPS  {:>8.2} mJ",
+        "Gemmini",
+        gemmini.time_s * 1e3,
+        gemmini.gops,
+        gemmini.energy_mj
+    );
+    println!(
+        "\nspeedup vs NVDLA-Large: {:.1}x; energy saving: {:.1}x",
+        nvdla.time_s / report.time_s,
+        nvdla.energy_mj / report.energy.total_mj()
+    );
+}

@@ -1,0 +1,19 @@
+//! LUT-DLA — Lookup Table as Efficient Extreme Low-Bit Deep Learning
+//! Accelerator (HPCA 2025 reproduction).
+//!
+//! Umbrella crate: re-exports the framework facade. See the `examples/`
+//! directory for runnable scenarios and `lutdla-bench` for the binaries
+//! that regenerate every table/figure of the paper.
+//!
+//! ```
+//! use lutdla::prelude::*;
+//! let report = simulate_gemm(&design1().sim_config(), &Gemm::new(64, 64, 64));
+//! assert!(report.cycles > 0);
+//! ```
+
+pub use lutdla_core::*;
+
+/// Single-import surface (re-export of [`lutdla_core::prelude`]).
+pub mod prelude {
+    pub use lutdla_core::prelude::*;
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full convert → deploy → simulate
+//! pipeline and the headline comparative claims.
+
+use lutdla::prelude::*;
+use lutdla_lutboost::fresh_pretrained_convnet;
+use lutdla_models::trainable::resnet20_mini;
+use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
+use lutdla_nn::{eval_images, train_epoch_images, Optimizer, Sgd};
+
+fn small_task() -> ImageTaskConfig {
+    ImageTaskConfig {
+        num_classes: 4,
+        n_train: 128,
+        n_test: 64,
+        noise: 0.25,
+        ..ImageTaskConfig::cifar10_proxy()
+    }
+}
+
+#[test]
+fn convert_deploy_simulate_pipeline() {
+    // Train dense → LUTBoost multistage → BF16+INT8 deploy → accelerator
+    // sizing: the entire framework path in one test.
+    let data_cfg = small_task();
+    let (train, test) = synthetic_images(&data_cfg);
+    let mut ps = ParamSet::new();
+    let net = resnet20_mini(&mut ps, data_cfg.num_classes);
+    let cfg = *net.config();
+    let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
+    for _ in 0..5 {
+        train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
+    }
+    let baseline = eval_images(&net, &ps, &test, 32);
+    assert!(baseline > 0.5, "dense baseline failed to learn: {baseline}");
+
+    let (mut lut_net, mut lut_ps) = fresh_pretrained_convnet(cfg, &ps);
+    let outcome = convert_and_train_images(
+        &mut lut_net,
+        &mut lut_ps,
+        Strategy::Multistage,
+        LutConfig {
+            v: 4,
+            c: 16,
+            distance: Distance::L1,
+            recon_weight: 0.05,
+        },
+        ConvertPolicy::default(),
+        &TrainSchedule {
+            centroid_epochs: 2,
+            joint_epochs: 3,
+            ..Default::default()
+        },
+        &train,
+        &test,
+        5,
+    );
+    assert!(
+        outcome.test_accuracy > baseline * 0.6,
+        "conversion destroyed accuracy: {} vs {baseline}",
+        outcome.test_accuracy
+    );
+
+    let deployed = eval_images_deployed(&lut_net, &lut_ps, &test, 32, DeployConfig::bf16_int8());
+    assert!(
+        (deployed - outcome.test_accuracy).abs() < 0.2,
+        "deployment diverged: {deployed} vs {}",
+        outcome.test_accuracy
+    );
+
+    // The converted model's layer shapes must be simulatable.
+    let report = simulate_gemm(&design1().sim_config(), &Gemm::new(256, 72, 8));
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn lutdla_beats_nvdla_small_on_bert() {
+    // Fig. 14's headline: Design 1 is much faster than NVDLA-Small on BERT
+    // at comparable area.
+    let bert = zoo::bert_base(Default::default());
+    let gemms = workload_gemms(&bert, 1);
+    let lut = simulate_workload(&design1().sim_config(), &bert, 1);
+    let nvdla = nvdla_model(&NvdlaConfig::small(), &gemms);
+    let speedup = nvdla.time_s / lut.time_s;
+    assert!(
+        speedup > 3.0,
+        "Design1 speedup over NVDLA-Small only {speedup:.2}x (paper: 6.2x)"
+    );
+}
+
+#[test]
+fn design2_matches_nvdla_large_throughput_class() {
+    // Table VIII: Design 2 ≈ NVDLA-Large throughput at a fraction of area.
+    let d2 = design2();
+    let cost = design_cost(&d2.hw);
+    assert!(
+        (cost.peak_gops - 1228.8).abs() < 1.0,
+        "Design2 peak {}",
+        cost.peak_gops
+    );
+    assert!(cost.area_mm2 < 5.5, "not smaller than NVDLA-Large");
+}
+
+#[test]
+fn end_to_end_energy_savings_vs_nvdla() {
+    // Fig. 13: LUT-DLA designs save energy on ResNet workloads.
+    let resnet = zoo::resnet_imagenet(18, 1000);
+    let gemms = workload_gemms(&resnet, 1);
+    let lut = simulate_workload(&design2().sim_config(), &resnet, 1);
+    let nvdla = nvdla_model(&NvdlaConfig::large(), &gemms);
+    // Chip-level energy (the paper's Fig. 13 basis): LUT-DLA's lookup path
+    // spends far less datapath energy than a MAC array.
+    assert!(
+        nvdla.chip_energy_mj / lut.energy.chip_mj() > 2.0,
+        "chip-energy saving only {:.2}x",
+        nvdla.chip_energy_mj / lut.energy.chip_mj()
+    );
+}
+
+#[test]
+fn dse_search_result_fits_design3_class() {
+    // The co-design engine under a Design-3-class budget must find a point
+    // with comparable or better throughput per area.
+    let result = search(
+        &SearchSpace::figure11(),
+        &Gemm::new(512, 768, 768),
+        &Constraints {
+            max_area_mm2: 4.0,
+            max_power_mw: 700.0,
+            min_accuracy: 89.0,
+            ..Constraints::relaxed()
+        },
+        &SurrogateAccuracy::resnet20_cifar10(),
+    );
+    let best = result.best().expect("feasible design exists");
+    assert!(best.cost.area_mm2 <= 4.0);
+    assert!(best.cost.power_mw <= 700.0);
+    assert!(best.accuracy >= 89.0);
+}

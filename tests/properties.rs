@@ -1,0 +1,158 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary shapes and configurations.
+
+use lutdla::prelude::*;
+use lutdla_sim::{analytic_cycles, functional_ls, memory_footprint, TableSource};
+use lutdla_vq::approx_matmul_from_codes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct VqTable<'a>(&'a LutTable);
+
+impl TableSource for VqTable<'_> {
+    fn entry(&self, s: usize, ci: usize, col: usize) -> f32 {
+        self.0.row(s, ci)[col]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator's LS walk computes exactly the AMM reference product,
+    /// for any tiling and parallelism.
+    #[test]
+    fn ls_functional_equivalence(
+        m in 1usize..24,
+        k_sub in 1usize..6,
+        v in 2usize..5,
+        n in 1usize..24,
+        c_pow in 1u32..4,
+        tn in 1usize..12,
+        m_rows in 1usize..12,
+        n_imm in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let k = k_sub * v;
+        let c = 2usize.pow(c_pow);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+        let lut = LutTable::build(&pq, &b, LutQuant::F32);
+        let codes = pq.encode(&a);
+        let reference = approx_matmul_from_codes(&codes, m, &pq, &lut);
+        let cfg = SimConfig { v, c, tn, m_rows, n_imm, ..SimConfig::baseline() };
+        let hw = functional_ls(&cfg, &Gemm::new(m, k, n), &codes, &VqTable(&lut));
+        for (x, y) in hw.iter().zip(reference.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Simulated cycles never beat the Eq. (5) analytic lower bound.
+    #[test]
+    fn sim_cycles_at_least_analytic(
+        m in 1usize..200,
+        k in 1usize..200,
+        n in 1usize..200,
+        n_imm in 1usize..5,
+    ) {
+        let cfg = SimConfig { n_imm, ..design1().sim_config() };
+        let g = Gemm::new(m, k, n);
+        let r = simulate_gemm(&cfg, &g);
+        let bound = analytic_cycles(&cfg, &g);
+        prop_assert!(r.cycles as f64 >= bound * 0.99,
+            "sim {} below analytic bound {bound}", r.cycles);
+    }
+
+    /// Lookup-event count is exactly M × ⌈K/v⌉ × ⌈N/Tn⌉ regardless of
+    /// stalls, bandwidth, or chunking.
+    #[test]
+    fn lookup_count_invariant(
+        m in 1usize..150,
+        k in 1usize..150,
+        n in 1usize..150,
+        m_rows in 8usize..64,
+        bw in 1u32..64,
+    ) {
+        let base = design1().sim_config();
+        let cfg = SimConfig {
+            m_rows,
+            bw_bytes_per_cycle: bw as f64,
+            ..base
+        };
+        let g = Gemm::new(m, k, n);
+        let r = simulate_gemm(&cfg, &g);
+        let expect = (m * k.div_ceil(cfg.v) * n.div_ceil(cfg.tn)) as u64;
+        prop_assert_eq!(r.events.lut_row_reads, expect);
+    }
+
+    /// LUT-Stationary needs the least total on-chip memory of all six
+    /// dataflows, for arbitrary GEMM shapes.
+    #[test]
+    fn ls_always_smallest_dataflow(
+        m in 16usize..2048,
+        k in 16usize..2048,
+        n in 16usize..2048,
+    ) {
+        let g = Gemm::new(m, k, n);
+        let p = DataflowParams::table1();
+        let ls = memory_footprint(Dataflow::LutStationary, &g, &p).total();
+        for df in Dataflow::ALL {
+            prop_assert!(memory_footprint(df, &g, &p).total() >= ls - 1e-6, "{df}");
+        }
+    }
+
+    /// INT8 LUT storage never changes any AMM output by more than the
+    /// quantization bound (subspaces × per-entry step).
+    #[test]
+    fn int8_amm_error_bounded(
+        m in 1usize..32,
+        k_sub in 1usize..5,
+        n in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let v = 4;
+        let k = k_sub * v;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m.max(8), k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, 8, Distance::L2, &mut rng);
+        let f32_lut = LutTable::build(&pq, &b, LutQuant::F32);
+        let i8_lut = LutTable::build(&pq, &b, LutQuant::Int8);
+        let exact = approx_matmul(&a, &pq, &f32_lut);
+        let quant = approx_matmul(&a, &pq, &i8_lut);
+        // Each subspace contributes at most scale/2 ≈ max|entry|/254 error.
+        let max_entry = (0..pq.num_subspaces())
+            .flat_map(|s| (0..8).map(move |c| (s, c)))
+            .flat_map(|(s, c)| f32_lut.row(s, c))
+            .fold(0.0f32, |acc, x| acc.max(x.abs()));
+        let bound = pq.num_subspaces() as f32 * max_entry / 127.0 + 1e-5;
+        for (x, y) in exact.data().iter().zip(quant.data()) {
+            prop_assert!((x - y).abs() <= bound, "{x} vs {y} (bound {bound})");
+        }
+    }
+
+    /// Design cost is monotone in unit counts and peak GOPS is exact.
+    #[test]
+    fn design_cost_monotone(
+        v in 2usize..9,
+        c_pow in 3u32..7,
+        tn in 32usize..512,
+        n_imm in 1usize..8,
+    ) {
+        let cfg = LutDlaHwConfig {
+            v,
+            c: 2usize.pow(c_pow),
+            tn,
+            n_imm,
+            ..LutDlaHwConfig::baseline()
+        };
+        let cost = design_cost(&cfg);
+        let bigger = design_cost(&LutDlaHwConfig { n_imm: n_imm + 1, ..cfg });
+        prop_assert!(bigger.area_mm2 > cost.area_mm2);
+        prop_assert!(bigger.power_mw > cost.power_mw);
+        let expect_gops = 2.0 * v as f64 * tn as f64 * n_imm as f64 * 300e6 / 1e9;
+        prop_assert!((cost.peak_gops - expect_gops).abs() < 1e-6);
+    }
+}
