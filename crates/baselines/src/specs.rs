@@ -98,11 +98,27 @@ fn spec(
 /// own model generates).
 pub fn table8_specs() -> Vec<AcceleratorSpec> {
     vec![
-        spec("NVIDIA A100", 7, 1512.0, 826.0, 300_000.0, 624_000.0, Func::Both),
+        spec(
+            "NVIDIA A100",
+            7,
+            1512.0,
+            826.0,
+            300_000.0,
+            624_000.0,
+            Func::Both,
+        ),
         spec("Gemmini", 16, 500.0, 1.21, 312.41, 256.0, Func::Both),
         spec("NVDLA-Small", 28, 1000.0, 0.91, 55.0, 64.0, Func::Cnn),
         spec("NVDLA-Large", 28, 1000.0, 5.5, 766.0, 2048.0, Func::Cnn),
-        spec("ELSA", 40, 1000.0, 2.147, 1047.08, 1088.0, Func::Transformer),
+        spec(
+            "ELSA",
+            40,
+            1000.0,
+            2.147,
+            1047.08,
+            1088.0,
+            Func::Transformer,
+        ),
         spec("FACT", 28, 500.0, 6.03, 337.07, 928.0, Func::Transformer),
         spec("RRAM-DNN", 22, 120.0, 10.8, 127.9, 123.0, Func::Cnn),
     ]

@@ -37,14 +37,7 @@ fn bench_dse_search(c: &mut Criterion) {
     let target = Gemm::new(512, 768, 768);
     let oracle = SurrogateAccuracy::resnet20_cifar10();
     c.bench_function("dse_full_search", |b| {
-        b.iter(|| {
-            black_box(search(
-                &space,
-                &target,
-                &Constraints::relaxed(),
-                &oracle,
-            ))
-        })
+        b.iter(|| black_box(search(&space, &target, &Constraints::relaxed(), &oracle)))
     });
 }
 

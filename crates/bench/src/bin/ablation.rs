@@ -1,6 +1,12 @@
 //! Runs both the hardware-side and training-side ablation suites.
 fn main() {
     println!("{}", lutdla_bench::experiments::hw::ablation_hw());
-    println!("{}", lutdla_bench::experiments::accuracy::ablation_train(lutdla_bench::quick_flag()));
-    println!("{}", lutdla_bench::experiments::accuracy::centroid_share(true));
+    println!(
+        "{}",
+        lutdla_bench::experiments::accuracy::ablation_train(lutdla_bench::quick_flag())
+    );
+    println!(
+        "{}",
+        lutdla_bench::experiments::accuracy::centroid_share(true)
+    );
 }

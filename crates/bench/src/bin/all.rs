@@ -7,7 +7,7 @@ fn main() {
     let mut combined = String::new();
     for (id, body) in lutdla_bench::all_experiments(quick) {
         let header = format!("==================== {id} ====================\n");
-        print!("{header}{body}\n");
+        println!("{header}{body}");
         combined.push_str(&header);
         combined.push_str(&body);
         combined.push('\n');

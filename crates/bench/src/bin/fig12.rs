@@ -1,4 +1,7 @@
 //! Regenerates the paper's fig12 (see `lutdla_bench::experiments::accuracy`).
 fn main() {
-    println!("{}", lutdla_bench::experiments::accuracy::fig12(lutdla_bench::quick_flag()));
+    println!(
+        "{}",
+        lutdla_bench::experiments::accuracy::fig12(lutdla_bench::quick_flag())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's table6 (see `lutdla_bench::experiments::accuracy`).
 fn main() {
-    println!("{}", lutdla_bench::experiments::accuracy::table6(lutdla_bench::quick_flag()));
+    println!(
+        "{}",
+        lutdla_bench::experiments::accuracy::table6(lutdla_bench::quick_flag())
+    );
 }

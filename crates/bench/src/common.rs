@@ -12,10 +12,11 @@ use lutdla_models::trainable::{
     TransformerConfig,
 };
 use lutdla_nn::data::{
-    synthetic_images, synthetic_sequences, ImageDataset, ImageTaskConfig, SeqDataset,
-    SeqTaskConfig,
+    synthetic_images, synthetic_sequences, ImageDataset, ImageTaskConfig, SeqDataset, SeqTaskConfig,
 };
-use lutdla_nn::{eval_images, eval_seq, train_epoch_images, train_epoch_seq, Optimizer, ParamSet, Sgd};
+use lutdla_nn::{
+    eval_images, eval_seq, train_epoch_images, train_epoch_seq, Optimizer, ParamSet, Sgd,
+};
 
 /// Which CNN proxy to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -12,8 +12,8 @@ use lutdla_nn::data::{ImageTaskConfig, SeqTaskConfig};
 use lutdla_vq::Distance;
 
 use crate::common::{
-    image_task, pretrain_epochs, schedule, seq_task, CnnKind, PretrainedCnn,
-    PretrainedTransformer, TransformerKind,
+    image_task, pretrain_epochs, schedule, seq_task, CnnKind, PretrainedCnn, PretrainedTransformer,
+    TransformerKind,
 };
 
 fn lut(v: usize, c: usize, d: Distance) -> LutConfig {
@@ -40,7 +40,11 @@ pub fn fig7(quick: bool) -> String {
     let mut t = TextTable::new(["epoch", "multistage loss", "single-stage loss"]);
     let n = multi.epoch_losses.len().max(single.epoch_losses.len());
     for i in 0..n {
-        let stage_tag = if i < multi.joint_start { " (centroid)" } else { "" };
+        let stage_tag = if i < multi.joint_start {
+            " (centroid)"
+        } else {
+            ""
+        };
         t.row([
             format!("{i}{stage_tag}"),
             multi
@@ -160,14 +164,38 @@ pub fn table4(quick: bool) -> String {
         "Baseline",
     ]);
     let cases: Vec<(CnnKind, &str, ImageTaskConfig)> = if quick {
-        vec![(CnnKind::ResNet20, "CIFAR10*", ImageTaskConfig::cifar10_proxy())]
+        vec![(
+            CnnKind::ResNet20,
+            "CIFAR10*",
+            ImageTaskConfig::cifar10_proxy(),
+        )]
     } else {
         vec![
-            (CnnKind::ResNet20, "CIFAR10*", ImageTaskConfig::cifar10_proxy()),
-            (CnnKind::ResNet20, "CIFAR100*", ImageTaskConfig::cifar100_proxy()),
-            (CnnKind::ResNet32, "CIFAR10*", ImageTaskConfig::cifar10_proxy()),
-            (CnnKind::ResNet56, "CIFAR10*", ImageTaskConfig::cifar10_proxy()),
-            (CnnKind::ResNet18, "Tiny-ImageNet*", ImageTaskConfig::tiny_imagenet_proxy()),
+            (
+                CnnKind::ResNet20,
+                "CIFAR10*",
+                ImageTaskConfig::cifar10_proxy(),
+            ),
+            (
+                CnnKind::ResNet20,
+                "CIFAR100*",
+                ImageTaskConfig::cifar100_proxy(),
+            ),
+            (
+                CnnKind::ResNet32,
+                "CIFAR10*",
+                ImageTaskConfig::cifar10_proxy(),
+            ),
+            (
+                CnnKind::ResNet56,
+                "CIFAR10*",
+                ImageTaskConfig::cifar10_proxy(),
+            ),
+            (
+                CnnKind::ResNet18,
+                "Tiny-ImageNet*",
+                ImageTaskConfig::tiny_imagenet_proxy(),
+            ),
             (CnnKind::Vgg11, "CIFAR10*", ImageTaskConfig::cifar10_proxy()),
             (CnnKind::LeNet, "MNIST*", ImageTaskConfig::mnist_proxy()),
         ]
@@ -270,8 +298,12 @@ pub fn table6(quick: bool) -> String {
             );
             let (l2, _, _) =
                 pre.convert(Strategy::Multistage, lut(4, 16, Distance::L2), &sched, seed);
-            let (l1, _, _) =
-                pre.convert(Strategy::Multistage, lut(4, 16, Distance::L1), &sched, seed + 50);
+            let (l1, _, _) = pre.convert(
+                Strategy::Multistage,
+                lut(4, 16, Distance::L1),
+                &sched,
+                seed + 50,
+            );
             sums[0] += pre.baseline_acc;
             sums[1] += l2.test_accuracy;
             sums[2] += l1.test_accuracy;
@@ -304,7 +336,11 @@ pub fn fig12(quick: bool) -> String {
     let data = image_task(quick, ImageTaskConfig::cifar10_proxy());
     let sched = schedule(quick);
     let pre = PretrainedCnn::train(CnnKind::ResNet20, &data, pretrain_epochs(quick));
-    let settings: &[(usize, usize)] = if quick { &[(3, 16)] } else { &[(9, 8), (9, 16), (3, 8), (3, 16)] };
+    let settings: &[(usize, usize)] = if quick {
+        &[(3, 16)]
+    } else {
+        &[(9, 8), (9, 16), (3, 8), (3, 16)]
+    };
     let mut t = TextTable::new([
         "Setting",
         "From-scratch (PECAN/PQA-style)",
@@ -377,7 +413,8 @@ pub fn ablation_train(quick: bool) -> String {
         70,
     );
     // Random init + multistage schedule (isolates the k-means contribution).
-    let (rand_init, _, _) = pre.convert(Strategy::SingleStage, lut(4, 16, Distance::L2), &sched, 70);
+    let (rand_init, _, _) =
+        pre.convert(Strategy::SingleStage, lut(4, 16, Distance::L2), &sched, 70);
 
     // Exercise the ablation switch API on the converted model.
     for unit in full_net.dense_units_mut() {

@@ -20,7 +20,12 @@ pub fn fig1() -> String {
     );
 
     let mut alu = TextTable::new(["ALU", "bits", "OPs/mm2", "OPs/pJ"]);
-    for kind in [AluKind::IntAdd, AluKind::IntMult, AluKind::FpAdd, AluKind::FpMult] {
+    for kind in [
+        AluKind::IntAdd,
+        AluKind::IntMult,
+        AluKind::FpAdd,
+        AluKind::FpMult,
+    ] {
         for p in alu_series(node, kind, &bits) {
             alu.row([
                 kind.to_string(),
@@ -194,9 +199,7 @@ pub fn fig11() -> String {
     );
     out.push_str(&tau_heatmap(&space.vs, &space.cs, &target, Metric::L2).render());
     out.push('\n');
-    out.push_str(
-        &accuracy_heatmap(&space.vs, &space.cs, Metric::L2, &oracle).render(),
-    );
+    out.push_str(&accuracy_heatmap(&space.vs, &space.cs, Metric::L2, &oracle).render());
     out.push('\n');
     out.push_str(&prune_grid(&result, Metric::L2, &space.vs, &space.cs));
     out.push('\n');
@@ -462,12 +465,7 @@ pub fn fig14() -> String {
         let base_t = e.nvdla_small.time_s;
         let base_area_eff = 1.0 / (base_t * 0.91);
         let base_energy_eff = 1.0 / e.nvdla_small.chip_energy_mj;
-        let mut t = TextTable::new([
-            "Design",
-            "norm. perf",
-            "norm. area-eff",
-            "norm. energy-eff",
-        ]);
+        let mut t = TextTable::new(["Design", "norm. perf", "norm. area-eff", "norm. energy-eff"]);
         t.row([
             "NVDLA-Small".to_string(),
             "1.00".to_string(),
@@ -477,8 +475,14 @@ pub fn fig14() -> String {
         t.row([
             "NVDLA-Large".to_string(),
             format!("{:.2}", base_t / e.nvdla_large.time_s),
-            format!("{:.2}", (1.0 / (e.nvdla_large.time_s * 5.5)) / base_area_eff),
-            format!("{:.2}", (1.0 / e.nvdla_large.chip_energy_mj) / base_energy_eff),
+            format!(
+                "{:.2}",
+                (1.0 / (e.nvdla_large.time_s * 5.5)) / base_area_eff
+            ),
+            format!(
+                "{:.2}",
+                (1.0 / e.nvdla_large.chip_energy_mj) / base_energy_eff
+            ),
         ]);
         t.row([
             "Gemmini".to_string(),

@@ -36,8 +36,7 @@ mod framework;
 mod table;
 
 pub use framework::{
-    distance_to_metric, end_to_end, metric_to_distance, simulate_workload, workload_gemms,
-    EndToEnd,
+    distance_to_metric, end_to_end, metric_to_distance, simulate_workload, workload_gemms, EndToEnd,
 };
 pub use table::{fnum, TextTable};
 
@@ -52,8 +51,7 @@ pub mod prelude {
         table8_specs, NvdlaConfig, SystolicConfig,
     };
     pub use lutdla_dse::{
-        all_designs, design1, design2, design3, search, Constraints, SearchSpace,
-        SurrogateAccuracy,
+        all_designs, design1, design2, design3, search, Constraints, SearchSpace, SurrogateAccuracy,
     };
     pub use lutdla_hwmodel::{
         design_cost, DesignCost, LutDlaHwConfig, Metric, NumFormat, TechNode,
@@ -69,7 +67,5 @@ pub mod prelude {
         analytic_cycles, simulate_gemm, Dataflow, DataflowParams, Gemm, SimConfig, SimReport,
     };
     pub use lutdla_tensor::Tensor;
-    pub use lutdla_vq::{
-        approx_matmul, Distance, LutQuant, LutTable, ProductQuantizer,
-    };
+    pub use lutdla_vq::{approx_matmul, Distance, LutQuant, LutTable, ProductQuantizer};
 }

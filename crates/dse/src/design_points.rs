@@ -121,14 +121,22 @@ mod tests {
         for d in all_designs() {
             let kb = d.hw.imm_config().total_kb();
             let rel = (kb - d.paper_sram_kb).abs() / d.paper_sram_kb;
-            assert!(rel < 0.15, "{}: {kb} KB vs paper {} KB", d.name, d.paper_sram_kb);
+            assert!(
+                rel < 0.15,
+                "{}: {kb} KB vs paper {} KB",
+                d.name,
+                d.paper_sram_kb
+            );
         }
     }
 
     #[test]
     fn bandwidth_within_2x_of_table7() {
         for d in all_designs() {
-            let gbps = d.hw.imm_config().min_bandwidth_bytes_per_s(d.hw.freq_mhz * 1e6) / 1e9;
+            let gbps =
+                d.hw.imm_config()
+                    .min_bandwidth_bytes_per_s(d.hw.freq_mhz * 1e6)
+                    / 1e9;
             let ratio = gbps / d.paper_bandwidth_gbps;
             assert!(
                 (0.3..3.0).contains(&ratio),

@@ -128,7 +128,12 @@ mod tests {
 
     #[test]
     fn alu_efficiency_falls_with_bits() {
-        for kind in [AluKind::IntAdd, AluKind::IntMult, AluKind::FpAdd, AluKind::FpMult] {
+        for kind in [
+            AluKind::IntAdd,
+            AluKind::IntMult,
+            AluKind::FpAdd,
+            AluKind::FpMult,
+        ] {
             let s = alu_series(N28, kind, &[8.0, 16.0, 32.0, 64.0]);
             for w in s.windows(2) {
                 assert!(w[1].ops_per_mm2 < w[0].ops_per_mm2, "{kind}");
@@ -160,7 +165,10 @@ mod tests {
         let power_gain = lut.ops_per_pj / alu.ops_per_pj;
         assert!(area_gain > 10.0, "area gain {area_gain}");
         assert!(power_gain > 10.0, "power gain {power_gain}");
-        assert!(area_gain < 1e6 && power_gain < 1e4, "gains implausibly large");
+        assert!(
+            area_gain < 1e6 && power_gain < 1e4,
+            "gains implausibly large"
+        );
     }
 
     #[test]

@@ -143,7 +143,8 @@ pub fn design_cost(cfg: &LutDlaHwConfig) -> DesignCost {
         * 1e-9; // pJ×Hz → mW is ×1e-9? pJ·Hz = 1e-12 J/s = 1e-9 mW… yes.
     let imm_dyn_mw = imm.energy_per_lookup_pj * imm_hz * cfg.n_imm as f64 * 1e-9;
     let leak_mw = imm.leakage_mw * cfg.n_imm as f64 + ccm_bufs.leakage_mw * cfg.n_ccu as f64;
-    let other_mw = (ccm_dyn_mw + imm_dyn_mw + leak_mw) * OTHER_POWER_FRAC / (1.0 - OTHER_POWER_FRAC);
+    let other_mw =
+        (ccm_dyn_mw + imm_dyn_mw + leak_mw) * OTHER_POWER_FRAC / (1.0 - OTHER_POWER_FRAC);
     let power_mw = ccm_dyn_mw + imm_dyn_mw + leak_mw + other_mw;
 
     let peak_gops = cfg.peak_gops();
@@ -170,18 +171,23 @@ mod tests {
     #[test]
     fn baseline_cost_plausible() {
         let c = design_cost(&LutDlaHwConfig::baseline());
-        assert!(c.area_mm2 > 0.05 && c.area_mm2 < 10.0, "area {}", c.area_mm2);
-        assert!(c.power_mw > 5.0 && c.power_mw < 2000.0, "power {}", c.power_mw);
+        assert!(
+            c.area_mm2 > 0.05 && c.area_mm2 < 10.0,
+            "area {}",
+            c.area_mm2
+        );
+        assert!(
+            c.power_mw > 5.0 && c.power_mw < 2000.0,
+            "power {}",
+            c.power_mw
+        );
         assert!(c.peak_gops > 100.0);
     }
 
     #[test]
     fn more_imms_cost_more_but_raise_throughput() {
         let base = LutDlaHwConfig::baseline();
-        let big = LutDlaHwConfig {
-            n_imm: 4,
-            ..base
-        };
+        let big = LutDlaHwConfig { n_imm: 4, ..base };
         let c1 = design_cost(&base);
         let c2 = design_cost(&big);
         assert!(c2.area_mm2 > c1.area_mm2);

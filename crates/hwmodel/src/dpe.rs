@@ -83,7 +83,13 @@ pub fn ccu_cost(m: &CostModel, metric: Metric, v: usize, c: usize, fmt: NumForma
 
 /// Per-cycle *active* energy of a CCU (one vector advancing through the
 /// pipeline touches every dPE stage).
-pub fn ccu_energy_per_vector_pj(m: &CostModel, metric: Metric, v: usize, c: usize, fmt: NumFormat) -> f64 {
+pub fn ccu_energy_per_vector_pj(
+    m: &CostModel,
+    metric: Metric,
+    v: usize,
+    c: usize,
+    fmt: NumFormat,
+) -> f64 {
     dpe_cost(m, metric, v, fmt).energy_pj * c as f64
 }
 

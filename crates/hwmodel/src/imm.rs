@@ -126,10 +126,7 @@ mod tests {
     use crate::tech::TechNode;
 
     fn models() -> (CostModel, SramModel) {
-        (
-            CostModel::new(TechNode::N28),
-            SramModel::new(TechNode::N28),
-        )
+        (CostModel::new(TechNode::N28), SramModel::new(TechNode::N28))
     }
 
     #[test]
@@ -183,7 +180,11 @@ mod tests {
         let cfg = ImmConfig::new(32, 128, 512, 192);
         let c = imm_cost(&m, &s, &cfg);
         let sram_area = c.lut_sram.area_um2 + c.scratch_sram.area_um2 + c.index_sram.area_um2;
-        assert!(sram_area / c.area_um2 > 0.7, "SRAM share {}", sram_area / c.area_um2);
+        assert!(
+            sram_area / c.area_um2 > 0.7,
+            "SRAM share {}",
+            sram_area / c.area_um2
+        );
     }
 
     #[test]

@@ -55,14 +55,14 @@ impl BnParams {
 /// Panics if the channel counts disagree.
 pub fn fold_bn_into_weight(weight: &Tensor, bn: &BnParams) -> (Tensor, Vec<f32>) {
     assert_eq!(weight.shape().rank(), 2, "weight must be [K, N]");
-    let (k, n) = (weight.dims()[0], weight.dims()[1]);
+    let n = weight.dims()[1];
     assert_eq!(bn.gamma.len(), n, "channel count mismatch");
     let scale = bn.scale();
     let shift = bn.shift();
     let mut folded = weight.clone();
-    for row in 0..k {
-        for col in 0..n {
-            folded.data_mut()[row * n + col] *= scale[col];
+    for row in folded.data_mut().chunks_exact_mut(n) {
+        for (slot, &sc) in row.iter_mut().zip(&scale) {
+            *slot *= sc;
         }
     }
     (folded, shift)
@@ -119,9 +119,9 @@ mod tests {
 
         let (folded, bias) = fold_bn_into_weight(&w, &bn);
         let mut fused = x.matmul(&folded);
-        for row in 0..16 {
-            for col in 0..6 {
-                fused.data_mut()[row * 6 + col] += bias[col];
+        for row in fused.data_mut().chunks_exact_mut(6) {
+            for (slot, &b) in row.iter_mut().zip(&bias) {
+                *slot += b;
             }
         }
         assert!(
@@ -145,9 +145,9 @@ mod tests {
         let (folded, bias) = fold_bn_into_weight(&w, &bn);
         let lut = LutTable::build(&pq, &folded, LutQuant::F32);
         let mut via_lut = approx_matmul(&x, &pq, &lut);
-        for row in 0..32 {
-            for col in 0..4 {
-                via_lut.data_mut()[row * 4 + col] += bias[col];
+        for row in via_lut.data_mut().chunks_exact_mut(4) {
+            for (slot, &b) in row.iter_mut().zip(&bias) {
+                *slot += b;
             }
         }
 

@@ -43,8 +43,7 @@ mod lut_gemm;
 mod trainer;
 
 pub use convert::{
-    as_lut, as_lut_mut, lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy,
-    LutHandles,
+    as_lut, as_lut_mut, lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles,
 };
 pub use deploy::{
     deploy_convnet, deploy_transformer, eval_images_deployed, eval_seq_deployed, undeploy_convnet,

@@ -175,9 +175,7 @@ impl LutGemm {
         let codebooks = self
             .centroids
             .iter()
-            .map(|&cid| {
-                Codebook::new(ps.value(cid).data().to_vec(), self.cfg.c, self.cfg.v)
-            })
+            .map(|&cid| Codebook::new(ps.value(cid).data().to_vec(), self.cfg.c, self.cfg.v))
             .collect();
         let pq = ProductQuantizer::from_codebooks(codebooks, self.in_dim, self.cfg.distance);
         (pq, ps.value(self.weight).clone())

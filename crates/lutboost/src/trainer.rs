@@ -17,9 +17,7 @@ use rand::SeedableRng;
 
 use lutdla_models::trainable::{ConvNet, TransformerClassifier};
 
-use crate::convert::{
-    lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles,
-};
+use crate::convert::{lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles};
 use crate::lut_gemm::LutConfig;
 
 /// The conversion strategy being evaluated.

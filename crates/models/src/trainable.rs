@@ -397,7 +397,7 @@ impl ConvNet {
             h = b.forward(g, ps, h, &mut sink);
         }
         let pooled = g.global_avg_pool(h);
-        if let Some(s) = sink.as_deref_mut() {
+        if let Some(s) = sink {
             s.push(g.value(pooled).clone());
         }
         let logits = self.head.forward(g, ps, pooled);
@@ -610,7 +610,14 @@ struct EncoderBlock {
 }
 
 impl EncoderBlock {
-    fn new(ps: &mut ParamSet, rng: &mut StdRng, name: &str, d: usize, d_ff: usize, heads: usize) -> Self {
+    fn new(
+        ps: &mut ParamSet,
+        rng: &mut StdRng,
+        name: &str,
+        d: usize,
+        d_ff: usize,
+        heads: usize,
+    ) -> Self {
         Self {
             wq: DenseUnit::plain(ps, rng, &format!("{name}.wq"), d, d, true),
             wk: DenseUnit::plain(ps, rng, &format!("{name}.wk"), d, d, true),
@@ -693,11 +700,7 @@ impl EncoderBlock {
     }
 
     fn params(&self) -> Vec<ParamId> {
-        let mut p: Vec<ParamId> = self
-            .dense_units()
-            .iter()
-            .flat_map(|u| u.params())
-            .collect();
+        let mut p: Vec<ParamId> = self.dense_units().iter().flat_map(|u| u.params()).collect();
         p.extend(self.ln1.params());
         p.extend(self.ln2.params());
         p
@@ -786,7 +789,7 @@ impl TransformerClassifier {
         let flat = g.reshape(ht, &[batch * d, seq_len]);
         let pooled = g.mean_last_axis_node(flat); // [B·D]
         let pooled2 = g.reshape(pooled, &[batch, d]);
-        if let Some(s) = sink.as_deref_mut() {
+        if let Some(s) = sink {
             s.push(g.value(pooled2).clone());
         }
         let logits = self.head.forward(g, ps, pooled2);
@@ -801,8 +804,7 @@ impl TransformerClassifier {
 
     /// All dense units in forward order (per block: q,k,v,o,ff1,ff2; head).
     pub fn dense_units(&self) -> Vec<&DenseUnit> {
-        let mut units: Vec<&DenseUnit> =
-            self.blocks.iter().flat_map(|b| b.dense_units()).collect();
+        let mut units: Vec<&DenseUnit> = self.blocks.iter().flat_map(|b| b.dense_units()).collect();
         units.push(&self.head);
         units
     }

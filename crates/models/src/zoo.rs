@@ -30,21 +30,22 @@ pub fn resnet_cifar(depth: usize, num_classes: usize) -> Workload {
     assert_eq!(depth % 6, 2, "CIFAR ResNet depth must be 6n+2");
     let n = (depth - 2) / 6;
     let mut layers = vec![conv(3, 16, 32, 3, 1, 1)];
-    let stage = |layers: &mut Vec<LayerShape>, cin: usize, cout: usize, hw: usize, blocks: usize| {
-        for b in 0..blocks {
-            let (stride, in_c, in_hw) = if b == 0 && cin != cout {
-                (2, cin, hw * 2)
-            } else {
-                (1, cout, hw)
-            };
-            layers.push(conv(in_c, cout, in_hw, 3, stride, 1));
-            layers.push(conv(cout, cout, hw, 3, 1, 1));
-            if b == 0 && cin != cout {
-                // 1×1 projection shortcut
-                layers.push(conv(cin, cout, in_hw, 1, 2, 0));
+    let stage =
+        |layers: &mut Vec<LayerShape>, cin: usize, cout: usize, hw: usize, blocks: usize| {
+            for b in 0..blocks {
+                let (stride, in_c, in_hw) = if b == 0 && cin != cout {
+                    (2, cin, hw * 2)
+                } else {
+                    (1, cout, hw)
+                };
+                layers.push(conv(in_c, cout, in_hw, 3, stride, 1));
+                layers.push(conv(cout, cout, hw, 3, 1, 1));
+                if b == 0 && cin != cout {
+                    // 1×1 projection shortcut
+                    layers.push(conv(cin, cout, in_hw, 1, 2, 0));
+                }
             }
-        }
-    };
+        };
     stage(&mut layers, 16, 16, 32, n);
     stage(&mut layers, 16, 32, 16, n);
     stage(&mut layers, 32, 64, 8, n);
@@ -119,7 +120,14 @@ pub fn resnet50(num_classes: usize) -> Workload {
                 (1, cout, hw)
             };
             layers.push(conv(in_c, m, in_hw, 1, 1, 0));
-            layers.push(conv(m, m, if stride == 2 { in_hw } else { hw }, 3, stride, 1));
+            layers.push(conv(
+                m,
+                m,
+                if stride == 2 { in_hw } else { hw },
+                3,
+                stride,
+                1,
+            ));
             layers.push(conv(m, cout, hw, 1, 1, 0));
             if b == 0 {
                 layers.push(conv(in_c, cout, in_hw, 1, stride, 0));

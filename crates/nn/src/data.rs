@@ -191,8 +191,7 @@ pub fn synthetic_images(cfg: &ImageTaskConfig) -> (ImageDataset, ImageDataset) {
                             let u: f32 = (0..4).map(|_| rng.gen::<f32>()).sum::<f32>() - 2.0;
                             u * cfg.noise
                         };
-                        images[((i * c + ci) * s + y) * s + x] =
-                            proto.at(&[ci, sy, sx]) + noise;
+                        images[((i * c + ci) * s + y) * s + x] = proto.at(&[ci, sy, sx]) + noise;
                     }
                 }
             }
@@ -345,8 +344,9 @@ pub fn synthetic_sequences(cfg: &SeqTaskConfig) -> (SeqDataset, SeqDataset) {
                     continue;
                 }
                 let pos = rng.gen_range(0..cfg.seq_len);
-                let trig =
-                    trigger_base + class * triggers_per_class + rng.gen_range(0..triggers_per_class);
+                let trig = trigger_base
+                    + class * triggers_per_class
+                    + rng.gen_range(0..triggers_per_class);
                 tokens[i * cfg.seq_len + pos] = trig;
             }
         }

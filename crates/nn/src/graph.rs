@@ -392,12 +392,12 @@ impl Graph {
         let gv = self.value(gamma).data().to_vec();
         let bv = self.value(beta).data().to_vec();
         let mut out = Tensor::zeros(xv.dims());
-        for r in 0..rows {
+        for (r, istd_slot) in inv_std.iter_mut().enumerate() {
             let src = &xv.data()[r * d..(r + 1) * d];
             let mean = src.iter().sum::<f32>() / d as f32;
             let var = src.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
+            *istd_slot = istd;
             for j in 0..d {
                 let xh = (src[j] - mean) * istd;
                 xhat.data_mut()[r * d + j] = xh;
@@ -570,14 +570,7 @@ impl Graph {
         }
         let in_dims = [n, c, h, w];
         let value = Tensor::from_vec(out, &[n, c, oh, ow]);
-        self.push(
-            Op::MaxPool2d {
-                x,
-                in_dims,
-                argmax,
-            },
-            value,
-        )
+        self.push(Op::MaxPool2d { x, in_dims, argmax }, value)
     }
 
     /// Global average pooling: NCHW → `[N, C]`.
@@ -587,8 +580,8 @@ impl Graph {
         let dims = xv.dims();
         let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
         let mut out = vec![0.0f32; n * c];
-        for i in 0..n * c {
-            out[i] = xv.data()[i * hw..(i + 1) * hw].iter().sum::<f32>() / hw as f32;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = xv.data()[i * hw..(i + 1) * hw].iter().sum::<f32>() / hw as f32;
         }
         let value = Tensor::from_vec(out, &[n, c]);
         self.push(Op::GlobalAvgPool(x), value)
@@ -695,7 +688,13 @@ impl Graph {
         let keep = 1.0 - p;
         let xv = self.value(x);
         let mask: Vec<f32> = (0..xv.numel())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = xv.clone();
         for (o, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
@@ -828,9 +827,9 @@ impl Graph {
                 let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
                 let mut gb = vec![0.0f32; c];
                 for ni in 0..n {
-                    for ci in 0..c {
+                    for (ci, slot) in gb.iter_mut().enumerate() {
                         let base = (ni * c + ci) * hw;
-                        gb[ci] += grad.data()[base..base + hw].iter().sum::<f32>();
+                        *slot += grad.data()[base..base + hw].iter().sum::<f32>();
                     }
                 }
                 vec![(*x, grad.clone()), (*b, Tensor::from_vec(gb, &[c]))]
@@ -866,7 +865,7 @@ impl Graph {
                 let mut gx = Tensor::zeros(xhat.dims());
                 let mut ggamma = vec![0.0f32; d];
                 let mut gbeta = vec![0.0f32; d];
-                for r in 0..rows {
+                for (r, &istd) in inv_std.iter().enumerate().take(rows) {
                     let xh = &xhat.data()[r * d..(r + 1) * d];
                     let go = &grad.data()[r * d..(r + 1) * d];
                     let mut sum_gy = 0.0f32;
@@ -881,7 +880,7 @@ impl Graph {
                     for j in 0..d {
                         let gy = go[j] * gv[j];
                         gx.data_mut()[r * d + j] =
-                            inv_std[r] / d as f32 * (d as f32 * gy - sum_gy - xh[j] * sum_gy_xh);
+                            istd / d as f32 * (d as f32 * gy - sum_gy - xh[j] * sum_gy_xh);
                     }
                 }
                 vec![
@@ -941,11 +940,7 @@ impl Graph {
             Op::Im2col { x, geom, batch } => {
                 vec![(*x, col2im(grad, geom, *batch))]
             }
-            Op::MaxPool2d {
-                x,
-                in_dims,
-                argmax,
-            } => {
+            Op::MaxPool2d { x, in_dims, argmax } => {
                 let mut gx = Tensor::zeros(in_dims);
                 for (o, &src) in argmax.iter().enumerate() {
                     gx.data_mut()[src] += grad.data()[o];
@@ -1043,12 +1038,12 @@ impl Graph {
 }
 
 fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/π)
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
 }
 
 fn gelu_bwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_56;
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
     let u = C * (x + 0.044_715 * x * x * x);
     let t = u.tanh();
     let du = C * (1.0 + 3.0 * 0.044_715 * x * x);
@@ -1061,8 +1056,8 @@ fn softmax_last_dim(x: &Tensor) -> Tensor {
     for (r, chunk) in x.data().chunks_exact(d).enumerate() {
         let m = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
-        for j in 0..d {
-            let e = (chunk[j] - m).exp();
+        for (j, &cj) in chunk.iter().enumerate() {
+            let e = (cj - m).exp();
             out.data_mut()[r * d + j] = e;
             sum += e;
         }

@@ -121,12 +121,8 @@ impl Conv2d {
             format!("{name}.weight"),
             Tensor::kaiming(rng, &[k, geom.out_channels], k),
         );
-        let bias = bias.then(|| {
-            ps.add(
-                format!("{name}.bias"),
-                Tensor::zeros(&[geom.out_channels]),
-            )
-        });
+        let bias =
+            bias.then(|| ps.add(format!("{name}.bias"), Tensor::zeros(&[geom.out_channels])));
         Self { weight, bias, geom }
     }
 
@@ -154,13 +150,6 @@ impl Module for Conv2d {
         // [batch·oh·ow, cout] → NCHW requires a (pixel, channel) transpose.
         let (oh, ow) = self.geom.out_hw();
         let cout = self.geom.out_channels;
-        let t = g.transpose(y); // [cout, batch·oh·ow]
-        let r = g.reshape(t, &[cout, batch, oh * ow]);
-        let t2 = g.transpose_last2(r); // wrong axis order; fix below
-        // We need [batch, cout, oh, ow]; t2 is [cout, oh·ow, batch].
-        // Simpler: go through split/merge-free path with an explicit reshape
-        // chain: [cout, batch, oh·ow] -> transpose axes 0,1 via rank-3 trick.
-        let _ = t2; // discarded; see below
         nchw_from_gemm(g, y, batch, cout, oh, ow)
     }
 
@@ -292,7 +281,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Creates an embedding of `vocab` tokens into `dim` dimensions.
-    pub fn new<R: Rng>(ps: &mut ParamSet, rng: &mut R, name: &str, vocab: usize, dim: usize) -> Self {
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
         let table = ps.add(
             format!("{name}.table"),
             Tensor::randn(rng, &[vocab, dim], 0.02),
@@ -473,8 +468,8 @@ mod tests {
                 vals.extend_from_slice(&yv.data()[base..base + hw]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean = {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var = {var}");
         }
@@ -505,11 +500,7 @@ mod tests {
         g.backward(loss);
         g.apply_param_grads(&mut ps);
         for pid in mha.params() {
-            assert!(
-                ps.grad(pid).norm() > 0.0,
-                "no grad for {}",
-                ps.name(pid)
-            );
+            assert!(ps.grad(pid).norm() > 0.0, "no grad for {}", ps.name(pid));
         }
     }
 

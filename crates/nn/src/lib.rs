@@ -38,9 +38,7 @@ mod params;
 mod train;
 
 pub use graph::{CustomOp, Graph, NodeId};
-pub use layers::{
-    BatchNorm2d, Conv2d, Embedding, LayerNorm, Linear, Module, MultiHeadAttention,
-};
+pub use layers::{BatchNorm2d, Conv2d, Embedding, LayerNorm, Linear, Module, MultiHeadAttention};
 pub use optim::{Adam, CosineLr, Sgd, StepLr};
 pub use params::{ParamId, ParamSet, Parameter};
 pub use train::{

@@ -59,7 +59,8 @@ impl Sgd {
                 update.axpy_mut(wd, &p.value);
             }
             if momentum > 0.0 {
-                let vel = self.velocity[id.index()].get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+                let vel =
+                    self.velocity[id.index()].get_or_insert_with(|| Tensor::zeros(p.value.dims()));
                 vel.scale_mut(momentum);
                 vel.add_mut(&update);
                 update = vel.clone();
@@ -176,8 +177,7 @@ impl CosineLr {
     /// Learning rate at a given epoch.
     pub fn at(&self, epoch: usize) -> f32 {
         let t = (epoch.min(self.total_epochs)) as f32 / self.total_epochs.max(1) as f32;
-        self.min_lr
-            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -133,10 +133,7 @@ impl ParamSet {
 
     /// Iterates over `(id, parameter)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Parameter)> {
-        self.params
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (ParamId(i), p))
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
     }
 
     /// Iterates mutably over `(id, parameter)` pairs.

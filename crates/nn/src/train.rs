@@ -242,11 +242,7 @@ mod tests {
             last = train_epoch_images(&model, &mut ps, &mut opt, &train, 32);
         }
         let test_acc = eval_images(&model, &ps, &test, 32);
-        assert!(
-            last.accuracy > 0.8,
-            "train accuracy too low: {:?}",
-            last
-        );
+        assert!(last.accuracy > 0.8, "train accuracy too low: {:?}", last);
         assert!(test_acc > 0.6, "test accuracy too low: {test_acc}");
     }
 }

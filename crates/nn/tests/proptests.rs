@@ -51,7 +51,7 @@ proptest! {
             let r = g.relu(y);
             let s = g.square(r);
             g.sum_all(s)
-        }).map_err(|e| TestCaseError::fail(e))?;
+        }).map_err(TestCaseError::fail)?;
     }
 
     /// Softmax + weighted sum differentiates correctly.
@@ -65,7 +65,7 @@ proptest! {
             let wn = g.input(w.clone());
             let p = g.mul(s, wn);
             g.sum_all(p)
-        }).map_err(|e| TestCaseError::fail(e))?;
+        }).map_err(TestCaseError::fail)?;
     }
 
     /// Cross-entropy with random labels differentiates correctly.
@@ -75,7 +75,7 @@ proptest! {
         let x0 = Tensor::rand_uniform(&mut rng, &[rows, classes], -1.0, 1.0);
         let labels: Vec<usize> = (0..rows).map(|i| (seed as usize + i) % classes).collect();
         numeric_check(&x0, |g, x| g.cross_entropy(x, &labels))
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
     }
 
     /// Mean over the last axis differentiates correctly (transformer pooling path).
@@ -90,7 +90,7 @@ proptest! {
             let p = g.mul(m, wn);
             let s = g.square(p);
             g.sum_all(s)
-        }).map_err(|e| TestCaseError::fail(e))?;
+        }).map_err(TestCaseError::fail)?;
     }
 
     /// Elementwise div/abs/sqrt chain differentiates correctly away from
@@ -106,6 +106,6 @@ proptest! {
             let a = g.abs(q);
             let r = g.sqrt(a);
             g.sum_all(r)
-        }).map_err(|e| TestCaseError::fail(e))?;
+        }).map_err(TestCaseError::fail)?;
     }
 }

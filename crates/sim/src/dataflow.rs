@@ -186,9 +186,21 @@ mod tests {
         let g = table1_gemm();
         let p = DataflowParams::table1();
         let f = memory_footprint(Dataflow::LutStationary, &g, &p);
-        assert!((f.scratchpad / 1024.0 - 16.0).abs() < 0.5, "scratch {}", f.scratchpad / 1024.0);
-        assert!((f.indices / 1024.0 - 0.31).abs() < 0.05, "idx {}", f.indices / 1024.0);
-        assert!((f.psum_lut / 1024.0 - 1.0).abs() < 0.1, "lut {}", f.psum_lut / 1024.0);
+        assert!(
+            (f.scratchpad / 1024.0 - 16.0).abs() < 0.5,
+            "scratch {}",
+            f.scratchpad / 1024.0
+        );
+        assert!(
+            (f.indices / 1024.0 - 0.31).abs() < 0.05,
+            "idx {}",
+            f.indices / 1024.0
+        );
+        assert!(
+            (f.psum_lut / 1024.0 - 1.0).abs() < 0.1,
+            "lut {}",
+            f.psum_lut / 1024.0
+        );
     }
 
     #[test]

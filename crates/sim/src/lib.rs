@@ -32,7 +32,9 @@ mod functional;
 mod report;
 
 pub use config::{Gemm, SimConfig};
-pub use dataflow::{lut_traffic_bytes, memory_footprint, Dataflow, DataflowParams, MemoryFootprint};
+pub use dataflow::{
+    lut_traffic_bytes, memory_footprint, Dataflow, DataflowParams, MemoryFootprint,
+};
 pub use engine::{analytic_cycles, simulate_gemm};
 pub use functional::{functional_ls, TableSource};
 pub use report::{EnergyBreakdown, EventCounts, SimReport};

@@ -104,9 +104,8 @@ impl SimReport {
         let sram = SramModel::new(cfg.node);
         let imm = imm_cost(&m, &sram, &cfg.to_hw().imm_config());
 
-        let ccm_pj =
-            ccu_energy_per_vector_pj(&m, cfg.metric, cfg.v, cfg.c, cfg.ccm_format)
-                * events.dpe_scans as f64;
+        let ccm_pj = ccu_energy_per_vector_pj(&m, cfg.metric, cfg.v, cfg.c, cfg.ccm_format)
+            * events.dpe_scans as f64;
         let imm_pj = imm.energy_per_lookup_pj * events.lut_row_reads as f64;
         let dram_pj = events.dram_total_bytes() as f64 * DRAM_PJ_PER_BYTE;
 

@@ -133,12 +133,12 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
                         let iy = (oy * stride + ky) as isize - pad;
                         for kx in 0..kw {
                             let ix = (ox * stride + kx) as isize - pad;
-                            out_row[col] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                            {
-                                plane[iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
+                            out_row[col] =
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    plane[iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
                             col += 1;
                         }
                     }
@@ -255,7 +255,7 @@ mod tests {
                                 for kx in 0..3 {
                                     let iy = oy as isize + ky as isize - 1;
                                     let ix = ox as isize + kx as isize - 1;
-                                    if iy >= 0 && iy < 5 && ix >= 0 && ix < 5 {
+                                    if (0..5).contains(&iy) && (0..5).contains(&ix) {
                                         acc += x.at(&[b, ci, iy as usize, ix as usize])
                                             * wt.at(&[co, ci * 9 + ky * 3 + kx]);
                                     }

@@ -62,8 +62,10 @@ impl Tensor {
 
         let mut out = Tensor::zeros(&[b, m, n]);
         for bi in 0..b {
-            let lhs_mat = Tensor::from_vec(self.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
-            let rhs_mat = Tensor::from_vec(rhs.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
+            let lhs_mat =
+                Tensor::from_vec(self.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let rhs_mat =
+                Tensor::from_vec(rhs.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
             let prod = lhs_mat.matmul(&rhs_mat);
             out.data_mut()[bi * m * n..(bi + 1) * m * n].copy_from_slice(prod.data());
         }

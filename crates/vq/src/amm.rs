@@ -121,8 +121,8 @@ mod tests {
         for i in 0..m {
             for s in 0..2 {
                 let cent = pq.codebooks()[s].centroid((i + s) % 8);
-                for j in 0..4 {
-                    a.set(&[i, s * 4 + j], cent[j]);
+                for (j, &cj) in cent.iter().enumerate() {
+                    a.set(&[i, s * 4 + j], cj);
                 }
             }
         }

@@ -240,10 +240,10 @@ impl ProductQuantizer {
         for i in 0..m {
             for s in 0..n_sub {
                 sub.fill(0.0);
-                for j in 0..self.v {
+                for (j, slot) in sub.iter_mut().enumerate() {
                     let col = s * self.v + j;
                     if col < k {
-                        sub[j] = data.at(&[i, col]);
+                        *slot = data.at(&[i, col]);
                     }
                 }
                 precision.round_slice(&mut sub);
@@ -265,10 +265,10 @@ impl ProductQuantizer {
         for i in 0..m {
             for s in 0..n_sub {
                 let cent = self.codebooks[s].centroid(codes[i * n_sub + s] as usize);
-                for j in 0..self.v {
+                for (j, &cj) in cent.iter().enumerate() {
                     let col = s * self.v + j;
                     if col < self.k {
-                        out.set(&[i, col], cent[j]);
+                        out.set(&[i, col], cj);
                     }
                 }
             }
@@ -339,8 +339,8 @@ mod tests {
         for i in 0..m {
             for s in 0..3 {
                 let cent = pq.codebooks()[s].centroid(i % 8);
-                for j in 0..4 {
-                    x.set(&[i, s * 4 + j], cent[j]);
+                for (j, &cj) in cent.iter().enumerate() {
+                    x.set(&[i, s * 4 + j], cj);
                 }
             }
         }
@@ -366,12 +366,8 @@ mod tests {
         let (data, pq) = fit_small(&mut rng);
         let full = pq.encode(&data);
         let reduced = pq.encode_with_precision(&data, FloatPrecision::Bf16);
-        let agree = full
-            .iter()
-            .zip(&reduced)
-            .filter(|(a, b)| a == b)
-            .count() as f32
-            / full.len() as f32;
+        let agree =
+            full.iter().zip(&reduced).filter(|(a, b)| a == b).count() as f32 / full.len() as f32;
         assert!(agree > 0.9, "agreement only {agree}");
     }
 }

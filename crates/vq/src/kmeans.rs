@@ -285,7 +285,11 @@ mod tests {
             ..Default::default()
         };
         let res = kmeans(&data, 1, &cfg, &mut rng);
-        assert!(res.centroids[0].abs() < 1e-6, "median pulled to {}", res.centroids[0]);
+        assert!(
+            res.centroids[0].abs() < 1e-6,
+            "median pulled to {}",
+            res.centroids[0]
+        );
     }
 
     #[test]

@@ -87,13 +87,12 @@ impl LutTable {
             for ci in 0..c {
                 let cent = cb.centroid(ci);
                 let out = &mut raw[(s * c + ci) * n..(s * c + ci + 1) * n];
-                for j in 0..v {
+                for (j, &cj) in cent.iter().enumerate() {
                     let row = s * v + j;
                     if row >= k {
                         break; // zero padding contributes nothing
                     }
                     let wrow = weight.row(row);
-                    let cj = cent[j];
                     if cj == 0.0 {
                         continue;
                     }
@@ -114,10 +113,7 @@ impl LutTable {
                 Storage::F32(r)
             }
             LutQuant::Int8 => {
-                let blocks = raw
-                    .chunks_exact(c * n)
-                    .map(Int8Block::quantize)
-                    .collect();
+                let blocks = raw.chunks_exact(c * n).map(Int8Block::quantize).collect();
                 Storage::Int8(blocks)
             }
         };
@@ -231,10 +227,10 @@ mod tests {
             for ci in 0..pq.num_centroids() {
                 let cent = pq.codebooks()[s].centroid(ci);
                 let row = lut.row(s, ci);
-                for n in 0..6 {
+                for (n, &rn) in row.iter().enumerate() {
                     let direct: f32 = (0..4).map(|j| cent[j] * weight.at(&[s * 4 + j, n])).sum();
                     assert!(
-                        (row[n] - direct).abs() < 1e-5,
+                        (rn - direct).abs() < 1e-5,
                         "s={s} ci={ci} n={n}: {} vs {direct}",
                         row[n]
                     );

@@ -28,7 +28,7 @@ impl Nonlinearity {
         match self {
             Nonlinearity::Relu => x.max(0.0),
             Nonlinearity::Gelu => {
-                const C: f32 = 0.797_884_56;
+                const C: f32 = 0.797_884_6; // sqrt(2/pi) to f32 precision
                 0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
             }
             Nonlinearity::Sigmoid => 1.0 / (1.0 + (-x).exp()),
@@ -198,7 +198,11 @@ mod tests {
     fn nn_lut_class_accuracy() {
         // NN-LUT reports ~1e-3-class error with small tables; 64 segments
         // should beat 1e-2 everywhere.
-        for func in [Nonlinearity::Gelu, Nonlinearity::Sigmoid, Nonlinearity::Tanh] {
+        for func in [
+            Nonlinearity::Gelu,
+            Nonlinearity::Sigmoid,
+            Nonlinearity::Tanh,
+        ] {
             let t = PiecewiseTable::build(func, 64);
             assert!(t.max_error(2000) < 1e-2, "{func}: {}", t.max_error(2000));
         }

@@ -117,7 +117,10 @@ fn main() {
     };
     // Probe a few points with both oracles (full search with the real
     // oracle would train dozens of conversions).
-    println!("{}", accuracy_heatmap(&[3, 6], &[8, 32], Metric::L2, &surrogate).render());
+    println!(
+        "{}",
+        accuracy_heatmap(&[3, 6], &[8, 32], Metric::L2, &surrogate).render()
+    );
     for (v, c) in [(3usize, 32usize), (6, 8)] {
         println!(
             "(v={v}, c={c}): surrogate {:.1}% | quick LUTBoost {:.1}% (proxy task)",

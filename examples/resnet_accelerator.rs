@@ -22,7 +22,10 @@ fn main() {
     let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
     for epoch in 0..8 {
         let stats = train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
-        println!("baseline epoch {epoch}: loss {:.3} acc {:.3}", stats.loss, stats.accuracy);
+        println!(
+            "baseline epoch {epoch}: loss {:.3} acc {:.3}",
+            stats.loss, stats.accuracy
+        );
     }
     let baseline = eval_images(&net, &ps, &test, 32);
     println!("dense baseline test accuracy: {:.1}%\n", baseline * 100.0);
@@ -53,8 +56,7 @@ fn main() {
 
     // --- 3. Deploy: BF16 similarity + INT8 tables, evaluated through the
     //        exact table-lookup path the IMM executes. ---------------------
-    let deployed =
-        eval_images_deployed(&lut_net, &lut_ps, &test, 32, DeployConfig::bf16_int8());
+    let deployed = eval_images_deployed(&lut_net, &lut_ps, &test, 32, DeployConfig::bf16_int8());
     println!("deployed (BF16+INT8) accuracy: {:.1}%\n", deployed * 100.0);
 
     // --- 4. Size the accelerator for the full ResNet-18 workload. --------

@@ -1,0 +1,10 @@
+//! Smoke test: the exact path shown in the `lutdla` crate-level doc example
+//! must keep working through a single `prelude` import.
+
+use lutdla::prelude::*;
+
+#[test]
+fn prelude_doc_example_path_works() {
+    let report = simulate_gemm(&design1().sim_config(), &Gemm::new(64, 64, 64));
+    assert!(report.cycles > 0, "Design 1 must need at least one cycle");
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses. It implements a small fixed-budget timing loop (warm-up + measured
+//! iterations, median-of-samples) instead of criterion's adaptive sampling
+//! and statistics, but keeps the exact API shape (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups,
+//! `black_box`) so the benches compile and run unchanged.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const WARMUP_ITERS: u32 = 3;
+const SAMPLES: usize = 15;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks (`group/bench` naming).
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.prefix, name), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; `iter` runs the timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    bencher.samples.sort();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench {name:<40} median {median:>12.2?} ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// `criterion_group!(name, target, …)` — collects targets into one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, …)` — the bench entry point (needs `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses: the `proptest!` macro over range / `prop::collection::vec` /
+//! `any::<T>()` strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! sampled arguments so it can be reproduced by hand. Sampling is
+//! deterministic per test (the RNG is seeded from the test name), so CI
+//! failures are reproducible locally.
+
+use rand::rngs::StdRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod prelude;
+
+/// Runtime configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another sample.
+    Reject,
+    /// `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructor mirroring `proptest::test_runner::TestCaseError::fail`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Constructor mirroring `proptest::test_runner::TestCaseError::reject`.
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// A source of values for one named test argument.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `prop::collection::vec(elem, len)` strategy.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        use rand::Rng;
+        let n = rng.gen_range(self.len.start..self.len.end);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::Rng;
+        rng.gen::<u32>() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_num {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::Rng;
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — sample an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, …).
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} == {:?} — {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest! { … }` block: expands each `fn name(arg in strategy, …)`
+/// into a plain `#[test]` that samples `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+                let mut accepted = 0u32;
+                let mut rejected = 0u32;
+                while accepted < config.cases {
+                    $(let $arg = ($strat).sample(&mut rng);)+
+                    let inputs =
+                        [$(format!("{} = {:?}", stringify!($arg), &$arg)),+].join(", ");
+                    let case = || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = case();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 65536,
+                                "proptest: too many prop_assume! rejections"
+                            );
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed: {msg}\n  inputs: {inputs}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

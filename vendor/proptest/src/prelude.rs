@@ -1,0 +1,4 @@
+//! `use proptest::prelude::*;` surface.
+
+pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

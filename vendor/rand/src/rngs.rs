@@ -1,0 +1,53 @@
+//! Named RNG types. `StdRng` here is an sfc64 generator rather than ChaCha12:
+//! the workspace only needs determinism-per-seed, not cryptographic quality.
+
+use crate::RngCore;
+
+/// Deterministic small-fast-counting RNG (sfc64), seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    a: u64,
+    b: u64,
+    c: u64,
+    counter: u64,
+}
+
+impl StdRng {
+    pub(crate) fn from_u64_seed(seed: u64) -> Self {
+        // Expand the u64 seed into three state words with SplitMix64 so that
+        // nearby seeds (0, 1, 2, …) still produce decorrelated streams.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut rng = StdRng {
+            a: next(),
+            b: next(),
+            c: next(),
+            counter: 1,
+        };
+        for _ in 0..12 {
+            rng.next_u64();
+        }
+        rng
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.a.wrapping_add(self.b).wrapping_add(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.a = self.b ^ (self.b >> 11);
+        self.b = self.c.wrapping_add(self.c << 3);
+        self.c = self.c.rotate_left(24).wrapping_add(out);
+        out
+    }
+}

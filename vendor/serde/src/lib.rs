@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`. The workspace only uses
+//! `#[derive(serde::Serialize, serde::Deserialize)]` as forward-looking
+//! annotations — nothing serializes yet — so the derives expand to marker
+//! impls and the traits carry no methods. When a real serialization backend
+//! is needed, this crate is replaced by the real `serde` with no source
+//! changes in the workspace.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op derive macros for the offline `serde` stand-in. The workspace uses
+//! the derives purely as annotations (nothing serializes yet), so expanding
+//! to nothing is sufficient and avoids a `syn`/`quote` dependency.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
