@@ -1,0 +1,69 @@
+//! Criterion benchmark of the LUT-GEMM deploy path: the scalar
+//! encode→lookup→accumulate reference versus the batched [`LutEngine`], at
+//! the ISSUE 2 acceptance point `M=256, K=1024, N=1024, v=4, c=16`
+//! (single-thread and multi-worker) plus a smaller sanity point. The
+//! `bench_lutgemm` binary produces the machine-readable counterpart
+//! (`BENCH_lutgemm.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lutdla_tensor::Tensor;
+use lutdla_vq::{
+    approx_matmul_with_precision, Distance, EngineOptions, FloatPrecision, LutEngine, LutQuant,
+    LutTable, ProductQuantizer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_point(cr: &mut Criterion, m: usize, k: usize, n: usize, v: usize, c: usize) {
+    let mut rng = StdRng::seed_from_u64(0x11a + (m + k + n) as u64);
+    let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+    let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+    let lut = LutTable::build(&pq, &b, LutQuant::F32);
+
+    let mut g = cr.benchmark_group(format!("lutgemm_m{m}_k{k}_n{n}_v{v}_c{c}"));
+    g.bench_function("scalar", |bch| {
+        bch.iter(|| {
+            black_box(approx_matmul_with_precision(
+                &a,
+                &pq,
+                &lut,
+                FloatPrecision::Fp32,
+            ))
+        })
+    });
+    let mut engine1 = LutEngine::with_opts(
+        pq.clone(),
+        &lut,
+        EngineOptions {
+            workers: 1,
+            ..EngineOptions::default()
+        },
+    );
+    g.bench_function("engine_1t", |bch| {
+        bch.iter(|| black_box(engine1.run_batch(&a)))
+    });
+    let mut engine4 = LutEngine::with_opts(
+        pq.clone(),
+        &lut,
+        EngineOptions {
+            workers: 4,
+            ..EngineOptions::default()
+        },
+    );
+    g.bench_function("engine_4t", |bch| {
+        bch.iter(|| black_box(engine4.run_batch(&a)))
+    });
+    g.finish();
+}
+
+fn bench_acceptance_point(cr: &mut Criterion) {
+    bench_point(cr, 256, 1024, 1024, 4, 16);
+}
+
+fn bench_small_point(cr: &mut Criterion) {
+    bench_point(cr, 128, 256, 256, 4, 16);
+}
+
+criterion_group!(benches, bench_acceptance_point, bench_small_point);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! LUT-GEMM deploy-path throughput benchmark: the scalar reference
+//! (`approx_matmul_with_precision`) versus the batched [`LutEngine`], at
+//! one and several worker threads, across representative `M×K×N×c×v`
+//! points. Emits `BENCH_lutgemm.json` so every CI run leaves a perf data
+//! point on the record.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_lutgemm [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs one tiny point with a single timing pass (the CI mode);
+//! the default runs the full grid, including the acceptance point
+//! `M=256, K=1024, N=1024, v=4, c=16`.
+
+use std::time::Instant;
+
+use lutdla_tensor::Tensor;
+use lutdla_vq::{
+    approx_matmul_with_precision, default_workers, Distance, EngineOptions, FloatPrecision,
+    LutEngine, LutQuant, LutTable, ProductQuantizer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Copy)]
+struct Point {
+    m: usize,
+    k: usize,
+    n: usize,
+    v: usize,
+    c: usize,
+}
+
+struct Measurement {
+    point: Point,
+    scalar_rows_per_s: f64,
+    engine1_rows_per_s: f64,
+    engine_mt_rows_per_s: f64,
+    speedup_1t: f64,
+    speedup_mt: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_lutgemm.json".to_string());
+
+    let (points, iters): (Vec<Point>, usize) = if smoke {
+        (
+            vec![Point {
+                m: 48,
+                k: 64,
+                n: 64,
+                v: 4,
+                c: 16,
+            }],
+            2,
+        )
+    } else {
+        (
+            vec![
+                // The acceptance point (ISSUE 2): ≥3× single-thread.
+                Point {
+                    m: 256,
+                    k: 1024,
+                    n: 1024,
+                    v: 4,
+                    c: 16,
+                },
+                Point {
+                    m: 512,
+                    k: 512,
+                    n: 512,
+                    v: 4,
+                    c: 16,
+                },
+                Point {
+                    m: 256,
+                    k: 768,
+                    n: 384,
+                    v: 8,
+                    c: 64,
+                },
+            ],
+            5,
+        )
+    };
+
+    let mt_workers = default_workers().clamp(2, 4);
+    let mut results = Vec::new();
+    for p in points {
+        results.push(run_point(p, iters, mt_workers));
+    }
+
+    let json = to_json(&results, smoke, mt_workers);
+    std::fs::write(&out_path, &json).expect("write BENCH_lutgemm.json");
+    println!("wrote {out_path}");
+}
+
+fn run_point(p: Point, iters: usize, mt_workers: usize) -> Measurement {
+    let Point { m, k, n, v, c } = p;
+    println!("point M={m} K={k} N={n} v={v} c={c}");
+    let mut rng = StdRng::seed_from_u64(0x10c0 + (m + k + n) as u64);
+    let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+    let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+    let lut = LutTable::build(&pq, &b, LutQuant::F32);
+
+    let scalar_out = approx_matmul_with_precision(&a, &pq, &lut, FloatPrecision::Fp32);
+    let scalar_s = best_of(iters, || {
+        std::hint::black_box(approx_matmul_with_precision(
+            &a,
+            &pq,
+            &lut,
+            FloatPrecision::Fp32,
+        ));
+    });
+
+    let mut engine1 = LutEngine::with_opts(
+        pq.clone(),
+        &lut,
+        EngineOptions {
+            workers: 1,
+            ..EngineOptions::default()
+        },
+    );
+    assert!(
+        engine1.run_batch(&a).allclose(&scalar_out, 0.0),
+        "engine output is not bit-identical to the scalar path"
+    );
+    let engine1_s = best_of(iters, || {
+        std::hint::black_box(engine1.run_batch(&a));
+    });
+
+    let mut engine_mt = LutEngine::with_opts(
+        pq,
+        &lut,
+        EngineOptions {
+            workers: mt_workers,
+            ..EngineOptions::default()
+        },
+    );
+    assert!(engine_mt.run_batch(&a).allclose(&scalar_out, 0.0));
+    let engine_mt_s = best_of(iters, || {
+        std::hint::black_box(engine_mt.run_batch(&a));
+    });
+
+    let meas = Measurement {
+        point: p,
+        scalar_rows_per_s: m as f64 / scalar_s,
+        engine1_rows_per_s: m as f64 / engine1_s,
+        engine_mt_rows_per_s: m as f64 / engine_mt_s,
+        speedup_1t: scalar_s / engine1_s,
+        speedup_mt: scalar_s / engine_mt_s,
+    };
+    println!(
+        "  scalar {:>10.0} rows/s | engine x1 {:>10.0} rows/s ({:.2}x) | engine x{} {:>10.0} rows/s ({:.2}x)",
+        meas.scalar_rows_per_s,
+        meas.engine1_rows_per_s,
+        meas.speedup_1t,
+        mt_workers,
+        meas.engine_mt_rows_per_s,
+        meas.speedup_mt,
+    );
+    meas
+}
+
+/// Best (minimum) wall time over `iters` runs, in seconds.
+fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn to_json(results: &[Measurement], smoke: bool, mt_workers: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"lutgemm\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    s.push_str(&format!("  \"mt_workers\": {mt_workers},\n"));
+    s.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let Point { m, k, n, v, c } = r.point;
+        // Keys are host-independent (the worker count behind "mt" is the
+        // top-level "mt_workers" field) so tooling can diff artifacts
+        // produced on differently-sized runners.
+        s.push_str(&format!(
+            "    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"v\": {v}, \"c\": {c}, \
+             \"scalar_rows_per_s\": {:.1}, \"engine_1t_rows_per_s\": {:.1}, \
+             \"engine_mt_rows_per_s\": {:.1}, \"speedup_1t\": {:.3}, \"speedup_mt\": {:.3}}}{}",
+            r.scalar_rows_per_s,
+            r.engine1_rows_per_s,
+            r.engine_mt_rows_per_s,
+            r.speedup_1t,
+            r.speedup_mt,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -18,7 +18,7 @@ use std::cell::RefCell;
 use lutdla_nn::{CustomOp, Graph, NodeId, ParamId, ParamSet};
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
-    approx_matmul_with_precision, Codebook, Distance, FloatPrecision, LutQuant, LutTable,
+    Codebook, Distance, EngineOptions, FloatPrecision, LutEngine, LutQuant, LutTable,
     ProductQuantizer,
 };
 use rand::Rng;
@@ -67,12 +67,12 @@ pub struct LutGemm {
     deploy: RefCell<Option<DeployState>>,
 }
 
-/// Frozen inference artifacts: the exported quantizer plus the precomputed
-/// table at the deployment precision.
+/// Frozen inference artifacts: the batched [`LutEngine`] built from the
+/// exported quantizer and table, stamped with the parameter version it was
+/// frozen at so serving stale tables is caught in debug builds.
 struct DeployState {
-    precision: FloatPrecision,
-    pq: ProductQuantizer,
-    table: LutTable,
+    params_version: u64,
+    engine: LutEngine,
 }
 
 impl LutGemm {
@@ -181,19 +181,30 @@ impl LutGemm {
         (pq, ps.value(self.weight).clone())
     }
 
-    /// Freezes the operator for deployment: exports the quantizer and
-    /// precomputes the lookup table at the given entry precision.
+    /// Freezes the operator for deployment: exports the quantizer,
+    /// precomputes the lookup table at the given entry precision, and builds
+    /// a batched [`LutEngine`] over it.
     ///
-    /// While deployed, eval-mode forwards use the table-lookup path (the
-    /// functional twin of the IMM hardware); training forwards are
-    /// unaffected. Call again after any further training.
+    /// While deployed, eval-mode forwards use the engine (the functional
+    /// twin of the IMM hardware); training forwards are unaffected. The
+    /// state is stamped with [`ParamSet::version`]: serving after further
+    /// training trips a `debug_assert`, and the trainer's stage transitions
+    /// call [`LutGemm::clear_deploy`]. Call `prepare_deploy` again after any
+    /// further training.
     pub fn prepare_deploy(&self, ps: &ParamSet, quant: LutQuant, precision: FloatPrecision) {
         let (pq, weight) = self.export(ps);
         let table = LutTable::build(&pq, &weight, quant);
-        *self.deploy.borrow_mut() = Some(DeployState {
-            precision,
+        let engine = LutEngine::with_opts(
             pq,
-            table,
+            &table,
+            EngineOptions {
+                precision,
+                ..EngineOptions::default()
+            },
+        );
+        *self.deploy.borrow_mut() = Some(DeployState {
+            params_version: ps.version(),
+            engine,
         });
     }
 
@@ -203,22 +214,26 @@ impl LutGemm {
     }
 
     /// Quantizes activations `x: [M, K]` to `(Â, assignments)`.
+    ///
+    /// For a ragged final subspace (`v ∤ K`) only the leading `K mod v`
+    /// dimensions enter the distance: the trailing centroid slots never
+    /// receive gradient ([`LutQuantizeOp::backward`] scatters `j < len`
+    /// only), so counting them would bias every argmin by whatever their
+    /// initialisation left behind.
     fn quantize(&self, x: &Tensor, ps: &ParamSet) -> (Tensor, Vec<u32>) {
         let (m, k) = (x.dims()[0], x.dims()[1]);
         let v = self.cfg.v;
         let n_sub = self.centroids.len();
         let mut ahat = Tensor::zeros(&[m, k]);
         let mut assign = vec![0u32; m * n_sub];
-        let mut sub = vec![0.0f32; v];
         for s in 0..n_sub {
             let cents = ps.value(self.centroids[s]);
             let lo = s * v;
             let hi = ((s + 1) * v).min(k);
             let len = hi - lo;
             for i in 0..m {
-                sub[..len].copy_from_slice(&x.data()[i * k + lo..i * k + hi]);
-                sub[len..].fill(0.0);
-                let idx = self.cfg.distance.argmin(&sub, cents.data());
+                let sub = &x.data()[i * k + lo..i * k + hi];
+                let idx = self.cfg.distance.argmin_masked(sub, cents.data(), v);
                 assign[i * n_sub + s] = idx as u32;
                 let cent = &cents.data()[idx * v..idx * v + len];
                 ahat.data_mut()[i * k + lo..i * k + hi].copy_from_slice(cent);
@@ -286,8 +301,14 @@ impl CustomOp for LutQuantizeOp {
 impl GemmOp for LutGemm {
     fn forward_gemm(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
         if !g.is_train() {
-            if let Some(d) = self.deploy.borrow().as_ref() {
-                let y = approx_matmul_with_precision(g.value(x), &d.pq, &d.table, d.precision);
+            if let Some(d) = self.deploy.borrow_mut().as_mut() {
+                debug_assert_eq!(
+                    d.params_version,
+                    ps.version(),
+                    "stale DeployState: parameters changed since prepare_deploy \
+                     (re-deploy, or let the trainer's stage transitions clear it)"
+                );
+                let y = d.engine.run_batch(g.value(x));
                 return g.input(y);
             }
         }
@@ -508,6 +529,94 @@ mod tests {
         let codes = pq.encode(&x);
         let decoded = pq.decode(&codes, 8);
         assert!(ahat.allclose(&decoded, 1e-6));
+    }
+
+    #[test]
+    fn deployed_forward_uses_engine_and_matches_quantize_path() {
+        let (ps, lut, calib) = setup(LutConfig::default());
+        let x = calib.rows(0, 16);
+        let (ahat, _) = lut.quantize(&x, &ps);
+        let expect = ahat.matmul(ps.value(lut.weight()));
+        lut.prepare_deploy(&ps, LutQuant::F32, FloatPrecision::Fp32);
+        let mut g = Graph::new(false);
+        let xn = g.input(x);
+        let y = lut.forward_gemm(&mut g, &ps, xn);
+        lut.clear_deploy();
+        assert!(g.value(y).allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale DeployState")]
+    fn stale_deploy_state_is_caught() {
+        let (mut ps, lut, calib) = setup(LutConfig::default());
+        lut.prepare_deploy(&ps, LutQuant::F32, FloatPrecision::Fp32);
+
+        // One training step after deployment: gradients flow, version bumps.
+        let mut g = Graph::new(true);
+        let xn = g.input(calib.rows(0, 4));
+        let y = lut.forward_gemm(&mut g, &ps, xn);
+        let s = g.square(y);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        g.apply_param_grads(&mut ps);
+
+        // Serving the frozen table now would use outdated parameters.
+        let mut g = Graph::new(false);
+        let xn = g.input(calib.rows(0, 4));
+        let _ = lut.forward_gemm(&mut g, &ps, xn);
+    }
+
+    #[test]
+    fn ragged_k_quantize_agrees_with_exported_encode() {
+        // K = 10, v = 4 → the last subspace holds 2 real dims and 2 padded
+        // slots. Random init leaves garbage in the padded slots (and backward
+        // never writes them), so both the layer's own path and the exported
+        // quantizer must mask them out of the distance.
+        let mut rng = StdRng::seed_from_u64(93);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::randn(&mut rng, &[10, 4], 0.5));
+        let cfg = LutConfig {
+            v: 4,
+            c: 8,
+            ..Default::default()
+        };
+        let lut = LutGemm::from_weight_random(&mut ps, &mut rng, "lut", w, cfg);
+        let x = Tensor::rand_uniform(&mut rng, &[32, 10], -1.0, 1.0);
+
+        let (_, assign) = lut.quantize(&x, &ps);
+        let (pq, _) = lut.export(&ps);
+        let codes = pq.encode(&x);
+        let assign16: Vec<u16> = assign.iter().map(|&a| a as u16).collect();
+        assert_eq!(assign16, codes, "layer path and exported PQ disagree");
+    }
+
+    #[test]
+    fn ragged_k_assignments_ignore_centroid_tail_slots() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::randn(&mut rng, &[10, 4], 0.5));
+        let cfg = LutConfig {
+            v: 4,
+            c: 8,
+            ..Default::default()
+        };
+        let calib = Tensor::rand_uniform(&mut rng, &[64, 10], -1.0, 1.0);
+        let lut = LutGemm::from_weight_kmeans(&mut ps, &mut rng, "lut", w, cfg, &calib);
+        let x = Tensor::rand_uniform(&mut rng, &[24, 10], -1.0, 1.0);
+        let (_, before) = lut.quantize(&x, &ps);
+
+        // Vandalise the padded tail slots of the last subspace's centroids:
+        // the assignment must not move (they are outside the masked window).
+        let tail_cid = *lut.centroid_params().last().expect("subspaces");
+        let cents = ps.value_mut(tail_cid);
+        for ci in 0..cfg.c {
+            for j in 2..4 {
+                cents.set(&[ci, j], 1e6 * (ci as f32 + 1.0));
+            }
+        }
+        let (_, after) = lut.quantize(&x, &ps);
+        assert_eq!(before, after, "tail slots biased the assignments");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use lutdla_models::trainable::{ConvNet, TransformerClassifier};
 
 use crate::convert::{lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles};
+use crate::deploy::{undeploy_convnet, undeploy_transformer};
 use crate::lut_gemm::LutConfig;
 
 /// The conversion strategy being evaluated.
@@ -107,6 +108,9 @@ pub fn convert_and_train_images(
         Strategy::SingleStage | Strategy::FromScratch => CentroidInit::Random,
     };
     let handles = lutify_convnet(net, ps, lut_cfg, init, policy, calib, &mut rng);
+    // Every stage transition invalidates frozen deploy tables: training is
+    // about to mutate the parameters they were built from.
+    undeploy_convnet(net);
 
     let mut epoch_losses = Vec::new();
     let mut joint_start = 0;
@@ -119,6 +123,7 @@ pub fn convert_and_train_images(
         }
         ps.set_all_trainable(true);
         joint_start = epoch_losses.len();
+        undeploy_convnet(net);
     }
     // Joint stage: single-stage variants get the full epoch budget here.
     let joint_epochs = match strategy {
@@ -130,6 +135,7 @@ pub fn convert_and_train_images(
         let stats = train_epoch_images(net, ps, &mut opt, train, schedule.batch_size);
         epoch_losses.push(stats.loss);
     }
+    undeploy_convnet(net);
 
     let test_accuracy = eval_images(net, ps, test, schedule.batch_size);
     ConversionOutcome {
@@ -174,6 +180,8 @@ pub fn convert_and_train_seq(
         train.seq_len,
         &mut rng,
     );
+    // See convert_and_train_images: stage transitions invalidate deploy state.
+    undeploy_transformer(net);
 
     let mut epoch_losses = Vec::new();
     let mut joint_start = 0;
@@ -186,6 +194,7 @@ pub fn convert_and_train_seq(
         }
         ps.set_all_trainable(true);
         joint_start = epoch_losses.len();
+        undeploy_transformer(net);
     }
     let joint_epochs = match strategy {
         Strategy::Multistage => schedule.joint_epochs,
@@ -196,6 +205,7 @@ pub fn convert_and_train_seq(
         let stats = train_epoch_seq(net, ps, &mut opt, train, schedule.batch_size);
         epoch_losses.push(stats.loss);
     }
+    undeploy_transformer(net);
 
     let test_accuracy = eval_seq(net, ps, test, schedule.batch_size);
     ConversionOutcome {

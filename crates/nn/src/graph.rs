@@ -754,12 +754,17 @@ impl Graph {
     }
 
     /// Flushes parameter-leaf gradients into the [`ParamSet`].
+    ///
+    /// Also advances the set's change counter ([`ParamSet::version`]): a
+    /// gradient flush precedes an optimizer step, so anything caching
+    /// artifacts derived from the current values is about to go stale.
     pub fn apply_param_grads(&self, ps: &mut ParamSet) {
         for node in &self.nodes {
             if let (Op::Param(pid), Some(grad)) = (&node.op, &node.grad) {
                 ps.accumulate_grad(*pid, grad);
             }
         }
+        ps.bump_version();
     }
 
     fn backward_one(&self, i: usize, grad: &Tensor) -> Vec<(NodeId, Tensor)> {

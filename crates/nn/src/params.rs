@@ -47,6 +47,12 @@ pub struct Parameter {
 #[derive(Debug, Default, Clone)]
 pub struct ParamSet {
     params: Vec<Parameter>,
+    /// Monotonic change counter: bumped whenever parameter values may have
+    /// changed — gradient flushes (each training step), registration, and
+    /// every mutable-access path (`value_mut`, `iter_mut`). Consumers that
+    /// cache derived artifacts (e.g. LUT deploy tables) record the version
+    /// at build time and compare it to detect staleness.
+    version: u64,
 }
 
 impl ParamSet {
@@ -64,7 +70,20 @@ impl ParamSet {
             grad,
             trainable: true,
         });
+        self.version += 1;
         ParamId(self.params.len() - 1)
+    }
+
+    /// The current change-counter value (see the `version` field).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Advances the change counter. Called by the autograd graph when it
+    /// flushes gradients (`Graph::apply_param_grads`) — the canonical signal
+    /// that a training step is about to mutate parameter values.
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Number of registered parameters (tensors, not scalars).
@@ -87,8 +106,11 @@ impl ParamSet {
         &self.params[id.0].value
     }
 
-    /// Mutable access to the value of a parameter.
+    /// Mutable access to the value of a parameter. Advances the change
+    /// counter: handing out `&mut` means the value may diverge from any
+    /// cached artifact built from it.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.version += 1;
         &mut self.params[id.0].value
     }
 
@@ -136,8 +158,11 @@ impl ParamSet {
         self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
     }
 
-    /// Iterates mutably over `(id, parameter)` pairs.
+    /// Iterates mutably over `(id, parameter)` pairs. Advances the change
+    /// counter (optimizer steps and weight re-initialisation go through
+    /// here), so deploy-state staleness checks see every mutation path.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Parameter)> {
+        self.version += 1;
         self.params
             .iter_mut()
             .enumerate()
@@ -199,6 +224,27 @@ mod tests {
         assert!(!ps.is_trainable(id));
         ps.set_all_trainable(true);
         assert!(ps.is_trainable(id));
+    }
+
+    #[test]
+    fn version_advances_on_every_mutation_path() {
+        let mut ps = ParamSet::new();
+        let v0 = ps.version();
+        let id = ps.add("w", Tensor::zeros(&[1]));
+        assert!(ps.version() > v0, "add must advance the version");
+        let v1 = ps.version();
+        ps.bump_version();
+        assert_eq!(ps.version(), v1 + 1);
+        let v2 = ps.version();
+        ps.value_mut(id).fill_mut(1.0);
+        assert!(ps.version() > v2, "value_mut must advance the version");
+        let v3 = ps.version();
+        let _ = ps.iter_mut().count();
+        assert!(ps.version() > v3, "iter_mut must advance the version");
+        // Read-only accessors leave it untouched.
+        let v4 = ps.version();
+        let _ = (ps.value(id), ps.grad(id), ps.iter().count());
+        assert_eq!(ps.version(), v4);
     }
 
     #[test]

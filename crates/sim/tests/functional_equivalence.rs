@@ -1,10 +1,15 @@
 //! Cross-crate validation: the simulator's LUT-Stationary loop nest must
-//! compute exactly the same matrix as the algorithmic AMM reference in
-//! `lutdla-vq`, for every metric and tiling.
+//! compute exactly the same matrix as the algorithmic reference in
+//! `lutdla-vq`, for every metric and tiling. The reference is served by the
+//! batched [`LutEngine`] deploy path, which is itself asserted bit-identical
+//! to the scalar `approx_matmul_from_codes` walk — so one check pins all
+//! three implementations (scalar, engine, hardware loop nest) together.
 
 use lutdla_sim::{functional_ls, Gemm, SimConfig, TableSource};
 use lutdla_tensor::Tensor;
-use lutdla_vq::{approx_matmul_from_codes, Distance, LutQuant, LutTable, ProductQuantizer};
+use lutdla_vq::{
+    approx_matmul_from_codes, Distance, LutEngine, LutQuant, LutTable, ProductQuantizer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,7 +30,15 @@ fn check(metric: Distance, v: usize, c: usize, tn: usize, m_rows: usize, n_imm: 
     let lut = LutTable::build(&pq, &b, LutQuant::F32);
     let codes = pq.encode(&a);
 
-    let reference = approx_matmul_from_codes(&codes, g.m, &pq, &lut);
+    let scalar = approx_matmul_from_codes(&codes, g.m, &pq, &lut);
+    let mut engine = LutEngine::new(pq, &lut);
+    let reference = engine
+        .run_from_codes(&codes, g.m)
+        .expect("codes straight from encode are always valid");
+    assert!(
+        reference.allclose(&scalar, 0.0),
+        "engine deploy path diverged from the scalar reference"
+    );
 
     let cfg = SimConfig {
         v,

@@ -2,6 +2,35 @@
 
 use crate::Tensor;
 
+/// Cache-blocked ikj GEMM over raw slices: `out[m,n] += a[m,k] × b[k,n]`.
+/// `out` must arrive zeroed (or hold a partial sum to accumulate onto).
+fn matmul_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    // ikj ordering keeps the b row and out row streaming through cache.
+    const BLOCK: usize = 64;
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
@@ -18,31 +47,8 @@ impl Tensor {
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
 
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-
-        // ikj ordering keeps the b row and out row streaming through cache.
-        const BLOCK: usize = 64;
-        for i0 in (0..m).step_by(BLOCK) {
-            let i1 = (i0 + BLOCK).min(m);
-            for k0 in (0..k).step_by(BLOCK) {
-                let k1 = (k0 + BLOCK).min(k);
-                for i in i0..i1 {
-                    let out_row = &mut out[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[kk * n..(kk + 1) * n];
-                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += aik * bv;
-                        }
-                    }
-                }
-            }
-        }
+        matmul_slices(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -60,16 +66,18 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch sizes differ");
         assert_eq!(k, k2, "bmm inner dimensions differ");
 
-        let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            let lhs_mat =
-                Tensor::from_vec(self.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
-            let rhs_mat =
-                Tensor::from_vec(rhs.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
-            let prod = lhs_mat.matmul(&rhs_mat);
-            out.data_mut()[bi * m * n..(bi + 1) * m * n].copy_from_slice(prod.data());
+        // Multiply directly over the batch sub-slices: no per-batch Tensor
+        // copies, no intermediate products.
+        let mut out = vec![0.0f32; b * m * n];
+        for ((a_mat, b_mat), out_mat) in self
+            .data()
+            .chunks_exact(m * k)
+            .zip(rhs.data().chunks_exact(k * n))
+            .zip(out.chunks_exact_mut(m * n))
+        {
+            matmul_slices(a_mat, b_mat, out_mat, m, k, n);
         }
-        out
+        Tensor::from_vec(out, &[b, m, n])
     }
 
     /// Transpose of a rank-2 tensor.

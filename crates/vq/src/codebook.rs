@@ -213,6 +213,12 @@ impl ProductQuantizer {
 
     /// Encodes with the similarity datapath emulated at `precision`
     /// (Table IV's BF16 column rounds both operands before comparing).
+    ///
+    /// Subvectors are read as flat row slices; for a ragged final subspace
+    /// (`v ∤ K`) only the leading `K mod v` dimensions enter the distance —
+    /// the padded centroid tail slots are masked out, so assignments match a
+    /// quantizer fitted on zero-padded data regardless of what those slots
+    /// contain (see [`crate::Distance::argmin_masked`]).
     pub fn encode_with_precision(&self, data: &Tensor, precision: FloatPrecision) -> Vec<u16> {
         assert_eq!(data.shape().rank(), 2, "encode expects [m, K]");
         let (m, k) = (data.dims()[0], data.dims()[1]);
@@ -238,18 +244,21 @@ impl ProductQuantizer {
         };
 
         for i in 0..m {
+            let row = data.row(i);
             for s in 0..n_sub {
-                sub.fill(0.0);
-                for (j, slot) in sub.iter_mut().enumerate() {
-                    let col = s * self.v + j;
-                    if col < k {
-                        *slot = data.at(&[i, col]);
-                    }
-                }
-                precision.round_slice(&mut sub);
-                let idx = match &rounded {
-                    Some(r) => self.distance.argmin(&sub, &r[s]),
-                    None => self.codebooks[s].quantize(&sub, self.distance),
+                let lo = s * self.v;
+                let hi = ((s + 1) * self.v).min(k);
+                let len = hi - lo;
+                let cents = match &rounded {
+                    Some(r) => r[s].as_slice(),
+                    None => self.codebooks[s].as_slice(),
+                };
+                let idx = if precision == FloatPrecision::Fp32 {
+                    self.distance.argmin_masked(&row[lo..hi], cents, self.v)
+                } else {
+                    sub[..len].copy_from_slice(&row[lo..hi]);
+                    precision.round_slice(&mut sub[..len]);
+                    self.distance.argmin_masked(&sub[..len], cents, self.v)
                 };
                 codes[i * n_sub + s] = idx as u16;
             }

@@ -63,13 +63,35 @@ impl Distance {
     ///
     /// Panics if `centroids` is not a multiple of `v.len()` or is empty.
     pub fn argmin(&self, v: &[f32], centroids: &[f32]) -> usize {
-        let dim = v.len();
+        self.argmin_masked(v, centroids, v.len())
+    }
+
+    /// Like [`Distance::argmin`], but each centroid row is `stride` long and
+    /// only the leading `x.len()` components participate in the distance.
+    ///
+    /// This is the ragged-`K` kernel: when `v ∤ K`, the final subspace holds
+    /// `K mod v` real dimensions, and the trailing centroid slots are
+    /// meaningless (k-means fits them to the zero padding; trained codebooks
+    /// never receive gradient there). Masking them out makes assignments
+    /// independent of whatever those slots contain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or longer than `stride`, or if `centroids` is
+    /// not a non-empty multiple of `stride`.
+    pub fn argmin_masked(&self, x: &[f32], centroids: &[f32], stride: usize) -> usize {
+        let dim = x.len();
         assert!(dim > 0 && !centroids.is_empty(), "empty operands");
-        assert_eq!(centroids.len() % dim, 0, "centroid matrix shape mismatch");
+        assert!(dim <= stride, "mask length exceeds centroid stride");
+        assert_eq!(
+            centroids.len() % stride,
+            0,
+            "centroid matrix shape mismatch"
+        );
         let mut best = 0usize;
         let mut best_d = f32::INFINITY;
-        for (i, cent) in centroids.chunks_exact(dim).enumerate() {
-            let d = self.eval(v, cent);
+        for (i, cent) in centroids.chunks_exact(stride).enumerate() {
+            let d = self.eval(x, &cent[..dim]);
             if d < best_d {
                 best_d = d;
                 best = i;
@@ -167,6 +189,30 @@ mod tests {
         let cents = [1.0, 0.0, /* mirror */ -1.0, 0.0];
         for d in Distance::ALL {
             assert_eq!(d.argmin(&[0.0, 0.0], &cents), 0, "{d}");
+        }
+    }
+
+    #[test]
+    fn argmin_masked_ignores_tail_slots() {
+        // Two 3-wide centroid rows whose first two components are symmetric
+        // around the query; the tail slot would flip the decision if counted.
+        let cents = [
+            0.0, 0.0, 100.0, // c0: closest in the leading dims, huge tail
+            0.2, 0.2, 0.0, // c1: further in the leading dims, zero tail
+        ];
+        for d in Distance::ALL {
+            assert_eq!(d.argmin_masked(&[0.0, 0.0], &cents, 3), 0, "{d}");
+            // Full-width argmin is dominated by the garbage tail.
+            assert_eq!(d.argmin(&[0.0, 0.0, 0.0], &cents), 1, "{d}");
+        }
+    }
+
+    #[test]
+    fn argmin_masked_full_width_equals_argmin() {
+        let cents = [1.0, 2.0, -1.0, 0.5, 3.0, 3.0];
+        let x = [0.4, 1.9];
+        for d in Distance::ALL {
+            assert_eq!(d.argmin(&x, &cents), d.argmin_masked(&x, &cents, 2), "{d}");
         }
     }
 

@@ -1,0 +1,883 @@
+//! `LutEngine`: the batched, multithreaded deploy-path kernel for LUT-GEMM
+//! (paper Fig. 2 steps ➌/➍, rebuilt for throughput).
+//!
+//! The scalar reference ([`crate::approx_matmul_from_codes`]) walks one row
+//! at a time and strides `c·n` through the table per subspace. This engine
+//! restructures the same computation around three ideas:
+//!
+//! 1. **Fused encode+lookup over flat slices.** Rows are read as contiguous
+//!    `&[f32]` slices (no per-element `at()`), codes land in a reusable
+//!    scratch buffer, and the lookup phase starts immediately — no
+//!    intermediate `Vec<u16>` allocation per call.
+//!
+//! 2. **Tile-transposed table layout.** The dequantized table is stored
+//!    subspace-blocked and `N`-tiled:
+//!
+//!    ```text
+//!    scalar layout:  table[s][ci][0..N]          (row stride N, walk strides c·N)
+//!    engine layout:  tiles[t][s][ci][0..tile_n]  (everything a tile needs is
+//!                                                 one contiguous n_sub·c·tile_n block)
+//!    ```
+//!
+//!    For each output tile the kernel streams *all* rows of the batch
+//!    against one resident block (`n_sub · c · tile_n` floats — ~1 MiB at
+//!    `c=16, n_sub=256, tile_n=64`) instead of touching the full `n_sub·c·N`
+//!    table per row. Per output element the subspaces are still accumulated
+//!    in ascending order, so results are **bit-identical** to the scalar
+//!    path (INT8 entries are pre-dequantized with exactly the arithmetic of
+//!    [`LutTable::accumulate`]).
+//!
+//! 3. **Scoped row-parallelism.** Batches are split into contiguous row
+//!    chunks executed on `std::thread::scope` workers (no external thread
+//!    pool). Each worker owns its scratch (code buffer), which the engine
+//!    retains across calls — steady-state `run_batch` allocates only the
+//!    output tensor.
+//!
+//! # Buffer-reuse contract
+//!
+//! `run_batch` takes `&mut self` purely so per-worker scratch can be reused;
+//! it never mutates the quantizer or the table. Growing the batch size grows
+//! the scratch once; shrinking it keeps capacity. An engine is cheap to keep
+//! alive per layer and expensive to rebuild (it re-tiles the table), so hold
+//! on to it for the lifetime of the deployed weights.
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_vq::{Distance, LutEngine, LutQuant, LutTable, ProductQuantizer};
+//! use lutdla_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let a = Tensor::rand_uniform(&mut rng, &[64, 8], -1.0, 1.0);
+//! let b = Tensor::rand_uniform(&mut rng, &[8, 4], -1.0, 1.0);
+//! let pq = ProductQuantizer::fit(&a, 4, 16, Distance::L2, &mut rng);
+//! let table = LutTable::build(&pq, &b, LutQuant::F32);
+//! let mut engine = LutEngine::new(pq, &table);
+//! let y = engine.run_batch(&a);
+//! assert_eq!(y.dims(), &[64, 4]);
+//! ```
+
+use std::fmt;
+
+use lutdla_tensor::Tensor;
+
+use crate::codebook::ProductQuantizer;
+use crate::distance::Distance;
+use crate::lut::LutTable;
+use crate::precision::FloatPrecision;
+
+/// Default output-tile width (floats). 64 entries = one 256-byte burst per
+/// (subspace, centroid) access — wide enough to vectorize, narrow enough
+/// that a full tile block stays cache-resident at realistic `c·n_sub`.
+pub const DEFAULT_TILE_N: usize = 64;
+
+/// Rows below which a worker is not worth spawning: chunks smaller than
+/// this are folded into fewer threads.
+const MIN_ROWS_PER_WORKER: usize = 16;
+
+/// Construction-time options for [`LutEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Output-tile width in floats (clamped to `1..=N`).
+    pub tile_n: usize,
+    /// Worker-thread count for `run_batch`/`run_from_codes`. `1` runs
+    /// inline on the caller thread.
+    pub workers: usize,
+    /// Float precision of the similarity (encode) datapath.
+    pub precision: FloatPrecision,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            tile_n: DEFAULT_TILE_N,
+            workers: default_workers(),
+            precision: FloatPrecision::Fp32,
+        }
+    }
+}
+
+/// A conservative default worker count: the machine's parallelism, capped
+/// so a deployed model with many engines doesn't oversubscribe.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Errors surfaced by the code-driven entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A code index references a centroid the table does not have.
+    CodeOutOfRange {
+        /// Row containing the bad code.
+        row: usize,
+        /// Subspace containing the bad code.
+        subspace: usize,
+        /// The offending index.
+        code: u16,
+        /// Number of centroids per codebook.
+        num_centroids: usize,
+    },
+    /// The code buffer is not `m × n_sub` entries long.
+    CodeBufferShape {
+        /// Expected entry count (`m · n_sub`).
+        expected: usize,
+        /// Actual buffer length.
+        got: usize,
+    },
+    /// `m = 0`: zero-sized tensors cannot be represented in this
+    /// workspace, so an empty batch has no well-formed output.
+    EmptyBatch,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::CodeOutOfRange {
+                row,
+                subspace,
+                code,
+                num_centroids,
+            } => write!(
+                f,
+                "code {code} at (row {row}, subspace {subspace}) out of range: \
+                 table has {num_centroids} centroids"
+            ),
+            EngineError::CodeBufferShape { expected, got } => {
+                write!(f, "code buffer holds {got} entries, expected {expected}")
+            }
+            EngineError::EmptyBatch => {
+                write!(f, "empty batch: m must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Immutable kernel state, shared read-only across worker threads.
+struct EngineCore {
+    pq: ProductQuantizer,
+    /// Centroids pre-rounded to `precision` and transposed per subspace
+    /// (`[n_sub][v][c]`), so the encode kernel can accumulate distances
+    /// lane-parallel across centroids. Per centroid the dimension order is
+    /// unchanged, so the distances — and hence the argmin — are
+    /// bit-identical to [`crate::Distance::argmin_masked`] over the
+    /// row-major codebooks.
+    centroids_t: Vec<f32>,
+    /// Backing store of the tile-transposed dequantized table:
+    /// `tiles[(t · n_sub + s) · c + ci][0..tile_n]`, last tile zero-padded.
+    /// Over-allocated so the first tile row can start on a 64-byte boundary
+    /// (`tile_off`) — a 256-byte row then spans 4 cache lines, not 5.
+    tiles: Vec<f32>,
+    tile_off: usize,
+    tile_len: usize,
+    tile_n: usize,
+    n: usize,
+    c: usize,
+    v: usize,
+    k: usize,
+    n_sub: usize,
+    precision: FloatPrecision,
+    /// Detected once at build: run the accumulate kernel as an AVX2
+    /// `target_feature` clone. Element-wise `vaddps` is IEEE-exact, so the
+    /// wide path stays bit-identical to the portable one.
+    use_avx2: bool,
+}
+
+/// Per-worker scratch, retained across calls (buffer-reuse contract).
+#[derive(Default)]
+struct Scratch {
+    codes: Vec<u16>,
+    sub: Vec<f32>,
+    dists: Vec<f32>,
+}
+
+/// Batched, multithreaded LUT-GEMM inference engine. See the module docs
+/// for the layout and threading model.
+pub struct LutEngine {
+    core: EngineCore,
+    scratch: Vec<Scratch>,
+    workers: usize,
+}
+
+impl LutEngine {
+    /// Builds an engine from a fitted quantizer and the table precomputed
+    /// for one weight matrix, with default [`EngineOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was not built under `pq` (subspace/centroid-count
+    /// mismatch).
+    pub fn new(pq: ProductQuantizer, table: &LutTable) -> Self {
+        Self::with_opts(pq, table, EngineOptions::default())
+    }
+
+    /// Builds an engine with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// See [`LutEngine::new`].
+    pub fn with_opts(pq: ProductQuantizer, table: &LutTable, opts: EngineOptions) -> Self {
+        let n_sub = pq.num_subspaces();
+        let c = pq.num_centroids();
+        assert_eq!(table.num_subspaces(), n_sub, "table subspace mismatch");
+        assert_eq!(table.num_centroids(), c, "table centroid-count mismatch");
+
+        let n = table.output_dim();
+        let tile_n = opts.tile_n.clamp(1, n.max(1));
+        let n_tiles = n.div_ceil(tile_n).max(1);
+
+        // Re-tile the (dequantized) table: one contiguous n_sub·c·tile_n
+        // block per output tile, so the lookup phase streams rows against a
+        // cache-resident block instead of striding the full table. The
+        // first row is placed on a 64-byte boundary (see `tile_off`).
+        let tile_len = n_tiles * n_sub * c * tile_n;
+        let mut tiles = vec![0.0f32; tile_len + 16];
+        let tile_off = match tiles.as_ptr().align_offset(64) {
+            off if off <= 16 => off,
+            _ => 0,
+        };
+        let mut row = vec![0.0f32; n];
+        for s in 0..n_sub {
+            for ci in 0..c {
+                table.write_row(s, ci, &mut row);
+                for t in 0..n_tiles {
+                    let n0 = t * tile_n;
+                    let len = (n - n0).min(tile_n);
+                    let dst = tile_off + ((t * n_sub + s) * c + ci) * tile_n;
+                    tiles[dst..dst + len].copy_from_slice(&row[n0..n0 + len]);
+                }
+            }
+        }
+
+        let use_avx2 = {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::is_x86_feature_detected!("avx2")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        };
+
+        let mut core = EngineCore {
+            centroids_t: Vec::new(),
+            tiles,
+            tile_off,
+            tile_len,
+            tile_n,
+            use_avx2,
+            n,
+            c,
+            v: pq.subvector_len(),
+            k: pq.input_dim(),
+            n_sub,
+            precision: opts.precision,
+            pq,
+        };
+        core.rebuild_centroid_cache();
+
+        let workers = opts.workers.max(1);
+        let mut scratch = Vec::new();
+        scratch.resize_with(workers, Scratch::default);
+        Self {
+            core,
+            scratch,
+            workers,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self.scratch.resize_with(self.workers, Scratch::default);
+        self
+    }
+
+    /// Sets the similarity-datapath precision (builder style); the
+    /// pre-rounded centroid cache is rebuilt to match.
+    pub fn with_precision(mut self, precision: FloatPrecision) -> Self {
+        self.core.precision = precision;
+        self.core.rebuild_centroid_cache();
+        self
+    }
+
+    /// The quantizer the engine encodes with.
+    pub fn quantizer(&self) -> &ProductQuantizer {
+        &self.core.pq
+    }
+
+    /// Output width `N`.
+    pub fn output_dim(&self) -> usize {
+        self.core.n
+    }
+
+    /// Input width `K`.
+    pub fn input_dim(&self) -> usize {
+        self.core.k
+    }
+
+    /// Configured worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Output-tile width in floats.
+    pub fn tile_n(&self) -> usize {
+        self.core.tile_n
+    }
+
+    /// Similarity-datapath precision.
+    pub fn precision(&self) -> FloatPrecision {
+        self.core.precision
+    }
+
+    /// Encodes and multiplies a batch: `x: [M, K] → [M, N]`.
+    ///
+    /// Bit-identical to `approx_matmul_with_precision(x, pq, table,
+    /// precision)` for the quantizer/table/precision the engine was built
+    /// with, at any tile width or worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[M, K]` with the fitted `K`.
+    pub fn run_batch(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "run_batch expects [M, K]");
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(k, self.core.k, "K mismatch: engine {} got {k}", self.core.k);
+        let mut out = vec![0.0f32; m * self.core.n];
+        self.dispatch(m, Input::Rows(x.data()), &mut out);
+        Tensor::from_vec(out, &[m, self.core.n])
+    }
+
+    /// Lookup/accumulate only, from precomputed codes (`m` rows of
+    /// `n_sub` entries). Malformed indices (`code ≥ c`) are rejected up
+    /// front instead of panicking inside the kernel.
+    pub fn run_from_codes(&mut self, codes: &[u16], m: usize) -> Result<Tensor, EngineError> {
+        if m == 0 {
+            return Err(EngineError::EmptyBatch);
+        }
+        let expected = m * self.core.n_sub;
+        if codes.len() != expected {
+            return Err(EngineError::CodeBufferShape {
+                expected,
+                got: codes.len(),
+            });
+        }
+        let c = self.core.c as u16;
+        if let Some(pos) = codes.iter().position(|&code| code >= c) {
+            return Err(EngineError::CodeOutOfRange {
+                row: pos / self.core.n_sub,
+                subspace: pos % self.core.n_sub,
+                code: codes[pos],
+                num_centroids: self.core.c,
+            });
+        }
+        let mut out = vec![0.0f32; m * self.core.n];
+        self.dispatch(m, Input::Codes(codes), &mut out);
+        Ok(Tensor::from_vec(out, &[m, self.core.n]))
+    }
+
+    /// Splits `m` rows over the workers and runs the kernel, inline when a
+    /// single chunk suffices. `m ≥ 1`: zero-sized tensors cannot exist in
+    /// this workspace, so both entry points always hand over real rows.
+    fn dispatch(&mut self, m: usize, input: Input<'_>, out: &mut [f32]) {
+        let workers = self
+            .workers
+            .min(m.div_ceil(MIN_ROWS_PER_WORKER))
+            .clamp(1, m);
+        let rows_per = m.div_ceil(workers);
+        let core = &self.core;
+        if workers == 1 {
+            core.run_chunk(input.slice(core, 0, m), out, &mut self.scratch[0]);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut row0 = 0usize;
+            let mut out_rest = out;
+            for scratch in self.scratch.iter_mut().take(workers) {
+                let rows = rows_per.min(m - row0);
+                let (out_chunk, rest) = out_rest.split_at_mut(rows * core.n);
+                out_rest = rest;
+                let chunk = input.slice(core, row0, rows);
+                scope.spawn(move || core.run_chunk(chunk, out_chunk, scratch));
+                row0 += rows;
+                if row0 == m {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+impl fmt::Debug for LutEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LutEngine")
+            .field("k", &self.core.k)
+            .field("n", &self.core.n)
+            .field("c", &self.core.c)
+            .field("n_sub", &self.core.n_sub)
+            .field("tile_n", &self.core.tile_n)
+            .field("workers", &self.workers)
+            .field("precision", &self.core.precision)
+            .finish()
+    }
+}
+
+/// What a worker chunk consumes: raw activation rows (fused encode+lookup)
+/// or precomputed codes (lookup only).
+#[derive(Clone, Copy)]
+enum Input<'a> {
+    Rows(&'a [f32]),
+    Codes(&'a [u16]),
+}
+
+impl<'a> Input<'a> {
+    fn slice(&self, core: &EngineCore, row0: usize, rows: usize) -> Input<'a> {
+        match *self {
+            Input::Rows(data) => Input::Rows(&data[row0 * core.k..(row0 + rows) * core.k]),
+            Input::Codes(codes) => {
+                Input::Codes(&codes[row0 * core.n_sub..(row0 + rows) * core.n_sub])
+            }
+        }
+    }
+}
+
+impl EngineCore {
+    /// Rebuilds the transposed centroid cache at the current precision.
+    fn rebuild_centroid_cache(&mut self) {
+        // Stage a rounded row-major copy, then transpose it per subspace.
+        let mut rounded = Vec::with_capacity(self.n_sub * self.c * self.v);
+        for cb in self.pq.codebooks() {
+            rounded.extend_from_slice(cb.as_slice());
+        }
+        self.precision.round_slice(&mut rounded);
+        self.centroids_t.clear();
+        self.centroids_t.resize(self.n_sub * self.c * self.v, 0.0);
+        for s in 0..self.n_sub {
+            let base = s * self.c * self.v;
+            for ci in 0..self.c {
+                for j in 0..self.v {
+                    self.centroids_t[base + j * self.c + ci] = rounded[base + ci * self.v + j];
+                }
+            }
+        }
+    }
+
+    /// Executes one contiguous row chunk: encode (if needed) then the tiled
+    /// lookup/accumulate. `out` must arrive zeroed.
+    fn run_chunk(&self, input: Input<'_>, out: &mut [f32], scratch: &mut Scratch) {
+        let m = out.len() / self.n;
+        let codes: &[u16] = match input {
+            Input::Codes(codes) => codes,
+            Input::Rows(rows) => {
+                scratch.codes.resize(m * self.n_sub, 0);
+                scratch.sub.resize(self.v, 0.0);
+                scratch.dists.resize(self.c, 0.0);
+                #[cfg(target_arch = "x86_64")]
+                if self.use_avx2 {
+                    // SAFETY: `use_avx2` is only set when
+                    // `is_x86_feature_detected!("avx2")` reported support.
+                    unsafe { self.encode_chunk_avx2(rows, scratch) };
+                    self.accumulate_chunk(&scratch.codes, out, m);
+                    return;
+                }
+                self.encode_chunk(rows, scratch);
+                &scratch.codes
+            }
+        };
+        self.accumulate_chunk(codes, out, m);
+    }
+
+    /// Encodes a chunk of rows into `scratch.codes`, masking the padded
+    /// tail of a ragged final subspace out of the distance.
+    ///
+    /// Distances are accumulated lane-parallel across centroids over the
+    /// transposed codebook copy: for every centroid the dimensions are
+    /// still visited in ascending order with the same f32 operations as
+    /// [`crate::Distance::eval`], so the selected indices are identical to
+    /// the scalar `argmin_masked` walk — the lanes only buy SIMD width.
+    #[inline(always)]
+    fn encode_chunk(&self, rows: &[f32], scratch: &mut Scratch) {
+        let Scratch { codes, sub, dists } = scratch;
+        for (row, codes_row) in rows
+            .chunks_exact(self.k)
+            .zip(codes.chunks_exact_mut(self.n_sub))
+        {
+            for (s, code) in codes_row.iter_mut().enumerate() {
+                let lo = s * self.v;
+                let hi = ((s + 1) * self.v).min(self.k);
+                let len = hi - lo;
+                let x = if self.precision == FloatPrecision::Fp32 {
+                    &row[lo..hi]
+                } else {
+                    sub[..len].copy_from_slice(&row[lo..hi]);
+                    self.precision.round_slice(&mut sub[..len]);
+                    &sub[..len]
+                };
+                let cents_t = &self.centroids_t[s * self.c * self.v..];
+                *code = self.nearest_centroid(x, cents_t, dists) as u16;
+            }
+        }
+    }
+
+    /// AVX2 `target_feature` clone of [`EngineCore::encode_chunk`]; see
+    /// [`accumulate_tile_fast_avx2`] for why this stays bit-identical.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn encode_chunk_avx2(&self, rows: &[f32], scratch: &mut Scratch) {
+        self.encode_chunk(rows, scratch);
+    }
+
+    /// Index of the closest centroid to `x` over a `[v][c]` transposed
+    /// centroid block, ties resolving to the lowest index (dPE semantics).
+    #[inline(always)]
+    fn nearest_centroid(&self, x: &[f32], cents_t: &[f32], dists: &mut [f32]) -> usize {
+        let c = self.c;
+        dists.fill(0.0);
+        match self.pq.distance() {
+            Distance::L2 => {
+                for (j, &xj) in x.iter().enumerate() {
+                    let lane = &cents_t[j * c..(j + 1) * c];
+                    for (d, &cv) in dists.iter_mut().zip(lane) {
+                        let t = xj - cv;
+                        *d += t * t;
+                    }
+                }
+            }
+            Distance::L1 => {
+                for (j, &xj) in x.iter().enumerate() {
+                    let lane = &cents_t[j * c..(j + 1) * c];
+                    for (d, &cv) in dists.iter_mut().zip(lane) {
+                        *d += (xj - cv).abs();
+                    }
+                }
+            }
+            Distance::Chebyshev => {
+                for (j, &xj) in x.iter().enumerate() {
+                    let lane = &cents_t[j * c..(j + 1) * c];
+                    for (d, &cv) in dists.iter_mut().zip(lane) {
+                        *d = d.max((xj - cv).abs());
+                    }
+                }
+            }
+        }
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (i, &d) in dists.iter().enumerate() {
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The tiled lookup/accumulate phase. Per output element, subspaces are
+    /// accumulated in ascending order — the same f32 summation order as the
+    /// scalar reference, hence bit-identical results. Full tiles at the
+    /// default width go through a register-blocked fast path (an AVX2
+    /// `target_feature` clone when the CPU has it); ragged tails and custom
+    /// widths use the portable generic loop.
+    fn accumulate_chunk(&self, codes: &[u16], out: &mut [f32], m: usize) {
+        let n_tiles = self.n.div_ceil(self.tile_n);
+        let tile_block = self.n_sub * self.c * self.tile_n;
+        let tiles = &self.tiles[self.tile_off..self.tile_off + self.tile_len];
+        for t in 0..n_tiles {
+            let n0 = t * self.tile_n;
+            let len = (self.n - n0).min(self.tile_n);
+            let block = &tiles[t * tile_block..(t + 1) * tile_block];
+            if self.tile_n == FAST_TILE && len == FAST_TILE {
+                #[cfg(target_arch = "x86_64")]
+                if self.use_avx2 {
+                    // SAFETY: `use_avx2` is only set when
+                    // `is_x86_feature_detected!("avx2")` reported support.
+                    unsafe {
+                        accumulate_tile_fast_avx2(
+                            block, codes, out, m, self.n, n0, self.n_sub, self.c,
+                        );
+                    }
+                    continue;
+                }
+                accumulate_tile_fast(block, codes, out, m, self.n, n0, self.n_sub, self.c);
+            } else {
+                accumulate_tile_generic(
+                    block,
+                    codes,
+                    out,
+                    m,
+                    self.n,
+                    n0,
+                    len,
+                    self.tile_n,
+                    self.n_sub,
+                    self.c,
+                );
+            }
+        }
+    }
+}
+
+/// Tile width of the register-blocked fast path (= [`DEFAULT_TILE_N`]):
+/// the accumulator is a fixed `[f32; 64]`, which LLVM keeps in vector
+/// registers across the whole subspace walk.
+const FAST_TILE: usize = DEFAULT_TILE_N;
+
+/// How many subspaces ahead the fast path prefetches its table row. The
+/// codes make the access pattern fully known in advance; prefetching hides
+/// the L2 latency of the 4-cache-line row the adds are about to consume.
+const PREFETCH_AHEAD: usize = 4;
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn prefetch_row(block: &[f32], off: usize) {
+    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+    // SAFETY: prefetch is a hint — it never faults, and `off` stays inside
+    // the block (callers pass a row start within bounds).
+    unsafe {
+        let p = block.as_ptr().add(off) as *const i8;
+        _mm_prefetch(p, _MM_HINT_T0);
+        _mm_prefetch(p.add(64), _MM_HINT_T0);
+        _mm_prefetch(p.add(128), _MM_HINT_T0);
+        _mm_prefetch(p.add(192), _MM_HINT_T0);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn prefetch_row(_block: &[f32], _off: usize) {}
+
+/// One full-width output tile for a chunk of rows: fixed-size accumulator,
+/// prefetched table rows. `out` rows must arrive zeroed for this tile.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn accumulate_tile_fast(
+    block: &[f32],
+    codes: &[u16],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    n0: usize,
+    n_sub: usize,
+    c: usize,
+) {
+    for r in 0..m {
+        let row_codes = &codes[r * n_sub..(r + 1) * n_sub];
+        let mut acc = [0.0f32; FAST_TILE];
+        for (s, &code) in row_codes.iter().enumerate() {
+            if s + PREFETCH_AHEAD < n_sub {
+                let ahead = s + PREFETCH_AHEAD;
+                prefetch_row(block, (ahead * c + row_codes[ahead] as usize) * FAST_TILE);
+            }
+            let src: &[f32; FAST_TILE] = block[(s * c + code as usize) * FAST_TILE..][..FAST_TILE]
+                .try_into()
+                .expect("fast-path row width");
+            for (a, &p) in acc.iter_mut().zip(src) {
+                *a += p;
+            }
+        }
+        out[r * n + n0..r * n + n0 + FAST_TILE].copy_from_slice(&acc);
+    }
+}
+
+/// AVX2 clone of [`accumulate_tile_fast`]: identical Rust source compiled
+/// with 256-bit vectors available. Element-wise f32 addition is IEEE-exact
+/// at any width, so results are bit-identical to the portable path.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn accumulate_tile_fast_avx2(
+    block: &[f32],
+    codes: &[u16],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    n0: usize,
+    n_sub: usize,
+    c: usize,
+) {
+    accumulate_tile_fast(block, codes, out, m, n, n0, n_sub, c);
+}
+
+/// Any-width tile accumulation (custom `tile_n`, ragged final tile).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn accumulate_tile_generic(
+    block: &[f32],
+    codes: &[u16],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    n0: usize,
+    len: usize,
+    tile_n: usize,
+    n_sub: usize,
+    c: usize,
+) {
+    for r in 0..m {
+        let acc = &mut out[r * n + n0..r * n + n0 + len];
+        let row_codes = &codes[r * n_sub..(r + 1) * n_sub];
+        for (s, &code) in row_codes.iter().enumerate() {
+            let src_off = (s * c + code as usize) * tile_n;
+            let src = &block[src_off..src_off + len];
+            for (a, &p) in acc.iter_mut().zip(src) {
+                *a += p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amm::{approx_matmul_from_codes, approx_matmul_with_precision};
+    use crate::distance::Distance;
+    use crate::lut::LutQuant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        m: usize,
+        k: usize,
+        n: usize,
+        v: usize,
+        c: usize,
+        seed: u64,
+    ) -> (Tensor, ProductQuantizer, LutTable) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+        let table = LutTable::build(&pq, &b, LutQuant::F32);
+        (a, pq, table)
+    }
+
+    #[test]
+    fn fast_path_with_ragged_tail_tile_is_bit_identical() {
+        // N = 70 at the default tile width: one full 64-wide tile through
+        // the register-blocked fast path (AVX2 clone where detected) plus a
+        // 6-wide ragged tail through the generic path — the hand-off an
+        // off-by-one would corrupt. K = 18, v = 4 adds a ragged subspace.
+        let (a, pq, table) = setup(40, 18, 70, 4, 16, 39);
+        let reference = approx_matmul_with_precision(&a, &pq, &table, FloatPrecision::Fp32);
+        let mut engine = LutEngine::new(pq.clone(), &table).with_workers(1);
+        assert_eq!(engine.tile_n(), DEFAULT_TILE_N);
+        let got = engine.run_batch(&a);
+        assert!(got.allclose(&reference, 0.0), "fast path not bit-identical");
+
+        // Same through the codes entry point and with threads.
+        let codes = pq.encode(&a);
+        let mut threaded = LutEngine::new(pq, &table).with_workers(3);
+        let got = threaded.run_from_codes(&codes, 40).expect("valid codes");
+        assert!(got.allclose(&reference, 0.0), "threaded fast path diverged");
+    }
+
+    #[test]
+    fn bit_identical_to_scalar_path() {
+        let (a, pq, table) = setup(33, 17, 29, 4, 8, 40);
+        let reference = approx_matmul_with_precision(&a, &pq, &table, FloatPrecision::Fp32);
+        let mut engine = LutEngine::with_opts(
+            pq,
+            &table,
+            EngineOptions {
+                tile_n: 7, // ragged tiles on purpose
+                workers: 3,
+                precision: FloatPrecision::Fp32,
+            },
+        );
+        let got = engine.run_batch(&a);
+        assert!(got.allclose(&reference, 0.0), "not bit-identical");
+    }
+
+    #[test]
+    fn bit_identical_for_int8_tables_and_bf16_encode() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = Tensor::rand_uniform(&mut rng, &[21, 10], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[10, 13], -1.0, 1.0);
+        // v = 4 ∤ K = 10: ragged final subspace.
+        let pq = ProductQuantizer::fit(&a, 4, 8, Distance::L1, &mut rng);
+        let table = LutTable::build(&pq, &b, LutQuant::Int8);
+        let reference = approx_matmul_with_precision(&a, &pq, &table, FloatPrecision::Bf16);
+        let mut engine = LutEngine::new(pq, &table).with_precision(FloatPrecision::Bf16);
+        let got = engine.run_batch(&a);
+        assert!(got.allclose(&reference, 0.0), "not bit-identical");
+    }
+
+    #[test]
+    fn run_from_codes_matches_reference() {
+        let (a, pq, table) = setup(16, 12, 10, 3, 8, 42);
+        let codes = pq.encode(&a);
+        let reference = approx_matmul_from_codes(&codes, 16, &pq, &table);
+        let mut engine = LutEngine::new(pq, &table).with_workers(2);
+        let got = engine.run_from_codes(&codes, 16).expect("valid codes");
+        assert!(got.allclose(&reference, 0.0));
+    }
+
+    #[test]
+    fn malformed_codes_are_rejected_not_panicking() {
+        let (a, pq, table) = setup(4, 8, 6, 4, 8, 43);
+        let mut codes = pq.encode(&a);
+        codes[3] = 8; // == c, one past the last valid centroid
+        let mut engine = LutEngine::new(pq, &table);
+        let err = engine.run_from_codes(&codes, 4).expect_err("bad code");
+        assert_eq!(
+            err,
+            EngineError::CodeOutOfRange {
+                row: 1,
+                subspace: 1,
+                code: 8,
+                num_centroids: 8
+            }
+        );
+
+        let err = engine.run_from_codes(&codes[..5], 4).expect_err("short");
+        assert!(matches!(err, EngineError::CodeBufferShape { .. }));
+
+        let err = engine.run_from_codes(&[], 0).expect_err("empty");
+        assert_eq!(err, EngineError::EmptyBatch);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let (a, pq, table) = setup(24, 8, 6, 4, 8, 44);
+        let mut engine = LutEngine::new(pq, &table).with_workers(1);
+        let first = engine.run_batch(&a);
+        let cap = engine.scratch[0].codes.capacity();
+        let second = engine.run_batch(&a);
+        assert_eq!(cap, engine.scratch[0].codes.capacity(), "scratch realloc");
+        assert!(first.allclose(&second, 0.0));
+    }
+
+    #[test]
+    fn single_row_batch_is_fine() {
+        let (a, pq, table) = setup(4, 8, 6, 4, 8, 45);
+        let one_row = a.rows(0, 1);
+        let reference = approx_matmul_with_precision(&one_row, &pq, &table, FloatPrecision::Fp32);
+        let mut engine = LutEngine::new(pq, &table).with_workers(4);
+        let y = engine.run_batch(&one_row);
+        assert!(y.allclose(&reference, 0.0));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (a, pq, table) = setup(64, 16, 24, 4, 16, 46);
+        let mut one = LutEngine::new(pq.clone(), &table).with_workers(1);
+        let mut four = LutEngine::new(pq, &table).with_workers(4);
+        let y1 = one.run_batch(&a);
+        let y4 = four.run_batch(&a);
+        assert!(y1.allclose(&y4, 0.0));
+    }
+}

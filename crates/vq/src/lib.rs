@@ -34,6 +34,7 @@
 mod amm;
 mod codebook;
 mod distance;
+mod engine;
 mod kmeans;
 mod lut;
 mod nonlinear;
@@ -44,6 +45,7 @@ pub use amm::{
 };
 pub use codebook::{Codebook, ProductQuantizer};
 pub use distance::{Distance, ParseDistanceError};
+pub use engine::{default_workers, EngineError, EngineOptions, LutEngine, DEFAULT_TILE_N};
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use lut::{LutQuant, LutTable};
 pub use nonlinear::{Nonlinearity, PiecewiseTable};

@@ -148,13 +148,32 @@ impl LutTable {
 
     /// The dequantized table row for (subspace, centroid): `N` partial sums.
     pub fn row(&self, subspace: usize, centroid: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        self.write_row(subspace, centroid, &mut out);
+        out
+    }
+
+    /// Writes the dequantized row for (subspace, centroid) into `dst`
+    /// without allocating. Dequantization applies exactly the arithmetic of
+    /// [`LutTable::accumulate`] (`value as f32 * scale` for INT8), so an
+    /// engine accumulating precomputed f32 copies stays bit-identical to the
+    /// on-the-fly path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != N`.
+    pub fn write_row(&self, subspace: usize, centroid: usize, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.n, "row buffer width mismatch");
         let off = (subspace * self.c + centroid) * self.n;
         match &self.storage {
-            Storage::F32(raw) => raw[off..off + self.n].to_vec(),
+            Storage::F32(raw) => dst.copy_from_slice(&raw[off..off + self.n]),
             Storage::Int8(blocks) => {
                 let b = &blocks[subspace];
+                let scale = b.scale;
                 let local = centroid * self.n;
-                (0..self.n).map(|j| b.get(local + j)).collect()
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = b.values[local + j] as f32 * scale;
+                }
             }
         }
     }

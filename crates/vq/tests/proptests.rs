@@ -2,8 +2,9 @@
 
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
-    amm_error, approx_matmul, bf16_round, fp16_round, kmeans, Distance, Int8Block, KmeansConfig,
-    LutQuant, LutTable, ProductQuantizer,
+    amm_error, approx_matmul, approx_matmul_from_codes, approx_matmul_with_precision, bf16_round,
+    fp16_round, kmeans, Distance, EngineError, EngineOptions, FloatPrecision, Int8Block,
+    KmeansConfig, LutEngine, LutQuant, LutTable, ProductQuantizer,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -122,6 +123,99 @@ proptest! {
         for (a, b) in xs.iter().zip(&back) {
             prop_assert!((a - b).abs() <= step / 2.0 + 1e-6);
         }
+    }
+
+    /// The batched engine is bit-identical to the scalar encode→lookup→
+    /// accumulate path for random shapes — including ragged `K` (`v ∤ K`),
+    /// every table precision, every similarity precision, ragged output
+    /// tiles, and multiple workers.
+    #[test]
+    fn engine_bit_identical_to_scalar_path(
+        seed in 0u64..400,
+        m in 1usize..33,
+        v in 2usize..6,
+        n_sub in 1usize..5,
+        ragged in 0usize..4,
+        n in 1usize..96,
+        c_pow in 1u32..5,
+        tile_sel in 0usize..5,
+        workers in 1usize..5,
+        quant_sel in 0usize..3,
+        prec_sel in 0usize..3,
+        metric_sel in 0usize..3,
+    ) {
+        // K = n_sub·v minus a ragged remainder keeps K ≥ 1 and exercises
+        // both the divisible and the padded-tail cases.
+        prop_assume!(ragged < v);
+        let k = n_sub * v - ragged.min(n_sub * v - 1);
+        // Include the default width (64) so the register-blocked fast path
+        // and its hand-off to the generic ragged tail are sampled.
+        let tile_n = [3, 7, 16, 33, lutdla_vq::DEFAULT_TILE_N][tile_sel];
+        let quant = [LutQuant::F32, LutQuant::F16, LutQuant::Int8][quant_sel];
+        let precision =
+            [FloatPrecision::Fp32, FloatPrecision::Bf16, FloatPrecision::Fp16][prec_sel];
+        let metric = Distance::ALL[metric_sel];
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, 2usize.pow(c_pow), metric, &mut rng);
+        let lut = LutTable::build(&pq, &b, quant);
+
+        let reference = approx_matmul_with_precision(&a, &pq, &lut, precision);
+        let mut engine = LutEngine::with_opts(
+            pq,
+            &lut,
+            EngineOptions { tile_n, workers, precision },
+        );
+        let got = engine.run_batch(&a);
+        prop_assert!(
+            got.allclose(&reference, 0.0),
+            "engine diverged: m={m} k={k} n={n} v={v} tile_n={tile_n} \
+             workers={workers} quant={quant:?} precision={precision:?} {metric}"
+        );
+    }
+
+    /// The code-driven engine entry point matches the scalar
+    /// lookup/accumulate for valid codes, and rejects out-of-range codes
+    /// with a structured error instead of panicking.
+    #[test]
+    fn engine_codes_path_matches_and_rejects_malformed(
+        seed in 0u64..300,
+        m in 1usize..17,
+        v in 2usize..5,
+        n in 1usize..16,
+        bad_row in 0usize..17,
+        bad_sub in 0usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = v * 2 + 1; // always ragged
+        let c = 8usize;
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+        let lut = LutTable::build(&pq, &b, LutQuant::F32);
+        let n_sub = pq.num_subspaces();
+        let codes = pq.encode(&a);
+
+        let reference = approx_matmul_from_codes(&codes, m, &pq, &lut);
+        let mut engine = LutEngine::new(pq, &lut).with_workers(2);
+        let got = engine.run_from_codes(&codes, m).expect("valid codes");
+        prop_assert!(got.allclose(&reference, 0.0));
+
+        // Corrupt one entry: the engine must refuse the whole batch.
+        let mut bad = codes.clone();
+        let pos = (bad_row % m) * n_sub + (bad_sub % n_sub);
+        bad[pos] = c as u16;
+        let err = engine.run_from_codes(&bad, m);
+        prop_assert!(
+            matches!(err, Err(EngineError::CodeOutOfRange { .. })),
+            "expected CodeOutOfRange, got {err:?}"
+        );
+
+        // A truncated buffer is a shape error, not a panic.
+        let err = engine.run_from_codes(&codes[..codes.len() - 1], m);
+        prop_assert!(matches!(err, Err(EngineError::CodeBufferShape { .. })));
     }
 
     /// Equivalent bits match the definitional formula for all (v, c).
