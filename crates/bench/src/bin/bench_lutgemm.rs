@@ -1,8 +1,9 @@
 //! LUT-GEMM deploy-path throughput benchmark: the scalar reference
-//! (`approx_matmul_with_precision`) versus the batched [`LutEngine`], at
-//! one and several worker threads, across representative `M×K×N×c×v`
-//! points. Emits `BENCH_lutgemm.json` so every CI run leaves a perf data
-//! point on the record.
+//! (`approx_matmul_with_precision`) versus the batched [`LutEngine`] (at
+//! one and several worker threads) versus the micro-batched serving front
+//! door ([`MicroBatcher`], single-row submits coalesced back into batches),
+//! across representative `M×K×N×c×v` points. Emits `BENCH_lutgemm.json` so
+//! every CI run leaves a perf data point on the record.
 //!
 //! Usage:
 //!
@@ -14,15 +15,18 @@
 //! the default runs the full grid, including the acceptance point
 //! `M=256, K=1024, N=1024, v=4, c=16`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
-    approx_matmul_with_precision, default_workers, Distance, EngineOptions, FloatPrecision,
-    LutEngine, LutQuant, LutTable, ProductQuantizer,
+    approx_matmul_with_precision, default_workers, share, BatchOptions, Distance, EngineOptions,
+    FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, Pending, ProductQuantizer,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Submitter threads pushing single rows through the micro-batcher.
+const SERVE_SUBMITTERS: usize = 2;
 
 #[derive(Clone, Copy)]
 struct Point {
@@ -38,8 +42,12 @@ struct Measurement {
     scalar_rows_per_s: f64,
     engine1_rows_per_s: f64,
     engine_mt_rows_per_s: f64,
+    serve_rows_per_s: f64,
     speedup_1t: f64,
     speedup_mt: f64,
+    /// Micro-batched single-row serving vs handing the engine the whole
+    /// batch directly: the coalescing overhead tax (1.0 = free).
+    serve_vs_batch: f64,
 }
 
 fn main() {
@@ -152,22 +160,70 @@ fn run_point(p: Point, iters: usize, mt_workers: usize) -> Measurement {
         std::hint::black_box(engine_mt.run_batch(&a));
     });
 
+    // Serving path: the same multithreaded engine behind a MicroBatcher,
+    // fed single rows from SERVE_SUBMITTERS concurrent submitter threads.
+    let batcher = MicroBatcher::new(
+        share(engine_mt),
+        BatchOptions {
+            max_batch: 64.min(m),
+            max_delay: Duration::from_millis(1),
+        },
+    );
+    // Coalesced single-row results must stay bit-identical to the batch.
+    for i in 0..m.min(8) {
+        let out = batcher
+            .submit(&a.data()[i * k..(i + 1) * k])
+            .expect("valid row")
+            .wait()
+            .expect("batcher alive");
+        assert_eq!(
+            out.as_slice(),
+            &scalar_out.data()[i * n..(i + 1) * n],
+            "serve path is not bit-identical to the scalar path"
+        );
+    }
+    let serve_s = best_of(iters, || {
+        std::thread::scope(|s| {
+            for t in 0..SERVE_SUBMITTERS {
+                let batcher = &batcher;
+                let a = &a;
+                s.spawn(move || {
+                    let rows = (t * m / SERVE_SUBMITTERS)..((t + 1) * m / SERVE_SUBMITTERS);
+                    let pending: Vec<Pending> = rows
+                        .map(|i| {
+                            batcher
+                                .submit(&a.data()[i * k..(i + 1) * k])
+                                .expect("valid row")
+                        })
+                        .collect();
+                    for p in pending {
+                        std::hint::black_box(p.wait().expect("batcher alive"));
+                    }
+                });
+            }
+        });
+    });
+
     let meas = Measurement {
         point: p,
         scalar_rows_per_s: m as f64 / scalar_s,
         engine1_rows_per_s: m as f64 / engine1_s,
         engine_mt_rows_per_s: m as f64 / engine_mt_s,
+        serve_rows_per_s: m as f64 / serve_s,
         speedup_1t: scalar_s / engine1_s,
         speedup_mt: scalar_s / engine_mt_s,
+        serve_vs_batch: engine_mt_s / serve_s,
     };
     println!(
-        "  scalar {:>10.0} rows/s | engine x1 {:>10.0} rows/s ({:.2}x) | engine x{} {:>10.0} rows/s ({:.2}x)",
+        "  scalar {:>10.0} rows/s | engine x1 {:>10.0} rows/s ({:.2}x) | engine x{} {:>10.0} rows/s ({:.2}x) | serve {:>10.0} rows/s ({:.2}x of batch)",
         meas.scalar_rows_per_s,
         meas.engine1_rows_per_s,
         meas.speedup_1t,
         mt_workers,
         meas.engine_mt_rows_per_s,
         meas.speedup_mt,
+        meas.serve_rows_per_s,
+        meas.serve_vs_batch,
     );
     meas
 }
@@ -192,6 +248,7 @@ fn to_json(results: &[Measurement], smoke: bool, mt_workers: usize) -> String {
         if smoke { "smoke" } else { "full" }
     ));
     s.push_str(&format!("  \"mt_workers\": {mt_workers},\n"));
+    s.push_str(&format!("  \"serve_submitters\": {SERVE_SUBMITTERS},\n"));
     s.push_str(&format!(
         "  \"host_cpus\": {},\n",
         std::thread::available_parallelism()
@@ -207,12 +264,15 @@ fn to_json(results: &[Measurement], smoke: bool, mt_workers: usize) -> String {
         s.push_str(&format!(
             "    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"v\": {v}, \"c\": {c}, \
              \"scalar_rows_per_s\": {:.1}, \"engine_1t_rows_per_s\": {:.1}, \
-             \"engine_mt_rows_per_s\": {:.1}, \"speedup_1t\": {:.3}, \"speedup_mt\": {:.3}}}{}",
+             \"engine_mt_rows_per_s\": {:.1}, \"serve_rows_per_s\": {:.1}, \
+             \"speedup_1t\": {:.3}, \"speedup_mt\": {:.3}, \"serve_vs_batch\": {:.3}}}{}",
             r.scalar_rows_per_s,
             r.engine1_rows_per_s,
             r.engine_mt_rows_per_s,
+            r.serve_rows_per_s,
             r.speedup_1t,
             r.speedup_mt,
+            r.serve_vs_batch,
             if i + 1 == results.len() { "" } else { "," },
         ));
         s.push('\n');

@@ -7,7 +7,7 @@
 //! (orderings, gaps) can be compared directly.
 
 use lutdla_core::TextTable;
-use lutdla_lutboost::{eval_images_deployed, DeployConfig, LutConfig, Strategy};
+use lutdla_lutboost::{eval_images_deployed, DeployConfig, LutConfig, LutRuntime, Strategy};
 use lutdla_nn::data::{ImageTaskConfig, SeqTaskConfig};
 use lutdla_vq::Distance;
 
@@ -209,8 +209,10 @@ pub fn table4(quick: bool) -> String {
         let run = |d: Distance, seed| {
             let (o, net, ps) = pre.convert(Strategy::Multistage, lut(4, 16, d), &sched, seed);
             let fp32 = o.test_accuracy;
+            let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
             let int8 =
-                eval_images_deployed(&net, &ps, &pre.test, 32, DeployConfig::bf16_int8()) * 100.0;
+                eval_images_deployed(&mut rt, &net, &ps, &pre.test, 32, DeployConfig::bf16_int8())
+                    * 100.0;
             (fp32, int8)
         };
         let (l2_fp, l2_i8) = run(Distance::L2, 20);

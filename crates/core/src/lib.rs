@@ -58,8 +58,9 @@ pub mod prelude {
     };
     pub use lutdla_lutboost::{
         convert_and_train_images, convert_and_train_seq, eval_images_deployed, eval_seq_deployed,
-        lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, DeployConfig, LutConfig,
-        Strategy, TrainSchedule,
+        lut_layers, lutify_convnet, lutify_transformer, undeploy_units, CentroidInit,
+        ConvertPolicy, DeployConfig, LutConfig, LutRuntime, RuntimeOptions, Strategy,
+        TrainSchedule,
     };
     pub use lutdla_models::{zoo, GemmDims, LayerShape, Workload};
     pub use lutdla_nn::{Graph, ParamSet};

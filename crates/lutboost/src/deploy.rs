@@ -1,14 +1,21 @@
-//! Deployment: freeze a converted model into lookup tables and evaluate it
-//! exactly as the IMM hardware would execute it (Table IV's FP32/BF16+INT8
-//! columns).
+//! Deployment numerics and model-level deploy/undeploy helpers: freeze a
+//! converted model into lookup tables and evaluate it exactly as the IMM
+//! hardware would execute it (Table IV's FP32/BF16+INT8 columns).
+//!
+//! Engine construction, caching, and serving live in [`crate::LutRuntime`];
+//! this module provides the numeric configuration ([`DeployConfig`]), the
+//! single iterator ([`lut_layers`]) every architecture's deploy path funnels
+//! through, and the runtime-backed evaluation entry points.
 
 use lutdla_nn::data::{ImageDataset, SeqDataset};
 use lutdla_nn::{eval_images, eval_seq, ParamSet};
 use lutdla_vq::{FloatPrecision, LutQuant};
 
-use lutdla_models::trainable::{ConvNet, TransformerClassifier};
+use lutdla_models::trainable::{ConvNet, DenseUnit, TransformerClassifier};
 
 use crate::convert::as_lut;
+use crate::lut_gemm::LutGemm;
+use crate::runtime::LutRuntime;
 
 /// Numeric configuration of a deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,68 +44,55 @@ impl DeployConfig {
     }
 }
 
-/// Puts every LUT unit of a [`ConvNet`] into deployment mode.
-pub fn deploy_convnet(net: &ConvNet, ps: &ParamSet, cfg: DeployConfig) {
-    for unit in net.dense_units() {
-        if let Some(lut) = as_lut(unit) {
-            lut.prepare_deploy(ps, cfg.lut_quant, cfg.precision);
-        }
+/// The converted LUT layers among a model's dense units, in unit order.
+///
+/// Both `ConvNet::dense_units()` and
+/// `TransformerClassifier::dense_units()` feed straight in, so every
+/// deploy/undeploy path — any architecture — shares this one call site.
+pub fn lut_layers<'a>(
+    units: impl IntoIterator<Item = &'a DenseUnit>,
+) -> impl Iterator<Item = &'a LutGemm> {
+    units.into_iter().filter_map(as_lut)
+}
+
+/// Reverts every LUT layer among `units` to training-mode forwards. Cached
+/// engines survive in whichever [`LutRuntime`] built them, so a later
+/// re-deploy at an unchanged parameter version is free.
+pub fn undeploy_units<'a>(units: impl IntoIterator<Item = &'a DenseUnit>) {
+    for lut in lut_layers(units) {
+        lut.clear_deploy();
     }
 }
 
-/// Reverts a [`ConvNet`] to training-mode forwards.
-pub fn undeploy_convnet(net: &ConvNet) {
-    for unit in net.dense_units() {
-        if let Some(lut) = as_lut(unit) {
-            lut.clear_deploy();
-        }
-    }
-}
-
-/// Puts every LUT unit of a [`TransformerClassifier`] into deployment mode.
-pub fn deploy_transformer(net: &TransformerClassifier, ps: &ParamSet, cfg: DeployConfig) {
-    for unit in net.dense_units() {
-        if let Some(lut) = as_lut(unit) {
-            lut.prepare_deploy(ps, cfg.lut_quant, cfg.precision);
-        }
-    }
-}
-
-/// Reverts a [`TransformerClassifier`] to training-mode forwards.
-pub fn undeploy_transformer(net: &TransformerClassifier) {
-    for unit in net.dense_units() {
-        if let Some(lut) = as_lut(unit) {
-            lut.clear_deploy();
-        }
-    }
-}
-
-/// Evaluates a converted [`ConvNet`] through the table-lookup path.
+/// Evaluates a converted [`ConvNet`] through the table-lookup path, using
+/// (and warming) the runtime's engine cache at the given numerics.
 pub fn eval_images_deployed(
+    rt: &mut LutRuntime,
     net: &ConvNet,
     ps: &ParamSet,
     data: &ImageDataset,
     batch_size: usize,
     cfg: DeployConfig,
 ) -> f32 {
-    deploy_convnet(net, ps, cfg);
+    rt.deploy_with(net.dense_units(), ps, cfg);
     let acc = eval_images(net, ps, data, batch_size);
-    undeploy_convnet(net);
+    undeploy_units(net.dense_units());
     acc
 }
 
 /// Evaluates a converted [`TransformerClassifier`] through the table-lookup
-/// path.
+/// path, using (and warming) the runtime's engine cache.
 pub fn eval_seq_deployed(
+    rt: &mut LutRuntime,
     net: &TransformerClassifier,
     ps: &ParamSet,
     data: &SeqDataset,
     batch_size: usize,
     cfg: DeployConfig,
 ) -> f32 {
-    deploy_transformer(net, ps, cfg);
+    rt.deploy_with(net.dense_units(), ps, cfg);
     let acc = eval_seq(net, ps, data, batch_size);
-    undeploy_transformer(net);
+    undeploy_units(net.dense_units());
     acc
 }
 
@@ -135,11 +129,12 @@ mod tests {
         let node = net.logits(&mut g, &ps, images.clone());
         let base = g.value(node).clone();
         // … must equal the FP32-deployed table path.
-        deploy_convnet(&net, &ps, DeployConfig::fp32());
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy(net.dense_units(), &ps);
         let mut g = Graph::new(false);
         let node = net.logits(&mut g, &ps, images.clone());
         let deployed = g.value(node).clone();
-        undeploy_convnet(&net);
+        undeploy_units(net.dense_units());
         assert!(
             deployed.allclose(&base, 1e-3),
             "rel err {}",
@@ -172,8 +167,9 @@ mod tests {
             calib,
             &mut rng,
         );
-        let fp32 = eval_images_deployed(&net, &ps, &test, 32, DeployConfig::fp32());
-        let int8 = eval_images_deployed(&net, &ps, &test, 32, DeployConfig::bf16_int8());
+        let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
+        let fp32 = eval_images_deployed(&mut rt, &net, &ps, &test, 32, DeployConfig::fp32());
+        let int8 = eval_images_deployed(&mut rt, &net, &ps, &test, 32, DeployConfig::bf16_int8());
         // Paper: BF16+INT8 costs < 1% accuracy; allow a generous margin on
         // the toy task (untrained conversion → near-chance accuracy is fine,
         // but the two paths must not diverge wildly).
@@ -181,5 +177,14 @@ mod tests {
             (fp32 - int8).abs() < 0.25,
             "fp32 {fp32} vs bf16+int8 {int8}"
         );
+        // One runtime served both sweeps: each numeric config was built
+        // exactly once per layer.
+        let stats = rt.stats();
+        assert_eq!(stats.hits, 0);
+        assert!(stats.misses > 0);
+        // Re-running one config is now all hits.
+        let _ = eval_images_deployed(&mut rt, &net, &ps, &test, 32, DeployConfig::fp32());
+        assert_eq!(rt.stats().misses, stats.misses, "re-eval re-tiled tables");
+        assert!(rt.stats().hits > 0);
     }
 }

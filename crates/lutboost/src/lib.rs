@@ -10,15 +10,20 @@
 //! * [`trainer`] — the multistage schedule (stage ➁ centroid calibration,
 //!   stage ➂ joint training) plus the single-stage / from-scratch baselines
 //!   used in Figs. 7 & 12 and Table II;
-//! * [`deploy`] — freezing a converted model into quantized lookup tables
-//!   and evaluating it exactly as the IMM hardware executes it (Table IV).
+//! * [`deploy`] — deployment numerics and the model-level deploy/undeploy
+//!   helpers (Table IV's FP32/BF16+INT8 columns);
+//! * [`runtime`] — [`LutRuntime`], the deployment/serving session object:
+//!   a cached-engine store (keyed on parameter identity/version and the
+//!   deployment numerics), a persistent worker pool shared by every engine,
+//!   and micro-batched serving sessions that coalesce single-row `submit`
+//!   calls into batched engine runs.
 //!
-//! # Example: convert a tiny ResNet and deploy at BF16+INT8
+//! # Example: convert a tiny ResNet, deploy at BF16+INT8, serve rows
 //!
 //! ```no_run
 //! use lutdla_lutboost::{
-//!     convert_and_train_images, eval_images_deployed, DeployConfig, LutConfig, Strategy,
-//!     ConvertPolicy, TrainSchedule,
+//!     convert_and_train_images, eval_images_deployed, lut_layers, DeployConfig, LutConfig,
+//!     LutRuntime, Strategy, ConvertPolicy, TrainSchedule,
 //! };
 //! use lutdla_models::trainable::resnet20_mini;
 //! use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
@@ -32,25 +37,33 @@
 //!     &mut net, &mut ps, Strategy::Multistage, LutConfig::default(),
 //!     ConvertPolicy::default(), &TrainSchedule::default(), &train, &test, 0,
 //! );
-//! let acc = eval_images_deployed(&net, &ps, &test, 32, DeployConfig::bf16_int8());
+//! let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
+//! let acc = eval_images_deployed(&mut rt, &net, &ps, &test, 32, DeployConfig::bf16_int8());
 //! println!("LUT model accuracy: {acc} (train-path: {})", outcome.test_accuracy);
+//!
+//! // Serve single rows through a micro-batched session on one LUT layer.
+//! let lut = lut_layers(net.dense_units()).next().expect("a converted layer");
+//! let session = rt.session(lut, &ps); // engine comes from the cache
+//! let pending = session.submit(&vec![0.0; session.input_dim()]).expect("row");
+//! let _row_out = pending.wait().expect("served");
 //! ```
 
 mod convert;
 mod deploy;
 mod fold;
 mod lut_gemm;
+mod runtime;
 mod trainer;
 
 pub use convert::{
     as_lut, as_lut_mut, lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles,
 };
 pub use deploy::{
-    deploy_convnet, deploy_transformer, eval_images_deployed, eval_seq_deployed, undeploy_convnet,
-    undeploy_transformer, DeployConfig,
+    eval_images_deployed, eval_seq_deployed, lut_layers, undeploy_units, DeployConfig,
 };
 pub use fold::{fold_bn_into_weight, fold_bn_param, BnParams};
 pub use lut_gemm::{LutConfig, LutGemm};
+pub use runtime::{CacheStats, LutRuntime, RuntimeOptions};
 pub use trainer::{
     convert_and_train_images, convert_and_train_seq, fresh_pretrained_convnet,
     fresh_pretrained_transformer, ConversionOutcome, Strategy, TrainSchedule,

@@ -17,10 +17,7 @@ use std::cell::RefCell;
 
 use lutdla_nn::{CustomOp, Graph, NodeId, ParamId, ParamSet};
 use lutdla_tensor::Tensor;
-use lutdla_vq::{
-    Codebook, Distance, EngineOptions, FloatPrecision, LutEngine, LutQuant, LutTable,
-    ProductQuantizer,
-};
+use lutdla_vq::{Codebook, Distance, ProductQuantizer, SharedEngine};
 use rand::Rng;
 
 use lutdla_models::trainable::GemmOp;
@@ -67,12 +64,14 @@ pub struct LutGemm {
     deploy: RefCell<Option<DeployState>>,
 }
 
-/// Frozen inference artifacts: the batched [`LutEngine`] built from the
-/// exported quantizer and table, stamped with the parameter version it was
-/// frozen at so serving stale tables is caught in debug builds.
+/// Frozen inference artifacts: a handle to the batched engine built from
+/// the exported quantizer and table — owned by the [`crate::LutRuntime`]
+/// that installed it (and possibly shared with its cache and serving
+/// sessions) — stamped with the parameter version it was frozen at so
+/// serving stale tables is caught in debug builds.
 struct DeployState {
     params_version: u64,
-    engine: LutEngine,
+    engine: SharedEngine,
 }
 
 impl LutGemm {
@@ -181,36 +180,34 @@ impl LutGemm {
         (pq, ps.value(self.weight).clone())
     }
 
-    /// Freezes the operator for deployment: exports the quantizer,
-    /// precomputes the lookup table at the given entry precision, and builds
-    /// a batched [`LutEngine`] over it.
+    /// Freezes the operator for deployment by installing a shared engine
+    /// handle, stamped with the [`ParamSet::version`] the engine's tables
+    /// were built at.
     ///
-    /// While deployed, eval-mode forwards use the engine (the functional
-    /// twin of the IMM hardware); training forwards are unaffected. The
-    /// state is stamped with [`ParamSet::version`]: serving after further
-    /// training trips a `debug_assert`, and the trainer's stage transitions
-    /// call [`LutGemm::clear_deploy`]. Call `prepare_deploy` again after any
-    /// further training.
-    pub fn prepare_deploy(&self, ps: &ParamSet, quant: LutQuant, precision: FloatPrecision) {
-        let (pq, weight) = self.export(ps);
-        let table = LutTable::build(&pq, &weight, quant);
-        let engine = LutEngine::with_opts(
-            pq,
-            &table,
-            EngineOptions {
-                precision,
-                ..EngineOptions::default()
-            },
-        );
+    /// This is the runtime's half of deployment: [`crate::LutRuntime`]
+    /// resolves (or builds) the engine through its cache and installs it
+    /// here — the layer itself never constructs engines. While deployed,
+    /// eval-mode forwards run through the engine (the functional twin of
+    /// the IMM hardware); training forwards are unaffected. Serving after
+    /// further training trips a `debug_assert`, and the trainer's stage
+    /// transitions call [`LutGemm::clear_deploy`].
+    pub fn install_deploy(&self, engine: SharedEngine, params_version: u64) {
         *self.deploy.borrow_mut() = Some(DeployState {
-            params_version: ps.version(),
+            params_version,
             engine,
         });
     }
 
-    /// Leaves deployment mode.
+    /// Leaves deployment mode. The engine itself stays alive in any
+    /// [`crate::LutRuntime`] cache that built it, ready for a free
+    /// re-deploy at the same parameter version.
     pub fn clear_deploy(&self) {
         *self.deploy.borrow_mut() = None;
+    }
+
+    /// The installed engine handle, if the layer is deployed.
+    pub fn deployed_engine(&self) -> Option<SharedEngine> {
+        self.deploy.borrow().as_ref().map(|d| d.engine.clone())
     }
 
     /// Quantizes activations `x: [M, K]` to `(Â, assignments)`.
@@ -301,14 +298,14 @@ impl CustomOp for LutQuantizeOp {
 impl GemmOp for LutGemm {
     fn forward_gemm(&self, g: &mut Graph, ps: &ParamSet, x: NodeId) -> NodeId {
         if !g.is_train() {
-            if let Some(d) = self.deploy.borrow_mut().as_mut() {
+            if let Some(d) = self.deploy.borrow().as_ref() {
                 debug_assert_eq!(
                     d.params_version,
                     ps.version(),
-                    "stale DeployState: parameters changed since prepare_deploy \
+                    "stale DeployState: parameters changed since deployment \
                      (re-deploy, or let the trainer's stage transitions clear it)"
                 );
-                let y = d.engine.run_batch(g.value(x));
+                let y = lutdla_vq::lock_engine(&d.engine).run_batch(g.value(x));
                 return g.input(y);
             }
         }
@@ -537,11 +534,14 @@ mod tests {
         let x = calib.rows(0, 16);
         let (ahat, _) = lut.quantize(&x, &ps);
         let expect = ahat.matmul(ps.value(lut.weight()));
-        lut.prepare_deploy(&ps, LutQuant::F32, FloatPrecision::Fp32);
+        let mut rt = crate::LutRuntime::new(crate::DeployConfig::fp32());
+        rt.deploy_layers([&lut], &ps);
+        assert!(lut.deployed_engine().is_some());
         let mut g = Graph::new(false);
         let xn = g.input(x);
         let y = lut.forward_gemm(&mut g, &ps, xn);
         lut.clear_deploy();
+        assert!(lut.deployed_engine().is_none());
         assert!(g.value(y).allclose(&expect, 1e-5));
     }
 
@@ -550,7 +550,8 @@ mod tests {
     #[should_panic(expected = "stale DeployState")]
     fn stale_deploy_state_is_caught() {
         let (mut ps, lut, calib) = setup(LutConfig::default());
-        lut.prepare_deploy(&ps, LutQuant::F32, FloatPrecision::Fp32);
+        let mut rt = crate::LutRuntime::new(crate::DeployConfig::fp32());
+        rt.deploy_layers([&lut], &ps);
 
         // One training step after deployment: gradients flow, version bumps.
         let mut g = Graph::new(true);

@@ -1,0 +1,507 @@
+//! `LutRuntime`: the deployment/serving session object (paper §IV's
+//! amortization argument turned into an API).
+//!
+//! LUTBoost's whole premise is that one expensive table build is amortized
+//! over many inferences. The original per-layer
+//! `prepare_deploy`/`clear_deploy` pattern fought that premise: every
+//! deploy call re-exported the quantizer, rebuilt the lookup table, and
+//! re-tiled a fresh `LutEngine` — even when nothing had changed — and every
+//! `run_batch` spawned its worker threads from scratch. `LutRuntime` makes
+//! the deployed model a first-class, long-lived object owning three pieces
+//! of reusable state:
+//!
+//! 1. **An engine cache** keyed on `(ParamSet::uid, weight ParamId, layer
+//!    identity, ParamSet::version, LutQuant, FloatPrecision)`.
+//!    Re-deploying a layer
+//!    whose parameters have not changed — or sweeping deployment precisions
+//!    Table-IV style and returning to one already built — reuses the tiled
+//!    engine with **zero re-tiling** (observable via [`CacheStats`]).
+//!    Bounded capacity with LRU eviction keeps sweeps from hoarding memory.
+//! 2. **A persistent worker pool** ([`WorkerPool`], spawned once,
+//!    channel-fed) shared by every engine the runtime builds, replacing
+//!    per-call thread spawns and keeping a many-layer model from
+//!    oversubscribing the machine.
+//! 3. **Micro-batched serving sessions** ([`MicroBatcher`] front doors from
+//!    [`LutRuntime::session`]) that coalesce single-row `submit` calls into
+//!    the batched `run_batch` calls the engine is fast at — deadline- and
+//!    max-batch-driven, bit-identical to direct batching.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lutdla_lutboost::{DeployConfig, LutRuntime};
+//! # fn demo(net: &lutdla_models::trainable::ConvNet, ps: &lutdla_nn::ParamSet) {
+//! let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
+//! rt.deploy(net.dense_units(), ps); // builds engines (cache misses)
+//! // … evaluate, undeploy, train nothing, come back …
+//! rt.deploy(net.dense_units(), ps); // pure cache hits: zero re-tiling
+//! assert_eq!(rt.stats().hits, rt.stats().misses);
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lutdla_models::trainable::DenseUnit;
+use lutdla_nn::{ParamId, ParamSet};
+use lutdla_vq::{
+    default_workers, share, BatchOptions, EngineOptions, FloatPrecision, LutEngine, LutQuant,
+    LutTable, MicroBatcher, SharedEngine, WorkerPool,
+};
+
+use crate::deploy::{lut_layers, DeployConfig};
+use crate::lut_gemm::LutGemm;
+
+/// What uniquely identifies a tiled engine: whose weights (set identity +
+/// weight handle), which LUT layer (`centroid0` — the first centroid
+/// parameter, unique per `LutGemm` since every instance registers its own
+/// centroid tensors, so two layers wrapping the *same* weight with
+/// different codebooks/configs never collide), at which parameter version,
+/// frozen at which table/datapath precisions. Any parameter mutation bumps
+/// the version and changes the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    set_uid: u64,
+    weight: ParamId,
+    centroid0: ParamId,
+    version: u64,
+    quant: LutQuant,
+    precision: FloatPrecision,
+}
+
+struct CacheEntry {
+    engine: SharedEngine,
+    last_used: u64,
+}
+
+/// Engine-cache hit/miss/eviction counters. A deploy whose `misses` did not
+/// advance performed zero table re-tiling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Engine requests served from the cache.
+    pub hits: u64,
+    /// Engine requests that built (exported, tabled, tiled) a new engine.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+/// Construction-time options for [`LutRuntime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Worker threads in the shared pool (and per-engine dispatch width).
+    /// Defaults to [`default_workers`], which honours `LUTDLA_WORKERS`.
+    pub workers: usize,
+    /// Maximum cached engines before LRU eviction (at least 1).
+    pub cache_capacity: usize,
+    /// Coalescing policy for [`LutRuntime::session`] front doors.
+    pub batch: BatchOptions,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            workers: default_workers(),
+            cache_capacity: 16,
+            batch: BatchOptions::default(),
+        }
+    }
+}
+
+/// The deployment/serving session object. See the module docs.
+pub struct LutRuntime {
+    cfg: DeployConfig,
+    opts: RuntimeOptions,
+    pool: Arc<WorkerPool>,
+    cache: HashMap<CacheKey, CacheEntry>,
+    /// Logical clock for LRU ordering; advanced on every cache access.
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl LutRuntime {
+    /// A runtime with the given default deployment numerics and default
+    /// [`RuntimeOptions`].
+    pub fn new(cfg: DeployConfig) -> Self {
+        Self::with_options(cfg, RuntimeOptions::default())
+    }
+
+    /// A runtime with explicit pool/cache/batching options.
+    pub fn with_options(cfg: DeployConfig, opts: RuntimeOptions) -> Self {
+        let workers = opts.workers.max(1);
+        Self {
+            cfg,
+            opts: RuntimeOptions { workers, ..opts },
+            pool: Arc::new(WorkerPool::new(workers)),
+            cache: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The default deployment numerics (`deploy`/`session` use these; the
+    /// `*_with` variants override per call).
+    pub fn config(&self) -> DeployConfig {
+        self.cfg
+    }
+
+    /// Engine-cache counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of engines currently cached.
+    pub fn cached_engines(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The worker pool shared by every engine this runtime builds.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Resolves the engine for `lut` at the runtime's default numerics.
+    pub fn engine_for(&mut self, lut: &LutGemm, ps: &ParamSet) -> SharedEngine {
+        self.engine_with(lut, ps, self.cfg)
+    }
+
+    /// Resolves the engine for `lut` at explicit numerics: a cache hit
+    /// returns the existing tiled engine (zero rebuild work); a miss
+    /// exports the quantizer, precomputes the table, tiles an engine on the
+    /// shared pool, and caches it (evicting the least-recently-used entry
+    /// at capacity).
+    pub fn engine_with(&mut self, lut: &LutGemm, ps: &ParamSet, cfg: DeployConfig) -> SharedEngine {
+        let key = CacheKey {
+            set_uid: ps.uid(),
+            weight: lut.weight(),
+            centroid0: lut.centroid_params()[0],
+            version: ps.version(),
+            quant: cfg.lut_quant,
+            precision: cfg.precision,
+        };
+        self.tick += 1;
+        if let Some(entry) = self.cache.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.stats.hits += 1;
+            return Arc::clone(&entry.engine);
+        }
+        self.stats.misses += 1;
+        let (pq, weight) = lut.export(ps);
+        let table = LutTable::build(&pq, &weight, cfg.lut_quant);
+        let engine = LutEngine::with_opts(
+            pq,
+            &table,
+            EngineOptions {
+                precision: cfg.precision,
+                workers: self.opts.workers,
+                ..EngineOptions::default()
+            },
+        )
+        .with_pool(Arc::clone(&self.pool));
+        let engine = share(engine);
+        if self.cache.len() >= self.opts.cache_capacity.max(1) {
+            let lru = self
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            if let Some(lru) = lru {
+                self.cache.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.cache.insert(
+            key,
+            CacheEntry {
+                engine: Arc::clone(&engine),
+                last_used: self.tick,
+            },
+        );
+        engine
+    }
+
+    /// Deploys every LUT layer in `layers` at the runtime's default
+    /// numerics (cache-aware; see [`LutRuntime::engine_with`]).
+    pub fn deploy_layers<'a>(
+        &mut self,
+        layers: impl IntoIterator<Item = &'a LutGemm>,
+        ps: &ParamSet,
+    ) {
+        self.deploy_layers_with(layers, ps, self.cfg);
+    }
+
+    /// Deploys every LUT layer in `layers` at explicit numerics.
+    pub fn deploy_layers_with<'a>(
+        &mut self,
+        layers: impl IntoIterator<Item = &'a LutGemm>,
+        ps: &ParamSet,
+        cfg: DeployConfig,
+    ) {
+        for lut in layers {
+            let engine = self.engine_with(lut, ps, cfg);
+            lut.install_deploy(engine, ps.version());
+        }
+    }
+
+    /// Deploys every converted layer of a model, given its dense units
+    /// (both `ConvNet::dense_units()` and
+    /// `TransformerClassifier::dense_units()` feed straight in). One call
+    /// site for every architecture — non-LUT units pass through untouched.
+    pub fn deploy<'a>(&mut self, units: impl IntoIterator<Item = &'a DenseUnit>, ps: &ParamSet) {
+        self.deploy_layers(lut_layers(units), ps);
+    }
+
+    /// [`LutRuntime::deploy`] at explicit numerics (precision sweeps).
+    pub fn deploy_with<'a>(
+        &mut self,
+        units: impl IntoIterator<Item = &'a DenseUnit>,
+        ps: &ParamSet,
+        cfg: DeployConfig,
+    ) {
+        self.deploy_layers_with(lut_layers(units), ps, cfg);
+    }
+
+    /// Opens a micro-batched serving session over one layer's engine: a
+    /// front door whose `submit(row)` calls coalesce into batched engine
+    /// runs (see [`MicroBatcher`]). The engine comes from the cache, so a
+    /// session over an already-deployed layer shares its tables.
+    pub fn session(&mut self, lut: &LutGemm, ps: &ParamSet) -> MicroBatcher {
+        MicroBatcher::new(self.engine_for(lut, ps), self.opts.batch)
+    }
+
+    /// [`LutRuntime::session`] at explicit numerics.
+    pub fn session_with(
+        &mut self,
+        lut: &LutGemm,
+        ps: &ParamSet,
+        cfg: DeployConfig,
+    ) -> MicroBatcher {
+        MicroBatcher::new(self.engine_with(lut, ps, cfg), self.opts.batch)
+    }
+
+    /// Drops every cached engine (counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+impl std::fmt::Debug for LutRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LutRuntime")
+            .field("cfg", &self.cfg)
+            .field("workers", &self.opts.workers)
+            .field("cached_engines", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{lutify_convnet, CentroidInit, ConvertPolicy};
+    use crate::deploy::undeploy_units;
+    use crate::lut_gemm::LutConfig;
+    use lutdla_models::trainable::resnet20_mini;
+    use lutdla_nn::{Graph, ImageModel};
+    use lutdla_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer_setup() -> (ParamSet, LutGemm, Tensor) {
+        let mut rng = StdRng::seed_from_u64(120);
+        let mut ps = ParamSet::new();
+        let calib = Tensor::rand_uniform(&mut rng, &[64, 8], -1.0, 1.0);
+        let w = ps.add("w", Tensor::randn(&mut rng, &[8, 4], 0.5));
+        let lut =
+            LutGemm::from_weight_kmeans(&mut ps, &mut rng, "lut", w, LutConfig::default(), &calib);
+        (ps, lut, calib)
+    }
+
+    #[test]
+    fn redeploy_at_same_version_is_a_pure_cache_hit() {
+        let (ps, lut, _) = layer_setup();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy_layers([&lut], &ps);
+        assert_eq!(
+            rt.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let first = lut.deployed_engine().expect("deployed");
+
+        // Undeploy and re-deploy with the ParamSet untouched: the engine
+        // must come back from the cache — zero table re-tiling.
+        lut.clear_deploy();
+        rt.deploy_layers([&lut], &ps);
+        assert_eq!(
+            rt.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let second = lut.deployed_engine().expect("re-deployed");
+        assert!(Arc::ptr_eq(&first, &second), "got a rebuilt engine");
+    }
+
+    #[test]
+    fn parameter_mutation_bumps_version_and_misses() {
+        let (mut ps, lut, _) = layer_setup();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy_layers([&lut], &ps);
+        let first = lut.deployed_engine().expect("deployed");
+
+        // Any mutable access bumps ParamSet::version → the cached engine no
+        // longer matches and a fresh one must be built.
+        ps.value_mut(lut.weight()).fill_mut(0.25);
+        rt.deploy_layers([&lut], &ps);
+        assert_eq!(rt.stats().misses, 2, "stale engine was served");
+        let second = lut.deployed_engine().expect("re-deployed");
+        assert!(!Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn precision_sweep_reuses_engines_per_config() {
+        let (ps, lut, _) = layer_setup();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        // Table-IV-style sweep: fp32 → bf16+int8 → fp32 → bf16+int8.
+        for _ in 0..2 {
+            rt.deploy_layers_with([&lut], &ps, DeployConfig::fp32());
+            rt.deploy_layers_with([&lut], &ps, DeployConfig::bf16_int8());
+        }
+        // Two distinct configs built once each; the second round is hits.
+        assert_eq!(rt.stats().misses, 2);
+        assert_eq!(rt.stats().hits, 2);
+        assert_eq!(rt.cached_engines(), 2);
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_least_recently_used() {
+        let (ps, lut, _) = layer_setup();
+        let mut rt = LutRuntime::with_options(
+            DeployConfig::fp32(),
+            RuntimeOptions {
+                cache_capacity: 1,
+                ..RuntimeOptions::default()
+            },
+        );
+        rt.deploy_layers_with([&lut], &ps, DeployConfig::fp32());
+        rt.deploy_layers_with([&lut], &ps, DeployConfig::bf16_int8());
+        assert_eq!(rt.cached_engines(), 1, "capacity bound not enforced");
+        assert_eq!(rt.stats().evictions, 1);
+        // The evicted fp32 engine must be rebuilt on the next request.
+        rt.deploy_layers_with([&lut], &ps, DeployConfig::fp32());
+        assert_eq!(rt.stats().misses, 3);
+    }
+
+    #[test]
+    fn two_layers_over_one_weight_never_share_engines() {
+        // Ablation shape: two LutGemm instances wrap the same dense weight
+        // with different configs/codebooks. Their engines encode against
+        // different centroids, so a shared cache entry would serve silently
+        // wrong numerics — the key must discriminate by layer.
+        let mut rng = StdRng::seed_from_u64(122);
+        let mut ps = ParamSet::new();
+        let calib = Tensor::rand_uniform(&mut rng, &[64, 8], -1.0, 1.0);
+        let w = ps.add("w", Tensor::randn(&mut rng, &[8, 4], 0.5));
+        let lut_a =
+            LutGemm::from_weight_kmeans(&mut ps, &mut rng, "a", w, LutConfig::default(), &calib);
+        let lut_b = LutGemm::from_weight_kmeans(
+            &mut ps,
+            &mut rng,
+            "b",
+            w,
+            LutConfig {
+                c: 8,
+                ..LutConfig::default()
+            },
+            &calib,
+        );
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy_layers([&lut_a, &lut_b], &ps);
+        assert_eq!(rt.stats().misses, 2, "layers collided in the cache");
+        let ea = lut_a.deployed_engine().expect("a deployed");
+        let eb = lut_b.deployed_engine().expect("b deployed");
+        assert!(!Arc::ptr_eq(&ea, &eb), "one engine served both layers");
+    }
+
+    #[test]
+    fn distinct_param_sets_never_share_engines() {
+        let (ps, lut, _) = layer_setup();
+        // A clone has identical ids/version but its own uid: engines built
+        // for one must not be served for the other (their values diverge
+        // silently otherwise).
+        let ps2 = ps.clone();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy_layers([&lut], &ps);
+        rt.deploy_layers([&lut], &ps2);
+        assert_eq!(rt.stats().misses, 2, "cross-ParamSet cache collision");
+    }
+
+    #[test]
+    fn session_serves_rows_bit_identical_to_the_deployed_engine() {
+        let (ps, lut, calib) = layer_setup();
+        let x = calib.rows(0, 8);
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy_layers([&lut], &ps);
+        let engine = lut.deployed_engine().expect("deployed");
+        let reference = lutdla_vq::lock_engine(&engine).run_batch(&x);
+
+        let session = rt.session(&lut, &ps);
+        // The session shares the deployed engine through the cache.
+        assert_eq!(rt.stats().hits, 1);
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        let n = reference.dims()[1];
+        let handles: Vec<_> = (0..m)
+            .map(|i| session.submit(&x.data()[i * k..(i + 1) * k]).expect("row"))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("session alive");
+            assert_eq!(out.as_slice(), &reference.data()[i * n..(i + 1) * n]);
+        }
+    }
+
+    #[test]
+    fn whole_net_deploy_via_dense_units_matches_eval_forward() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        let images = Tensor::randn(&mut rng, &[4, 3, 16, 16], 1.0);
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            images.clone(),
+            &mut rng,
+        );
+        let mut g = Graph::new(false);
+        let node = net.logits(&mut g, &ps, images.clone());
+        let base = g.value(node).clone();
+
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        rt.deploy(net.dense_units(), &ps);
+        let deployed_layers = rt.stats().misses;
+        assert!(deployed_layers > 0, "nothing deployed");
+        let mut g = Graph::new(false);
+        let node = net.logits(&mut g, &ps, images);
+        let deployed = g.value(node).clone();
+        undeploy_units(net.dense_units());
+        assert!(
+            deployed.allclose(&base, 1e-3),
+            "rel err {}",
+            deployed.rel_error(&base)
+        );
+
+        // Re-deploying the whole net at the same version re-tiles nothing.
+        rt.deploy(net.dense_units(), &ps);
+        assert_eq!(rt.stats().misses, deployed_layers);
+        assert_eq!(rt.stats().hits, deployed_layers);
+    }
+}

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use lutdla_models::trainable::{ConvNet, TransformerClassifier};
 
 use crate::convert::{lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles};
-use crate::deploy::{undeploy_convnet, undeploy_transformer};
+use crate::deploy::undeploy_units;
 use crate::lut_gemm::LutConfig;
 
 /// The conversion strategy being evaluated.
@@ -110,7 +110,7 @@ pub fn convert_and_train_images(
     let handles = lutify_convnet(net, ps, lut_cfg, init, policy, calib, &mut rng);
     // Every stage transition invalidates frozen deploy tables: training is
     // about to mutate the parameters they were built from.
-    undeploy_convnet(net);
+    undeploy_units(net.dense_units());
 
     let mut epoch_losses = Vec::new();
     let mut joint_start = 0;
@@ -123,7 +123,7 @@ pub fn convert_and_train_images(
         }
         ps.set_all_trainable(true);
         joint_start = epoch_losses.len();
-        undeploy_convnet(net);
+        undeploy_units(net.dense_units());
     }
     // Joint stage: single-stage variants get the full epoch budget here.
     let joint_epochs = match strategy {
@@ -135,7 +135,7 @@ pub fn convert_and_train_images(
         let stats = train_epoch_images(net, ps, &mut opt, train, schedule.batch_size);
         epoch_losses.push(stats.loss);
     }
-    undeploy_convnet(net);
+    undeploy_units(net.dense_units());
 
     let test_accuracy = eval_images(net, ps, test, schedule.batch_size);
     ConversionOutcome {
@@ -181,7 +181,7 @@ pub fn convert_and_train_seq(
         &mut rng,
     );
     // See convert_and_train_images: stage transitions invalidate deploy state.
-    undeploy_transformer(net);
+    undeploy_units(net.dense_units());
 
     let mut epoch_losses = Vec::new();
     let mut joint_start = 0;
@@ -194,7 +194,7 @@ pub fn convert_and_train_seq(
         }
         ps.set_all_trainable(true);
         joint_start = epoch_losses.len();
-        undeploy_transformer(net);
+        undeploy_units(net.dense_units());
     }
     let joint_epochs = match strategy {
         Strategy::Multistage => schedule.joint_epochs,
@@ -205,7 +205,7 @@ pub fn convert_and_train_seq(
         let stats = train_epoch_seq(net, ps, &mut opt, train, schedule.batch_size);
         epoch_losses.push(stats.loss);
     }
-    undeploy_transformer(net);
+    undeploy_units(net.dense_units());
 
     let test_accuracy = eval_seq(net, ps, test, schedule.batch_size);
     ConversionOutcome {

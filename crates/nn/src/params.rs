@@ -44,7 +44,7 @@ pub struct Parameter {
 /// assert_eq!(ps.value(w).numel(), 4);
 /// ps.zero_grad();
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct ParamSet {
     params: Vec<Parameter>,
     /// Monotonic change counter: bumped whenever parameter values may have
@@ -53,12 +53,54 @@ pub struct ParamSet {
     /// cache derived artifacts (e.g. LUT deploy tables) record the version
     /// at build time and compare it to detect staleness.
     version: u64,
+    /// Process-unique identity of this set. `ParamId`s are plain indices
+    /// and `version` counters advance independently per set, so neither is
+    /// meaningful across sets; caches keyed on `(uid, ParamId, version)`
+    /// (the `LutRuntime` engine cache) need this to tell two models apart.
+    uid: u64,
+}
+
+/// Source of [`ParamSet::uid`] values. Starts at 1 so 0 can act as an
+/// obvious "no set" sentinel in debugging output.
+static NEXT_PARAMSET_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_uid() -> u64 {
+    NEXT_PARAMSET_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Default for ParamSet {
+    fn default() -> Self {
+        Self {
+            params: Vec::new(),
+            version: 0,
+            uid: fresh_uid(),
+        }
+    }
+}
+
+impl Clone for ParamSet {
+    /// Cloning copies values and version but mints a fresh [`ParamSet::uid`]:
+    /// after the clone, the two sets mutate (and bump versions)
+    /// independently, so sharing an identity would let version-keyed caches
+    /// serve one set's artifacts for the other's diverged values.
+    fn clone(&self) -> Self {
+        Self {
+            params: self.params.clone(),
+            version: self.version,
+            uid: fresh_uid(),
+        }
+    }
 }
 
 impl ParamSet {
     /// Creates an empty parameter set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// This set's process-unique identity (see the `uid` field).
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Registers a parameter and returns its handle.
@@ -245,6 +287,16 @@ mod tests {
         let v4 = ps.version();
         let _ = (ps.value(id), ps.grad(id), ps.iter().count());
         assert_eq!(ps.version(), v4);
+    }
+
+    #[test]
+    fn uids_are_unique_and_clones_get_fresh_ones() {
+        let a = ParamSet::new();
+        let b = ParamSet::new();
+        assert_ne!(a.uid(), b.uid(), "two sets share an identity");
+        let c = a.clone();
+        assert_ne!(a.uid(), c.uid(), "clone kept the original's identity");
+        assert_ne!(a.uid(), 0, "0 is reserved as a sentinel");
     }
 
     #[test]

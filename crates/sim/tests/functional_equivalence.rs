@@ -5,10 +5,12 @@
 //! to the scalar `approx_matmul_from_codes` walk — so one check pins all
 //! three implementations (scalar, engine, hardware loop nest) together.
 
+use std::sync::Arc;
+
 use lutdla_sim::{functional_ls, Gemm, SimConfig, TableSource};
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
-    approx_matmul_from_codes, Distance, LutEngine, LutQuant, LutTable, ProductQuantizer,
+    approx_matmul_from_codes, Distance, LutEngine, LutQuant, LutTable, ProductQuantizer, WorkerPool,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,7 +33,10 @@ fn check(metric: Distance, v: usize, c: usize, tn: usize, m_rows: usize, n_imm: 
     let codes = pq.encode(&a);
 
     let scalar = approx_matmul_from_codes(&codes, g.m, &pq, &lut);
-    let mut engine = LutEngine::new(pq, &lut);
+    // Run the engine the way the serving runtime does: multithreaded on a
+    // persistent worker pool (chunk split exercised even at these small m).
+    let pool = Arc::new(WorkerPool::new(2));
+    let mut engine = LutEngine::new(pq, &lut).with_workers(2).with_pool(pool);
     let reference = engine
         .run_from_codes(&codes, g.m)
         .expect("codes straight from encode are always valid");

@@ -27,11 +27,15 @@
 //!    path (INT8 entries are pre-dequantized with exactly the arithmetic of
 //!    [`LutTable::accumulate`]).
 //!
-//! 3. **Scoped row-parallelism.** Batches are split into contiguous row
-//!    chunks executed on `std::thread::scope` workers (no external thread
-//!    pool). Each worker owns its scratch (code buffer), which the engine
-//!    retains across calls — steady-state `run_batch` allocates only the
-//!    output tensor.
+//! 3. **Pooled row-parallelism.** Batches are split into contiguous row
+//!    chunks executed on a persistent [`WorkerPool`] (threads spawned once,
+//!    channel-fed) instead of per-call `std::thread::scope` spawns. An
+//!    engine lazily creates its own pool on first multithreaded dispatch,
+//!    or shares one injected via [`LutEngine::with_pool`] — the runtime
+//!    layer hands every engine of a deployed model the same pool so a
+//!    many-layer model does not oversubscribe the machine. Per-chunk
+//!    scratch (code buffers) is retained across calls — steady-state
+//!    `run_batch` allocates only the output tensor.
 //!
 //! # Buffer-reuse contract
 //!
@@ -59,12 +63,14 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use lutdla_tensor::Tensor;
 
 use crate::codebook::ProductQuantizer;
 use crate::distance::Distance;
 use crate::lut::LutTable;
+use crate::pool::WorkerPool;
 use crate::precision::FloatPrecision;
 
 /// Default output-tile width (floats). 64 entries = one 256-byte burst per
@@ -98,13 +104,36 @@ impl Default for EngineOptions {
     }
 }
 
-/// A conservative default worker count: the machine's parallelism, capped
-/// so a deployed model with many engines doesn't oversubscribe.
+/// Upper bound on any worker/pool size: far above useful parallelism for
+/// this kernel, low enough that a typo'd `LUTDLA_WORKERS=10000` cannot
+/// spawn a thread storm.
+pub const MAX_WORKERS: usize = 64;
+
+/// Default worker count for engines and pools.
+///
+/// The `LUTDLA_WORKERS` environment variable, when set to a positive
+/// integer, overrides the detected parallelism (clamped to
+/// `1..=`[`MAX_WORKERS`]); otherwise the machine's parallelism is used,
+/// capped at 8 so a deployed model with many engines doesn't oversubscribe.
+/// On a 1-CPU machine both paths bottom out at a single worker.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    worker_count(
+        std::env::var("LUTDLA_WORKERS").ok().as_deref(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+/// Pure sizing rule behind [`default_workers`], split out so the override
+/// and clamping behaviour is unit-testable without mutating the process
+/// environment. Unparseable or zero overrides fall back to the detected
+/// parallelism.
+fn worker_count(env_override: Option<&str>, parallelism: usize) -> usize {
+    match env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n.clamp(1, MAX_WORKERS),
+        _ => parallelism.clamp(1, 8),
+    }
 }
 
 /// Errors surfaced by the code-driven entry point.
@@ -202,6 +231,10 @@ pub struct LutEngine {
     core: EngineCore,
     scratch: Vec<Scratch>,
     workers: usize,
+    /// The persistent pool multithreaded dispatch runs on: injected via
+    /// [`LutEngine::with_pool`] (shared across engines), or created lazily
+    /// on first use and kept for the engine's lifetime.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl LutEngine {
@@ -289,6 +322,7 @@ impl LutEngine {
             core,
             scratch,
             workers,
+            pool: None,
         }
     }
 
@@ -296,6 +330,14 @@ impl LutEngine {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self.scratch.resize_with(self.workers, Scratch::default);
+        self
+    }
+
+    /// Runs multithreaded dispatch on a shared [`WorkerPool`] instead of a
+    /// lazily created private one (builder style). All engines of a
+    /// deployed model should share one pool.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -387,20 +429,28 @@ impl LutEngine {
     /// single chunk suffices. `m ≥ 1`: zero-sized tensors cannot exist in
     /// this workspace, so both entry points always hand over real rows.
     fn dispatch(&mut self, m: usize, input: Input<'_>, out: &mut [f32]) {
-        let workers = self
+        let chunks = self
             .workers
             .min(m.div_ceil(MIN_ROWS_PER_WORKER))
             .clamp(1, m);
-        let rows_per = m.div_ceil(workers);
+        let rows_per = m.div_ceil(chunks);
+        let target_pool = self.workers;
         let core = &self.core;
-        if workers == 1 {
+        if chunks == 1 {
             core.run_chunk(input.slice(core, 0, m), out, &mut self.scratch[0]);
             return;
         }
-        std::thread::scope(|scope| {
+        // Chunks are queued on the persistent pool; if the pool has fewer
+        // threads than chunks (a shared pool on a busy machine) the excess
+        // simply waits its turn — results are independent of thread count.
+        let pool = Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::new(WorkerPool::new(target_pool))),
+        );
+        pool.scope(|scope| {
             let mut row0 = 0usize;
             let mut out_rest = out;
-            for scratch in self.scratch.iter_mut().take(workers) {
+            for scratch in self.scratch.iter_mut().take(chunks) {
                 let rows = rows_per.min(m - row0);
                 let (out_chunk, rest) = out_rest.split_at_mut(rows * core.n);
                 out_rest = rest;
@@ -879,5 +929,56 @@ mod tests {
         let y1 = one.run_batch(&a);
         let y4 = four.run_batch(&a);
         assert!(y1.allclose(&y4, 0.0));
+    }
+
+    #[test]
+    fn engines_sharing_one_pool_stay_bit_identical() {
+        let (a, pq, table) = setup(64, 16, 24, 4, 16, 47);
+        let mut reference = LutEngine::new(pq.clone(), &table).with_workers(1);
+        let expect = reference.run_batch(&a);
+
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut e1 = LutEngine::new(pq.clone(), &table)
+            .with_workers(2)
+            .with_pool(Arc::clone(&pool));
+        let mut e2 = LutEngine::new(pq, &table)
+            .with_workers(3)
+            .with_pool(Arc::clone(&pool));
+        // Repeated calls reuse the same persistent threads.
+        for _ in 0..3 {
+            assert!(e1.run_batch(&a).allclose(&expect, 0.0));
+            assert!(e2.run_batch(&a).allclose(&expect, 0.0));
+        }
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn worker_count_env_override_and_clamps() {
+        // No override: detected parallelism, capped at 8, floored at 1.
+        assert_eq!(worker_count(None, 1), 1);
+        assert_eq!(worker_count(None, 4), 4);
+        assert_eq!(worker_count(None, 32), 8);
+        // Override wins and is clamped to 1..=MAX_WORKERS.
+        assert_eq!(worker_count(Some("3"), 1), 3);
+        assert_eq!(worker_count(Some(" 12 "), 1), 12);
+        assert_eq!(worker_count(Some("100000"), 4), MAX_WORKERS);
+        // Zero or garbage falls back to the detected parallelism —
+        // on a 1-CPU machine that still yields a sane single worker.
+        assert_eq!(worker_count(Some("0"), 1), 1);
+        assert_eq!(worker_count(Some("not-a-number"), 2), 2);
+        assert_eq!(worker_count(Some(""), 1), 1);
+    }
+
+    #[test]
+    fn default_workers_respects_env_var() {
+        // Process-global env mutation: this is the only test that touches
+        // LUTDLA_WORKERS, and it restores the variable before returning.
+        let saved = std::env::var("LUTDLA_WORKERS").ok();
+        std::env::set_var("LUTDLA_WORKERS", "5");
+        assert_eq!(default_workers(), 5);
+        match saved {
+            Some(v) => std::env::set_var("LUTDLA_WORKERS", v),
+            None => std::env::remove_var("LUTDLA_WORKERS"),
+        }
     }
 }

@@ -38,15 +38,23 @@ mod engine;
 mod kmeans;
 mod lut;
 mod nonlinear;
+mod pool;
 mod precision;
+mod serve;
 
 pub use amm::{
     amm_error, approx_matmul, approx_matmul_from_codes, approx_matmul_with_precision, AmmError,
 };
 pub use codebook::{Codebook, ProductQuantizer};
 pub use distance::{Distance, ParseDistanceError};
-pub use engine::{default_workers, EngineError, EngineOptions, LutEngine, DEFAULT_TILE_N};
+pub use engine::{
+    default_workers, EngineError, EngineOptions, LutEngine, DEFAULT_TILE_N, MAX_WORKERS,
+};
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use lut::{LutQuant, LutTable};
 pub use nonlinear::{Nonlinearity, PiecewiseTable};
+pub use pool::{PoolScope, WorkerPool};
 pub use precision::{bf16_round, fp16_round, FloatPrecision, Int8Block};
+pub use serve::{
+    lock_engine, share, BatchOptions, MicroBatcher, Pending, SharedEngine, SubmitError,
+};

@@ -1,0 +1,316 @@
+//! `WorkerPool`: a persistent, channel-fed thread pool with a scoped-spawn
+//! API.
+//!
+//! The deploy path used to pay a `std::thread::spawn` per worker per
+//! `run_batch` call (via `std::thread::scope`). For serving workloads —
+//! many small batches against long-lived engines — that spawn cost
+//! dominates. This pool spawns its threads once; engines (and anything
+//! else) dispatch borrowed-data tasks onto them through [`WorkerPool::scope`],
+//! which provides the same guarantee as `std::thread::scope`: it does not
+//! return until every task spawned inside it has finished, so tasks may
+//! freely borrow from the caller's stack.
+//!
+//! One pool can be shared by any number of engines (`Arc<WorkerPool>`);
+//! scopes from different threads interleave their tasks on the same workers
+//! and each waits only for its own.
+//!
+//! # Example
+//!
+//! ```
+//! use lutdla_vq::WorkerPool;
+//!
+//! let pool = WorkerPool::new(2);
+//! let mut halves = [0u32; 2];
+//! let (lo, hi) = halves.split_at_mut(1);
+//! pool.scope(|scope| {
+//!     scope.spawn(|| lo[0] = 1);
+//!     scope.spawn(|| hi[0] = 2);
+//! });
+//! assert_eq!(halves, [1, 2]);
+//! ```
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent thread pool executing scoped tasks. See the module docs.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Book-keeping shared between one [`WorkerPool::scope`] call and the tasks
+/// it spawned: an outstanding-task count plus the first captured panic.
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn task_started(&self) {
+        *self.pending.lock().expect("scope counter") += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().expect("scope counter");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("scope counter");
+        }
+    }
+}
+
+/// Waits for the scope's tasks in `drop`, so borrowed data stays alive for
+/// every spawned task even when the scope body unwinds.
+struct WaitGuard<'a>(&'a ScopeState);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait_all();
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`]. The `'env`
+/// lifetime ties every spawned task to data that outlives the scope call.
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`: keeps callers from
+    /// shrinking the environment lifetime that spawned tasks borrow.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Queues `task` on the pool's persistent workers. The task may borrow
+    /// anything that lives for `'env`; the enclosing
+    /// [`WorkerPool::scope`] call blocks until it completes.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.task_started();
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(task);
+        // SAFETY: the fake 'static lifetime never outlives 'env — the scope
+        // that created `self` waits (in `WaitGuard::drop`, which runs even
+        // on unwind) until `task_finished` has been called for every spawned
+        // task, and workers drop each job at the end of its execution.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
+        };
+        let job: Job = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = result {
+                let mut slot = state
+                    .panic
+                    .lock()
+                    .unwrap_or_else(|poison| poison.into_inner());
+                slot.get_or_insert(payload);
+            }
+            state.task_finished();
+        });
+        self.pool
+            .tx
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(job)
+            .expect("pool workers live until drop");
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("lutdla-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the blocking recv;
+                        // release before running the job so siblings can
+                        // pick up the next one.
+                        let job = { rx.lock().expect("pool queue").recv() };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // all senders dropped: shutdown
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            threads,
+        }
+    }
+
+    /// A pool sized by [`crate::default_workers`] (which honours the
+    /// `LUTDLA_WORKERS` override).
+    pub fn with_default_size() -> Self {
+        Self::new(crate::default_workers())
+    }
+
+    /// Number of persistent worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Runs `f` with a spawn handle; returns once every task spawned through
+    /// the handle has completed. If a task panicked, the panic is re-raised
+    /// on the calling thread after all tasks have drained (matching
+    /// `std::thread::scope` semantics).
+    pub fn scope<'env, F, T>(&self, f: F) -> T
+    where
+        F: FnOnce(&PoolScope<'_, 'env>) -> T,
+    {
+        let state = Arc::new(ScopeState::default());
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let out = {
+            let _guard = WaitGuard(&state);
+            f(&scope)
+            // `_guard` drops here: waits for all tasks, even on unwind of `f`.
+        };
+        let payload = state
+            .panic
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker loop; join so no detached
+        // threads outlive the pool.
+        drop(self.tx.take());
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn tasks_run_and_scope_waits() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0usize; 8];
+        pool.scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move || *slot = i + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn threads_persist_across_scopes() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..5 {
+            pool.scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = WorkerPool::new(1);
+        let got = pool.scope(|scope| {
+            scope.spawn(|| {});
+            42
+        });
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn shared_pool_serves_concurrent_scopes() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let pool = Arc::clone(&pool);
+                let total = &total;
+                s.spawn(move || {
+                    pool.scope(|scope| {
+                        for _ in 0..10 {
+                            scope.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = WorkerPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("boom"));
+                scope.spawn(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the scope");
+        assert_eq!(finished.load(Ordering::Relaxed), 1, "siblings still ran");
+        // The pool survives a panicked scope.
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(finished.load(Ordering::Relaxed), 2);
+    }
+}

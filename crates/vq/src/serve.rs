@@ -1,0 +1,502 @@
+//! `MicroBatcher`: a serving front door that coalesces single-row requests
+//! into the batched [`LutEngine`] calls the engine is fast at.
+//!
+//! The engine's throughput comes from streaming many rows against one
+//! cache-resident table tile; a request stream of single rows forfeits all
+//! of it. The batcher runs one collector thread per engine: the first row
+//! opens a batch and starts a deadline clock, further rows join until either
+//! [`BatchOptions::max_batch`] rows are pending or
+//! [`BatchOptions::max_delay`] elapses, then the whole batch runs through
+//! [`LutEngine::run_batch`] and each caller's [`Pending`] handle resolves
+//! with its own output row.
+//!
+//! Because the engine computes every output row independently (encode and
+//! accumulate never mix rows), a row's result is **bit-identical** whether
+//! it was submitted alone, coalesced with others, or part of a direct
+//! `run_batch` call — batching is purely a throughput decision.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lutdla_tensor::Tensor;
+
+use crate::engine::LutEngine;
+
+/// An engine behind a lock, shareable between a deployed layer, a cache,
+/// and a [`MicroBatcher`] collector thread.
+pub type SharedEngine = Arc<Mutex<LutEngine>>;
+
+/// Wraps an engine for shared ownership.
+pub fn share(engine: LutEngine) -> SharedEngine {
+    Arc::new(Mutex::new(engine))
+}
+
+/// Locks a shared engine, recovering from poison: a panic while the lock
+/// was held (e.g. a shape assert on one caller's bad input) only ever
+/// leaves per-call scratch buffers in a stale-but-valid state — the
+/// quantizer and tiled table are immutable after construction — so the
+/// engine stays perfectly usable and one caller's mistake must not brick
+/// every cached handle to it.
+pub fn lock_engine(engine: &SharedEngine) -> std::sync::MutexGuard<'_, LutEngine> {
+    engine.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Coalescing policy of a [`MicroBatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Flush as soon as this many rows are pending.
+    pub max_batch: usize,
+    /// Flush a partial batch this long after its first row arrived.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Errors surfaced by the submit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submitted row does not have the engine's input width `K`.
+    RowShape {
+        /// Engine input width.
+        expected: usize,
+        /// Submitted row length.
+        got: usize,
+    },
+    /// The batcher shut down before the request could be served.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::RowShape { expected, got } => {
+                write!(f, "row holds {got} values, engine expects K = {expected}")
+            }
+            SubmitError::Closed => write!(f, "micro-batcher is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Future-style handle to one submitted row's output.
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<Vec<f32>>,
+}
+
+impl Pending {
+    /// Blocks until the batch containing this row has run; returns the
+    /// output row (length `N`). Errors only if the batcher died first.
+    pub fn wait(self) -> Result<Vec<f32>, SubmitError> {
+        self.rx.recv().map_err(|_| SubmitError::Closed)
+    }
+
+    /// Non-blocking poll: `Ok(Some(row))` once the batch has run,
+    /// `Ok(None)` while it has not flushed yet, and
+    /// `Err(`[`SubmitError::Closed`]`)` if the batcher died first — so a
+    /// poll loop observes the same terminal condition [`Pending::wait`]
+    /// reports instead of spinning forever.
+    pub fn try_wait(&self) -> Result<Option<Vec<f32>>, SubmitError> {
+        match self.rx.try_recv() {
+            Ok(row) => Ok(Some(row)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(SubmitError::Closed),
+        }
+    }
+}
+
+struct Request {
+    row: Vec<f32>,
+    done: Sender<Vec<f32>>,
+}
+
+/// The serving front door over one [`SharedEngine`]. See the module docs.
+pub struct MicroBatcher {
+    tx: Option<Sender<Request>>,
+    collector: Option<JoinHandle<()>>,
+    k: usize,
+    n: usize,
+    batches: Arc<AtomicUsize>,
+    rows: Arc<AtomicUsize>,
+}
+
+impl MicroBatcher {
+    /// Spawns the collector thread for `engine` with the given coalescing
+    /// policy.
+    pub fn new(engine: SharedEngine, opts: BatchOptions) -> Self {
+        let (k, n) = {
+            let e = lock_engine(&engine);
+            (e.input_dim(), e.output_dim())
+        };
+        let (tx, rx) = channel::<Request>();
+        let batches = Arc::new(AtomicUsize::new(0));
+        let rows = Arc::new(AtomicUsize::new(0));
+        let counters = (Arc::clone(&batches), Arc::clone(&rows));
+        let collector = std::thread::Builder::new()
+            .name("lutdla-microbatch".to_string())
+            .spawn(move || collect_loop(engine, rx, opts, k, n, counters))
+            .expect("spawn micro-batch collector");
+        Self {
+            tx: Some(tx),
+            collector: Some(collector),
+            k,
+            n,
+            batches,
+            rows,
+        }
+    }
+
+    /// Submits one activation row (length `K`); returns a handle that
+    /// resolves with the output row (length `N`) once its batch has run.
+    pub fn submit(&self, row: &[f32]) -> Result<Pending, SubmitError> {
+        if row.len() != self.k {
+            return Err(SubmitError::RowShape {
+                expected: self.k,
+                got: row.len(),
+            });
+        }
+        let (done, rx) = channel();
+        self.tx
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Request {
+                row: row.to_vec(),
+                done,
+            })
+            .map_err(|_| SubmitError::Closed)?;
+        Ok(Pending { rx })
+    }
+
+    /// Engine input width `K`.
+    pub fn input_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Engine output width `N`.
+    pub fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    /// How many coalesced batches have run so far.
+    pub fn batches_run(&self) -> usize {
+        self.batches.load(Ordering::Acquire)
+    }
+
+    /// How many rows have been served so far.
+    pub fn rows_served(&self) -> usize {
+        self.rows.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        // Closing the request channel lets the collector flush what is
+        // pending and exit; join so no thread outlives the batcher.
+        drop(self.tx.take());
+        if let Some(t) = self.collector.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for MicroBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroBatcher")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .field("batches_run", &self.batches_run())
+            .field("rows_served", &self.rows_served())
+            .finish()
+    }
+}
+
+fn collect_loop(
+    engine: SharedEngine,
+    rx: Receiver<Request>,
+    opts: BatchOptions,
+    k: usize,
+    n: usize,
+    (batches, rows): (Arc<AtomicUsize>, Arc<AtomicUsize>),
+) {
+    let max_batch = opts.max_batch.max(1);
+    let mut open = true;
+    while open {
+        // Block for the first row of the next batch.
+        let first = match rx.recv() {
+            Ok(req) => req,
+            Err(_) => break,
+        };
+        let mut pending = vec![first];
+        let deadline = Instant::now() + opts.max_delay;
+        while pending.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(req) => pending.push(req),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        flush(&engine, pending, k, n, &batches, &rows);
+    }
+}
+
+/// Runs one coalesced batch and resolves every caller's handle.
+fn flush(
+    engine: &SharedEngine,
+    pending: Vec<Request>,
+    k: usize,
+    n: usize,
+    batches: &AtomicUsize,
+    rows: &AtomicUsize,
+) {
+    let m = pending.len();
+    let mut data = Vec::with_capacity(m * k);
+    for req in &pending {
+        data.extend_from_slice(&req.row);
+    }
+    let x = Tensor::from_vec(data, &[m, k]);
+    let y = lock_engine(engine).run_batch(&x);
+    batches.fetch_add(1, Ordering::Release);
+    rows.fetch_add(m, Ordering::Release);
+    for (i, req) in pending.into_iter().enumerate() {
+        // A dropped Pending is fine — the caller lost interest.
+        let _ = req.done.send(y.data()[i * n..(i + 1) * n].to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::ProductQuantizer;
+    use crate::distance::Distance;
+    use crate::lut::{LutQuant, LutTable};
+    use crate::precision::FloatPrecision;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(quant: LutQuant, precision: FloatPrecision, seed: u64) -> (Tensor, LutEngine, Tensor) {
+        let (m, k, n, v, c) = (24, 10, 9, 4, 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+        let table = LutTable::build(&pq, &b, quant);
+        let mut engine = LutEngine::new(pq, &table).with_precision(precision);
+        let reference = engine.run_batch(&a);
+        (a, engine, reference)
+    }
+
+    #[test]
+    fn concurrent_single_row_submits_match_run_batch_bitwise() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 60);
+        let m = a.dims()[0];
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: m,
+                max_delay: Duration::from_millis(200),
+            },
+        );
+        let mut outs = vec![Vec::new(); m];
+        std::thread::scope(|s| {
+            for (i, out) in outs.iter_mut().enumerate() {
+                let batcher = &batcher;
+                let a = &a;
+                s.spawn(move || {
+                    let row = &a.data()[i * k..(i + 1) * k];
+                    *out = batcher
+                        .submit(row)
+                        .expect("row shape is valid")
+                        .wait()
+                        .expect("batcher alive");
+                });
+            }
+        });
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(
+                out.as_slice(),
+                &reference.data()[i * n..(i + 1) * n],
+                "row {i} diverged from run_batch"
+            );
+        }
+    }
+
+    #[test]
+    fn full_batch_coalesces_into_one_engine_call() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 61);
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: m,
+                // Generous deadline: the collector must flush on max_batch,
+                // not the clock.
+                max_delay: Duration::from_secs(5),
+            },
+        );
+        let handles: Vec<Pending> = (0..m)
+            .map(|i| {
+                batcher
+                    .submit(&a.data()[i * k..(i + 1) * k])
+                    .expect("valid row")
+            })
+            .collect();
+        let n = reference.dims()[1];
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("batcher alive");
+            assert_eq!(out.as_slice(), &reference.data()[i * n..(i + 1) * n]);
+        }
+        assert_eq!(batcher.batches_run(), 1, "rows did not coalesce");
+        assert_eq!(batcher.rows_served(), m);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let (a, engine, _) = setup(LutQuant::F32, FloatPrecision::Fp32, 62);
+        let k = a.dims()[1];
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: 1000, // never reached: only the deadline can flush
+                max_delay: Duration::from_millis(20),
+            },
+        );
+        let handles: Vec<Pending> = (0..3)
+            .map(|i| {
+                batcher
+                    .submit(&a.data()[i * k..(i + 1) * k])
+                    .expect("valid row")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("deadline flush must resolve the handle");
+        }
+        assert!(batcher.batches_run() >= 1, "no batch ran");
+        assert_eq!(batcher.rows_served(), 3);
+    }
+
+    #[test]
+    fn bit_identical_across_all_quant_precision_combos() {
+        let quants = [LutQuant::F32, LutQuant::F16, LutQuant::Int8];
+        let precisions = [
+            FloatPrecision::Fp32,
+            FloatPrecision::Bf16,
+            FloatPrecision::Fp16,
+        ];
+        for (qi, &quant) in quants.iter().enumerate() {
+            for (pi, &precision) in precisions.iter().enumerate() {
+                let (a, engine, reference) = setup(quant, precision, 63 + (qi * 3 + pi) as u64);
+                let (m, k) = (a.dims()[0], a.dims()[1]);
+                let n = reference.dims()[1];
+                let batcher = MicroBatcher::new(share(engine), BatchOptions::default());
+                let handles: Vec<Pending> = (0..m)
+                    .map(|i| {
+                        batcher
+                            .submit(&a.data()[i * k..(i + 1) * k])
+                            .expect("valid row")
+                    })
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    let out = h.wait().expect("batcher alive");
+                    assert_eq!(
+                        out.as_slice(),
+                        &reference.data()[i * n..(i + 1) * n],
+                        "{quant:?}+{precision:?}: row {i} not bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_engine_lock_recovers_instead_of_bricking_the_handle() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 65);
+        let shared = share(engine);
+        // One caller panics while holding the lock (the shape assert a bad
+        // input would trip): the mutex is now poisoned.
+        let bad = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = bad.lock().expect("first lock");
+            panic!("simulated bad-input panic under the engine lock");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "test setup: lock must be poisoned");
+        // Every shared handle — direct locks and batcher flushes — must
+        // keep serving correct results.
+        let got = lock_engine(&shared).run_batch(&a);
+        assert!(got.allclose(&reference, 0.0));
+        let batcher = MicroBatcher::new(shared, BatchOptions::default());
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        let out = batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait()
+            .expect("batcher alive despite earlier poison");
+        assert_eq!(out.as_slice(), &reference.data()[..n]);
+    }
+
+    #[test]
+    fn try_wait_distinguishes_not_ready_from_closed() {
+        let (a, engine, _) = setup(LutQuant::F32, FloatPrecision::Fp32, 66);
+        let k = a.dims()[1];
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: 1000,
+                max_delay: Duration::from_millis(100),
+            },
+        );
+        let pending = batcher.submit(&a.data()[..k]).expect("valid row");
+        // Polling before the deadline flush usually sees "not ready" —
+        // and must never see Closed while the batcher lives.
+        assert!(!matches!(pending.try_wait(), Err(SubmitError::Closed)));
+        // Dropping the batcher flushes outstanding rows, so the handle
+        // resolves with data …
+        drop(batcher);
+        let served = loop {
+            match pending.try_wait() {
+                Ok(Some(row)) => break row,
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => panic!("flush-on-drop lost the row: {e}"),
+            }
+        };
+        assert_eq!(served.len(), 9);
+        // … and a handle drained after resolution reports Closed, not an
+        // eternal Ok(None).
+        assert_eq!(pending.try_wait(), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn wrong_row_width_is_rejected_immediately() {
+        let (_, engine, _) = setup(LutQuant::F32, FloatPrecision::Fp32, 64);
+        let batcher = MicroBatcher::new(share(engine), BatchOptions::default());
+        let err = batcher.submit(&[1.0, 2.0]).expect_err("short row");
+        assert_eq!(
+            err,
+            SubmitError::RowShape {
+                expected: 10,
+                got: 2
+            }
+        );
+    }
+}

@@ -55,8 +55,18 @@ fn main() {
     );
 
     // --- 3. Deploy: BF16 similarity + INT8 tables, evaluated through the
-    //        exact table-lookup path the IMM executes. ---------------------
-    let deployed = eval_images_deployed(&lut_net, &lut_ps, &test, 32, DeployConfig::bf16_int8());
+    //        exact table-lookup path the IMM executes. The LutRuntime owns
+    //        the tiled engines; a re-deploy at this parameter version would
+    //        be served from its cache. -------------------------------------
+    let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
+    let deployed = eval_images_deployed(
+        &mut rt,
+        &lut_net,
+        &lut_ps,
+        &test,
+        32,
+        DeployConfig::bf16_int8(),
+    );
     println!("deployed (BF16+INT8) accuracy: {:.1}%\n", deployed * 100.0);
 
     // --- 4. Size the accelerator for the full ResNet-18 workload. --------

@@ -60,12 +60,33 @@ fn convert_deploy_simulate_pipeline() {
         outcome.test_accuracy
     );
 
-    let deployed = eval_images_deployed(&lut_net, &lut_ps, &test, 32, DeployConfig::bf16_int8());
+    let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
+    let deployed = eval_images_deployed(
+        &mut rt,
+        &lut_net,
+        &lut_ps,
+        &test,
+        32,
+        DeployConfig::bf16_int8(),
+    );
     assert!(
         (deployed - outcome.test_accuracy).abs() < 0.2,
         "deployment diverged: {deployed} vs {}",
         outcome.test_accuracy
     );
+    // A second deployed eval at the same parameter version must be served
+    // entirely from the runtime's engine cache (zero table re-tiling).
+    let misses = rt.stats().misses;
+    let again = eval_images_deployed(
+        &mut rt,
+        &lut_net,
+        &lut_ps,
+        &test,
+        32,
+        DeployConfig::bf16_int8(),
+    );
+    assert_eq!(rt.stats().misses, misses, "re-deploy re-tiled tables");
+    assert!((again - deployed).abs() < 1e-6, "cached engines diverged");
 
     // The converted model's layer shapes must be simulatable.
     let report = simulate_gemm(&design1().sim_config(), &Gemm::new(256, 72, 8));
