@@ -2,8 +2,12 @@
 //! (`approx_matmul_with_precision`) versus the batched [`LutEngine`] (at
 //! one and several worker threads) versus the micro-batched serving front
 //! door ([`MicroBatcher`], single-row submits coalesced back into batches),
-//! across representative `M×K×N×c×v` points. Emits `BENCH_lutgemm.json` so
-//! every CI run leaves a perf data point on the record.
+//! across representative `M×K×N×c×v` points — plus a **whole-model**
+//! serving measurement (`ModelSession` pipelining single submitted images
+//! through every layer of a converted ResNet proxy), so cross-layer
+//! amortization shows up next to the per-layer numbers. Emits
+//! `BENCH_lutgemm.json` so every CI run leaves a perf data point on the
+//! record.
 //!
 //! Usage:
 //!
@@ -17,6 +21,12 @@
 
 use std::time::{Duration, Instant};
 
+use lutdla_lutboost::{
+    lutify_convnet, undeploy_units, CentroidInit, ConvertPolicy, DeployConfig, LutConfig,
+    LutRuntime,
+};
+use lutdla_models::trainable::resnet20_mini;
+use lutdla_nn::{Graph, ImageModel, ParamSet};
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
     approx_matmul_with_precision, default_workers, share, BatchOptions, Distance, EngineOptions,
@@ -106,10 +116,84 @@ fn main() {
     for p in points {
         results.push(run_point(p, iters, mt_workers));
     }
+    let model = run_model_serve(smoke, iters);
 
-    let json = to_json(&results, smoke, mt_workers);
+    let json = to_json(&results, &model, smoke, mt_workers);
     std::fs::write(&out_path, &json).expect("write BENCH_lutgemm.json");
     println!("wrote {out_path}");
+}
+
+struct ModelMeasurement {
+    model: &'static str,
+    images: usize,
+    lut_stages: usize,
+    dense_stages: usize,
+    serve_rows_per_s: f64,
+}
+
+/// Whole-model serving: single images submitted through a `ModelSession`
+/// (per-stage micro-batchers over cached engines for converted units, the
+/// dense path for the rest), against a LUTBoost-converted ResNet-20 proxy.
+fn run_model_serve(smoke: bool, iters: usize) -> ModelMeasurement {
+    let images = if smoke { 16 } else { 96 };
+    let flush_every = 32;
+    println!("model serve: resnet20_mini, {images} images");
+    let mut rng = StdRng::seed_from_u64(0x0de1);
+    let mut ps = ParamSet::new();
+    let mut net = resnet20_mini(&mut ps, 10);
+    let batch = Tensor::randn(&mut rng, &[images, 3, 16, 16], 1.0);
+    let _ = lutify_convnet(
+        &mut net,
+        &mut ps,
+        LutConfig::default(),
+        CentroidInit::Kmeans,
+        ConvertPolicy::default(),
+        batch.clone(),
+        &mut rng,
+    );
+    let per = 3 * 16 * 16;
+    let image =
+        |i: usize| Tensor::from_vec(batch.data()[i * per..(i + 1) * per].to_vec(), &[3, 16, 16]);
+
+    let mut rt = LutRuntime::new(DeployConfig::bf16_int8());
+    // Bit-identity guard: the session must reproduce the plain deploy +
+    // batched eval forward exactly.
+    rt.deploy(net.dense_units(), &ps);
+    let mut g = Graph::new(false);
+    let node = ImageModel::logits(&net, &mut g, &ps, batch.clone());
+    let reference = g.value(node).clone();
+    undeploy_units(net.dense_units());
+    let session = rt.model_session(&net, &ps);
+    let served = session.run((0..images).map(image)).expect("valid images");
+    assert!(
+        served.allclose(&reference, 0.0),
+        "whole-model session is not bit-identical to the deployed eval path"
+    );
+
+    let serve_s = best_of(iters, || {
+        let mut handles = Vec::with_capacity(flush_every);
+        for i in 0..images {
+            handles.push(session.submit(image(i)).expect("valid image"));
+            if handles.len() == flush_every || i + 1 == images {
+                session.flush();
+                for h in handles.drain(..) {
+                    std::hint::black_box(h.wait().expect("session alive"));
+                }
+            }
+        }
+    });
+    let meas = ModelMeasurement {
+        model: "resnet20_mini",
+        images,
+        lut_stages: session.lut_stages(),
+        dense_stages: session.plan().len() - session.lut_stages(),
+        serve_rows_per_s: images as f64 / serve_s,
+    };
+    println!(
+        "  {} LUT stages + {} dense | whole-model serve {:>8.0} images/s",
+        meas.lut_stages, meas.dense_stages, meas.serve_rows_per_s,
+    );
+    meas
 }
 
 fn run_point(p: Point, iters: usize, mt_workers: usize) -> Measurement {
@@ -239,7 +323,12 @@ fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn to_json(results: &[Measurement], smoke: bool, mt_workers: usize) -> String {
+fn to_json(
+    results: &[Measurement],
+    model: &ModelMeasurement,
+    smoke: bool,
+    mt_workers: usize,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"lutgemm\",\n");
@@ -277,6 +366,12 @@ fn to_json(results: &[Measurement], smoke: bool, mt_workers: usize) -> String {
         ));
         s.push('\n');
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"model_serve\": {{\"model\": \"{}\", \"images\": {}, \"lut_stages\": {}, \
+         \"dense_stages\": {}, \"serve_rows_per_s\": {:.1}}}\n",
+        model.model, model.images, model.lut_stages, model.dense_stages, model.serve_rows_per_s,
+    ));
+    s.push_str("}\n");
     s
 }

@@ -59,9 +59,10 @@ pub mod prelude {
     pub use lutdla_lutboost::{
         convert_and_train_images, convert_and_train_seq, eval_images_deployed, eval_seq_deployed,
         lut_layers, lutify_convnet, lutify_transformer, undeploy_units, CentroidInit,
-        ConvertPolicy, DeployConfig, LutConfig, LutRuntime, RuntimeOptions, Strategy,
-        TrainSchedule,
+        ConvertPolicy, DeployConfig, LutConfig, LutRuntime, ModelSession, RuntimeOptions,
+        SessionError, Strategy, TrainSchedule, UnitPlan,
     };
+    pub use lutdla_models::trainable::ServableModel;
     pub use lutdla_models::{zoo, GemmDims, LayerShape, Workload};
     pub use lutdla_nn::{Graph, ParamSet};
     pub use lutdla_sim::{

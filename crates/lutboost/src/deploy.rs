@@ -7,9 +7,11 @@
 //! single iterator ([`lut_layers`]) every architecture's deploy path funnels
 //! through, and the runtime-backed evaluation entry points.
 
+use std::sync::Arc;
+
 use lutdla_nn::data::{ImageDataset, SeqDataset};
-use lutdla_nn::{eval_images, eval_seq, ParamSet};
-use lutdla_vq::{FloatPrecision, LutQuant};
+use lutdla_nn::ParamSet;
+use lutdla_vq::{FloatPrecision, LutQuant, MicroBatcher, SharedEngine};
 
 use lutdla_models::trainable::{ConvNet, DenseUnit, TransformerClassifier};
 
@@ -64,8 +66,68 @@ pub fn undeploy_units<'a>(units: impl IntoIterator<Item = &'a DenseUnit>) {
     }
 }
 
+/// One dense unit's compiled execution route in a whole-model serving
+/// session ([`crate::ModelSession`]): LUT engine or dense path. Compiled
+/// once per session by [`LutRuntime::model_session`]; the session replays
+/// the plan on every flush.
+pub enum UnitPlan {
+    /// A converted layer: its engine (resolved through the runtime's LRU
+    /// cache) fronted by the session's per-stage micro-batcher.
+    Lut {
+        /// Unit name, for reporting.
+        name: String,
+        /// Direct handle to the cached engine this stage runs on — for
+        /// introspection/diagnostics, and to pin the tiled tables for the
+        /// session's lifetime independently of the layer's deploy state
+        /// and the cache's LRU eviction.
+        engine: SharedEngine,
+        /// The stage's micro-batcher (zero-delay drain policy): the
+        /// stage's activation block joins as a single request and is
+        /// served immediately.
+        stage: Arc<MicroBatcher>,
+    },
+    /// A unit the convert policy kept dense: served by the plain GEMM
+    /// inside the model's eval forward.
+    Dense {
+        /// Unit name, for reporting.
+        name: String,
+    },
+}
+
+impl UnitPlan {
+    /// Whether this unit runs on a LUT engine.
+    pub fn is_lut(&self) -> bool {
+        matches!(self, UnitPlan::Lut { .. })
+    }
+
+    /// The unit's name.
+    pub fn name(&self) -> &str {
+        match self {
+            UnitPlan::Lut { name, .. } | UnitPlan::Dense { name } => name,
+        }
+    }
+}
+
+impl std::fmt::Debug for UnitPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitPlan::Lut { name, stage, .. } => f
+                .debug_struct("Lut")
+                .field("name", name)
+                .field("rows_served", &stage.rows_served())
+                .finish(),
+            UnitPlan::Dense { name } => f.debug_struct("Dense").field("name", name).finish(),
+        }
+    }
+}
+
 /// Evaluates a converted [`ConvNet`] through the table-lookup path, using
 /// (and warming) the runtime's engine cache at the given numerics.
+///
+/// A thin wrapper over [`crate::ModelSession`]: every test image is
+/// submitted through the whole-model front door (flushed in `batch_size`
+/// groups), which is bit-identical to the batched eval forward because
+/// per-example logits are independent of batch grouping.
 pub fn eval_images_deployed(
     rt: &mut LutRuntime,
     net: &ConvNet,
@@ -74,14 +136,26 @@ pub fn eval_images_deployed(
     batch_size: usize,
     cfg: DeployConfig,
 ) -> f32 {
-    rt.deploy_with(net.dense_units(), ps, cfg);
-    let acc = eval_images(net, ps, data, batch_size);
-    undeploy_units(net.dense_units());
-    acc
+    let session = rt.model_session_with(net, ps, cfg);
+    let mut correct = 0usize;
+    let mut pending = Vec::with_capacity(batch_size.max(1));
+    for i in 0..data.len() {
+        let (image, label) = data.example(i);
+        let handle = session.submit(image).expect("dataset example is valid");
+        pending.push((handle, label));
+        if pending.len() == batch_size.max(1) || i + 1 == data.len() {
+            session.flush();
+            correct += drain_correct(&mut pending);
+        }
+    }
+    correct as f32 / data.len().max(1) as f32
 }
 
 /// Evaluates a converted [`TransformerClassifier`] through the table-lookup
 /// path, using (and warming) the runtime's engine cache.
+///
+/// A thin wrapper over [`crate::ModelSession`]; see
+/// [`eval_images_deployed`].
 pub fn eval_seq_deployed(
     rt: &mut LutRuntime,
     net: &TransformerClassifier,
@@ -90,10 +164,43 @@ pub fn eval_seq_deployed(
     batch_size: usize,
     cfg: DeployConfig,
 ) -> f32 {
-    rt.deploy_with(net.dense_units(), ps, cfg);
-    let acc = eval_seq(net, ps, data, batch_size);
-    undeploy_units(net.dense_units());
-    acc
+    let session = rt.model_session_with(net, ps, cfg);
+    let mut correct = 0usize;
+    let mut pending = Vec::with_capacity(batch_size.max(1));
+    for i in 0..data.len() {
+        let (tokens, label) = data.sequence(i);
+        let handle = session
+            .submit(tokens.to_vec())
+            .expect("dataset sequence is valid");
+        pending.push((handle, label));
+        if pending.len() == batch_size.max(1) || i + 1 == data.len() {
+            session.flush();
+            correct += drain_correct(&mut pending);
+        }
+    }
+    correct as f32 / data.len().max(1) as f32
+}
+
+/// Resolves a flushed group of handles and counts argmax hits.
+fn drain_correct(pending: &mut Vec<(lutdla_vq::Pending, usize)>) -> usize {
+    pending
+        .drain(..)
+        .filter(|(handle, label)| {
+            let logits = handle
+                .try_wait()
+                .expect("session alive")
+                .expect("handle was flushed");
+            // First-wins tie-break, matching `Tensor::argmax_last_axis`
+            // (so accuracies agree with the batched eval loops exactly).
+            let mut best = 0;
+            for (j, &v) in logits.iter().enumerate() {
+                if v > logits[best] {
+                    best = j;
+                }
+            }
+            best == *label
+        })
+        .count()
 }
 
 #[cfg(test)]

@@ -16,7 +16,12 @@
 //!   a cached-engine store (keyed on parameter identity/version and the
 //!   deployment numerics), a persistent worker pool shared by every engine,
 //!   and micro-batched serving sessions that coalesce single-row `submit`
-//!   calls into batched engine runs.
+//!   calls into batched engine runs;
+//! * [`session`] — [`ModelSession`], the whole-model serving front door:
+//!   `submit(input)` pipelines one request through every layer (cached LUT
+//!   engine behind a per-stage micro-batcher for converted units, the
+//!   dense eval path otherwise) and resolves a `Pending` handle with the
+//!   final logits, bit-identical to the batched `deploy` + eval path.
 //!
 //! # Example: convert a tiny ResNet, deploy at BF16+INT8, serve rows
 //!
@@ -46,6 +51,13 @@
 //! let session = rt.session(lut, &ps); // engine comes from the cache
 //! let pending = session.submit(&vec![0.0; session.input_dim()]).expect("row");
 //! let _row_out = pending.wait().expect("served");
+//!
+//! // …or serve the WHOLE model: one submit = one end-to-end inference.
+//! let serve = rt.model_session(&net, &ps); // same cache, every layer planned
+//! let (image, _label) = test.example(0);
+//! let pending = serve.submit(image).expect("image");
+//! serve.flush();
+//! let _logits = pending.wait().expect("served");
 //! ```
 
 mod convert;
@@ -53,17 +65,19 @@ mod deploy;
 mod fold;
 mod lut_gemm;
 mod runtime;
+mod session;
 mod trainer;
 
 pub use convert::{
     as_lut, as_lut_mut, lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles,
 };
 pub use deploy::{
-    eval_images_deployed, eval_seq_deployed, lut_layers, undeploy_units, DeployConfig,
+    eval_images_deployed, eval_seq_deployed, lut_layers, undeploy_units, DeployConfig, UnitPlan,
 };
 pub use fold::{fold_bn_into_weight, fold_bn_param, BnParams};
 pub use lut_gemm::{LutConfig, LutGemm};
 pub use runtime::{CacheStats, LutRuntime, RuntimeOptions};
+pub use session::{ModelSession, SessionError};
 pub use trainer::{
     convert_and_train_images, convert_and_train_seq, fresh_pretrained_convnet,
     fresh_pretrained_transformer, ConversionOutcome, Strategy, TrainSchedule,

@@ -15,9 +15,11 @@
 
 use std::cell::RefCell;
 
+use std::sync::Arc;
+
 use lutdla_nn::{CustomOp, Graph, NodeId, ParamId, ParamSet};
 use lutdla_tensor::Tensor;
-use lutdla_vq::{Codebook, Distance, ProductQuantizer, SharedEngine};
+use lutdla_vq::{Codebook, Distance, MicroBatcher, Pending, ProductQuantizer, SharedEngine};
 use rand::Rng;
 
 use lutdla_models::trainable::GemmOp;
@@ -72,6 +74,12 @@ pub struct LutGemm {
 struct DeployState {
     params_version: u64,
     engine: SharedEngine,
+    /// When set, eval-mode forwards submit their activation block to this
+    /// per-stage micro-batcher (zero-delay, served immediately) instead of
+    /// locking the engine directly — a whole-model serving session
+    /// installs one per LUT stage as its per-layer observability point and
+    /// batching-policy seam (bit-identical either way; rows never mix).
+    stage: Option<Arc<MicroBatcher>>,
 }
 
 impl LutGemm {
@@ -195,7 +203,32 @@ impl LutGemm {
         *self.deploy.borrow_mut() = Some(DeployState {
             params_version,
             engine,
+            stage: None,
         });
+    }
+
+    /// [`LutGemm::install_deploy`] routed through a per-stage
+    /// [`MicroBatcher`] over the same engine: eval-mode forwards submit
+    /// their whole activation block as one request, so blocks from other
+    /// pipelines over this layer coalesce into shared engine runs. This is
+    /// how a whole-model serving session wires its LUT stages.
+    pub fn install_deploy_batched(
+        &self,
+        engine: SharedEngine,
+        stage: Arc<MicroBatcher>,
+        params_version: u64,
+    ) {
+        *self.deploy.borrow_mut() = Some(DeployState {
+            params_version,
+            engine,
+            stage: Some(stage),
+        });
+    }
+
+    /// The per-stage micro-batcher, when the layer was deployed through
+    /// [`LutGemm::install_deploy_batched`].
+    pub fn deployed_stage(&self) -> Option<Arc<MicroBatcher>> {
+        self.deploy.borrow().as_ref().and_then(|d| d.stage.clone())
     }
 
     /// Leaves deployment mode. The engine itself stays alive in any
@@ -305,7 +338,18 @@ impl GemmOp for LutGemm {
                     "stale DeployState: parameters changed since deployment \
                      (re-deploy, or let the trainer's stage transitions clear it)"
                 );
-                let y = lutdla_vq::lock_engine(&d.engine).run_batch(g.value(x));
+                let y = match &d.stage {
+                    Some(stage) => {
+                        let xv = g.value(x);
+                        let m = xv.dims()[0];
+                        let out = stage
+                            .submit_rows(xv.data())
+                            .and_then(Pending::wait)
+                            .expect("stage micro-batcher died while deployed");
+                        Tensor::from_vec(out, &[m, self.out_dim])
+                    }
+                    None => lutdla_vq::lock_engine(&d.engine).run_batch(g.value(x)),
+                };
                 return g.input(y);
             }
         }

@@ -42,15 +42,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lutdla_models::trainable::DenseUnit;
+use lutdla_models::trainable::{DenseUnit, ServableModel};
 use lutdla_nn::{ParamId, ParamSet};
 use lutdla_vq::{
     default_workers, share, BatchOptions, EngineOptions, FloatPrecision, LutEngine, LutQuant,
     LutTable, MicroBatcher, SharedEngine, WorkerPool,
 };
 
-use crate::deploy::{lut_layers, DeployConfig};
+use crate::convert::as_lut;
+use crate::deploy::{lut_layers, DeployConfig, UnitPlan};
 use crate::lut_gemm::LutGemm;
+use crate::session::ModelSession;
 
 /// What uniquely identifies a tiled engine: whose weights (set identity +
 /// weight handle), which LUT layer (`centroid0` — the first centroid
@@ -279,6 +281,66 @@ impl LutRuntime {
         MicroBatcher::new(self.engine_with(lut, ps, cfg), self.opts.batch)
     }
 
+    /// Opens a **whole-model** serving session: `submit(input)` pipelines a
+    /// single request through every layer of `model` — cached LUT engines
+    /// (one per-stage [`MicroBatcher`] each) for converted units, the dense
+    /// path for everything else — and resolves a `Pending` handle with the
+    /// final logits. See [`ModelSession`].
+    ///
+    /// Compiling the session resolves every LUT unit's engine through the
+    /// cache (`stats()` counts the hits/misses) and installs batched deploy
+    /// state on the converted layers; dropping the session undeploys them,
+    /// with the engines staying warm in the cache. Keep at most one live
+    /// session per model.
+    pub fn model_session<'m, M: ServableModel>(
+        &mut self,
+        model: &'m M,
+        ps: &'m ParamSet,
+    ) -> ModelSession<'m, M> {
+        self.model_session_with(model, ps, self.cfg)
+    }
+
+    /// [`LutRuntime::model_session`] at explicit numerics (precision
+    /// sweeps).
+    pub fn model_session_with<'m, M: ServableModel>(
+        &mut self,
+        model: &'m M,
+        ps: &'m ParamSet,
+        cfg: DeployConfig,
+    ) -> ModelSession<'m, M> {
+        let walk = model.unit_walk();
+        let mut plan = Vec::with_capacity(walk.len());
+        let mut luts = Vec::new();
+        for unit in walk {
+            match as_lut(unit) {
+                Some(lut) => {
+                    let engine = self.engine_with(lut, ps, cfg);
+                    // Zero-delay drain: a stage never sleeps on the clock —
+                    // it serves its block the moment it arrives.
+                    let stage = Arc::new(MicroBatcher::new(
+                        Arc::clone(&engine),
+                        BatchOptions::immediate(self.opts.batch.max_batch),
+                    ));
+                    lut.install_deploy_batched(
+                        Arc::clone(&engine),
+                        Arc::clone(&stage),
+                        ps.version(),
+                    );
+                    plan.push(UnitPlan::Lut {
+                        name: unit.name.clone(),
+                        engine,
+                        stage,
+                    });
+                    luts.push(lut);
+                }
+                None => plan.push(UnitPlan::Dense {
+                    name: unit.name.clone(),
+                }),
+            }
+        }
+        ModelSession::new(model, ps, plan, luts, self.opts.batch.max_batch)
+    }
+
     /// Drops every cached engine (counters are kept).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
@@ -300,7 +362,7 @@ impl std::fmt::Debug for LutRuntime {
 mod tests {
     use super::*;
     use crate::convert::{lutify_convnet, CentroidInit, ConvertPolicy};
-    use crate::deploy::undeploy_units;
+    use crate::deploy::{lut_layers, undeploy_units};
     use crate::lut_gemm::LutConfig;
     use lutdla_models::trainable::resnet20_mini;
     use lutdla_nn::{Graph, ImageModel};
@@ -397,6 +459,108 @@ mod tests {
         // The evicted fp32 engine must be rebuilt on the next request.
         rt.deploy_layers_with([&lut], &ps, DeployConfig::fp32());
         assert_eq!(rt.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_eviction_follows_recency_of_use_not_insertion() {
+        let (ps, lut, _) = layer_setup();
+        let mut rt = LutRuntime::with_options(
+            DeployConfig::fp32(),
+            RuntimeOptions {
+                cache_capacity: 2,
+                ..RuntimeOptions::default()
+            },
+        );
+        let fp32 = DeployConfig::fp32();
+        let bf16 = DeployConfig::bf16_int8();
+        let f16 = DeployConfig {
+            lut_quant: LutQuant::F16,
+            precision: FloatPrecision::Fp16,
+        };
+        // Build fp32 then bf16 (cache full), then *touch fp32 again* — the
+        // least recently used entry is now bf16, despite fp32 being older.
+        let _ = rt.engine_with(&lut, &ps, fp32);
+        let _ = rt.engine_with(&lut, &ps, bf16);
+        let _ = rt.engine_with(&lut, &ps, fp32);
+        assert_eq!(rt.stats().hits, 1);
+        // Inserting a third config must evict bf16, not the recently-used
+        // fp32.
+        let _ = rt.engine_with(&lut, &ps, f16);
+        assert_eq!(rt.stats().evictions, 1);
+        let misses = rt.stats().misses;
+        let _ = rt.engine_with(&lut, &ps, fp32);
+        assert_eq!(rt.stats().misses, misses, "fp32 was wrongly evicted");
+        let _ = rt.engine_with(&lut, &ps, bf16);
+        assert_eq!(
+            rt.stats().misses,
+            misses + 1,
+            "bf16 should have been the victim"
+        );
+    }
+
+    #[test]
+    fn model_session_deploy_undeploy_cycle_reuses_cached_engines() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        let images = Tensor::randn(&mut rng, &[4, 3, 16, 16], 1.0);
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            images,
+            &mut rng,
+        );
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+
+        // First session: every LUT stage is a build (miss), nothing evicts.
+        let session = rt.model_session(&net, &ps);
+        let lut_stages = session.lut_stages();
+        assert!(lut_stages > 0);
+        assert_eq!(
+            rt.stats(),
+            CacheStats {
+                hits: 0,
+                misses: lut_stages as u64,
+                evictions: 0
+            }
+        );
+        drop(session); // undeploys; engines stay cached
+        assert_eq!(rt.cached_engines(), lut_stages);
+
+        // Second session at the same parameter version: pure cache hits —
+        // the whole model re-deploys with zero re-tiling.
+        let session = rt.model_session(&net, &ps);
+        assert_eq!(
+            rt.stats(),
+            CacheStats {
+                hits: lut_stages as u64,
+                misses: lut_stages as u64,
+                evictions: 0
+            }
+        );
+        drop(session);
+
+        // A sweep to a second numerics config doubles the builds; returning
+        // to the first is hits again (both configs fit the default cache).
+        let session = rt.model_session_with(&net, &ps, DeployConfig::bf16_int8());
+        drop(session);
+        let session = rt.model_session(&net, &ps);
+        drop(session);
+        assert_eq!(rt.stats().misses, 2 * lut_stages as u64);
+        assert_eq!(rt.stats().hits, 2 * lut_stages as u64);
+        assert_eq!(rt.stats().evictions, 0);
+        assert_eq!(rt.cached_engines(), 2 * lut_stages);
+
+        // A parameter mutation invalidates every cached engine for the new
+        // version: the next session rebuilds everything.
+        let weight = lut_layers(net.dense_units()).next().expect("lut").weight();
+        ps.value_mut(weight).scale_mut(1.0);
+        let session = rt.model_session(&net, &ps);
+        drop(session);
+        assert_eq!(rt.stats().misses, 3 * lut_stages as u64);
     }
 
     #[test]

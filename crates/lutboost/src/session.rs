@@ -1,0 +1,510 @@
+//! `ModelSession`: the whole-model serving front door — one `submit(input)`
+//! pipelines a single request through **every** deployed layer and resolves
+//! a [`Pending`] handle with the final logits.
+//!
+//! [`crate::LutRuntime::session`] serves one layer's engine;
+//! `ModelSession` closes the loop on the paper's end-to-end story (every
+//! dense unit of a model lowered onto the LUTMM fabric) by compiling a
+//! model's ordered unit walk into a [`UnitPlan`] per dense unit:
+//!
+//! * **LUT units** resolve their engine through the runtime's LRU cache
+//!   (zero re-tiling at an unchanged parameter version) and are fronted by
+//!   **one [`MicroBatcher`] per stage** with a zero-delay drain policy:
+//!   each stage submits its whole activation block as one request and is
+//!   served immediately, never sleeping on a deadline. The per-stage
+//!   batcher is the stage's observability point (`rows_served` per layer
+//!   via [`ModelSession::plan`]) and the single seam where the ROADMAP's
+//!   adaptive per-stage policy — and coalescing across future concurrent
+//!   front doors — plugs in.
+//! * **Dense units** (stem/head layers the convert policy kept dense, bias
+//!   adds, batch norm, residuals, attention, pooling) run through the
+//!   model's own eval forward, so the session replays *exactly* what
+//!   `eval_images`/`eval_seq` compute over a deployed model.
+//!
+//! Submissions coalesce at the front door too: requests queue until
+//! [`lutdla_vq::BatchOptions::max_batch`] are pending (or [`ModelSession::flush`] /
+//! a batch-incompatible request / session drop forces a flush), then one
+//! eval-mode forward serves the whole batch. Because every per-example
+//! computation is batch-grouping independent (see
+//! [`ServableModel::forward_logits`]), the logits a handle resolves with
+//! are **bit-identical** to any other batching of the same example —
+//! including the plain `deploy` + `eval_*` path.
+//!
+//! A session *owns* the deployment of the model's LUT units for its
+//! lifetime: construction installs batched deploy state on every converted
+//! layer, and drop clears it (engines stay warm in the runtime cache). Keep
+//! at most one live session per model.
+
+use std::cell::{Cell, RefCell};
+
+use lutdla_models::trainable::ServableModel;
+use lutdla_nn::ParamSet;
+use lutdla_tensor::Tensor;
+use lutdla_vq::{Pending, PendingResolver};
+
+use crate::deploy::UnitPlan;
+use crate::lut_gemm::LutGemm;
+
+/// Errors surfaced by [`ModelSession::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The request failed the model's input validation.
+    InvalidInput(String),
+    /// [`ModelSession::run`] was handed no inputs (the workspace's tensors
+    /// reject zero-sized dimensions, so there is no empty logits value to
+    /// return).
+    EmptyRun,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SessionError::EmptyRun => write!(f, "run() needs at least one input"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The whole-model serving session. See the module docs.
+pub struct ModelSession<'m, M: ServableModel> {
+    model: &'m M,
+    ps: &'m ParamSet,
+    plan: Vec<UnitPlan>,
+    /// The LUT layers this session deployed (cleared on drop).
+    luts: Vec<&'m LutGemm>,
+    /// Front-door coalescing width, in requests.
+    max_batch: usize,
+    classes: usize,
+    queue: RefCell<Vec<(M::Input, PendingResolver)>>,
+    batches: Cell<usize>,
+    rows: Cell<usize>,
+}
+
+impl<'m, M: ServableModel> ModelSession<'m, M> {
+    /// Called by [`crate::LutRuntime::model_session`] with the compiled
+    /// plan (engines already resolved through the cache and installed on
+    /// the layers as batched deploys).
+    pub(crate) fn new(
+        model: &'m M,
+        ps: &'m ParamSet,
+        plan: Vec<UnitPlan>,
+        luts: Vec<&'m LutGemm>,
+        max_batch: usize,
+    ) -> Self {
+        Self {
+            model,
+            ps,
+            plan,
+            luts,
+            max_batch: max_batch.max(1),
+            classes: model.num_classes(),
+            queue: RefCell::new(Vec::new()),
+            batches: Cell::new(0),
+            rows: Cell::new(0),
+        }
+    }
+
+    /// Submits one inference request; returns a handle that resolves with
+    /// the final logits row (length [`ModelSession::num_classes`]) once a
+    /// forward batch containing it has run.
+    ///
+    /// The request joins the open batch unless it cannot share one forward
+    /// with what is queued (e.g. a different sequence length), in which
+    /// case the open batch flushes first. Reaching `max_batch` queued
+    /// requests flushes automatically; [`ModelSession::flush`] forces a
+    /// partial batch out.
+    pub fn submit(&self, input: M::Input) -> Result<Pending, SessionError> {
+        self.model
+            .validate_input(&input)
+            .map_err(SessionError::InvalidInput)?;
+        let incompatible = {
+            let q = self.queue.borrow();
+            q.first()
+                .is_some_and(|(first, _)| !self.model.batch_compatible(first, &input))
+        };
+        if incompatible {
+            self.flush();
+        }
+        let (resolver, pending) = Pending::channel();
+        let full = {
+            let mut q = self.queue.borrow_mut();
+            q.push((input, resolver));
+            q.len() >= self.max_batch
+        };
+        if full {
+            self.flush();
+        }
+        Ok(pending)
+    }
+
+    /// Runs the queued requests through one eval-mode forward and resolves
+    /// their handles. A no-op on an empty queue.
+    pub fn flush(&self) {
+        let drained: Vec<(M::Input, PendingResolver)> = self.queue.borrow_mut().drain(..).collect();
+        if drained.is_empty() {
+            return;
+        }
+        let (inputs, resolvers): (Vec<M::Input>, Vec<PendingResolver>) =
+            drained.into_iter().unzip();
+        let logits = self.model.forward_logits(self.ps, &inputs);
+        debug_assert_eq!(logits.dims(), &[inputs.len(), self.classes]);
+        self.batches.set(self.batches.get() + 1);
+        self.rows.set(self.rows.get() + inputs.len());
+        let n = self.classes;
+        for (i, resolver) in resolvers.into_iter().enumerate() {
+            resolver.resolve(logits.data()[i * n..(i + 1) * n].to_vec());
+        }
+    }
+
+    /// Convenience batch entry point: submits every input, flushes, and
+    /// returns the stacked `[batch, classes]` logits. Errors on an empty
+    /// input set ([`SessionError::EmptyRun`]).
+    pub fn run(&self, inputs: impl IntoIterator<Item = M::Input>) -> Result<Tensor, SessionError> {
+        let handles: Vec<Pending> = inputs
+            .into_iter()
+            .map(|input| self.submit(input))
+            .collect::<Result<_, _>>()?;
+        if handles.is_empty() {
+            return Err(SessionError::EmptyRun);
+        }
+        self.flush();
+        let mut data = Vec::with_capacity(handles.len() * self.classes);
+        let m = handles.len();
+        for h in handles {
+            data.extend(wait_resolved(h));
+        }
+        Ok(Tensor::from_vec(data, &[m, self.classes]))
+    }
+
+    /// The compiled per-unit plan, in forward order.
+    pub fn plan(&self) -> &[UnitPlan] {
+        &self.plan
+    }
+
+    /// How many stages run on LUT engines (the rest take the dense path).
+    pub fn lut_stages(&self) -> usize {
+        self.plan.iter().filter(|p| p.is_lut()).count()
+    }
+
+    /// Final logits width.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Requests queued but not yet flushed.
+    pub fn queued(&self) -> usize {
+        self.queue.borrow().len()
+    }
+
+    /// Coalesced forward batches run so far.
+    pub fn batches_run(&self) -> usize {
+        self.batches.get()
+    }
+
+    /// Requests served so far.
+    pub fn rows_served(&self) -> usize {
+        self.rows.get()
+    }
+}
+
+/// Waits on a handle the session itself resolves during `flush` — the
+/// resolver cannot have been dropped unresolved.
+fn wait_resolved(handle: Pending) -> Vec<f32> {
+    handle
+        .wait()
+        .expect("session flush resolves every queued handle")
+}
+
+impl<M: ServableModel> Drop for ModelSession<'_, M> {
+    fn drop(&mut self) {
+        // Serve what is still queued, then hand the layers back to
+        // training-mode forwards. The engines survive in the runtime cache,
+        // so the next session at this parameter version re-tiles nothing.
+        self.flush();
+        for lut in &self.luts {
+            lut.clear_deploy();
+        }
+    }
+}
+
+impl<M: ServableModel> std::fmt::Debug for ModelSession<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSession")
+            .field("units", &self.plan.len())
+            .field("lut_stages", &self.lut_stages())
+            .field("classes", &self.classes)
+            .field("max_batch", &self.max_batch)
+            .field("queued", &self.queued())
+            .field("batches_run", &self.batches_run())
+            .field("rows_served", &self.rows_served())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy};
+    use crate::deploy::{undeploy_units, DeployConfig};
+    use crate::lut_gemm::LutConfig;
+    use crate::runtime::LutRuntime;
+    use lutdla_models::trainable::{
+        distilbert_mini, resnet20_mini, ConvNet, TransformerClassifier,
+    };
+    use lutdla_nn::{Graph, ImageModel, SeqModel};
+    use lutdla_vq::{FloatPrecision, LutQuant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Every deployment-numerics combination the paper's Table IV spans.
+    fn all_combos() -> Vec<DeployConfig> {
+        let quants = [LutQuant::F32, LutQuant::F16, LutQuant::Int8];
+        let precisions = [
+            FloatPrecision::Fp32,
+            FloatPrecision::Bf16,
+            FloatPrecision::Fp16,
+        ];
+        quants
+            .iter()
+            .flat_map(|&lut_quant| {
+                precisions.iter().map(move |&precision| DeployConfig {
+                    lut_quant,
+                    precision,
+                })
+            })
+            .collect()
+    }
+
+    fn converted_convnet() -> (ParamSet, ConvNet, Tensor) {
+        let mut rng = StdRng::seed_from_u64(130);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        let images = Tensor::randn(&mut rng, &[6, 3, 16, 16], 1.0);
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            images.clone(),
+            &mut rng,
+        );
+        (ps, net, images)
+    }
+
+    fn converted_transformer() -> (ParamSet, TransformerClassifier, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(131);
+        let mut ps = ParamSet::new();
+        let mut net = distilbert_mini(&mut ps, 3);
+        let tokens: Vec<usize> = (0..6 * 16).map(|i| (i * 5 + 3) % 64).collect();
+        let _ = lutify_transformer(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            &tokens,
+            6,
+            16,
+            &mut rng,
+        );
+        (ps, net, tokens)
+    }
+
+    fn image(images: &Tensor, i: usize) -> Tensor {
+        let per = 3 * 16 * 16;
+        Tensor::from_vec(images.data()[i * per..(i + 1) * per].to_vec(), &[3, 16, 16])
+    }
+
+    /// Acceptance property: `ModelSession::submit` output is bit-identical
+    /// to the pre-existing deploy + eval forward for **every**
+    /// `LutQuant × FloatPrecision` combo, whether requests share the
+    /// reference's batch grouping or arrive one by one.
+    #[test]
+    fn convnet_session_bit_identical_to_deployed_eval_all_combos() {
+        let (ps, net, images) = converted_convnet();
+        let m = images.dims()[0];
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        for cfg in all_combos() {
+            // Reference: the plain deploy path + batched eval forward.
+            rt.deploy_with(net.dense_units(), &ps, cfg);
+            let mut g = Graph::new(false);
+            let node = ImageModel::logits(&net, &mut g, &ps, images.clone());
+            let reference = g.value(node).clone();
+            undeploy_units(net.dense_units());
+            let n = reference.dims()[1];
+
+            // Whole-model session, same batch grouping.
+            let session = rt.model_session_with(&net, &ps, cfg);
+            assert!(session.lut_stages() > 0, "nothing planned on engines");
+            let grouped = session
+                .run((0..m).map(|i| image(&images, i)))
+                .expect("valid images");
+            assert_eq!(
+                grouped.data(),
+                reference.data(),
+                "{cfg:?}: grouped session diverged"
+            );
+
+            // One-by-one submits (each its own forward batch) must still be
+            // bit-identical: per-example logits are grouping-independent.
+            for i in [0usize, m - 1] {
+                let handle = session.submit(image(&images, i)).expect("valid image");
+                session.flush();
+                let row = handle.wait().expect("session alive");
+                assert_eq!(
+                    row.as_slice(),
+                    &reference.data()[i * n..(i + 1) * n],
+                    "{cfg:?}: single-row submit diverged on image {i}"
+                );
+            }
+            drop(session);
+        }
+    }
+
+    /// The transformer twin of the acceptance property, across all combos.
+    #[test]
+    fn transformer_session_bit_identical_to_deployed_eval_all_combos() {
+        let (ps, net, tokens) = converted_transformer();
+        let (batch, seq_len) = (6usize, 16usize);
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        for cfg in all_combos() {
+            rt.deploy_with(net.dense_units(), &ps, cfg);
+            let mut g = Graph::new(false);
+            let node = SeqModel::logits(&net, &mut g, &ps, &tokens, batch, seq_len);
+            let reference = g.value(node).clone();
+            undeploy_units(net.dense_units());
+            let n = reference.dims()[1];
+
+            let session = rt.model_session_with(&net, &ps, cfg);
+            assert!(session.lut_stages() > 0, "nothing planned on engines");
+            let grouped = session
+                .run((0..batch).map(|i| tokens[i * seq_len..(i + 1) * seq_len].to_vec()))
+                .expect("valid sequences");
+            assert_eq!(
+                grouped.data(),
+                reference.data(),
+                "{cfg:?}: grouped session diverged"
+            );
+
+            let handle = session
+                .submit(tokens[..seq_len].to_vec())
+                .expect("valid sequence");
+            session.flush();
+            let row = handle.wait().expect("session alive");
+            assert_eq!(
+                row.as_slice(),
+                &reference.data()[..n],
+                "{cfg:?}: single submit diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn session_compiles_lut_and_dense_stages_in_walk_order() {
+        let (ps, net, _) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+        let units = net.dense_units();
+        assert_eq!(session.plan().len(), units.len());
+        for (plan, unit) in session.plan().iter().zip(&units) {
+            assert_eq!(plan.name(), unit.name, "plan order diverged from walk");
+            assert_eq!(
+                plan.is_lut(),
+                crate::convert::as_lut(unit).is_some(),
+                "{}: wrong execution route",
+                unit.name
+            );
+        }
+        // Default policy keeps stem + head dense: both routes are present.
+        assert!(session.lut_stages() > 0);
+        assert!(session.lut_stages() < units.len());
+    }
+
+    #[test]
+    fn submissions_coalesce_until_max_batch_and_stages_serve_blocks() {
+        let (ps, net, images) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+        let handles: Vec<Pending> = (0..3)
+            .map(|i| session.submit(image(&images, i)).expect("valid image"))
+            .collect();
+        // Below max_batch (default 64): nothing has run yet.
+        assert_eq!(session.queued(), 3);
+        assert_eq!(session.batches_run(), 0);
+        session.flush();
+        assert_eq!(session.queued(), 0);
+        assert_eq!(session.batches_run(), 1, "one coalesced forward expected");
+        assert_eq!(session.rows_served(), 3);
+        for h in handles {
+            assert_eq!(h.wait().expect("alive").len(), session.num_classes());
+        }
+        // Every LUT stage served its activation blocks through its own
+        // micro-batcher — rows flowed through the whole pipeline.
+        for plan in session.plan() {
+            if let UnitPlan::Lut { name, stage, .. } = plan {
+                assert!(
+                    stage.rows_served() > 0,
+                    "stage {name} was bypassed by the pipeline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incompatible_sequence_lengths_split_batches_transparently() {
+        let (ps, net, tokens) = converted_transformer();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+        let short = session.submit(tokens[..8].to_vec()).expect("valid");
+        // A 16-token request cannot share the 8-token batch: the open batch
+        // flushes first, then the new request queues.
+        let long = session.submit(tokens[..16].to_vec()).expect("valid");
+        assert_eq!(session.batches_run(), 1, "length change must flush");
+        assert_eq!(session.queued(), 1);
+        session.flush();
+        assert_eq!(session.batches_run(), 2);
+        assert_eq!(short.wait().expect("alive").len(), 3);
+        assert_eq!(long.wait().expect("alive").len(), 3);
+    }
+
+    #[test]
+    fn drop_flushes_outstanding_requests_and_undeploys() {
+        let (ps, net, images) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+        let lut_stages = session.lut_stages();
+        let handle = session.submit(image(&images, 0)).expect("valid image");
+        // While the session lives, converted layers are deployed (batched).
+        let deployed = crate::deploy::lut_layers(net.dense_units())
+            .filter(|l| l.deployed_engine().is_some())
+            .count();
+        assert_eq!(deployed, lut_stages);
+        drop(session);
+        // Flush-on-drop resolved the handle …
+        assert_eq!(handle.wait().expect("resolved on drop").len(), 4);
+        // … and the layers are back to training-mode forwards.
+        let still_deployed = crate::deploy::lut_layers(net.dense_units())
+            .filter(|l| l.deployed_engine().is_some())
+            .count();
+        assert_eq!(still_deployed, 0, "drop must undeploy the model");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_before_queueing() {
+        let (ps, net, _) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+        let err = session
+            .submit(Tensor::zeros(&[3, 8, 8]))
+            .expect_err("wrong spatial size");
+        assert!(matches!(err, SessionError::InvalidInput(_)));
+        assert_eq!(session.queued(), 0);
+        // An empty run() is an error, not a zero-row tensor (the tensor
+        // crate rejects zero-sized dimensions) and not a panic.
+        let err = session.run(Vec::new()).expect_err("empty input set");
+        assert_eq!(err, SessionError::EmptyRun);
+    }
+}

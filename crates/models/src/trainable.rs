@@ -180,6 +180,48 @@ impl std::fmt::Debug for DenseUnit {
     }
 }
 
+/// A model that a whole-model serving session can drive: an **ordered
+/// dense-unit walk** plus a batched eval-mode forward over single examples.
+///
+/// The contract that makes sessions correct:
+///
+/// 1. [`ServableModel::unit_walk`] returns every [`DenseUnit`] in exactly
+///    the order the forward consumes them — the same order
+///    `capture_gemm_inputs` records calibration activations, so a serving
+///    plan compiled over the walk (LUT engine per converted unit, dense
+///    GEMM otherwise) replays precisely what the eval forward computes.
+/// 2. [`ServableModel::forward_logits`] is the eval-mode forward
+///    (`Graph::new(false)`), whose per-example logits are independent of
+///    how examples are grouped into batches (eval-mode batch norm uses
+///    running stats; every other op is example-local). That independence is
+///    what lets a session coalesce submissions freely while staying
+///    bit-identical to any other batching of the same examples.
+pub trait ServableModel {
+    /// One inference request: a single image (`[C, H, W]` tensor) or a
+    /// single token sequence.
+    type Input: Clone;
+
+    /// Every dense unit in forward order.
+    fn unit_walk(&self) -> Vec<&DenseUnit>;
+
+    /// Checks one request's shape/content before it joins a batch.
+    fn validate_input(&self, input: &Self::Input) -> Result<(), String>;
+
+    /// Whether two requests may share one forward batch (e.g. equal
+    /// sequence lengths). Defaults to "always".
+    fn batch_compatible(&self, _a: &Self::Input, _b: &Self::Input) -> bool {
+        true
+    }
+
+    /// Eval-mode forward over a non-empty batch of validated, mutually
+    /// [`batch_compatible`](ServableModel::batch_compatible) requests;
+    /// returns `[batch, classes]` logits.
+    fn forward_logits(&self, ps: &ParamSet, inputs: &[Self::Input]) -> Tensor;
+
+    /// Output width of [`ServableModel::forward_logits`].
+    fn num_classes(&self) -> usize;
+}
+
 /// Rearranges GEMM conv output `[batch·oh·ow, cout]` into NCHW.
 fn nchw_from_gemm(
     g: &mut Graph,
@@ -478,6 +520,48 @@ impl ImageModel for ConvNet {
         let mut it = aux.iter().copied();
         let first = it.next()?;
         Some(it.fold(first, |acc, n| g.add(acc, n)))
+    }
+}
+
+impl ServableModel for ConvNet {
+    type Input = Tensor;
+
+    fn unit_walk(&self) -> Vec<&DenseUnit> {
+        self.dense_units()
+    }
+
+    fn validate_input(&self, input: &Self::Input) -> Result<(), String> {
+        let want = [
+            self.cfg.in_channels,
+            self.cfg.image_size,
+            self.cfg.image_size,
+        ];
+        if input.dims() == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "image dims {:?}, model expects {:?}",
+                input.dims(),
+                want
+            ))
+        }
+    }
+
+    fn forward_logits(&self, ps: &ParamSet, inputs: &[Self::Input]) -> Tensor {
+        assert!(!inputs.is_empty(), "empty forward batch");
+        let (c, s) = (self.cfg.in_channels, self.cfg.image_size);
+        let mut data = Vec::with_capacity(inputs.len() * c * s * s);
+        for image in inputs {
+            data.extend_from_slice(image.data());
+        }
+        let batch = Tensor::from_vec(data, &[inputs.len(), c, s, s]);
+        let mut g = Graph::new(false);
+        let node = ImageModel::logits(self, &mut g, ps, batch);
+        g.value(node).clone()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.cfg.num_classes
     }
 }
 
@@ -873,6 +957,53 @@ impl SeqModel for TransformerClassifier {
     }
 }
 
+impl ServableModel for TransformerClassifier {
+    type Input = Vec<usize>;
+
+    fn unit_walk(&self) -> Vec<&DenseUnit> {
+        self.dense_units()
+    }
+
+    fn validate_input(&self, input: &Self::Input) -> Result<(), String> {
+        if input.is_empty() || input.len() > self.cfg.max_seq {
+            return Err(format!(
+                "sequence length {} outside 1..={}",
+                input.len(),
+                self.cfg.max_seq
+            ));
+        }
+        match input.iter().find(|&&t| t >= self.cfg.vocab) {
+            Some(&t) => Err(format!("token {t} outside vocab of {}", self.cfg.vocab)),
+            None => Ok(()),
+        }
+    }
+
+    /// Sequences of different lengths cannot share one `[B, T, D]` batch.
+    fn batch_compatible(&self, a: &Self::Input, b: &Self::Input) -> bool {
+        a.len() == b.len()
+    }
+
+    fn forward_logits(&self, ps: &ParamSet, inputs: &[Self::Input]) -> Tensor {
+        assert!(!inputs.is_empty(), "empty forward batch");
+        let seq_len = inputs[0].len();
+        debug_assert!(
+            inputs.iter().all(|s| s.len() == seq_len),
+            "batch mixes sequence lengths"
+        );
+        let mut tokens = Vec::with_capacity(inputs.len() * seq_len);
+        for seq in inputs {
+            tokens.extend_from_slice(seq);
+        }
+        let mut g = Graph::new(false);
+        let node = SeqModel::logits(self, &mut g, ps, &tokens, inputs.len(), seq_len);
+        g.value(node).clone()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.cfg.num_classes
+    }
+}
+
 /// BERT proxy: 2 encoder blocks, d=32.
 pub fn bert_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassifier {
     TransformerClassifier::new(
@@ -1021,6 +1152,73 @@ mod tests {
         }
         let acc = eval_seq(&net, &ps, &test, 32);
         assert!(acc > 0.7, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn servable_walk_is_the_dense_unit_order() {
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 10);
+        let walk = ServableModel::unit_walk(&net);
+        let units = net.dense_units();
+        assert_eq!(walk.len(), units.len());
+        for (w, u) in walk.iter().zip(&units) {
+            assert!(std::ptr::eq(*w, *u), "walk reordered {}", u.name);
+        }
+    }
+
+    #[test]
+    fn servable_logits_are_independent_of_batch_grouping() {
+        // The contract a serving session relies on: coalescing requests into
+        // any batch grouping yields bit-identical per-example logits.
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let images: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::randn(&mut rng, &[3, 16, 16], 1.0))
+            .collect();
+        for im in &images {
+            net.validate_input(im).expect("valid image");
+        }
+        let whole = net.forward_logits(&ps, &images);
+        let n = net.num_classes();
+        let mut regrouped = Vec::new();
+        regrouped.extend(net.forward_logits(&ps, &images[..2]).into_vec());
+        regrouped.extend(net.forward_logits(&ps, &images[2..]).into_vec());
+        assert_eq!(whole.data(), &regrouped[..], "batch grouping leaked");
+        assert_eq!(whole.dims(), &[5, n]);
+
+        let mut ps = ParamSet::new();
+        let net = bert_mini(&mut ps, 3);
+        let seqs: Vec<Vec<usize>> = (0..4)
+            .map(|i| (0..16).map(|t| (i * 7 + t * 3) % 64).collect())
+            .collect();
+        for s in &seqs {
+            net.validate_input(s).expect("valid sequence");
+        }
+        let whole = net.forward_logits(&ps, &seqs);
+        let mut regrouped = Vec::new();
+        for s in &seqs {
+            regrouped.extend(net.forward_logits(&ps, std::slice::from_ref(s)).into_vec());
+        }
+        assert_eq!(whole.data(), &regrouped[..], "batch grouping leaked");
+    }
+
+    #[test]
+    fn servable_input_validation_rejects_bad_shapes() {
+        let mut ps = ParamSet::new();
+        let net = resnet20_mini(&mut ps, 10);
+        let bad = Tensor::zeros(&[3, 8, 8]);
+        assert!(net.validate_input(&bad).is_err());
+
+        let mut ps = ParamSet::new();
+        let net = bert_mini(&mut ps, 3);
+        assert!(net.validate_input(&vec![]).is_err(), "empty sequence");
+        assert!(net.validate_input(&vec![0; 17]).is_err(), "too long");
+        assert!(net.validate_input(&vec![64; 4]).is_err(), "out of vocab");
+        assert!(net.validate_input(&vec![0; 8]).is_ok());
+        // Unequal lengths must not share a batch; equal lengths may.
+        assert!(!net.batch_compatible(&vec![0; 8], &vec![0; 9]));
+        assert!(net.batch_compatible(&vec![0; 8], &vec![1; 8]));
     }
 
     #[test]

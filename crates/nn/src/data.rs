@@ -56,6 +56,20 @@ impl ImageDataset {
     pub fn num_batches(&self, bs: usize) -> usize {
         self.len().div_ceil(bs)
     }
+
+    /// Extracts single example `i` as a `[c, h, w]` tensor plus its label —
+    /// the unit a serving session's `submit` consumes.
+    pub fn example(&self, i: usize) -> (Tensor, usize) {
+        assert!(i < self.len(), "example index out of range");
+        let per = self.channels * self.hw.0 * self.hw.1;
+        (
+            Tensor::from_vec(
+                self.images.data()[i * per..(i + 1) * per].to_vec(),
+                &[self.channels, self.hw.0, self.hw.1],
+            ),
+            self.labels[i],
+        )
+    }
 }
 
 /// Configuration for [`synthetic_images`].
@@ -278,6 +292,16 @@ impl SeqDataset {
     pub fn num_batches(&self, bs: usize) -> usize {
         self.len().div_ceil(bs)
     }
+
+    /// Extracts single sequence `i` (token ids) plus its label — the unit a
+    /// serving session's `submit` consumes.
+    pub fn sequence(&self, i: usize) -> (&[usize], usize) {
+        assert!(i < self.len(), "sequence index out of range");
+        (
+            &self.tokens[i * self.seq_len..(i + 1) * self.seq_len],
+            self.labels[i],
+        )
+    }
 }
 
 /// Configuration for [`synthetic_sequences`].
@@ -399,6 +423,35 @@ mod tests {
             total += y.len();
         }
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn single_example_accessors_match_batches() {
+        let cfg = ImageTaskConfig {
+            n_train: 6,
+            n_test: 3,
+            ..ImageTaskConfig::cifar10_proxy()
+        };
+        let (train, _) = synthetic_images(&cfg);
+        let (batch, labels) = train.batch(0, 6);
+        let per = 3 * 16 * 16;
+        for (i, &expected_label) in labels.iter().enumerate() {
+            let (im, label) = train.example(i);
+            assert_eq!(im.dims(), &[3, 16, 16]);
+            assert_eq!(im.data(), &batch.data()[i * per..(i + 1) * per]);
+            assert_eq!(label, expected_label);
+        }
+
+        let (seq_train, _) = synthetic_sequences(&SeqTaskConfig::glue_proxy(2, 2));
+        let (tokens, labels) = seq_train.batch(0, 4);
+        for (i, &expected_label) in labels.iter().enumerate() {
+            let (seq, label) = seq_train.sequence(i);
+            assert_eq!(
+                seq,
+                &tokens[i * seq_train.seq_len..(i + 1) * seq_train.seq_len]
+            );
+            assert_eq!(label, expected_label);
+        }
     }
 
     #[test]

@@ -116,23 +116,45 @@ pub const MAX_WORKERS: usize = 64;
 /// `1..=`[`MAX_WORKERS`]); otherwise the machine's parallelism is used,
 /// capped at 8 so a deployed model with many engines doesn't oversubscribe.
 /// On a 1-CPU machine both paths bottom out at a single worker.
+///
+/// An override that is `0` or unparseable is **rejected, loudly**: the
+/// detected parallelism is used instead and a warning is printed to stderr
+/// (once per process) — a typo'd deployment knob must not silently change
+/// the serving thread budget.
 pub fn default_workers() -> usize {
-    worker_count(
-        std::env::var("LUTDLA_WORKERS").ok().as_deref(),
+    let env = std::env::var("LUTDLA_WORKERS").ok();
+    let (workers, rejected) = worker_count(
+        env.as_deref(),
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-    )
+    );
+    if let Some(bad) = rejected {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "lutdla: ignoring invalid LUTDLA_WORKERS={bad:?} \
+                 (need an integer in 1..={MAX_WORKERS}); \
+                 using {workers} detected worker(s) instead"
+            );
+        });
+    }
+    workers
 }
 
-/// Pure sizing rule behind [`default_workers`], split out so the override
-/// and clamping behaviour is unit-testable without mutating the process
-/// environment. Unparseable or zero overrides fall back to the detected
-/// parallelism.
-fn worker_count(env_override: Option<&str>, parallelism: usize) -> usize {
-    match env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(n) if n > 0 => n.clamp(1, MAX_WORKERS),
-        _ => parallelism.clamp(1, 8),
+/// Pure sizing rule behind [`default_workers`], split out so the override,
+/// clamping, and rejection behaviour is unit-testable without mutating the
+/// process environment. Returns the worker count plus the rejected override
+/// string when the override was present but invalid (`0`, empty, or not an
+/// integer) — the caller owns the warning side effect.
+fn worker_count(env_override: Option<&str>, parallelism: usize) -> (usize, Option<String>) {
+    let fallback = parallelism.clamp(1, 8);
+    match env_override {
+        None => (fallback, None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => (n.clamp(1, MAX_WORKERS), None),
+            Ok(_) | Err(_) => (fallback, Some(s.to_string())),
+        },
     }
 }
 
@@ -954,19 +976,31 @@ mod tests {
 
     #[test]
     fn worker_count_env_override_and_clamps() {
-        // No override: detected parallelism, capped at 8, floored at 1.
-        assert_eq!(worker_count(None, 1), 1);
-        assert_eq!(worker_count(None, 4), 4);
-        assert_eq!(worker_count(None, 32), 8);
+        // No override: detected parallelism, capped at 8, floored at 1 —
+        // and nothing to warn about.
+        assert_eq!(worker_count(None, 1), (1, None));
+        assert_eq!(worker_count(None, 4), (4, None));
+        assert_eq!(worker_count(None, 32), (8, None));
         // Override wins and is clamped to 1..=MAX_WORKERS.
-        assert_eq!(worker_count(Some("3"), 1), 3);
-        assert_eq!(worker_count(Some(" 12 "), 1), 12);
-        assert_eq!(worker_count(Some("100000"), 4), MAX_WORKERS);
-        // Zero or garbage falls back to the detected parallelism —
-        // on a 1-CPU machine that still yields a sane single worker.
-        assert_eq!(worker_count(Some("0"), 1), 1);
-        assert_eq!(worker_count(Some("not-a-number"), 2), 2);
-        assert_eq!(worker_count(Some(""), 1), 1);
+        assert_eq!(worker_count(Some("3"), 1), (3, None));
+        assert_eq!(worker_count(Some(" 12 "), 1), (12, None));
+        assert_eq!(worker_count(Some("100000"), 4), (MAX_WORKERS, None));
+    }
+
+    #[test]
+    fn worker_count_rejects_invalid_overrides_with_a_warning() {
+        // Zero or garbage is *rejected*, not silently defaulted: the caller
+        // gets the offending string back so it can warn, plus the detected
+        // parallelism as the fallback.
+        assert_eq!(worker_count(Some("0"), 1), (1, Some("0".to_string())));
+        assert_eq!(
+            worker_count(Some("not-a-number"), 2),
+            (2, Some("not-a-number".to_string()))
+        );
+        assert_eq!(worker_count(Some(""), 1), (1, Some(String::new())));
+        assert_eq!(worker_count(Some("-3"), 4), (4, Some("-3".to_string())));
+        // The fallback still honours the no-override clamps.
+        assert_eq!(worker_count(Some("0"), 32), (8, Some("0".to_string())));
     }
 
     #[test]

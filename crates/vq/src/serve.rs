@@ -1,14 +1,25 @@
-//! `MicroBatcher`: a serving front door that coalesces single-row requests
-//! into the batched [`LutEngine`] calls the engine is fast at.
+//! `MicroBatcher`: a serving front door that coalesces row requests into
+//! the batched [`LutEngine`] calls the engine is fast at.
 //!
 //! The engine's throughput comes from streaming many rows against one
 //! cache-resident table tile; a request stream of single rows forfeits all
-//! of it. The batcher runs one collector thread per engine: the first row
-//! opens a batch and starts a deadline clock, further rows join until either
-//! [`BatchOptions::max_batch`] rows are pending or
+//! of it. The batcher runs one collector thread per engine: the first
+//! request opens a batch and starts a deadline clock, further requests join
+//! until either [`BatchOptions::max_batch`] rows are pending or
 //! [`BatchOptions::max_delay`] elapses, then the whole batch runs through
 //! [`LutEngine::run_batch`] and each caller's [`Pending`] handle resolves
-//! with its own output row.
+//! with its own output rows.
+//!
+//! Requests may carry one row ([`MicroBatcher::submit`]) or a whole block
+//! ([`MicroBatcher::submit_rows`]) — a model pipeline submits each LUT
+//! stage's entire activation block as one request, and
+//! [`Pending::forward`] hands a resolved block straight to the next
+//! stage's batcher without surfacing the buffer to the caller.
+//!
+//! Two degenerate policies are first-class: `max_batch == 1` flushes every
+//! request the moment it arrives, and `max_delay == 0` drains only what is
+//! already queued — neither ever touches the deadline clock, so
+//! latency-critical single-row serving never sleeps.
 //!
 //! Because the engine computes every output row independently (encode and
 //! accumulate never mix rows), a row's result is **bit-identical** whether
@@ -16,7 +27,7 @@
 //! `run_batch` call — batching is purely a throughput decision.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +73,19 @@ impl Default for BatchOptions {
     }
 }
 
+impl BatchOptions {
+    /// A zero-latency policy: every flush drains only what is already
+    /// queued (up to `max_batch` rows) and never waits on the deadline
+    /// clock. Concurrent submitters still coalesce opportunistically; a
+    /// lone submitter gets an immediate run.
+    pub fn immediate(max_batch: usize) -> Self {
+        Self {
+            max_batch,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
 /// Errors surfaced by the submit path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
@@ -70,6 +94,13 @@ pub enum SubmitError {
         /// Engine input width.
         expected: usize,
         /// Submitted row length.
+        got: usize,
+    },
+    /// A submitted block is empty or not a whole number of `K`-wide rows.
+    BlockShape {
+        /// Engine input width (block length must be a non-zero multiple).
+        row_width: usize,
+        /// Submitted block length.
         got: usize,
     },
     /// The batcher shut down before the request could be served.
@@ -82,6 +113,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::RowShape { expected, got } => {
                 write!(f, "row holds {got} values, engine expects K = {expected}")
             }
+            SubmitError::BlockShape { row_width, got } => write!(
+                f,
+                "block holds {got} values, expected a non-zero multiple of K = {row_width}"
+            ),
             SubmitError::Closed => write!(f, "micro-batcher is shut down"),
         }
     }
@@ -89,17 +124,57 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Future-style handle to one submitted row's output.
+/// Future-style handle to a submitted request's output rows.
 #[derive(Debug)]
 pub struct Pending {
     rx: Receiver<Vec<f32>>,
 }
 
+/// The resolving half of a [`Pending`] handle minted by
+/// [`Pending::channel`]: whoever computes the output calls
+/// [`PendingResolver::resolve`] exactly once.
+///
+/// This is what lets layers *above* the engine (a whole-model serving
+/// session, say) hand out the same `Pending` handles the micro-batcher
+/// does, so one `wait`/`try_wait` contract covers every serving front door.
+#[derive(Debug)]
+pub struct PendingResolver {
+    tx: Sender<Vec<f32>>,
+}
+
+impl PendingResolver {
+    /// Resolves the paired [`Pending`] with `rows`. A dropped handle is
+    /// fine — the caller lost interest.
+    pub fn resolve(self, rows: Vec<f32>) {
+        let _ = self.tx.send(rows);
+    }
+}
+
 impl Pending {
-    /// Blocks until the batch containing this row has run; returns the
-    /// output row (length `N`). Errors only if the batcher died first.
+    /// Mints an unresolved handle plus its resolver (for serving layers
+    /// that compute outputs themselves rather than through a
+    /// [`MicroBatcher`]). Dropping the resolver unresolved makes
+    /// [`Pending::wait`] report [`SubmitError::Closed`].
+    pub fn channel() -> (PendingResolver, Pending) {
+        let (tx, rx) = channel();
+        (PendingResolver { tx }, Pending { rx })
+    }
+
+    /// Blocks until the batch containing this request has run; returns the
+    /// output rows (length `rows · N`). Errors only if the batcher died
+    /// first.
     pub fn wait(self) -> Result<Vec<f32>, SubmitError> {
         self.rx.recv().map_err(|_| SubmitError::Closed)
+    }
+
+    /// Blocks until this request resolves, then moves the resolved block
+    /// straight into `next`'s queue — the buffer never surfaces to (or is
+    /// copied by) the caller. Returns the next stage's handle, so
+    /// multi-stage chains over per-layer sessions compose as
+    /// `submit(...)?.forward(&s2)?.forward(&s3)?.wait()`.
+    pub fn forward(self, next: &MicroBatcher) -> Result<Pending, SubmitError> {
+        let rows = self.wait()?;
+        next.submit_owned(rows)
     }
 
     /// Non-blocking poll: `Ok(Some(row))` once the batch has run,
@@ -117,7 +192,11 @@ impl Pending {
 }
 
 struct Request {
-    row: Vec<f32>,
+    /// `nrows · K` activation values.
+    rows: Vec<f32>,
+    /// Row count of this request (1 for `submit`, the block height for
+    /// `submit_rows`).
+    nrows: usize,
     done: Sender<Vec<f32>>,
 }
 
@@ -166,14 +245,40 @@ impl MicroBatcher {
                 got: row.len(),
             });
         }
+        self.send(row.to_vec(), 1)
+    }
+
+    /// Submits a block of rows (`rows.len()` must be a non-zero multiple of
+    /// `K`) as **one** request; the handle resolves with the whole output
+    /// block (`nrows · N` values) once a batch containing it has run.
+    ///
+    /// This is the stage entry point of a model pipeline: an upstream
+    /// layer's full activation block joins the batcher in a single send,
+    /// coalescing with whatever other blocks or single rows are queued.
+    pub fn submit_rows(&self, rows: &[f32]) -> Result<Pending, SubmitError> {
+        self.submit_owned(rows.to_vec())
+    }
+
+    /// [`MicroBatcher::submit_rows`] taking ownership of the buffer, so
+    /// chained stages ([`Pending::forward`]) move blocks between batchers
+    /// without copying.
+    pub fn submit_owned(&self, rows: Vec<f32>) -> Result<Pending, SubmitError> {
+        if rows.is_empty() || !rows.len().is_multiple_of(self.k) {
+            return Err(SubmitError::BlockShape {
+                row_width: self.k,
+                got: rows.len(),
+            });
+        }
+        let nrows = rows.len() / self.k;
+        self.send(rows, nrows)
+    }
+
+    fn send(&self, rows: Vec<f32>, nrows: usize) -> Result<Pending, SubmitError> {
         let (done, rx) = channel();
         self.tx
             .as_ref()
             .expect("sender lives until drop")
-            .send(Request {
-                row: row.to_vec(),
-                done,
-            })
+            .send(Request { rows, nrows, done })
             .map_err(|_| SubmitError::Closed)?;
         Ok(Pending { rx })
     }
@@ -229,27 +334,55 @@ fn collect_loop(
     n: usize,
     (batches, rows): (Arc<AtomicUsize>, Arc<AtomicUsize>),
 ) {
-    let max_batch = opts.max_batch.max(1);
+    let max_rows = opts.max_batch.max(1);
     let mut open = true;
     while open {
-        // Block for the first row of the next batch.
+        // Block for the first request of the next batch.
         let first = match rx.recv() {
             Ok(req) => req,
             Err(_) => break,
         };
+        let mut queued = first.nrows;
         let mut pending = vec![first];
-        let deadline = Instant::now() + opts.max_delay;
-        while pending.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
+        // Grow the batch — but only if the first request left room. A full
+        // first request (always true for `max_batch == 1`) flushes without
+        // ever consulting the clock, and a zero-delay policy drains only
+        // what is already queued: both degenerate cases serve immediately,
+        // with no deadline sleeps.
+        if queued < max_rows && opts.max_delay.is_zero() {
+            loop {
+                match rx.try_recv() {
+                    Ok(req) => {
+                        queued += req.nrows;
+                        pending.push(req);
+                        if queued >= max_rows {
+                            break;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
             }
-            match rx.recv_timeout(deadline - now) {
-                Ok(req) => pending.push(req),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    open = false;
+        } else if queued < max_rows {
+            let deadline = Instant::now() + opts.max_delay;
+            while queued < max_rows {
+                let now = Instant::now();
+                if now >= deadline {
                     break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(req) => {
+                        queued += req.nrows;
+                        pending.push(req);
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
                 }
             }
         }
@@ -257,7 +390,8 @@ fn collect_loop(
     }
 }
 
-/// Runs one coalesced batch and resolves every caller's handle.
+/// Runs one coalesced batch and resolves every caller's handle with its own
+/// slice of the output.
 fn flush(
     engine: &SharedEngine,
     pending: Vec<Request>,
@@ -266,18 +400,22 @@ fn flush(
     batches: &AtomicUsize,
     rows: &AtomicUsize,
 ) {
-    let m = pending.len();
+    let m: usize = pending.iter().map(|r| r.nrows).sum();
     let mut data = Vec::with_capacity(m * k);
     for req in &pending {
-        data.extend_from_slice(&req.row);
+        data.extend_from_slice(&req.rows);
     }
     let x = Tensor::from_vec(data, &[m, k]);
     let y = lock_engine(engine).run_batch(&x);
     batches.fetch_add(1, Ordering::Release);
     rows.fetch_add(m, Ordering::Release);
-    for (i, req) in pending.into_iter().enumerate() {
+    let mut row0 = 0;
+    for req in pending {
         // A dropped Pending is fine — the caller lost interest.
-        let _ = req.done.send(y.data()[i * n..(i + 1) * n].to_vec());
+        let _ = req
+            .done
+            .send(y.data()[row0 * n..(row0 + req.nrows) * n].to_vec());
+        row0 += req.nrows;
     }
 }
 
@@ -484,6 +622,148 @@ mod tests {
         // … and a handle drained after resolution reports Closed, not an
         // eternal Ok(None).
         assert_eq!(pending.try_wait(), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn block_submissions_coalesce_with_single_rows_bitwise() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 70);
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = reference.dims()[1];
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: m,
+                max_delay: Duration::from_secs(5),
+            },
+        );
+        // One 10-row block, one single row, one 13-row block: 24 rows total
+        // coalesce into exactly one engine call, each handle getting its own
+        // slice.
+        let b1 = batcher.submit_rows(&a.data()[..10 * k]).expect("block");
+        let r1 = batcher.submit(&a.data()[10 * k..11 * k]).expect("row");
+        let b2 = batcher
+            .submit_rows(&a.data()[11 * k..24 * k])
+            .expect("block");
+        assert_eq!(b1.wait().expect("alive"), &reference.data()[..10 * n]);
+        assert_eq!(r1.wait().expect("alive"), &reference.data()[10 * n..11 * n]);
+        assert_eq!(b2.wait().expect("alive"), &reference.data()[11 * n..24 * n]);
+        assert_eq!(batcher.batches_run(), 1, "requests did not coalesce");
+        assert_eq!(batcher.rows_served(), m, "max_batch must count rows");
+    }
+
+    #[test]
+    fn max_batch_one_serves_immediately_without_deadline_sleep() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 71);
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        // A pathologically long deadline: if the collector consulted the
+        // clock at all, this test would hang for minutes.
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: 1,
+                max_delay: Duration::from_secs(600),
+            },
+        );
+        let t0 = Instant::now();
+        for i in 0..4 {
+            let out = batcher
+                .submit(&a.data()[i * k..(i + 1) * k])
+                .expect("valid row")
+                .wait()
+                .expect("batcher alive");
+            assert_eq!(out.as_slice(), &reference.data()[i * n..(i + 1) * n]);
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "max_batch == 1 slept on the deadline clock"
+        );
+        assert_eq!(batcher.batches_run(), 4, "each row must run immediately");
+        assert_eq!(batcher.rows_served(), 4);
+    }
+
+    #[test]
+    fn zero_delay_runs_single_rows_immediately() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 72);
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        // max_batch leaves plenty of room, so only the zero-delay policy
+        // (drain what is queued, never wait) can flush a lone row.
+        let batcher = MicroBatcher::new(share(engine), BatchOptions::immediate(1000));
+        let out = batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait()
+            .expect("batcher alive");
+        assert_eq!(out.as_slice(), &reference.data()[..n]);
+        assert!(batcher.batches_run() >= 1);
+        assert_eq!(batcher.rows_served(), 1);
+    }
+
+    #[test]
+    fn forward_chains_stage_outputs_into_the_next_batcher() {
+        // Stage 1: K=10 → N=9; stage 2 consumes 9-wide rows. A block
+        // submitted to stage 1 and forwarded must match running the two
+        // engines back to back by hand.
+        let (a, engine1, mid) = setup(LutQuant::F32, FloatPrecision::Fp32, 73);
+        let (k2, n2, v2, c2) = (9usize, 7usize, 3usize, 8usize);
+        let mut rng = StdRng::seed_from_u64(74);
+        let b2 = Tensor::rand_uniform(&mut rng, &[k2, n2], -1.0, 1.0);
+        let pq2 = ProductQuantizer::fit(&mid, v2, c2, Distance::L2, &mut rng);
+        let table2 = LutTable::build(&pq2, &b2, LutQuant::F32);
+        let mut engine2 = LutEngine::new(pq2, &table2);
+        let expected = engine2.run_batch(&mid);
+
+        let stage1 = MicroBatcher::new(share(engine1), BatchOptions::immediate(64));
+        let stage2 = MicroBatcher::new(share(engine2), BatchOptions::immediate(64));
+        let rows = 6;
+        let k = a.dims()[1];
+        let out = stage1
+            .submit_rows(&a.data()[..rows * k])
+            .expect("stage-1 block")
+            .forward(&stage2)
+            .expect("stage-2 block")
+            .wait()
+            .expect("pipeline alive");
+        assert_eq!(out.as_slice(), &expected.data()[..rows * n2]);
+        assert_eq!(stage1.rows_served(), rows);
+        assert_eq!(stage2.rows_served(), rows);
+    }
+
+    #[test]
+    fn malformed_blocks_are_rejected_immediately() {
+        let (_, engine, _) = setup(LutQuant::F32, FloatPrecision::Fp32, 75);
+        let batcher = MicroBatcher::new(share(engine), BatchOptions::default());
+        // Not a multiple of K = 10.
+        let err = batcher.submit_rows(&[0.0; 15]).expect_err("ragged block");
+        assert_eq!(
+            err,
+            SubmitError::BlockShape {
+                row_width: 10,
+                got: 15
+            }
+        );
+        let err = batcher.submit_rows(&[]).expect_err("empty block");
+        assert_eq!(
+            err,
+            SubmitError::BlockShape {
+                row_width: 10,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pending_channel_resolves_through_the_same_contract() {
+        let (resolver, pending) = Pending::channel();
+        assert_eq!(pending.try_wait(), Ok(None), "unresolved must be pending");
+        resolver.resolve(vec![1.0, 2.0]);
+        assert_eq!(pending.wait().expect("resolved"), vec![1.0, 2.0]);
+
+        // A resolver dropped unresolved surfaces Closed, not a hang.
+        let (resolver, pending) = Pending::channel();
+        drop(resolver);
+        assert_eq!(pending.wait(), Err(SubmitError::Closed));
     }
 
     #[test]

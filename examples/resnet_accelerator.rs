@@ -1,10 +1,13 @@
 //! End-to-end CNN scenario: convert a (tiny proxy) ResNet with LUTBoost,
-//! deploy it at BF16+INT8, and size the accelerator for the full ResNet-18
+//! deploy it at BF16+INT8, serve single images through a whole-model
+//! `ModelSession`, and size the accelerator for the full ResNet-18
 //! workload against NVDLA and Gemmini.
 //!
 //! ```sh
-//! cargo run --release --example resnet_accelerator
+//! cargo run --release --example resnet_accelerator [-- --smoke]
 //! ```
+//!
+//! `--smoke` shrinks the dataset and training budget to a CI-sized run.
 
 use lutdla::prelude::*;
 use lutdla_lutboost::fresh_pretrained_convnet;
@@ -13,14 +16,27 @@ use lutdla_nn::data::{synthetic_images, ImageTaskConfig};
 use lutdla_nn::{eval_images, train_epoch_images, Optimizer, Sgd};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
     // --- 1. Train the dense baseline on the CIFAR-10 proxy. --------------
-    let data_cfg = ImageTaskConfig::cifar10_proxy();
+    let data_cfg = if smoke {
+        ImageTaskConfig {
+            num_classes: 4,
+            n_train: 96,
+            n_test: 48,
+            noise: 0.25,
+            ..ImageTaskConfig::cifar10_proxy()
+        }
+    } else {
+        ImageTaskConfig::cifar10_proxy()
+    };
+    let epochs = if smoke { 3 } else { 8 };
     let (train, test) = synthetic_images(&data_cfg);
     let mut ps = ParamSet::new();
     let net = resnet20_mini(&mut ps, data_cfg.num_classes);
     let cfg = *net.config();
     let mut opt = Optimizer::Sgd(Sgd::new(0.05, 0.9, 1e-4));
-    for epoch in 0..8 {
+    for epoch in 0..epochs {
         let stats = train_epoch_images(&net, &mut ps, &mut opt, &train, 32);
         println!(
             "baseline epoch {epoch}: loss {:.3} acc {:.3}",
@@ -31,6 +47,15 @@ fn main() {
     println!("dense baseline test accuracy: {:.1}%\n", baseline * 100.0);
 
     // --- 2. LUTBoost multistage conversion (v=4, c=16, L1 similarity). ---
+    let schedule = if smoke {
+        TrainSchedule {
+            centroid_epochs: 1,
+            joint_epochs: 1,
+            ..TrainSchedule::default()
+        }
+    } else {
+        TrainSchedule::default()
+    };
     let (mut lut_net, mut lut_ps) = fresh_pretrained_convnet(cfg, &ps);
     let outcome = convert_and_train_images(
         &mut lut_net,
@@ -43,7 +68,7 @@ fn main() {
             recon_weight: 0.05,
         },
         ConvertPolicy::default(),
-        &TrainSchedule::default(),
+        &schedule,
         &train,
         &test,
         1,
@@ -69,7 +94,42 @@ fn main() {
     );
     println!("deployed (BF16+INT8) accuracy: {:.1}%\n", deployed * 100.0);
 
-    // --- 4. Size the accelerator for the full ResNet-18 workload. --------
+    // --- 4. Whole-model serving: submit single images through every
+    //        deployed layer. The session compiles one plan per dense unit
+    //        (cached LUT engine behind a per-stage micro-batcher, or the
+    //        dense path) and resolves Pending handles with final logits —
+    //        bit-identical to the batched eval above. ----------------------
+    let session = rt.model_session(&lut_net, &lut_ps);
+    println!(
+        "ModelSession: {} LUT stages + {} dense units (engine cache: {:?})",
+        session.lut_stages(),
+        session.plan().len() - session.lut_stages(),
+        rt.stats(),
+    );
+    let n_serve = 8.min(test.len());
+    let handles: Vec<_> = (0..n_serve)
+        .map(|i| {
+            let (image, label) = test.example(i);
+            (session.submit(image).expect("valid image"), label)
+        })
+        .collect();
+    session.flush();
+    let mut correct = 0;
+    for (handle, label) in handles {
+        let logits = handle.wait().expect("session alive");
+        // First-wins tie-break, matching the eval path's argmax.
+        let mut pred = 0;
+        for (j, &v) in logits.iter().enumerate() {
+            if v > logits[pred] {
+                pred = j;
+            }
+        }
+        correct += usize::from(pred == label);
+    }
+    println!("served {n_serve} single-image requests end-to-end: {correct}/{n_serve} correct\n");
+    drop(session);
+
+    // --- 5. Size the accelerator for the full ResNet-18 workload. --------
     let workload = zoo::resnet_imagenet(18, 1000);
     let design = design2();
     let report = simulate_workload(&design.sim_config(), &workload, 1);
