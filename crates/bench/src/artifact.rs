@@ -1,0 +1,228 @@
+//! Schema validation for `BENCH_lutgemm.json` — the `--check` gate CI runs
+//! right after the smoke bench, so a refactor that silently drops a field,
+//! zeroes a throughput number, or breaks the emitter's hand-rolled JSON
+//! fails the PR instead of quietly rotting the artifact record.
+
+use crate::json::Json;
+
+/// Fields every entry of `"points"` must carry.
+const POINT_FIELDS: &[&str] = &[
+    "m",
+    "k",
+    "n",
+    "v",
+    "c",
+    "scalar_rows_per_s",
+    "engine_1t_rows_per_s",
+    "engine_mt_rows_per_s",
+    "serve_rows_per_s",
+    "speedup_1t",
+    "speedup_mt",
+    "serve_vs_batch",
+];
+
+/// Fields the whole-model `"model_serve"` block must carry.
+const MODEL_SERVE_FIELDS: &[&str] = &[
+    "model",
+    "images",
+    "lut_stages",
+    "dense_stages",
+    "serve_rows_per_s",
+];
+
+/// Fields the whole-model `"adaptive_serve"` block must carry.
+const ADAPTIVE_SERVE_FIELDS: &[&str] = &[
+    "model",
+    "images",
+    "submitters",
+    "lut_stages",
+    "dense_stages",
+    "serve_rows_per_s",
+    "max_stage_window",
+];
+
+/// Top-level fields of the artifact.
+const TOP_FIELDS: &[&str] = &[
+    "bench",
+    "mode",
+    "mt_workers",
+    "serve_submitters",
+    "host_cpus",
+    "points",
+    "model_serve",
+    "adaptive_serve",
+];
+
+/// Validates the text of a `BENCH_lutgemm.json` artifact. Returns every
+/// problem found (one per line) so a broken emitter is diagnosed in one
+/// run, not one field at a time.
+pub fn check_artifact_text(text: &str) -> Result<(), String> {
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(e.to_string()),
+    };
+    let mut problems = Vec::new();
+    if doc.as_obj().is_none() {
+        return Err("top level is not a JSON object".to_string());
+    }
+    for &field in TOP_FIELDS {
+        if doc.get(field).is_none() {
+            problems.push(format!("missing top-level field \"{field}\""));
+        }
+    }
+    if let Some(bench) = doc.get("bench") {
+        if bench.as_str() != Some("lutgemm") {
+            problems.push(format!("\"bench\" is {bench:?}, expected \"lutgemm\""));
+        }
+    }
+    match doc.get("points").and_then(Json::as_arr) {
+        Some([]) => problems.push("\"points\" is empty".to_string()),
+        Some(points) => {
+            for (i, point) in points.iter().enumerate() {
+                require_fields(point, POINT_FIELDS, &format!("points[{i}]"), &mut problems);
+            }
+        }
+        None => {
+            if doc.get("points").is_some() {
+                problems.push("\"points\" is not an array".to_string());
+            }
+        }
+    }
+    for (block, fields) in [
+        ("model_serve", MODEL_SERVE_FIELDS),
+        ("adaptive_serve", ADAPTIVE_SERVE_FIELDS),
+    ] {
+        if let Some(value) = doc.get(block) {
+            require_fields(value, fields, block, &mut problems);
+        }
+    }
+    // Throughput gate: a *_rows_per_s of zero (or worse) anywhere means a
+    // measurement loop broke, whatever the schema says.
+    check_rows_per_s(&doc, "$", &mut problems);
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+fn require_fields(value: &Json, fields: &[&str], at: &str, problems: &mut Vec<String>) {
+    if value.as_obj().is_none() {
+        problems.push(format!("{at} is not an object"));
+        return;
+    }
+    for &field in fields {
+        if value.get(field).is_none() {
+            problems.push(format!("{at} is missing \"{field}\""));
+        }
+    }
+}
+
+/// Walks the whole document: every field named `*_rows_per_s` must be a
+/// finite number strictly greater than zero.
+fn check_rows_per_s(value: &Json, at: &str, problems: &mut Vec<String>) {
+    match value {
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                let here = format!("{at}.{key}");
+                if key.ends_with("_rows_per_s") {
+                    match v.as_num() {
+                        Some(x) if x.is_finite() && x > 0.0 => {}
+                        Some(x) => problems.push(format!("{here} = {x} (must be > 0)")),
+                        None => problems.push(format!("{here} is not a number")),
+                    }
+                }
+                check_rows_per_s(v, &here, problems);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                check_rows_per_s(v, &format!("{at}[{i}]"), problems);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> String {
+        r#"{
+  "bench": "lutgemm",
+  "mode": "smoke",
+  "mt_workers": 2,
+  "serve_submitters": 2,
+  "host_cpus": 1,
+  "points": [
+    {"m": 48, "k": 64, "n": 64, "v": 4, "c": 16,
+     "scalar_rows_per_s": 100.0, "engine_1t_rows_per_s": 300.0,
+     "engine_mt_rows_per_s": 500.0, "serve_rows_per_s": 400.0,
+     "speedup_1t": 3.0, "speedup_mt": 5.0, "serve_vs_batch": 0.8}
+  ],
+  "model_serve": {"model": "resnet20_mini", "images": 16, "lut_stages": 5,
+                  "dense_stages": 4, "serve_rows_per_s": 40.0},
+  "adaptive_serve": {"model": "resnet20_mini", "images": 16, "submitters": 2,
+                     "lut_stages": 5, "dense_stages": 4,
+                     "serve_rows_per_s": 42.0, "max_stage_window": 64}
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn valid_artifact_passes() {
+        check_artifact_text(&valid_doc()).expect("valid artifact");
+    }
+
+    #[test]
+    fn malformed_json_fails() {
+        let err = check_artifact_text("{ not json").expect_err("malformed");
+        assert!(err.contains("invalid JSON"), "{err}");
+    }
+
+    #[test]
+    fn zero_throughput_fails() {
+        let doc = valid_doc().replace("\"serve_rows_per_s\": 40.0", "\"serve_rows_per_s\": 0.0");
+        let err = check_artifact_text(&doc).expect_err("zero throughput");
+        assert!(err.contains("model_serve.serve_rows_per_s"), "{err}");
+        assert!(err.contains("must be > 0"), "{err}");
+    }
+
+    #[test]
+    fn missing_adaptive_block_fails() {
+        let doc = valid_doc().replace("\"adaptive_serve\"", "\"renamed_serve\"");
+        let err = check_artifact_text(&doc).expect_err("missing block");
+        assert!(err.contains("adaptive_serve"), "{err}");
+    }
+
+    #[test]
+    fn missing_point_field_fails() {
+        let doc = valid_doc().replace("\"serve_vs_batch\": 0.8", "\"extra\": 0.8");
+        let err = check_artifact_text(&doc).expect_err("missing field");
+        assert!(
+            err.contains("points[0] is missing \"serve_vs_batch\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_numeric_throughput_fails() {
+        let doc = valid_doc().replace(
+            "\"serve_rows_per_s\": 42.0",
+            "\"serve_rows_per_s\": \"fast\"",
+        );
+        let err = check_artifact_text(&doc).expect_err("non-numeric");
+        assert!(err.contains("is not a number"), "{err}");
+    }
+
+    #[test]
+    fn empty_points_fails() {
+        let doc = valid_doc();
+        let start = doc.find("\"points\": [").expect("points key");
+        let end = doc[start..].find(']').expect("array close") + start + 1;
+        let doc = format!("{}\"points\": []{}", &doc[..start], &doc[end..]);
+        let err = check_artifact_text(&doc).expect_err("empty points");
+        assert!(err.contains("\"points\" is empty"), "{err}");
+    }
+}

@@ -9,7 +9,9 @@
 //!
 //! Pass `--quick` to any binary to shrink datasets/epochs for smoke runs.
 
+pub mod artifact;
 pub mod common;
+pub mod json;
 
 /// One generator per paper table/figure.
 pub mod experiments {

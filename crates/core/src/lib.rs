@@ -69,5 +69,8 @@ pub mod prelude {
         analytic_cycles, simulate_gemm, Dataflow, DataflowParams, Gemm, SimConfig, SimReport,
     };
     pub use lutdla_tensor::Tensor;
-    pub use lutdla_vq::{approx_matmul, Distance, LutQuant, LutTable, ProductQuantizer};
+    pub use lutdla_vq::{
+        approx_matmul, AdaptiveOptions, BatchOptions, BatchPolicy, Distance, LutQuant, LutTable,
+        ProductQuantizer, StageStats,
+    };
 }

@@ -14,7 +14,7 @@
 //! * [`ImmConfig`]/[`imm_cost`] — the in-memory matching module;
 //! * [`design_cost`] — whole-accelerator φ_area/φ_power (paper Eqs. 3/4);
 //! * [`alu_eff`] — the Fig. 1 LUT-vs-ALU efficiency curves;
-//! * [`TechNode`] — Stillmaker–Baas technology scaling (paper ref. [54]).
+//! * [`TechNode`] — Stillmaker–Baas technology scaling (paper ref. \[54\]).
 //!
 //! # Example
 //!

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use lutdla_nn::data::{ImageDataset, SeqDataset};
 use lutdla_nn::ParamSet;
-use lutdla_vq::{FloatPrecision, LutQuant, MicroBatcher, SharedEngine};
+use lutdla_vq::{FloatPrecision, LutQuant, MicroBatcher, SharedEngine, StageStats};
 
 use lutdla_models::trainable::{ConvNet, DenseUnit, TransformerClassifier};
 
@@ -106,6 +106,17 @@ impl UnitPlan {
             UnitPlan::Lut { name, .. } | UnitPlan::Dense { name } => name,
         }
     }
+
+    /// Snapshot of this stage's serving counters (batches run, rows
+    /// served, queued-depth high-water, current window) — the per-stage
+    /// observability surface of a [`crate::ModelSession`]. `None` for
+    /// units on the dense path, which have no batcher to observe.
+    pub fn stage_stats(&self) -> Option<StageStats> {
+        match self {
+            UnitPlan::Lut { stage, .. } => Some(stage.stats()),
+            UnitPlan::Dense { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for UnitPlan {
@@ -115,6 +126,7 @@ impl std::fmt::Debug for UnitPlan {
                 .debug_struct("Lut")
                 .field("name", name)
                 .field("rows_served", &stage.rows_served())
+                .field("window", &stage.current_window())
                 .finish(),
             UnitPlan::Dense { name } => f.debug_struct("Dense").field("name", name).finish(),
         }

@@ -5,19 +5,22 @@
 //!
 //! * [`LutGemm`] — the lookup-table GEMM operator with straight-through
 //!   gradient estimation and the symmetric reconstruction loss;
-//! * [`convert`] — operator replacement over the `lutdla-models` trainable
-//!   architectures (stage ➀ of Fig. 6);
-//! * [`trainer`] — the multistage schedule (stage ➁ centroid calibration,
-//!   stage ➂ joint training) plus the single-stage / from-scratch baselines
-//!   used in Figs. 7 & 12 and Table II;
-//! * [`deploy`] — deployment numerics and the model-level deploy/undeploy
-//!   helpers (Table IV's FP32/BF16+INT8 columns);
-//! * [`runtime`] — [`LutRuntime`], the deployment/serving session object:
+//! * conversion ([`lutify_convnet`] / [`lutify_transformer`]) — operator
+//!   replacement over the `lutdla-models` trainable architectures (stage ➀
+//!   of Fig. 6);
+//! * training ([`convert_and_train_images`] / [`convert_and_train_seq`]) —
+//!   the multistage schedule (stage ➁ centroid calibration, stage ➂ joint
+//!   training) plus the single-stage / from-scratch baselines used in
+//!   Figs. 7 & 12 and Table II;
+//! * deployment ([`DeployConfig`], [`eval_images_deployed`] /
+//!   [`eval_seq_deployed`]) — deployment numerics and the model-level
+//!   deploy/undeploy helpers (Table IV's FP32/BF16+INT8 columns);
+//! * [`LutRuntime`] — the deployment/serving session object:
 //!   a cached-engine store (keyed on parameter identity/version and the
 //!   deployment numerics), a persistent worker pool shared by every engine,
 //!   and micro-batched serving sessions that coalesce single-row `submit`
 //!   calls into batched engine runs;
-//! * [`session`] — [`ModelSession`], the whole-model serving front door:
+//! * [`ModelSession`] — the whole-model serving front door:
 //!   `submit(input)` pipelines one request through every layer (cached LUT
 //!   engine behind a per-stage micro-batcher for converted units, the
 //!   dense eval path otherwise) and resolves a `Pending` handle with the

@@ -23,8 +23,11 @@
 //!    oversubscribing the machine.
 //! 3. **Micro-batched serving sessions** ([`MicroBatcher`] front doors from
 //!    [`LutRuntime::session`]) that coalesce single-row `submit` calls into
-//!    the batched `run_batch` calls the engine is fast at — deadline- and
-//!    max-batch-driven, bit-identical to direct batching.
+//!    the batched `run_batch` calls the engine is fast at — window- and
+//!    deadline-driven under a [`BatchPolicy`] (a pinned
+//!    [`BatchOptions`] window, or an adaptive one that widens under queue
+//!    pressure and collapses when idle within a latency SLO) — and always
+//!    bit-identical to direct batching.
 //!
 //! # Example
 //!
@@ -45,8 +48,8 @@ use std::sync::Arc;
 use lutdla_models::trainable::{DenseUnit, ServableModel};
 use lutdla_nn::{ParamId, ParamSet};
 use lutdla_vq::{
-    default_workers, share, BatchOptions, EngineOptions, FloatPrecision, LutEngine, LutQuant,
-    LutTable, MicroBatcher, SharedEngine, WorkerPool,
+    default_workers, share, AdaptiveOptions, BatchOptions, BatchPolicy, EngineOptions,
+    FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, SharedEngine, WorkerPool,
 };
 
 use crate::convert::as_lut;
@@ -96,8 +99,11 @@ pub struct RuntimeOptions {
     pub workers: usize,
     /// Maximum cached engines before LRU eviction (at least 1).
     pub cache_capacity: usize,
-    /// Coalescing policy for [`LutRuntime::session`] front doors.
-    pub batch: BatchOptions,
+    /// Batch policy for [`LutRuntime::session`] front doors and the
+    /// per-stage batchers of [`LutRuntime::model_session`]. A
+    /// [`BatchPolicy::Adaptive`] policy gives every batcher built from
+    /// these options its own independently adapting window.
+    pub policy: BatchPolicy,
 }
 
 impl Default for RuntimeOptions {
@@ -105,7 +111,7 @@ impl Default for RuntimeOptions {
         Self {
             workers: default_workers(),
             cache_capacity: 16,
-            batch: BatchOptions::default(),
+            policy: BatchPolicy::default(),
         }
     }
 }
@@ -265,10 +271,11 @@ impl LutRuntime {
 
     /// Opens a micro-batched serving session over one layer's engine: a
     /// front door whose `submit(row)` calls coalesce into batched engine
-    /// runs (see [`MicroBatcher`]). The engine comes from the cache, so a
+    /// runs (see [`MicroBatcher`]), under the runtime's
+    /// [`RuntimeOptions::policy`]. The engine comes from the cache, so a
     /// session over an already-deployed layer shares its tables.
     pub fn session(&mut self, lut: &LutGemm, ps: &ParamSet) -> MicroBatcher {
-        MicroBatcher::new(self.engine_for(lut, ps), self.opts.batch)
+        self.session_with_policy(lut, ps, self.cfg, self.opts.policy)
     }
 
     /// [`LutRuntime::session`] at explicit numerics.
@@ -278,7 +285,20 @@ impl LutRuntime {
         ps: &ParamSet,
         cfg: DeployConfig,
     ) -> MicroBatcher {
-        MicroBatcher::new(self.engine_with(lut, ps, cfg), self.opts.batch)
+        self.session_with_policy(lut, ps, cfg, self.opts.policy)
+    }
+
+    /// [`LutRuntime::session`] at explicit numerics *and* batch policy —
+    /// e.g. [`BatchPolicy::Adaptive`] to let this front door's window
+    /// track its own queue pressure.
+    pub fn session_with_policy(
+        &mut self,
+        lut: &LutGemm,
+        ps: &ParamSet,
+        cfg: DeployConfig,
+        policy: BatchPolicy,
+    ) -> MicroBatcher {
+        MicroBatcher::with_policy(self.engine_with(lut, ps, cfg), policy)
     }
 
     /// Opens a **whole-model** serving session: `submit(input)` pipelines a
@@ -301,13 +321,44 @@ impl LutRuntime {
     }
 
     /// [`LutRuntime::model_session`] at explicit numerics (precision
-    /// sweeps).
+    /// sweeps), under the runtime's [`RuntimeOptions::policy`].
     pub fn model_session_with<'m, M: ServableModel>(
         &mut self,
         model: &'m M,
         ps: &'m ParamSet,
         cfg: DeployConfig,
     ) -> ModelSession<'m, M> {
+        self.model_session_with_policy(model, ps, cfg, self.opts.policy)
+    }
+
+    /// [`LutRuntime::model_session`] at explicit numerics *and* per-stage
+    /// batch policy: every LUT stage of the session owns its own batcher
+    /// built from `policy`, so under [`BatchPolicy::Adaptive`] each
+    /// stage's window widens and collapses **independently**, tracking
+    /// that stage's own block sizes and backlog.
+    ///
+    /// Stage batchers always run in drain-only mode regardless of the
+    /// policy's `max_delay`/`slo`: the pipeline blocks on each stage's
+    /// result, so a deadline sleep inside a stage could only add serial
+    /// latency, never gather more work from the same pipeline. The
+    /// deadline/SLO clock belongs to front doors that own their arrival
+    /// stream ([`LutRuntime::session_with_policy`]).
+    pub fn model_session_with_policy<'m, M: ServableModel>(
+        &mut self,
+        model: &'m M,
+        ps: &'m ParamSet,
+        cfg: DeployConfig,
+        policy: BatchPolicy,
+    ) -> ModelSession<'m, M> {
+        let stage_policy = match policy.normalized() {
+            BatchPolicy::Static(opts) => {
+                BatchPolicy::Static(BatchOptions::immediate(opts.max_batch))
+            }
+            BatchPolicy::Adaptive(opts) => BatchPolicy::Adaptive(AdaptiveOptions {
+                slo: std::time::Duration::ZERO,
+                ..opts
+            }),
+        };
         let walk = model.unit_walk();
         let mut plan = Vec::with_capacity(walk.len());
         let mut luts = Vec::new();
@@ -315,12 +366,8 @@ impl LutRuntime {
             match as_lut(unit) {
                 Some(lut) => {
                     let engine = self.engine_with(lut, ps, cfg);
-                    // Zero-delay drain: a stage never sleeps on the clock —
-                    // it serves its block the moment it arrives.
-                    let stage = Arc::new(MicroBatcher::new(
-                        Arc::clone(&engine),
-                        BatchOptions::immediate(self.opts.batch.max_batch),
-                    ));
+                    let stage =
+                        Arc::new(MicroBatcher::with_policy(Arc::clone(&engine), stage_policy));
                     lut.install_deploy_batched(
                         Arc::clone(&engine),
                         Arc::clone(&stage),
@@ -338,7 +385,7 @@ impl LutRuntime {
                 }),
             }
         }
-        ModelSession::new(model, ps, plan, luts, self.opts.batch.max_batch)
+        ModelSession::new(model, ps, plan, luts, policy.max_batch())
     }
 
     /// Drops every cached engine (counters are kept).

@@ -9,13 +9,14 @@
 //!
 //! * **LUT units** resolve their engine through the runtime's LRU cache
 //!   (zero re-tiling at an unchanged parameter version) and are fronted by
-//!   **one [`MicroBatcher`] per stage** with a zero-delay drain policy:
-//!   each stage submits its whole activation block as one request and is
-//!   served immediately, never sleeping on a deadline. The per-stage
-//!   batcher is the stage's observability point (`rows_served` per layer
-//!   via [`ModelSession::plan`]) and the single seam where the ROADMAP's
-//!   adaptive per-stage policy — and coalescing across future concurrent
-//!   front doors — plugs in.
+//!   **one [`MicroBatcher`] per stage** in drain mode: each stage submits
+//!   its whole activation block as one request and is served immediately,
+//!   never sleeping on a deadline. The per-stage batcher is the stage's
+//!   observability point ([`ModelSession::stage_stats`]) and its policy
+//!   seam: [`crate::LutRuntime::model_session_with_policy`] installs a
+//!   [`lutdla_vq::BatchPolicy::Adaptive`] controller per stage, so every
+//!   stage's flush window widens under backlog and collapses when idle,
+//!   independently of the other stages'.
 //! * **Dense units** (stem/head layers the convert policy kept dense, bias
 //!   adds, batch norm, residuals, attention, pooling) run through the
 //!   model's own eval forward, so the session replays *exactly* what
@@ -181,6 +182,17 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
     /// The compiled per-unit plan, in forward order.
     pub fn plan(&self) -> &[UnitPlan] {
         &self.plan
+    }
+
+    /// Per-stage serving counters, in forward order: `(unit name, stats)`
+    /// for every LUT stage ([`UnitPlan::stage_stats`]); dense units are
+    /// skipped. Under an adaptive policy each stage's `current_window`
+    /// converges independently, tracking that stage's own block sizes.
+    pub fn stage_stats(&self) -> Vec<(&str, lutdla_vq::StageStats)> {
+        self.plan
+            .iter()
+            .filter_map(|p| p.stage_stats().map(|s| (p.name(), s)))
+            .collect()
     }
 
     /// How many stages run on LUT engines (the rest take the dense path).
@@ -400,6 +412,195 @@ mod tests {
                 "{cfg:?}: single submit diverged"
             );
         }
+    }
+
+    /// Acceptance property (ISSUE 5): a session whose stages run under an
+    /// **adaptive** batch policy is bit-identical to the static-policy
+    /// session (and therefore to the plain deploy + eval path) for every
+    /// `LutQuant × FloatPrecision` combo — the window a stage's controller
+    /// happens to be at is purely a throughput decision.
+    #[test]
+    fn adaptive_policy_session_bit_identical_to_static_all_combos() {
+        let (ps, net, images) = converted_convnet();
+        let m = images.dims()[0];
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let policy = lutdla_vq::BatchPolicy::Adaptive(lutdla_vq::AdaptiveOptions {
+            min_batch: 1,
+            max_batch: 4096,
+            ..lutdla_vq::AdaptiveOptions::default()
+        });
+        for cfg in all_combos() {
+            let reference = {
+                let session = rt.model_session_with(&net, &ps, cfg);
+                session
+                    .run((0..m).map(|i| image(&images, i)))
+                    .expect("valid images")
+            };
+            let session = rt.model_session_with_policy(&net, &ps, cfg, policy);
+            let adaptive = session
+                .run((0..m).map(|i| image(&images, i)))
+                .expect("valid images");
+            assert_eq!(
+                adaptive.data(),
+                reference.data(),
+                "{cfg:?}: adaptive-policy session diverged from static"
+            );
+            // One-by-one submits land on different windows mid-adaptation;
+            // the logits must not care.
+            let n = reference.dims()[1];
+            for i in [0usize, m - 1] {
+                let handle = session.submit(image(&images, i)).expect("valid image");
+                session.flush();
+                let row = handle.wait().expect("session alive");
+                assert_eq!(
+                    row.as_slice(),
+                    &reference.data()[i * n..(i + 1) * n],
+                    "{cfg:?}: adaptive single submit diverged on image {i}"
+                );
+            }
+        }
+    }
+
+    /// Each LUT stage's adaptive window converges **independently** to its
+    /// own deterministic fixed point: repeated flushes of `B` images hand
+    /// stage `s` one block of `B · r_s` rows, and the controller doubles
+    /// the window while the block overflows it — so it settles at the
+    /// smallest `min_batch · 2^j ≥ B · r_s` (capped), a per-stage value.
+    #[test]
+    fn adaptive_session_stage_windows_converge_per_stage() {
+        let (ps, net, images) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        // Baseline: one flush of one image measures r_s per stage.
+        let per_image: Vec<(String, usize)> = {
+            let session = rt.model_session(&net, &ps);
+            let _ = session.run([image(&images, 0)]).expect("valid image");
+            session
+                .stage_stats()
+                .into_iter()
+                .map(|(name, s)| (name.to_string(), s.rows_served))
+                .collect()
+        };
+        assert!(!per_image.is_empty(), "no LUT stages planned");
+
+        let cap = 4096usize;
+        let policy =
+            lutdla_vq::BatchPolicy::Adaptive(lutdla_vq::AdaptiveOptions::drain_only(1, cap));
+        let session = rt.model_session_with_policy(&net, &ps, DeployConfig::fp32(), policy);
+        let flushes = 16; // enough doublings to reach any stage's fixed point
+        let batch = 3usize;
+        for round in 0..flushes {
+            let handles: Vec<Pending> = (0..batch)
+                .map(|i| {
+                    session
+                        .submit(image(&images, (round + i) % images.dims()[0]))
+                        .expect("valid image")
+                })
+                .collect();
+            session.flush();
+            for h in handles {
+                h.wait().expect("session alive");
+            }
+        }
+        for ((name, stats), (base_name, r)) in session.stage_stats().iter().zip(&per_image) {
+            assert_eq!(name, base_name, "stage order diverged");
+            let block = batch * r;
+            let expected = std::iter::successors(Some(1usize), |w| Some(w * 2))
+                .find(|&w| w >= block)
+                .unwrap()
+                .min(cap);
+            assert_eq!(
+                stats.current_window, expected,
+                "stage {name}: window did not converge for {block}-row blocks"
+            );
+            assert_eq!(
+                stats.rows_served,
+                flushes * block,
+                "stage {name}: row accounting broke"
+            );
+            assert_eq!(stats.queued_high_water, block, "stage {name}");
+        }
+    }
+
+    /// Satellite (ISSUE 5): with N concurrent submitters feeding the
+    /// session, every LUT stage's `rows_served` accounts for exactly the
+    /// total submitted examples (`images · r_s` rows at stage `s`), and
+    /// the per-stage sums stay consistent with the front door and with the
+    /// LUT/dense split of the plan.
+    #[test]
+    fn concurrent_submitters_account_rows_per_stage() {
+        let (ps, net, images) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+
+        // Calibration: one image's per-stage row footprint.
+        let _ = session.run([image(&images, 0)]).expect("valid image");
+        let per_image: Vec<usize> = session
+            .stage_stats()
+            .iter()
+            .map(|(_, s)| s.rows_served)
+            .collect();
+
+        // N producer threads push images concurrently into a channel; the
+        // session thread (below) drains them into submit/flush. The front
+        // door itself serializes submits — ModelSession is deliberately
+        // !Sync — so what this proves is exact per-stage row accounting
+        // under an interleaved multi-producer arrival stream.
+        let submitters = 3usize;
+        let per_submitter = 4usize;
+        let total = submitters * per_submitter;
+        let mut handles = Vec::with_capacity(total);
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel::<Tensor>();
+            for t in 0..submitters {
+                let tx = tx.clone();
+                let images = &images;
+                s.spawn(move || {
+                    for i in 0..per_submitter {
+                        let idx = (t * per_submitter + i) % images.dims()[0];
+                        tx.send(image(images, idx)).expect("session loop alive");
+                    }
+                });
+            }
+            drop(tx);
+            for input in rx {
+                handles.push(session.submit(input).expect("valid image"));
+                if handles.len().is_multiple_of(5) {
+                    session.flush();
+                }
+            }
+            session.flush();
+        });
+        for h in handles {
+            assert_eq!(h.wait().expect("alive").len(), session.num_classes());
+        }
+
+        // Front door: every request served, nothing left queued.
+        assert_eq!(session.queued(), 0);
+        assert_eq!(session.rows_served(), 1 + total);
+        // Per stage: rows_served == images · r_s, exactly.
+        let stats = session.stage_stats();
+        assert_eq!(stats.len(), session.lut_stages());
+        assert_eq!(
+            stats.len()
+                + session
+                    .plan()
+                    .iter()
+                    .filter(|p| p.stage_stats().is_none())
+                    .count(),
+            session.plan().len(),
+            "every unit is either a LUT stage or dense"
+        );
+        for ((name, s), &r) in stats.iter().zip(&per_image) {
+            assert_eq!(
+                s.rows_served,
+                (1 + total) * r,
+                "stage {name}: lost or double-counted rows"
+            );
+        }
+        // Stage sums are consistent: totals line up across the whole plan.
+        let stage_total: usize = stats.iter().map(|(_, s)| s.rows_served).sum();
+        let expected_total: usize = per_image.iter().map(|r| (1 + total) * r).sum();
+        assert_eq!(stage_total, expected_total);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub use nonlinear::{Nonlinearity, PiecewiseTable};
 pub use pool::{PoolScope, WorkerPool};
 pub use precision::{bf16_round, fp16_round, FloatPrecision, Int8Block};
 pub use serve::{
-    lock_engine, share, BatchOptions, MicroBatcher, Pending, PendingResolver, SharedEngine,
-    SubmitError,
+    lock_engine, share, AdaptiveOptions, BatchOptions, BatchPolicy, MicroBatcher, Pending,
+    PendingResolver, SharedEngine, StageStats, SubmitError,
 };

@@ -21,6 +21,17 @@
 //! already queued — neither ever touches the deadline clock, so
 //! latency-critical single-row serving never sleeps.
 //!
+//! The coalescing window itself is a policy decision
+//! ([`BatchPolicy`]): a **static** window ([`BatchOptions`]) pins the
+//! flush threshold, while an **adaptive** window ([`AdaptiveOptions`])
+//! tracks queue pressure — the collector widens the window when flushes
+//! observe backlog (requests still queued once the window filled, or a
+//! single block overflowing it) and collapses it when flushes run
+//! under-filled, bounded by a latency SLO that caps how long any partial
+//! batch may wait. Either way the per-batcher signals (batches run, rows
+//! served, queued-depth high-water, current window) are exposed through
+//! [`MicroBatcher::stats`] as a [`StageStats`] snapshot.
+//!
 //! Because the engine computes every output row independently (encode and
 //! accumulate never mix rows), a row's result is **bit-identical** whether
 //! it was submitted alone, coalesced with others, or part of a direct
@@ -55,10 +66,12 @@ pub fn lock_engine(engine: &SharedEngine) -> std::sync::MutexGuard<'_, LutEngine
     engine.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
-/// Coalescing policy of a [`MicroBatcher`].
+/// Static coalescing policy of a [`MicroBatcher`].
 #[derive(Debug, Clone, Copy)]
 pub struct BatchOptions {
-    /// Flush as soon as this many rows are pending.
+    /// Flush as soon as this many rows are pending. `0` is normalized to
+    /// `1` at batcher construction ([`BatchOptions::normalized`]) — a
+    /// window of zero rows could never flush anything.
     pub max_batch: usize,
     /// Flush a partial batch this long after its first row arrived.
     pub max_delay: Duration,
@@ -82,6 +95,196 @@ impl BatchOptions {
         Self {
             max_batch,
             max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The same options with degenerate fields clamped to servable values:
+    /// `max_batch == 0` becomes `1`. Applied by [`MicroBatcher::new`] /
+    /// [`MicroBatcher::with_policy`], so a zero window is an explicit
+    /// construction-time contract rather than a silent clamp deep in the
+    /// collector loop.
+    pub fn normalized(self) -> Self {
+        Self {
+            max_batch: self.max_batch.max(1),
+            max_delay: self.max_delay,
+        }
+    }
+}
+
+/// Adaptive coalescing policy: the flush window tracks queue pressure
+/// instead of being pinned.
+///
+/// The collector thread already observes every signal the controller
+/// needs: how many rows a flush drained (queue depth), and whether the
+/// window filled with requests still waiting (backlog — the inter-arrival
+/// rate outpacing the window). The rules:
+///
+/// * **Widen** — a flush that observed backlog (a request was already
+///   queued when the window filled, or one block overflowed the window)
+///   multiplies the window by [`AdaptiveOptions::widen_factor`], capped at
+///   [`AdaptiveOptions::max_batch`].
+/// * **Collapse** — a flush draining at most `window / collapse_divisor`
+///   rows divides the window by `widen_factor`, floored at
+///   [`AdaptiveOptions::min_batch`].
+/// * **Latency SLO** — a partial batch never waits longer than
+///   [`AdaptiveOptions::slo`] past its first arrival; `slo == 0` drains
+///   only what is already queued and never touches the deadline clock
+///   (the adaptive twin of [`BatchOptions::immediate`]).
+///
+/// An idle stream (one resolved request at a time) is a fixed point at
+/// `min_batch`: a lone row neither observes backlog nor, at the floor,
+/// under-fills the window — so idle traffic is served immediately, with no
+/// widen/collapse oscillation.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveOptions {
+    /// Collapsed window floor, in rows (normalized to at least 1).
+    pub min_batch: usize,
+    /// Widened window ceiling, in rows (normalized to at least
+    /// `min_batch`).
+    pub max_batch: usize,
+    /// Longest a partial batch may wait for its window to fill. Zero means
+    /// drain-only: never sleep on the deadline clock.
+    pub slo: Duration,
+    /// Window multiplier on a backlog flush — and the divisor on a
+    /// collapse (normalized to at least 2).
+    pub widen_factor: usize,
+    /// A flush draining at most `window / collapse_divisor` rows collapses
+    /// the window (normalized to at least 2).
+    pub collapse_divisor: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            min_batch: 1,
+            max_batch: 64,
+            slo: Duration::from_millis(2),
+            widen_factor: 2,
+            collapse_divisor: 2,
+        }
+    }
+}
+
+impl AdaptiveOptions {
+    /// A drain-only adaptive policy (`slo == 0`) over the given window
+    /// range: never sleeps, still widens under backlog and collapses when
+    /// idle.
+    pub fn drain_only(min_batch: usize, max_batch: usize) -> Self {
+        Self {
+            min_batch,
+            max_batch,
+            slo: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// The same options with degenerate fields clamped to servable values
+    /// (see the field docs).
+    pub fn normalized(self) -> Self {
+        let min_batch = self.min_batch.max(1);
+        Self {
+            min_batch,
+            max_batch: self.max_batch.max(min_batch),
+            slo: self.slo,
+            widen_factor: self.widen_factor.max(2),
+            collapse_divisor: self.collapse_divisor.max(2),
+        }
+    }
+}
+
+/// How a [`MicroBatcher`]'s collector decides when to flush: a pinned
+/// window, or one that adapts to queue pressure.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchPolicy {
+    /// Fixed `max_batch`/`max_delay` coalescing ([`BatchOptions`]).
+    Static(BatchOptions),
+    /// Pressure-driven window between `min_batch` and `max_batch`, bounded
+    /// by a latency SLO ([`AdaptiveOptions`]).
+    Adaptive(AdaptiveOptions),
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::Static(BatchOptions::default())
+    }
+}
+
+impl BatchPolicy {
+    /// The default adaptive policy ([`AdaptiveOptions::default`]).
+    pub fn adaptive() -> Self {
+        BatchPolicy::Adaptive(AdaptiveOptions::default())
+    }
+
+    /// The policy with its options normalized (see
+    /// [`BatchOptions::normalized`] / [`AdaptiveOptions::normalized`]).
+    pub fn normalized(self) -> Self {
+        match self {
+            BatchPolicy::Static(o) => BatchPolicy::Static(o.normalized()),
+            BatchPolicy::Adaptive(o) => BatchPolicy::Adaptive(o.normalized()),
+        }
+    }
+
+    /// The widest batch this policy will ever flush (the front-door
+    /// coalescing width serving layers above the batcher should match).
+    pub fn max_batch(&self) -> usize {
+        match self {
+            BatchPolicy::Static(o) => o.max_batch.max(1),
+            BatchPolicy::Adaptive(o) => o.max_batch.max(o.min_batch).max(1),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one batcher's serving counters — the
+/// per-stage observability surface of a whole-model session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Coalesced batches run so far.
+    pub batches_run: usize,
+    /// Rows served so far.
+    pub rows_served: usize,
+    /// Largest queue depth (rows drained by one flush) observed so far.
+    pub queued_high_water: usize,
+    /// The current flush window, in rows. Constant for a static policy;
+    /// tracks the controller for an adaptive one.
+    pub current_window: usize,
+}
+
+/// The pure widen/collapse state machine behind [`BatchPolicy::Adaptive`].
+/// Kept free of channels and clocks so the rules are unit-testable
+/// deterministically; the collector feeds it one `(drained, backlog)`
+/// observation per flush.
+#[derive(Debug)]
+struct AdaptiveController {
+    opts: AdaptiveOptions,
+    window: usize,
+}
+
+impl AdaptiveController {
+    /// Starts at the collapsed floor: an idle stage should not pay widened
+    /// latency until pressure is actually observed.
+    fn new(opts: AdaptiveOptions) -> Self {
+        let opts = opts.normalized();
+        Self {
+            window: opts.min_batch,
+            opts,
+        }
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Applies the widen/collapse rules to one flush observation:
+    /// `drained` rows left the queue, and `backlog` says whether more
+    /// requests were already waiting when the window filled.
+    fn on_flush(&mut self, drained: usize, backlog: bool) {
+        if backlog || drained > self.window {
+            self.window = self
+                .window
+                .saturating_mul(self.opts.widen_factor)
+                .min(self.opts.max_batch);
+        } else if drained.saturating_mul(self.opts.collapse_divisor) <= self.window {
+            self.window = (self.window / self.opts.widen_factor).max(self.opts.min_batch);
         }
     }
 }
@@ -200,39 +403,71 @@ struct Request {
     done: Sender<Vec<f32>>,
 }
 
+/// The collector's shared counter block (one allocation, shared between
+/// the batcher handle and the collector thread).
+struct Counters {
+    batches: AtomicUsize,
+    rows: AtomicUsize,
+    high_water: AtomicUsize,
+    window: AtomicUsize,
+}
+
+impl Counters {
+    fn new(initial_window: usize) -> Self {
+        Self {
+            batches: AtomicUsize::new(0),
+            rows: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            window: AtomicUsize::new(initial_window),
+        }
+    }
+}
+
 /// The serving front door over one [`SharedEngine`]. See the module docs.
 pub struct MicroBatcher {
     tx: Option<Sender<Request>>,
     collector: Option<JoinHandle<()>>,
     k: usize,
     n: usize,
-    batches: Arc<AtomicUsize>,
-    rows: Arc<AtomicUsize>,
+    counters: Arc<Counters>,
 }
 
 impl MicroBatcher {
-    /// Spawns the collector thread for `engine` with the given coalescing
-    /// policy.
+    /// Spawns the collector thread for `engine` with a fixed coalescing
+    /// window. `opts` is normalized first ([`BatchOptions::normalized`]):
+    /// `max_batch == 0` is served as a window of 1.
     pub fn new(engine: SharedEngine, opts: BatchOptions) -> Self {
+        Self::with_policy(engine, BatchPolicy::Static(opts))
+    }
+
+    /// Spawns the collector thread for `engine` with the given
+    /// [`BatchPolicy`] (normalized first). [`BatchPolicy::Adaptive`] makes
+    /// this batcher's window track queue pressure independently of any
+    /// other batcher's.
+    pub fn with_policy(engine: SharedEngine, policy: BatchPolicy) -> Self {
+        let policy = policy.normalized();
         let (k, n) = {
             let e = lock_engine(&engine);
             (e.input_dim(), e.output_dim())
         };
         let (tx, rx) = channel::<Request>();
-        let batches = Arc::new(AtomicUsize::new(0));
-        let rows = Arc::new(AtomicUsize::new(0));
-        let counters = (Arc::clone(&batches), Arc::clone(&rows));
+        let initial_window = match policy {
+            BatchPolicy::Static(o) => o.max_batch,
+            // The adaptive controller starts at the collapsed floor.
+            BatchPolicy::Adaptive(o) => o.min_batch,
+        };
+        let counters = Arc::new(Counters::new(initial_window));
+        let shared = Arc::clone(&counters);
         let collector = std::thread::Builder::new()
             .name("lutdla-microbatch".to_string())
-            .spawn(move || collect_loop(engine, rx, opts, k, n, counters))
+            .spawn(move || collect_loop(engine, rx, policy, k, n, &shared))
             .expect("spawn micro-batch collector");
         Self {
             tx: Some(tx),
             collector: Some(collector),
             k,
             n,
-            batches,
-            rows,
+            counters,
         }
     }
 
@@ -295,12 +530,28 @@ impl MicroBatcher {
 
     /// How many coalesced batches have run so far.
     pub fn batches_run(&self) -> usize {
-        self.batches.load(Ordering::Acquire)
+        self.counters.batches.load(Ordering::Acquire)
     }
 
     /// How many rows have been served so far.
     pub fn rows_served(&self) -> usize {
-        self.rows.load(Ordering::Acquire)
+        self.counters.rows.load(Ordering::Acquire)
+    }
+
+    /// The current flush window, in rows: the static `max_batch`, or
+    /// wherever the adaptive controller last converged.
+    pub fn current_window(&self) -> usize {
+        self.counters.window.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of this batcher's serving counters.
+    pub fn stats(&self) -> StageStats {
+        StageStats {
+            batches_run: self.batches_run(),
+            rows_served: self.rows_served(),
+            queued_high_water: self.counters.high_water.load(Ordering::Acquire),
+            current_window: self.current_window(),
+        }
     }
 }
 
@@ -322,6 +573,7 @@ impl std::fmt::Debug for MicroBatcher {
             .field("n", &self.n)
             .field("batches_run", &self.batches_run())
             .field("rows_served", &self.rows_served())
+            .field("window", &self.current_window())
             .finish()
     }
 }
@@ -329,12 +581,28 @@ impl std::fmt::Debug for MicroBatcher {
 fn collect_loop(
     engine: SharedEngine,
     rx: Receiver<Request>,
+    policy: BatchPolicy,
+    k: usize,
+    n: usize,
+    counters: &Counters,
+) {
+    match policy {
+        BatchPolicy::Static(opts) => static_loop(&engine, &rx, opts, k, n, counters),
+        BatchPolicy::Adaptive(opts) => adaptive_loop(&engine, &rx, opts, k, n, counters),
+    }
+}
+
+/// The pinned-window collector (`policy` already normalized, so
+/// `max_batch >= 1`).
+fn static_loop(
+    engine: &SharedEngine,
+    rx: &Receiver<Request>,
     opts: BatchOptions,
     k: usize,
     n: usize,
-    (batches, rows): (Arc<AtomicUsize>, Arc<AtomicUsize>),
+    counters: &Counters,
 ) {
-    let max_rows = opts.max_batch.max(1);
+    let max_rows = opts.max_batch;
     let mut open = true;
     while open {
         // Block for the first request of the next batch.
@@ -350,56 +618,121 @@ fn collect_loop(
         // what is already queued: both degenerate cases serve immediately,
         // with no deadline sleeps.
         if queued < max_rows && opts.max_delay.is_zero() {
-            loop {
-                match rx.try_recv() {
-                    Ok(req) => {
-                        queued += req.nrows;
-                        pending.push(req);
-                        if queued >= max_rows {
-                            break;
-                        }
-                    }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
-                        open = false;
-                        break;
-                    }
-                }
-            }
+            open = drain_queued(rx, &mut pending, &mut queued, max_rows);
         } else if queued < max_rows {
-            let deadline = Instant::now() + opts.max_delay;
-            while queued < max_rows {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
+            open = wait_for_window(rx, &mut pending, &mut queued, max_rows, opts.max_delay);
+        }
+        flush(engine, pending, k, n, counters);
+    }
+}
+
+/// The pressure-driven collector: the flush window follows the
+/// [`AdaptiveController`], and partial batches wait at most the SLO.
+fn adaptive_loop(
+    engine: &SharedEngine,
+    rx: &Receiver<Request>,
+    opts: AdaptiveOptions,
+    k: usize,
+    n: usize,
+    counters: &Counters,
+) {
+    // `Counters::new` already seeded the window with the controller's
+    // starting point (the collapsed floor).
+    let mut ctl = AdaptiveController::new(opts);
+    let mut open = true;
+    while open {
+        let first = match rx.recv() {
+            Ok(req) => req,
+            Err(_) => break,
+        };
+        let window = ctl.window();
+        let mut queued = first.nrows;
+        let mut pending = vec![first];
+        // Fill up to the current window: drain-only when the SLO is zero,
+        // otherwise sleep at most `slo` past the first arrival — the
+        // deadline is the policy's, not a constant's.
+        if queued < window && opts.slo.is_zero() {
+            open = drain_queued(rx, &mut pending, &mut queued, window);
+        } else if queued < window {
+            open = wait_for_window(rx, &mut pending, &mut queued, window, opts.slo);
+        }
+        // Queue-depth probe: a request already waiting once the window
+        // filled is backlog pressure. It joins this batch (it is queued
+        // anyway) and the controller widens.
+        let mut backlog = false;
+        if open && queued >= window {
+            match rx.try_recv() {
+                Ok(req) => {
+                    queued += req.nrows;
+                    pending.push(req);
+                    backlog = true;
                 }
-                match rx.recv_timeout(deadline - now) {
-                    Ok(req) => {
-                        queued += req.nrows;
-                        pending.push(req);
-                    }
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        open = false;
-                        break;
-                    }
-                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => open = false,
             }
         }
-        flush(&engine, pending, k, n, &batches, &rows);
+        // The controller only needs the (queued, backlog) observation, so
+        // step it *before* the flush resolves any handle: a caller whose
+        // `wait` returned always observes the post-flush window.
+        ctl.on_flush(queued, backlog);
+        counters.window.store(ctl.window(), Ordering::Release);
+        flush(engine, pending, k, n, counters);
     }
+}
+
+/// Drains already-queued requests into `pending` until the window fills or
+/// the queue is empty. Returns `false` once the channel is disconnected.
+fn drain_queued(
+    rx: &Receiver<Request>,
+    pending: &mut Vec<Request>,
+    queued: &mut usize,
+    window: usize,
+) -> bool {
+    loop {
+        match rx.try_recv() {
+            Ok(req) => {
+                *queued += req.nrows;
+                pending.push(req);
+                if *queued >= window {
+                    return true;
+                }
+            }
+            Err(TryRecvError::Empty) => return true,
+            Err(TryRecvError::Disconnected) => return false,
+        }
+    }
+}
+
+/// Waits for the window to fill, sleeping at most `max_delay` past the
+/// first arrival. Returns `false` once the channel is disconnected.
+fn wait_for_window(
+    rx: &Receiver<Request>,
+    pending: &mut Vec<Request>,
+    queued: &mut usize,
+    window: usize,
+    max_delay: Duration,
+) -> bool {
+    let deadline = Instant::now() + max_delay;
+    while *queued < window {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(req) => {
+                *queued += req.nrows;
+                pending.push(req);
+            }
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => return false,
+        }
+    }
+    true
 }
 
 /// Runs one coalesced batch and resolves every caller's handle with its own
 /// slice of the output.
-fn flush(
-    engine: &SharedEngine,
-    pending: Vec<Request>,
-    k: usize,
-    n: usize,
-    batches: &AtomicUsize,
-    rows: &AtomicUsize,
-) {
+fn flush(engine: &SharedEngine, pending: Vec<Request>, k: usize, n: usize, counters: &Counters) {
     let m: usize = pending.iter().map(|r| r.nrows).sum();
     let mut data = Vec::with_capacity(m * k);
     for req in &pending {
@@ -407,8 +740,9 @@ fn flush(
     }
     let x = Tensor::from_vec(data, &[m, k]);
     let y = lock_engine(engine).run_batch(&x);
-    batches.fetch_add(1, Ordering::Release);
-    rows.fetch_add(m, Ordering::Release);
+    counters.batches.fetch_add(1, Ordering::Release);
+    counters.rows.fetch_add(m, Ordering::Release);
+    counters.high_water.fetch_max(m, Ordering::AcqRel);
     let mut row0 = 0;
     for req in pending {
         // A dropped Pending is fine — the caller lost interest.
@@ -764,6 +1098,246 @@ mod tests {
         let (resolver, pending) = Pending::channel();
         drop(resolver);
         assert_eq!(pending.wait(), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn zero_max_batch_is_normalized_at_construction() {
+        // The contract lives at construction, not as a silent clamp deep in
+        // the collector loop.
+        assert_eq!(
+            BatchOptions {
+                max_batch: 0,
+                max_delay: Duration::ZERO
+            }
+            .normalized()
+            .max_batch,
+            1
+        );
+        let norm = AdaptiveOptions {
+            min_batch: 0,
+            max_batch: 0,
+            slo: Duration::ZERO,
+            widen_factor: 0,
+            collapse_divisor: 1,
+        }
+        .normalized();
+        assert_eq!((norm.min_batch, norm.max_batch), (1, 1));
+        assert_eq!((norm.widen_factor, norm.collapse_divisor), (2, 2));
+
+        // A zero-window batcher serves as a window of 1 — and says so.
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 80);
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        let batcher = MicroBatcher::new(
+            share(engine),
+            BatchOptions {
+                max_batch: 0,
+                // Pathological deadline: a window of 1 must never consult it.
+                max_delay: Duration::from_secs(600),
+            },
+        );
+        assert_eq!(batcher.stats().current_window, 1);
+        let out = batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait()
+            .expect("batcher alive");
+        assert_eq!(out.as_slice(), &reference.data()[..n]);
+        assert_eq!(batcher.batches_run(), 1);
+    }
+
+    #[test]
+    fn adaptive_controller_rules_are_deterministic() {
+        let mut ctl = AdaptiveController::new(AdaptiveOptions::drain_only(1, 16));
+        assert_eq!(ctl.window(), 1, "starts at the collapsed floor");
+        // Backlog widens geometrically to the cap.
+        for expect in [2, 4, 8, 16, 16] {
+            ctl.on_flush(ctl.window(), true);
+            assert_eq!(ctl.window(), expect);
+        }
+        // A block overflowing the window widens too, without backlog.
+        let mut ctl = AdaptiveController::new(AdaptiveOptions::drain_only(1, 16));
+        ctl.on_flush(9, false);
+        assert_eq!(ctl.window(), 2);
+        // A well-filled flush (more than 1/collapse_divisor) holds steady.
+        let mut ctl = AdaptiveController::new(AdaptiveOptions::drain_only(2, 16));
+        ctl.on_flush(16, true);
+        ctl.on_flush(16, true);
+        ctl.on_flush(16, true);
+        assert_eq!(ctl.window(), 16);
+        ctl.on_flush(9, false);
+        assert_eq!(ctl.window(), 16, "9 of 16 is above the collapse line");
+        // Under-filled flushes collapse back down to the floor, where an
+        // idle single-row stream is a fixed point (no oscillation).
+        for expect in [8, 4, 2, 2] {
+            ctl.on_flush(1, false);
+            assert_eq!(ctl.window(), expect);
+        }
+        ctl.on_flush(2, false);
+        assert_eq!(ctl.window(), 2, "floor is stable under lone requests");
+    }
+
+    #[test]
+    fn adaptive_window_widens_on_block_load_and_collapses_when_idle() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 81);
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = reference.dims()[1];
+        let batcher = MicroBatcher::with_policy(
+            share(engine),
+            BatchPolicy::Adaptive(AdaptiveOptions::drain_only(1, 32)),
+        );
+        assert_eq!(batcher.stats().current_window, 1);
+        // Sustained block load: every flush drains a whole 24-row block —
+        // overflow pressure — so the window doubles per flush up to the cap.
+        // Submit-and-wait keeps exactly one flush per block: deterministic.
+        for (i, expect) in [2usize, 4, 8, 16, 32, 32].into_iter().enumerate() {
+            let out = batcher
+                .submit_rows(a.data())
+                .expect("block")
+                .wait()
+                .expect("batcher alive");
+            assert_eq!(out.as_slice(), reference.data(), "block {i} diverged");
+            assert_eq!(
+                batcher.stats().current_window,
+                expect,
+                "window after block {i}"
+            );
+        }
+        let widened = batcher.stats();
+        assert_eq!(widened.queued_high_water, m);
+        assert_eq!(widened.rows_served, 6 * m);
+        // Idle traffic: lone rows under-fill the widened window, so it
+        // halves per flush back down to the floor and stays there.
+        for (i, expect) in [16usize, 8, 4, 2, 1, 1, 1].into_iter().enumerate() {
+            let out = batcher
+                .submit(&a.data()[..k])
+                .expect("valid row")
+                .wait()
+                .expect("batcher alive");
+            assert_eq!(out.as_slice(), &reference.data()[..n]);
+            assert_eq!(
+                batcher.stats().current_window,
+                expect,
+                "window after row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_window_widens_under_sustained_concurrent_load() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 82);
+        let batcher = MicroBatcher::with_policy(
+            share(engine),
+            BatchPolicy::Adaptive(AdaptiveOptions::drain_only(1, 16)),
+        );
+        // 3 submitters × 3 whole-batch blocks: every flush drains at least
+        // one 24-row block, which overflows any window below the 16-row cap
+        // — so whatever the interleaving, the window converges to the cap.
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let batcher = &batcher;
+                let a = &a;
+                let reference = &reference;
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let out = batcher
+                            .submit_rows(a.data())
+                            .expect("block")
+                            .wait()
+                            .expect("batcher alive");
+                        assert_eq!(out.as_slice(), reference.data());
+                    }
+                });
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(
+            stats.current_window, 16,
+            "sustained concurrent load must widen to the cap: {stats:?}"
+        );
+        assert_eq!(stats.rows_served, 9 * a.dims()[0]);
+        assert!(stats.queued_high_water >= a.dims()[0]);
+    }
+
+    #[test]
+    fn adaptive_slo_flushes_partial_batches_and_is_policy_driven() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 83);
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        let batcher = MicroBatcher::with_policy(
+            share(engine),
+            BatchPolicy::Adaptive(AdaptiveOptions {
+                min_batch: 1,
+                max_batch: 8,
+                slo: Duration::from_millis(20),
+                ..AdaptiveOptions::default()
+            }),
+        );
+        // Widen to the cap with whole-block pressure (a full first request
+        // never consults the clock, SLO or not).
+        for expect in [2usize, 4, 8] {
+            batcher
+                .submit_rows(a.data())
+                .expect("block")
+                .wait()
+                .expect("batcher alive");
+            assert_eq!(batcher.stats().current_window, expect);
+        }
+        // A lone row cannot fill the widened 8-row window: only the SLO
+        // deadline can flush it. The handle must resolve (with the right
+        // row), and the under-filled flush must collapse the window.
+        let out = batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait()
+            .expect("SLO flush must resolve the handle");
+        assert_eq!(out.as_slice(), &reference.data()[..n]);
+        assert_eq!(batcher.stats().current_window, 4, "1 of 8 must collapse");
+    }
+
+    #[test]
+    fn adaptive_policy_bit_identical_across_all_quant_precision_combos() {
+        let quants = [LutQuant::F32, LutQuant::F16, LutQuant::Int8];
+        let precisions = [
+            FloatPrecision::Fp32,
+            FloatPrecision::Bf16,
+            FloatPrecision::Fp16,
+        ];
+        for (qi, &quant) in quants.iter().enumerate() {
+            for (pi, &precision) in precisions.iter().enumerate() {
+                let (a, engine, reference) = setup(quant, precision, 84 + (qi * 3 + pi) as u64);
+                let (m, k) = (a.dims()[0], a.dims()[1]);
+                let n = reference.dims()[1];
+                let batcher = MicroBatcher::with_policy(
+                    share(engine),
+                    BatchPolicy::Adaptive(AdaptiveOptions::drain_only(1, m)),
+                );
+                // Concurrent single-row submitters: rows coalesce into
+                // whatever windows the controller is at — the outputs must
+                // not care.
+                let mut outs = vec![Vec::new(); m];
+                std::thread::scope(|s| {
+                    for (i, out) in outs.iter_mut().enumerate() {
+                        let batcher = &batcher;
+                        let a = &a;
+                        s.spawn(move || {
+                            *out = batcher
+                                .submit(&a.data()[i * k..(i + 1) * k])
+                                .expect("valid row")
+                                .wait()
+                                .expect("batcher alive");
+                        });
+                    }
+                });
+                for (i, out) in outs.iter().enumerate() {
+                    assert_eq!(
+                        out.as_slice(),
+                        &reference.data()[i * n..(i + 1) * n],
+                        "{quant:?}+{precision:?}: row {i} not bit-identical under adaptive policy"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

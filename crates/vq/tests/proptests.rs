@@ -3,8 +3,9 @@
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
     amm_error, approx_matmul, approx_matmul_from_codes, approx_matmul_with_precision, bf16_round,
-    fp16_round, kmeans, Distance, EngineError, EngineOptions, FloatPrecision, Int8Block,
-    KmeansConfig, LutEngine, LutQuant, LutTable, ProductQuantizer,
+    fp16_round, kmeans, share, AdaptiveOptions, BatchPolicy, Distance, EngineError, EngineOptions,
+    FloatPrecision, Int8Block, KmeansConfig, LutEngine, LutQuant, LutTable, MicroBatcher,
+    ProductQuantizer,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -216,6 +217,65 @@ proptest! {
         // A truncated buffer is a shape error, not a panic.
         let err = engine.run_from_codes(&codes[..codes.len() - 1], m);
         prop_assert!(matches!(err, Err(EngineError::CodeBufferShape { .. })));
+    }
+
+    /// An adaptive-policy micro-batcher is bit-identical to a direct
+    /// `run_batch` for every `LutQuant × FloatPrecision` combo, whatever
+    /// the window range or the single-row/block mix of the request stream:
+    /// the window an adaptive controller happens to be at is purely a
+    /// throughput decision.
+    #[test]
+    fn adaptive_serving_bit_identical_to_run_batch(
+        seed in 0u64..200,
+        m in 1usize..25,
+        min_pow in 0u32..3,
+        max_pow in 3u32..7,
+        block in 1usize..6,
+        quant_sel in 0usize..3,
+        prec_sel in 0usize..3,
+    ) {
+        let quant = [LutQuant::F32, LutQuant::F16, LutQuant::Int8][quant_sel];
+        let precision =
+            [FloatPrecision::Fp32, FloatPrecision::Bf16, FloatPrecision::Fp16][prec_sel];
+        let (k, n, v, c) = (10usize, 9usize, 4usize, 8usize);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+        let table = LutTable::build(&pq, &b, quant);
+        let mut engine = LutEngine::new(pq, &table).with_precision(precision);
+        let reference = engine.run_batch(&a);
+
+        let batcher = MicroBatcher::with_policy(
+            share(engine),
+            BatchPolicy::Adaptive(AdaptiveOptions::drain_only(
+                2usize.pow(min_pow),
+                2usize.pow(max_pow),
+            )),
+        );
+        // Mixed stream: blocks of `block` rows with a ragged tail.
+        let mut handles = Vec::new();
+        let mut row0 = 0;
+        while row0 < m {
+            let rows = block.min(m - row0);
+            handles.push((
+                row0,
+                rows,
+                batcher
+                    .submit_rows(&a.data()[row0 * k..(row0 + rows) * k])
+                    .expect("valid block"),
+            ));
+            row0 += rows;
+        }
+        for (row0, rows, handle) in handles {
+            let out = handle.wait().expect("batcher alive");
+            prop_assert_eq!(
+                out.as_slice(),
+                &reference.data()[row0 * n..(row0 + rows) * n],
+                "rows {}..{} diverged under adaptive serving ({:?}+{:?})",
+                row0, row0 + rows, quant, precision
+            );
+        }
     }
 
     /// Equivalent bits match the definitional formula for all (v, c).

@@ -98,8 +98,13 @@ fn main() {
     //        deployed layer. The session compiles one plan per dense unit
     //        (cached LUT engine behind a per-stage micro-batcher, or the
     //        dense path) and resolves Pending handles with final logits —
-    //        bit-identical to the batched eval above. ----------------------
-    let session = rt.model_session(&lut_net, &lut_ps);
+    //        bit-identical to the batched eval above. The adaptive batch
+    //        policy gives every LUT stage its own window controller:
+    //        stages widen under backlog and collapse when idle,
+    //        independently. -------------------------------------------------
+    let cfg_deploy = rt.config();
+    let session =
+        rt.model_session_with_policy(&lut_net, &lut_ps, cfg_deploy, BatchPolicy::adaptive());
     println!(
         "ModelSession: {} LUT stages + {} dense units (engine cache: {:?})",
         session.lut_stages(),
@@ -126,7 +131,15 @@ fn main() {
         }
         correct += usize::from(pred == label);
     }
-    println!("served {n_serve} single-image requests end-to-end: {correct}/{n_serve} correct\n");
+    println!("served {n_serve} single-image requests end-to-end: {correct}/{n_serve} correct");
+    println!("per-stage serving stats (independently adapted windows):");
+    for (name, stats) in session.stage_stats() {
+        println!(
+            "  {name:<16} rows {:>6} | batches {:>3} | queue high-water {:>5} | window {:>4}",
+            stats.rows_served, stats.batches_run, stats.queued_high_water, stats.current_window,
+        );
+    }
+    println!();
     drop(session);
 
     // --- 5. Size the accelerator for the full ResNet-18 workload. --------
