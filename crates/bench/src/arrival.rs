@@ -1,0 +1,114 @@
+//! Deterministic open-loop arrival processes for the serving benchmark.
+//!
+//! An arrival process turns an offered rate into a schedule of request
+//! offsets from the start of the run. The generator submits each request
+//! at its scheduled instant regardless of how the server is doing —
+//! open-loop load, so queueing delay shows up in the measured latency
+//! instead of silently throttling the offered rate (coordinated
+//! omission). Poisson arrivals come from seeded inverse-CDF exponential
+//! inter-arrival sampling, so a `(rate, seed)` pair always replays the
+//! same trace.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+/// How request arrival instants are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals: one request every `1/rate` seconds.
+    Fixed,
+    /// Memoryless arrivals: exponential inter-arrival times with mean
+    /// `1/rate`, sampled from a seeded [`StdRng`].
+    Poisson { seed: u64 },
+}
+
+impl ArrivalProcess {
+    /// Name used in artifacts and scenario labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Fixed => "fixed",
+            ArrivalProcess::Poisson { .. } => "poisson",
+        }
+    }
+
+    /// Offsets (from run start) of `n` arrivals at `rate` requests/s.
+    /// The first arrival is at offset 0 so a run never idles at startup.
+    pub fn schedule(&self, n: usize, rate: f64) -> Vec<Duration> {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        let mean = 1.0 / rate;
+        let mut offsets = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        match self {
+            ArrivalProcess::Fixed => {
+                for _ in 0..n {
+                    offsets.push(Duration::from_secs_f64(t));
+                    t += mean;
+                }
+            }
+            ArrivalProcess::Poisson { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                for _ in 0..n {
+                    offsets.push(Duration::from_secs_f64(t));
+                    // Inverse-CDF exponential: -ln(1-u)·mean, u ∈ [0, 1).
+                    let u: f64 = rng.gen();
+                    t += -(1.0 - u).ln() * mean;
+                }
+            }
+        }
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_evenly_spaced() {
+        let s = ArrivalProcess::Fixed.schedule(5, 100.0);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], Duration::ZERO);
+        for (i, off) in s.iter().enumerate() {
+            let expect = Duration::from_secs_f64(i as f64 / 100.0);
+            let err = off.abs_diff(expect);
+            assert!(err < Duration::from_nanos(100), "arrival {i}: {off:?}");
+        }
+    }
+
+    #[test]
+    fn poisson_schedule_is_seeded_reproducible() {
+        let p = ArrivalProcess::Poisson { seed: 42 };
+        let a = p.schedule(64, 500.0);
+        let b = p.schedule(64, 500.0);
+        assert_eq!(a, b, "same seed must replay the same trace");
+        let c = ArrivalProcess::Poisson { seed: 43 }.schedule(64, 500.0);
+        assert_ne!(a, c, "different seeds must differ");
+        // Monotone non-decreasing offsets starting at zero.
+        assert_eq!(a[0], Duration::ZERO);
+        for w in a.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_matches_rate() {
+        let rate = 1000.0;
+        let n = 4000;
+        let s = ArrivalProcess::Poisson { seed: 7 }.schedule(n, rate);
+        // Mean inter-arrival over n-1 gaps ≈ 1/rate; the relative error of
+        // an exponential sample mean is ~1/sqrt(n) ≈ 1.6%, allow 10%.
+        let span = (*s.last().unwrap() - s[0]).as_secs_f64();
+        let mean = span / (n - 1) as f64;
+        let expect = 1.0 / rate;
+        assert!(
+            (mean - expect).abs() / expect < 0.10,
+            "mean inter-arrival {mean:.6}s vs expected {expect:.6}s"
+        );
+    }
+
+    #[test]
+    fn fixed_and_poisson_names_label_artifacts() {
+        assert_eq!(ArrivalProcess::Fixed.name(), "fixed");
+        assert_eq!(ArrivalProcess::Poisson { seed: 0 }.name(), "poisson");
+    }
+}

@@ -1,7 +1,17 @@
-//! Schema validation for `BENCH_lutgemm.json` — the `--check` gate CI runs
-//! right after the smoke bench, so a refactor that silently drops a field,
-//! zeroes a throughput number, or breaks the emitter's hand-rolled JSON
-//! fails the PR instead of quietly rotting the artifact record.
+//! Schema validation for the benchmark artifacts — the `--check` gates CI
+//! runs right after each smoke bench, so a refactor that silently drops a
+//! field, zeroes a throughput number, or breaks an emitter's hand-rolled
+//! JSON fails the PR instead of quietly rotting the artifact record.
+//!
+//! [`check_artifact_text`] validates `BENCH_lutgemm.json`;
+//! [`check_serve_artifact_text`] validates `BENCH_serve.json`, including
+//! the sanity ordering the serving harness must reproduce (percentiles
+//! monotone, overload p99 strictly above p50, adaptive low-load SLO
+//! conformance ≥ 0.5). Every problem names the offending field by path
+//! (e.g. `scenarios[3].p99_ms`) so a red CI job is actionable without
+//! rerunning anything. Tests at the bottom also validate the artifacts
+//! committed at the repo root, so a schema change can't land while the
+//! checked-in files are stale.
 
 use crate::json::Json;
 
@@ -103,6 +113,180 @@ pub fn check_artifact_text(text: &str) -> Result<(), String> {
         Ok(())
     } else {
         Err(problems.join("\n"))
+    }
+}
+
+/// Top-level fields of `BENCH_serve.json`.
+const SERVE_TOP_FIELDS: &[&str] = &[
+    "bench",
+    "mode",
+    "arrival",
+    "seed",
+    "requests_per_scenario",
+    "host_cpus",
+    "scenarios",
+];
+
+/// Fields every entry of `"scenarios"` must carry.
+const SCENARIO_FIELDS: &[&str] = &[
+    "name",
+    "model",
+    "policy",
+    "load",
+    "arrival",
+    "requests",
+    "offered_rps",
+    "achieved_rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    "mean_ms",
+    "slo_ms",
+    "slo_conformance",
+    "stages",
+];
+
+/// Fields every entry of a scenario's `"stages"` must carry.
+const STAGE_FIELDS: &[&str] = &[
+    "stage",
+    "batches_run",
+    "rows_served",
+    "queued_high_water",
+    "final_window",
+    "mean_service_us",
+];
+
+/// Scenario fields that must be finite and strictly positive.
+const SCENARIO_POSITIVE_FIELDS: &[&str] = &[
+    "requests",
+    "offered_rps",
+    "achieved_rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    "mean_ms",
+    "slo_ms",
+];
+
+/// Validates the text of a `BENCH_serve.json` artifact: schema plus the
+/// sanity constraints the open-loop harness must reproduce. Returns every
+/// problem found, one per line, each naming the failing field by path.
+pub fn check_serve_artifact_text(text: &str) -> Result<(), String> {
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(e.to_string()),
+    };
+    let mut problems = Vec::new();
+    if doc.as_obj().is_none() {
+        return Err("top level is not a JSON object".to_string());
+    }
+    for &field in SERVE_TOP_FIELDS {
+        if doc.get(field).is_none() {
+            problems.push(format!("missing top-level field \"{field}\""));
+        }
+    }
+    if let Some(bench) = doc.get("bench") {
+        if bench.as_str() != Some("serve") {
+            problems.push(format!("\"bench\" is {bench:?}, expected \"serve\""));
+        }
+    }
+    match doc.get("scenarios").and_then(Json::as_arr) {
+        Some([]) => problems.push("\"scenarios\" is empty".to_string()),
+        Some(scenarios) => {
+            for (i, sc) in scenarios.iter().enumerate() {
+                check_scenario(sc, &format!("scenarios[{i}]"), &mut problems);
+            }
+        }
+        None => {
+            if doc.get("scenarios").is_some() {
+                problems.push("\"scenarios\" is not an array".to_string());
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+/// One scenario: fields, positivity, percentile ordering, conformance
+/// range, the overload/adaptive sanity constraints, and stage counters.
+fn check_scenario(sc: &Json, at: &str, problems: &mut Vec<String>) {
+    require_fields(sc, SCENARIO_FIELDS, at, problems);
+    if sc.as_obj().is_none() {
+        return;
+    }
+    let num = |field: &str| sc.get(field).and_then(Json::as_num);
+    let s = |field: &str| sc.get(field).and_then(Json::as_str);
+    for &field in SCENARIO_POSITIVE_FIELDS {
+        if let Some(x) = num(field) {
+            if !(x.is_finite() && x > 0.0) {
+                problems.push(format!("{at}.{field} = {x} (must be > 0)"));
+            }
+        }
+    }
+    // The name is derived, so a mislabeled row is caught here.
+    if let (Some(name), Some(model), Some(policy), Some(load)) =
+        (s("name"), s("model"), s("policy"), s("load"))
+    {
+        let expect = format!("{model}_{policy}_{load}");
+        if name != expect {
+            problems.push(format!("{at}.name = \"{name}\", expected \"{expect}\""));
+        }
+    }
+    if let (Some(p50), Some(p95), Some(p99), Some(max)) =
+        (num("p50_ms"), num("p95_ms"), num("p99_ms"), num("max_ms"))
+    {
+        if p95 < p50 {
+            problems.push(format!("{at}.p95_ms = {p95} < p50_ms = {p50}"));
+        }
+        if p99 < p95 {
+            problems.push(format!("{at}.p99_ms = {p99} < p95_ms = {p95}"));
+        }
+        if max < p99 {
+            problems.push(format!("{at}.max_ms = {max} < p99_ms = {p99}"));
+        }
+        // Under overload the latency ramp must show up: p99 strictly
+        // above p50, or the harness never actually queued anything.
+        if s("load") == Some("overload") && p99 <= p50 {
+            problems.push(format!(
+                "{at}.p99_ms = {p99} (must be > p50_ms = {p50} under overload)"
+            ));
+        }
+    }
+    if let Some(x) = num("slo_conformance") {
+        if !(0.0..=1.0).contains(&x) {
+            problems.push(format!("{at}.slo_conformance = {x} (must be in [0, 1])"));
+        }
+        // The adaptive policy's reason to exist: at a quarter of the
+        // service rate it must meet the SLO most of the time.
+        if s("policy") == Some("adaptive") && s("load") == Some("low") && x < 0.5 {
+            problems.push(format!(
+                "{at}.slo_conformance = {x} (adaptive low-load must be >= 0.5)"
+            ));
+        }
+    }
+    match sc.get("stages").and_then(Json::as_arr) {
+        Some([]) => problems.push(format!("{at}.stages is empty")),
+        Some(stages) => {
+            for (j, st) in stages.iter().enumerate() {
+                let here = format!("{at}.stages[{j}]");
+                require_fields(st, STAGE_FIELDS, &here, problems);
+                if let Some(b) = st.get("batches_run").and_then(Json::as_num) {
+                    if b < 1.0 {
+                        problems.push(format!("{here}.batches_run = {b} (must be >= 1)"));
+                    }
+                }
+            }
+        }
+        None => {
+            if sc.get("stages").is_some() {
+                problems.push(format!("{at}.stages is not an array"));
+            }
+        }
     }
 }
 
@@ -224,5 +408,134 @@ mod tests {
         let doc = format!("{}\"points\": []{}", &doc[..start], &doc[end..]);
         let err = check_artifact_text(&doc).expect_err("empty points");
         assert!(err.contains("\"points\" is empty"), "{err}");
+    }
+
+    fn valid_serve_doc() -> String {
+        r#"{
+  "bench": "serve",
+  "mode": "smoke",
+  "arrival": "poisson",
+  "seed": 24190,
+  "requests_per_scenario": 40,
+  "host_cpus": 4,
+  "scenarios": [
+    {"name": "convnet_adaptive_low", "model": "convnet", "policy": "adaptive",
+     "load": "low", "arrival": "poisson", "requests": 40,
+     "offered_rps": 100.0, "achieved_rps": 98.0,
+     "p50_ms": 2.1, "p95_ms": 2.8, "p99_ms": 3.0, "max_ms": 3.2,
+     "mean_ms": 2.2, "slo_ms": 6.0, "slo_conformance": 0.97, "stages": [
+       {"stage": "conv1", "batches_run": 40, "rows_served": 40,
+        "queued_high_water": 2, "final_window": 1, "mean_service_us": 410.0}
+     ]},
+    {"name": "convnet_adaptive_overload", "model": "convnet",
+     "policy": "adaptive", "load": "overload", "arrival": "poisson",
+     "requests": 40, "offered_rps": 3200.0, "achieved_rps": 400.0,
+     "p50_ms": 40.0, "p95_ms": 85.0, "p99_ms": 92.0, "max_ms": 95.0,
+     "mean_ms": 45.0, "slo_ms": 6.0, "slo_conformance": 0.05, "stages": [
+       {"stage": "conv1", "batches_run": 5, "rows_served": 40,
+        "queued_high_water": 8, "final_window": 16, "mean_service_us": 900.0}
+     ]}
+  ]
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn valid_serve_artifact_passes() {
+        check_serve_artifact_text(&valid_serve_doc()).expect("valid artifact");
+    }
+
+    #[test]
+    fn serve_missing_percentile_names_path() {
+        let doc = valid_serve_doc().replace("\"p99_ms\": 92.0,", "");
+        let err = check_serve_artifact_text(&doc).expect_err("missing field");
+        assert!(err.contains("scenarios[1] is missing \"p99_ms\""), "{err}");
+    }
+
+    #[test]
+    fn serve_overload_inversion_names_constraint() {
+        // Overload p99 dragged down to p50: the ramp sanity check fires.
+        let doc = valid_serve_doc()
+            .replace("\"p95_ms\": 85.0", "\"p95_ms\": 40.0")
+            .replace("\"p99_ms\": 92.0", "\"p99_ms\": 40.0");
+        let err = check_serve_artifact_text(&doc).expect_err("flat overload");
+        assert!(
+            err.contains("scenarios[1].p99_ms = 40 (must be > p50_ms = 40 under overload)"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_percentile_ordering_is_checked() {
+        let doc = valid_serve_doc().replace("\"p95_ms\": 2.8", "\"p95_ms\": 1.0");
+        let err = check_serve_artifact_text(&doc).expect_err("inverted p95");
+        assert!(
+            err.contains("scenarios[0].p95_ms = 1 < p50_ms = 2.1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_adaptive_low_conformance_floor() {
+        let doc =
+            valid_serve_doc().replace("\"slo_conformance\": 0.97", "\"slo_conformance\": 0.2");
+        let err = check_serve_artifact_text(&doc).expect_err("missed SLO");
+        assert!(
+            err.contains("scenarios[0].slo_conformance = 0.2 (adaptive low-load must be >= 0.5)"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_conformance_out_of_range_fails() {
+        let doc =
+            valid_serve_doc().replace("\"slo_conformance\": 0.97", "\"slo_conformance\": 1.4");
+        let err = check_serve_artifact_text(&doc).expect_err("out of range");
+        assert!(err.contains("must be in [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn serve_mislabeled_name_fails() {
+        let doc = valid_serve_doc().replace(
+            "\"name\": \"convnet_adaptive_low\"",
+            "\"name\": \"convnet_static_low\"",
+        );
+        let err = check_serve_artifact_text(&doc).expect_err("bad name");
+        assert!(err.contains("expected \"convnet_adaptive_low\""), "{err}");
+    }
+
+    #[test]
+    fn serve_empty_stages_fails() {
+        let doc = valid_serve_doc().replacen(
+            "\"stages\": [\n       {\"stage\": \"conv1\", \"batches_run\": 40, \"rows_served\": 40,\n        \"queued_high_water\": 2, \"final_window\": 1, \"mean_service_us\": 410.0}\n     ]",
+            "\"stages\": []",
+            1,
+        );
+        let err = check_serve_artifact_text(&doc).expect_err("empty stages");
+        assert!(err.contains("scenarios[0].stages is empty"), "{err}");
+    }
+
+    #[test]
+    fn serve_wrong_bench_tag_fails() {
+        let doc = valid_serve_doc().replace("\"bench\": \"serve\"", "\"bench\": \"lutgemm\"");
+        let err = check_serve_artifact_text(&doc).expect_err("wrong tag");
+        assert!(err.contains("expected \"serve\""), "{err}");
+    }
+
+    // The artifacts committed at the repo root must track the schema:
+    // these tests make `cargo test` the gate that keeps a checker (or
+    // emitter) change from landing with stale checked-in files.
+    #[test]
+    fn committed_lutgemm_artifact_matches_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lutgemm.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_lutgemm.json");
+        check_artifact_text(&text).expect("committed BENCH_lutgemm.json fails --check");
+    }
+
+    #[test]
+    fn committed_serve_artifact_matches_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_serve.json");
+        check_serve_artifact_text(&text).expect("committed BENCH_serve.json fails --check");
     }
 }

@@ -1,0 +1,76 @@
+//! Open-loop serving latency benchmark: a deterministic arrival process
+//! (seeded Poisson by default, `--fixed` for evenly spaced) replayed
+//! against whole-model [`ModelSession`]s across the scenario matrix
+//! model (`convnet`/`transformer`) × policy (`static`/`adaptive`) × load
+//! (`low`/`overload`), reporting p50/p95/p99 latency from *scheduled*
+//! arrival to resolution, achieved vs offered rate, SLO-conformance, and
+//! final per-stage counters. Emits `BENCH_serve.json` so every CI run
+//! leaves a serving-latency data point on the record.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_serve [--smoke] [--fixed] [--seed N] [--out PATH] [--check PATH]
+//! ```
+//!
+//! `--smoke` shrinks the per-scenario request count (the CI mode).
+//! `--check PATH` runs no benchmark: it validates an existing artifact
+//! against the expected schema plus the sanity ordering (p50 ≤ p95 ≤ p99,
+//! overload p99 > p50, adaptive low-load SLO conformance ≥ 0.5), prints
+//! each failed field with its path, and exits non-zero on any problem.
+//!
+//! [`ModelSession`]: lutdla_lutboost::ModelSession
+
+use lutdla_bench::serve_bench::{run, to_json, ServeBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--check needs a path to a BENCH_serve.json artifact");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match lutdla_bench::artifact::check_serve_artifact_text(&text) {
+            Ok(()) => {
+                println!("bench-check OK: {path}");
+                return;
+            }
+            Err(problems) => {
+                eprintln!("bench-check FAILED for {path}:\n{problems}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let poisson = !args.iter().any(|a| a == "--fixed");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--seed needs an unsigned integer, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0x5e7e);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let report = run(ServeBenchConfig {
+        smoke,
+        poisson,
+        seed,
+    });
+    let json = to_json(&report);
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

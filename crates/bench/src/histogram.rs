@@ -1,0 +1,215 @@
+//! Fixed-bucket latency histogram for the serving benchmarks.
+//!
+//! Hand-rolled (no `hdrhistogram` dependency): geometric buckets with a
+//! 1 µs base and power-of-two widths cover sub-microsecond noise up to
+//! multi-second stalls in [`NUM_BUCKETS`] slots, at ≲ 2× relative error
+//! per bucket. Percentiles interpolate linearly inside a bucket and are
+//! clamped to the exact observed min/max, so single-sample histograms
+//! report the sample itself and `percentile` is monotone in `q`.
+
+use std::time::Duration;
+
+/// Bucket 0 covers `[0, 1µs)`; bucket `i` covers `[1µs·2^(i-1), 1µs·2^i)`.
+pub const NUM_BUCKETS: usize = 42;
+
+const BASE_NANOS: u64 = 1_000; // 1 µs
+
+/// Latency histogram with geometric fixed buckets.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+    sum_nanos: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+            sum_nanos: 0,
+        }
+    }
+
+    /// Index of the bucket holding `nanos`.
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < BASE_NANOS {
+            return 0;
+        }
+        // floor(log2(nanos / BASE_NANOS)) + 1, clamped to the last bucket.
+        let ratio = nanos / BASE_NANOS;
+        let idx = 64 - u64::leading_zeros(ratio) as usize;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `i`, in nanoseconds.
+    fn bucket_low(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            BASE_NANOS << (i - 1)
+        }
+    }
+
+    /// Upper edge (exclusive) of bucket `i`, in nanoseconds.
+    fn bucket_high(i: usize) -> u64 {
+        BASE_NANOS << i
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        self.sum_nanos += nanos as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact observed minimum, if any samples were recorded.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.min_nanos))
+    }
+
+    /// Exact observed maximum, if any samples were recorded.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.max_nanos))
+    }
+
+    /// Exact mean over all samples, if any were recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos((self.sum_nanos / self.count as u128) as u64))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), linearly interpolated inside the
+    /// bucket containing the rank and clamped to the observed min/max.
+    /// Returns `None` on an empty histogram.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample answering the quantile.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let low = Self::bucket_low(i) as f64;
+                let high = Self::bucket_high(i) as f64;
+                // Position of the rank inside this bucket, in [0, 1): the
+                // first rank of a bucket sits on its lower edge, so
+                // percentile(0) on a min-edge sample is exact after clamping.
+                let frac = (rank - seen - 1) as f64 / n as f64;
+                let est = low + (high - low) * frac;
+                let est = est.clamp(self.min_nanos as f64, self.max_nanos as f64);
+                return Some(Duration::from_nanos(est as u64));
+            }
+            seen += n;
+        }
+        Some(Duration::from_nanos(self.max_nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_geometric() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(999), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1_000), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1_999), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2_000), 2);
+        assert_eq!(LatencyHistogram::bucket_index(3_999), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4_000), 3);
+        // Saturates at the last bucket instead of overflowing.
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Edges agree with the index function.
+        for i in 1..NUM_BUCKETS - 1 {
+            let low = LatencyHistogram::bucket_low(i);
+            let high = LatencyHistogram::bucket_high(i);
+            assert_eq!(LatencyHistogram::bucket_index(low), i);
+            assert_eq!(LatencyHistogram::bucket_index(high - 1), i);
+            assert_eq!(LatencyHistogram::bucket_index(high), i + 1);
+            assert_eq!(high, low * 2);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.percentile(0.5).is_none());
+        assert!(h.min().is_none() && h.max().is_none() && h.mean().is_none());
+    }
+
+    #[test]
+    fn one_sample_reports_itself_at_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        let d = Duration::from_micros(137);
+        h.record(d);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(d), "q={q}");
+        }
+        assert_eq!(h.min(), Some(d));
+        assert_eq!(h.max(), Some(d));
+        assert_eq!(h.mean(), Some(d));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_edge_clamped() {
+        let mut h = LatencyHistogram::new();
+        // 100 samples spread over several buckets: 1µs·k for k=1..=100.
+        for k in 1..=100u64 {
+            h.record(Duration::from_micros(k));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(1.0), h.max());
+        let mut prev = Duration::ZERO;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let p = h.percentile(q).unwrap();
+            assert!(p >= prev, "q={q}: {p:?} < {prev:?}");
+            prev = p;
+        }
+        // p50 lands within the bucket containing the true median (the
+        // 32..64µs bucket spans ranks 32..=63; interpolation stays inside).
+        let p50 = h.percentile(0.5).unwrap();
+        assert!(p50 >= Duration::from_micros(50) && p50 <= Duration::from_micros(100));
+        // p99 is near the top: the bucket estimate clamps to max=100µs.
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p99 > p50 && p99 <= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn interpolation_within_a_single_bucket() {
+        let mut h = LatencyHistogram::new();
+        // 4 samples, all in bucket [4µs, 8µs).
+        for _ in 0..4 {
+            h.record(Duration::from_micros(5));
+        }
+        // rank=2 of 4 → frac 0.25 → 4µs + 0.25·4µs = 5µs, already exact.
+        assert_eq!(h.percentile(0.5), Some(Duration::from_micros(5)));
+    }
+}

@@ -9,9 +9,12 @@
 //!
 //! Pass `--quick` to any binary to shrink datasets/epochs for smoke runs.
 
+pub mod arrival;
 pub mod artifact;
 pub mod common;
+pub mod histogram;
 pub mod json;
+pub mod serve_bench;
 
 /// One generator per paper table/figure.
 pub mod experiments {

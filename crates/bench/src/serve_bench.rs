@@ -1,0 +1,483 @@
+//! Open-loop serving benchmark behind the `bench_serve` binary.
+//!
+//! Sweeps a scenario matrix — model (`convnet`/`transformer`) × batch
+//! policy (`static`/`adaptive`) × offered load (`low`/`overload`) —
+//! against [`LutRuntime::model_session_with_policy`]. Each scenario
+//! replays a deterministic arrival schedule ([`ArrivalProcess`]) and
+//! submits requests at their *scheduled* instants regardless of server
+//! progress, so queueing delay lands in the measured latency rather than
+//! silently throttling the offered rate (no coordinated omission). Per
+//! request latency is `resolved_at − scheduled_arrival`, taken from the
+//! [`ServeTiming`] stamps the serving layer records once per coalesced
+//! flush; per-stage service time comes from
+//! [`StageStats::service_nanos`].
+//!
+//! [`ServeTiming`]: lutdla_vq::ServeTiming
+//! [`StageStats::service_nanos`]: lutdla_vq::StageStats::service_nanos
+//!
+//! Rates are calibrated per model: a closed-loop batch-1 pass measures the
+//! base service latency, then `low` offers a quarter of that service rate
+//! (the server keeps up; SLO conformance should be high) and `overload`
+//! offers 8× (the queue grows without bound; the latency ramp makes
+//! p99 ≫ p50). The SLO is `max(3 × base latency, 1 ms)`.
+
+use std::time::{Duration, Instant};
+
+use crate::arrival::ArrivalProcess;
+use crate::histogram::LatencyHistogram;
+use lutdla_lutboost::{
+    lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutConfig, LutRuntime,
+    ModelSession,
+};
+use lutdla_models::trainable::{distilbert_mini, resnet20_mini, ServableModel};
+use lutdla_nn::ParamSet;
+use lutdla_tensor::Tensor;
+use lutdla_vq::{AdaptiveOptions, BatchOptions, BatchPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Submitted-but-unflushed backlog that forces a flush under overload, so
+/// coalescing windows (and the adaptive controller) see real batches.
+const BURST: usize = 8;
+
+/// Harness configuration, straight from the CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// CI mode: fewer requests per scenario.
+    pub smoke: bool,
+    /// `true` = seeded Poisson arrivals, `false` = fixed-rate.
+    pub poisson: bool,
+    /// Base seed; each scenario offsets it so traces decorrelate.
+    pub seed: u64,
+}
+
+impl ServeBenchConfig {
+    fn requests(&self) -> usize {
+        if self.smoke {
+            40
+        } else {
+            256
+        }
+    }
+
+    fn arrival(&self, scenario_idx: u64) -> ArrivalProcess {
+        if self.poisson {
+            ArrivalProcess::Poisson {
+                seed: self.seed.wrapping_add(scenario_idx),
+            }
+        } else {
+            ArrivalProcess::Fixed
+        }
+    }
+}
+
+/// Offered-load level, calibrated against the measured service rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Load {
+    /// 0.25× the batch-1 service rate: the server keeps up.
+    Low,
+    /// 8× the batch-1 service rate: the queue grows without bound.
+    Overload,
+}
+
+impl Load {
+    /// Artifact label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Load::Low => "low",
+            Load::Overload => "overload",
+        }
+    }
+
+    fn rate(&self, service_rps: f64) -> f64 {
+        match self {
+            Load::Low => service_rps * 0.25,
+            Load::Overload => service_rps * 8.0,
+        }
+    }
+}
+
+/// Final counters of one pipeline stage, flattened for the artifact.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Stage name from the session plan.
+    pub stage: String,
+    /// Coalesced batches run.
+    pub batches_run: usize,
+    /// Rows served.
+    pub rows_served: usize,
+    /// Largest per-flush drain observed.
+    pub queued_high_water: usize,
+    /// Window the policy ended on (tracks the controller when adaptive).
+    pub final_window: usize,
+    /// Mean engine service time per flush, in microseconds.
+    pub mean_service_us: f64,
+}
+
+/// One cell of the scenario matrix, measured.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// `{model}_{policy}_{load}`.
+    pub name: String,
+    /// `convnet` or `transformer`.
+    pub model: &'static str,
+    /// `static` or `adaptive`.
+    pub policy: &'static str,
+    /// `low` or `overload`.
+    pub load: &'static str,
+    /// `poisson` or `fixed`.
+    pub arrival: &'static str,
+    /// Requests submitted (all are resolved).
+    pub requests: usize,
+    /// Scheduled arrival rate, requests/s.
+    pub offered_rps: f64,
+    /// Resolved requests over total wall time, requests/s.
+    pub achieved_rps: f64,
+    /// Latency percentiles from scheduled arrival to resolution, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Exact observed maximum, ms.
+    pub max_ms: f64,
+    /// Exact mean, ms.
+    pub mean_ms: f64,
+    /// The latency SLO this scenario was judged against, ms.
+    pub slo_ms: f64,
+    /// Fraction of requests with latency ≤ SLO, in `[0, 1]`.
+    pub slo_conformance: f64,
+    /// Final per-stage counters.
+    pub stages: Vec<StageRow>,
+}
+
+/// The whole artifact, pre-serialization.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// `smoke` or `full`.
+    pub mode: &'static str,
+    /// Arrival-process label shared by every scenario.
+    pub arrival: &'static str,
+    /// Base seed.
+    pub seed: u64,
+    /// Requests per scenario.
+    pub requests_per_scenario: usize,
+    /// All measured scenarios, matrix order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Runs the full scenario matrix and returns the report.
+pub fn run(cfg: ServeBenchConfig) -> ServeReport {
+    let mut scenarios = Vec::new();
+    run_convnet(cfg, &mut scenarios);
+    run_transformer(cfg, &mut scenarios);
+    ServeReport {
+        mode: if cfg.smoke { "smoke" } else { "full" },
+        arrival: if cfg.poisson { "poisson" } else { "fixed" },
+        seed: cfg.seed,
+        requests_per_scenario: cfg.requests(),
+        scenarios,
+    }
+}
+
+/// The policy half of the matrix, shared by both models.
+fn policies() -> [(&'static str, BatchPolicy); 2] {
+    [
+        (
+            "static",
+            BatchPolicy::Static(BatchOptions {
+                max_batch: 64,
+                max_delay: Duration::from_millis(1),
+            }),
+        ),
+        (
+            "adaptive",
+            BatchPolicy::Adaptive(AdaptiveOptions {
+                min_batch: 1,
+                max_batch: 64,
+                ..AdaptiveOptions::default()
+            }),
+        ),
+    ]
+}
+
+fn run_convnet(cfg: ServeBenchConfig, out: &mut Vec<ScenarioResult>) {
+    let images = 16;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc0e);
+    let mut ps = ParamSet::new();
+    let mut net = resnet20_mini(&mut ps, 10);
+    let batch = Tensor::randn(&mut rng, &[images, 3, 16, 16], 1.0);
+    let _ = lutify_convnet(
+        &mut net,
+        &mut ps,
+        LutConfig::default(),
+        CentroidInit::Kmeans,
+        ConvertPolicy::default(),
+        batch.clone(),
+        &mut rng,
+    );
+    let per = 3 * 16 * 16;
+    let inputs: Vec<Tensor> = (0..images)
+        .map(|i| Tensor::from_vec(batch.data()[i * per..(i + 1) * per].to_vec(), &[3, 16, 16]))
+        .collect();
+    run_model(cfg, "convnet", &net, &ps, &inputs, out);
+}
+
+fn run_transformer(cfg: ServeBenchConfig, out: &mut Vec<ScenarioResult>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7f0);
+    let mut ps = ParamSet::new();
+    let mut net = distilbert_mini(&mut ps, 3);
+    let tokens: Vec<usize> = (0..6 * 16).map(|i| (i * 5 + 3) % 64).collect();
+    let _ = lutify_transformer(
+        &mut net,
+        &mut ps,
+        LutConfig::default(),
+        CentroidInit::Kmeans,
+        ConvertPolicy::default(),
+        &tokens,
+        6,
+        16,
+        &mut rng,
+    );
+    let inputs: Vec<Vec<usize>> = (0..6)
+        .map(|i| tokens[i * 16..(i + 1) * 16].to_vec())
+        .collect();
+    run_model(cfg, "transformer", &net, &ps, &inputs, out);
+}
+
+/// Calibrates the model's batch-1 service latency, then measures every
+/// policy × load cell.
+fn run_model<M: ServableModel>(
+    cfg: ServeBenchConfig,
+    model_name: &'static str,
+    net: &M,
+    ps: &ParamSet,
+    inputs: &[M::Input],
+    out: &mut Vec<ScenarioResult>,
+) {
+    let mut rt = LutRuntime::new(lutdla_lutboost::DeployConfig::bf16_int8());
+    let deploy_cfg = rt.config();
+
+    // Closed-loop batch-1 calibration: min submit→resolve wall time.
+    let base = {
+        let session = rt.model_session(net, ps);
+        let mut best = Duration::MAX;
+        for i in 0..8 {
+            let t0 = Instant::now();
+            let h = session
+                .submit(inputs[i % inputs.len()].clone())
+                .expect("valid input");
+            session.flush();
+            h.wait().expect("session alive");
+            let dt = t0.elapsed();
+            if i >= 2 {
+                best = best.min(dt); // skip cache-warming iterations
+            }
+        }
+        best
+    };
+    let service_rps = 1.0 / base.as_secs_f64().max(1e-9);
+    let slo = (base * 3).max(Duration::from_millis(1));
+    println!(
+        "{model_name}: batch-1 latency {:.3} ms → service {:.0} req/s, SLO {:.3} ms",
+        base.as_secs_f64() * 1e3,
+        service_rps,
+        slo.as_secs_f64() * 1e3,
+    );
+
+    for (policy_name, policy) in policies() {
+        for load in [Load::Low, Load::Overload] {
+            let idx = out.len() as u64;
+            let arrival = cfg.arrival(idx);
+            let rate = load.rate(service_rps);
+            let offsets = arrival.schedule(cfg.requests(), rate);
+            let session = rt.model_session_with_policy(net, ps, deploy_cfg, policy);
+            let scenario = drive(
+                &session,
+                inputs,
+                &offsets,
+                slo,
+                ScenarioLabel {
+                    model: model_name,
+                    policy: policy_name,
+                    load: load.name(),
+                    arrival: arrival.name(),
+                    offered_rps: rate,
+                    slo_ms: slo.as_secs_f64() * 1e3,
+                },
+            );
+            println!(
+                "  {:<28} offered {:>7.0} req/s | achieved {:>7.0} | p50 {:>8.3} ms | p99 {:>8.3} ms | SLO-conformance {:.2}",
+                scenario.name,
+                scenario.offered_rps,
+                scenario.achieved_rps,
+                scenario.p50_ms,
+                scenario.p99_ms,
+                scenario.slo_conformance,
+            );
+            out.push(scenario);
+        }
+    }
+}
+
+struct ScenarioLabel {
+    model: &'static str,
+    policy: &'static str,
+    load: &'static str,
+    arrival: &'static str,
+    offered_rps: f64,
+    slo_ms: f64,
+}
+
+/// Replays one arrival schedule against a session: open-loop submits at
+/// the scheduled instants, flushing the backlog while idle (and whenever
+/// it reaches [`BURST`] when the schedule never lets the loop go idle).
+fn drive<M: ServableModel>(
+    session: &ModelSession<'_, M>,
+    inputs: &[M::Input],
+    offsets: &[Duration],
+    slo: Duration,
+    label: ScenarioLabel,
+) -> ScenarioResult {
+    let t0 = Instant::now();
+    let mut pending = Vec::with_capacity(offsets.len());
+    for (i, off) in offsets.iter().enumerate() {
+        // Hold to the schedule; service the open batch while waiting.
+        loop {
+            let now = t0.elapsed();
+            if now >= *off {
+                break;
+            }
+            if session.queued() > 0 {
+                session.flush();
+            } else {
+                std::thread::sleep(*off - now);
+            }
+        }
+        pending.push(
+            session
+                .submit(inputs[i % inputs.len()].clone())
+                .expect("valid input"),
+        );
+        if session.queued() >= BURST {
+            session.flush();
+        }
+    }
+    session.flush();
+    let total = t0.elapsed();
+
+    let mut hist = LatencyHistogram::new();
+    let mut conforming = 0usize;
+    for (off, p) in offsets.iter().zip(pending) {
+        let (_rows, timing) = p.wait_timed().expect("session alive");
+        // Latency from the *scheduled* arrival, not the submit instant:
+        // time the request spent queued behind the schedule counts too.
+        let lat = timing.latency_since(t0 + *off);
+        hist.record(lat);
+        if lat <= slo {
+            conforming += 1;
+        }
+    }
+
+    let ms = |d: Option<Duration>| d.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+    let stages = session
+        .stage_stats()
+        .into_iter()
+        .map(|(name, st)| StageRow {
+            stage: name.to_string(),
+            batches_run: st.batches_run,
+            rows_served: st.rows_served,
+            queued_high_water: st.queued_high_water,
+            final_window: st.current_window,
+            mean_service_us: st.service_nanos as f64 / st.batches_run.max(1) as f64 / 1e3,
+        })
+        .collect();
+    ScenarioResult {
+        name: format!("{}_{}_{}", label.model, label.policy, label.load),
+        model: label.model,
+        policy: label.policy,
+        load: label.load,
+        arrival: label.arrival,
+        requests: offsets.len(),
+        offered_rps: label.offered_rps,
+        achieved_rps: offsets.len() as f64 / total.as_secs_f64().max(1e-9),
+        p50_ms: ms(hist.percentile(0.50)),
+        p95_ms: ms(hist.percentile(0.95)),
+        p99_ms: ms(hist.percentile(0.99)),
+        max_ms: ms(hist.max()),
+        mean_ms: ms(hist.mean()),
+        slo_ms: label.slo_ms,
+        slo_conformance: conforming as f64 / offsets.len().max(1) as f64,
+        stages,
+    }
+}
+
+/// Serializes the report into the `BENCH_serve.json` schema checked by
+/// [`crate::artifact::check_serve_artifact_text`].
+pub fn to_json(report: &ServeReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"serve\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
+    s.push_str(&format!("  \"arrival\": \"{}\",\n", report.arrival));
+    s.push_str(&format!("  \"seed\": {},\n", report.seed));
+    s.push_str(&format!(
+        "  \"requests_per_scenario\": {},\n",
+        report.requests_per_scenario
+    ));
+    s.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in report.scenarios.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"model\": \"{}\", \"policy\": \"{}\", \"load\": \"{}\", \
+             \"arrival\": \"{}\", \"requests\": {}, \"offered_rps\": {:.1}, \
+             \"achieved_rps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"max_ms\": {:.4}, \"mean_ms\": {:.4}, \"slo_ms\": {:.4}, \
+             \"slo_conformance\": {:.4}, \"stages\": [\n",
+            sc.name,
+            sc.model,
+            sc.policy,
+            sc.load,
+            sc.arrival,
+            sc.requests,
+            sc.offered_rps,
+            sc.achieved_rps,
+            sc.p50_ms,
+            sc.p95_ms,
+            sc.p99_ms,
+            sc.max_ms,
+            sc.mean_ms,
+            sc.slo_ms,
+            sc.slo_conformance,
+        ));
+        for (j, st) in sc.stages.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"stage\": \"{}\", \"batches_run\": {}, \"rows_served\": {}, \
+                 \"queued_high_water\": {}, \"final_window\": {}, \"mean_service_us\": {:.2}}}{}\n",
+                st.stage,
+                st.batches_run,
+                st.rows_served,
+                st.queued_high_water,
+                st.final_window,
+                st.mean_service_us,
+                if j + 1 == sc.stages.len() { "" } else { "," },
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == report.scenarios.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

@@ -71,6 +71,6 @@ pub mod prelude {
     pub use lutdla_tensor::Tensor;
     pub use lutdla_vq::{
         approx_matmul, AdaptiveOptions, BatchOptions, BatchPolicy, Distance, LutQuant, LutTable,
-        ProductQuantizer, StageStats,
+        ProductQuantizer, ServeTiming, StageStats,
     };
 }

@@ -154,8 +154,11 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
         self.batches.set(self.batches.get() + 1);
         self.rows.set(self.rows.get() + inputs.len());
         let n = self.classes;
+        // One resolution stamp per coalesced batch: every handle in this
+        // flush reports the same resolve instant in its `ServeTiming`.
+        let resolved_at = std::time::Instant::now();
         for (i, resolver) in resolvers.into_iter().enumerate() {
-            resolver.resolve(logits.data()[i * n..(i + 1) * n].to_vec());
+            resolver.resolve_at(logits.data()[i * n..(i + 1) * n].to_vec(), resolved_at);
         }
     }
 
@@ -601,6 +604,32 @@ mod tests {
         let stage_total: usize = stats.iter().map(|(_, s)| s.rows_served).sum();
         let expected_total: usize = per_image.iter().map(|r| (1 + total) * r).sum();
         assert_eq!(stage_total, expected_total);
+    }
+
+    #[test]
+    fn session_handles_carry_one_resolve_stamp_per_flush() {
+        let (ps, net, images) = converted_convnet();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let session = rt.model_session(&net, &ps);
+        let before = std::time::Instant::now();
+        let h1 = session.submit(image(&images, 0)).expect("valid image");
+        let h2 = session.submit(image(&images, 1)).expect("valid image");
+        session.flush();
+        let (r1, t1) = h1.wait_timed().expect("alive");
+        let (r2, t2) = h2.wait_timed().expect("alive");
+        assert_eq!(r1.len(), session.num_classes());
+        assert_eq!(r2.len(), session.num_classes());
+        // Both requests resolved in the same flush: one shared stamp.
+        assert_eq!(t1.resolved_at, t2.resolved_at);
+        assert!(t1.submitted_at >= before);
+        assert!(t1.submitted_at <= t2.submitted_at, "submit order preserved");
+        assert!(t2.submitted_at <= t2.resolved_at);
+        // Open-loop accounting from an earlier arrival instant only grows.
+        assert!(t1.latency_since(before) >= t1.latency());
+        // The LUT stages accounted engine service time for the flush.
+        for (name, stats) in session.stage_stats() {
+            assert!(stats.service_nanos > 0, "stage {name} recorded no time");
+        }
     }
 
     #[test]

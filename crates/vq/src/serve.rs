@@ -29,15 +29,18 @@
 //! single block overflowing it) and collapses it when flushes run
 //! under-filled, bounded by a latency SLO that caps how long any partial
 //! batch may wait. Either way the per-batcher signals (batches run, rows
-//! served, queued-depth high-water, current window) are exposed through
-//! [`MicroBatcher::stats`] as a [`StageStats`] snapshot.
+//! served, queued-depth high-water, current window, cumulative engine
+//! service time) are exposed through [`MicroBatcher::stats`] as a
+//! [`StageStats`] snapshot, and every resolved request carries its own
+//! submit→resolve [`ServeTiming`] ([`Pending::wait_timed`]) — the hooks a
+//! latency-percentile harness builds histograms from.
 //!
 //! Because the engine computes every output row independently (encode and
 //! accumulate never mix rows), a row's result is **bit-identical** whether
 //! it was submitted alone, coalesced with others, or part of a direct
 //! `run_batch` call — batching is purely a throughput decision.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -247,6 +250,12 @@ pub struct StageStats {
     /// The current flush window, in rows. Constant for a static policy;
     /// tracks the controller for an adaptive one.
     pub current_window: usize,
+    /// Cumulative wall time spent inside the engine's `run_batch` across
+    /// every flush, in nanoseconds. `service_nanos / batches_run` is the
+    /// stage's mean per-flush service latency — the per-stage signal a
+    /// latency harness reads next to the per-request
+    /// [`ServeTiming`] timestamps.
+    pub service_nanos: u64,
 }
 
 /// The pure widen/collapse state machine behind [`BatchPolicy::Adaptive`].
@@ -327,10 +336,44 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Submit→resolve timestamps of one served request, returned by
+/// [`Pending::wait_timed`].
+///
+/// `submitted_at` is stamped when the request is created (one
+/// `Instant::now` per submit); `resolved_at` is stamped by whoever resolved
+/// it — once per coalesced flush, not per request — so the serving hot path
+/// never pays more than two clock reads per batch. An open-loop load
+/// generator measures from its own *scheduled* arrival instant
+/// ([`ServeTiming::latency_since`]) so queueing delay ahead of the submit
+/// call (coordinated omission) is not dropped from the record.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTiming {
+    /// When the request entered its front door's queue.
+    pub submitted_at: Instant,
+    /// When the flush that computed the request's output resolved it.
+    pub resolved_at: Instant,
+}
+
+impl ServeTiming {
+    /// Queueing + service latency: submit → resolve.
+    pub fn latency(&self) -> Duration {
+        self.resolved_at
+            .saturating_duration_since(self.submitted_at)
+    }
+
+    /// Latency measured from an earlier reference instant — typically an
+    /// open-loop generator's scheduled arrival time, which may precede the
+    /// actual submit call when the serving thread was busy.
+    pub fn latency_since(&self, arrival: Instant) -> Duration {
+        self.resolved_at.saturating_duration_since(arrival)
+    }
+}
+
 /// Future-style handle to a submitted request's output rows.
 #[derive(Debug)]
 pub struct Pending {
-    rx: Receiver<Vec<f32>>,
+    rx: Receiver<(Vec<f32>, Instant)>,
+    submitted_at: Instant,
 }
 
 /// The resolving half of a [`Pending`] handle minted by
@@ -342,14 +385,21 @@ pub struct Pending {
 /// does, so one `wait`/`try_wait` contract covers every serving front door.
 #[derive(Debug)]
 pub struct PendingResolver {
-    tx: Sender<Vec<f32>>,
+    tx: Sender<(Vec<f32>, Instant)>,
 }
 
 impl PendingResolver {
-    /// Resolves the paired [`Pending`] with `rows`. A dropped handle is
-    /// fine — the caller lost interest.
+    /// Resolves the paired [`Pending`] with `rows`, stamped now. A dropped
+    /// handle is fine — the caller lost interest.
     pub fn resolve(self, rows: Vec<f32>) {
-        let _ = self.tx.send(rows);
+        self.resolve_at(rows, Instant::now());
+    }
+
+    /// Resolves with an explicit resolution stamp, so a front door
+    /// resolving a whole coalesced batch reads the clock once per flush
+    /// instead of once per request.
+    pub fn resolve_at(self, rows: Vec<f32>, resolved_at: Instant) {
+        let _ = self.tx.send((rows, resolved_at));
     }
 }
 
@@ -360,14 +410,43 @@ impl Pending {
     /// [`Pending::wait`] report [`SubmitError::Closed`].
     pub fn channel() -> (PendingResolver, Pending) {
         let (tx, rx) = channel();
-        (PendingResolver { tx }, Pending { rx })
+        (
+            PendingResolver { tx },
+            Pending {
+                rx,
+                submitted_at: Instant::now(),
+            },
+        )
     }
 
     /// Blocks until the batch containing this request has run; returns the
     /// output rows (length `rows · N`). Errors only if the batcher died
     /// first.
     pub fn wait(self) -> Result<Vec<f32>, SubmitError> {
-        self.rx.recv().map_err(|_| SubmitError::Closed)
+        self.rx
+            .recv()
+            .map(|(rows, _)| rows)
+            .map_err(|_| SubmitError::Closed)
+    }
+
+    /// [`Pending::wait`] plus the request's [`ServeTiming`] — when it was
+    /// submitted and when its flush resolved it. The latency a waiter
+    /// would measure around `wait` includes its own scheduling delay
+    /// picking the result up; the timing here is the serving path's own.
+    pub fn wait_timed(self) -> Result<(Vec<f32>, ServeTiming), SubmitError> {
+        let submitted_at = self.submitted_at;
+        self.rx
+            .recv()
+            .map(|(rows, resolved_at)| {
+                (
+                    rows,
+                    ServeTiming {
+                        submitted_at,
+                        resolved_at,
+                    },
+                )
+            })
+            .map_err(|_| SubmitError::Closed)
     }
 
     /// Blocks until this request resolves, then moves the resolved block
@@ -387,7 +466,7 @@ impl Pending {
     /// reports instead of spinning forever.
     pub fn try_wait(&self) -> Result<Option<Vec<f32>>, SubmitError> {
         match self.rx.try_recv() {
-            Ok(row) => Ok(Some(row)),
+            Ok((row, _)) => Ok(Some(row)),
             Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
             Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(SubmitError::Closed),
         }
@@ -400,7 +479,7 @@ struct Request {
     /// Row count of this request (1 for `submit`, the block height for
     /// `submit_rows`).
     nrows: usize,
-    done: Sender<Vec<f32>>,
+    done: Sender<(Vec<f32>, Instant)>,
 }
 
 /// The collector's shared counter block (one allocation, shared between
@@ -410,6 +489,7 @@ struct Counters {
     rows: AtomicUsize,
     high_water: AtomicUsize,
     window: AtomicUsize,
+    service_nanos: AtomicU64,
 }
 
 impl Counters {
@@ -419,6 +499,7 @@ impl Counters {
             rows: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
             window: AtomicUsize::new(initial_window),
+            service_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -510,12 +591,13 @@ impl MicroBatcher {
 
     fn send(&self, rows: Vec<f32>, nrows: usize) -> Result<Pending, SubmitError> {
         let (done, rx) = channel();
+        let submitted_at = Instant::now();
         self.tx
             .as_ref()
             .expect("sender lives until drop")
             .send(Request { rows, nrows, done })
             .map_err(|_| SubmitError::Closed)?;
-        Ok(Pending { rx })
+        Ok(Pending { rx, submitted_at })
     }
 
     /// Engine input width `K`.
@@ -551,6 +633,7 @@ impl MicroBatcher {
             rows_served: self.rows_served(),
             queued_high_water: self.counters.high_water.load(Ordering::Acquire),
             current_window: self.current_window(),
+            service_nanos: self.counters.service_nanos.load(Ordering::Acquire),
         }
     }
 }
@@ -739,16 +822,26 @@ fn flush(engine: &SharedEngine, pending: Vec<Request>, k: usize, n: usize, count
         data.extend_from_slice(&req.rows);
     }
     let x = Tensor::from_vec(data, &[m, k]);
+    // Two clock reads per *batch* (not per request): the engine service
+    // time feeds `StageStats::service_nanos`, and the same end stamp
+    // resolves every handle's `ServeTiming`.
+    let service_start = Instant::now();
     let y = lock_engine(engine).run_batch(&x);
+    let resolved_at = Instant::now();
+    counters.service_nanos.fetch_add(
+        resolved_at.duration_since(service_start).as_nanos() as u64,
+        Ordering::Release,
+    );
     counters.batches.fetch_add(1, Ordering::Release);
     counters.rows.fetch_add(m, Ordering::Release);
     counters.high_water.fetch_max(m, Ordering::AcqRel);
     let mut row0 = 0;
     for req in pending {
         // A dropped Pending is fine — the caller lost interest.
-        let _ = req
-            .done
-            .send(y.data()[row0 * n..(row0 + req.nrows) * n].to_vec());
+        let _ = req.done.send((
+            y.data()[row0 * n..(row0 + req.nrows) * n].to_vec(),
+            resolved_at,
+        ));
         row0 += req.nrows;
     }
 }
@@ -1085,6 +1178,45 @@ mod tests {
                 got: 0
             }
         );
+    }
+
+    #[test]
+    fn wait_timed_reports_submit_to_resolve_latency() {
+        let (a, engine, reference) = setup(LutQuant::F32, FloatPrecision::Fp32, 67);
+        let k = a.dims()[1];
+        let n = reference.dims()[1];
+        let batcher = MicroBatcher::new(share(engine), BatchOptions::immediate(8));
+        let before = Instant::now();
+        let (out, timing) = batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait_timed()
+            .expect("batcher alive");
+        let after = Instant::now();
+        assert_eq!(out.as_slice(), &reference.data()[..n]);
+        // The stamps bracket the serving work and never run backwards.
+        assert!(timing.submitted_at >= before);
+        assert!(timing.resolved_at >= timing.submitted_at);
+        assert!(timing.resolved_at <= after);
+        assert!(timing.latency() <= after.duration_since(before));
+        // Measuring from an earlier arrival instant can only lengthen the
+        // observed latency (open-loop accounting), never shorten it.
+        assert!(timing.latency_since(before) >= timing.latency());
+        // The flush accounted its engine service time.
+        let stats = batcher.stats();
+        assert_eq!(stats.batches_run, 1);
+        assert!(stats.service_nanos > 0, "flush did not record service time");
+    }
+
+    #[test]
+    fn resolve_at_stamps_the_given_instant() {
+        let (resolver, pending) = Pending::channel();
+        let stamp = Instant::now();
+        resolver.resolve_at(vec![3.0], stamp);
+        let (rows, timing) = pending.wait_timed().expect("resolved");
+        assert_eq!(rows, vec![3.0]);
+        assert_eq!(timing.resolved_at, stamp);
+        assert!(timing.submitted_at <= stamp);
     }
 
     #[test]
