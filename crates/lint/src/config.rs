@@ -1,0 +1,189 @@
+//! `lint.toml`: per-rule allowlists with mandatory justifications.
+//!
+//! The format is a deliberately tiny TOML subset — one table per rule,
+//! each entry mapping a workspace-relative path *prefix* to a one-line
+//! justification string:
+//!
+//! ```toml
+//! [allow.spawn-discipline]
+//! "crates/vq/src/serve.rs" = "collector thread is the serving front door"
+//! ```
+//!
+//! Parsing is strict where it protects the gate: unknown rule ids,
+//! non-`allow` tables, and malformed entries are hard errors, so a typo in
+//! the config cannot silently disable a rule.
+
+use crate::rules;
+
+/// One allowlist entry: `(rule id, path prefix, justification)`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_prefix: String,
+    pub why: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// A config with no allowlist entries (every rule fully strict).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True if `path` (workspace-relative, `/`-separated) is allowlisted
+    /// for `rule`. Entries match whole path components, so
+    /// `crates/bench` covers `crates/bench/src/lib.rs` but not
+    /// `crates/bench-extra/src/lib.rs`.
+    pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
+        self.allow.iter().any(|e| {
+            e.rule == rule
+                && path
+                    .strip_prefix(e.path_prefix.as_str())
+                    .is_some_and(|rest| {
+                        rest.is_empty() || rest.starts_with('/') || e.path_prefix.ends_with('/')
+                    })
+        })
+    }
+
+    /// Parses the `lint.toml` subset. `source` is used in error messages.
+    pub fn parse(text: &str, source: &str) -> Result<Self, String> {
+        let mut allow = Vec::new();
+        let mut current_rule: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: String| format!("{source}:{}: {msg}", idx + 1);
+            if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let rule = inner.strip_prefix("allow.").ok_or_else(|| {
+                    at(format!(
+                        "unknown table [{inner}]: only [allow.<rule-id>] tables exist"
+                    ))
+                })?;
+                if !rules::is_rule_id(rule) {
+                    return Err(at(format!(
+                        "unknown rule id {rule:?}; known rules: {}",
+                        rules::rule_ids().join(", ")
+                    )));
+                }
+                current_rule = Some(rule.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(at(format!(
+                    "expected `\"path\" = \"justification\"`, got {line:?}"
+                )));
+            };
+            let rule = current_rule
+                .clone()
+                .ok_or_else(|| at("entry outside any [allow.<rule-id>] table".to_string()))?;
+            let path_prefix = unquote(key.trim())
+                .ok_or_else(|| at(format!("path must be a quoted string, got {}", key.trim())))?;
+            let why = unquote(value.trim()).ok_or_else(|| {
+                at(format!(
+                    "justification must be a quoted string, got {}",
+                    value.trim()
+                ))
+            })?;
+            if why.trim().is_empty() {
+                return Err(at(format!(
+                    "allowlist entry for {path_prefix:?} needs a non-empty justification"
+                )));
+            }
+            allow.push(AllowEntry {
+                rule,
+                path_prefix,
+                why,
+            });
+        }
+        Ok(Self { allow })
+    }
+}
+
+/// Drops a `#` comment that is outside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_entries() {
+        let cfg = Config::parse(
+            "# top comment\n[allow.spawn-discipline]\n\"crates/vq/src/serve.rs\" = \"collector\" # why\n\n[allow.clock-discipline]\n\"crates/lutboost\" = \"stamps\"\n",
+            "lint.toml",
+        )
+        .expect("valid config");
+        assert_eq!(cfg.allow.len(), 2);
+        assert!(cfg.is_allowed("spawn-discipline", "crates/vq/src/serve.rs"));
+        assert!(cfg.is_allowed("clock-discipline", "crates/lutboost/src/session.rs"));
+        assert!(!cfg.is_allowed("spawn-discipline", "crates/vq/src/pool.rs"));
+    }
+
+    #[test]
+    fn prefix_matching_respects_path_components() {
+        let cfg = Config::parse(
+            "[allow.clock-discipline]\n\"crates/bench\" = \"timing crate\"\n",
+            "t",
+        )
+        .expect("valid");
+        assert!(cfg.is_allowed("clock-discipline", "crates/bench/src/lib.rs"));
+        assert!(cfg.is_allowed("clock-discipline", "crates/bench"));
+        assert!(!cfg.is_allowed("clock-discipline", "crates/bench-extra/src/lib.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_id_is_an_error() {
+        let err = Config::parse("[allow.no-such-rule]\n", "lint.toml").unwrap_err();
+        assert!(err.contains("lint.toml:1"), "{err}");
+        assert!(err.contains("no-such-rule"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_and_missing_justification_are_errors() {
+        assert!(Config::parse("[rules]\n", "t").is_err());
+        let err = Config::parse("[allow.layering]\n\"a/b.rs\" = \"\"\n", "t").unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn entry_outside_table_is_an_error() {
+        let err = Config::parse("\"a.rs\" = \"why\"\n", "t").unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_quoted_value_is_not_a_comment() {
+        let cfg =
+            Config::parse("[allow.layering]\n\"a.rs\" = \"see issue #7\"\n", "t").expect("valid");
+        assert_eq!(cfg.allow[0].why, "see issue #7");
+    }
+}

@@ -1,0 +1,463 @@
+//! A small hand-rolled Rust lexer: enough of the token grammar to tell
+//! *code* apart from *comments* and *literal contents*, line by line.
+//!
+//! The rule engine ([`crate::rules`]) works on substring matches over
+//! source text, which is only sound if a `.unwrap()` inside a string
+//! literal or a `thread::spawn` inside a doc comment can never match. The
+//! lexer therefore produces, per source line:
+//!
+//! - `code`: the line's code with every string/char literal's *contents*
+//!   blanked out (delimiters kept, so brace counting and attribute shapes
+//!   survive) and every comment removed,
+//! - `comment`: the concatenated text of any comment overlapping the line
+//!   (line comments, doc comments, and each line's slice of a block
+//!   comment), used for `// SAFETY:` and justification detection,
+//! - `in_test`: whether the line sits inside a `#[cfg(test)]` item or a
+//!   `mod tests { .. }` region (tracked by brace depth over the blanked
+//!   code, so braces in literals cannot desync the regions).
+//!
+//! Handled literal forms: `"…"` with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any hash count), byte strings `b"…"` / `br#"…"#`, char and
+//! byte-char literals (`'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`) including the
+//! delimiter-bearing `'"'`, lifetimes (`'a`, `'static`) which must *not*
+//! open a char literal, raw identifiers (`r#match`), and nested block
+//! comments `/* /* */ */`.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct LineInfo {
+    /// Code with literal contents blanked and comments stripped.
+    pub code: String,
+    /// Comment text overlapping this line (without the `//`/`/*` markers).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` / `mod tests` region.
+    pub in_test: bool,
+}
+
+/// A lexed source file: per-line code/comment split plus test regions.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub lines: Vec<LineInfo>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment with its current depth.
+    BlockComment(usize),
+    /// Normal or byte string (escape-aware).
+    Str,
+    /// Raw (byte) string terminated by `"` followed by `hashes` `#`s.
+    RawStr {
+        hashes: usize,
+    },
+}
+
+/// Lexes `source` into per-line code/comment views and marks test regions.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<LineInfo> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    // Last code character emitted, for `r"…"`-vs-identifier disambiguation.
+    let mut prev_code: Option<char> = None;
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(LineInfo {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    prev_code = Some('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    i = lex_char_or_lifetime(&chars, i, &mut code, &mut prev_code);
+                } else if (c == 'r' || c == 'b') && !is_ident_char(prev_code) {
+                    match raw_or_byte_literal(&chars, i) {
+                        Some(Literal::Raw { skip, hashes }) => {
+                            // Emit the opening delimiters so columns of
+                            // `r#"`/`br##"` survive as code.
+                            for k in 0..skip {
+                                code.push(chars[i + k]);
+                            }
+                            prev_code = Some('"');
+                            state = State::RawStr { hashes };
+                            i += skip;
+                        }
+                        Some(Literal::ByteStr) => {
+                            code.push_str("b\"");
+                            prev_code = Some('"');
+                            state = State::Str;
+                            i += 2;
+                        }
+                        None => {
+                            code.push(c);
+                            prev_code = Some(c);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    code.push(c);
+                    prev_code = Some(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        comment.push_str("*/");
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Mask the escape pair; `\"` must not close the string.
+                    // A line-continuation `\` before the newline skips only
+                    // itself, so the newline still flushes the line.
+                    code.push(' ');
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final line without a trailing newline.
+    if !code.is_empty() || !comment.is_empty() || state != State::Code {
+        flush_line!();
+    }
+
+    let mut file = LexedFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+enum Literal {
+    /// Raw string opener (`r"`, `r#"`, `br##"`, …): total opener length
+    /// and the hash count its closer must match.
+    Raw { skip: usize, hashes: usize },
+    /// Byte-string opener `b"`.
+    ByteStr,
+}
+
+/// Decides whether position `i` (an `r` or `b` in code) opens a raw/byte
+/// string literal, or is just an identifier head (`r#match` raw idents,
+/// `b'x'` byte chars fall through to the char lexer).
+fn raw_or_byte_literal(chars: &[char], i: usize) -> Option<Literal> {
+    let mut j = i;
+    let mut byte = false;
+    if chars[j] == 'b' {
+        byte = true;
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return None; // b'x' — the char lexer handles the quote.
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        let mut hashes = 0;
+        while chars.get(j + hashes) == Some(&'#') {
+            hashes += 1;
+        }
+        if chars.get(j + hashes) == Some(&'"') {
+            return Some(Literal::Raw {
+                skip: j + hashes + 1 - i,
+                hashes,
+            });
+        }
+        return None; // r#ident / br not followed by a quote
+    }
+    if byte && chars.get(j) == Some(&'"') {
+        return Some(Literal::ByteStr);
+    }
+    None
+}
+
+/// Lexes a `'`: either a char literal (blanked to `' '`) or a lifetime
+/// (kept verbatim). Returns the next position.
+fn lex_char_or_lifetime(
+    chars: &[char],
+    i: usize,
+    code: &mut String,
+    prev_code: &mut Option<char>,
+) -> usize {
+    let next = chars.get(i + 1).copied();
+    if next == Some('\\') {
+        // Escaped char literal: skip to the closing quote, escape-aware
+        // (`'\''`, `'\\'`, `'\u{..}'`).
+        let mut j = i + 2;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        code.push_str("' '");
+        *prev_code = Some('\'');
+        return j;
+    }
+    if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+        // Plain one-char literal — including '"' and '{'.
+        code.push_str("' '");
+        *prev_code = Some('\'');
+        return i + 3;
+    }
+    // Lifetime or loop label: emit the quote, leave the rest to the loop.
+    code.push('\'');
+    *prev_code = Some('\'');
+    i + 1
+}
+
+fn is_ident_char(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphanumeric() || c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` items and `mod tests` blocks.
+///
+/// A trigger line arms a pending region; the next `{` at code level opens
+/// it (closed when brace depth returns), while a `;` first means the
+/// attribute covered a single braceless item (`#[cfg(test)] use …;`).
+fn mark_test_regions(file: &mut LexedFile) {
+    let mut depth = 0usize;
+    let mut region_starts: Vec<usize> = Vec::new();
+    let mut pending = false;
+    for line in &mut file.lines {
+        if line.code.contains("#[cfg(test)]") || is_mod_tests(&line.code) {
+            pending = true;
+        }
+        let mut in_test = pending || !region_starts.is_empty();
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        region_starts.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region_starts.last() == Some(&depth) {
+                        region_starts.pop();
+                        in_test = true; // the closing brace itself
+                    }
+                }
+                ';' if pending && region_starts.is_empty() => {
+                    pending = false; // single-item #[cfg(test)]
+                }
+                _ => {}
+            }
+            if !region_starts.is_empty() {
+                in_test = true;
+            }
+        }
+        line.in_test = in_test;
+    }
+}
+
+/// `mod tests` (optionally `pub`) at item position on this line.
+fn is_mod_tests(code: &str) -> bool {
+    let Some(pos) = code.find("mod tests") else {
+        return false;
+    };
+    let before_ok = code[..pos].trim().is_empty() || code[..pos].ends_with(' ');
+    let after = &code[pos + "mod tests".len()..];
+    let after_ok = after.is_empty() || after.starts_with([' ', '{', ';']);
+    before_ok && after_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_lines(src: &str) -> Vec<String> {
+        lex(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn raw_string_containing_line_comment_stays_code() {
+        let f = lex("let s = r\"no // comment\";\n");
+        assert!(f.lines[0].comment.is_empty(), "// inside r\"..\" is data");
+        assert!(f.lines[0].code.contains("let s = r\""));
+        assert!(!f.lines[0].code.contains("//"), "contents must be blanked");
+    }
+
+    #[test]
+    fn hashed_raw_string_with_embedded_quote() {
+        let f = lex("let s = r#\"a \" b // c\"#; // real\n");
+        assert_eq!(f.lines[0].comment.trim(), "real");
+        assert!(!f.lines[0].code.contains("// c"));
+        assert!(f.lines[0].code.trim_end().ends_with(';'));
+    }
+
+    #[test]
+    fn byte_strings_and_hashed_byte_strings() {
+        let f = lex("let a = b\"//\"; let b = br##\"'x' //\"##;\n");
+        assert!(f.lines[0].comment.is_empty());
+        assert!(!f.lines[0].code.contains("//"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_outer_depth() {
+        let f = lex("/* a /* b */ still comment */ let x = 1; /* c */\n");
+        assert!(f.lines[0].comment.contains("still comment"));
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+    }
+
+    #[test]
+    fn multi_line_block_comment_splits_per_line() {
+        let f = lex("let a = 1; /* first\nsecond SAFETY: here\n*/ let b = 2;\n");
+        assert_eq!(f.lines[0].code.trim(), "let a = 1;");
+        assert!(f.lines[1].comment.contains("SAFETY: here"));
+        assert!(f.lines[1].code.is_empty());
+        assert_eq!(f.lines[2].code.trim(), "let b = 2;");
+    }
+
+    #[test]
+    fn double_quote_char_literal_does_not_open_a_string() {
+        let f = lex("let q = '\"'; let x = 1; // tail\n");
+        assert_eq!(f.lines[0].comment.trim(), "tail");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn escaped_char_literals_and_lifetimes() {
+        let lines =
+            code_lines("let a: &'static str = \"s\"; let q = '\\''; let u = '\\u{1F600}';\n");
+        assert!(
+            lines[0].contains("&'static str"),
+            "lifetime kept: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("let u = ' ';"), "unicode escape blanked");
+    }
+
+    #[test]
+    fn brace_char_literal_does_not_skew_depth() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let c = '}'; }\n    fn g() {}\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(f.lines[3].in_test, "line after '}}' literal still in tests");
+        assert!(f.lines[4].in_test, "closing brace in tests");
+        assert!(!f.lines[5].in_test, "fn after() is back outside");
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let f = lex("let r#match = 1; // ok\n");
+        assert_eq!(f.lines[0].comment.trim(), "ok");
+        assert!(f.lines[0].code.contains("r#match"));
+    }
+
+    #[test]
+    fn cfg_test_region_boundaries() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\nfn also_live() {}\n";
+        let flags: Vec<bool> = lex(src).lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, [false, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_single_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::thread;\nfn live() {}\n";
+        let flags: Vec<bool> = lex(src).lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, [true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { work(); }\n";
+        let flags: Vec<bool> = lex(src).lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, [false, false]);
+    }
+
+    #[test]
+    fn cfg_test_in_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn live() {}\n";
+        let flags: Vec<bool> = lex(src).lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, [false, false]);
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_is_a_region() {
+        let src = "mod tests {\n    fn helper() {}\n}\n";
+        let flags: Vec<bool> = lex(src).lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, [true, true, true]);
+    }
+
+    #[test]
+    fn last_line_without_newline_is_kept() {
+        let f = lex("fn a() {} // trailing");
+        assert_eq!(f.lines.len(), 1);
+        assert_eq!(f.lines[0].comment.trim(), "trailing");
+    }
+}

@@ -1,0 +1,96 @@
+//! `lutdla-lint`: the workspace invariant checker.
+//!
+//! The repo's core claim — a software LUT engine bit-identical to the
+//! LUT-DLA accelerator datapath — rests on disciplines no compiler
+//! enforces: one `unsafe` surface (the AVX2 kernels), one thread-spawn
+//! site (`vq::pool`), clock reads confined to the PR 6 stamp sites, and a
+//! panic-free serving hot path. This crate is a dependency-free static
+//! analysis pass that checks them on every PR: a hand-rolled lexer
+//! ([`lexer`]) feeds a rule engine ([`rules`]) with per-rule allowlists
+//! from a checked-in `lint.toml` ([`config`]).
+//!
+//! Run it with `cargo run -p lutdla-lint`; violations print as
+//! `file:line: rule-id: message` and exit nonzero. The README's "Static
+//! analysis" section carries the rule catalog.
+
+pub mod config;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use rules::{FileCtx, Violation, RULE_CATALOG};
+
+use std::path::Path;
+
+/// Lints one source string as `rel_path` belonging to `krate` — the
+/// entry point the fixture tests drive directly.
+pub fn check_source(rel_path: &str, krate: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let test_like = rel_path
+        .split('/')
+        .any(|part| matches!(part, "tests" | "examples" | "benches"));
+    let ctx = FileCtx {
+        path: rel_path,
+        krate,
+        test_like,
+    };
+    rules::check_file(&ctx, &lexer::lex(source), cfg)
+}
+
+/// Lints the whole workspace at `root`: every member manifest against the
+/// sanctioned DAG, then every source file against the source-side rules.
+/// Returns violations sorted by file and line; empty means clean.
+pub fn run(root: &Path, cfg: &Config) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+
+    // Manifest side of `layering`, and the crate-name map for source files.
+    let mut crate_of_dir: Vec<(String, String)> = Vec::new();
+    for (rel, abs) in walk::manifests(root)? {
+        let text =
+            std::fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        let m = manifest::parse_manifest(&text);
+        violations.extend(manifest::check_manifest(&rel, &m));
+        let dir = rel.trim_end_matches("Cargo.toml").trim_end_matches('/');
+        crate_of_dir.push((dir.to_string(), m.package));
+    }
+    // Longest prefix first, so `crates/vq` wins over the workspace root.
+    crate_of_dir.sort_by_key(|(dir, _)| std::cmp::Reverse(dir.len()));
+
+    for file in walk::rust_sources(root)? {
+        let krate = crate_of_dir
+            .iter()
+            .find(|(dir, _)| {
+                dir.is_empty()
+                    || file
+                        .rel_path
+                        .strip_prefix(dir.as_str())
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+            .map(|(_, name)| name.as_str())
+            .unwrap_or("lutdla");
+        let source = std::fs::read_to_string(&file.abs_path)
+            .map_err(|e| format!("read {}: {e}", file.abs_path.display()))?;
+        let ctx = FileCtx {
+            path: &file.rel_path,
+            krate,
+            test_like: file.test_like,
+        };
+        violations.extend(rules::check_file(&ctx, &lexer::lex(&source), cfg));
+    }
+
+    violations.sort();
+    Ok(violations)
+}
+
+/// Loads `lint.toml` from the workspace root; a missing file means an
+/// empty allowlist (fully strict), a malformed one is an error.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    if !path.is_file() {
+        return Ok(Config::empty());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Config::parse(&text, &walk::relative(root, &path))
+}

@@ -1,0 +1,102 @@
+//! CLI: `lutdla-lint [ROOT] [--config PATH] [--list-rules]`.
+//!
+//! Exit status 0 when the workspace is clean, 1 on violations or usage
+//! errors — the CI `lint` job runs this binary over the checked-out tree.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for (id, desc) in lutdla_lint::RULE_CATALOG {
+                    println!("{id:20} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: lutdla-lint [ROOT] [--config PATH] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            extra => return usage(&format!("unexpected argument {extra}")),
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let cfg = match config_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(text) => match lutdla_lint::Config::parse(&text, &p.display().to_string()) {
+                Ok(cfg) => cfg,
+                Err(e) => return fail(&e),
+            },
+            Err(e) => return fail(&format!("read {}: {e}", p.display())),
+        },
+        None => match lutdla_lint::load_config(&root) {
+            Ok(cfg) => cfg,
+            Err(e) => return fail(&e),
+        },
+    };
+
+    match lutdla_lint::run(&root, &cfg) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "lutdla-lint: workspace clean ({} rules over {})",
+                lutdla_lint::RULE_CATALOG.len(),
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("lutdla-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// Nearest ancestor of the current directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    for dir in cwd.ancestors() {
+        if is_workspace_root(dir) {
+            return Ok(dir.to_path_buf());
+        }
+    }
+    Err(format!(
+        "no workspace Cargo.toml above {}; pass the root explicitly",
+        cwd.display()
+    ))
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|text| text.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lutdla-lint: {msg}\nusage: lutdla-lint [ROOT] [--config PATH] [--list-rules]");
+    ExitCode::FAILURE
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("lutdla-lint: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,202 @@
+//! Cargo manifest parsing (tiny TOML subset) and the sanctioned layering
+//! DAG for the `layering` rule.
+//!
+//! The DAG mirrors the comment in the workspace `Cargo.toml`:
+//! tensor → {vq, nn} → {hwmodel, sim} → {lutboost, models, dse} →
+//! baselines → core → bench, with `sim`/`dse`/`hwmodel` as modelling
+//! leaves that must never reach back into the serving stack. Only
+//! `[dependencies]` edges are checked: `[dev-dependencies]` may reach any
+//! workspace crate (tests routinely drive higher layers, and cargo itself
+//! rejects dev-cycles), which is also why `use lutdla_*` inside
+//! `#[cfg(test)]` regions is exempt in the source-side check.
+
+use crate::rules::{violation, Violation, LAYERING};
+
+/// `crate name → lutdla crates its [dependencies] may name`.
+///
+/// This table IS the sanctioned DAG; adding an edge is a reviewed change
+/// to the linter, not a config tweak — that is deliberate.
+pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
+    ("lutdla-tensor", &[]),
+    ("lutdla-vq", &["lutdla-tensor"]),
+    ("lutdla-nn", &["lutdla-tensor"]),
+    ("lutdla-hwmodel", &[]),
+    ("lutdla-sim", &["lutdla-hwmodel"]),
+    ("lutdla-models", &["lutdla-nn", "lutdla-tensor"]),
+    ("lutdla-dse", &["lutdla-hwmodel", "lutdla-sim"]),
+    ("lutdla-baselines", &["lutdla-hwmodel", "lutdla-sim"]),
+    (
+        "lutdla-lutboost",
+        &["lutdla-vq", "lutdla-models", "lutdla-nn", "lutdla-tensor"],
+    ),
+    (
+        "lutdla-core",
+        &[
+            "lutdla-baselines",
+            "lutdla-dse",
+            "lutdla-hwmodel",
+            "lutdla-lutboost",
+            "lutdla-models",
+            "lutdla-nn",
+            "lutdla-sim",
+            "lutdla-tensor",
+            "lutdla-vq",
+        ],
+    ),
+    (
+        "lutdla-bench",
+        &[
+            "lutdla-baselines",
+            "lutdla-core",
+            "lutdla-dse",
+            "lutdla-hwmodel",
+            "lutdla-lutboost",
+            "lutdla-models",
+            "lutdla-nn",
+            "lutdla-sim",
+            "lutdla-tensor",
+            "lutdla-vq",
+        ],
+    ),
+    // The umbrella crate re-exports the single-import surface and nothing
+    // else; everything it needs arrives through core.
+    ("lutdla", &["lutdla-core"]),
+    // The linter polices the workspace, so it must depend on none of it.
+    ("lutdla-lint", &[]),
+];
+
+/// Deps a crate's `[dependencies]` may name, or `None` for a crate the
+/// DAG does not know (itself a violation).
+pub fn allowed_deps(krate: &str) -> Option<&'static [&'static str]> {
+    ALLOWED_DEPS
+        .iter()
+        .find(|(name, _)| *name == krate)
+        .map(|(_, deps)| *deps)
+}
+
+/// A parsed (enough) `Cargo.toml`: package name plus its `lutdla-*` deps
+/// with the line each was declared on.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    pub package: String,
+    /// `(dep name, 1-based line)` from `[dependencies]` only.
+    pub deps: Vec<(String, usize)>,
+}
+
+/// Extracts the package name and `lutdla-*` `[dependencies]` entries.
+/// Section tracking is exact, so `[workspace.dependencies]` and
+/// `[dev-dependencies]` never leak into the checked set.
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut section = String::new();
+    let mut m = Manifest::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = inner.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.package = value.trim().trim_matches('"').to_string();
+            }
+            "dependencies" if key.starts_with("lutdla-") => {
+                m.deps.push((key.to_string(), idx + 1));
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// The `layering` rule, manifest side: every `[dependencies]` edge must be
+/// in the sanctioned DAG.
+pub fn check_manifest(path: &str, m: &Manifest) -> Vec<Violation> {
+    let Some(allowed) = allowed_deps(&m.package) else {
+        return vec![violation(
+            path,
+            1,
+            LAYERING,
+            format!(
+                "crate `{}` is not in the sanctioned layering DAG; add it to lutdla-lint's ALLOWED_DEPS deliberately",
+                m.package
+            ),
+        )];
+    };
+    m.deps
+        .iter()
+        .filter(|(dep, _)| !allowed.contains(&dep.as_str()))
+        .map(|(dep, line)| {
+            violation(
+                path,
+                *line,
+                LAYERING,
+                format!(
+                    "`{}` must not depend on `{dep}`: the sanctioned DAG allows only [{}]",
+                    m.package,
+                    allowed.join(", ")
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_package_and_normal_deps_only() {
+        let m = parse_manifest(
+            "[package]\nname = \"lutdla-sim\"\n\n[dependencies]\nlutdla-hwmodel = { workspace = true }\nserde = { workspace = true }\n\n[dev-dependencies]\nlutdla-vq = { workspace = true }\n",
+        );
+        assert_eq!(m.package, "lutdla-sim");
+        assert_eq!(m.deps.len(), 1, "dev-deps and non-lutdla deps excluded");
+        assert_eq!(m.deps[0].0, "lutdla-hwmodel");
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_ignored() {
+        let m = parse_manifest(
+            "[workspace.dependencies]\nlutdla-bench = { path = \"x\" }\n\n[package]\nname = \"lutdla\"\n\n[dependencies]\nlutdla-core = { workspace = true }\n",
+        );
+        assert_eq!(m.package, "lutdla");
+        assert_eq!(m.deps, vec![("lutdla-core".to_string(), 8)]);
+    }
+
+    #[test]
+    fn sanctioned_edge_passes_unsanctioned_fails() {
+        let ok = Manifest {
+            package: "lutdla-vq".into(),
+            deps: vec![("lutdla-tensor".into(), 5)],
+        };
+        assert!(check_manifest("crates/vq/Cargo.toml", &ok).is_empty());
+
+        let bad = Manifest {
+            package: "lutdla-tensor".into(),
+            deps: vec![("lutdla-vq".into(), 5)],
+        };
+        let v = check_manifest("crates/tensor/Cargo.toml", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("lutdla-vq"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unknown_crate_is_flagged() {
+        let m = Manifest {
+            package: "lutdla-rogue".into(),
+            deps: vec![],
+        };
+        let v = check_manifest("crates/rogue/Cargo.toml", &m);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].message.contains("not in the sanctioned"),
+            "{}",
+            v[0].message
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Workspace file discovery for the self-run: every member crate's
+//! sources and manifest, with the vendored shims and build outputs
+//! excluded.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned. `vendor/` holds API stand-ins for external
+/// crates (not our code); the seeded-violation fixtures are excluded in
+/// [`walk`] because they must keep tripping the rules in unit tests.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// A discovered source file with its workspace-relative path.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated.
+    pub rel_path: String,
+    pub abs_path: PathBuf,
+    /// Under a `tests/`, `examples/`, or `benches/` directory.
+    pub test_like: bool,
+}
+
+/// Collects all `.rs` files under `root`, skipping `SKIP_DIRS` and the
+/// linter's own seeded-violation fixtures.
+pub fn rust_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        let rel = relative(root, &path);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            if rel == "crates/lint/tests/fixtures" {
+                continue; // seeded violations, checked by unit tests instead
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let test_like = rel
+                .split('/')
+                .any(|part| matches!(part, "tests" | "examples" | "benches"));
+            out.push(SourceFile {
+                rel_path: rel,
+                abs_path: path,
+                test_like,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// All member manifests: the workspace root `Cargo.toml` plus each
+/// `crates/*/Cargo.toml`.
+pub fn manifests(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = vec![("Cargo.toml".to_string(), root.join("Cargo.toml"))];
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("read_dir {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", crates.display()))?;
+        let manifest = entry.path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push((relative(root, &manifest), manifest));
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: a bare `#[allow(...)]` with no justification
+//! comment. Exactly one violation: the annotated forms below comply.
+
+#[allow(dead_code)]
+pub fn bare_allow() {} // the attribute two lines up is the VIOLATION
+
+// The serialized form keeps this field even though nothing reads it yet.
+#[allow(dead_code)]
+struct Justified {
+    kept: u32,
+}
+
+#[allow(dead_code)] // trailing justification also counts
+pub fn trailing() {}

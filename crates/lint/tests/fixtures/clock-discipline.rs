@@ -1,0 +1,17 @@
+//! Seeded violation: an ad-hoc `Instant::now()` outside the sanctioned
+//! timing modules (vq/serve.rs stamp sites, the bench crate). Exactly one
+//! violation: the test-module read and the doc mention are exempt.
+
+pub fn rogue_latency_probe() -> std::time::Duration {
+    let t0 = std::time::Instant::now(); // VIOLATION: not a stamp site
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded violation: checked as a `lutdla-tensor` source file, so the
+//! non-test `lutdla_vq` import below breaks the sanctioned DAG (tensor is
+//! the bottom layer and may import no lutdla crate). Exactly one
+//! violation: the test-region import of the same crate is exempt.
+
+use lutdla_vq::LutEngine; // VIOLATION: tensor must not reach up into vq
+
+pub fn touch(engine: &LutEngine) -> usize {
+    engine.input_dim()
+}
+
+#[cfg(test)]
+mod tests {
+    use lutdla_vq::LutEngine; // dev-dep context: exempt
+
+    #[test]
+    fn compiles() {
+        let _ = std::mem::size_of::<LutEngine>();
+    }
+}

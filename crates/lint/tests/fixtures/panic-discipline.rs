@@ -1,0 +1,22 @@
+//! Seeded violation: checked under the hot-path name
+//! `crates/vq/src/serve.rs`, where `.unwrap()` is banned. Exactly one
+//! violation: the poison-recovery form and the test-module unwrap comply.
+
+use std::sync::Mutex;
+
+pub fn rogue_unwrap(slot: &Mutex<u64>) -> u64 {
+    *slot.lock().unwrap() // VIOLATION: poisoning unwinds the collector
+}
+
+pub fn poison_recovering(slot: &Mutex<u64>) -> u64 {
+    *slot.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_assert_freely() {
+        let v: Option<u64> = Some(7);
+        assert_eq!(v.unwrap(), 7);
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded violation: a raw `std::thread::spawn` outside
+//! `crates/vq/src/pool.rs`. Exactly one violation: the spawn inside the
+//! test module and the one named in a string are both exempt.
+
+pub fn rogue_background_work() {
+    let handle = std::thread::spawn(|| 1 + 1); // VIOLATION: not the pool
+    let _ = handle.join();
+    let _doc = "std::thread::spawn in a string is data, not a spawn";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_rigs_may_spawn() {
+        std::thread::scope(|s| {
+            s.spawn(|| ());
+        });
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded violation: an `unsafe` block with no adjacent `// SAFETY:`
+//! comment. Exactly one violation: the commented block below it complies,
+//! and `unsafe` inside a string is data.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    let p = bytes.as_ptr();
+    unsafe { *p } // VIOLATION: no SAFETY comment anywhere adjacent
+}
+
+pub fn read_first_documented(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    let p = bytes.as_ptr();
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer is valid for a one-byte read.
+    unsafe { *p }
+}
+
+pub fn not_code() -> &'static str {
+    "unsafe { spooky } is just a string here"
+}

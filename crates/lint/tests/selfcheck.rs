@@ -1,0 +1,50 @@
+//! The linter's own acceptance gate, embedded in `cargo test`: running
+//! the full workspace check from inside the repo must come back clean.
+//! CI additionally runs the binary (`cargo run -p lutdla-lint`), but this
+//! test makes `cargo test -q` alone catch a violation introduced by any
+//! PR — including one that edits the linter itself.
+
+use std::path::Path;
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("lint.toml").is_file(),
+        "workspace root not where expected: {}",
+        root.display()
+    );
+    let cfg = lutdla_lint::load_config(root).expect("lint.toml parses");
+    let violations = lutdla_lint::run(root, &cfg).expect("workspace walk succeeds");
+    assert!(
+        violations.is_empty(),
+        "lutdla-lint self-check failed:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn config_allowlist_entries_all_still_match_real_files() {
+    // An allowlist entry whose path no longer exists is a stale exemption
+    // waiting to hide a future violation — fail loudly instead.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let cfg = lutdla_lint::load_config(root).expect("lint.toml parses");
+    for entry in &cfg.allow {
+        assert!(
+            root.join(&entry.path_prefix).exists(),
+            "lint.toml allowlists missing path {:?} for rule {} — remove the stale entry",
+            entry.path_prefix,
+            entry.rule
+        );
+    }
+}

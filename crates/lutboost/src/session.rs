@@ -55,6 +55,10 @@ pub enum SessionError {
     /// reject zero-sized dimensions, so there is no empty logits value to
     /// return).
     EmptyRun,
+    /// A handle's resolver was dropped before resolving it. The session
+    /// resolves every queued handle during `flush`, so this only surfaces
+    /// if a model forward panicked mid-flush and unwound past the queue.
+    Lost,
 }
 
 impl std::fmt::Display for SessionError {
@@ -62,6 +66,7 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SessionError::EmptyRun => write!(f, "run() needs at least one input"),
+            SessionError::Lost => write!(f, "request handle dropped unresolved"),
         }
     }
 }
@@ -177,7 +182,10 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
         let mut data = Vec::with_capacity(handles.len() * self.classes);
         let m = handles.len();
         for h in handles {
-            data.extend(wait_resolved(h));
+            // `flush` resolves every queued handle, so a lost one means a
+            // forward unwound mid-flush: propagate instead of panicking on
+            // the serving path.
+            data.extend(h.wait().map_err(|_| SessionError::Lost)?);
         }
         Ok(Tensor::from_vec(data, &[m, self.classes]))
     }
@@ -222,14 +230,6 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
     pub fn rows_served(&self) -> usize {
         self.rows.get()
     }
-}
-
-/// Waits on a handle the session itself resolves during `flush` — the
-/// resolver cannot have been dropped unresolved.
-fn wait_resolved(handle: Pending) -> Vec<f32> {
-    handle
-        .wait()
-        .expect("session flush resolves every queued handle")
 }
 
 impl<M: ServableModel> Drop for ModelSession<'_, M> {

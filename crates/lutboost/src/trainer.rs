@@ -86,6 +86,8 @@ fn freeze_all_but_centroids(ps: &mut ParamSet, handles: &LutHandles) {
 ///
 /// `net` must already be trained (except for [`Strategy::FromScratch`],
 /// where its weights are reinitialised via fresh random values).
+// The public LUTBoost recipe knobs are deliberately positional, mirroring
+// the paper's training recipe and the seq twin below.
 #[allow(clippy::too_many_arguments)]
 pub fn convert_and_train_images(
     net: &mut ConvNet,
@@ -147,6 +149,7 @@ pub fn convert_and_train_images(
 }
 
 /// Converts and trains a transformer classifier according to `strategy`.
+// Positional for symmetry with convert_and_train_images above.
 #[allow(clippy::too_many_arguments)]
 pub fn convert_and_train_seq(
     net: &mut TransformerClassifier,

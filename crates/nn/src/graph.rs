@@ -54,6 +54,8 @@ enum Op {
     Div(NodeId, NodeId),
     Neg(NodeId),
     Scale(NodeId, f32),
+    // The scalar is carried for graph dumps/debug even though backward
+    // never reads it (d(x+c)/dx = 1).
     AddScalar(NodeId, #[allow(dead_code)] f32),
     Matmul(NodeId, NodeId),
     Bmm(NodeId, NodeId),
@@ -120,6 +122,8 @@ enum Op {
         x: NodeId,
         mask: Vec<f32>,
     },
+    // The parent id is carried for graph dumps/debug; backward stops here
+    // by construction, so nothing reads it.
     StopGradient(#[allow(dead_code)] NodeId),
     Custom {
         parents: Vec<NodeId>,

@@ -89,6 +89,8 @@ pub struct SimReport {
 
 impl SimReport {
     /// Builds a report from raw simulation outputs (crate-internal).
+    // One positional slot per simulator output stream; bundling them into
+    // a struct would just move the same list one call up.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         cfg: &SimConfig,

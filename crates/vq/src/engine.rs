@@ -606,6 +606,9 @@ impl EngineCore {
     /// Caller must ensure the CPU supports AVX2.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: unsafe-to-call purely because of `target_feature`; the body
+    // is safe code. The only call site is gated on `use_avx2`, set from
+    // `is_x86_feature_detected!("avx2")`.
     unsafe fn encode_chunk_avx2(&self, rows: &[f32], scratch: &mut Scratch) {
         self.encode_chunk(rows, scratch);
     }
@@ -709,7 +712,7 @@ const FAST_TILE: usize = DEFAULT_TILE_N;
 /// the L2 latency of the 4-cache-line row the adds are about to consume.
 const PREFETCH_AHEAD: usize = 4;
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[inline(always)]
 fn prefetch_row(block: &[f32], off: usize) {
     use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
@@ -724,13 +727,16 @@ fn prefetch_row(block: &[f32], off: usize) {
     }
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+// Miri interprets rather than executes vendor intrinsics, so the CI Miri
+// job (engine unsafe-adjacent tests) takes the no-op: the prefetch is
+// semantically invisible, results are identical.
+#[cfg(any(not(target_arch = "x86_64"), miri))]
 #[inline(always)]
 fn prefetch_row(_block: &[f32], _off: usize) {}
 
 /// One full-width output tile for a chunk of rows: fixed-size accumulator,
 /// prefetched table rows. `out` rows must arrive zeroed for this tile.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // mirrors the flat dPE tile-walk signature shared with the generic path
 #[inline(always)]
 fn accumulate_tile_fast(
     block: &[f32],
@@ -742,6 +748,10 @@ fn accumulate_tile_fast(
     n_sub: usize,
     c: usize,
 ) {
+    // The tile block is exactly n_sub·c rows of FAST_TILE floats, so the
+    // as_chunks remainder is empty and `table[s*c + code]` is the row —
+    // fixed-width arrays without a fallible try_into on the hot path.
+    let (table, _) = block.as_chunks::<FAST_TILE>();
     for r in 0..m {
         let row_codes = &codes[r * n_sub..(r + 1) * n_sub];
         let mut acc = [0.0f32; FAST_TILE];
@@ -750,9 +760,7 @@ fn accumulate_tile_fast(
                 let ahead = s + PREFETCH_AHEAD;
                 prefetch_row(block, (ahead * c + row_codes[ahead] as usize) * FAST_TILE);
             }
-            let src: &[f32; FAST_TILE] = block[(s * c + code as usize) * FAST_TILE..][..FAST_TILE]
-                .try_into()
-                .expect("fast-path row width");
+            let src = &table[s * c + code as usize];
             for (a, &p) in acc.iter_mut().zip(src) {
                 *a += p;
             }
@@ -770,7 +778,10 @@ fn accumulate_tile_fast(
 /// Caller must ensure the CPU supports AVX2.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // same flat dPE tile-walk signature as the portable clone
+                                     // SAFETY: unsafe-to-call purely because of `target_feature`; the body is
+                                     // safe code. The only call site is gated on `use_avx2`, set from
+                                     // `is_x86_feature_detected!("avx2")`.
 unsafe fn accumulate_tile_fast_avx2(
     block: &[f32],
     codes: &[u16],
@@ -785,7 +796,7 @@ unsafe fn accumulate_tile_fast_avx2(
 }
 
 /// Any-width tile accumulation (custom `tile_n`, ragged final tile).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // same flat dPE tile-walk signature, plus the ragged len/tile_n pair
 #[inline(always)]
 fn accumulate_tile_generic(
     block: &[f32],

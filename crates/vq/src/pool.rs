@@ -53,8 +53,15 @@ struct ScopeState {
 }
 
 impl ScopeState {
+    // Every `pending` lock below recovers from poisoning instead of
+    // unwrapping: the counter mutation is a bare usize add/sub that cannot
+    // be left half-done, so the value is consistent even if some holder
+    // panicked, and the serving path must not cascade that panic.
     fn task_started(&self) {
-        *self.pending.lock().expect("scope counter") += 1;
+        *self
+            .pending
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner()) += 1;
     }
 
     fn task_finished(&self) {
@@ -69,9 +76,15 @@ impl ScopeState {
     }
 
     fn wait_all(&self) {
-        let mut pending = self.pending.lock().expect("scope counter");
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         while *pending > 0 {
-            pending = self.done.wait(pending).expect("scope counter");
+            pending = self
+                .done
+                .wait(pending)
+                .unwrap_or_else(|poison| poison.into_inner());
         }
     }
 }
@@ -125,12 +138,24 @@ impl<'env> PoolScope<'_, 'env> {
             }
             state.task_finished();
         });
-        self.pool
-            .tx
-            .as_ref()
-            .expect("pool sender lives until drop")
-            .send(job)
-            .expect("pool workers live until drop");
+        // The sender lives until the pool drops and the workers outlive
+        // every scope, so the send normally succeeds. If the pool is
+        // degraded — zero workers spawned, or the channel somehow closed —
+        // run the job inline on the caller instead of panicking: the scope
+        // still completes every task, just without parallelism.
+        let rejected = if self.pool.threads.is_empty() {
+            Some(job)
+        } else {
+            match self.pool.tx.as_ref() {
+                Some(tx) => tx.send(job).err().map(|e| e.0),
+                // tx is only None during drop, which cannot overlap a live
+                // scope — but losing a job would hang wait_all, so inline.
+                None => Some(job),
+            }
+        };
+        if let Some(job) = rejected {
+            job();
+        }
     }
 }
 
@@ -141,21 +166,30 @@ impl WorkerPool {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let threads = (0..threads)
-            .map(|i| {
+            .filter_map(|i| {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("lutdla-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only for the blocking recv;
                         // release before running the job so siblings can
-                        // pick up the next one.
-                        let job = { rx.lock().expect("pool queue").recv() };
+                        // pick up the next one. A poisoned queue lock is
+                        // recovered: the receiver itself is still intact.
+                        let job = {
+                            rx.lock()
+                                .unwrap_or_else(|poison| poison.into_inner())
+                                .recv()
+                        };
                         match job {
                             Ok(job) => job(),
                             Err(_) => break, // all senders dropped: shutdown
                         }
                     })
-                    .expect("spawn pool worker")
+                    // An OS that refuses a thread leaves the pool with
+                    // fewer workers; if none spawn at all, `scope` runs
+                    // every job inline on the caller (see `PoolScope::
+                    // spawn`) instead of panicking the serving path.
+                    .ok()
             })
             .collect();
         Self {
@@ -289,6 +323,28 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn degraded_zero_worker_pool_runs_jobs_inline() {
+        // As if every OS spawn failed in `new`: scopes must still complete
+        // every task (inline on the caller) instead of hanging or panicking.
+        let (tx, _rx) = channel::<Job>();
+        let pool = WorkerPool {
+            tx: Some(tx),
+            threads: Vec::new(),
+        };
+        let hits = AtomicUsize::new(0);
+        let got = pool.scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            7
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert_eq!(got, 7);
     }
 
     #[test]

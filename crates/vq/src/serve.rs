@@ -542,10 +542,13 @@ impl MicroBatcher {
         let collector = std::thread::Builder::new()
             .name("lutdla-microbatch".to_string())
             .spawn(move || collect_loop(engine, rx, policy, k, n, &shared))
-            .expect("spawn micro-batch collector");
+            // If the OS refuses the collector thread the batcher is born
+            // closed: `tx` is dropped, so every submit reports
+            // `SubmitError::Closed` instead of panicking the caller.
+            .ok();
         Self {
-            tx: Some(tx),
-            collector: Some(collector),
+            tx: collector.is_some().then_some(tx),
+            collector,
             k,
             n,
             counters,
@@ -592,10 +595,11 @@ impl MicroBatcher {
     fn send(&self, rows: Vec<f32>, nrows: usize) -> Result<Pending, SubmitError> {
         let (done, rx) = channel();
         let submitted_at = Instant::now();
-        self.tx
-            .as_ref()
-            .expect("sender lives until drop")
-            .send(Request { rows, nrows, done })
+        // `tx` is None only after drop took it or when the collector never
+        // spawned — both are "this batcher no longer serves", not a bug in
+        // the caller, so they surface as `Closed` rather than a panic.
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        tx.send(Request { rows, nrows, done })
             .map_err(|_| SubmitError::Closed)?;
         Ok(Pending { rx, submitted_at })
     }
