@@ -125,6 +125,7 @@ const SERVE_TOP_FIELDS: &[&str] = &[
     "requests_per_scenario",
     "host_cpus",
     "scenarios",
+    "gateway_scenarios",
 ];
 
 /// Fields every entry of `"scenarios"` must carry.
@@ -156,6 +157,28 @@ const STAGE_FIELDS: &[&str] = &[
     "final_window",
     "mean_service_us",
 ];
+
+/// Fields every entry of `"gateway_scenarios"` must carry.
+const GATEWAY_SCENARIO_FIELDS: &[&str] = &[
+    "name",
+    "load",
+    "arrival",
+    "models",
+    "tenants",
+    "requests",
+    "admitted",
+    "shed",
+    "shed_ratio",
+    "batches_run",
+    "rows_served",
+    "slo_ms",
+    "classes",
+    "stages",
+];
+
+/// Fields every entry of a gateway scenario's `"classes"` must carry.
+const GATEWAY_CLASS_FIELDS: &[&str] =
+    &["class", "requests", "admitted", "shed", "p50_ms", "p99_ms"];
 
 /// Scenario fields that must be finite and strictly positive.
 const SCENARIO_POSITIVE_FIELDS: &[&str] = &[
@@ -202,6 +225,19 @@ pub fn check_serve_artifact_text(text: &str) -> Result<(), String> {
         None => {
             if doc.get("scenarios").is_some() {
                 problems.push("\"scenarios\" is not an array".to_string());
+            }
+        }
+    }
+    match doc.get("gateway_scenarios").and_then(Json::as_arr) {
+        Some([]) => problems.push("\"gateway_scenarios\" is empty".to_string()),
+        Some(scenarios) => {
+            for (i, sc) in scenarios.iter().enumerate() {
+                check_gateway_scenario(sc, &format!("gateway_scenarios[{i}]"), &mut problems);
+            }
+        }
+        None => {
+            if doc.get("gateway_scenarios").is_some() {
+                problems.push("\"gateway_scenarios\" is not an array".to_string());
             }
         }
     }
@@ -267,6 +303,144 @@ fn check_scenario(sc: &Json, at: &str, problems: &mut Vec<String>) {
             problems.push(format!(
                 "{at}.slo_conformance = {x} (adaptive low-load must be >= 0.5)"
             ));
+        }
+    }
+    match sc.get("stages").and_then(Json::as_arr) {
+        Some([]) => problems.push(format!("{at}.stages is empty")),
+        Some(stages) => {
+            for (j, st) in stages.iter().enumerate() {
+                let here = format!("{at}.stages[{j}]");
+                require_fields(st, STAGE_FIELDS, &here, problems);
+                if let Some(b) = st.get("batches_run").and_then(Json::as_num) {
+                    if b < 1.0 {
+                        problems.push(format!("{here}.batches_run = {b} (must be >= 1)"));
+                    }
+                }
+            }
+        }
+        None => {
+            if sc.get("stages").is_some() {
+                problems.push(format!("{at}.stages is not an array"));
+            }
+        }
+    }
+}
+
+/// One `gateway_*` scenario: fields, admission accounting (admitted +
+/// shed = requests, globally and per class; every admitted request
+/// served), `shed_ratio` range and consistency, the SLO-class fairness
+/// constraint under overload (admitted latency-class requests must not
+/// end up with a worse p99 than best-effort ones), and stage counters.
+fn check_gateway_scenario(sc: &Json, at: &str, problems: &mut Vec<String>) {
+    require_fields(sc, GATEWAY_SCENARIO_FIELDS, at, problems);
+    if sc.as_obj().is_none() {
+        return;
+    }
+    let num = |field: &str| sc.get(field).and_then(Json::as_num);
+    let s = |field: &str| sc.get(field).and_then(Json::as_str);
+    if let Some(name) = s("name") {
+        if !name.starts_with("gateway_") {
+            problems.push(format!(
+                "{at}.name = \"{name}\" (must start with \"gateway_\")"
+            ));
+        }
+    }
+    for field in ["models", "tenants", "requests", "slo_ms"] {
+        if let Some(x) = num(field) {
+            if !(x.is_finite() && x > 0.0) {
+                problems.push(format!("{at}.{field} = {x} (must be > 0)"));
+            }
+        }
+    }
+    if let (Some(requests), Some(admitted), Some(shed)) =
+        (num("requests"), num("admitted"), num("shed"))
+    {
+        if admitted + shed != requests {
+            problems.push(format!(
+                "{at}: admitted ({admitted}) + shed ({shed}) != requests ({requests})"
+            ));
+        }
+        if let Some(ratio) = num("shed_ratio") {
+            if !(0.0..=1.0).contains(&ratio) {
+                problems.push(format!("{at}.shed_ratio = {ratio} (must be in [0, 1])"));
+            } else if requests > 0.0 && (ratio - shed / requests).abs() > 1e-3 {
+                problems.push(format!(
+                    "{at}.shed_ratio = {ratio} (inconsistent with shed/requests = {})",
+                    shed / requests
+                ));
+            }
+        }
+        // The no-rows-lost gate: everything admitted past the bounded
+        // queues must have been served by the end-of-scenario drain.
+        if let Some(rows) = num("rows_served") {
+            if rows != admitted {
+                problems.push(format!(
+                    "{at}.rows_served = {rows} (must equal admitted = {admitted}: \
+                     admitted requests may not be lost)"
+                ));
+            }
+        }
+    }
+    if let Some(b) = num("batches_run") {
+        if b < 1.0 {
+            problems.push(format!("{at}.batches_run = {b} (must be >= 1)"));
+        }
+    }
+    // Per-class accounting + p99 capture for the fairness constraint.
+    let mut latency_p99 = None;
+    let mut best_effort_p99 = None;
+    match sc.get("classes").and_then(Json::as_arr) {
+        Some([]) => problems.push(format!("{at}.classes is empty")),
+        Some(classes) => {
+            for (j, cl) in classes.iter().enumerate() {
+                let here = format!("{at}.classes[{j}]");
+                require_fields(cl, GATEWAY_CLASS_FIELDS, &here, problems);
+                if cl.as_obj().is_none() {
+                    continue;
+                }
+                let cnum = |field: &str| cl.get(field).and_then(Json::as_num);
+                let (req, adm, shed) = (cnum("requests"), cnum("admitted"), cnum("shed"));
+                if let (Some(req), Some(adm), Some(shed)) = (req, adm, shed) {
+                    if adm + shed != req {
+                        problems.push(format!(
+                            "{here}: admitted ({adm}) + shed ({shed}) != requests ({req})"
+                        ));
+                    }
+                }
+                if adm.is_some_and(|a| a > 0.0) {
+                    if let (Some(p50), Some(p99)) = (cnum("p50_ms"), cnum("p99_ms")) {
+                        if !(p50.is_finite() && p50 > 0.0) {
+                            problems.push(format!(
+                                "{here}.p50_ms = {p50} (must be > 0 when requests were admitted)"
+                            ));
+                        }
+                        if p99 < p50 {
+                            problems.push(format!("{here}.p99_ms = {p99} < p50_ms = {p50}"));
+                        }
+                        match cl.get("class").and_then(Json::as_str) {
+                            Some("latency") => latency_p99 = Some(p99),
+                            Some("best_effort") => best_effort_p99 = Some(p99),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        None => {
+            if sc.get("classes").is_some() {
+                problems.push(format!("{at}.classes is not an array"));
+            }
+        }
+    }
+    // The reason SLO classes exist: under overload, an admitted
+    // latency-class request must not wait behind best-effort traffic.
+    if s("load") == Some("overload") {
+        if let (Some(lat), Some(be)) = (latency_p99, best_effort_p99) {
+            if lat > be {
+                problems.push(format!(
+                    "{at}: latency p99 ({lat}) > best_effort p99 ({be}) under overload"
+                ));
+            }
         }
     }
     match sc.get("stages").and_then(Json::as_arr) {
@@ -435,6 +609,36 @@ mod tests {
        {"stage": "conv1", "batches_run": 5, "rows_served": 40,
         "queued_high_water": 8, "final_window": 16, "mean_service_us": 900.0}
      ]}
+  ],
+  "gateway_scenarios": [
+    {"name": "gateway_mixed_low", "load": "low", "arrival": "poisson",
+     "models": 2, "tenants": 6, "requests": 40, "admitted": 40, "shed": 0,
+     "shed_ratio": 0.0, "batches_run": 12, "rows_served": 40, "slo_ms": 6.0,
+     "classes": [
+       {"class": "latency", "requests": 14, "admitted": 14, "shed": 0,
+        "p50_ms": 2.0, "p99_ms": 3.0},
+       {"class": "throughput", "requests": 13, "admitted": 13, "shed": 0,
+        "p50_ms": 2.2, "p99_ms": 3.4},
+       {"class": "best_effort", "requests": 13, "admitted": 13, "shed": 0,
+        "p50_ms": 2.4, "p99_ms": 3.8}
+     ], "stages": [
+       {"stage": "cnn_a/conv1", "batches_run": 12, "rows_served": 20,
+        "queued_high_water": 2, "final_window": 1, "mean_service_us": 410.0}
+     ]},
+    {"name": "gateway_mixed_overload", "load": "overload", "arrival": "poisson",
+     "models": 2, "tenants": 6, "requests": 40, "admitted": 31, "shed": 9,
+     "shed_ratio": 0.225, "batches_run": 6, "rows_served": 31, "slo_ms": 6.0,
+     "classes": [
+       {"class": "latency", "requests": 14, "admitted": 14, "shed": 0,
+        "p50_ms": 12.0, "p99_ms": 30.0},
+       {"class": "throughput", "requests": 13, "admitted": 13, "shed": 0,
+        "p50_ms": 14.0, "p99_ms": 42.0},
+       {"class": "best_effort", "requests": 13, "admitted": 4, "shed": 9,
+        "p50_ms": 20.0, "p99_ms": 55.0}
+     ], "stages": [
+       {"stage": "cnn_a/conv1", "batches_run": 6, "rows_served": 16,
+        "queued_high_water": 8, "final_window": 16, "mean_service_us": 900.0}
+     ]}
   ]
 }"#
         .to_string()
@@ -520,6 +724,88 @@ mod tests {
         let doc = valid_serve_doc().replace("\"bench\": \"serve\"", "\"bench\": \"lutgemm\"");
         let err = check_serve_artifact_text(&doc).expect_err("wrong tag");
         assert!(err.contains("expected \"serve\""), "{err}");
+    }
+
+    #[test]
+    fn serve_missing_gateway_block_fails() {
+        let doc = valid_serve_doc().replace("\"gateway_scenarios\"", "\"renamed_scenarios\"");
+        let err = check_serve_artifact_text(&doc).expect_err("missing block");
+        assert!(
+            err.contains("missing top-level field \"gateway_scenarios\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_admission_accounting_is_checked() {
+        // Drop an admitted request without shedding it: counts stop adding up.
+        let doc = valid_serve_doc().replace(
+            "\"requests\": 40, \"admitted\": 31, \"shed\": 9",
+            "\"requests\": 40, \"admitted\": 30, \"shed\": 9",
+        );
+        let err = check_serve_artifact_text(&doc).expect_err("lost request");
+        assert!(
+            err.contains("gateway_scenarios[1]: admitted (30) + shed (9) != requests (40)"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_shed_ratio_out_of_range_fails() {
+        let doc = valid_serve_doc().replace("\"shed_ratio\": 0.225", "\"shed_ratio\": 1.4");
+        let err = check_serve_artifact_text(&doc).expect_err("out of range");
+        assert!(
+            err.contains("gateway_scenarios[1].shed_ratio = 1.4 (must be in [0, 1])"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_shed_ratio_must_match_counts() {
+        let doc = valid_serve_doc().replace("\"shed_ratio\": 0.225", "\"shed_ratio\": 0.5");
+        let err = check_serve_artifact_text(&doc).expect_err("inconsistent ratio");
+        assert!(err.contains("inconsistent with shed/requests"), "{err}");
+    }
+
+    #[test]
+    fn gateway_admitted_rows_must_all_be_served() {
+        let doc = valid_serve_doc().replace("\"rows_served\": 31", "\"rows_served\": 29");
+        let err = check_serve_artifact_text(&doc).expect_err("lost rows");
+        assert!(
+            err.contains("gateway_scenarios[1].rows_served = 29 (must equal admitted = 31"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_overload_fairness_inversion_fails() {
+        // Latency-class p99 dragged above best-effort under overload: the
+        // SLO classes stopped meaning anything.
+        let doc = valid_serve_doc().replace(
+            "\"p50_ms\": 12.0, \"p99_ms\": 30.0",
+            "\"p50_ms\": 12.0, \"p99_ms\": 70.0",
+        );
+        let err = check_serve_artifact_text(&doc).expect_err("fairness inversion");
+        assert!(
+            err.contains(
+                "gateway_scenarios[1]: latency p99 (70) > best_effort p99 (55) under overload"
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_class_percentiles_checked_only_when_admitted() {
+        // A fully-shed class reports zero percentiles; that must pass.
+        let doc = valid_serve_doc().replace(
+            "{\"class\": \"best_effort\", \"requests\": 13, \"admitted\": 4, \"shed\": 9,\n        \"p50_ms\": 20.0, \"p99_ms\": 55.0}",
+            "{\"class\": \"best_effort\", \"requests\": 13, \"admitted\": 0, \"shed\": 13,\n        \"p50_ms\": 0.0, \"p99_ms\": 0.0}",
+        );
+        let doc = doc.replace(
+            "\"requests\": 40, \"admitted\": 31, \"shed\": 9,\n     \"shed_ratio\": 0.225, \"batches_run\": 6, \"rows_served\": 31",
+            "\"requests\": 40, \"admitted\": 27, \"shed\": 13,\n     \"shed_ratio\": 0.325, \"batches_run\": 6, \"rows_served\": 27",
+        );
+        check_serve_artifact_text(&doc).expect("fully-shed class is valid");
     }
 
     // The artifacts committed at the repo root must track the schema:

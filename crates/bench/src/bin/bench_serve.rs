@@ -4,8 +4,12 @@
 //! model (`convnet`/`transformer`) × policy (`static`/`adaptive`) × load
 //! (`low`/`overload`), reporting p50/p95/p99 latency from *scheduled*
 //! arrival to resolution, achieved vs offered rate, SLO-conformance, and
-//! final per-stage counters. Emits `BENCH_serve.json` so every CI run
-//! leaves a serving-latency data point on the record.
+//! final per-stage counters. A second `gateway_*` scenario family drives
+//! the multi-tenant [`ServeGateway`] (2 models × 3 SLO-class tenants each,
+//! one persistent gateway across both loads) and additionally reports
+//! admission-control outcomes and per-class latency percentiles. Emits
+//! `BENCH_serve.json` so every CI run leaves a serving-latency data point
+//! on the record.
 //!
 //! Usage:
 //!
@@ -16,10 +20,14 @@
 //! `--smoke` shrinks the per-scenario request count (the CI mode).
 //! `--check PATH` runs no benchmark: it validates an existing artifact
 //! against the expected schema plus the sanity ordering (p50 ≤ p95 ≤ p99,
-//! overload p99 > p50, adaptive low-load SLO conformance ≥ 0.5), prints
+//! overload p99 > p50, adaptive low-load SLO conformance ≥ 0.5) and the
+//! gateway admission gates (`shed_ratio` in `[0, 1]` and consistent with
+//! `shed / requests`, admitted + shed = requests, every admitted request
+//! served, latency-class p99 ≤ best-effort p99 under overload), prints
 //! each failed field with its path, and exits non-zero on any problem.
 //!
 //! [`ModelSession`]: lutdla_lutboost::ModelSession
+//! [`ServeGateway`]: lutdla_lutboost::ServeGateway
 
 use lutdla_bench::serve_bench::{run, to_json, ServeBenchConfig};
 

@@ -20,25 +20,42 @@
 //! (the server keeps up; SLO conformance should be high) and `overload`
 //! offers 8× (the queue grows without bound; the latency ramp makes
 //! p99 ≫ p50). The SLO is `max(3 × base latency, 1 ms)`.
+//!
+//! A second family of scenarios (`gateway_*`) drives the multi-tenant
+//! [`ServeGateway`]: two registered models × three SLO-class tenants each,
+//! behind one persistent gateway swept across the same low/overload
+//! levels. Those scenarios report admission-control outcomes (admitted /
+//! shed / `shed_ratio`) and per-class latency percentiles alongside the
+//! interval-delta stage counters ([`StageStats::delta`]).
+//!
+//! [`StageStats::delta`]: lutdla_vq::StageStats::delta
 
 use std::time::{Duration, Instant};
 
 use crate::arrival::ArrivalProcess;
 use crate::histogram::LatencyHistogram;
 use lutdla_lutboost::{
-    lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutConfig, LutRuntime,
-    ModelSession,
+    lutify_convnet, lutify_transformer, CentroidInit, ClassPolicy, ConvertPolicy, GatewayOptions,
+    LutConfig, LutRuntime, ModelSession, ServeGateway, SloClass, TenantId,
 };
-use lutdla_models::trainable::{distilbert_mini, resnet20_mini, ServableModel};
+use lutdla_models::trainable::{distilbert_mini, resnet20_mini, ConvNet, ServableModel};
 use lutdla_nn::ParamSet;
 use lutdla_tensor::Tensor;
-use lutdla_vq::{AdaptiveOptions, BatchOptions, BatchPolicy};
+use lutdla_vq::{AdaptiveOptions, BatchOptions, BatchPolicy, Pending, StageStats, SubmitError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Submitted-but-unflushed backlog that forces a flush under overload, so
 /// coalescing windows (and the adaptive controller) see real batches.
 const BURST: usize = 8;
+
+/// The gateway drive's backlog threshold. Larger than [`BURST`] on
+/// purpose: with six tenants round-robined, a 24-submit window lands ~4
+/// requests on each 2-deep best-effort queue between pump rounds, so
+/// overload produces real admission sheds — and admitted best-effort
+/// requests (round quota 1) demonstrably wait extra rounds behind the
+/// latency class.
+const GATEWAY_BURST: usize = 24;
 
 /// Harness configuration, straight from the CLI.
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +168,60 @@ pub struct ScenarioResult {
     pub stages: Vec<StageRow>,
 }
 
+/// Per-class latency/admission summary inside a gateway scenario.
+#[derive(Debug, Clone)]
+pub struct GatewayClassRow {
+    /// `latency`, `throughput`, or `best_effort`.
+    pub class: &'static str,
+    /// Requests offered to tenants of this class.
+    pub requests: usize,
+    /// Of those, admitted past the bounded queues.
+    pub admitted: usize,
+    /// Of those, turned away at admission.
+    pub shed: usize,
+    /// Median latency of the admitted requests, ms (0 if none admitted).
+    pub p50_ms: f64,
+    /// 99th percentile, ms (0 if none admitted).
+    pub p99_ms: f64,
+}
+
+/// One measured `gateway_*` scenario: mixed SLO classes over two models
+/// behind one [`ServeGateway`], at one offered-load level.
+#[derive(Debug, Clone)]
+pub struct GatewayScenarioResult {
+    /// `gateway_mixed_{load}`.
+    pub name: String,
+    /// `low` or `overload`.
+    pub load: &'static str,
+    /// `poisson` or `fixed`.
+    pub arrival: &'static str,
+    /// Registered models behind the gateway.
+    pub models: usize,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Requests offered across all tenants.
+    pub requests: usize,
+    /// Requests admitted (all of these are served: the scenario drains).
+    pub admitted: usize,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// `shed / requests`, in `[0, 1]`.
+    pub shed_ratio: f64,
+    /// Whole-model coalesced batches this scenario ran (interval delta,
+    /// not gateway-lifetime totals — the gateway persists across loads).
+    pub batches_run: u64,
+    /// Requests served this scenario (interval delta).
+    pub rows_served: u64,
+    /// The latency SLO the per-class percentiles are judged against, ms.
+    pub slo_ms: f64,
+    /// Per-class admission/latency summaries, drain-priority order.
+    pub classes: Vec<GatewayClassRow>,
+    /// Per-stage counters for this scenario's interval
+    /// ([`StageStats::delta`] against the scenario-start snapshot), stage
+    /// names prefixed `model/stage`.
+    pub stages: Vec<StageRow>,
+}
+
 /// The whole artifact, pre-serialization.
 #[derive(Debug)]
 pub struct ServeReport {
@@ -164,6 +235,8 @@ pub struct ServeReport {
     pub requests_per_scenario: usize,
     /// All measured scenarios, matrix order.
     pub scenarios: Vec<ScenarioResult>,
+    /// The multi-tenant gateway scenarios (one gateway across all loads).
+    pub gateway_scenarios: Vec<GatewayScenarioResult>,
 }
 
 /// Runs the full scenario matrix and returns the report.
@@ -171,12 +244,15 @@ pub fn run(cfg: ServeBenchConfig) -> ServeReport {
     let mut scenarios = Vec::new();
     run_convnet(cfg, &mut scenarios);
     run_transformer(cfg, &mut scenarios);
+    let mut gateway_scenarios = Vec::new();
+    run_gateway(cfg, &mut gateway_scenarios);
     ServeReport {
         mode: if cfg.smoke { "smoke" } else { "full" },
         arrival: if cfg.poisson { "poisson" } else { "fixed" },
         seed: cfg.seed,
         requests_per_scenario: cfg.requests(),
         scenarios,
+        gateway_scenarios,
     }
 }
 
@@ -412,6 +488,212 @@ fn drive<M: ServableModel>(
     }
 }
 
+/// One converted convnet for the gateway scenarios (the "two models" are
+/// two instances with independent parameters).
+fn gateway_convnet(seed: u64) -> (ParamSet, ConvNet, Vec<Tensor>) {
+    let images = 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let mut net = resnet20_mini(&mut ps, 10);
+    let batch = Tensor::randn(&mut rng, &[images, 3, 16, 16], 1.0);
+    let _ = lutify_convnet(
+        &mut net,
+        &mut ps,
+        LutConfig::default(),
+        CentroidInit::Kmeans,
+        ConvertPolicy::default(),
+        batch.clone(),
+        &mut rng,
+    );
+    let per = 3 * 16 * 16;
+    let inputs = (0..images)
+        .map(|i| Tensor::from_vec(batch.data()[i * per..(i + 1) * per].to_vec(), &[3, 16, 16]))
+        .collect();
+    (ps, net, inputs)
+}
+
+/// Measures the `gateway_*` scenarios: 2 models × 3 SLO classes (6
+/// tenants) behind **one** [`ServeGateway`] that persists across the
+/// low/overload sweep — per-scenario counters are interval deltas
+/// ([`StageStats::delta`]), which is exactly the snapshot-diff idiom the
+/// helper exists for. The `BestEffort` tenants run a deliberately tight
+/// admission policy (2-deep queue, per-round quota 1) so overload shows
+/// the shed-and-fairness asymmetry the artifact checker gates: best-effort
+/// sheds while latency admits, and latency p99 stays at or below
+/// best-effort p99.
+fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
+    let (ps_a, net_a, inputs) = gateway_convnet(cfg.seed ^ 0x6a7e);
+    let (ps_b, net_b, _) = gateway_convnet(cfg.seed ^ 0x6a7f);
+    let mut rt = LutRuntime::new(lutdla_lutboost::DeployConfig::bf16_int8());
+
+    // Closed-loop batch-1 calibration on one model (both are the same
+    // architecture), before the gateway takes over deploy state.
+    let base = {
+        let session = rt.model_session(&net_a, &ps_a);
+        let mut best = Duration::MAX;
+        for i in 0..8 {
+            let t0 = Instant::now();
+            let h = session
+                .submit(inputs[i % inputs.len()].clone())
+                .expect("valid input");
+            session.flush();
+            h.wait().expect("session alive");
+            let dt = t0.elapsed();
+            if i >= 2 {
+                best = best.min(dt);
+            }
+        }
+        best
+    };
+    let service_rps = 1.0 / base.as_secs_f64().max(1e-9);
+    let slo = (base * 3).max(Duration::from_millis(1));
+    println!(
+        "gateway: batch-1 latency {:.3} ms → service {:.0} req/s, SLO {:.3} ms",
+        base.as_secs_f64() * 1e3,
+        service_rps,
+        slo.as_secs_f64() * 1e3,
+    );
+
+    let mut gw = ServeGateway::new(GatewayOptions::new(rt.config()));
+    let models = [
+        ("cnn_a", gw.register_model(&mut rt, "cnn_a", &net_a, &ps_a)),
+        ("cnn_b", gw.register_model(&mut rt, "cnn_b", &net_b, &ps_b)),
+    ];
+    let mut tenants: Vec<(TenantId, SloClass)> = Vec::new();
+    for (mname, mid) in models {
+        for class in SloClass::ALL {
+            let policy = if class == SloClass::BestEffort {
+                ClassPolicy {
+                    max_queue: 2,
+                    batch: BatchPolicy::Static(BatchOptions::immediate(1)),
+                    shed_deadline: None,
+                }
+            } else {
+                class.default_policy()
+            };
+            let name = format!("{mname}_{class}");
+            tenants.push((gw.register_tenant_with(&name, mid, class, policy), class));
+        }
+    }
+
+    for load in [Load::Low, Load::Overload] {
+        // Offset the arrival seed past the per-model scenarios so traces
+        // stay decorrelated from the session matrix.
+        let arrival = cfg.arrival(0x40 + out.len() as u64);
+        let rate = load.rate(service_rps);
+        let offsets = arrival.schedule(cfg.requests(), rate);
+
+        // Interval baselines: the gateway persists across loads, so every
+        // reported counter is a delta against this snapshot.
+        let prev = gw.stats();
+        let prev_stages: Vec<Vec<StageStats>> = models
+            .iter()
+            .map(|(_, mid)| gw.stage_stats(*mid).into_iter().map(|(_, s)| s).collect())
+            .collect();
+
+        let t0 = Instant::now();
+        let mut admitted: Vec<(SloClass, Duration, Pending)> = Vec::new();
+        let mut offered = [0usize; 3];
+        let mut shed = [0usize; 3];
+        for (i, off) in offsets.iter().enumerate() {
+            // Hold to the schedule; serve the backlog while waiting.
+            loop {
+                let now = t0.elapsed();
+                if now >= *off {
+                    break;
+                }
+                if gw.queued() > 0 {
+                    gw.pump();
+                } else {
+                    std::thread::sleep(*off - now);
+                }
+            }
+            let (tenant, class) = tenants[i % tenants.len()];
+            offered[class.index()] += 1;
+            match gw.submit(tenant, inputs[i % inputs.len()].clone()) {
+                Ok(h) => admitted.push((class, *off, h)),
+                Err(SubmitError::Shed { .. }) => shed[class.index()] += 1,
+                Err(e) => panic!("gateway rejected a valid request: {e}"),
+            }
+            if gw.queued() >= GATEWAY_BURST {
+                gw.pump();
+            }
+        }
+        gw.drain();
+
+        let mut hists = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        let admitted_total = admitted.len();
+        for (class, off, h) in admitted {
+            let (_rows, timing) = h.wait_timed().expect("gateway alive");
+            hists[class.index()].record(timing.latency_since(t0 + off));
+        }
+
+        let ms = |d: Option<Duration>| d.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+        let classes: Vec<GatewayClassRow> = SloClass::ALL
+            .iter()
+            .map(|&class| {
+                let i = class.index();
+                GatewayClassRow {
+                    class: class.as_str(),
+                    requests: offered[i],
+                    admitted: offered[i] - shed[i],
+                    shed: shed[i],
+                    p50_ms: ms(hists[i].percentile(0.50)),
+                    p99_ms: ms(hists[i].percentile(0.99)),
+                }
+            })
+            .collect();
+        let stats = gw.stats();
+        let mut stages = Vec::new();
+        for ((mname, mid), prev_model) in models.iter().zip(&prev_stages) {
+            for ((stage, now), prev) in gw.stage_stats(*mid).iter().zip(prev_model) {
+                let d = now.delta(prev);
+                stages.push(StageRow {
+                    stage: format!("{mname}/{stage}"),
+                    batches_run: d.batches_run,
+                    rows_served: d.rows_served,
+                    queued_high_water: d.queued_high_water,
+                    final_window: d.current_window,
+                    mean_service_us: d.service_nanos as f64 / d.batches_run.max(1) as f64 / 1e3,
+                });
+            }
+        }
+        let requests = offsets.len();
+        let total_shed: usize = shed.iter().sum();
+        let scenario = GatewayScenarioResult {
+            name: format!("gateway_mixed_{}", load.name()),
+            load: load.name(),
+            arrival: arrival.name(),
+            models: models.len(),
+            tenants: tenants.len(),
+            requests,
+            admitted: admitted_total,
+            shed: total_shed,
+            shed_ratio: total_shed as f64 / requests.max(1) as f64,
+            batches_run: (stats.batches_run - prev.batches_run),
+            rows_served: stats.rows_served - prev.rows_served,
+            slo_ms: slo.as_secs_f64() * 1e3,
+            classes,
+            stages,
+        };
+        println!(
+            "  {:<28} offered {:>7.0} req/s | admitted {:>3} | shed {:>3} | batches {:>4} | lat p99 {:>8.3} ms | be p99 {:>8.3} ms",
+            scenario.name,
+            rate,
+            scenario.admitted,
+            scenario.shed,
+            scenario.batches_run,
+            scenario.classes[0].p99_ms,
+            scenario.classes[2].p99_ms,
+        );
+        out.push(scenario);
+    }
+}
+
 /// Serializes the report into the `BENCH_serve.json` schema checked by
 /// [`crate::artifact::check_serve_artifact_text`].
 pub fn to_json(report: &ServeReport) -> String {
@@ -471,6 +753,63 @@ pub fn to_json(report: &ServeReport) -> String {
         s.push_str(&format!(
             "    ]}}{}\n",
             if i + 1 == report.scenarios.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"gateway_scenarios\": [\n");
+    for (i, sc) in report.gateway_scenarios.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"load\": \"{}\", \"arrival\": \"{}\", \"models\": {}, \
+             \"tenants\": {}, \"requests\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"shed_ratio\": {:.4}, \"batches_run\": {}, \"rows_served\": {}, \
+             \"slo_ms\": {:.4}, \"classes\": [\n",
+            sc.name,
+            sc.load,
+            sc.arrival,
+            sc.models,
+            sc.tenants,
+            sc.requests,
+            sc.admitted,
+            sc.shed,
+            sc.shed_ratio,
+            sc.batches_run,
+            sc.rows_served,
+            sc.slo_ms,
+        ));
+        for (j, cl) in sc.classes.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"class\": \"{}\", \"requests\": {}, \"admitted\": {}, \"shed\": {}, \
+                 \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{}\n",
+                cl.class,
+                cl.requests,
+                cl.admitted,
+                cl.shed,
+                cl.p50_ms,
+                cl.p99_ms,
+                if j + 1 == sc.classes.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("    ], \"stages\": [\n");
+        for (j, st) in sc.stages.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"stage\": \"{}\", \"batches_run\": {}, \"rows_served\": {}, \
+                 \"queued_high_water\": {}, \"final_window\": {}, \"mean_service_us\": {:.2}}}{}\n",
+                st.stage,
+                st.batches_run,
+                st.rows_served,
+                st.queued_high_water,
+                st.final_window,
+                st.mean_service_us,
+                if j + 1 == sc.stages.len() { "" } else { "," },
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == report.gateway_scenarios.len() {
                 ""
             } else {
                 ","

@@ -65,6 +65,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/vq/src/engine.rs",
     "crates/vq/src/pool.rs",
     "crates/lutboost/src/session.rs",
+    "crates/lutboost/src/gateway.rs",
 ];
 
 /// The one sanctioned thread-spawn site (PR 3's `WorkerPool`).

@@ -65,6 +65,35 @@ fn each_fixture_trips_exactly_its_rule_once() {
 }
 
 #[test]
+fn gateway_is_a_panic_discipline_hot_path() {
+    // PR 8 put the multi-tenant gateway on the panic-discipline hot-path
+    // list: a panic there unwinds the serving front door mid-request. The
+    // seeded fixture must trip at the gateway's path — and stay silent at
+    // a non-hot lutboost path, proving the rule is scoped per file, not
+    // per crate.
+    let source = fixture_source("panic-discipline");
+    let hot = check_source(
+        "crates/lutboost/src/gateway.rs",
+        "lutdla-lutboost",
+        &source,
+        &Config::empty(),
+    );
+    assert_eq!(hot.len(), 1, "gateway.rs must be a hot path, got {hot:#?}");
+    assert_eq!(hot[0].rule, "panic-discipline");
+    assert_eq!(hot[0].file, "crates/lutboost/src/gateway.rs");
+    let cold = check_source(
+        "crates/lutboost/src/convert.rs",
+        "lutdla-lutboost",
+        &source,
+        &Config::empty(),
+    );
+    assert!(
+        cold.is_empty(),
+        "non-hot-path lutboost file must stay silent, got {cold:#?}"
+    );
+}
+
+#[test]
 fn fixtures_go_quiet_under_an_allowlist_entry() {
     for (stem, pretend_path, krate) in FIXTURES {
         let toml = format!(

@@ -117,6 +117,26 @@ impl UnitPlan {
             UnitPlan::Dense { .. } => None,
         }
     }
+
+    /// A second handle onto the same compiled route: the engine and stage
+    /// batcher are shared (`Arc` clones), so every plan stamped from one
+    /// template drains through the *same* per-stage windows. This is how
+    /// [`LutRuntime::model_session_shared`](crate::LutRuntime::model_session_shared)
+    /// turns a [`crate::StageBatchers`] template into a live session plan.
+    pub(crate) fn share(&self) -> UnitPlan {
+        match self {
+            UnitPlan::Lut {
+                name,
+                engine,
+                stage,
+            } => UnitPlan::Lut {
+                name: name.clone(),
+                engine: Arc::clone(engine),
+                stage: Arc::clone(stage),
+            },
+            UnitPlan::Dense { name } => UnitPlan::Dense { name: name.clone() },
+        }
+    }
 }
 
 impl std::fmt::Debug for UnitPlan {

@@ -24,7 +24,12 @@
 //!   `submit(input)` pipelines one request through every layer (cached LUT
 //!   engine behind a per-stage micro-batcher for converted units, the
 //!   dense eval path otherwise) and resolves a `Pending` handle with the
-//!   final logits, bit-identical to the batched `deploy` + eval path.
+//!   final logits, bit-identical to the batched `deploy` + eval path;
+//! * [`ServeGateway`] — the multi-tenant serving front door: N registered
+//!   models behind shared per-stage batchers ([`StageBatchers`]), tenants
+//!   with SLO classes ([`SloClass`]) and bounded-queue admission control,
+//!   so concurrent tenants of one model coalesce into shared engine
+//!   batches while staying bit-identical to solo sessions.
 //!
 //! # Example: convert a tiny ResNet, deploy at BF16+INT8, serve rows
 //!
@@ -66,6 +71,7 @@
 mod convert;
 mod deploy;
 mod fold;
+mod gateway;
 mod lut_gemm;
 mod runtime;
 mod session;
@@ -78,8 +84,12 @@ pub use deploy::{
     eval_images_deployed, eval_seq_deployed, lut_layers, undeploy_units, DeployConfig, UnitPlan,
 };
 pub use fold::{fold_bn_into_weight, fold_bn_param, BnParams};
+pub use gateway::{
+    ClassPolicy, GatewayOptions, GatewayStats, ModelId, ServeGateway, SloClass, TenantId,
+    TenantStats,
+};
 pub use lut_gemm::{LutConfig, LutGemm};
-pub use runtime::{CacheStats, LutRuntime, RuntimeOptions};
+pub use runtime::{CacheStats, LutRuntime, RuntimeOptions, StageBatchers};
 pub use session::{ModelSession, SessionError};
 pub use trainer::{
     convert_and_train_images, convert_and_train_seq, fresh_pretrained_convnet,

@@ -49,7 +49,8 @@ use lutdla_models::trainable::{DenseUnit, ServableModel};
 use lutdla_nn::{ParamId, ParamSet};
 use lutdla_vq::{
     default_workers, share, AdaptiveOptions, BatchOptions, BatchPolicy, EngineOptions,
-    FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, SharedEngine, WorkerPool,
+    FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, SharedEngine, StageStats,
+    WorkerPool,
 };
 
 use crate::convert::as_lut;
@@ -113,6 +114,64 @@ impl Default for RuntimeOptions {
             cache_capacity: 16,
             policy: BatchPolicy::default(),
         }
+    }
+}
+
+/// A reusable set of per-stage [`MicroBatcher`]s compiled for one
+/// `(model, ParamSet, numerics)` triple — the template that lets several
+/// [`ModelSession`]s, or a multi-tenant front door like
+/// [`crate::ServeGateway`], drain through the **same** per-stage windows
+/// instead of private ones.
+///
+/// Built by [`LutRuntime::stage_batchers`]; consumed by
+/// [`LutRuntime::model_session_shared`], which stamps a live session out of
+/// the template (`Arc`-sharing every engine and stage batcher, so two
+/// sessions from one template coalesce in the same windows and accumulate
+/// into the same [`StageStats`] counters). The template itself never
+/// installs deploy state on the model — that happens when a session goes
+/// live — so it can outlive any number of session build/drop cycles, and
+/// its [`StageBatchers::stage_stats`] keep counting across them.
+pub struct StageBatchers {
+    set_uid: u64,
+    version: u64,
+    cfg: DeployConfig,
+    /// Widest front-door flush of the policy the template was built from;
+    /// sessions stamped from the template inherit it as their auto-flush
+    /// threshold.
+    front_max_batch: usize,
+    plan: Vec<UnitPlan>,
+}
+
+impl StageBatchers {
+    /// The deployment numerics the template's engines were tiled at.
+    pub fn config(&self) -> DeployConfig {
+        self.cfg
+    }
+
+    /// Number of LUT-served stages in the template.
+    pub fn lut_stages(&self) -> usize {
+        self.plan.iter().filter(|u| u.is_lut()).count()
+    }
+
+    /// Per-stage serving counters, in unit-walk order (LUT stages only —
+    /// dense stages have no batcher to observe). These accumulate across
+    /// every session stamped from this template, which is what makes a
+    /// template-holder's view of load survive session rebuilds.
+    pub fn stage_stats(&self) -> Vec<(&str, StageStats)> {
+        self.plan
+            .iter()
+            .filter_map(|u| u.stage_stats().map(|s| (u.name(), s)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for StageBatchers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageBatchers")
+            .field("cfg", &self.cfg)
+            .field("lut_stages", &self.lut_stages())
+            .field("front_max_batch", &self.front_max_batch)
+            .finish()
     }
 }
 
@@ -350,6 +409,32 @@ impl LutRuntime {
         cfg: DeployConfig,
         policy: BatchPolicy,
     ) -> ModelSession<'m, M> {
+        let batchers = self.stage_batchers(model, ps, cfg, policy);
+        self.model_session_shared(model, ps, &batchers)
+        // `batchers` drops here, so a plain `model_session` keeps today's
+        // behavior: its per-stage batchers are private to the one session.
+    }
+
+    /// Compiles a reusable [`StageBatchers`] template for `model`: one
+    /// engine (resolved through the cache) plus one drain-only
+    /// [`MicroBatcher`] per LUT unit, in unit-walk order. The template does
+    /// **not** deploy anything — pass it to
+    /// [`LutRuntime::model_session_shared`] to stamp live sessions whose
+    /// per-stage batchers are *shared* with every other session from the
+    /// same template. This is the opt-in fix for sessions over the same
+    /// `(model, ParamSet)` never sharing a window: hold the template, and
+    /// every consumer coalesces in it.
+    ///
+    /// Stage batchers run drain-only regardless of the policy's
+    /// `max_delay`/`slo`, for the reason documented on
+    /// [`LutRuntime::model_session_with_policy`].
+    pub fn stage_batchers<M: ServableModel>(
+        &mut self,
+        model: &M,
+        ps: &ParamSet,
+        cfg: DeployConfig,
+        policy: BatchPolicy,
+    ) -> StageBatchers {
         let stage_policy = match policy.normalized() {
             BatchPolicy::Static(opts) => {
                 BatchPolicy::Static(BatchOptions::immediate(opts.max_batch))
@@ -361,31 +446,96 @@ impl LutRuntime {
         };
         let walk = model.unit_walk();
         let mut plan = Vec::with_capacity(walk.len());
-        let mut luts = Vec::new();
         for unit in walk {
             match as_lut(unit) {
                 Some(lut) => {
                     let engine = self.engine_with(lut, ps, cfg);
                     let stage =
                         Arc::new(MicroBatcher::with_policy(Arc::clone(&engine), stage_policy));
-                    lut.install_deploy_batched(
-                        Arc::clone(&engine),
-                        Arc::clone(&stage),
-                        ps.version(),
-                    );
                     plan.push(UnitPlan::Lut {
                         name: unit.name.clone(),
                         engine,
                         stage,
                     });
-                    luts.push(lut);
                 }
                 None => plan.push(UnitPlan::Dense {
                     name: unit.name.clone(),
                 }),
             }
         }
-        ModelSession::new(model, ps, plan, luts, policy.max_batch())
+        StageBatchers {
+            set_uid: ps.uid(),
+            version: ps.version(),
+            cfg,
+            front_max_batch: policy.max_batch(),
+            plan,
+        }
+    }
+
+    /// Opens a whole-model session whose per-stage batchers come from a
+    /// [`StageBatchers`] template instead of being built private: every
+    /// session stamped from one template drains through the **same**
+    /// windows, so concurrent consumers coalesce into shared engine
+    /// batches. Going live installs batched deploy state on the model's
+    /// LUT layers (and dropping the session removes it), so keep at most
+    /// one live session per model — a multi-tenant front door
+    /// ([`crate::ServeGateway`]) holds exactly one and routes every tenant
+    /// through it.
+    ///
+    /// # Panics
+    ///
+    /// If the template was built for a different [`ParamSet`] (identity or
+    /// version), different numerics walk, or a model whose unit walk does
+    /// not match `model`'s — a stale template would otherwise serve
+    /// silently wrong tables.
+    pub fn model_session_shared<'m, M: ServableModel>(
+        &self,
+        model: &'m M,
+        ps: &'m ParamSet,
+        batchers: &StageBatchers,
+    ) -> ModelSession<'m, M> {
+        assert_eq!(
+            ps.uid(),
+            batchers.set_uid,
+            "stage-batcher template was built for a different ParamSet"
+        );
+        assert_eq!(
+            ps.version(),
+            batchers.version,
+            "stage-batcher template is stale: the ParamSet has been mutated since it was built"
+        );
+        let walk = model.unit_walk();
+        assert_eq!(
+            walk.len(),
+            batchers.plan.len(),
+            "stage-batcher template does not match the model's unit walk"
+        );
+        let mut plan = Vec::with_capacity(walk.len());
+        let mut luts = Vec::new();
+        for (unit, tmpl) in walk.into_iter().zip(&batchers.plan) {
+            assert_eq!(
+                unit.name,
+                tmpl.name(),
+                "stage-batcher template unit order does not match the model"
+            );
+            match (as_lut(unit), tmpl) {
+                (Some(lut), UnitPlan::Lut { engine, stage, .. }) => {
+                    lut.install_deploy_batched(
+                        Arc::clone(engine),
+                        Arc::clone(stage),
+                        ps.version(),
+                    );
+                    plan.push(tmpl.share());
+                    luts.push(lut);
+                }
+                (None, UnitPlan::Dense { .. }) => plan.push(tmpl.share()),
+                _ => panic!(
+                    "stage-batcher template disagrees with the model about unit `{}` being LUT-served",
+                    unit.name
+                ),
+            }
+        }
+        ModelSession::new(model, ps, plan, luts, batchers.front_max_batch)
     }
 
     /// Drops every cached engine (counters are kept).
@@ -714,5 +864,85 @@ mod tests {
         rt.deploy(net.dense_units(), &ps);
         assert_eq!(rt.stats().misses, deployed_layers);
         assert_eq!(rt.stats().hits, deployed_layers);
+    }
+
+    fn converted_net(seed: u64) -> (ParamSet, lutdla_models::trainable::ConvNet, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        let mut net = resnet20_mini(&mut ps, 4);
+        let images = Tensor::randn(&mut rng, &[2, 3, 16, 16], 1.0);
+        let _ = lutify_convnet(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            images.clone(),
+            &mut rng,
+        );
+        (ps, net, images)
+    }
+
+    #[test]
+    fn shared_stage_batchers_persist_counters_across_session_rebuilds() {
+        let (ps, net, images) = converted_net(124);
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let batchers = rt.stage_batchers(&net, &ps, DeployConfig::fp32(), BatchPolicy::default());
+        assert!(batchers.lut_stages() > 0);
+        // The template alone deploys nothing and built each engine once.
+        assert!(lut_layers(net.dense_units()).all(|l| l.deployed_engine().is_none()));
+        let after_build = rt.stats();
+        assert_eq!(after_build.misses, batchers.lut_stages() as u64);
+
+        let image = Tensor::from_vec(images.data()[..3 * 16 * 16].to_vec(), &[3, 16, 16]);
+        let serve = |rt: &LutRuntime| {
+            let session = rt.model_session_shared(&net, &ps, &batchers);
+            let handle = session.submit(image.clone()).expect("valid image");
+            session.flush();
+            handle.wait().expect("session alive")
+        };
+
+        let first = serve(&rt);
+        let after_one = batchers.stage_stats();
+        assert!(after_one.iter().all(|(_, s)| s.batches_run > 0));
+        // Session drop undeployed the layers; the template keeps counting.
+        assert!(lut_layers(net.dense_units()).all(|l| l.deployed_engine().is_none()));
+
+        let second = serve(&rt);
+        assert_eq!(first, second, "rebuilt session diverged");
+        for ((name, one), (_, two)) in after_one.iter().zip(batchers.stage_stats()) {
+            let d = two.delta(one);
+            assert!(
+                d.batches_run > 0 && d.rows_served > 0,
+                "stage {name}: counters reset across the session rebuild"
+            );
+        }
+        // Stamping sessions out of the template touched no cache entries.
+        assert_eq!(rt.stats(), after_build);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_stage_batcher_template_is_rejected() {
+        let (mut ps, net, _) = converted_net(125);
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let batchers = rt.stage_batchers(&net, &ps, DeployConfig::fp32(), BatchPolicy::default());
+        // Any mutation bumps the version: the template's engines are now
+        // tiled from dead parameters and must not go live.
+        let weight = lut_layers(net.dense_units()).next().expect("lut").weight();
+        ps.value_mut(weight).scale_mut(1.0);
+        let _ = rt.model_session_shared(&net, &ps, &batchers);
+    }
+
+    #[test]
+    #[should_panic(expected = "different ParamSet")]
+    fn foreign_stage_batcher_template_is_rejected() {
+        let (ps, net, _) = converted_net(126);
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let batchers = rt.stage_batchers(&net, &ps, DeployConfig::fp32(), BatchPolicy::default());
+        // A clone shares ids and version but has its own uid — engines
+        // built against one set's values must not serve the other.
+        let ps2 = ps.clone();
+        let _ = rt.model_session_shared(&net, &ps2, &batchers);
     }
 }

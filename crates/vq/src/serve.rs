@@ -258,6 +258,28 @@ pub struct StageStats {
     pub service_nanos: u64,
 }
 
+impl StageStats {
+    /// The counters accumulated *since* an earlier snapshot of the same
+    /// batcher — what a periodic reporter (the serve bench, a gateway's
+    /// per-scenario stats) emits instead of process-lifetime totals.
+    ///
+    /// The monotone counters (`batches_run`, `rows_served`,
+    /// `service_nanos`) subtract saturating, so a mismatched or stale
+    /// `prev` (from a different batcher, or taken *after* `self`) yields
+    /// zeros rather than wrapped-around garbage. The gauges
+    /// (`queued_high_water`, `current_window`) are point-in-time readings,
+    /// not counters: the delta carries `self`'s current values unchanged.
+    pub fn delta(&self, prev: &StageStats) -> StageStats {
+        StageStats {
+            batches_run: self.batches_run.saturating_sub(prev.batches_run),
+            rows_served: self.rows_served.saturating_sub(prev.rows_served),
+            queued_high_water: self.queued_high_water,
+            current_window: self.current_window,
+            service_nanos: self.service_nanos.saturating_sub(prev.service_nanos),
+        }
+    }
+}
+
 /// The pure widen/collapse state machine behind [`BatchPolicy::Adaptive`].
 /// Kept free of channels and clocks so the rules are unit-testable
 /// deterministically; the collector feeds it one `(drained, backlog)`
@@ -317,6 +339,21 @@ pub enum SubmitError {
     },
     /// The batcher shut down before the request could be served.
     Closed,
+    /// Admission control turned the request away: the serving layer's
+    /// bounded queue was already holding `queue_depth` requests, and the
+    /// shed-or-queue decision came down on shed. The caller may retry
+    /// later or fail fast — nothing was enqueued.
+    Shed {
+        /// Queue depth observed at the shed decision (the configured
+        /// bound, for a full bounded queue).
+        queue_depth: usize,
+    },
+    /// The request never reached a queue: it failed validation at the
+    /// front door (unknown tenant, model-level input rejection, …).
+    Invalid {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -330,6 +367,11 @@ impl std::fmt::Display for SubmitError {
                 "block holds {got} values, expected a non-zero multiple of K = {row_width}"
             ),
             SubmitError::Closed => write!(f, "micro-batcher is shut down"),
+            SubmitError::Shed { queue_depth } => write!(
+                f,
+                "request shed by admission control (bounded queue at depth {queue_depth})"
+            ),
+            SubmitError::Invalid { reason } => write!(f, "invalid request: {reason}"),
         }
     }
 }
@@ -1474,6 +1516,98 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stage_stats_delta_subtracts_counters_and_carries_gauges() {
+        let prev = StageStats {
+            batches_run: 10,
+            rows_served: 400,
+            queued_high_water: 32,
+            current_window: 16,
+            service_nanos: 9_000,
+        };
+        let now = StageStats {
+            batches_run: 13,
+            rows_served: 460,
+            queued_high_water: 48,
+            current_window: 8,
+            service_nanos: 12_500,
+        };
+        let d = now.delta(&prev);
+        // Monotone counters: the interval's own increments.
+        assert_eq!(d.batches_run, 3);
+        assert_eq!(d.rows_served, 60);
+        assert_eq!(d.service_nanos, 3_500);
+        // Gauges: the latest point-in-time readings, not a subtraction.
+        assert_eq!(d.queued_high_water, 48);
+        assert_eq!(d.current_window, 8);
+        // A snapshot differenced against itself is all-zero counters.
+        let z = now.delta(&now);
+        assert_eq!((z.batches_run, z.rows_served, z.service_nanos), (0, 0, 0));
+    }
+
+    #[test]
+    fn stage_stats_delta_is_wraparound_free_on_stale_snapshots() {
+        // `prev` taken *after* `self` (or from a different batcher): the
+        // subtraction must saturate to zero, never wrap.
+        let older = StageStats {
+            batches_run: 2,
+            rows_served: 50,
+            queued_high_water: 8,
+            current_window: 4,
+            service_nanos: 1_000,
+        };
+        let newer = StageStats {
+            batches_run: 7,
+            rows_served: 300,
+            queued_high_water: 24,
+            current_window: 16,
+            service_nanos: 8_000,
+        };
+        let d = older.delta(&newer);
+        assert_eq!(d.batches_run, 0);
+        assert_eq!(d.rows_served, 0);
+        assert_eq!(d.service_nanos, 0);
+        assert_eq!(d.queued_high_water, 8, "gauge must come from self");
+        assert_eq!(d.current_window, 4, "gauge must come from self");
+    }
+
+    #[test]
+    fn stage_stats_delta_tracks_a_live_batcher_interval() {
+        let (a, engine, _) = setup(LutQuant::F32, FloatPrecision::Fp32, 90);
+        let k = a.dims()[1];
+        let batcher = MicroBatcher::new(share(engine), BatchOptions::immediate(8));
+        batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait()
+            .expect("batcher alive");
+        let snap = batcher.stats();
+        batcher
+            .submit_rows(&a.data()[..3 * k])
+            .expect("valid block")
+            .wait()
+            .expect("batcher alive");
+        let d = batcher.stats().delta(&snap);
+        assert_eq!(d.batches_run, 1, "exactly the interval's flush");
+        assert_eq!(d.rows_served, 3, "exactly the interval's rows");
+        assert!(d.service_nanos > 0, "interval accounted engine time");
+    }
+
+    #[test]
+    fn shed_and_invalid_errors_format_their_context() {
+        let shed = SubmitError::Shed { queue_depth: 16 };
+        assert_eq!(
+            shed.to_string(),
+            "request shed by admission control (bounded queue at depth 16)"
+        );
+        let invalid = SubmitError::Invalid {
+            reason: "unknown tenant id 7".to_string(),
+        };
+        assert_eq!(invalid.to_string(), "invalid request: unknown tenant id 7");
+        // Structured matching stays available to retry logic.
+        assert!(matches!(shed, SubmitError::Shed { queue_depth: 16 }));
     }
 
     #[test]
