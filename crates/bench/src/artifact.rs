@@ -51,6 +51,27 @@ const ADAPTIVE_SERVE_FIELDS: &[&str] = &[
     "max_stage_window",
 ];
 
+/// Fields the `"encode_once"` block must carry.
+const ENCODE_ONCE_FIELDS: &[&str] = &[
+    "m",
+    "k",
+    "n",
+    "v",
+    "c",
+    "code_width_bits",
+    "u16_rows_per_s",
+    "packed_rows_per_s",
+    "packed_speedup",
+    "tables",
+    "repeated_rows_per_s",
+    "many_table_rows_per_s",
+    "many_table_speedup",
+    "memo_rows",
+    "memo_cold_rows_per_s",
+    "memo_warm_rows_per_s",
+    "memo_warm_speedup",
+];
+
 /// Top-level fields of the artifact.
 const TOP_FIELDS: &[&str] = &[
     "bench",
@@ -59,6 +80,7 @@ const TOP_FIELDS: &[&str] = &[
     "serve_submitters",
     "host_cpus",
     "points",
+    "encode_once",
     "model_serve",
     "adaptive_serve",
 ];
@@ -105,6 +127,10 @@ pub fn check_artifact_text(text: &str) -> Result<(), String> {
         if let Some(value) = doc.get(block) {
             require_fields(value, fields, block, &mut problems);
         }
+    }
+    if let Some(block) = doc.get("encode_once") {
+        let full = doc.get("mode").and_then(Json::as_str) == Some("full");
+        check_encode_once(block, full, &mut problems);
     }
     // Throughput gate: a *_rows_per_s of zero (or worse) anywhere means a
     // measurement loop broke, whatever the schema says.
@@ -171,6 +197,12 @@ const GATEWAY_SCENARIO_FIELDS: &[&str] = &[
     "shed_ratio",
     "batches_run",
     "rows_served",
+    "engine_cache_hits",
+    "engine_cache_misses",
+    "engine_cache_evictions",
+    "memo_hits",
+    "memo_misses",
+    "memo_evictions",
     "slo_ms",
     "classes",
     "stages",
@@ -386,6 +418,32 @@ fn check_gateway_scenario(sc: &Json, at: &str, problems: &mut Vec<String>) {
             problems.push(format!("{at}.batches_run = {b} (must be >= 1)"));
         }
     }
+    // The runtime behind the gateway must have exercised its engine
+    // cache: registration builds engines (misses) and re-requests of the
+    // calibration engines hit. All-zero counters mean the stats plumbing
+    // broke.
+    if let (Some(hits), Some(misses)) = (num("engine_cache_hits"), num("engine_cache_misses")) {
+        if hits + misses <= 0.0 {
+            problems.push(format!(
+                "{at}: engine_cache_hits + engine_cache_misses = 0 (the runtime \
+                 never built nor reused an engine)"
+            ));
+        }
+    }
+    // The duplicate-heavy memo scenarios exist to exercise the encode
+    // memo: a cold-start interval must record both misses (first
+    // encounter of each row) and hits (every repeat).
+    if s("name").is_some_and(|n| n.starts_with("gateway_memo")) {
+        for field in ["memo_hits", "memo_misses"] {
+            if let Some(x) = num(field) {
+                if x <= 0.0 {
+                    problems.push(format!(
+                        "{at}.{field} = {x} (must be > 0 in a memo scenario)"
+                    ));
+                }
+            }
+        }
+    }
     // Per-class accounting + p99 capture for the fairness constraint.
     let mut latency_p99 = None;
     let mut best_effort_p99 = None;
@@ -464,6 +522,73 @@ fn check_gateway_scenario(sc: &Json, at: &str, problems: &mut Vec<String>) {
     }
 }
 
+/// The `"encode_once"` block: schema plus the perf contract. Sharing one
+/// encode across tables must beat re-encoding per table in every mode;
+/// the stricter gates (packed codes beating the u16 stream, the 2x
+/// many-table floor, warm memo beating cold) only hold at real problem
+/// sizes, so they apply to full mode alone.
+fn check_encode_once(block: &Json, full: bool, problems: &mut Vec<String>) {
+    require_fields(block, ENCODE_ONCE_FIELDS, "encode_once", problems);
+    if block.as_obj().is_none() {
+        return;
+    }
+    let num = |field: &str| block.get(field).and_then(Json::as_num);
+    for field in ["packed_speedup", "many_table_speedup", "memo_warm_speedup"] {
+        if let Some(x) = num(field) {
+            if !(x.is_finite() && x > 0.0) {
+                problems.push(format!("encode_once.{field} = {x} (must be > 0)"));
+            }
+        }
+    }
+    if let Some(bits) = num("code_width_bits") {
+        if ![4.0, 8.0, 16.0].contains(&bits) {
+            problems.push(format!(
+                "encode_once.code_width_bits = {bits} (must be 4, 8, or 16)"
+            ));
+        }
+    }
+    if let Some(x) = num("many_table_speedup") {
+        if x <= 1.0 {
+            problems.push(format!(
+                "encode_once.many_table_speedup = {x} (must be > 1: encoding once \
+                 must beat re-encoding per table)"
+            ));
+        }
+    }
+    if !full {
+        return;
+    }
+    if let Some(x) = num("packed_speedup") {
+        if x <= 1.0 {
+            problems.push(format!(
+                "encode_once.packed_speedup = {x} (must be > 1 in full mode)"
+            ));
+        }
+    }
+    if let Some(x) = num("many_table_speedup") {
+        if x < 2.0 {
+            problems.push(format!(
+                "encode_once.many_table_speedup = {x} (must be >= 2 in full mode)"
+            ));
+        }
+    }
+    if let (Some(many), Some(rep)) = (num("many_table_rows_per_s"), num("repeated_rows_per_s")) {
+        if many < rep {
+            problems.push(format!(
+                "encode_once.many_table_rows_per_s = {many} < repeated_rows_per_s = {rep}"
+            ));
+        }
+    }
+    if let (Some(warm), Some(cold)) = (num("memo_warm_rows_per_s"), num("memo_cold_rows_per_s")) {
+        if warm <= cold {
+            problems.push(format!(
+                "encode_once.memo_warm_rows_per_s = {warm} (must beat \
+                 memo_cold_rows_per_s = {cold} in full mode)"
+            ));
+        }
+    }
+}
+
 fn require_fields(value: &Json, fields: &[&str], at: &str, problems: &mut Vec<String>) {
     if value.as_obj().is_none() {
         problems.push(format!("{at} is not an object"));
@@ -519,6 +644,13 @@ mod tests {
      "engine_mt_rows_per_s": 500.0, "serve_rows_per_s": 400.0,
      "speedup_1t": 3.0, "speedup_mt": 5.0, "serve_vs_batch": 0.8}
   ],
+  "encode_once": {"m": 256, "k": 64, "n": 64, "v": 8, "c": 16,
+                  "code_width_bits": 4, "u16_rows_per_s": 35000000.0,
+                  "packed_rows_per_s": 34000000.0, "packed_speedup": 0.97,
+                  "tables": 4, "repeated_rows_per_s": 500000.0,
+                  "many_table_rows_per_s": 1400000.0, "many_table_speedup": 2.8,
+                  "memo_rows": 128, "memo_cold_rows_per_s": 1200000.0,
+                  "memo_warm_rows_per_s": 5400000.0, "memo_warm_speedup": 4.5},
   "model_serve": {"model": "resnet20_mini", "images": 16, "lut_stages": 5,
                   "dense_stages": 4, "serve_rows_per_s": 40.0},
   "adaptive_serve": {"model": "resnet20_mini", "images": 16, "submitters": 2,
@@ -584,6 +716,102 @@ mod tests {
         assert!(err.contains("\"points\" is empty"), "{err}");
     }
 
+    /// Same doc, full mode, with the full-mode-only gates satisfied.
+    fn valid_full_doc() -> String {
+        valid_doc()
+            .replace("\"mode\": \"smoke\"", "\"mode\": \"full\"")
+            .replace("\"packed_speedup\": 0.97", "\"packed_speedup\": 1.2")
+    }
+
+    #[test]
+    fn full_mode_encode_once_passes_when_gates_hold() {
+        check_artifact_text(&valid_full_doc()).expect("valid full artifact");
+    }
+
+    #[test]
+    fn missing_encode_once_block_fails() {
+        let doc = valid_doc().replace("\"encode_once\"", "\"renamed_once\"");
+        let err = check_artifact_text(&doc).expect_err("missing block");
+        assert!(err.contains("encode_once"), "{err}");
+    }
+
+    #[test]
+    fn missing_encode_once_field_fails() {
+        let doc = valid_doc().replace("\"memo_warm_speedup\": 4.5", "\"extra\": 4.5");
+        let err = check_artifact_text(&doc).expect_err("missing field");
+        assert!(
+            err.contains("encode_once is missing \"memo_warm_speedup\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn packed_speedup_below_one_fails_only_in_full_mode() {
+        // The smoke template carries packed_speedup 0.97 and passes
+        // (valid_artifact_passes); the same value must fail in full mode.
+        let doc = valid_full_doc().replace("\"packed_speedup\": 1.2", "\"packed_speedup\": 0.97");
+        let err = check_artifact_text(&doc).expect_err("slow packed path");
+        assert!(
+            err.contains("encode_once.packed_speedup = 0.97 (must be > 1 in full mode)"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn many_table_speedup_below_two_fails_in_full_mode() {
+        let doc =
+            valid_full_doc().replace("\"many_table_speedup\": 2.8", "\"many_table_speedup\": 1.5");
+        let err = check_artifact_text(&doc).expect_err("weak many-table win");
+        assert!(err.contains("must be >= 2 in full mode"), "{err}");
+        // The same value is fine at smoke sizes.
+        let smoke =
+            valid_doc().replace("\"many_table_speedup\": 2.8", "\"many_table_speedup\": 1.5");
+        check_artifact_text(&smoke).expect("smoke tolerates a weak win");
+    }
+
+    #[test]
+    fn many_table_speedup_at_or_below_one_fails_even_in_smoke() {
+        let doc = valid_doc().replace("\"many_table_speedup\": 2.8", "\"many_table_speedup\": 0.9");
+        let err = check_artifact_text(&doc).expect_err("encode-once lost");
+        assert!(
+            err.contains("must be > 1: encoding once must beat re-encoding per table"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn many_table_slower_than_repeated_fails_in_full_mode() {
+        let doc = valid_full_doc().replace(
+            "\"many_table_rows_per_s\": 1400000.0",
+            "\"many_table_rows_per_s\": 400000.0",
+        );
+        let err = check_artifact_text(&doc).expect_err("slower than repeated");
+        assert!(
+            err.contains("encode_once.many_table_rows_per_s = 400000 < repeated_rows_per_s"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cold_memo_beating_warm_fails_in_full_mode() {
+        let doc = valid_full_doc().replace(
+            "\"memo_warm_rows_per_s\": 5400000.0",
+            "\"memo_warm_rows_per_s\": 1000000.0",
+        );
+        let err = check_artifact_text(&doc).expect_err("useless memo");
+        assert!(err.contains("must beat memo_cold_rows_per_s"), "{err}");
+    }
+
+    #[test]
+    fn bad_code_width_fails() {
+        let doc = valid_doc().replace("\"code_width_bits\": 4", "\"code_width_bits\": 7");
+        let err = check_artifact_text(&doc).expect_err("bad width");
+        assert!(
+            err.contains("encode_once.code_width_bits = 7 (must be 4, 8, or 16)"),
+            "{err}"
+        );
+    }
+
     fn valid_serve_doc() -> String {
         r#"{
   "bench": "serve",
@@ -613,7 +841,10 @@ mod tests {
   "gateway_scenarios": [
     {"name": "gateway_mixed_low", "load": "low", "arrival": "poisson",
      "models": 2, "tenants": 6, "requests": 40, "admitted": 40, "shed": 0,
-     "shed_ratio": 0.0, "batches_run": 12, "rows_served": 40, "slo_ms": 6.0,
+     "shed_ratio": 0.0, "batches_run": 12, "rows_served": 40,
+     "engine_cache_hits": 14, "engine_cache_misses": 28,
+     "engine_cache_evictions": 0, "memo_hits": 6200, "memo_misses": 1800,
+     "memo_evictions": 0, "slo_ms": 6.0,
      "classes": [
        {"class": "latency", "requests": 14, "admitted": 14, "shed": 0,
         "p50_ms": 2.0, "p99_ms": 3.0},
@@ -627,7 +858,10 @@ mod tests {
      ]},
     {"name": "gateway_mixed_overload", "load": "overload", "arrival": "poisson",
      "models": 2, "tenants": 6, "requests": 40, "admitted": 31, "shed": 9,
-     "shed_ratio": 0.225, "batches_run": 6, "rows_served": 31, "slo_ms": 6.0,
+     "shed_ratio": 0.225, "batches_run": 6, "rows_served": 31,
+     "engine_cache_hits": 14, "engine_cache_misses": 28,
+     "engine_cache_evictions": 0, "memo_hits": 7000, "memo_misses": 0,
+     "memo_evictions": 0, "slo_ms": 6.0,
      "classes": [
        {"class": "latency", "requests": 14, "admitted": 14, "shed": 0,
         "p50_ms": 12.0, "p99_ms": 30.0},
@@ -638,6 +872,23 @@ mod tests {
      ], "stages": [
        {"stage": "cnn_a/conv1", "batches_run": 6, "rows_served": 16,
         "queued_high_water": 8, "final_window": 16, "mean_service_us": 900.0}
+     ]},
+    {"name": "gateway_memo_dup_low", "load": "low", "arrival": "poisson",
+     "models": 2, "tenants": 6, "requests": 40, "admitted": 40, "shed": 0,
+     "shed_ratio": 0.0, "batches_run": 10, "rows_served": 40,
+     "engine_cache_hits": 14, "engine_cache_misses": 28,
+     "engine_cache_evictions": 0, "memo_hits": 9500, "memo_misses": 260,
+     "memo_evictions": 0, "slo_ms": 6.0,
+     "classes": [
+       {"class": "latency", "requests": 14, "admitted": 14, "shed": 0,
+        "p50_ms": 1.8, "p99_ms": 2.6},
+       {"class": "throughput", "requests": 13, "admitted": 13, "shed": 0,
+        "p50_ms": 2.0, "p99_ms": 3.0},
+       {"class": "best_effort", "requests": 13, "admitted": 13, "shed": 0,
+        "p50_ms": 2.2, "p99_ms": 3.4}
+     ], "stages": [
+       {"stage": "cnn_a/conv1", "batches_run": 10, "rows_served": 20,
+        "queued_high_water": 2, "final_window": 1, "mean_service_us": 380.0}
      ]}
   ]
 }"#
@@ -806,6 +1057,49 @@ mod tests {
             "\"requests\": 40, \"admitted\": 27, \"shed\": 13,\n     \"shed_ratio\": 0.325, \"batches_run\": 6, \"rows_served\": 27",
         );
         check_serve_artifact_text(&doc).expect("fully-shed class is valid");
+    }
+
+    #[test]
+    fn gateway_missing_cache_counter_fails() {
+        let doc = valid_serve_doc().replacen("\"engine_cache_hits\": 14, ", "", 1);
+        let err = check_serve_artifact_text(&doc).expect_err("missing counter");
+        assert!(
+            err.contains("gateway_scenarios[0] is missing \"engine_cache_hits\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_dead_engine_cache_fails() {
+        let doc = valid_serve_doc().replacen(
+            "\"engine_cache_hits\": 14, \"engine_cache_misses\": 28",
+            "\"engine_cache_hits\": 0, \"engine_cache_misses\": 0",
+            1,
+        );
+        let err = check_serve_artifact_text(&doc).expect_err("dead cache");
+        assert!(
+            err.contains("gateway_scenarios[0]: engine_cache_hits + engine_cache_misses = 0"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gateway_memo_scenario_must_hit_and_miss() {
+        // The `gateway_memo_*` name scopes the > 0 gate: the overload
+        // scenario in the template carries memo_misses 0 and still passes
+        // (valid_serve_artifact_passes); the memo scenario may not.
+        let doc = valid_serve_doc().replace("\"memo_hits\": 9500", "\"memo_hits\": 0");
+        let err = check_serve_artifact_text(&doc).expect_err("memo never hit");
+        assert!(
+            err.contains("gateway_scenarios[2].memo_hits = 0 (must be > 0 in a memo scenario)"),
+            "{err}"
+        );
+        let doc = valid_serve_doc().replace("\"memo_misses\": 260", "\"memo_misses\": 0");
+        let err = check_serve_artifact_text(&doc).expect_err("memo never missed");
+        assert!(
+            err.contains("gateway_scenarios[2].memo_misses = 0"),
+            "{err}"
+        );
     }
 
     // The artifacts committed at the repo root must track the schema:

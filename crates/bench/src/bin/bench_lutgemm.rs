@@ -23,9 +23,16 @@
 //! the default runs the full grid, including the acceptance point
 //! `M=256, K=1024, N=1024, v=4, c=16`. `--check PATH` runs no benchmark:
 //! it validates an existing artifact against the expected schema (all
-//! fields present, every `*_rows_per_s` strictly positive, `model_serve`
-//! and `adaptive_serve` blocks in place) and exits non-zero on any
-//! problem — the CI gate that keeps the artifact from silently rotting.
+//! fields present, every `*_rows_per_s` strictly positive, `model_serve`,
+//! `adaptive_serve`, and `encode_once` blocks in place) and exits non-zero
+//! on any problem — the CI gate that keeps the artifact from silently
+//! rotting.
+//!
+//! The `encode_once` block measures the encode-once execution paths:
+//! packed (4-bit) versus `u16` code streaming on one table, a four-table
+//! sweep with one shared encode (`run_many_from_packed`) versus the walk
+//! repeated per table, and the cross-request encode memo's cold-vs-warm
+//! hit path.
 
 use std::time::{Duration, Instant};
 
@@ -38,8 +45,8 @@ use lutdla_nn::{Graph, ImageModel, ParamSet};
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
     approx_matmul_with_precision, default_workers, share, AdaptiveOptions, BatchOptions,
-    BatchPolicy, Distance, EngineOptions, FloatPrecision, LutEngine, LutQuant, LutTable,
-    MicroBatcher, Pending, ProductQuantizer,
+    BatchPolicy, Distance, EncodeMemo, EngineOptions, FloatPrecision, LutEngine, LutQuant,
+    LutTable, MicroBatcher, Pending, ProductQuantizer, TileTables,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -145,9 +152,10 @@ fn main() {
     for p in points {
         results.push(run_point(p, iters, mt_workers));
     }
+    let encode_once = run_encode_once(smoke, iters);
     let (model, adaptive) = run_model_serves(smoke, iters);
 
-    let json = to_json(&results, &model, &adaptive, smoke, mt_workers);
+    let json = to_json(&results, &encode_once, &model, &adaptive, smoke, mt_workers);
     std::fs::write(&out_path, &json).expect("write BENCH_lutgemm.json");
     println!("wrote {out_path}");
 }
@@ -314,6 +322,192 @@ fn run_model_serves(smoke: bool, iters: usize) -> (ModelMeasurement, AdaptiveMea
     (meas, adaptive)
 }
 
+struct EncodeOnceMeasurement {
+    m: usize,
+    k: usize,
+    n: usize,
+    v: usize,
+    c: usize,
+    /// Bits per code in the packed stream (4 here, since c = 16).
+    code_width_bits: usize,
+    /// Single-table lookup throughput streaming pre-encoded `u16` codes.
+    u16_rows_per_s: f64,
+    /// Single-table lookup throughput streaming the packed code blocks.
+    packed_rows_per_s: f64,
+    /// `packed / u16` — the bandwidth win of the minimal-width stream.
+    packed_speedup: f64,
+    /// Tables sharing the codebook in the many-table measurement.
+    tables: usize,
+    /// Sweep throughput paying the similarity walk once **per table**.
+    repeated_rows_per_s: f64,
+    /// Sweep throughput paying the walk once, replaying packed codes
+    /// against every table.
+    many_table_rows_per_s: f64,
+    /// `many_table / repeated` — the encode-once win over the sweep.
+    many_table_speedup: f64,
+    /// Rows in the memo measurement's batch.
+    memo_rows: usize,
+    /// `run_batch_memo` throughput against an empty memo (walk + insert).
+    memo_cold_rows_per_s: f64,
+    /// `run_batch_memo` throughput once every row hits (no walk at all).
+    memo_warm_rows_per_s: f64,
+    /// `warm / cold` — what a duplicate-heavy stream gains from the memo.
+    memo_warm_speedup: f64,
+}
+
+/// The encode-once measurements: packed-vs-`u16` code streaming on one
+/// table, a 4-table sweep with one shared encode (the multi-head /
+/// quant-sweep shape), and the cross-request memo's cold-vs-warm hit path.
+/// Every path is checked bit-identical to `run_batch` before it is timed.
+fn run_encode_once(smoke: bool, iters: usize) -> EncodeOnceMeasurement {
+    const TABLES: usize = 4;
+    let (m, k, n) = if smoke {
+        (256, 64, 64)
+    } else {
+        (4096, 512, 64)
+    };
+    let (v, c) = (8, 16);
+    println!("encode-once M={m} K={k} N={n}x{TABLES} v={v} c={c}");
+    let mut rng = StdRng::seed_from_u64(0xe0ce);
+    let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+    let pq = ProductQuantizer::fit(&a.rows(0, 256.min(m)), v, c, Distance::L2, &mut rng);
+    // Four tables over one codebook — the many-table shape (think QKV+O
+    // projections, or a LutQuant sweep): codes depend on the input and the
+    // codebook only, so one stream serves all four.
+    let luts: Vec<LutTable> = (0..TABLES)
+        .map(|_| {
+            let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+            LutTable::build(&pq, &b, LutQuant::F32)
+        })
+        .collect();
+    let mut engines: Vec<LutEngine> = luts
+        .iter()
+        .map(|t| {
+            LutEngine::with_opts(
+                pq.clone(),
+                t,
+                EngineOptions {
+                    workers: 1,
+                    ..EngineOptions::default()
+                },
+            )
+        })
+        .collect();
+
+    // Reference outputs (encode + run per table) for the identity checks.
+    let solo: Vec<Tensor> = engines.iter_mut().map(|e| e.run_batch(&a)).collect();
+    let repeated_s = best_of(iters, || {
+        for e in engines.iter_mut() {
+            std::hint::black_box(e.run_batch(&a));
+        }
+    });
+
+    let (first, rest) = engines.split_at_mut(1);
+    let first = &mut first[0];
+
+    // Single-table lookup: pre-encoded u16 codes vs the packed stream.
+    let codes = pq.encode(&a);
+    let packed = first.encode_packed(&a);
+    assert_eq!(
+        packed.unpack(),
+        codes,
+        "packed stream disagrees with encode"
+    );
+    let from_u16 = first.run_from_codes(&codes, m).expect("codes fit");
+    let from_packed = first.run_from_packed(&packed).expect("stream fits");
+    assert!(
+        from_u16.allclose(&solo[0], 0.0) && from_packed.allclose(&solo[0], 0.0),
+        "code-stream paths are not bit-identical to run_batch"
+    );
+    // These two regions are sub-millisecond at the full-mode point, so a
+    // handful of samples is hostage to scheduler noise — take the best of
+    // many more to recover the clean-run minimum.
+    let lookup_iters = iters * 8;
+    let u16_s = best_of(lookup_iters, || {
+        std::hint::black_box(first.run_from_codes(&codes, m).expect("codes fit"));
+    });
+    let packed_s = best_of(lookup_iters, || {
+        std::hint::black_box(first.run_from_packed(&packed).expect("stream fits"));
+    });
+
+    // Many-table sweep: encode once, replay against every table.
+    let shared_tables: Vec<&TileTables> = rest.iter().map(|e| e.tables()).collect();
+    let tail = first
+        .run_many_from_packed(&packed, &shared_tables)
+        .expect("tables share the codebook");
+    for (s, t) in solo[1..].iter().zip(&tail) {
+        assert!(
+            t.allclose(s, 0.0),
+            "run_many_from_packed diverged from the solo engines"
+        );
+    }
+    let many_s = best_of(iters, || {
+        let p = first.encode_packed(&a);
+        std::hint::black_box(first.run_from_packed(&p).expect("stream fits"));
+        std::hint::black_box(
+            first
+                .run_many_from_packed(&p, &shared_tables)
+                .expect("tables share the codebook"),
+        );
+    });
+
+    // Cross-request memo: cold pass (walk + insert) vs warm pass (every
+    // row verified-hit, no walk). Capacity 8× the batch so even a skewed
+    // shard distribution cannot evict.
+    let memo_rows = if smoke { 128 } else { 1024 };
+    let xm = a.rows(0, memo_rows);
+    let memo_ref = first.run_batch(&xm);
+    // Sub-millisecond warm passes get the same extra-sample treatment as
+    // the lookup timings above.
+    let cold_s = best_of(lookup_iters, || {
+        let memo = EncodeMemo::new(8 * memo_rows);
+        std::hint::black_box(first.run_batch_memo(&xm, &memo));
+    });
+    let memo = EncodeMemo::new(8 * memo_rows);
+    let warmed = first.run_batch_memo(&xm, &memo);
+    assert!(
+        warmed.allclose(&memo_ref, 0.0),
+        "memo path is not bit-identical to run_batch"
+    );
+    let warm_s = best_of(lookup_iters, || {
+        std::hint::black_box(first.run_batch_memo(&xm, &memo));
+    });
+    assert!(memo.stats().hits > 0, "warm passes never hit the memo");
+
+    let meas = EncodeOnceMeasurement {
+        m,
+        k,
+        n,
+        v,
+        c,
+        code_width_bits: first.code_width().bits(),
+        u16_rows_per_s: m as f64 / u16_s,
+        packed_rows_per_s: m as f64 / packed_s,
+        packed_speedup: u16_s / packed_s,
+        tables: TABLES,
+        repeated_rows_per_s: m as f64 / repeated_s,
+        many_table_rows_per_s: m as f64 / many_s,
+        many_table_speedup: repeated_s / many_s,
+        memo_rows,
+        memo_cold_rows_per_s: memo_rows as f64 / cold_s,
+        memo_warm_rows_per_s: memo_rows as f64 / warm_s,
+        memo_warm_speedup: cold_s / warm_s,
+    };
+    println!(
+        "  u16 {:>10.0} rows/s | packed {:>10.0} rows/s ({:.2}x) | sweep x{TABLES}: repeated {:>8.0} rows/s -> shared {:>8.0} rows/s ({:.2}x) | memo cold {:>8.0} -> warm {:>8.0} rows/s ({:.2}x)",
+        meas.u16_rows_per_s,
+        meas.packed_rows_per_s,
+        meas.packed_speedup,
+        meas.repeated_rows_per_s,
+        meas.many_table_rows_per_s,
+        meas.many_table_speedup,
+        meas.memo_cold_rows_per_s,
+        meas.memo_warm_rows_per_s,
+        meas.memo_warm_speedup,
+    );
+    meas
+}
+
 fn run_point(p: Point, iters: usize, mt_workers: usize) -> Measurement {
     let Point { m, k, n, v, c } = p;
     println!("point M={m} K={k} N={n} v={v} c={c}");
@@ -443,6 +637,7 @@ fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
 
 fn to_json(
     results: &[Measurement],
+    encode_once: &EncodeOnceMeasurement,
     model: &ModelMeasurement,
     adaptive: &AdaptiveMeasurement,
     smoke: bool,
@@ -486,6 +681,31 @@ fn to_json(
         s.push('\n');
     }
     s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"encode_once\": {{\"m\": {}, \"k\": {}, \"n\": {}, \"v\": {}, \"c\": {}, \
+         \"code_width_bits\": {}, \"u16_rows_per_s\": {:.1}, \"packed_rows_per_s\": {:.1}, \
+         \"packed_speedup\": {:.3}, \"tables\": {}, \"repeated_rows_per_s\": {:.1}, \
+         \"many_table_rows_per_s\": {:.1}, \"many_table_speedup\": {:.3}, \"memo_rows\": {}, \
+         \"memo_cold_rows_per_s\": {:.1}, \"memo_warm_rows_per_s\": {:.1}, \
+         \"memo_warm_speedup\": {:.3}}},\n",
+        encode_once.m,
+        encode_once.k,
+        encode_once.n,
+        encode_once.v,
+        encode_once.c,
+        encode_once.code_width_bits,
+        encode_once.u16_rows_per_s,
+        encode_once.packed_rows_per_s,
+        encode_once.packed_speedup,
+        encode_once.tables,
+        encode_once.repeated_rows_per_s,
+        encode_once.many_table_rows_per_s,
+        encode_once.many_table_speedup,
+        encode_once.memo_rows,
+        encode_once.memo_cold_rows_per_s,
+        encode_once.memo_warm_rows_per_s,
+        encode_once.memo_warm_speedup,
+    ));
     s.push_str(&format!(
         "  \"model_serve\": {{\"model\": \"{}\", \"images\": {}, \"lut_stages\": {}, \
          \"dense_stages\": {}, \"serve_rows_per_s\": {:.1}}},\n",

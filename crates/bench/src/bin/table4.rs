@@ -1,7 +1,9 @@
 //! Regenerates the paper's table4 (see `lutdla_bench::experiments::accuracy`).
 fn main() {
+    let quick = lutdla_bench::quick_flag();
+    println!("{}", lutdla_bench::experiments::accuracy::table4(quick));
     println!(
         "{}",
-        lutdla_bench::experiments::accuracy::table4(lutdla_bench::quick_flag())
+        lutdla_bench::experiments::accuracy::table4_quant_sweep(quick)
     );
 }

@@ -42,6 +42,7 @@ pub fn all_experiments(quick: bool) -> Vec<(&'static str, String)> {
         ("fig10", hw::fig10()),
         ("fig11", hw::fig11()),
         ("table4", accuracy::table4(quick)),
+        ("table4_quant_sweep", accuracy::table4_quant_sweep(quick)),
         ("table5", accuracy::table5(quick)),
         ("table6", accuracy::table6(quick)),
         ("fig12", accuracy::fig12(quick)),

@@ -26,7 +26,10 @@
 //! behind one persistent gateway swept across the same low/overload
 //! levels. Those scenarios report admission-control outcomes (admitted /
 //! shed / `shed_ratio`) and per-class latency percentiles alongside the
-//! interval-delta stage counters ([`StageStats::delta`]).
+//! interval-delta stage counters ([`StageStats::delta`]), the runtime's
+//! engine-cache totals, and the per-stage encode-memo counters — the
+//! latter exercised by a duplicate-heavy `gateway_memo_dup_low` scenario
+//! that replays one image against cold memos.
 //!
 //! [`StageStats::delta`]: lutdla_vq::StageStats::delta
 
@@ -36,7 +39,7 @@ use crate::arrival::ArrivalProcess;
 use crate::histogram::LatencyHistogram;
 use lutdla_lutboost::{
     lutify_convnet, lutify_transformer, CentroidInit, ClassPolicy, ConvertPolicy, GatewayOptions,
-    LutConfig, LutRuntime, ModelSession, ServeGateway, SloClass, TenantId,
+    LutConfig, LutRuntime, ModelSession, RuntimeOptions, ServeGateway, SloClass, TenantId,
 };
 use lutdla_models::trainable::{distilbert_mini, resnet20_mini, ConvNet, ServableModel};
 use lutdla_nn::ParamSet;
@@ -56,6 +59,12 @@ const BURST: usize = 8;
 /// requests (round quota 1) demonstrably wait extra rounds behind the
 /// latency class.
 const GATEWAY_BURST: usize = 24;
+
+/// Per-stage encode-memo capacity (rows) for the gateway runtime. 8× the
+/// distinct-row population a stage sees (≤ 8 images × 256 patches), so
+/// even a fully skewed shard distribution cannot evict and the
+/// duplicate-heavy scenario's hit counters are deterministic.
+const GATEWAY_MEMO_ROWS: usize = 16384;
 
 /// Harness configuration, straight from the CLI.
 #[derive(Debug, Clone, Copy)]
@@ -212,6 +221,21 @@ pub struct GatewayScenarioResult {
     pub batches_run: u64,
     /// Requests served this scenario (interval delta).
     pub rows_served: u64,
+    /// Engine-cache hits of the backing runtime ([`LutRuntime::stats`]),
+    /// lifetime totals: the gateway registers two models that share a
+    /// calibration session's engines, so hits + misses must be nonzero.
+    pub engine_cache_hits: u64,
+    /// Engine-cache misses (engines built) of the backing runtime.
+    pub engine_cache_misses: u64,
+    /// Engine-cache evictions of the backing runtime.
+    pub engine_cache_evictions: u64,
+    /// Encode-memo hits this scenario (interval delta summed over every
+    /// stage of every registered model).
+    pub memo_hits: usize,
+    /// Encode-memo misses this scenario (interval delta, summed).
+    pub memo_misses: usize,
+    /// Encode-memo evictions this scenario (interval delta, summed).
+    pub memo_evictions: usize,
     /// The latency SLO the per-class percentiles are judged against, ms.
     pub slo_ms: f64,
     /// Per-class admission/latency summaries, drain-priority order.
@@ -521,10 +545,26 @@ fn gateway_convnet(seed: u64) -> (ParamSet, ConvNet, Vec<Tensor>) {
 /// the shed-and-fairness asymmetry the artifact checker gates: best-effort
 /// sheds while latency admits, and latency p99 stays at or below
 /// best-effort p99.
+///
+/// A third scenario, `gateway_memo_dup_low`, replays the *same* image for
+/// every request. It runs first, while the per-stage encode memos
+/// ([`RuntimeOptions::memo_rows`]) are cold, so its interval delta shows
+/// both memo misses (first encounter of each row) and hits (every repeat
+/// skips the similarity walk) — the cross-request encode-memo path under
+/// a duplicate-heavy serving load.
 fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
     let (ps_a, net_a, inputs) = gateway_convnet(cfg.seed ^ 0x6a7e);
     let (ps_b, net_b, _) = gateway_convnet(cfg.seed ^ 0x6a7f);
-    let mut rt = LutRuntime::new(lutdla_lutboost::DeployConfig::bf16_int8());
+    // The gateway runtime runs with per-stage encode memos enabled: the
+    // duplicate-heavy `gateway_memo_dup_low` scenario (run first, while
+    // the memos are cold) must show both misses and hits.
+    let mut rt = LutRuntime::with_options(
+        lutdla_lutboost::DeployConfig::bf16_int8(),
+        RuntimeOptions {
+            memo_rows: GATEWAY_MEMO_ROWS,
+            ..RuntimeOptions::default()
+        },
+    );
 
     // Closed-loop batch-1 calibration on one model (both are the same
     // architecture), before the gateway takes over deploy state.
@@ -576,7 +616,11 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
         }
     }
 
-    for load in [Load::Low, Load::Overload] {
+    for (load, dup) in [
+        (Load::Low, true),
+        (Load::Low, false),
+        (Load::Overload, false),
+    ] {
         // Offset the arrival seed past the per-model scenarios so traces
         // stay decorrelated from the session matrix.
         let arrival = cfg.arrival(0x40 + out.len() as u64);
@@ -610,7 +654,13 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
             }
             let (tenant, class) = tenants[i % tenants.len()];
             offered[class.index()] += 1;
-            match gw.submit(tenant, inputs[i % inputs.len()].clone()) {
+            // The memo scenario is duplicate-heavy on purpose: one image.
+            let input = if dup {
+                &inputs[0]
+            } else {
+                &inputs[i % inputs.len()]
+            };
+            match gw.submit(tenant, input.clone()) {
                 Ok(h) => admitted.push((class, *off, h)),
                 Err(SubmitError::Shed { .. }) => shed[class.index()] += 1,
                 Err(e) => panic!("gateway rejected a valid request: {e}"),
@@ -648,10 +698,15 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
             })
             .collect();
         let stats = gw.stats();
+        let cache = rt.stats();
         let mut stages = Vec::new();
+        let (mut memo_hits, mut memo_misses, mut memo_evictions) = (0usize, 0usize, 0usize);
         for ((mname, mid), prev_model) in models.iter().zip(&prev_stages) {
             for ((stage, now), prev) in gw.stage_stats(*mid).iter().zip(prev_model) {
                 let d = now.delta(prev);
+                memo_hits += d.memo_hits;
+                memo_misses += d.memo_misses;
+                memo_evictions += d.memo_evictions;
                 stages.push(StageRow {
                     stage: format!("{mname}/{stage}"),
                     batches_run: d.batches_run,
@@ -665,7 +720,11 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
         let requests = offsets.len();
         let total_shed: usize = shed.iter().sum();
         let scenario = GatewayScenarioResult {
-            name: format!("gateway_mixed_{}", load.name()),
+            name: if dup {
+                format!("gateway_memo_dup_{}", load.name())
+            } else {
+                format!("gateway_mixed_{}", load.name())
+            },
             load: load.name(),
             arrival: arrival.name(),
             models: models.len(),
@@ -676,17 +735,25 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
             shed_ratio: total_shed as f64 / requests.max(1) as f64,
             batches_run: (stats.batches_run - prev.batches_run),
             rows_served: stats.rows_served - prev.rows_served,
+            engine_cache_hits: cache.hits,
+            engine_cache_misses: cache.misses,
+            engine_cache_evictions: cache.evictions,
+            memo_hits,
+            memo_misses,
+            memo_evictions,
             slo_ms: slo.as_secs_f64() * 1e3,
             classes,
             stages,
         };
         println!(
-            "  {:<28} offered {:>7.0} req/s | admitted {:>3} | shed {:>3} | batches {:>4} | lat p99 {:>8.3} ms | be p99 {:>8.3} ms",
+            "  {:<28} offered {:>7.0} req/s | admitted {:>3} | shed {:>3} | batches {:>4} | memo {:>5}h/{:>5}m | lat p99 {:>8.3} ms | be p99 {:>8.3} ms",
             scenario.name,
             rate,
             scenario.admitted,
             scenario.shed,
             scenario.batches_run,
+            scenario.memo_hits,
+            scenario.memo_misses,
             scenario.classes[0].p99_ms,
             scenario.classes[2].p99_ms,
         );
@@ -766,7 +833,9 @@ pub fn to_json(report: &ServeReport) -> String {
             "    {{\"name\": \"{}\", \"load\": \"{}\", \"arrival\": \"{}\", \"models\": {}, \
              \"tenants\": {}, \"requests\": {}, \"admitted\": {}, \"shed\": {}, \
              \"shed_ratio\": {:.4}, \"batches_run\": {}, \"rows_served\": {}, \
-             \"slo_ms\": {:.4}, \"classes\": [\n",
+             \"engine_cache_hits\": {}, \"engine_cache_misses\": {}, \
+             \"engine_cache_evictions\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
+             \"memo_evictions\": {}, \"slo_ms\": {:.4}, \"classes\": [\n",
             sc.name,
             sc.load,
             sc.arrival,
@@ -778,6 +847,12 @@ pub fn to_json(report: &ServeReport) -> String {
             sc.shed_ratio,
             sc.batches_run,
             sc.rows_served,
+            sc.engine_cache_hits,
+            sc.engine_cache_misses,
+            sc.engine_cache_evictions,
+            sc.memo_hits,
+            sc.memo_misses,
+            sc.memo_evictions,
             sc.slo_ms,
         ));
         for (j, cl) in sc.classes.iter().enumerate() {

@@ -63,6 +63,7 @@ pub const RULE_CATALOG: &[(&str, &str)] = &[
 const HOT_PATHS: &[&str] = &[
     "crates/vq/src/serve.rs",
     "crates/vq/src/engine.rs",
+    "crates/vq/src/codes.rs",
     "crates/vq/src/pool.rs",
     "crates/lutboost/src/session.rs",
     "crates/lutboost/src/gateway.rs",
@@ -519,6 +520,11 @@ mod tests {
         let src = "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
         let v = check("crates/vq/src/serve.rs", "lutdla-vq", src);
         assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, PANIC);
+        // The packed-codes module runs on the encode path of every memo
+        // lookup, so it is hot too.
+        let v = check("crates/vq/src/codes.rs", "lutdla-vq", src);
+        assert_eq!(v.len(), 1, "codes.rs is a hot path");
         assert_eq!(v[0].rule, PANIC);
         assert!(
             check("crates/nn/src/x.rs", "lutdla-nn", src).is_empty(),

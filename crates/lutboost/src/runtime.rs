@@ -48,7 +48,7 @@ use std::sync::Arc;
 use lutdla_models::trainable::{DenseUnit, ServableModel};
 use lutdla_nn::{ParamId, ParamSet};
 use lutdla_vq::{
-    default_workers, share, AdaptiveOptions, BatchOptions, BatchPolicy, EngineOptions,
+    default_workers, share, AdaptiveOptions, BatchOptions, BatchPolicy, EncodeMemo, EngineOptions,
     FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, SharedEngine, StageStats,
     WorkerPool,
 };
@@ -105,6 +105,14 @@ pub struct RuntimeOptions {
     /// [`BatchPolicy::Adaptive`] policy gives every batcher built from
     /// these options its own independently adapting window.
     pub policy: BatchPolicy,
+    /// Capacity, in rows, of the cross-request [`EncodeMemo`] fronting
+    /// every batcher this runtime builds (`0`, the default, disables the
+    /// memo). Each front door / pipeline stage gets its **own** memo —
+    /// stages serve different codebooks, so sharing one pool would only
+    /// mix key spaces. Duplicate rows re-submitted to a stage skip the
+    /// similarity walk; the hit/miss/evict counters surface through
+    /// [`StageStats`].
+    pub memo_rows: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -113,6 +121,7 @@ impl Default for RuntimeOptions {
             workers: default_workers(),
             cache_capacity: 16,
             policy: BatchPolicy::default(),
+            memo_rows: 0,
         }
     }
 }
@@ -357,7 +366,49 @@ impl LutRuntime {
         cfg: DeployConfig,
         policy: BatchPolicy,
     ) -> MicroBatcher {
-        MicroBatcher::with_policy(self.engine_with(lut, ps, cfg), policy)
+        let memo = self.stage_memo();
+        MicroBatcher::with_policy_memo(self.engine_with(lut, ps, cfg), policy, memo)
+    }
+
+    /// A fresh per-stage encode memo, or `None` when
+    /// [`RuntimeOptions::memo_rows`] is zero.
+    fn stage_memo(&self) -> Option<Arc<EncodeMemo>> {
+        (self.opts.memo_rows > 0).then(|| Arc::new(EncodeMemo::new(self.opts.memo_rows)))
+    }
+
+    /// Groups the cached engines by **code identity**: the key fields that
+    /// determine the similarity walk's output (parameter-set uid, weight,
+    /// layer, version, datapath precision) — everything except the table
+    /// quantization. Engines in one group share a codebook, so one packed
+    /// stream from [`LutEngine::encode_packed`] drives all of them via
+    /// [`LutEngine::run_many_from_packed`]; that is the encode-once seam a
+    /// Table-IV-style [`LutQuant`] sweep exploits. Groups — and engines
+    /// within a group — come back in least-recently-used-first order;
+    /// singleton groups are included.
+    pub fn engines_sharing_codes(&self) -> Vec<Vec<SharedEngine>> {
+        let mut groups: HashMap<_, Vec<(u64, SharedEngine)>> = HashMap::new();
+        for (key, entry) in &self.cache {
+            groups
+                .entry((
+                    key.set_uid,
+                    key.weight,
+                    key.centroid0,
+                    key.version,
+                    key.precision,
+                ))
+                .or_default()
+                .push((entry.last_used, Arc::clone(&entry.engine)));
+        }
+        // `last_used` ticks are unique, so the order is deterministic even
+        // though the map walk is not.
+        let mut out: Vec<Vec<(u64, SharedEngine)>> = groups.into_values().collect();
+        for group in &mut out {
+            group.sort_by_key(|(tick, _)| *tick);
+        }
+        out.sort_by_key(|group| group[0].0);
+        out.into_iter()
+            .map(|group| group.into_iter().map(|(_, engine)| engine).collect())
+            .collect()
     }
 
     /// Opens a **whole-model** serving session: `submit(input)` pipelines a
@@ -450,8 +501,11 @@ impl LutRuntime {
             match as_lut(unit) {
                 Some(lut) => {
                     let engine = self.engine_with(lut, ps, cfg);
-                    let stage =
-                        Arc::new(MicroBatcher::with_policy(Arc::clone(&engine), stage_policy));
+                    let stage = Arc::new(MicroBatcher::with_policy_memo(
+                        Arc::clone(&engine),
+                        stage_policy,
+                        self.stage_memo(),
+                    ));
                     plan.push(UnitPlan::Lut {
                         name: unit.name.clone(),
                         engine,
@@ -824,6 +878,100 @@ mod tests {
         for (i, h) in handles.into_iter().enumerate() {
             let out = h.wait().expect("session alive");
             assert_eq!(out.as_slice(), &reference.data()[i * n..(i + 1) * n]);
+        }
+    }
+
+    #[test]
+    fn engines_sharing_codes_groups_by_everything_but_quant() {
+        let (ps, lut, _) = layer_setup();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        // Two quantizations at the same datapath precision share codes;
+        // a third config at a different precision encodes differently.
+        let f32_fp32 = DeployConfig::fp32();
+        let f16_fp32 = DeployConfig {
+            lut_quant: LutQuant::F16,
+            precision: FloatPrecision::Fp32,
+        };
+        let int8_bf16 = DeployConfig::bf16_int8();
+        let a = rt.engine_with(&lut, &ps, f32_fp32);
+        let b = rt.engine_with(&lut, &ps, f16_fp32);
+        let c = rt.engine_with(&lut, &ps, int8_bf16);
+        let groups = rt.engines_sharing_codes();
+        assert_eq!(groups.len(), 2, "quant-only variants must share a group");
+        assert_eq!(groups[0].len(), 2, "fp32-datapath group holds both quants");
+        assert!(Arc::ptr_eq(&groups[0][0], &a) && Arc::ptr_eq(&groups[0][1], &b));
+        assert_eq!(groups[1].len(), 1);
+        assert!(Arc::ptr_eq(&groups[1][0], &c));
+    }
+
+    #[test]
+    fn memo_enabled_session_is_bit_identical_and_counts_hits() {
+        let (ps, lut, calib) = layer_setup();
+        let x = calib.rows(0, 6);
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        let mut rt = LutRuntime::with_options(
+            DeployConfig::fp32(),
+            RuntimeOptions {
+                memo_rows: 64 * 8,
+                ..RuntimeOptions::default()
+            },
+        );
+        let engine = rt.engine_with(&lut, &ps, DeployConfig::fp32());
+        let reference = lutdla_vq::lock_engine(&engine).run_batch(&x);
+        let n = reference.dims()[1];
+
+        let session = rt.session(&lut, &ps);
+        for pass in 0..2 {
+            for i in 0..m {
+                let out = session
+                    .submit(&x.data()[i * k..(i + 1) * k])
+                    .expect("row")
+                    .wait()
+                    .expect("session alive");
+                assert_eq!(
+                    out.as_slice(),
+                    &reference.data()[i * n..(i + 1) * n],
+                    "pass {pass} row {i} diverged through the memo"
+                );
+            }
+        }
+        let stats = session.stats();
+        assert_eq!(stats.memo_misses, m, "first pass populated the memo");
+        assert_eq!(stats.memo_hits, m, "second pass re-encoded");
+    }
+
+    #[test]
+    fn stage_batchers_carry_per_stage_memos_when_enabled() {
+        let (ps, net, images) = converted_net(127);
+        let mut rt = LutRuntime::with_options(
+            DeployConfig::fp32(),
+            RuntimeOptions {
+                memo_rows: 4096,
+                ..RuntimeOptions::default()
+            },
+        );
+        let batchers = rt.stage_batchers(&net, &ps, DeployConfig::fp32(), BatchPolicy::default());
+        let image = Tensor::from_vec(images.data()[..3 * 16 * 16].to_vec(), &[3, 16, 16]);
+        let serve = |rt: &LutRuntime| {
+            let session = rt.model_session_shared(&net, &ps, &batchers);
+            let handle = session.submit(image.clone()).expect("valid image");
+            session.flush();
+            handle.wait().expect("session alive")
+        };
+        let first = serve(&rt);
+        // Same image again: every stage re-sees its rows, so each stage's
+        // memo serves hits — and the logits stay bit-identical.
+        let second = serve(&rt);
+        assert_eq!(first, second, "memo-backed pipeline diverged");
+        for (name, stats) in batchers.stage_stats() {
+            assert!(
+                stats.memo_misses > 0,
+                "stage {name}: first pass never touched its memo"
+            );
+            assert!(
+                stats.memo_hits > 0,
+                "stage {name}: duplicate image produced no memo hits"
+            );
         }
     }
 

@@ -37,6 +37,28 @@
 //!    scratch (code buffers) is retained across calls — steady-state
 //!    `run_batch` allocates only the output tensor.
 //!
+//! # Encode-once execution
+//!
+//! Encoding is the expensive similarity walk; the codes it produces are
+//! valid for *any* table built from the same codebook. Three entry points
+//! exploit that separation:
+//!
+//! - [`LutEngine::encode_packed`] / [`LutEngine::run_from_packed`] split
+//!   encode from lookup around a [`PackedCodes`] stream stored at the
+//!   minimal width for the centroid count (nibbles for `c ≤ 16`, bytes for
+//!   `c ≤ 256`) — the lookup loops stream the packed form directly, so the
+//!   code-stream bandwidth drops 2–4× versus `u16` codes.
+//! - [`LutEngine::run_many_from_packed`] applies one code stream to N
+//!   [`TileTables`] sharing the codebook — precision/quant sweeps and
+//!   Q/K/V-style shared-input projections pay one encode, N lookups.
+//! - [`LutEngine::run_batch_memo`] fronts the encode with a cross-request
+//!   [`EncodeMemo`]: duplicate rows skip the walk via a verified hash
+//!   probe, bit-identically (encoding is deterministic per engine).
+//!
+//! All three produce results bit-identical to [`LutEngine::run_batch`]; the
+//! `u16` [`LutEngine::run_from_codes`] path remains as a thin adapter over
+//! the same generic lookup kernels.
+//!
 //! # Buffer-reuse contract
 //!
 //! `run_batch` takes `&mut self` purely so per-worker scratch can be reused;
@@ -68,6 +90,7 @@ use std::sync::Arc;
 use lutdla_tensor::Tensor;
 
 use crate::codebook::ProductQuantizer;
+use crate::codes::{pack_row, CodeWidth, EncodeMemo, PackedCodes};
 use crate::distance::Distance;
 use crate::lut::LutTable;
 use crate::pool::WorkerPool;
@@ -179,6 +202,14 @@ pub enum EngineError {
         /// Actual buffer length.
         got: usize,
     },
+    /// A packed stream's byte length does not match `rows × row_stride`
+    /// (truncated or corrupt block).
+    PackedBufferShape {
+        /// Expected byte length (`rows · row_stride`).
+        expected: usize,
+        /// Actual byte length.
+        got: usize,
+    },
     /// `m = 0`: zero-sized tensors cannot be represented in this
     /// workspace, so an empty batch has no well-formed output.
     EmptyBatch,
@@ -200,6 +231,12 @@ impl fmt::Display for EngineError {
             EngineError::CodeBufferShape { expected, got } => {
                 write!(f, "code buffer holds {got} entries, expected {expected}")
             }
+            EngineError::PackedBufferShape { expected, got } => {
+                write!(
+                    f,
+                    "packed code stream holds {got} bytes, expected {expected}"
+                )
+            }
             EngineError::EmptyBatch => {
                 write!(f, "empty batch: m must be at least 1")
             }
@@ -208,6 +245,151 @@ impl fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// One table's tile-transposed, dequantized lookup blocks — the
+/// lookup-phase half of an engine, split out so one encoded stream can be
+/// applied to many tables built from the same codebook
+/// ([`LutEngine::run_many_from_packed`]).
+///
+/// Backing store layout: `tiles[(t · n_sub + s) · c + ci][0..tile_n]`, last
+/// tile zero-padded. Over-allocated so the first tile row can start on a
+/// 64-byte boundary (`tile_off`) — a 256-byte row then spans 4 cache
+/// lines, not 5.
+pub struct TileTables {
+    tiles: Vec<f32>,
+    tile_off: usize,
+    tile_len: usize,
+    tile_n: usize,
+    n: usize,
+    c: usize,
+    n_sub: usize,
+}
+
+impl TileTables {
+    /// Re-tiles a (dequantized) table: one contiguous `n_sub·c·tile_n`
+    /// block per output tile, so the lookup phase streams rows against a
+    /// cache-resident block instead of striding the full table. `tile_n`
+    /// is clamped to `1..=N`; [`DEFAULT_TILE_N`] hits the register-blocked
+    /// fast path.
+    pub fn build(table: &LutTable, tile_n: usize) -> Self {
+        let n = table.output_dim();
+        let c = table.num_centroids();
+        let n_sub = table.num_subspaces();
+        let tile_n = tile_n.clamp(1, n.max(1));
+        let n_tiles = n.div_ceil(tile_n).max(1);
+        let tile_len = n_tiles * n_sub * c * tile_n;
+        let mut tiles = vec![0.0f32; tile_len + 16];
+        let tile_off = match tiles.as_ptr().align_offset(64) {
+            off if off <= 16 => off,
+            _ => 0,
+        };
+        let mut row = vec![0.0f32; n];
+        for s in 0..n_sub {
+            for ci in 0..c {
+                table.write_row(s, ci, &mut row);
+                for t in 0..n_tiles {
+                    let n0 = t * tile_n;
+                    let len = (n - n0).min(tile_n);
+                    let dst = tile_off + ((t * n_sub + s) * c + ci) * tile_n;
+                    tiles[dst..dst + len].copy_from_slice(&row[n0..n0 + len]);
+                }
+            }
+        }
+        Self {
+            tiles,
+            tile_off,
+            tile_len,
+            tile_n,
+            n,
+            c,
+            n_sub,
+        }
+    }
+
+    /// Output width `N`.
+    pub fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Centroids per codebook the table was built for.
+    pub fn num_centroids(&self) -> usize {
+        self.c
+    }
+
+    /// Subspace count the table was built for.
+    pub fn num_subspaces(&self) -> usize {
+        self.n_sub
+    }
+
+    /// Tile width in floats.
+    pub fn tile_n(&self) -> usize {
+        self.tile_n
+    }
+
+    /// Heap footprint of the tiled blocks in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tiles.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The tiled lookup/accumulate phase over any code stream. Per output
+    /// element, subspaces are accumulated in ascending order — the same f32
+    /// summation order as the scalar reference, hence bit-identical
+    /// results. Full tiles at the default width go through a
+    /// register-blocked fast path (an AVX2 `target_feature` clone when the
+    /// CPU has it); ragged tails and custom widths use the portable generic
+    /// loop.
+    fn accumulate_chunk<S: CodeStream>(&self, codes: S, out: &mut [f32], m: usize, avx2: bool) {
+        // Non-x86 builds take the portable loops unconditionally.
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = avx2;
+        let n_tiles = self.n.div_ceil(self.tile_n);
+        let tile_block = self.n_sub * self.c * self.tile_n;
+        let tiles = &self.tiles[self.tile_off..self.tile_off + self.tile_len];
+        for t in 0..n_tiles {
+            let n0 = t * self.tile_n;
+            let len = (self.n - n0).min(self.tile_n);
+            let block = &tiles[t * tile_block..(t + 1) * tile_block];
+            if self.tile_n == FAST_TILE && len == FAST_TILE {
+                #[cfg(target_arch = "x86_64")]
+                if avx2 {
+                    // SAFETY: `avx2` is only set when
+                    // `is_x86_feature_detected!("avx2")` reported support.
+                    unsafe {
+                        accumulate_tile_fast_avx2(
+                            block, codes, out, m, self.n, n0, self.n_sub, self.c,
+                        );
+                    }
+                    continue;
+                }
+                accumulate_tile_fast(block, codes, out, m, self.n, n0, self.n_sub, self.c);
+            } else {
+                accumulate_tile_generic(
+                    block,
+                    codes,
+                    out,
+                    m,
+                    self.n,
+                    n0,
+                    len,
+                    self.tile_n,
+                    self.n_sub,
+                    self.c,
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TileTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TileTables")
+            .field("n", &self.n)
+            .field("c", &self.c)
+            .field("n_sub", &self.n_sub)
+            .field("tile_n", &self.tile_n)
+            .finish()
+    }
+}
 
 /// Immutable kernel state, shared read-only across worker threads.
 struct EngineCore {
@@ -219,15 +401,8 @@ struct EngineCore {
     /// bit-identical to [`crate::Distance::argmin_masked`] over the
     /// row-major codebooks.
     centroids_t: Vec<f32>,
-    /// Backing store of the tile-transposed dequantized table:
-    /// `tiles[(t · n_sub + s) · c + ci][0..tile_n]`, last tile zero-padded.
-    /// Over-allocated so the first tile row can start on a 64-byte boundary
-    /// (`tile_off`) — a 256-byte row then spans 4 cache lines, not 5.
-    tiles: Vec<f32>,
-    tile_off: usize,
-    tile_len: usize,
-    tile_n: usize,
-    n: usize,
+    /// The engine's own table, re-tiled for the lookup phase.
+    tables: TileTables,
     c: usize,
     v: usize,
     k: usize,
@@ -282,32 +457,7 @@ impl LutEngine {
         assert_eq!(table.num_subspaces(), n_sub, "table subspace mismatch");
         assert_eq!(table.num_centroids(), c, "table centroid-count mismatch");
 
-        let n = table.output_dim();
-        let tile_n = opts.tile_n.clamp(1, n.max(1));
-        let n_tiles = n.div_ceil(tile_n).max(1);
-
-        // Re-tile the (dequantized) table: one contiguous n_sub·c·tile_n
-        // block per output tile, so the lookup phase streams rows against a
-        // cache-resident block instead of striding the full table. The
-        // first row is placed on a 64-byte boundary (see `tile_off`).
-        let tile_len = n_tiles * n_sub * c * tile_n;
-        let mut tiles = vec![0.0f32; tile_len + 16];
-        let tile_off = match tiles.as_ptr().align_offset(64) {
-            off if off <= 16 => off,
-            _ => 0,
-        };
-        let mut row = vec![0.0f32; n];
-        for s in 0..n_sub {
-            for ci in 0..c {
-                table.write_row(s, ci, &mut row);
-                for t in 0..n_tiles {
-                    let n0 = t * tile_n;
-                    let len = (n - n0).min(tile_n);
-                    let dst = tile_off + ((t * n_sub + s) * c + ci) * tile_n;
-                    tiles[dst..dst + len].copy_from_slice(&row[n0..n0 + len]);
-                }
-            }
-        }
+        let tables = TileTables::build(table, opts.tile_n);
 
         let use_avx2 = {
             #[cfg(target_arch = "x86_64")]
@@ -322,12 +472,8 @@ impl LutEngine {
 
         let mut core = EngineCore {
             centroids_t: Vec::new(),
-            tiles,
-            tile_off,
-            tile_len,
-            tile_n,
+            tables,
             use_avx2,
-            n,
             c,
             v: pq.subvector_len(),
             k: pq.input_dim(),
@@ -378,7 +524,7 @@ impl LutEngine {
 
     /// Output width `N`.
     pub fn output_dim(&self) -> usize {
-        self.core.n
+        self.core.tables.n
     }
 
     /// Input width `K`.
@@ -393,7 +539,20 @@ impl LutEngine {
 
     /// Output-tile width in floats.
     pub fn tile_n(&self) -> usize {
-        self.core.tile_n
+        self.core.tables.tile_n
+    }
+
+    /// The minimal [`CodeWidth`] for this engine's centroid count — the
+    /// width [`LutEngine::encode_packed`] emits.
+    pub fn code_width(&self) -> CodeWidth {
+        CodeWidth::for_centroids(self.core.c)
+    }
+
+    /// This engine's own tiled tables — hand them to **another** engine's
+    /// [`LutEngine::run_many_from_packed`] to evaluate this engine's table
+    /// from that engine's code stream (both must share a codebook).
+    pub fn tables(&self) -> &TileTables {
+        &self.core.tables
     }
 
     /// Similarity-datapath precision.
@@ -414,9 +573,197 @@ impl LutEngine {
         assert_eq!(x.shape().rank(), 2, "run_batch expects [M, K]");
         let (m, k) = (x.dims()[0], x.dims()[1]);
         assert_eq!(k, self.core.k, "K mismatch: engine {} got {k}", self.core.k);
-        let mut out = vec![0.0f32; m * self.core.n];
-        self.dispatch(m, Input::Rows(x.data()), &mut out);
-        Tensor::from_vec(out, &[m, self.core.n])
+        let n = self.core.tables.n;
+        let mut out = vec![0.0f32; m * n];
+        self.dispatch(m, Input::Rows(x.data()), &mut out, None);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Encodes a batch into a minimal-width [`PackedCodes`] stream without
+    /// running the lookup phase: the packed stream can then drive
+    /// [`LutEngine::run_from_packed`] or
+    /// [`LutEngine::run_many_from_packed`] any number of times. Encoding is
+    /// split over the worker pool exactly like `run_batch`; the codes are
+    /// the ones `run_batch` would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[M, K]` with the fitted `K`.
+    pub fn encode_packed(&mut self, x: &Tensor) -> PackedCodes {
+        assert_eq!(x.shape().rank(), 2, "encode_packed expects [M, K]");
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(k, self.core.k, "K mismatch: engine {} got {k}", self.core.k);
+        let width = CodeWidth::for_centroids(self.core.c);
+        let mut packed = PackedCodes::zeroed(m, self.core.n_sub, width);
+        self.encode_dispatch(x.data(), m, &mut packed);
+        packed
+    }
+
+    /// Lookup/accumulate only, streaming a packed code stream directly —
+    /// the nibble/byte codes index the tile blocks without widening to an
+    /// intermediate `u16` buffer. Bit-identical to `run_from_codes` on the
+    /// unpacked stream. Malformed streams (truncated block, wrong subspace
+    /// count, decoded `code ≥ c`) are rejected up front instead of
+    /// panicking inside the kernel.
+    pub fn run_from_packed(&mut self, packed: &PackedCodes) -> Result<Tensor, EngineError> {
+        self.validate_packed(packed)?;
+        let m = packed.rows();
+        let n = self.core.tables.n;
+        let mut out = vec![0.0f32; m * n];
+        self.dispatch(m, Input::packed(packed), &mut out, None);
+        Ok(Tensor::from_vec(out, &[m, n]))
+    }
+
+    /// Applies one code stream to `tables.len()` tables sharing this
+    /// engine's codebook: one encode, N lookups (the `pbs_many_lut`
+    /// pattern). Output `i` is bit-identical to running a solo engine
+    /// built on table `i` over the same rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table was not built under this engine's quantizer
+    /// (subspace/centroid-count mismatch) — same contract as
+    /// [`LutEngine::new`].
+    pub fn run_many_from_packed(
+        &mut self,
+        packed: &PackedCodes,
+        tables: &[&TileTables],
+    ) -> Result<Vec<Tensor>, EngineError> {
+        self.validate_packed(packed)?;
+        for t in tables {
+            assert_eq!(t.n_sub, self.core.n_sub, "table subspace mismatch");
+            assert_eq!(t.c, self.core.c, "table centroid-count mismatch");
+        }
+        let m = packed.rows();
+        let mut outs = Vec::with_capacity(tables.len());
+        for t in tables {
+            let mut out = vec![0.0f32; m * t.n];
+            self.dispatch(m, Input::packed(packed), &mut out, Some(t));
+            outs.push(Tensor::from_vec(out, &[m, t.n]));
+        }
+        Ok(outs)
+    }
+
+    /// `run_batch` with a cross-request [`EncodeMemo`] in front of the
+    /// encode phase: rows whose exact bit pattern is memoized skip the
+    /// similarity walk and reuse the cached packed block; misses are
+    /// encoded and inserted. Bit-identical to [`LutEngine::run_batch`]
+    /// (encoding is deterministic for a fixed engine, and every memo hit is
+    /// verified against the full row bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[M, K]` with the fitted `K`.
+    pub fn run_batch_memo(&mut self, x: &Tensor, memo: &EncodeMemo) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "run_batch_memo expects [M, K]");
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(k, self.core.k, "K mismatch: engine {} got {k}", self.core.k);
+        let packed = self.encode_packed_memo(x.data(), m, memo);
+        let n = self.core.tables.n;
+        let mut out = vec![0.0f32; m * n];
+        self.dispatch(m, Input::packed(&packed), &mut out, None);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Memo-fronted encode: probe per row, walk only the misses. Runs on
+    /// the caller thread — the point of the memo is that the walk (the
+    /// parallel part) mostly doesn't happen.
+    fn encode_packed_memo(&mut self, rows: &[f32], m: usize, memo: &EncodeMemo) -> PackedCodes {
+        let width = CodeWidth::for_centroids(self.core.c);
+        let mut packed = PackedCodes::zeroed(m, self.core.n_sub, width);
+        let stride = packed.row_stride();
+        let core = &self.core;
+        let scratch = &mut self.scratch[0];
+        for r in 0..m {
+            let row = &rows[r * core.k..(r + 1) * core.k];
+            let dst = packed.row_bytes_mut(r);
+            if memo.lookup(row, dst) {
+                continue;
+            }
+            core.encode_pack_chunk(row, dst, scratch, width, stride);
+            memo.insert(row, dst);
+        }
+        packed
+    }
+
+    /// Structural validation shared by the packed entry points, mirroring
+    /// the `run_from_codes` checks. The out-of-range scan is skipped when
+    /// the width cannot represent a code `≥ c` (e.g. nibbles at `c = 16`).
+    fn validate_packed(&self, packed: &PackedCodes) -> Result<(), EngineError> {
+        let m = packed.rows();
+        if m == 0 {
+            return Err(EngineError::EmptyBatch);
+        }
+        if packed.n_sub() != self.core.n_sub {
+            return Err(EngineError::CodeBufferShape {
+                expected: m * self.core.n_sub,
+                got: m * packed.n_sub(),
+            });
+        }
+        let expected = packed.expected_bytes();
+        if packed.bytes().len() != expected {
+            return Err(EngineError::PackedBufferShape {
+                expected,
+                got: packed.bytes().len(),
+            });
+        }
+        if self.core.c < packed.width().capacity() {
+            for r in 0..m {
+                for s in 0..self.core.n_sub {
+                    let code = packed.code(r, s);
+                    if (code as usize) >= self.core.c {
+                        return Err(EngineError::CodeOutOfRange {
+                            row: r,
+                            subspace: s,
+                            code,
+                            num_centroids: self.core.c,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits `m` rows over the workers and encodes each chunk straight
+    /// into its disjoint byte range of the packed stream (fixed row stride
+    /// ⇒ chunk boundaries are byte boundaries).
+    fn encode_dispatch(&mut self, rows: &[f32], m: usize, packed: &mut PackedCodes) {
+        let chunks = self
+            .workers
+            .min(m.div_ceil(MIN_ROWS_PER_WORKER))
+            .clamp(1, m.max(1));
+        let rows_per = m.div_ceil(chunks.max(1)).max(1);
+        let target_pool = self.workers;
+        let core = &self.core;
+        let width = packed.width();
+        let stride = packed.row_stride();
+        let bytes = packed.bytes_mut();
+        if chunks <= 1 {
+            core.encode_pack_chunk(rows, bytes, &mut self.scratch[0], width, stride);
+            return;
+        }
+        let pool = Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::new(WorkerPool::new(target_pool))),
+        );
+        pool.scope(|scope| {
+            let mut row0 = 0usize;
+            let mut bytes_rest = bytes;
+            for scratch in self.scratch.iter_mut().take(chunks) {
+                let rows_here = rows_per.min(m - row0);
+                let (bytes_chunk, rest) = bytes_rest.split_at_mut(rows_here * stride);
+                bytes_rest = rest;
+                let row_chunk = &rows[row0 * core.k..(row0 + rows_here) * core.k];
+                scope.spawn(move || {
+                    core.encode_pack_chunk(row_chunk, bytes_chunk, scratch, width, stride)
+                });
+                row0 += rows_here;
+                if row0 == m {
+                    break;
+                }
+            }
+        });
     }
 
     /// Lookup/accumulate only, from precomputed codes (`m` rows of
@@ -442,15 +789,18 @@ impl LutEngine {
                 num_centroids: self.core.c,
             });
         }
-        let mut out = vec![0.0f32; m * self.core.n];
-        self.dispatch(m, Input::Codes(codes), &mut out);
-        Ok(Tensor::from_vec(out, &[m, self.core.n]))
+        let n = self.core.tables.n;
+        let mut out = vec![0.0f32; m * n];
+        self.dispatch(m, Input::Codes(codes), &mut out, None);
+        Ok(Tensor::from_vec(out, &[m, n]))
     }
 
     /// Splits `m` rows over the workers and runs the kernel, inline when a
     /// single chunk suffices. `m ≥ 1`: zero-sized tensors cannot exist in
-    /// this workspace, so both entry points always hand over real rows.
-    fn dispatch(&mut self, m: usize, input: Input<'_>, out: &mut [f32]) {
+    /// this workspace, so the entry points always hand over real rows.
+    /// `ext` substitutes a foreign [`TileTables`] (sharing this engine's
+    /// codebook geometry) for the engine's own lookup blocks.
+    fn dispatch(&mut self, m: usize, input: Input<'_>, out: &mut [f32], ext: Option<&TileTables>) {
         let chunks = self
             .workers
             .min(m.div_ceil(MIN_ROWS_PER_WORKER))
@@ -458,8 +808,9 @@ impl LutEngine {
         let rows_per = m.div_ceil(chunks);
         let target_pool = self.workers;
         let core = &self.core;
+        let tables = ext.unwrap_or(&core.tables);
         if chunks == 1 {
-            core.run_chunk(input.slice(core, 0, m), out, &mut self.scratch[0]);
+            core.run_chunk(input.slice(core, 0, m), out, &mut self.scratch[0], tables);
             return;
         }
         // Chunks are queued on the persistent pool; if the pool has fewer
@@ -474,10 +825,10 @@ impl LutEngine {
             let mut out_rest = out;
             for scratch in self.scratch.iter_mut().take(chunks) {
                 let rows = rows_per.min(m - row0);
-                let (out_chunk, rest) = out_rest.split_at_mut(rows * core.n);
+                let (out_chunk, rest) = out_rest.split_at_mut(rows * tables.n);
                 out_rest = rest;
                 let chunk = input.slice(core, row0, rows);
-                scope.spawn(move || core.run_chunk(chunk, out_chunk, scratch));
+                scope.spawn(move || core.run_chunk(chunk, out_chunk, scratch, tables));
                 row0 += rows;
                 if row0 == m {
                     break;
@@ -491,32 +842,138 @@ impl fmt::Debug for LutEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LutEngine")
             .field("k", &self.core.k)
-            .field("n", &self.core.n)
+            .field("n", &self.core.tables.n)
             .field("c", &self.core.c)
             .field("n_sub", &self.core.n_sub)
-            .field("tile_n", &self.core.tile_n)
+            .field("tile_n", &self.core.tables.tile_n)
             .field("workers", &self.workers)
             .field("precision", &self.core.precision)
             .finish()
     }
 }
 
-/// What a worker chunk consumes: raw activation rows (fused encode+lookup)
-/// or precomputed codes (lookup only).
+/// What a worker chunk consumes: raw activation rows (fused encode+lookup),
+/// precomputed `u16` codes, or a minimal-width packed stream (lookup only).
 #[derive(Clone, Copy)]
 enum Input<'a> {
     Rows(&'a [f32]),
     Codes(&'a [u16]),
+    Packed {
+        bytes: &'a [u8],
+        stride: usize,
+        width: CodeWidth,
+    },
 }
 
 impl<'a> Input<'a> {
+    fn packed(packed: &'a PackedCodes) -> Input<'a> {
+        Input::Packed {
+            bytes: packed.bytes(),
+            stride: packed.row_stride(),
+            width: packed.width(),
+        }
+    }
+
     fn slice(&self, core: &EngineCore, row0: usize, rows: usize) -> Input<'a> {
         match *self {
             Input::Rows(data) => Input::Rows(&data[row0 * core.k..(row0 + rows) * core.k]),
             Input::Codes(codes) => {
                 Input::Codes(&codes[row0 * core.n_sub..(row0 + rows) * core.n_sub])
             }
+            Input::Packed {
+                bytes,
+                stride,
+                width,
+            } => Input::Packed {
+                bytes: &bytes[row0 * stride..(row0 + rows) * stride],
+                stride,
+                width,
+            },
         }
+    }
+}
+
+/// A read-only stream of centroid codes addressed by (row, subspace) — the
+/// abstraction that lets one set of lookup kernels consume `u16` buffers
+/// and every packed width. Implementations are `Copy` views; `code` is
+/// `#[inline(always)]` so each width monomorphizes to a direct load (plus a
+/// shift/mask for nibbles) inside the tile loops, including their AVX2
+/// `target_feature` clones.
+trait CodeStream: Copy {
+    /// The code at (`r`, `s`), already widened to an index.
+    fn code(&self, r: usize, s: usize) -> usize;
+
+    /// The codes at (`r`, `s`) and (`r`, `s + 1`) in one step. `s` must be
+    /// even — the fast tile walks subspaces pairwise so the nibble stream
+    /// can decode both halves of a byte from a single load instead of
+    /// re-addressing (and re-shifting) per subspace.
+    #[inline(always)]
+    fn code_pair(&self, r: usize, s: usize) -> (usize, usize) {
+        (self.code(r, s), self.code(r, s + 1))
+    }
+}
+
+/// The classic row-major `u16` buffer (`codes[r·n_sub + s]`).
+#[derive(Clone, Copy)]
+struct WordCodes<'a> {
+    codes: &'a [u16],
+    n_sub: usize,
+}
+
+impl CodeStream for WordCodes<'_> {
+    #[inline(always)]
+    fn code(&self, r: usize, s: usize) -> usize {
+        self.codes[r * self.n_sub + s] as usize
+    }
+}
+
+/// 4-bit packed stream: two codes per byte, low nibble first.
+#[derive(Clone, Copy)]
+struct NibbleCodes<'a> {
+    bytes: &'a [u8],
+    stride: usize,
+}
+
+impl CodeStream for NibbleCodes<'_> {
+    #[inline(always)]
+    fn code(&self, r: usize, s: usize) -> usize {
+        ((self.bytes[r * self.stride + s / 2] >> ((s & 1) * 4)) & 0xf) as usize
+    }
+
+    #[inline(always)]
+    fn code_pair(&self, r: usize, s: usize) -> (usize, usize) {
+        // `s` even ⇒ both codes live in one byte: low nibble first.
+        let b = self.bytes[r * self.stride + s / 2];
+        ((b & 0xf) as usize, (b >> 4) as usize)
+    }
+}
+
+/// 8-bit packed stream: one byte per code.
+#[derive(Clone, Copy)]
+struct ByteCodes<'a> {
+    bytes: &'a [u8],
+    stride: usize,
+}
+
+impl CodeStream for ByteCodes<'_> {
+    #[inline(always)]
+    fn code(&self, r: usize, s: usize) -> usize {
+        self.bytes[r * self.stride + s] as usize
+    }
+}
+
+/// 16-bit packed stream: little-endian `u16` per code (`c > 256`).
+#[derive(Clone, Copy)]
+struct WideCodes<'a> {
+    bytes: &'a [u8],
+    stride: usize,
+}
+
+impl CodeStream for WideCodes<'_> {
+    #[inline(always)]
+    fn code(&self, r: usize, s: usize) -> usize {
+        let off = r * self.stride + 2 * s;
+        u16::from_le_bytes([self.bytes[off], self.bytes[off + 1]]) as usize
     }
 }
 
@@ -542,11 +999,39 @@ impl EngineCore {
     }
 
     /// Executes one contiguous row chunk: encode (if needed) then the tiled
-    /// lookup/accumulate. `out` must arrive zeroed.
-    fn run_chunk(&self, input: Input<'_>, out: &mut [f32], scratch: &mut Scratch) {
-        let m = out.len() / self.n;
-        let codes: &[u16] = match input {
-            Input::Codes(codes) => codes,
+    /// lookup/accumulate against `tables` (the engine's own blocks or a
+    /// foreign table sharing the codebook). `out` must arrive zeroed.
+    fn run_chunk(
+        &self,
+        input: Input<'_>,
+        out: &mut [f32],
+        scratch: &mut Scratch,
+        tables: &TileTables,
+    ) {
+        let m = out.len() / tables.n;
+        match input {
+            Input::Codes(codes) => {
+                let stream = WordCodes {
+                    codes,
+                    n_sub: self.n_sub,
+                };
+                tables.accumulate_chunk(stream, out, m, self.use_avx2);
+            }
+            Input::Packed {
+                bytes,
+                stride,
+                width,
+            } => match width {
+                CodeWidth::W4 => {
+                    tables.accumulate_chunk(NibbleCodes { bytes, stride }, out, m, self.use_avx2)
+                }
+                CodeWidth::W8 => {
+                    tables.accumulate_chunk(ByteCodes { bytes, stride }, out, m, self.use_avx2)
+                }
+                CodeWidth::W16 => {
+                    tables.accumulate_chunk(WideCodes { bytes, stride }, out, m, self.use_avx2)
+                }
+            },
             Input::Rows(rows) => {
                 scratch.codes.resize(m * self.n_sub, 0);
                 scratch.sub.resize(self.v, 0.0);
@@ -556,14 +1041,48 @@ impl EngineCore {
                     // SAFETY: `use_avx2` is only set when
                     // `is_x86_feature_detected!("avx2")` reported support.
                     unsafe { self.encode_chunk_avx2(rows, scratch) };
-                    self.accumulate_chunk(&scratch.codes, out, m);
+                    let stream = WordCodes {
+                        codes: &scratch.codes,
+                        n_sub: self.n_sub,
+                    };
+                    tables.accumulate_chunk(stream, out, m, self.use_avx2);
                     return;
                 }
                 self.encode_chunk(rows, scratch);
-                &scratch.codes
+                let stream = WordCodes {
+                    codes: &scratch.codes,
+                    n_sub: self.n_sub,
+                };
+                tables.accumulate_chunk(stream, out, m, self.use_avx2);
             }
-        };
-        self.accumulate_chunk(codes, out, m);
+        }
+    }
+
+    /// Encodes a chunk of rows and immediately packs each row's codes into
+    /// its fixed-stride block of `bytes` — the worker body behind
+    /// `encode_packed`.
+    fn encode_pack_chunk(
+        &self,
+        rows: &[f32],
+        bytes: &mut [u8],
+        scratch: &mut Scratch,
+        width: CodeWidth,
+        stride: usize,
+    ) {
+        let m = rows.len() / self.k.max(1);
+        scratch.codes.resize(m * self.n_sub, 0);
+        scratch.sub.resize(self.v, 0.0);
+        scratch.dists.resize(self.c, 0.0);
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2 {
+            // SAFETY: `use_avx2` is only set when
+            // `is_x86_feature_detected!("avx2")` reported support.
+            unsafe { self.encode_chunk_avx2(rows, scratch) };
+            pack_chunk(&scratch.codes, self.n_sub, width, stride, bytes);
+            return;
+        }
+        self.encode_chunk(rows, scratch);
+        pack_chunk(&scratch.codes, self.n_sub, width, stride, bytes);
     }
 
     /// Encodes a chunk of rows into `scratch.codes`, masking the padded
@@ -656,49 +1175,16 @@ impl EngineCore {
         }
         best
     }
+}
 
-    /// The tiled lookup/accumulate phase. Per output element, subspaces are
-    /// accumulated in ascending order — the same f32 summation order as the
-    /// scalar reference, hence bit-identical results. Full tiles at the
-    /// default width go through a register-blocked fast path (an AVX2
-    /// `target_feature` clone when the CPU has it); ragged tails and custom
-    /// widths use the portable generic loop.
-    fn accumulate_chunk(&self, codes: &[u16], out: &mut [f32], m: usize) {
-        let n_tiles = self.n.div_ceil(self.tile_n);
-        let tile_block = self.n_sub * self.c * self.tile_n;
-        let tiles = &self.tiles[self.tile_off..self.tile_off + self.tile_len];
-        for t in 0..n_tiles {
-            let n0 = t * self.tile_n;
-            let len = (self.n - n0).min(self.tile_n);
-            let block = &tiles[t * tile_block..(t + 1) * tile_block];
-            if self.tile_n == FAST_TILE && len == FAST_TILE {
-                #[cfg(target_arch = "x86_64")]
-                if self.use_avx2 {
-                    // SAFETY: `use_avx2` is only set when
-                    // `is_x86_feature_detected!("avx2")` reported support.
-                    unsafe {
-                        accumulate_tile_fast_avx2(
-                            block, codes, out, m, self.n, n0, self.n_sub, self.c,
-                        );
-                    }
-                    continue;
-                }
-                accumulate_tile_fast(block, codes, out, m, self.n, n0, self.n_sub, self.c);
-            } else {
-                accumulate_tile_generic(
-                    block,
-                    codes,
-                    out,
-                    m,
-                    self.n,
-                    n0,
-                    len,
-                    self.tile_n,
-                    self.n_sub,
-                    self.c,
-                );
-            }
-        }
+/// Packs a chunk's worth of freshly encoded `u16` codes into fixed-stride
+/// row blocks.
+fn pack_chunk(codes: &[u16], n_sub: usize, width: CodeWidth, stride: usize, bytes: &mut [u8]) {
+    for (row_codes, block) in codes
+        .chunks_exact(n_sub)
+        .zip(bytes.chunks_exact_mut(stride))
+    {
+        pack_row(row_codes, width, block);
     }
 }
 
@@ -710,6 +1196,8 @@ const FAST_TILE: usize = DEFAULT_TILE_N;
 /// How many subspaces ahead the fast path prefetches its table row. The
 /// codes make the access pattern fully known in advance; prefetching hides
 /// the L2 latency of the 4-cache-line row the adds are about to consume.
+/// Must stay even: the fast tile walks subspaces pairwise and prefetches
+/// with `code_pair`, which requires pair-aligned subspace indices.
 const PREFETCH_AHEAD: usize = 4;
 
 #[cfg(all(target_arch = "x86_64", not(miri)))]
@@ -736,11 +1224,13 @@ fn prefetch_row(_block: &[f32], _off: usize) {}
 
 /// One full-width output tile for a chunk of rows: fixed-size accumulator,
 /// prefetched table rows. `out` rows must arrive zeroed for this tile.
+/// Generic over the code stream — `u16` and every packed width
+/// monomorphize to the same loop with only the code load differing.
 #[allow(clippy::too_many_arguments)] // mirrors the flat dPE tile-walk signature shared with the generic path
 #[inline(always)]
-fn accumulate_tile_fast(
+fn accumulate_tile_fast<S: CodeStream>(
     block: &[f32],
-    codes: &[u16],
+    codes: S,
     out: &mut [f32],
     m: usize,
     n: usize,
@@ -752,15 +1242,34 @@ fn accumulate_tile_fast(
     // as_chunks remainder is empty and `table[s*c + code]` is the row —
     // fixed-width arrays without a fallible try_into on the hot path.
     let (table, _) = block.as_chunks::<FAST_TILE>();
+    // Subspaces are walked two at a time so `code_pair` decodes a nibble
+    // pair from one byte load; PREFETCH_AHEAD is even, keeping the
+    // prefetch addresses pair-aligned too. The accumulation stays in
+    // ascending `s` order, so results are bit-identical to the scalar walk.
+    let paired = n_sub & !1;
     for r in 0..m {
-        let row_codes = &codes[r * n_sub..(r + 1) * n_sub];
         let mut acc = [0.0f32; FAST_TILE];
-        for (s, &code) in row_codes.iter().enumerate() {
-            if s + PREFETCH_AHEAD < n_sub {
-                let ahead = s + PREFETCH_AHEAD;
-                prefetch_row(block, (ahead * c + row_codes[ahead] as usize) * FAST_TILE);
+        let mut s = 0;
+        while s < paired {
+            let ahead = s + PREFETCH_AHEAD;
+            if ahead + 1 < paired {
+                let (p0, p1) = codes.code_pair(r, ahead);
+                prefetch_row(block, (ahead * c + p0) * FAST_TILE);
+                prefetch_row(block, ((ahead + 1) * c + p1) * FAST_TILE);
             }
-            let src = &table[s * c + code as usize];
+            let (c0, c1) = codes.code_pair(r, s);
+            let src = &table[s * c + c0];
+            for (a, &p) in acc.iter_mut().zip(src) {
+                *a += p;
+            }
+            let src = &table[(s + 1) * c + c1];
+            for (a, &p) in acc.iter_mut().zip(src) {
+                *a += p;
+            }
+            s += 2;
+        }
+        if s < n_sub {
+            let src = &table[s * c + codes.code(r, s)];
             for (a, &p) in acc.iter_mut().zip(src) {
                 *a += p;
             }
@@ -782,9 +1291,9 @@ fn accumulate_tile_fast(
                                      // SAFETY: unsafe-to-call purely because of `target_feature`; the body is
                                      // safe code. The only call site is gated on `use_avx2`, set from
                                      // `is_x86_feature_detected!("avx2")`.
-unsafe fn accumulate_tile_fast_avx2(
+unsafe fn accumulate_tile_fast_avx2<S: CodeStream>(
     block: &[f32],
-    codes: &[u16],
+    codes: S,
     out: &mut [f32],
     m: usize,
     n: usize,
@@ -798,9 +1307,9 @@ unsafe fn accumulate_tile_fast_avx2(
 /// Any-width tile accumulation (custom `tile_n`, ragged final tile).
 #[allow(clippy::too_many_arguments)] // same flat dPE tile-walk signature, plus the ragged len/tile_n pair
 #[inline(always)]
-fn accumulate_tile_generic(
+fn accumulate_tile_generic<S: CodeStream>(
     block: &[f32],
-    codes: &[u16],
+    codes: S,
     out: &mut [f32],
     m: usize,
     n: usize,
@@ -812,9 +1321,8 @@ fn accumulate_tile_generic(
 ) {
     for r in 0..m {
         let acc = &mut out[r * n + n0..r * n + n0 + len];
-        let row_codes = &codes[r * n_sub..(r + 1) * n_sub];
-        for (s, &code) in row_codes.iter().enumerate() {
-            let src_off = (s * c + code as usize) * tile_n;
+        for s in 0..n_sub {
+            let src_off = (s * c + codes.code(r, s)) * tile_n;
             let src = &block[src_off..src_off + len];
             for (a, &p) in acc.iter_mut().zip(src) {
                 *a += p;
@@ -931,6 +1439,168 @@ mod tests {
 
         let err = engine.run_from_codes(&[], 0).expect_err("empty");
         assert_eq!(err, EngineError::EmptyBatch);
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_w4() {
+        // c = 16 → nibble stream, with a ragged tail tile (N = 70) and a
+        // ragged final subspace (v = 4 ∤ K = 18) — the same shape as the
+        // fast-path test, through encode_packed + run_from_packed.
+        let (a, pq, table) = setup(40, 18, 70, 4, 16, 39);
+        let mut engine = LutEngine::new(pq.clone(), &table).with_workers(3);
+        let expect = engine.run_batch(&a);
+        let packed = engine.encode_packed(&a);
+        assert_eq!(packed.width(), CodeWidth::W4);
+        assert_eq!(engine.code_width(), CodeWidth::W4);
+        // The packed stream holds exactly the codes the quantizer emits.
+        assert_eq!(packed.unpack(), pq.encode(&a));
+        let got = engine.run_from_packed(&packed).expect("well-formed stream");
+        assert!(got.allclose(&expect, 0.0), "W4 packed path diverged");
+        // And the u16 adapter agrees with the packed stream it unpacks to.
+        let via_codes = engine.run_from_codes(&packed.unpack(), 40).expect("valid");
+        assert!(via_codes.allclose(&expect, 0.0));
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_w8_and_w16() {
+        // c = 32 → byte stream.
+        let (a, pq, table) = setup(64, 16, 40, 4, 32, 48);
+        let mut engine = LutEngine::new(pq, &table).with_workers(2);
+        let expect = engine.run_batch(&a);
+        let packed = engine.encode_packed(&a);
+        assert_eq!(packed.width(), CodeWidth::W8);
+        let got = engine.run_from_packed(&packed).expect("well-formed stream");
+        assert!(got.allclose(&expect, 0.0), "W8 packed path diverged");
+
+        // c = 300 → u16 fallback stream.
+        let (a, pq, table) = setup(300, 4, 8, 2, 300, 49);
+        let mut engine = LutEngine::new(pq, &table).with_workers(2);
+        let expect = engine.run_batch(&a);
+        let packed = engine.encode_packed(&a);
+        assert_eq!(packed.width(), CodeWidth::W16);
+        let got = engine.run_from_packed(&packed).expect("well-formed stream");
+        assert!(got.allclose(&expect, 0.0), "W16 packed path diverged");
+    }
+
+    #[test]
+    fn malformed_packed_streams_are_rejected_not_panicking() {
+        // Mirrors `malformed_codes_are_rejected_not_panicking` for the
+        // packed entry point. c = 8 packs as nibbles whose capacity (16)
+        // exceeds c, so the out-of-range scan is live.
+        let (a, pq, table) = setup(4, 8, 6, 4, 8, 43);
+        let mut engine = LutEngine::new(pq, &table);
+        let good = engine.encode_packed(&a);
+
+        // Truncated stream → PackedBufferShape with byte counts.
+        let short_bytes = good.bytes()[..good.size_bytes() - 1].to_vec();
+        let short = PackedCodes::from_bytes(short_bytes, 4, good.n_sub(), good.width());
+        let err = engine.run_from_packed(&short).expect_err("short block");
+        assert_eq!(
+            err,
+            EngineError::PackedBufferShape {
+                expected: good.expected_bytes(),
+                got: good.size_bytes() - 1
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "packed code stream holds {} bytes, expected {}",
+                good.size_bytes() - 1,
+                good.expected_bytes()
+            )
+        );
+
+        // Code == c after unpack → the exact CodeOutOfRange the u16 path
+        // reports, message format included.
+        let mut codes = good.unpack();
+        codes[3] = 8; // == c, one past the last valid centroid
+        let bad = PackedCodes::pack(&codes, 4, good.n_sub(), good.width());
+        let err = engine.run_from_packed(&bad).expect_err("bad code");
+        assert_eq!(
+            err,
+            EngineError::CodeOutOfRange {
+                row: 1,
+                subspace: 1,
+                code: 8,
+                num_centroids: 8
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "code 8 at (row 1, subspace 1) out of range: table has 8 centroids"
+        );
+
+        // Zero rows → EmptyBatch.
+        let empty = PackedCodes::zeroed(0, good.n_sub(), good.width());
+        let err = engine.run_from_packed(&empty).expect_err("empty");
+        assert_eq!(err, EngineError::EmptyBatch);
+
+        // Wrong subspace count → CodeBufferShape in entry counts.
+        let wrong = PackedCodes::zeroed(4, good.n_sub() + 1, good.width());
+        let err = engine.run_from_packed(&wrong).expect_err("n_sub mismatch");
+        assert_eq!(
+            err,
+            EngineError::CodeBufferShape {
+                expected: 4 * good.n_sub(),
+                got: 4 * (good.n_sub() + 1)
+            }
+        );
+    }
+
+    #[test]
+    fn run_many_from_packed_matches_solo_engines() {
+        // One code stream over three tables (one per LutQuant, mixed
+        // ragged/full tile widths) must match a solo engine per table.
+        let mut rng = StdRng::seed_from_u64(50);
+        let a = Tensor::rand_uniform(&mut rng, &[40, 16], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, 4, 16, Distance::L2, &mut rng);
+        let quants = [LutQuant::F32, LutQuant::F16, LutQuant::Int8];
+        let luts: Vec<LutTable> = quants
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let b = Tensor::rand_uniform(&mut rng, &[16, 30 + i * 17], -1.0, 1.0);
+                LutTable::build(&pq, &b, q)
+            })
+            .collect();
+        let tables: Vec<TileTables> = luts
+            .iter()
+            .map(|t| TileTables::build(t, DEFAULT_TILE_N))
+            .collect();
+        let refs: Vec<&TileTables> = tables.iter().collect();
+
+        let mut engine = LutEngine::new(pq.clone(), &luts[0]).with_workers(2);
+        let packed = engine.encode_packed(&a);
+        let many = engine
+            .run_many_from_packed(&packed, &refs)
+            .expect("well-formed stream");
+        assert_eq!(many.len(), 3);
+        for (y, lut) in many.iter().zip(&luts) {
+            let mut solo = LutEngine::new(pq.clone(), lut).with_workers(1);
+            let expect = solo.run_batch(&a);
+            assert_eq!(y.dims(), expect.dims());
+            assert!(y.allclose(&expect, 0.0), "many-table output diverged");
+        }
+    }
+
+    #[test]
+    fn memo_path_is_bit_identical_and_counts_hits() {
+        let (a, pq, table) = setup(24, 8, 6, 4, 8, 51);
+        let mut engine = LutEngine::new(pq, &table).with_workers(2);
+        let expect = engine.run_batch(&a);
+        // Capacity ≥ batch × shards: even a degenerate shard distribution
+        // cannot evict, so the warm pass is deterministically all-hits.
+        let memo = EncodeMemo::new(256);
+        let cold = engine.run_batch_memo(&a, &memo);
+        assert!(cold.allclose(&expect, 0.0), "cold memo path diverged");
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 24, 0));
+        let warm = engine.run_batch_memo(&a, &memo);
+        assert!(warm.allclose(&expect, 0.0), "warm memo path diverged");
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (24, 24, 0));
+        assert_eq!(memo.len(), 24);
     }
 
     #[test]

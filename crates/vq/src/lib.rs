@@ -33,6 +33,7 @@
 
 mod amm;
 mod codebook;
+mod codes;
 mod distance;
 mod engine;
 mod kmeans;
@@ -46,9 +47,10 @@ pub use amm::{
     amm_error, approx_matmul, approx_matmul_from_codes, approx_matmul_with_precision, AmmError,
 };
 pub use codebook::{Codebook, ProductQuantizer};
+pub use codes::{CodeWidth, EncodeMemo, MemoStats, PackedCodes, ROW_BLOCK_ALIGN};
 pub use distance::{Distance, ParseDistanceError};
 pub use engine::{
-    default_workers, EngineError, EngineOptions, LutEngine, DEFAULT_TILE_N, MAX_WORKERS,
+    default_workers, EngineError, EngineOptions, LutEngine, TileTables, DEFAULT_TILE_N, MAX_WORKERS,
 };
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use lut::{LutQuant, LutTable};

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use lutdla_tensor::Tensor;
 
+use crate::codes::EncodeMemo;
 use crate::engine::LutEngine;
 
 /// An engine behind a lock, shareable between a deployed layer, a cache,
@@ -256,6 +257,16 @@ pub struct StageStats {
     /// latency harness reads next to the per-request
     /// [`ServeTiming`] timestamps.
     pub service_nanos: u64,
+    /// Encode-memo hits so far ([`MicroBatcher::with_policy_memo`]): rows
+    /// whose similarity walk was skipped via the cross-request
+    /// [`EncodeMemo`]. Zero for a batcher without a memo.
+    pub memo_hits: usize,
+    /// Encode-memo misses so far (rows that paid the walk and were
+    /// inserted). Zero for a batcher without a memo.
+    pub memo_misses: usize,
+    /// Encode-memo evictions so far (rows dropped to stay within the memo
+    /// bound). Zero for a batcher without a memo.
+    pub memo_evictions: usize,
 }
 
 impl StageStats {
@@ -276,6 +287,9 @@ impl StageStats {
             queued_high_water: self.queued_high_water,
             current_window: self.current_window,
             service_nanos: self.service_nanos.saturating_sub(prev.service_nanos),
+            memo_hits: self.memo_hits.saturating_sub(prev.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(prev.memo_misses),
+            memo_evictions: self.memo_evictions.saturating_sub(prev.memo_evictions),
         }
     }
 }
@@ -553,6 +567,7 @@ pub struct MicroBatcher {
     k: usize,
     n: usize,
     counters: Arc<Counters>,
+    memo: Option<Arc<EncodeMemo>>,
 }
 
 impl MicroBatcher {
@@ -568,6 +583,20 @@ impl MicroBatcher {
     /// this batcher's window track queue pressure independently of any
     /// other batcher's.
     pub fn with_policy(engine: SharedEngine, policy: BatchPolicy) -> Self {
+        Self::with_policy_memo(engine, policy, None)
+    }
+
+    /// [`MicroBatcher::with_policy`] with a cross-request [`EncodeMemo`]
+    /// fronting the engine's encode phase: every flush goes through
+    /// [`LutEngine::run_batch_memo`], so rows this stage has already seen
+    /// skip the similarity walk. Sharing one memo `Arc` across stages that
+    /// serve the same codebook shares the hit pool too; the memo's
+    /// hit/miss/evict counters surface in [`MicroBatcher::stats`].
+    pub fn with_policy_memo(
+        engine: SharedEngine,
+        policy: BatchPolicy,
+        memo: Option<Arc<EncodeMemo>>,
+    ) -> Self {
         let policy = policy.normalized();
         let (k, n) = {
             let e = lock_engine(&engine);
@@ -581,9 +610,10 @@ impl MicroBatcher {
         };
         let counters = Arc::new(Counters::new(initial_window));
         let shared = Arc::clone(&counters);
+        let collector_memo = memo.clone();
         let collector = std::thread::Builder::new()
             .name("lutdla-microbatch".to_string())
-            .spawn(move || collect_loop(engine, rx, policy, k, n, &shared))
+            .spawn(move || collect_loop(engine, rx, policy, k, n, &shared, collector_memo))
             // If the OS refuses the collector thread the batcher is born
             // closed: `tx` is dropped, so every submit reports
             // `SubmitError::Closed` instead of panicking the caller.
@@ -594,6 +624,7 @@ impl MicroBatcher {
             k,
             n,
             counters,
+            memo,
         }
     }
 
@@ -674,12 +705,16 @@ impl MicroBatcher {
 
     /// Snapshot of this batcher's serving counters.
     pub fn stats(&self) -> StageStats {
+        let memo = self.memo.as_ref().map(|m| m.stats()).unwrap_or_default();
         StageStats {
             batches_run: self.batches_run(),
             rows_served: self.rows_served(),
             queued_high_water: self.counters.high_water.load(Ordering::Acquire),
             current_window: self.current_window(),
             service_nanos: self.counters.service_nanos.load(Ordering::Acquire),
+            memo_hits: memo.hits as usize,
+            memo_misses: memo.misses as usize,
+            memo_evictions: memo.evictions as usize,
         }
     }
 }
@@ -714,10 +749,12 @@ fn collect_loop(
     k: usize,
     n: usize,
     counters: &Counters,
+    memo: Option<Arc<EncodeMemo>>,
 ) {
+    let memo = memo.as_deref();
     match policy {
-        BatchPolicy::Static(opts) => static_loop(&engine, &rx, opts, k, n, counters),
-        BatchPolicy::Adaptive(opts) => adaptive_loop(&engine, &rx, opts, k, n, counters),
+        BatchPolicy::Static(opts) => static_loop(&engine, &rx, opts, k, n, counters, memo),
+        BatchPolicy::Adaptive(opts) => adaptive_loop(&engine, &rx, opts, k, n, counters, memo),
     }
 }
 
@@ -730,6 +767,7 @@ fn static_loop(
     k: usize,
     n: usize,
     counters: &Counters,
+    memo: Option<&EncodeMemo>,
 ) {
     let max_rows = opts.max_batch;
     let mut open = true;
@@ -751,7 +789,7 @@ fn static_loop(
         } else if queued < max_rows {
             open = wait_for_window(rx, &mut pending, &mut queued, max_rows, opts.max_delay);
         }
-        flush(engine, pending, k, n, counters);
+        flush(engine, pending, k, n, counters, memo);
     }
 }
 
@@ -764,6 +802,7 @@ fn adaptive_loop(
     k: usize,
     n: usize,
     counters: &Counters,
+    memo: Option<&EncodeMemo>,
 ) {
     // `Counters::new` already seeded the window with the controller's
     // starting point (the collapsed floor).
@@ -805,7 +844,7 @@ fn adaptive_loop(
         // `wait` returned always observes the post-flush window.
         ctl.on_flush(queued, backlog);
         counters.window.store(ctl.window(), Ordering::Release);
-        flush(engine, pending, k, n, counters);
+        flush(engine, pending, k, n, counters, memo);
     }
 }
 
@@ -861,7 +900,14 @@ fn wait_for_window(
 
 /// Runs one coalesced batch and resolves every caller's handle with its own
 /// slice of the output.
-fn flush(engine: &SharedEngine, pending: Vec<Request>, k: usize, n: usize, counters: &Counters) {
+fn flush(
+    engine: &SharedEngine,
+    pending: Vec<Request>,
+    k: usize,
+    n: usize,
+    counters: &Counters,
+    memo: Option<&EncodeMemo>,
+) {
     let m: usize = pending.iter().map(|r| r.nrows).sum();
     let mut data = Vec::with_capacity(m * k);
     for req in &pending {
@@ -872,7 +918,10 @@ fn flush(engine: &SharedEngine, pending: Vec<Request>, k: usize, n: usize, count
     // time feeds `StageStats::service_nanos`, and the same end stamp
     // resolves every handle's `ServeTiming`.
     let service_start = Instant::now();
-    let y = lock_engine(engine).run_batch(&x);
+    let y = match memo {
+        Some(memo) => lock_engine(engine).run_batch_memo(&x, memo),
+        None => lock_engine(engine).run_batch(&x),
+    };
     let resolved_at = Instant::now();
     counters.service_nanos.fetch_add(
         resolved_at.duration_since(service_start).as_nanos() as u64,
@@ -1526,6 +1575,9 @@ mod tests {
             queued_high_water: 32,
             current_window: 16,
             service_nanos: 9_000,
+            memo_hits: 100,
+            memo_misses: 40,
+            memo_evictions: 2,
         };
         let now = StageStats {
             batches_run: 13,
@@ -1533,12 +1585,18 @@ mod tests {
             queued_high_water: 48,
             current_window: 8,
             service_nanos: 12_500,
+            memo_hits: 160,
+            memo_misses: 55,
+            memo_evictions: 6,
         };
         let d = now.delta(&prev);
         // Monotone counters: the interval's own increments.
         assert_eq!(d.batches_run, 3);
         assert_eq!(d.rows_served, 60);
         assert_eq!(d.service_nanos, 3_500);
+        assert_eq!(d.memo_hits, 60);
+        assert_eq!(d.memo_misses, 15);
+        assert_eq!(d.memo_evictions, 4);
         // Gauges: the latest point-in-time readings, not a subtraction.
         assert_eq!(d.queued_high_water, 48);
         assert_eq!(d.current_window, 8);
@@ -1557,6 +1615,9 @@ mod tests {
             queued_high_water: 8,
             current_window: 4,
             service_nanos: 1_000,
+            memo_hits: 10,
+            memo_misses: 5,
+            memo_evictions: 1,
         };
         let newer = StageStats {
             batches_run: 7,
@@ -1564,11 +1625,19 @@ mod tests {
             queued_high_water: 24,
             current_window: 16,
             service_nanos: 8_000,
+            memo_hits: 90,
+            memo_misses: 30,
+            memo_evictions: 3,
         };
         let d = older.delta(&newer);
         assert_eq!(d.batches_run, 0);
         assert_eq!(d.rows_served, 0);
         assert_eq!(d.service_nanos, 0);
+        assert_eq!(
+            (d.memo_hits, d.memo_misses, d.memo_evictions),
+            (0, 0, 0),
+            "memo counters must saturate like the other counters"
+        );
         assert_eq!(d.queued_high_water, 8, "gauge must come from self");
         assert_eq!(d.current_window, 4, "gauge must come from self");
     }
@@ -1593,6 +1662,58 @@ mod tests {
         assert_eq!(d.batches_run, 1, "exactly the interval's flush");
         assert_eq!(d.rows_served, 3, "exactly the interval's rows");
         assert!(d.service_nanos > 0, "interval accounted engine time");
+    }
+
+    #[test]
+    fn memo_backed_batcher_is_bit_identical_and_reports_memo_counters() {
+        let (a, engine, reference) = setup(LutQuant::Int8, FloatPrecision::Bf16, 91);
+        let m = a.dims()[0];
+        // Capacity of `8 * m` rows means even a fully skewed shard
+        // distribution cannot evict (each shard holds `m`).
+        let memo = Arc::new(EncodeMemo::new(8 * m));
+        let batcher = MicroBatcher::with_policy_memo(
+            share(engine),
+            BatchPolicy::Static(BatchOptions::immediate(8)),
+            Some(Arc::clone(&memo)),
+        );
+        // Two passes over the same block: the first is all misses, the
+        // second is all hits — and both must match the memo-less reference
+        // bit for bit.
+        for pass in 0..2 {
+            let out = batcher
+                .submit_rows(a.data())
+                .expect("valid block")
+                .wait()
+                .expect("batcher alive");
+            assert_eq!(
+                out.as_slice(),
+                reference.data(),
+                "pass {pass} not bit-identical through the memo"
+            );
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.memo_misses, m, "first pass populated the memo");
+        assert_eq!(stats.memo_hits, m, "second pass was served from the memo");
+        assert_eq!(stats.memo_evictions, 0, "memo was sized to hold the batch");
+        assert_eq!(stats.rows_served, 2 * m);
+    }
+
+    #[test]
+    fn memoless_batcher_reports_zero_memo_counters() {
+        let (a, engine, _) = setup(LutQuant::F32, FloatPrecision::Fp32, 92);
+        let k = a.dims()[1];
+        let batcher = MicroBatcher::new(share(engine), BatchOptions::immediate(4));
+        batcher
+            .submit(&a.data()[..k])
+            .expect("valid row")
+            .wait()
+            .expect("batcher alive");
+        let stats = batcher.stats();
+        assert_eq!(
+            (stats.memo_hits, stats.memo_misses, stats.memo_evictions),
+            (0, 0, 0),
+            "no memo, no memo traffic"
+        );
     }
 
     #[test]

@@ -3,13 +3,13 @@
 use lutdla_tensor::Tensor;
 use lutdla_vq::{
     amm_error, approx_matmul, approx_matmul_from_codes, approx_matmul_with_precision, bf16_round,
-    fp16_round, kmeans, share, AdaptiveOptions, BatchPolicy, Distance, EngineError, EngineOptions,
-    FloatPrecision, Int8Block, KmeansConfig, LutEngine, LutQuant, LutTable, MicroBatcher,
-    ProductQuantizer,
+    fp16_round, kmeans, share, AdaptiveOptions, BatchPolicy, CodeWidth, Distance, EngineError,
+    EngineOptions, FloatPrecision, Int8Block, KmeansConfig, LutEngine, LutQuant, LutTable,
+    MicroBatcher, PackedCodes, ProductQuantizer,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -276,6 +276,80 @@ proptest! {
                 row0, row0 + rows, quant, precision
             );
         }
+    }
+
+    /// Packing codes at the minimal width and unpacking them is the
+    /// identity, for every centroid count `c ∈ 2..=256` (4- and 8-bit
+    /// packs), the 16-bit fallback, ragged subspace counts that leave a
+    /// partial final byte, and both per-element (`code`) and bulk
+    /// (`unpack`) readback.
+    #[test]
+    fn packed_codes_roundtrip(
+        m in 1usize..24,
+        n_sub in 1usize..10,
+        c in 2usize..257,
+        seed in 0u64..1000,
+        w16_sel in 0usize..2,
+    ) {
+        let width = if w16_sel == 1 {
+            CodeWidth::W16
+        } else {
+            CodeWidth::for_centroids(c)
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let codes: Vec<u16> = (0..m * n_sub)
+            .map(|_| rng.gen_range(0..c.min(width.capacity())) as u16)
+            .collect();
+        let packed = PackedCodes::pack(&codes, m, n_sub, width);
+        prop_assert_eq!(packed.rows(), m);
+        prop_assert_eq!(packed.n_sub(), n_sub);
+        prop_assert_eq!(packed.size_bytes(), packed.expected_bytes());
+        prop_assert_eq!(packed.row_stride() % lutdla_vq::ROW_BLOCK_ALIGN, 0);
+        prop_assert_eq!(&packed.unpack(), &codes);
+        for r in 0..m {
+            for s in 0..n_sub {
+                prop_assert_eq!(packed.code(r, s), codes[r * n_sub + s]);
+            }
+        }
+    }
+
+    /// `run_from_packed` is bit-identical to `run_from_codes` on the same
+    /// code stream for random shapes, every packable centroid count, and
+    /// ragged `K`/output tiles — the packed representation is a pure
+    /// storage change, never a numeric one.
+    #[test]
+    fn packed_execution_matches_u16_codes(
+        seed in 0u64..300,
+        m in 1usize..17,
+        v in 2usize..5,
+        n in 1usize..24,
+        c_pow in 1u32..7,
+        quant_sel in 0usize..3,
+        prec_sel in 0usize..3,
+    ) {
+        let quant = [LutQuant::F32, LutQuant::F16, LutQuant::Int8][quant_sel];
+        let precision =
+            [FloatPrecision::Fp32, FloatPrecision::Bf16, FloatPrecision::Fp16][prec_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = v * 2 + 1; // always ragged
+        let c = 2usize.pow(c_pow);
+        let a = Tensor::rand_uniform(&mut rng, &[m.max(2 * c), k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let pq = ProductQuantizer::fit(&a, v, c, Distance::L2, &mut rng);
+        let lut = LutTable::build(&pq, &b, quant);
+        let x = Tensor::from_vec(a.data()[..m * k].to_vec(), &[m, k]);
+        let codes = pq.encode(&x);
+
+        let mut engine = LutEngine::new(pq, &lut).with_precision(precision);
+        let reference = engine.run_from_codes(&codes, m).expect("valid codes");
+        let packed = engine.encode_packed(&x);
+        prop_assert_eq!(packed.unpack(), codes);
+        prop_assert_eq!(packed.width(), CodeWidth::for_centroids(c));
+        let got = engine.run_from_packed(&packed).expect("valid packed codes");
+        prop_assert!(
+            got.allclose(&reference, 0.0),
+            "packed path diverged: m={m} k={k} n={n} c={c} {quant:?}+{precision:?}"
+        );
     }
 
     /// Equivalent bits match the definitional formula for all (v, c).
