@@ -152,6 +152,7 @@ const SERVE_TOP_FIELDS: &[&str] = &[
     "host_cpus",
     "scenarios",
     "gateway_scenarios",
+    "decode_scenarios",
 ];
 
 /// Fields every entry of `"scenarios"` must carry.
@@ -212,6 +213,44 @@ const GATEWAY_SCENARIO_FIELDS: &[&str] = &[
 const GATEWAY_CLASS_FIELDS: &[&str] =
     &["class", "requests", "admitted", "shed", "p50_ms", "p99_ms"];
 
+/// Fields every entry of `"decode_scenarios"` must carry.
+const DECODE_SCENARIO_FIELDS: &[&str] = &[
+    "name",
+    "model",
+    "load",
+    "arrival",
+    "streams",
+    "seq_len",
+    "steps",
+    "offered_sps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    "mean_ms",
+    "steps_per_s",
+    "full_reeval_steps_per_s",
+    "prefix_speedup",
+    "reused_rows",
+    "walked_rows",
+];
+
+/// Decode-scenario fields that must be finite and strictly positive.
+const DECODE_POSITIVE_FIELDS: &[&str] = &[
+    "streams",
+    "seq_len",
+    "steps",
+    "offered_sps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    "mean_ms",
+    "steps_per_s",
+    "full_reeval_steps_per_s",
+    "prefix_speedup",
+];
+
 /// Scenario fields that must be finite and strictly positive.
 const SCENARIO_POSITIVE_FIELDS: &[&str] = &[
     "requests",
@@ -227,7 +266,9 @@ const SCENARIO_POSITIVE_FIELDS: &[&str] = &[
 
 /// Validates the text of a `BENCH_serve.json` artifact: schema plus the
 /// sanity constraints the open-loop harness must reproduce. Returns every
-/// problem found, one per line, each naming the failing field by path.
+/// problem found, one per line, each naming the failing field by path;
+/// any scenario that produced problems is also echoed back as a compact
+/// JSON snippet, so a red CI log shows the offending numbers inline.
 pub fn check_serve_artifact_text(text: &str) -> Result<(), String> {
     let doc = match Json::parse(text) {
         Ok(doc) => doc,
@@ -251,7 +292,10 @@ pub fn check_serve_artifact_text(text: &str) -> Result<(), String> {
         Some([]) => problems.push("\"scenarios\" is empty".to_string()),
         Some(scenarios) => {
             for (i, sc) in scenarios.iter().enumerate() {
-                check_scenario(sc, &format!("scenarios[{i}]"), &mut problems);
+                let at = format!("scenarios[{i}]");
+                let before = problems.len();
+                check_scenario(sc, &at, &mut problems);
+                push_snippet_if_failed(sc, &at, before, &mut problems);
             }
         }
         None => {
@@ -264,12 +308,32 @@ pub fn check_serve_artifact_text(text: &str) -> Result<(), String> {
         Some([]) => problems.push("\"gateway_scenarios\" is empty".to_string()),
         Some(scenarios) => {
             for (i, sc) in scenarios.iter().enumerate() {
-                check_gateway_scenario(sc, &format!("gateway_scenarios[{i}]"), &mut problems);
+                let at = format!("gateway_scenarios[{i}]");
+                let before = problems.len();
+                check_gateway_scenario(sc, &at, &mut problems);
+                push_snippet_if_failed(sc, &at, before, &mut problems);
             }
         }
         None => {
             if doc.get("gateway_scenarios").is_some() {
                 problems.push("\"gateway_scenarios\" is not an array".to_string());
+            }
+        }
+    }
+    let full = doc.get("mode").and_then(Json::as_str) == Some("full");
+    match doc.get("decode_scenarios").and_then(Json::as_arr) {
+        Some([]) => problems.push("\"decode_scenarios\" is empty".to_string()),
+        Some(scenarios) => {
+            for (i, sc) in scenarios.iter().enumerate() {
+                let at = format!("decode_scenarios[{i}]");
+                let before = problems.len();
+                check_decode_scenario(sc, full, &at, &mut problems);
+                push_snippet_if_failed(sc, &at, before, &mut problems);
+            }
+        }
+        None => {
+            if doc.get("decode_scenarios").is_some() {
+                problems.push("\"decode_scenarios\" is not an array".to_string());
             }
         }
     }
@@ -589,6 +653,120 @@ fn check_encode_once(block: &Json, full: bool, problems: &mut Vec<String>) {
     }
 }
 
+/// One `decode_*` scenario: fields, positivity, the step-accounting
+/// identity (`steps == streams * seq_len` — every scheduled token was
+/// served, none dropped at a stream boundary), percentile ordering and
+/// the overload ramp, prefix-reuse counters (reuse must actually happen:
+/// `reused_rows` > 0, and something must still be walked), and the
+/// headline prefix-reuse speedup — strictly above 1 in full mode, merely
+/// positive at smoke sizes where fixed overheads can drown the win.
+fn check_decode_scenario(sc: &Json, full: bool, at: &str, problems: &mut Vec<String>) {
+    require_fields(sc, DECODE_SCENARIO_FIELDS, at, problems);
+    if sc.as_obj().is_none() {
+        return;
+    }
+    let num = |field: &str| sc.get(field).and_then(Json::as_num);
+    let s = |field: &str| sc.get(field).and_then(Json::as_str);
+    for &field in DECODE_POSITIVE_FIELDS {
+        if let Some(x) = num(field) {
+            if !(x.is_finite() && x > 0.0) {
+                problems.push(format!("{at}.{field} = {x} (must be > 0)"));
+            }
+        }
+    }
+    if let (Some(name), Some(load)) = (s("name"), s("load")) {
+        let expect = format!("decode_{load}");
+        if name != expect {
+            problems.push(format!("{at}.name = \"{name}\", expected \"{expect}\""));
+        }
+    }
+    if let (Some(streams), Some(seq_len), Some(steps)) =
+        (num("streams"), num("seq_len"), num("steps"))
+    {
+        if steps != streams * seq_len {
+            problems.push(format!(
+                "{at}.steps = {steps} (must equal streams * seq_len = {}: \
+                 every scheduled token must be served)",
+                streams * seq_len
+            ));
+        }
+    }
+    if let (Some(p50), Some(p95), Some(p99), Some(max)) =
+        (num("p50_ms"), num("p95_ms"), num("p99_ms"), num("max_ms"))
+    {
+        if p95 < p50 {
+            problems.push(format!("{at}.p95_ms = {p95} < p50_ms = {p50}"));
+        }
+        if p99 < p95 {
+            problems.push(format!("{at}.p99_ms = {p99} < p95_ms = {p95}"));
+        }
+        if max < p99 {
+            problems.push(format!("{at}.max_ms = {max} < p99_ms = {p99}"));
+        }
+        if s("load") == Some("overload") && p99 <= p50 {
+            problems.push(format!(
+                "{at}.p99_ms = {p99} (must be > p50_ms = {p50} under overload)"
+            ));
+        }
+    }
+    for field in ["reused_rows", "walked_rows"] {
+        if let Some(x) = num(field) {
+            if x <= 0.0 {
+                problems.push(format!(
+                    "{at}.{field} = {x} (must be > 0: decode must both reuse \
+                     prefix codes and walk the new token's rows)"
+                ));
+            }
+        }
+    }
+    if full {
+        if let Some(x) = num("prefix_speedup") {
+            if x <= 1.0 {
+                problems.push(format!(
+                    "{at}.prefix_speedup = {x} (must be > 1 in full mode: \
+                     prefix code reuse must beat full re-encoding)"
+                ));
+            }
+        }
+    }
+}
+
+/// If checking `sc` added problems since `before`, append a compact JSON
+/// rendering of the whole scenario so the log carries the numbers that
+/// failed, not just their paths.
+fn push_snippet_if_failed(sc: &Json, at: &str, before: usize, problems: &mut Vec<String>) {
+    if problems.len() > before {
+        problems.push(format!("{at} JSON: {}", render(sc)));
+    }
+}
+
+/// Compact single-line JSON rendering (for failure snippets).
+fn render(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{}", *x as i64)
+            } else {
+                format!("{x}")
+            }
+        }
+        Json::Str(s) => format!("{s:?}"),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k:?}: {}", render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
 fn require_fields(value: &Json, fields: &[&str], at: &str, problems: &mut Vec<String>) {
     if value.as_obj().is_none() {
         problems.push(format!("{at} is not an object"));
@@ -890,6 +1068,20 @@ mod tests {
        {"stage": "cnn_a/conv1", "batches_run": 10, "rows_served": 20,
         "queued_high_water": 2, "final_window": 1, "mean_service_us": 380.0}
      ]}
+  ],
+  "decode_scenarios": [
+    {"name": "decode_low", "model": "gpt_mini", "load": "low",
+     "arrival": "poisson", "streams": 3, "seq_len": 8, "steps": 24,
+     "offered_sps": 110.0, "p50_ms": 1.4, "p95_ms": 1.9, "p99_ms": 2.2,
+     "max_ms": 2.5, "mean_ms": 1.5, "steps_per_s": 620.0,
+     "full_reeval_steps_per_s": 640.0, "prefix_speedup": 0.98,
+     "reused_rows": 84, "walked_rows": 24},
+    {"name": "decode_overload", "model": "gpt_mini", "load": "overload",
+     "arrival": "poisson", "streams": 3, "seq_len": 8, "steps": 24,
+     "offered_sps": 4800.0, "p50_ms": 9.0, "p95_ms": 22.0, "p99_ms": 26.0,
+     "max_ms": 28.0, "mean_ms": 11.0, "steps_per_s": 560.0,
+     "full_reeval_steps_per_s": 640.0, "prefix_speedup": 0.95,
+     "reused_rows": 84, "walked_rows": 24}
   ]
 }"#
         .to_string()
@@ -1100,6 +1292,130 @@ mod tests {
             err.contains("gateway_scenarios[2].memo_misses = 0"),
             "{err}"
         );
+    }
+
+    /// Full-mode serve doc with the full-mode-only decode gates satisfied.
+    fn valid_full_serve_doc() -> String {
+        valid_serve_doc()
+            .replace("\"mode\": \"smoke\"", "\"mode\": \"full\"")
+            .replace("\"prefix_speedup\": 0.98", "\"prefix_speedup\": 1.6")
+            .replace("\"prefix_speedup\": 0.95", "\"prefix_speedup\": 1.4")
+    }
+
+    #[test]
+    fn full_mode_serve_doc_passes_when_decode_gates_hold() {
+        check_serve_artifact_text(&valid_full_serve_doc()).expect("valid full artifact");
+    }
+
+    #[test]
+    fn serve_missing_decode_block_fails() {
+        let doc = valid_serve_doc().replace("\"decode_scenarios\"", "\"renamed_scenarios\"");
+        let err = check_serve_artifact_text(&doc).expect_err("missing block");
+        assert!(
+            err.contains("missing top-level field \"decode_scenarios\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn decode_step_accounting_is_checked() {
+        // Lose one step at a stream boundary: steps != streams * seq_len.
+        let doc = valid_serve_doc().replacen("\"steps\": 24", "\"steps\": 23", 1);
+        let err = check_serve_artifact_text(&doc).expect_err("lost step");
+        assert!(
+            err.contains("decode_scenarios[0].steps = 23 (must equal streams * seq_len = 24"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn decode_percentile_ordering_is_checked() {
+        let doc = valid_serve_doc().replace("\"p95_ms\": 1.9", "\"p95_ms\": 1.0");
+        let err = check_serve_artifact_text(&doc).expect_err("inverted p95");
+        assert!(
+            err.contains("decode_scenarios[0].p95_ms = 1 < p50_ms = 1.4"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn decode_overload_inversion_names_constraint() {
+        let doc = valid_serve_doc()
+            .replace("\"p50_ms\": 9.0", "\"p50_ms\": 26.0")
+            .replace("\"mean_ms\": 11.0", "\"mean_ms\": 26.0");
+        let err = check_serve_artifact_text(&doc).expect_err("flat overload");
+        assert!(
+            err.contains("decode_scenarios[1].p99_ms = 26 (must be > p50_ms = 26 under overload)"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn decode_prefix_speedup_gate_fires_only_in_full_mode() {
+        // The smoke template carries prefix_speedup 0.98 and passes
+        // (valid_serve_artifact_passes); the same value must fail in full
+        // mode, where fixed overheads no longer excuse losing to re-encode.
+        let doc =
+            valid_full_serve_doc().replace("\"prefix_speedup\": 1.6", "\"prefix_speedup\": 0.98");
+        let err = check_serve_artifact_text(&doc).expect_err("reuse lost to re-encode");
+        assert!(
+            err.contains("decode_scenarios[0].prefix_speedup = 0.98"),
+            "{err}"
+        );
+        assert!(err.contains("must be > 1 in full mode"), "{err}");
+    }
+
+    #[test]
+    fn decode_prefix_speedup_must_be_positive_even_in_smoke() {
+        let doc = valid_serve_doc().replace("\"prefix_speedup\": 0.98", "\"prefix_speedup\": 0.0");
+        let err = check_serve_artifact_text(&doc).expect_err("non-positive speedup");
+        assert!(
+            err.contains("decode_scenarios[0].prefix_speedup = 0 (must be > 0)"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn decode_dead_reuse_counters_fail() {
+        let doc = valid_serve_doc().replacen("\"reused_rows\": 84", "\"reused_rows\": 0", 1);
+        let err = check_serve_artifact_text(&doc).expect_err("no reuse");
+        assert!(err.contains("decode_scenarios[0].reused_rows = 0"), "{err}");
+        let doc = valid_serve_doc().replacen("\"walked_rows\": 24", "\"walked_rows\": 0", 1);
+        let err = check_serve_artifact_text(&doc).expect_err("no walking");
+        assert!(err.contains("decode_scenarios[0].walked_rows = 0"), "{err}");
+    }
+
+    #[test]
+    fn decode_mislabeled_name_fails() {
+        let doc =
+            valid_serve_doc().replace("\"name\": \"decode_low\"", "\"name\": \"decode_fast\"");
+        let err = check_serve_artifact_text(&doc).expect_err("bad name");
+        assert!(
+            err.contains("decode_scenarios[0].name = \"decode_fast\", expected \"decode_low\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn failing_scenario_is_echoed_as_json_snippet() {
+        // Any failed scenario check appends the scenario's compact JSON so
+        // the CI log shows the offending numbers, not just their paths.
+        let doc = valid_serve_doc().replacen("\"steps\": 24", "\"steps\": 23", 1);
+        let err = check_serve_artifact_text(&doc).expect_err("lost step");
+        assert!(err.contains("decode_scenarios[0] JSON: {"), "{err}");
+        assert!(err.contains("\"steps\": 23"), "{err}");
+        assert!(err.contains("\"name\": \"decode_low\""), "{err}");
+        // Healthy scenarios are not echoed.
+        assert!(!err.contains("decode_scenarios[1] JSON"), "{err}");
+        assert!(!err.contains("\nscenarios[0] JSON"), "{err}");
+    }
+
+    #[test]
+    fn failing_gateway_scenario_is_echoed_as_json_snippet() {
+        let doc = valid_serve_doc().replace("\"shed_ratio\": 0.225", "\"shed_ratio\": 1.4");
+        let err = check_serve_artifact_text(&doc).expect_err("out of range");
+        assert!(err.contains("gateway_scenarios[1] JSON: {"), "{err}");
+        assert!(err.contains("\"shed_ratio\": 1.4"), "{err}");
     }
 
     // The artifacts committed at the repo root must track the schema:

@@ -221,7 +221,7 @@ fn run_model_serves(smoke: bool, iters: usize) -> (ModelMeasurement, AdaptiveMea
     let node = ImageModel::logits(&net, &mut g, &ps, batch.clone());
     let reference = g.value(node).clone();
     undeploy_units(net.dense_units());
-    let session = rt.model_session(&net, &ps);
+    let session = rt.serve(&net, &ps).build_model();
     let served = session.run((0..images).map(image)).expect("valid images");
     assert!(
         served.allclose(&reference, 0.0),
@@ -264,7 +264,7 @@ fn run_model_serves(smoke: bool, iters: usize) -> (ModelMeasurement, AdaptiveMea
         max_batch: 4096,
         ..AdaptiveOptions::default()
     });
-    let session = rt.model_session_with_policy(&net, &ps, cfg, policy);
+    let session = rt.serve(&net, &ps).config(cfg).policy(policy).build_model();
     let served = session.run((0..images).map(image)).expect("valid images");
     assert!(
         served.allclose(&reference, 0.0),

@@ -7,9 +7,13 @@
 //! final per-stage counters. A second `gateway_*` scenario family drives
 //! the multi-tenant [`ServeGateway`] (2 models × 3 SLO-class tenants each,
 //! one persistent gateway across both loads) and additionally reports
-//! admission-control outcomes and per-class latency percentiles. Emits
-//! `BENCH_serve.json` so every CI run leaves a serving-latency data point
-//! on the record.
+//! admission-control outcomes and per-class latency percentiles. A third
+//! `decode_*` family streams tokens through [`DecodeSession`]s (N
+//! autoregressive streams over a causal transformer, one step per new
+//! token) and reports per-token latency percentiles, decode throughput
+//! against a full-re-eval baseline (`prefix_speedup`), and the
+//! prefix-reuse row counters. Emits `BENCH_serve.json` so every CI run
+//! leaves a serving-latency data point on the record.
 //!
 //! Usage:
 //!
@@ -17,17 +21,24 @@
 //! bench_serve [--smoke] [--fixed] [--seed N] [--out PATH] [--check PATH]
 //! ```
 //!
-//! `--smoke` shrinks the per-scenario request count (the CI mode).
-//! `--check PATH` runs no benchmark: it validates an existing artifact
-//! against the expected schema plus the sanity ordering (p50 ≤ p95 ≤ p99,
-//! overload p99 > p50, adaptive low-load SLO conformance ≥ 0.5) and the
-//! gateway admission gates (`shed_ratio` in `[0, 1]` and consistent with
-//! `shed / requests`, admitted + shed = requests, every admitted request
-//! served, latency-class p99 ≤ best-effort p99 under overload), prints
-//! each failed field with its path, and exits non-zero on any problem.
+//! `--smoke` shrinks the per-scenario request count and decode stream
+//! matrix (the CI mode) — every family, including a decode scenario per
+//! load, still runs. `--check PATH` runs no benchmark: it validates an
+//! existing artifact against the expected schema plus the sanity ordering
+//! (p50 ≤ p95 ≤ p99, overload p99 > p50, adaptive low-load SLO
+//! conformance ≥ 0.5), the gateway admission gates (`shed_ratio` in
+//! `[0, 1]` and consistent with `shed / requests`, admitted + shed =
+//! requests, every admitted request served, latency-class p99 ≤
+//! best-effort p99 under overload), and the decode gates (per-token
+//! percentiles monotone, `steps == streams * seq_len` accounting,
+//! `reused_rows`/`walked_rows` > 0, `prefix_speedup` > 0 — and > 1 in
+//! full mode). Each failed field is printed with its path, any failing
+//! scenario is echoed back as a compact JSON snippet, and the exit code
+//! is non-zero on any problem.
 //!
 //! [`ModelSession`]: lutdla_lutboost::ModelSession
 //! [`ServeGateway`]: lutdla_lutboost::ServeGateway
+//! [`DecodeSession`]: lutdla_lutboost::DecodeSession
 
 use lutdla_bench::serve_bench::{run, to_json, ServeBenchConfig};
 

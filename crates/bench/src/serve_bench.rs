@@ -2,7 +2,8 @@
 //!
 //! Sweeps a scenario matrix — model (`convnet`/`transformer`) × batch
 //! policy (`static`/`adaptive`) × offered load (`low`/`overload`) —
-//! against [`LutRuntime::model_session_with_policy`]. Each scenario
+//! against builder-constructed [`ModelSession`]s
+//! ([`LutRuntime::serve`]). Each scenario
 //! replays a deterministic arrival schedule ([`ArrivalProcess`]) and
 //! submits requests at their *scheduled* instants regardless of server
 //! progress, so queueing delay lands in the measured latency rather than
@@ -31,7 +32,16 @@
 //! latter exercised by a duplicate-heavy `gateway_memo_dup_low` scenario
 //! that replays one image against cold memos.
 //!
+//! A third family (`decode_*`) measures token-streaming decode sessions
+//! ([`LutRuntime::decode_session`]): several sequential streams each feed
+//! one token per step at a paced arrival schedule, reporting per-token
+//! latency percentiles, steps/s, the closed-loop full-re-eval baseline
+//! (every step re-encoding the whole prefix through a fresh
+//! [`ModelSession`] submit), and the prefix-reuse counters
+//! ([`DecodeSession::decode_stats`]) that explain the speedup.
+//!
 //! [`StageStats::delta`]: lutdla_vq::StageStats::delta
+//! [`DecodeSession::decode_stats`]: lutdla_lutboost::DecodeSession::decode_stats
 
 use std::time::{Duration, Instant};
 
@@ -41,10 +51,10 @@ use lutdla_lutboost::{
     lutify_convnet, lutify_transformer, CentroidInit, ClassPolicy, ConvertPolicy, GatewayOptions,
     LutConfig, LutRuntime, ModelSession, RuntimeOptions, ServeGateway, SloClass, TenantId,
 };
-use lutdla_models::trainable::{distilbert_mini, resnet20_mini, ConvNet, ServableModel};
+use lutdla_models::trainable::{distilbert_mini, gpt_mini, resnet20_mini, ConvNet, ServableModel};
 use lutdla_nn::ParamSet;
 use lutdla_tensor::Tensor;
-use lutdla_vq::{AdaptiveOptions, BatchOptions, BatchPolicy, Pending, StageStats, SubmitError};
+use lutdla_vq::{AdaptiveOptions, BatchOptions, BatchPolicy, Pending, ServeError, StageStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -246,6 +256,53 @@ pub struct GatewayScenarioResult {
     pub stages: Vec<StageRow>,
 }
 
+/// One measured `decode_*` scenario: sequential token-streaming decode
+/// sessions over a causal transformer, at one offered step-rate level.
+#[derive(Debug, Clone)]
+pub struct DecodeScenarioResult {
+    /// `decode_{load}`.
+    pub name: String,
+    /// Always `gpt` (the causal-transformer proxy).
+    pub model: &'static str,
+    /// `low` or `overload`.
+    pub load: &'static str,
+    /// `poisson` or `fixed`.
+    pub arrival: &'static str,
+    /// Sequential decode streams (one `DecodeSession` each).
+    pub streams: usize,
+    /// Tokens decoded per stream.
+    pub seq_len: usize,
+    /// Steps served — must equal `streams * seq_len` (the artifact
+    /// checker gates this accounting).
+    pub steps: usize,
+    /// Scheduled arrival rate, steps/s.
+    pub offered_sps: f64,
+    /// Per-token latency from scheduled arrival to resolution, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Exact observed maximum, ms.
+    pub max_ms: f64,
+    /// Exact mean, ms.
+    pub mean_ms: f64,
+    /// Steps served over total wall time (pacing included), steps/s.
+    pub steps_per_s: f64,
+    /// Closed-loop baseline: every step re-encoding its whole prefix
+    /// through a fresh `ModelSession` submit, steps/s.
+    pub full_reeval_steps_per_s: f64,
+    /// Decode service rate (sum of per-step service times, pacing
+    /// excluded) over the full-re-eval baseline rate. > 1 means prefix
+    /// code reuse beat re-encoding from scratch.
+    pub prefix_speedup: f64,
+    /// Prefix rows spliced from cached packed codes, summed over every
+    /// LUT stage of every stream.
+    pub reused_rows: u64,
+    /// Rows that paid the similarity walk, summed likewise.
+    pub walked_rows: u64,
+}
+
 /// The whole artifact, pre-serialization.
 #[derive(Debug)]
 pub struct ServeReport {
@@ -261,6 +318,8 @@ pub struct ServeReport {
     pub scenarios: Vec<ScenarioResult>,
     /// The multi-tenant gateway scenarios (one gateway across all loads).
     pub gateway_scenarios: Vec<GatewayScenarioResult>,
+    /// The token-streaming decode scenarios.
+    pub decode_scenarios: Vec<DecodeScenarioResult>,
 }
 
 /// Runs the full scenario matrix and returns the report.
@@ -270,6 +329,8 @@ pub fn run(cfg: ServeBenchConfig) -> ServeReport {
     run_transformer(cfg, &mut scenarios);
     let mut gateway_scenarios = Vec::new();
     run_gateway(cfg, &mut gateway_scenarios);
+    let mut decode_scenarios = Vec::new();
+    run_decode(cfg, &mut decode_scenarios);
     ServeReport {
         mode: if cfg.smoke { "smoke" } else { "full" },
         arrival: if cfg.poisson { "poisson" } else { "fixed" },
@@ -277,6 +338,7 @@ pub fn run(cfg: ServeBenchConfig) -> ServeReport {
         requests_per_scenario: cfg.requests(),
         scenarios,
         gateway_scenarios,
+        decode_scenarios,
     }
 }
 
@@ -360,7 +422,7 @@ fn run_model<M: ServableModel>(
 
     // Closed-loop batch-1 calibration: min submit→resolve wall time.
     let base = {
-        let session = rt.model_session(net, ps);
+        let session = rt.serve(net, ps).build_model();
         let mut best = Duration::MAX;
         for i in 0..8 {
             let t0 = Instant::now();
@@ -391,7 +453,11 @@ fn run_model<M: ServableModel>(
             let arrival = cfg.arrival(idx);
             let rate = load.rate(service_rps);
             let offsets = arrival.schedule(cfg.requests(), rate);
-            let session = rt.model_session_with_policy(net, ps, deploy_cfg, policy);
+            let session = rt
+                .serve(net, ps)
+                .config(deploy_cfg)
+                .policy(policy)
+                .build_model();
             let scenario = drive(
                 &session,
                 inputs,
@@ -569,7 +635,7 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
     // Closed-loop batch-1 calibration on one model (both are the same
     // architecture), before the gateway takes over deploy state.
     let base = {
-        let session = rt.model_session(&net_a, &ps_a);
+        let session = rt.serve(&net_a, &ps_a).build_model();
         let mut best = Duration::MAX;
         for i in 0..8 {
             let t0 = Instant::now();
@@ -662,7 +728,7 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
             };
             match gw.submit(tenant, input.clone()) {
                 Ok(h) => admitted.push((class, *off, h)),
-                Err(SubmitError::Shed { .. }) => shed[class.index()] += 1,
+                Err(ServeError::Shed { .. }) => shed[class.index()] += 1,
                 Err(e) => panic!("gateway rejected a valid request: {e}"),
             }
             if gw.queued() >= GATEWAY_BURST {
@@ -756,6 +822,151 @@ fn run_gateway(cfg: ServeBenchConfig, out: &mut Vec<GatewayScenarioResult>) {
             scenario.memo_misses,
             scenario.classes[0].p99_ms,
             scenario.classes[2].p99_ms,
+        );
+        out.push(scenario);
+    }
+}
+
+/// Measures the `decode_*` scenarios: a converted causal transformer
+/// (`gpt_mini`) decoded token by token through [`LutRuntime::decode_session`],
+/// one stream after another, with arrivals paced at `low`/`overload`
+/// multiples of the measured closed-loop step rate.
+///
+/// Two rates frame the tentpole's claim. `full_reeval_steps_per_s` is the
+/// do-nothing baseline — every step submits its whole prefix to a plain
+/// [`ModelSession`], so every stage re-walks every row every step.
+/// `prefix_speedup` divides the decode session's *service* rate (sum of
+/// per-step service times, pacing sleeps excluded) by that baseline: the
+/// decode path runs the same full-prefix forward but splices the prefix's
+/// packed codes out of its per-stage caches, so only the new token's rows
+/// pay the similarity walk — `reused_rows`/`walked_rows` shows the ratio
+/// doing the work.
+fn run_decode(cfg: ServeBenchConfig, out: &mut Vec<DecodeScenarioResult>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xdec0);
+    let mut ps = ParamSet::new();
+    let mut net = gpt_mini(&mut ps, 16);
+    let tokens: Vec<usize> = (0..6 * 16).map(|i| (i * 13 + 7) % 64).collect();
+    let _ = lutify_transformer(
+        &mut net,
+        &mut ps,
+        LutConfig::default(),
+        CentroidInit::Kmeans,
+        ConvertPolicy::default(),
+        &tokens,
+        6,
+        16,
+        &mut rng,
+    );
+    let (streams, seq_len) = if cfg.smoke { (3, 8) } else { (8, 12) };
+    let steps = streams * seq_len;
+    let tok = |s: usize, t: usize| tokens[(s * seq_len + t) % tokens.len()];
+    let mut rt = LutRuntime::new(lutdla_lutboost::DeployConfig::bf16_int8());
+
+    // Closed-loop full-re-eval baseline: every step re-encodes its whole
+    // prefix from scratch through a plain session submit.
+    let full_reeval = {
+        let session = rt.serve(&net, &ps).build_model();
+        let t0 = Instant::now();
+        for s in 0..streams {
+            let mut prefix = Vec::with_capacity(seq_len);
+            for t in 0..seq_len {
+                prefix.push(tok(s, t));
+                let h = session.submit(prefix.clone()).expect("valid prefix");
+                session.flush();
+                h.wait().expect("session alive");
+            }
+        }
+        t0.elapsed()
+    };
+    let full_reeval_sps = steps as f64 / full_reeval.as_secs_f64().max(1e-9);
+
+    // Closed-loop decode calibration: one throwaway stream sets the step
+    // service rate the load levels are multiples of.
+    let service_sps = {
+        let session = rt.decode_session(&net, &ps).expect("causal model");
+        let t0 = Instant::now();
+        for t in 0..seq_len {
+            let h = session.step(vec![tok(0, t)]).expect("valid step");
+            h.wait().expect("step resolved");
+        }
+        seq_len as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    println!(
+        "decode: closed-loop {service_sps:.0} steps/s | full re-eval {full_reeval_sps:.0} steps/s",
+    );
+
+    for load in [Load::Low, Load::Overload] {
+        // Offset the arrival seed past the session and gateway scenarios.
+        let arrival = cfg.arrival(0x80 + out.len() as u64);
+        let rate = load.rate(service_sps);
+        let offsets = arrival.schedule(steps, rate);
+
+        let t0 = Instant::now();
+        let mut hist = LatencyHistogram::new();
+        let mut service_total = Duration::ZERO;
+        let (mut reused, mut walked) = (0u64, 0u64);
+        let mut i = 0usize;
+        for s in 0..streams {
+            // One `DecodeSession` per stream; its per-stage caches (and
+            // reuse counters) live for exactly this stream's prefix.
+            let session = rt.decode_session(&net, &ps).expect("causal model");
+            for t in 0..seq_len {
+                let off = offsets[i];
+                loop {
+                    let now = t0.elapsed();
+                    if now >= off {
+                        break;
+                    }
+                    std::thread::sleep(off - now);
+                }
+                let t1 = Instant::now();
+                let h = session.step(vec![tok(s, t)]).expect("valid step");
+                let (_rows, timing) = h.wait_timed().expect("step resolved");
+                service_total += t1.elapsed();
+                // Latency from the *scheduled* arrival: schedule slip under
+                // overload counts, exactly as in the session scenarios.
+                hist.record(timing.latency_since(t0 + off));
+                i += 1;
+            }
+            for (_, st) in session.decode_stats() {
+                reused += st.reused_rows;
+                walked += st.walked_rows;
+            }
+        }
+        let total = t0.elapsed();
+
+        let ms = |d: Option<Duration>| d.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+        let decode_service_sps = steps as f64 / service_total.as_secs_f64().max(1e-9);
+        let scenario = DecodeScenarioResult {
+            name: format!("decode_{}", load.name()),
+            model: "gpt",
+            load: load.name(),
+            arrival: arrival.name(),
+            streams,
+            seq_len,
+            steps: i,
+            offered_sps: rate,
+            p50_ms: ms(hist.percentile(0.50)),
+            p95_ms: ms(hist.percentile(0.95)),
+            p99_ms: ms(hist.percentile(0.99)),
+            max_ms: ms(hist.max()),
+            mean_ms: ms(hist.mean()),
+            steps_per_s: steps as f64 / total.as_secs_f64().max(1e-9),
+            full_reeval_steps_per_s: full_reeval_sps,
+            prefix_speedup: decode_service_sps / full_reeval_sps.max(1e-9),
+            reused_rows: reused,
+            walked_rows: walked,
+        };
+        println!(
+            "  {:<28} offered {:>7.0} st/s | served {:>7.0} | p50 {:>8.3} ms | p99 {:>8.3} ms | speedup {:.2}x | reused {:>5} walked {:>5}",
+            scenario.name,
+            scenario.offered_sps,
+            scenario.steps_per_s,
+            scenario.p50_ms,
+            scenario.p99_ms,
+            scenario.prefix_speedup,
+            scenario.reused_rows,
+            scenario.walked_rows,
         );
         out.push(scenario);
     }
@@ -889,6 +1100,41 @@ pub fn to_json(report: &ServeReport) -> String {
             } else {
                 ","
             }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"decode_scenarios\": [\n");
+    for (i, sc) in report.decode_scenarios.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"model\": \"{}\", \"load\": \"{}\", \
+             \"arrival\": \"{}\", \"streams\": {}, \"seq_len\": {}, \"steps\": {}, \
+             \"offered_sps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"max_ms\": {:.4}, \"mean_ms\": {:.4}, \
+             \"steps_per_s\": {:.1}, \"full_reeval_steps_per_s\": {:.1}, \
+             \"prefix_speedup\": {:.4}, \"reused_rows\": {}, \"walked_rows\": {}}}{}\n",
+            sc.name,
+            sc.model,
+            sc.load,
+            sc.arrival,
+            sc.streams,
+            sc.seq_len,
+            sc.steps,
+            sc.offered_sps,
+            sc.p50_ms,
+            sc.p95_ms,
+            sc.p99_ms,
+            sc.max_ms,
+            sc.mean_ms,
+            sc.steps_per_s,
+            sc.full_reeval_steps_per_s,
+            sc.prefix_speedup,
+            sc.reused_rows,
+            sc.walked_rows,
+            if i + 1 == report.decode_scenarios.len() {
+                ""
+            } else {
+                ","
+            },
         ));
     }
     s.push_str("  ]\n");

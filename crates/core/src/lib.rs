@@ -59,8 +59,8 @@ pub mod prelude {
     pub use lutdla_lutboost::{
         convert_and_train_images, convert_and_train_seq, eval_images_deployed, eval_seq_deployed,
         lut_layers, lutify_convnet, lutify_transformer, undeploy_units, CentroidInit,
-        ConvertPolicy, DeployConfig, LutConfig, LutRuntime, ModelSession, RuntimeOptions,
-        SessionError, Strategy, TrainSchedule, UnitPlan,
+        ConvertPolicy, DecodeSession, DeployConfig, LutConfig, LutRuntime, ModelSession,
+        RuntimeOptions, ServeError, SessionBuilder, Strategy, TrainSchedule, UnitPlan,
     };
     pub use lutdla_models::trainable::ServableModel;
     pub use lutdla_models::{zoo, GemmDims, LayerShape, Workload};

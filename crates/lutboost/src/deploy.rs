@@ -7,11 +7,17 @@
 //! single iterator ([`lut_layers`]) every architecture's deploy path funnels
 //! through, and the runtime-backed evaluation entry points.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use lutdla_nn::data::{ImageDataset, SeqDataset};
 use lutdla_nn::ParamSet;
-use lutdla_vq::{FloatPrecision, LutQuant, MicroBatcher, SharedEngine, StageStats};
+use lutdla_tensor::Tensor;
+use lutdla_vq::{
+    lock_engine, CodeWidth, EncodeMemo, FloatPrecision, LutEngine, LutQuant, MicroBatcher,
+    PackedCodes, SharedEngine, StageStats,
+};
 
 use lutdla_models::trainable::{ConvNet, DenseUnit, TransformerClassifier};
 
@@ -153,6 +159,241 @@ impl std::fmt::Debug for UnitPlan {
     }
 }
 
+/// Prefix-reuse counters of one [`DecodeStageCache`], cumulative over a
+/// [`crate::DecodeSession`]'s lifetime. On a causal model every step after
+/// the first should mostly `reuse`: only the new token's rows re-walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStageStats {
+    /// Rows whose packed codes were spliced from the cached prefix — no
+    /// similarity walk.
+    pub reused_rows: u64,
+    /// Rows that went through the similarity walk (new or changed rows).
+    pub walked_rows: u64,
+}
+
+/// Per-stage prefix cache of a [`crate::DecodeSession`]: the previous
+/// step's activation rows (as exact bit-images) together with their packed
+/// code stream ([`PackedCodes`]). On the next step, the longest bitwise-
+/// common row prefix reuses its codes verbatim — [`PackedCodes::truncate_rows`]
+/// plus [`PackedCodes::append`] splice the cached prefix to a freshly
+/// encoded suffix — so only new rows pay the similarity walk. Because
+/// packed codes fully determine the lookup ([`LutEngine::run_from_packed`]
+/// is bit-identical to `run_batch` on the same rows), reuse never changes
+/// a single output bit.
+pub struct DecodeStageCache {
+    /// Optional cross-step encode memo ([`crate::RuntimeOptions::memo_rows`]):
+    /// fresh rows that hash-match a previously walked row skip the walk too.
+    memo: Option<Arc<EncodeMemo>>,
+    inner: RefCell<CacheInner>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Bit-image of the previous eval's activation rows (`rows × k`).
+    rows: Vec<f32>,
+    /// Row width of `rows`; `0` until the first eval.
+    k: usize,
+    /// The previous eval's packed code stream (same row count as `rows`).
+    packed: Option<PackedCodes>,
+    /// Packed-stream geometry `(n_sub, width, row_stride)`, learned from
+    /// the first encode; needed to size memo lookups without walking.
+    geometry: Option<(usize, CodeWidth, usize)>,
+    reused_rows: u64,
+    walked_rows: u64,
+}
+
+impl DecodeStageCache {
+    pub(crate) fn new(memo: Option<Arc<EncodeMemo>>) -> Self {
+        Self {
+            memo,
+            inner: RefCell::new(CacheInner::default()),
+        }
+    }
+
+    /// Cumulative reuse/walk row counters.
+    pub fn stats(&self) -> DecodeStageStats {
+        let inner = self.inner.borrow();
+        DecodeStageStats {
+            reused_rows: inner.reused_rows,
+            walked_rows: inner.walked_rows,
+        }
+    }
+
+    /// Serves one eval-mode forward through the prefix cache; bit-identical
+    /// to `run_batch(x)` on the same engine. See the type docs.
+    pub(crate) fn eval(&self, engine: &SharedEngine, x: &Tensor) -> Tensor {
+        let mut eng = lock_engine(engine);
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        let data = x.data();
+        let mut inner = self.inner.borrow_mut();
+        // Longest bitwise-common row prefix against the previous eval.
+        let mut common = 0usize;
+        if inner.k == k && k > 0 {
+            let limit = (inner.rows.len() / k).min(m);
+            while common < limit
+                && bits_eq(
+                    &inner.rows[common * k..(common + 1) * k],
+                    &data[common * k..(common + 1) * k],
+                )
+            {
+                common += 1;
+            }
+        }
+        let mut stream = match inner.packed.take() {
+            Some(mut p) if common > 0 => {
+                p.truncate_rows(common);
+                Some(p)
+            }
+            _ => {
+                common = 0;
+                None
+            }
+        };
+        let fresh = m - common;
+        if fresh > 0 {
+            let suffix = self.encode_suffix(
+                &mut eng,
+                &data[common * k..m * k],
+                fresh,
+                k,
+                &mut inner.geometry,
+            );
+            match stream.as_mut() {
+                Some(s) => s.append(&suffix),
+                None => stream = Some(suffix),
+            }
+        }
+        inner.reused_rows += common as u64;
+        inner.walked_rows += fresh as u64;
+        inner.k = k;
+        inner.rows.clear();
+        inner.rows.extend_from_slice(&data[..m * k]);
+        let y = match stream.as_ref().map(|s| eng.run_from_packed(s)) {
+            Some(Ok(y)) => y,
+            // Structurally unreachable — the spliced stream always holds
+            // `m ≥ 1` rows of this engine's geometry — but the serving path
+            // degrades to a plain (still bit-identical) batch run rather
+            // than panicking.
+            _ => eng.run_batch(x),
+        };
+        inner.packed = stream;
+        y
+    }
+
+    /// Encodes `fresh` new rows, through the per-stage memo when present:
+    /// memo hits paste their verified packed bytes; misses walk one row and
+    /// seed the memo for later steps (and streams).
+    fn encode_suffix(
+        &self,
+        eng: &mut LutEngine,
+        rows: &[f32],
+        fresh: usize,
+        k: usize,
+        geometry: &mut Option<(usize, CodeWidth, usize)>,
+    ) -> PackedCodes {
+        let Some(memo) = &self.memo else {
+            return eng.encode_packed(&Tensor::from_vec(rows.to_vec(), &[fresh, k]));
+        };
+        let mut bytes = Vec::new();
+        for r in 0..fresh {
+            let row = &rows[r * k..(r + 1) * k];
+            if let Some((_, _, stride)) = *geometry {
+                let start = bytes.len();
+                bytes.resize(start + stride, 0u8);
+                if memo.lookup(row, &mut bytes[start..]) {
+                    continue;
+                }
+                bytes.truncate(start);
+            }
+            let one = eng.encode_packed(&Tensor::from_vec(row.to_vec(), &[1, k]));
+            memo.insert(row, one.row_bytes(0));
+            *geometry = Some((one.n_sub(), one.width(), one.row_stride()));
+            bytes.extend_from_slice(one.bytes());
+        }
+        match *geometry {
+            Some((n_sub, width, _)) => PackedCodes::from_bytes(bytes, fresh, n_sub, width),
+            // Unreachable: `fresh > 0`, and any first row is a memo miss
+            // (lookups need the geometry this arm lacks), which sets it.
+            None => eng.encode_packed(&Tensor::from_vec(rows.to_vec(), &[fresh, k])),
+        }
+    }
+}
+
+impl std::fmt::Debug for DecodeStageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("DecodeStageCache")
+            .field("reused_rows", &s.reused_rows)
+            .field("walked_rows", &s.walked_rows)
+            .field("memo", &self.memo.is_some())
+            .finish()
+    }
+}
+
+/// Bitwise row equality — the prefix cache keys on the exact activation
+/// image, so `-0.0 ≠ 0.0` and any NaN payload change invalidates reuse
+/// (strictly conservative: a false negative only costs a re-walk).
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// One dense unit's compiled route in a [`crate::DecodeSession`] — the
+/// decode twin of [`UnitPlan`]: LUT stages route through a per-stage
+/// prefix cache instead of a micro-batcher.
+pub enum DecodePlan {
+    /// A converted layer: its cached engine plus the step-to-step prefix
+    /// cache installed on the layer for the session's lifetime.
+    Lut {
+        /// Unit name, for reporting.
+        name: String,
+        /// Direct handle to the cached engine this stage runs on.
+        engine: SharedEngine,
+        /// The stage's prefix cache (shared with the layer's deploy state).
+        cache: Rc<DecodeStageCache>,
+    },
+    /// A unit the convert policy kept dense: served by the plain GEMM
+    /// inside the model's eval forward.
+    Dense {
+        /// Unit name, for reporting.
+        name: String,
+    },
+}
+
+impl DecodePlan {
+    /// Whether this unit runs on a LUT engine.
+    pub fn is_lut(&self) -> bool {
+        matches!(self, DecodePlan::Lut { .. })
+    }
+
+    /// The unit's name.
+    pub fn name(&self) -> &str {
+        match self {
+            DecodePlan::Lut { name, .. } | DecodePlan::Dense { name } => name,
+        }
+    }
+
+    /// This stage's prefix-reuse counters; `None` for dense units.
+    pub fn stage_stats(&self) -> Option<DecodeStageStats> {
+        match self {
+            DecodePlan::Lut { cache, .. } => Some(cache.stats()),
+            DecodePlan::Dense { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DecodePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodePlan::Lut { name, cache, .. } => f
+                .debug_struct("Lut")
+                .field("name", name)
+                .field("cache", cache)
+                .finish(),
+            DecodePlan::Dense { name } => f.debug_struct("Dense").field("name", name).finish(),
+        }
+    }
+}
+
 /// Evaluates a converted [`ConvNet`] through the table-lookup path, using
 /// (and warming) the runtime's engine cache at the given numerics.
 ///
@@ -168,7 +409,7 @@ pub fn eval_images_deployed(
     batch_size: usize,
     cfg: DeployConfig,
 ) -> f32 {
-    let session = rt.model_session_with(net, ps, cfg);
+    let session = rt.serve(net, ps).config(cfg).build_model();
     let mut correct = 0usize;
     let mut pending = Vec::with_capacity(batch_size.max(1));
     for i in 0..data.len() {
@@ -196,7 +437,7 @@ pub fn eval_seq_deployed(
     batch_size: usize,
     cfg: DeployConfig,
 ) -> f32 {
-    let session = rt.model_session_with(net, ps, cfg);
+    let session = rt.serve(net, ps).config(cfg).build_model();
     let mut correct = 0usize;
     let mut pending = Vec::with_capacity(batch_size.max(1));
     for i in 0..data.len() {

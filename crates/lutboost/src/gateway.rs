@@ -20,9 +20,18 @@
 //!   optional shed deadline for requests that grew stale in the queue.
 //! * **Admission control** — [`ServeGateway::submit`] is shed-or-queue:
 //!   a full bounded queue turns the request away with the structured
-//!   [`SubmitError::Shed`] (nothing enqueued, caller may retry), and
+//!   [`ServeError::Shed`] (nothing enqueued, caller may retry), and
 //!   shutdown is graceful — [`ServeGateway::close`] and `Drop` drain every
 //!   admitted request before the sessions go away.
+//! * **Decode streams** — a tenant serving an autoregressive model
+//!   ([`ServableModel::decode_contract`]) can open a [`StreamId`] and feed
+//!   it token steps ([`ServeGateway::submit_step`]): the gateway grows the
+//!   stream's prefix ([`ServableModel::extend_input`]) and routes each
+//!   grown prefix through the same admission/drain machinery as plain
+//!   submits — many small correlated requests exercising the tenant's SLO
+//!   class, each resolving with that prefix's logits. A shed step leaves
+//!   the prefix untouched, so `admitted + shed` still accounts for every
+//!   step offered.
 //! * **Fairness** — each drain round ([`ServeGateway::pump`]) visits
 //!   classes in priority order (`Latency` → `Throughput` → `BestEffort`)
 //!   and the tenants within a class round-robin from a rotating start, so
@@ -62,7 +71,7 @@ use std::time::{Duration, Instant};
 
 use lutdla_models::trainable::ServableModel;
 use lutdla_nn::ParamSet;
-use lutdla_vq::{BatchOptions, BatchPolicy, Pending, PendingResolver, StageStats, SubmitError};
+use lutdla_vq::{BatchOptions, BatchPolicy, Pending, PendingResolver, ServeError, StageStats};
 
 use crate::deploy::DeployConfig;
 use crate::runtime::{LutRuntime, StageBatchers};
@@ -85,6 +94,17 @@ pub struct TenantId(usize);
 
 impl TenantId {
     /// The tenant's registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a decode stream opened with [`ServeGateway::open_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+impl StreamId {
+    /// The stream's open-order index.
     pub fn index(self) -> usize {
         self.0
     }
@@ -171,14 +191,15 @@ impl std::fmt::Display for SloClass {
 #[derive(Debug, Clone, Copy)]
 pub struct ClassPolicy {
     /// Bounded admission-queue depth: a submit finding the queue at this
-    /// depth is turned away with [`SubmitError::Shed`]. Clamped to ≥ 1.
+    /// depth is turned away with [`ServeError::Shed`]. Clamped to ≥ 1.
     pub max_queue: usize,
     /// How much one [`ServeGateway::pump`] round may take from this
     /// tenant's queue — the policy's widest flush
     /// ([`BatchPolicy::max_batch`]) is the per-round quota.
     pub batch: BatchPolicy,
     /// If set, a request older than this when a pump reaches it is shed
-    /// instead of served (its waiter observes [`SubmitError::Closed`]
+    /// instead of served (its waiter observes
+    /// [`SubmitError::Closed`](lutdla_vq::SubmitError::Closed)
     /// through the dropped handle, and [`TenantStats::expired`] counts
     /// it). `None` (the class defaults) never expires admitted work.
     pub shed_deadline: Option<Duration>,
@@ -190,7 +211,7 @@ pub struct GatewayOptions {
     /// Deployment numerics every registered model's engines are tiled at.
     pub cfg: DeployConfig,
     /// Per-stage batch policy for the shared stage batchers (forced
-    /// drain-only, exactly as [`LutRuntime::model_session_with_policy`]
+    /// drain-only, exactly as a [`crate::SessionBuilder`]-built session
     /// does). Its widest flush is also each session's front-door
     /// coalescing width.
     pub stage_policy: BatchPolicy,
@@ -217,7 +238,7 @@ pub struct TenantStats {
     pub class: SloClass,
     /// Requests that passed admission control into the queue.
     pub admitted: u64,
-    /// Requests turned away at admission ([`SubmitError::Shed`]).
+    /// Requests turned away at admission ([`ServeError::Shed`]).
     pub shed: u64,
     /// Admitted requests shed later by the shed deadline.
     pub expired: u64,
@@ -271,6 +292,16 @@ struct Queued<I> {
     enqueued_at: Option<Instant>,
 }
 
+/// One open decode stream: the tenant it bills to and the token prefix
+/// grown so far. The prefix only advances when a step is *admitted* — a
+/// shed or rejected step leaves it untouched, so retrying the same step
+/// is always sound.
+struct DecodeStream<I> {
+    tenant: TenantId,
+    prefix: RefCell<Option<I>>,
+    steps: Cell<usize>,
+}
+
 struct Tenant<I> {
     name: String,
     model: ModelId,
@@ -289,6 +320,7 @@ pub struct ServeGateway<'m, M: ServableModel> {
     opts: GatewayOptions,
     models: Vec<GatewayModel<'m, M>>,
     tenants: Vec<Tenant<M::Input>>,
+    streams: Vec<DecodeStream<M::Input>>,
     closed: Cell<bool>,
 }
 
@@ -299,13 +331,15 @@ impl<'m, M: ServableModel> ServeGateway<'m, M> {
             opts,
             models: Vec::new(),
             tenants: Vec::new(),
+            streams: Vec::new(),
             closed: Cell::new(false),
         }
     }
 
     /// Registers a model: compiles its shared [`StageBatchers`] template
     /// through the runtime's engine cache and opens the gateway's one live
-    /// session over it ([`LutRuntime::model_session_shared`]). Every
+    /// session over it ([`crate::SessionBuilder::shared`] +
+    /// [`crate::SessionBuilder::build_model`]). Every
     /// tenant bound to the returned [`ModelId`] drains through these
     /// shared per-stage windows.
     pub fn register_model(
@@ -316,7 +350,7 @@ impl<'m, M: ServableModel> ServeGateway<'m, M> {
         ps: &'m ParamSet,
     ) -> ModelId {
         let batchers = rt.stage_batchers(model, ps, self.opts.cfg, self.opts.stage_policy);
-        let session = rt.model_session_shared(model, ps, &batchers);
+        let session = rt.serve(model, ps).shared(&batchers).build_model();
         let id = ModelId(self.models.len());
         self.models.push(GatewayModel {
             name: name.to_string(),
@@ -366,28 +400,28 @@ impl<'m, M: ServableModel> ServeGateway<'m, M> {
     }
 
     /// Shed-or-queue admission: validates the request at the front door
-    /// (unknown tenant / bad input → [`SubmitError::Invalid`], closed
-    /// gateway → [`SubmitError::Closed`]), then either turns it away with
-    /// [`SubmitError::Shed`] — the tenant's bounded queue is full, nothing
+    /// (unknown tenant / bad input → [`ServeError::Invalid`], closed
+    /// gateway → [`ServeError::Closed`]), then either turns it away with
+    /// [`ServeError::Shed`] — the tenant's bounded queue is full, nothing
     /// was enqueued — or admits it and returns the [`Pending`] handle the
     /// next [`ServeGateway::pump`] will resolve.
-    pub fn submit(&self, tenant: TenantId, input: M::Input) -> Result<Pending, SubmitError> {
+    pub fn submit(&self, tenant: TenantId, input: M::Input) -> Result<Pending, ServeError> {
         if self.closed.get() {
-            return Err(SubmitError::Closed);
+            return Err(ServeError::Closed);
         }
         let Some(t) = self.tenants.get(tenant.0) else {
-            return Err(SubmitError::Invalid {
+            return Err(ServeError::Invalid {
                 reason: format!("unknown tenant id {}", tenant.0),
             });
         };
         let gm = &self.models[t.model.0];
         if let Err(reason) = gm.model.validate_input(&input) {
-            return Err(SubmitError::Invalid { reason });
+            return Err(ServeError::Invalid { reason });
         }
         let mut queue = t.queue.borrow_mut();
         if queue.len() >= t.policy.max_queue {
             t.shed.set(t.shed.get() + 1);
-            return Err(SubmitError::Shed {
+            return Err(ServeError::Shed {
                 queue_depth: queue.len(),
             });
         }
@@ -402,6 +436,81 @@ impl<'m, M: ServableModel> ServeGateway<'m, M> {
             t.queue_high_water.set(queue.len());
         }
         Ok(pending)
+    }
+
+    /// Opens a decode stream billed to `tenant`. The tenant's model must
+    /// honour the incremental-forward contract
+    /// ([`ServableModel::decode_contract`], e.g. a causal transformer) —
+    /// anything else is [`ServeError::Invalid`], as is an unknown tenant;
+    /// a closed gateway is [`ServeError::Closed`].
+    pub fn open_stream(&mut self, tenant: TenantId) -> Result<StreamId, ServeError> {
+        if self.closed.get() {
+            return Err(ServeError::Closed);
+        }
+        let Some(t) = self.tenants.get(tenant.0) else {
+            return Err(ServeError::Invalid {
+                reason: format!("unknown tenant id {}", tenant.0),
+            });
+        };
+        self.models[t.model.0]
+            .model
+            .decode_contract()
+            .map_err(|reason| ServeError::Invalid { reason })?;
+        let id = StreamId(self.streams.len());
+        self.streams.push(DecodeStream {
+            tenant,
+            prefix: RefCell::new(None),
+            steps: Cell::new(0),
+        });
+        Ok(id)
+    }
+
+    /// Feeds one token step to a decode stream: grows the stream's prefix
+    /// ([`ServableModel::extend_input`]; the first step *is* the prefix)
+    /// and submits the grown prefix through the stream's tenant — same
+    /// admission control, same SLO class, same pump rounds as
+    /// [`ServeGateway::submit`]. The returned handle resolves with the
+    /// grown prefix's logits.
+    ///
+    /// On any error — shed, closed, invalid step — the prefix does **not**
+    /// advance, so the caller may retry the same step after backing off;
+    /// a shed step still counts in the tenant's `shed` tally, keeping
+    /// `admitted + shed` equal to the steps offered.
+    pub fn submit_step(&self, stream: StreamId, step: M::Input) -> Result<Pending, ServeError> {
+        let Some(s) = self.streams.get(stream.0) else {
+            return Err(ServeError::Invalid {
+                reason: format!("unknown stream id {}", stream.0),
+            });
+        };
+        let grown = match s.prefix.borrow().as_ref() {
+            Some(prefix) => self.models[self.tenants[s.tenant.0].model.0]
+                .model
+                .extend_input(prefix, &step)
+                .map_err(|reason| ServeError::Invalid { reason })?,
+            None => step,
+        };
+        let pending = self.submit(s.tenant, grown.clone())?;
+        *s.prefix.borrow_mut() = Some(grown);
+        s.steps.set(s.steps.get() + 1);
+        Ok(pending)
+    }
+
+    /// Steps admitted on a stream so far (`None` for an unknown id).
+    pub fn stream_steps(&self, stream: StreamId) -> Option<usize> {
+        self.streams.get(stream.0).map(|s| s.steps.get())
+    }
+
+    /// Positions in a stream's grown prefix (`None` for an unknown id,
+    /// `0` before the first admitted step).
+    pub fn stream_positions(&self, stream: StreamId) -> Option<usize> {
+        let s = self.streams.get(stream.0)?;
+        let model = self.models[self.tenants[s.tenant.0].model.0].model;
+        Some(
+            s.prefix
+                .borrow()
+                .as_ref()
+                .map_or(0, |p| model.input_positions(p)),
+        )
     }
 
     /// One drain round: for every model, gathers up to each tenant's
@@ -510,7 +619,7 @@ impl<'m, M: ServableModel> ServeGateway<'m, M> {
     }
 
     /// Graceful shutdown: drains every admitted request, then refuses
-    /// further submits with [`SubmitError::Closed`]. Dropping the gateway
+    /// further submits with [`ServeError::Closed`]. Dropping the gateway
     /// closes it the same way.
     pub fn close(&self) {
         if !self.closed.get() {
@@ -601,11 +710,11 @@ impl<M: ServableModel> std::fmt::Debug for ServeGateway<'_, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::convert::{lutify_convnet, CentroidInit, ConvertPolicy};
+    use crate::convert::{lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy};
     use crate::lut_gemm::LutConfig;
-    use lutdla_models::trainable::{resnet20_mini, ConvNet};
+    use lutdla_models::trainable::{gpt_mini, resnet20_mini, ConvNet, TransformerClassifier};
     use lutdla_tensor::Tensor;
-    use lutdla_vq::{FloatPrecision, LutQuant};
+    use lutdla_vq::{FloatPrecision, LutQuant, SubmitError};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -644,6 +753,25 @@ mod tests {
         (ps, net, images)
     }
 
+    fn converted_gpt(seed: u64) -> (ParamSet, TransformerClassifier, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        let mut net = gpt_mini(&mut ps, 8);
+        let tokens: Vec<usize> = (0..6 * 16).map(|i| (i * 7 + 5) % 64).collect();
+        let _ = lutify_transformer(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            &tokens,
+            6,
+            16,
+            &mut rng,
+        );
+        (ps, net, tokens)
+    }
+
     fn image(images: &Tensor, i: usize) -> Tensor {
         let per = 3 * 16 * 16;
         let i = i % images.dims()[0];
@@ -653,13 +781,13 @@ mod tests {
     /// Each request's logits from a solo `ModelSession` — the bit-identity
     /// reference every gateway result must equal exactly.
     fn solo_reference(
-        rt: &LutRuntime,
+        rt: &mut LutRuntime,
         batchers: &StageBatchers,
         net: &ConvNet,
         ps: &ParamSet,
         inputs: &[Tensor],
     ) -> Vec<Vec<f32>> {
-        let session = rt.model_session_shared(net, ps, batchers);
+        let session = rt.serve(net, ps).shared(batchers).build_model();
         let handles: Vec<_> = inputs
             .iter()
             .map(|x| session.submit(x.clone()).expect("valid image"))
@@ -681,7 +809,7 @@ mod tests {
         for cfg in all_combos() {
             let mut rt = LutRuntime::new(cfg);
             let batchers = rt.stage_batchers(&net, &ps, cfg, BatchPolicy::default());
-            let reference = solo_reference(&rt, &batchers, &net, &ps, &inputs);
+            let reference = solo_reference(&mut rt, &batchers, &net, &ps, &inputs);
 
             let mut gw = ServeGateway::new(GatewayOptions::new(cfg));
             let model = gw.register_model(&mut rt, "resnet", &net, &ps);
@@ -722,7 +850,7 @@ mod tests {
         let mut solo_batches = 0;
         let mut solo_logits = Vec::new();
         for inputs in [&a_inputs, &b_inputs] {
-            let session = rt.model_session_with(&net, &ps, cfg);
+            let session = rt.serve(&net, &ps).config(cfg).build_model();
             let logits = session.run(inputs.iter().cloned()).expect("solo run");
             solo_batches += session.batches_run();
             solo_logits.push(logits);
@@ -780,7 +908,7 @@ mod tests {
         let mut rt = LutRuntime::new(cfg);
         let batchers = rt.stage_batchers(&net, &ps, cfg, BatchPolicy::default());
         let inputs: Vec<Tensor> = (0..10).map(|i| image(&images, i)).collect();
-        let reference = solo_reference(&rt, &batchers, &net, &ps, &inputs);
+        let reference = solo_reference(&mut rt, &batchers, &net, &ps, &inputs);
 
         let mut gw = ServeGateway::new(GatewayOptions::new(cfg));
         let model = gw.register_model(&mut rt, "resnet", &net, &ps);
@@ -821,7 +949,7 @@ mod tests {
         assert_eq!(be_sheds.len(), 7, "3-deep queue admits 3 of 10");
         assert_eq!(
             be_sheds[0],
-            (3, SubmitError::Shed { queue_depth: 3 }),
+            (3, ServeError::Shed { queue_depth: 3 }),
             "first shed: the 4th best-effort request, at the bound"
         );
         let lat_stats = gw.tenant_stats(lat).expect("registered");
@@ -891,14 +1019,11 @@ mod tests {
         let t = gw.register_tenant("t", model, SloClass::Latency);
 
         match gw.submit(TenantId(99), image(&images, 0)) {
-            Err(SubmitError::Invalid { reason }) => assert!(reason.contains("unknown tenant")),
+            Err(ServeError::Invalid { reason }) => assert!(reason.contains("unknown tenant")),
             other => panic!("expected Invalid, got {other:?}"),
         }
         let bad = Tensor::from_vec(vec![0.0; 4], &[2, 2]);
-        assert!(matches!(
-            gw.submit(t, bad),
-            Err(SubmitError::Invalid { .. })
-        ));
+        assert!(matches!(gw.submit(t, bad), Err(ServeError::Invalid { .. })));
         assert_eq!(gw.stats().admitted, 0, "rejections never enqueue");
 
         // close() drains admitted work, then refuses new submits.
@@ -907,7 +1032,7 @@ mod tests {
         assert!(h.wait().is_ok(), "close lost an admitted request");
         assert_eq!(
             gw.submit(t, image(&images, 1)).map(|_| ()),
-            Err(SubmitError::Closed)
+            Err(ServeError::Closed)
         );
         gw.close(); // idempotent
     }
@@ -955,9 +1080,9 @@ mod tests {
         let mut rt = LutRuntime::new(cfg);
         let inputs: Vec<Tensor> = (0..4).map(|i| image(&images, i)).collect();
         let b1 = rt.stage_batchers(&net1, &ps1, cfg, BatchPolicy::default());
-        let ref1 = solo_reference(&rt, &b1, &net1, &ps1, &inputs);
+        let ref1 = solo_reference(&mut rt, &b1, &net1, &ps1, &inputs);
         let b2 = rt.stage_batchers(&net2, &ps2, cfg, BatchPolicy::default());
-        let ref2 = solo_reference(&rt, &b2, &net2, &ps2, &inputs);
+        let ref2 = solo_reference(&mut rt, &b2, &net2, &ps2, &inputs);
 
         let mut gw = ServeGateway::new(GatewayOptions::new(cfg));
         let m1 = gw.register_model(&mut rt, "resnet-a", &net1, &ps1);
@@ -1004,5 +1129,74 @@ mod tests {
             // `gw` drops here with the request still queued.
         };
         assert!(handle.wait().is_ok(), "drop abandoned an admitted request");
+    }
+
+    /// Satellite: a decode stream with in-flight steps survives graceful
+    /// shutdown — `close()` drains every admitted step (none lost, each
+    /// bit-identical to a solo session over the same grown prefix), shed
+    /// steps never advance the prefix, and `admitted + shed` accounts for
+    /// every step offered.
+    #[test]
+    fn close_drains_in_flight_decode_steps_and_accounts_every_step() {
+        let (ps, net, tokens) = converted_gpt(140);
+        let cfg = DeployConfig::fp32();
+        let mut rt = LutRuntime::new(cfg);
+        let mut gw = ServeGateway::new(GatewayOptions::new(cfg));
+        let model = gw.register_model(&mut rt, "gpt", &net, &ps);
+        let t = gw.register_tenant_with(
+            "decoder",
+            model,
+            SloClass::BestEffort,
+            ClassPolicy {
+                max_queue: 4,
+                ..SloClass::BestEffort.default_policy()
+            },
+        );
+        let stream = gw.open_stream(t).expect("gpt_mini is causal");
+
+        // Offer 7 single-token steps without pumping: the 4-deep queue
+        // admits 4 in flight, sheds 3, and a shed step must not grow the
+        // prefix.
+        let offered = 7u64;
+        let mut admitted: Vec<(Vec<usize>, Pending)> = Vec::new();
+        let mut shed = 0u64;
+        let mut prefix: Vec<usize> = Vec::new();
+        for (i, &tok) in tokens.iter().enumerate().take(offered as usize) {
+            match gw.submit_step(stream, vec![tok]) {
+                Ok(h) => {
+                    prefix.push(tok);
+                    admitted.push((prefix.clone(), h));
+                }
+                Err(ServeError::Shed { .. }) => shed += 1,
+                Err(e) => panic!("step {i} rejected unexpectedly: {e}"),
+            }
+        }
+        assert_eq!((admitted.len(), shed), (4, 3));
+        let st = gw.tenant_stats(t).expect("registered");
+        assert_eq!(st.admitted + st.shed, offered, "a step went unaccounted");
+        assert_eq!((st.admitted, st.shed), (4, 3));
+        assert_eq!(gw.stream_steps(stream), Some(4));
+        assert_eq!(gw.stream_positions(stream), Some(4));
+
+        // Close with all four steps still in flight: the drain serves them.
+        gw.close();
+        assert_eq!(gw.queued(), 0);
+        assert_eq!(gw.stats().rows_served, 4);
+        // A post-close step is refused without touching the prefix.
+        assert_eq!(
+            gw.submit_step(stream, vec![tokens[0]]).map(|_| ()),
+            Err(ServeError::Closed)
+        );
+        assert_eq!(gw.stream_positions(stream), Some(4));
+        drop(gw); // undeploys, so the solo reference below can go live
+
+        let solo = rt.serve(&net, &ps).build_model();
+        for (i, (prefix, h)) in admitted.into_iter().enumerate() {
+            let rows = h.wait().expect("admitted step lost in drain");
+            let want = solo.submit(prefix).expect("valid prefix");
+            solo.flush();
+            let want = want.wait().expect("solo session alive");
+            assert_eq!(rows, want, "decode step {i} diverged from solo eval");
+        }
     }
 }

@@ -29,7 +29,17 @@
 //!   models behind shared per-stage batchers ([`StageBatchers`]), tenants
 //!   with SLO classes ([`SloClass`]) and bounded-queue admission control,
 //!   so concurrent tenants of one model coalesce into shared engine
-//!   batches while staying bit-identical to solo sessions.
+//!   batches while staying bit-identical to solo sessions;
+//! * [`DecodeSession`] — token-streaming autoregressive serving
+//!   ([`SessionBuilder::build_decode`]): each `step` re-encodes only the
+//!   new token's rows, splicing the prefix's packed codes from per-stage
+//!   [`DecodeStageCache`]s, bit-identical to a full-sequence re-eval.
+//!
+//! All serving sessions are built through one front door,
+//! [`LutRuntime::serve`] (whole-model) / [`LutRuntime::serve_layer`]
+//! (single layer), returning a [`SessionBuilder`] /
+//! [`LayerSessionBuilder`]; errors across session, gateway, and decode
+//! surfaces share [`ServeError`].
 //!
 //! # Example: convert a tiny ResNet, deploy at BF16+INT8, serve rows
 //!
@@ -56,12 +66,12 @@
 //!
 //! // Serve single rows through a micro-batched session on one LUT layer.
 //! let lut = lut_layers(net.dense_units()).next().expect("a converted layer");
-//! let session = rt.session(lut, &ps); // engine comes from the cache
+//! let session = rt.serve_layer(lut, &ps).build(); // engine comes from the cache
 //! let pending = session.submit(&vec![0.0; session.input_dim()]).expect("row");
 //! let _row_out = pending.wait().expect("served");
 //!
 //! // …or serve the WHOLE model: one submit = one end-to-end inference.
-//! let serve = rt.model_session(&net, &ps); // same cache, every layer planned
+//! let serve = rt.serve(&net, &ps).build_model(); // same cache, every layer planned
 //! let (image, _label) = test.example(0);
 //! let pending = serve.submit(image).expect("image");
 //! serve.flush();
@@ -81,7 +91,8 @@ pub use convert::{
     as_lut, as_lut_mut, lutify_convnet, lutify_transformer, CentroidInit, ConvertPolicy, LutHandles,
 };
 pub use deploy::{
-    eval_images_deployed, eval_seq_deployed, lut_layers, undeploy_units, DeployConfig, UnitPlan,
+    eval_images_deployed, eval_seq_deployed, lut_layers, undeploy_units, DecodePlan,
+    DecodeStageCache, DecodeStageStats, DeployConfig, UnitPlan,
 };
 pub use fold::{fold_bn_into_weight, fold_bn_param, BnParams};
 pub use gateway::{
@@ -89,8 +100,15 @@ pub use gateway::{
     TenantStats,
 };
 pub use lut_gemm::{LutConfig, LutGemm};
-pub use runtime::{CacheStats, LutRuntime, RuntimeOptions, StageBatchers};
-pub use session::{ModelSession, SessionError};
+pub use lutdla_vq::ServeError;
+pub use runtime::{
+    CacheStats, LayerSessionBuilder, LutRuntime, RuntimeOptions, SessionBuilder, StageBatchers,
+};
+// The deprecated `SessionError` alias stays exported for downstream
+// migrations; `ServeError` is the one error surface going forward.
+#[allow(deprecated)]
+pub use session::SessionError;
+pub use session::{DecodeSession, ModelSession};
 pub use trainer::{
     convert_and_train_images, convert_and_train_seq, fresh_pretrained_convnet,
     fresh_pretrained_transformer, ConversionOutcome, Strategy, TrainSchedule,

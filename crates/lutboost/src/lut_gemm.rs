@@ -14,7 +14,7 @@
 //!   `Lre = ‖SG(ÂW) − AW‖² + ‖ÂW − SG(AW)‖²` weighted by `recon_weight`.
 
 use std::cell::RefCell;
-
+use std::rc::Rc;
 use std::sync::Arc;
 
 use lutdla_nn::{CustomOp, Graph, NodeId, ParamId, ParamSet};
@@ -22,6 +22,7 @@ use lutdla_tensor::Tensor;
 use lutdla_vq::{Codebook, Distance, MicroBatcher, Pending, ProductQuantizer, SharedEngine};
 use rand::Rng;
 
+use crate::deploy::DecodeStageCache;
 use lutdla_models::trainable::GemmOp;
 
 /// Hyper-parameters of a LUT operator.
@@ -80,6 +81,12 @@ struct DeployState {
     /// installs one per LUT stage as its per-layer observability point and
     /// batching-policy seam (bit-identical either way; rows never mix).
     stage: Option<Arc<MicroBatcher>>,
+    /// When set, eval-mode forwards route through a step-to-step prefix
+    /// cache instead: unchanged leading rows reuse their packed codes and
+    /// only new rows re-walk the codebook (bit-identical either way). A
+    /// [`crate::DecodeSession`] installs one per LUT stage; takes
+    /// precedence over `stage` (a decode deploy never sets both).
+    decode: Option<Rc<DecodeStageCache>>,
 }
 
 impl LutGemm {
@@ -204,6 +211,7 @@ impl LutGemm {
             params_version,
             engine,
             stage: None,
+            decode: None,
         });
     }
 
@@ -222,6 +230,26 @@ impl LutGemm {
             params_version,
             engine,
             stage: Some(stage),
+            decode: None,
+        });
+    }
+
+    /// [`LutGemm::install_deploy`] routed through a per-stage decode
+    /// prefix cache: eval-mode forwards splice their activation block's
+    /// packed codes from the previous step's cached prefix and walk only
+    /// the new rows. This is how [`crate::DecodeSession`] wires its LUT
+    /// stages.
+    pub fn install_deploy_decode(
+        &self,
+        engine: SharedEngine,
+        cache: Rc<DecodeStageCache>,
+        params_version: u64,
+    ) {
+        *self.deploy.borrow_mut() = Some(DeployState {
+            params_version,
+            engine,
+            stage: None,
+            decode: Some(cache),
         });
     }
 
@@ -338,17 +366,21 @@ impl GemmOp for LutGemm {
                     "stale DeployState: parameters changed since deployment \
                      (re-deploy, or let the trainer's stage transitions clear it)"
                 );
-                let y = match &d.stage {
-                    Some(stage) => {
-                        let xv = g.value(x);
-                        let m = xv.dims()[0];
-                        let out = stage
-                            .submit_rows(xv.data())
-                            .and_then(Pending::wait)
-                            .expect("stage micro-batcher died while deployed");
-                        Tensor::from_vec(out, &[m, self.out_dim])
+                let y = if let Some(cache) = &d.decode {
+                    cache.eval(&d.engine, g.value(x))
+                } else {
+                    match &d.stage {
+                        Some(stage) => {
+                            let xv = g.value(x);
+                            let m = xv.dims()[0];
+                            let out = stage
+                                .submit_rows(xv.data())
+                                .and_then(Pending::wait)
+                                .expect("stage micro-batcher died while deployed");
+                            Tensor::from_vec(out, &[m, self.out_dim])
+                        }
+                        None => lutdla_vq::lock_engine(&d.engine).run_batch(g.value(x)),
                     }
-                    None => lutdla_vq::lock_engine(&d.engine).run_batch(g.value(x)),
                 };
                 return g.input(y);
             }

@@ -43,20 +43,21 @@
 //! ```
 
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use lutdla_models::trainable::{DenseUnit, ServableModel};
 use lutdla_nn::{ParamId, ParamSet};
 use lutdla_vq::{
     default_workers, share, AdaptiveOptions, BatchOptions, BatchPolicy, EncodeMemo, EngineOptions,
-    FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, SharedEngine, StageStats,
-    WorkerPool,
+    FloatPrecision, LutEngine, LutQuant, LutTable, MicroBatcher, ServeError, SharedEngine,
+    StageStats, WorkerPool,
 };
 
 use crate::convert::as_lut;
-use crate::deploy::{lut_layers, DeployConfig, UnitPlan};
+use crate::deploy::{lut_layers, DecodePlan, DecodeStageCache, DeployConfig, UnitPlan};
 use crate::lut_gemm::LutGemm;
-use crate::session::ModelSession;
+use crate::session::{DecodeSession, ModelSession};
 
 /// What uniquely identifies a tiled engine: whose weights (set identity +
 /// weight handle), which LUT layer (`centroid0` — the first centroid
@@ -337,28 +338,89 @@ impl LutRuntime {
         self.deploy_layers_with(lut_layers(units), ps, cfg);
     }
 
-    /// Opens a micro-batched serving session over one layer's engine: a
-    /// front door whose `submit(row)` calls coalesce into batched engine
-    /// runs (see [`MicroBatcher`]), under the runtime's
-    /// [`RuntimeOptions::policy`]. The engine comes from the cache, so a
-    /// session over an already-deployed layer shares its tables.
-    pub fn session(&mut self, lut: &LutGemm, ps: &ParamSet) -> MicroBatcher {
-        self.session_with_policy(lut, ps, self.cfg, self.opts.policy)
+    /// Starts a [`SessionBuilder`] for whole-model serving: the single
+    /// front door that replaced the `model_session*` constructor family.
+    ///
+    /// ```no_run
+    /// # fn demo(rt: &mut lutdla_lutboost::LutRuntime,
+    /// #         net: &lutdla_models::trainable::ConvNet, ps: &lutdla_nn::ParamSet) {
+    /// let session = rt.serve(net, ps).build_model();            // batch serving
+    /// # }
+    /// ```
+    ///
+    /// Chain [`SessionBuilder::config`] / [`SessionBuilder::policy`] /
+    /// [`SessionBuilder::shared`] to override the runtime defaults, then
+    /// finish with [`SessionBuilder::build_model`] (a batch-coalescing
+    /// [`ModelSession`]) or [`SessionBuilder::build_decode`] (a
+    /// token-streaming [`DecodeSession`]).
+    pub fn serve<'rt, 'm, 't, M: ServableModel>(
+        &'rt mut self,
+        model: &'m M,
+        ps: &'m ParamSet,
+    ) -> SessionBuilder<'rt, 'm, 't, M> {
+        SessionBuilder {
+            cfg: self.cfg,
+            policy: self.opts.policy,
+            rt: self,
+            model,
+            ps,
+            shared: None,
+        }
     }
 
-    /// [`LutRuntime::session`] at explicit numerics.
+    /// Starts a [`LayerSessionBuilder`] for single-layer serving: a
+    /// micro-batched front door over one layer's engine (see
+    /// [`MicroBatcher`]), replacing the `session*` constructor family.
+    /// The engine comes from the cache, so a session over an
+    /// already-deployed layer shares its tables.
+    pub fn serve_layer<'rt, 'l>(
+        &'rt mut self,
+        lut: &'l LutGemm,
+        ps: &'l ParamSet,
+    ) -> LayerSessionBuilder<'rt, 'l> {
+        LayerSessionBuilder {
+            cfg: self.cfg,
+            policy: self.opts.policy,
+            rt: self,
+            lut,
+            ps,
+        }
+    }
+
+    /// Opens a token-streaming [`DecodeSession`] at the runtime's default
+    /// numerics — shorthand for `rt.serve(model, ps).build_decode()`.
+    /// Fails with [`ServeError::Invalid`] unless the model has an
+    /// incremental-forward contract
+    /// ([`ServableModel::decode_contract`], e.g. a causal transformer).
+    pub fn decode_session<'m, M: ServableModel>(
+        &mut self,
+        model: &'m M,
+        ps: &'m ParamSet,
+    ) -> Result<DecodeSession<'m, M>, ServeError> {
+        self.serve(model, ps).build_decode()
+    }
+
+    /// Deprecated alias for [`LutRuntime::serve_layer`]`.build()`.
+    #[deprecated(note = "use `rt.serve_layer(lut, ps).build()`")]
+    pub fn session(&mut self, lut: &LutGemm, ps: &ParamSet) -> MicroBatcher {
+        self.serve_layer(lut, ps).build()
+    }
+
+    /// Deprecated alias for [`LutRuntime::serve_layer`] with explicit
+    /// numerics.
+    #[deprecated(note = "use `rt.serve_layer(lut, ps).config(cfg).build()`")]
     pub fn session_with(
         &mut self,
         lut: &LutGemm,
         ps: &ParamSet,
         cfg: DeployConfig,
     ) -> MicroBatcher {
-        self.session_with_policy(lut, ps, cfg, self.opts.policy)
+        self.serve_layer(lut, ps).config(cfg).build()
     }
 
-    /// [`LutRuntime::session`] at explicit numerics *and* batch policy —
-    /// e.g. [`BatchPolicy::Adaptive`] to let this front door's window
-    /// track its own queue pressure.
+    /// Deprecated alias for [`LutRuntime::serve_layer`] with explicit
+    /// numerics and batch policy.
+    #[deprecated(note = "use `rt.serve_layer(lut, ps).config(cfg).policy(policy).build()`")]
     pub fn session_with_policy(
         &mut self,
         lut: &LutGemm,
@@ -366,8 +428,7 @@ impl LutRuntime {
         cfg: DeployConfig,
         policy: BatchPolicy,
     ) -> MicroBatcher {
-        let memo = self.stage_memo();
-        MicroBatcher::with_policy_memo(self.engine_with(lut, ps, cfg), policy, memo)
+        self.serve_layer(lut, ps).config(cfg).policy(policy).build()
     }
 
     /// A fresh per-stage encode memo, or `None` when
@@ -411,48 +472,30 @@ impl LutRuntime {
             .collect()
     }
 
-    /// Opens a **whole-model** serving session: `submit(input)` pipelines a
-    /// single request through every layer of `model` — cached LUT engines
-    /// (one per-stage [`MicroBatcher`] each) for converted units, the dense
-    /// path for everything else — and resolves a `Pending` handle with the
-    /// final logits. See [`ModelSession`].
-    ///
-    /// Compiling the session resolves every LUT unit's engine through the
-    /// cache (`stats()` counts the hits/misses) and installs batched deploy
-    /// state on the converted layers; dropping the session undeploys them,
-    /// with the engines staying warm in the cache. Keep at most one live
-    /// session per model.
+    /// Deprecated alias for [`LutRuntime::serve`]`.build_model()`.
+    #[deprecated(note = "use `rt.serve(model, ps).build_model()`")]
     pub fn model_session<'m, M: ServableModel>(
         &mut self,
         model: &'m M,
         ps: &'m ParamSet,
     ) -> ModelSession<'m, M> {
-        self.model_session_with(model, ps, self.cfg)
+        self.serve(model, ps).build_model()
     }
 
-    /// [`LutRuntime::model_session`] at explicit numerics (precision
-    /// sweeps), under the runtime's [`RuntimeOptions::policy`].
+    /// Deprecated alias for [`LutRuntime::serve`] with explicit numerics.
+    #[deprecated(note = "use `rt.serve(model, ps).config(cfg).build_model()`")]
     pub fn model_session_with<'m, M: ServableModel>(
         &mut self,
         model: &'m M,
         ps: &'m ParamSet,
         cfg: DeployConfig,
     ) -> ModelSession<'m, M> {
-        self.model_session_with_policy(model, ps, cfg, self.opts.policy)
+        self.serve(model, ps).config(cfg).build_model()
     }
 
-    /// [`LutRuntime::model_session`] at explicit numerics *and* per-stage
-    /// batch policy: every LUT stage of the session owns its own batcher
-    /// built from `policy`, so under [`BatchPolicy::Adaptive`] each
-    /// stage's window widens and collapses **independently**, tracking
-    /// that stage's own block sizes and backlog.
-    ///
-    /// Stage batchers always run in drain-only mode regardless of the
-    /// policy's `max_delay`/`slo`: the pipeline blocks on each stage's
-    /// result, so a deadline sleep inside a stage could only add serial
-    /// latency, never gather more work from the same pipeline. The
-    /// deadline/SLO clock belongs to front doors that own their arrival
-    /// stream ([`LutRuntime::session_with_policy`]).
+    /// Deprecated alias for [`LutRuntime::serve`] with explicit numerics
+    /// and per-stage batch policy.
+    #[deprecated(note = "use `rt.serve(model, ps).config(cfg).policy(policy).build_model()`")]
     pub fn model_session_with_policy<'m, M: ServableModel>(
         &mut self,
         model: &'m M,
@@ -460,10 +503,10 @@ impl LutRuntime {
         cfg: DeployConfig,
         policy: BatchPolicy,
     ) -> ModelSession<'m, M> {
-        let batchers = self.stage_batchers(model, ps, cfg, policy);
-        self.model_session_shared(model, ps, &batchers)
-        // `batchers` drops here, so a plain `model_session` keeps today's
-        // behavior: its per-stage batchers are private to the one session.
+        self.serve(model, ps)
+            .config(cfg)
+            .policy(policy)
+            .build_model()
     }
 
     /// Compiles a reusable [`StageBatchers`] template for `model`: one
@@ -526,13 +569,23 @@ impl LutRuntime {
         }
     }
 
-    /// Opens a whole-model session whose per-stage batchers come from a
-    /// [`StageBatchers`] template instead of being built private: every
-    /// session stamped from one template drains through the **same**
-    /// windows, so concurrent consumers coalesce into shared engine
-    /// batches. Going live installs batched deploy state on the model's
-    /// LUT layers (and dropping the session removes it), so keep at most
-    /// one live session per model — a multi-tenant front door
+    /// Deprecated alias for [`LutRuntime::serve`]`.shared(batchers).build_model()`.
+    #[deprecated(note = "use `rt.serve(model, ps).shared(batchers).build_model()`")]
+    pub fn model_session_shared<'m, M: ServableModel>(
+        &self,
+        model: &'m M,
+        ps: &'m ParamSet,
+        batchers: &StageBatchers,
+    ) -> ModelSession<'m, M> {
+        self.stamp_session(model, ps, batchers)
+    }
+
+    /// Stamps a live whole-model session out of a [`StageBatchers`]
+    /// template: every session stamped from one template drains through
+    /// the **same** windows, so concurrent consumers coalesce into shared
+    /// engine batches. Going live installs batched deploy state on the
+    /// model's LUT layers (and dropping the session removes it), so keep
+    /// at most one live session per model — a multi-tenant front door
     /// ([`crate::ServeGateway`]) holds exactly one and routes every tenant
     /// through it.
     ///
@@ -542,7 +595,7 @@ impl LutRuntime {
     /// version), different numerics walk, or a model whose unit walk does
     /// not match `model`'s — a stale template would otherwise serve
     /// silently wrong tables.
-    pub fn model_session_shared<'m, M: ServableModel>(
+    fn stamp_session<'m, M: ServableModel>(
         &self,
         model: &'m M,
         ps: &'m ParamSet,
@@ -605,6 +658,204 @@ impl std::fmt::Debug for LutRuntime {
             .field("workers", &self.opts.workers)
             .field("cached_engines", &self.cache.len())
             .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Builder for whole-model serving sessions, started by
+/// [`LutRuntime::serve`]. Defaults come from the runtime
+/// ([`LutRuntime::config`], [`RuntimeOptions::policy`]); every setter
+/// overrides one knob, and the two `build_*` terminals pick the session
+/// kind:
+///
+/// * [`SessionBuilder::build_model`] — a batch-coalescing
+///   [`ModelSession`] (the former `model_session*` family).
+/// * [`SessionBuilder::build_decode`] — a token-streaming
+///   [`DecodeSession`] for autoregressive decode.
+#[must_use = "a session builder does nothing until `build_model()` or `build_decode()`"]
+pub struct SessionBuilder<'rt, 'm, 't, M: ServableModel> {
+    rt: &'rt mut LutRuntime,
+    model: &'m M,
+    ps: &'m ParamSet,
+    cfg: DeployConfig,
+    policy: BatchPolicy,
+    shared: Option<&'t StageBatchers>,
+}
+
+impl<'rt, 'm, 't, M: ServableModel> SessionBuilder<'rt, 'm, 't, M> {
+    /// Overrides the deployment numerics (defaults to
+    /// [`LutRuntime::config`]). Ignored when a [`SessionBuilder::shared`]
+    /// template is set — the template carries its own numerics.
+    pub fn config(mut self, cfg: DeployConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Overrides the per-stage batch policy (defaults to
+    /// [`RuntimeOptions::policy`]). Ignored when a
+    /// [`SessionBuilder::shared`] template is set — the template's
+    /// batchers were built under their own policy. Decode sessions have
+    /// no batchers, so the policy does not apply to
+    /// [`SessionBuilder::build_decode`] either.
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Stamps the session from a [`StageBatchers`] template
+    /// ([`LutRuntime::stage_batchers`]) instead of building private
+    /// per-stage batchers: every session from one template drains through
+    /// the **same** windows (see [`crate::StageBatchers`]).
+    pub fn shared(mut self, batchers: &'t StageBatchers) -> Self {
+        self.shared = Some(batchers);
+        self
+    }
+
+    /// Builds the batch-coalescing [`ModelSession`]: `submit(input)`
+    /// pipelines a single request through every layer of the model —
+    /// cached LUT engines (one per-stage [`MicroBatcher`] each) for
+    /// converted units, the dense path for everything else — and resolves
+    /// a `Pending` handle with the final logits.
+    ///
+    /// Compiling the session resolves every LUT unit's engine through the
+    /// runtime cache ([`LutRuntime::stats`] counts the hits/misses) and
+    /// installs batched deploy state on the converted layers; dropping
+    /// the session undeploys them, with the engines staying warm in the
+    /// cache. Keep at most one live session per model.
+    ///
+    /// Stage batchers always run in drain-only mode regardless of the
+    /// policy's `max_delay`/`slo`: the pipeline blocks on each stage's
+    /// result, so a deadline sleep inside a stage could only add serial
+    /// latency, never gather more work from the same pipeline. The
+    /// deadline/SLO clock belongs to front doors that own their arrival
+    /// stream ([`LayerSessionBuilder::policy`]).
+    ///
+    /// # Panics
+    ///
+    /// With a [`SessionBuilder::shared`] template that was built for a
+    /// different [`ParamSet`] (identity or version) or a model whose unit
+    /// walk does not match — a stale template would otherwise serve
+    /// silently wrong tables.
+    pub fn build_model(self) -> ModelSession<'m, M> {
+        match self.shared {
+            Some(tmpl) => self.rt.stamp_session(self.model, self.ps, tmpl),
+            None => {
+                let tmpl = self
+                    .rt
+                    .stage_batchers(self.model, self.ps, self.cfg, self.policy);
+                // `tmpl` drops after stamping, so the per-stage batchers
+                // stay private to this one session.
+                self.rt.stamp_session(self.model, self.ps, &tmpl)
+            }
+        }
+    }
+
+    /// Builds the token-streaming [`DecodeSession`]: `step(tokens)` grows
+    /// the sequence and serves the prefix's logits, with every LUT stage
+    /// reusing the prefix's packed codes across steps (see
+    /// [`DecodeSession`]).
+    ///
+    /// Fails with [`ServeError::Invalid`] when the model has no
+    /// incremental-forward contract ([`ServableModel::decode_contract`] —
+    /// e.g. a bidirectional transformer, whose every row changes each
+    /// step) or when a [`SessionBuilder::shared`] template is set (decode
+    /// sessions own their per-stage prefix caches; there is no window to
+    /// share).
+    pub fn build_decode(self) -> Result<DecodeSession<'m, M>, ServeError> {
+        if self.shared.is_some() {
+            return Err(ServeError::Invalid {
+                reason: "decode sessions own their per-stage prefix caches; \
+                         a shared stage-batcher template cannot serve them"
+                    .to_string(),
+            });
+        }
+        self.model
+            .decode_contract()
+            .map_err(|reason| ServeError::Invalid { reason })?;
+        let walk = self.model.unit_walk();
+        let mut plan = Vec::with_capacity(walk.len());
+        let mut luts = Vec::new();
+        for unit in walk {
+            match as_lut(unit) {
+                Some(lut) => {
+                    let engine = self.rt.engine_with(lut, self.ps, self.cfg);
+                    let cache = Rc::new(DecodeStageCache::new(self.rt.stage_memo()));
+                    lut.install_deploy_decode(
+                        Arc::clone(&engine),
+                        Rc::clone(&cache),
+                        self.ps.version(),
+                    );
+                    plan.push(DecodePlan::Lut {
+                        name: unit.name.clone(),
+                        engine,
+                        cache,
+                    });
+                    luts.push(lut);
+                }
+                None => plan.push(DecodePlan::Dense {
+                    name: unit.name.clone(),
+                }),
+            }
+        }
+        Ok(DecodeSession::new(self.model, self.ps, plan, luts))
+    }
+}
+
+impl<M: ServableModel> std::fmt::Debug for SessionBuilder<'_, '_, '_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("cfg", &self.cfg)
+            .field("policy", &self.policy)
+            .field("shared", &self.shared.is_some())
+            .finish()
+    }
+}
+
+/// Builder for single-layer serving front doors, started by
+/// [`LutRuntime::serve_layer`] (the former `session*` family).
+#[must_use = "a layer-session builder does nothing until `build()`"]
+pub struct LayerSessionBuilder<'rt, 'l> {
+    rt: &'rt mut LutRuntime,
+    lut: &'l LutGemm,
+    ps: &'l ParamSet,
+    cfg: DeployConfig,
+    policy: BatchPolicy,
+}
+
+impl LayerSessionBuilder<'_, '_> {
+    /// Overrides the deployment numerics (defaults to
+    /// [`LutRuntime::config`]).
+    pub fn config(mut self, cfg: DeployConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Overrides the batch policy (defaults to
+    /// [`RuntimeOptions::policy`]) — e.g. [`BatchPolicy::Adaptive`] to
+    /// let this front door's window track its own queue pressure.
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the micro-batched front door: `submit(row)` calls coalesce
+    /// into batched engine runs (see [`MicroBatcher`]), with a fresh
+    /// per-door encode memo when [`RuntimeOptions::memo_rows`] is set.
+    pub fn build(self) -> MicroBatcher {
+        let memo = self.rt.stage_memo();
+        MicroBatcher::with_policy_memo(
+            self.rt.engine_with(self.lut, self.ps, self.cfg),
+            self.policy,
+            memo,
+        )
+    }
+}
+
+impl std::fmt::Debug for LayerSessionBuilder<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerSessionBuilder")
+            .field("cfg", &self.cfg)
+            .field("policy", &self.policy)
             .finish()
     }
 }
@@ -767,7 +1018,7 @@ mod tests {
         let mut rt = LutRuntime::new(DeployConfig::fp32());
 
         // First session: every LUT stage is a build (miss), nothing evicts.
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let lut_stages = session.lut_stages();
         assert!(lut_stages > 0);
         assert_eq!(
@@ -783,7 +1034,7 @@ mod tests {
 
         // Second session at the same parameter version: pure cache hits —
         // the whole model re-deploys with zero re-tiling.
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         assert_eq!(
             rt.stats(),
             CacheStats {
@@ -796,9 +1047,12 @@ mod tests {
 
         // A sweep to a second numerics config doubles the builds; returning
         // to the first is hits again (both configs fit the default cache).
-        let session = rt.model_session_with(&net, &ps, DeployConfig::bf16_int8());
+        let session = rt
+            .serve(&net, &ps)
+            .config(DeployConfig::bf16_int8())
+            .build_model();
         drop(session);
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         drop(session);
         assert_eq!(rt.stats().misses, 2 * lut_stages as u64);
         assert_eq!(rt.stats().hits, 2 * lut_stages as u64);
@@ -809,7 +1063,7 @@ mod tests {
         // version: the next session rebuilds everything.
         let weight = lut_layers(net.dense_units()).next().expect("lut").weight();
         ps.value_mut(weight).scale_mut(1.0);
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         drop(session);
         assert_eq!(rt.stats().misses, 3 * lut_stages as u64);
     }
@@ -867,7 +1121,7 @@ mod tests {
         let engine = lut.deployed_engine().expect("deployed");
         let reference = lutdla_vq::lock_engine(&engine).run_batch(&x);
 
-        let session = rt.session(&lut, &ps);
+        let session = rt.serve_layer(&lut, &ps).build();
         // The session shares the deployed engine through the cache.
         assert_eq!(rt.stats().hits, 1);
         let (m, k) = (x.dims()[0], x.dims()[1]);
@@ -920,7 +1174,7 @@ mod tests {
         let reference = lutdla_vq::lock_engine(&engine).run_batch(&x);
         let n = reference.dims()[1];
 
-        let session = rt.session(&lut, &ps);
+        let session = rt.serve_layer(&lut, &ps).build();
         for pass in 0..2 {
             for i in 0..m {
                 let out = session
@@ -952,16 +1206,16 @@ mod tests {
         );
         let batchers = rt.stage_batchers(&net, &ps, DeployConfig::fp32(), BatchPolicy::default());
         let image = Tensor::from_vec(images.data()[..3 * 16 * 16].to_vec(), &[3, 16, 16]);
-        let serve = |rt: &LutRuntime| {
-            let session = rt.model_session_shared(&net, &ps, &batchers);
+        let serve = |rt: &mut LutRuntime| {
+            let session = rt.serve(&net, &ps).shared(&batchers).build_model();
             let handle = session.submit(image.clone()).expect("valid image");
             session.flush();
             handle.wait().expect("session alive")
         };
-        let first = serve(&rt);
+        let first = serve(&mut rt);
         // Same image again: every stage re-sees its rows, so each stage's
         // memo serves hits — and the logits stay bit-identical.
-        let second = serve(&rt);
+        let second = serve(&mut rt);
         assert_eq!(first, second, "memo-backed pipeline diverged");
         for (name, stats) in batchers.stage_stats() {
             assert!(
@@ -1043,20 +1297,20 @@ mod tests {
         assert_eq!(after_build.misses, batchers.lut_stages() as u64);
 
         let image = Tensor::from_vec(images.data()[..3 * 16 * 16].to_vec(), &[3, 16, 16]);
-        let serve = |rt: &LutRuntime| {
-            let session = rt.model_session_shared(&net, &ps, &batchers);
+        let serve = |rt: &mut LutRuntime| {
+            let session = rt.serve(&net, &ps).shared(&batchers).build_model();
             let handle = session.submit(image.clone()).expect("valid image");
             session.flush();
             handle.wait().expect("session alive")
         };
 
-        let first = serve(&rt);
+        let first = serve(&mut rt);
         let after_one = batchers.stage_stats();
         assert!(after_one.iter().all(|(_, s)| s.batches_run > 0));
         // Session drop undeployed the layers; the template keeps counting.
         assert!(lut_layers(net.dense_units()).all(|l| l.deployed_engine().is_none()));
 
-        let second = serve(&rt);
+        let second = serve(&mut rt);
         assert_eq!(first, second, "rebuilt session diverged");
         for ((name, one), (_, two)) in after_one.iter().zip(batchers.stage_stats()) {
             let d = two.delta(one);
@@ -1079,7 +1333,78 @@ mod tests {
         // tiled from dead parameters and must not go live.
         let weight = lut_layers(net.dense_units()).next().expect("lut").weight();
         ps.value_mut(weight).scale_mut(1.0);
-        let _ = rt.model_session_shared(&net, &ps, &batchers);
+        let _ = rt.serve(&net, &ps).shared(&batchers).build_model();
+    }
+
+    /// The deprecated `session*`/`model_session*` constructors must stay
+    /// thin wrappers over the builder: same engines out of the cache, same
+    /// bits out of the forward, until the family is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder_they_wrap() {
+        let (ps, lut, calib) = layer_setup();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let x = calib.rows(0, 4);
+        let (m, k) = (x.dims()[0], x.dims()[1]);
+        let run_rows = |door: &MicroBatcher| -> Vec<f32> {
+            (0..m)
+                .flat_map(|i| {
+                    door.submit(&x.data()[i * k..(i + 1) * k])
+                        .expect("row")
+                        .wait()
+                        .expect("door alive")
+                })
+                .collect()
+        };
+        let via_builder = run_rows(&rt.serve_layer(&lut, &ps).build());
+        let via_legacy = run_rows(&rt.session(&lut, &ps));
+        assert_eq!(via_builder, via_legacy, "legacy layer door diverged");
+        // Both doors resolved the same cached engine: one miss total.
+        assert_eq!(rt.stats().misses, 1);
+        assert_eq!(rt.stats().hits, 1);
+
+        let (ps, net, images) = converted_net(128);
+        let image = Tensor::from_vec(images.data()[..3 * 16 * 16].to_vec(), &[3, 16, 16]);
+        let a = {
+            let session = rt.serve(&net, &ps).build_model();
+            session.run([image.clone()]).expect("valid image")
+        };
+        let b = {
+            let session = rt.model_session(&net, &ps);
+            session.run([image]).expect("valid image")
+        };
+        assert_eq!(a.data(), b.data(), "legacy model session diverged");
+        // The deprecated error alias still names the unified type.
+        let err: crate::session::SessionError = ServeError::EmptyRun;
+        assert_eq!(err, ServeError::EmptyRun);
+    }
+
+    /// `build_decode` is gated on the model's incremental-forward
+    /// contract, and refuses a shared template (a decode session owns its
+    /// prefix caches); a failed build leaves nothing deployed.
+    #[test]
+    fn build_decode_rejects_models_without_a_contract() {
+        let (ps, net, _) = converted_net(129);
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let err = rt
+            .serve(&net, &ps)
+            .build_decode()
+            .expect_err("convnets have no incremental-forward contract");
+        assert!(
+            matches!(&err, ServeError::Invalid { reason } if reason.contains("incremental")),
+            "wrong rejection: {err}"
+        );
+        let batchers = rt.stage_batchers(&net, &ps, DeployConfig::fp32(), BatchPolicy::default());
+        let err = rt
+            .serve(&net, &ps)
+            .shared(&batchers)
+            .build_decode()
+            .expect_err("shared templates cannot serve decode");
+        assert!(matches!(&err, ServeError::Invalid { reason } if reason.contains("template")));
+        assert!(
+            lut_layers(net.dense_units()).all(|l| l.deployed_engine().is_none()),
+            "failed decode build left deploy state behind"
+        );
     }
 
     #[test]
@@ -1091,6 +1416,6 @@ mod tests {
         // A clone shares ids and version but has its own uid — engines
         // built against one set's values must not serve the other.
         let ps2 = ps.clone();
-        let _ = rt.model_session_shared(&net, &ps2, &batchers);
+        let _ = rt.serve(&net, &ps2).shared(&batchers).build_model();
     }
 }

@@ -13,7 +13,7 @@
 //!   its whole activation block as one request and is served immediately,
 //!   never sleeping on a deadline. The per-stage batcher is the stage's
 //!   observability point ([`ModelSession::stage_stats`]) and its policy
-//!   seam: [`crate::LutRuntime::model_session_with_policy`] installs a
+//!   seam: building with [`crate::SessionBuilder::policy`] installs a
 //!   [`lutdla_vq::BatchPolicy::Adaptive`] controller per stage, so every
 //!   stage's flush window widens under backlog and collapses when idle,
 //!   independently of the other stages'.
@@ -41,37 +41,18 @@ use std::cell::{Cell, RefCell};
 use lutdla_models::trainable::ServableModel;
 use lutdla_nn::ParamSet;
 use lutdla_tensor::Tensor;
-use lutdla_vq::{Pending, PendingResolver};
+use lutdla_vq::{Pending, PendingResolver, ServeError};
 
-use crate::deploy::UnitPlan;
+use crate::deploy::{DecodePlan, DecodeStageStats, UnitPlan};
 use crate::lut_gemm::LutGemm;
 
-/// Errors surfaced by [`ModelSession::submit`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SessionError {
-    /// The request failed the model's input validation.
-    InvalidInput(String),
-    /// [`ModelSession::run`] was handed no inputs (the workspace's tensors
-    /// reject zero-sized dimensions, so there is no empty logits value to
-    /// return).
-    EmptyRun,
-    /// A handle's resolver was dropped before resolving it. The session
-    /// resolves every queued handle during `flush`, so this only surfaces
-    /// if a model forward panicked mid-flush and unwound past the queue.
-    Lost,
-}
-
-impl std::fmt::Display for SessionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SessionError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            SessionError::EmptyRun => write!(f, "run() needs at least one input"),
-            SessionError::Lost => write!(f, "request handle dropped unresolved"),
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
+/// The session-layer error type, folded into the serving-wide
+/// [`ServeError`] (its variant names and `Display` text are unchanged, so
+/// existing matches and message checks keep working).
+#[deprecated(
+    note = "use `ServeError`: session, gateway, and decode callers share one error surface"
+)]
+pub type SessionError = ServeError;
 
 /// The whole-model serving session. See the module docs.
 pub struct ModelSession<'m, M: ServableModel> {
@@ -89,7 +70,7 @@ pub struct ModelSession<'m, M: ServableModel> {
 }
 
 impl<'m, M: ServableModel> ModelSession<'m, M> {
-    /// Called by [`crate::LutRuntime::model_session`] with the compiled
+    /// Called by [`crate::SessionBuilder::build_model`] with the compiled
     /// plan (engines already resolved through the cache and installed on
     /// the layers as batched deploys).
     pub(crate) fn new(
@@ -121,10 +102,10 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
     /// case the open batch flushes first. Reaching `max_batch` queued
     /// requests flushes automatically; [`ModelSession::flush`] forces a
     /// partial batch out.
-    pub fn submit(&self, input: M::Input) -> Result<Pending, SessionError> {
+    pub fn submit(&self, input: M::Input) -> Result<Pending, ServeError> {
         self.model
             .validate_input(&input)
-            .map_err(SessionError::InvalidInput)?;
+            .map_err(ServeError::InvalidInput)?;
         let incompatible = {
             let q = self.queue.borrow();
             q.first()
@@ -169,14 +150,14 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
 
     /// Convenience batch entry point: submits every input, flushes, and
     /// returns the stacked `[batch, classes]` logits. Errors on an empty
-    /// input set ([`SessionError::EmptyRun`]).
-    pub fn run(&self, inputs: impl IntoIterator<Item = M::Input>) -> Result<Tensor, SessionError> {
+    /// input set ([`ServeError::EmptyRun`]).
+    pub fn run(&self, inputs: impl IntoIterator<Item = M::Input>) -> Result<Tensor, ServeError> {
         let handles: Vec<Pending> = inputs
             .into_iter()
             .map(|input| self.submit(input))
             .collect::<Result<_, _>>()?;
         if handles.is_empty() {
-            return Err(SessionError::EmptyRun);
+            return Err(ServeError::EmptyRun);
         }
         self.flush();
         let mut data = Vec::with_capacity(handles.len() * self.classes);
@@ -185,7 +166,7 @@ impl<'m, M: ServableModel> ModelSession<'m, M> {
             // `flush` resolves every queued handle, so a lost one means a
             // forward unwound mid-flush: propagate instead of panicking on
             // the serving path.
-            data.extend(h.wait().map_err(|_| SessionError::Lost)?);
+            data.extend(h.wait().map_err(|_| ServeError::Lost)?);
         }
         Ok(Tensor::from_vec(data, &[m, self.classes]))
     }
@@ -244,6 +225,167 @@ impl<M: ServableModel> Drop for ModelSession<'_, M> {
     }
 }
 
+/// Incremental autoregressive serving session: the token-streaming
+/// counterpart of [`ModelSession`], built by
+/// [`crate::SessionBuilder::build_decode`].
+///
+/// [`DecodeSession::step`] appends new token(s) to the growing sequence
+/// (via [`ServableModel::extend_input`]) and serves the extended prefix's
+/// logits immediately, resolving the returned [`Pending`] with a per-step
+/// timing stamp. Each LUT stage routes through a
+/// [`crate::DecodeStageCache`] installed for the session's lifetime: the
+/// stage's activation rows for the already-processed prefix keep their
+/// packed codes from the previous step, so only the new token's rows pay
+/// the similarity walk — the encode-once economics of
+/// [`lutdla_vq::LutEngine::run_from_packed`] applied across steps instead
+/// of across engines.
+///
+/// Because reuse keys on exact activation bit-images and packed codes
+/// fully determine the lookup, step `N`'s logits are **bit-identical** to
+/// a fresh full-sequence [`ModelSession`] eval of the same `N`-token
+/// prefix — for every prefix length and every deployment numerics combo.
+/// Only models with an incremental-forward contract
+/// ([`ServableModel::decode_contract`], e.g. a causal transformer) can be
+/// served: on a bidirectional model every step would change every row and
+/// the cache could never reuse a thing.
+///
+/// Like [`ModelSession`], a decode session owns its model's LUT
+/// deployment: construction installs decode deploy state on every
+/// converted layer and drop clears it. Keep at most one live session per
+/// model.
+pub struct DecodeSession<'m, M: ServableModel> {
+    model: &'m M,
+    ps: &'m ParamSet,
+    plan: Vec<DecodePlan>,
+    /// The LUT layers this session deployed (cleared on drop).
+    luts: Vec<&'m LutGemm>,
+    classes: usize,
+    prefix: RefCell<Option<M::Input>>,
+    steps: Cell<usize>,
+}
+
+impl<'m, M: ServableModel> DecodeSession<'m, M> {
+    /// Called by [`crate::SessionBuilder::build_decode`] with the compiled
+    /// plan (engines resolved through the cache, decode deploy state
+    /// installed on the layers).
+    pub(crate) fn new(
+        model: &'m M,
+        ps: &'m ParamSet,
+        plan: Vec<DecodePlan>,
+        luts: Vec<&'m LutGemm>,
+    ) -> Self {
+        Self {
+            model,
+            ps,
+            plan,
+            luts,
+            classes: model.num_classes(),
+            prefix: RefCell::new(None),
+            steps: Cell::new(0),
+        }
+    }
+
+    /// Extends the sequence with `step` (one or more new tokens) and runs
+    /// one incremental forward over the grown prefix. The returned handle
+    /// is already resolved — with the prefix's logits row (length
+    /// [`DecodeSession::num_classes`]) and this step's timing stamp — so
+    /// `wait()` never blocks; the `Pending` form keeps decode steps
+    /// composable with the rest of the serving surface
+    /// ([`Pending::chain`], gateway relays, latency accounting).
+    ///
+    /// The first step seeds the sequence and must pass the model's input
+    /// validation; later steps go through
+    /// [`ServableModel::extend_input`]. A rejected step leaves the prefix
+    /// unchanged.
+    pub fn step(&self, step: M::Input) -> Result<Pending, ServeError> {
+        let grown = match self.prefix.borrow().as_ref() {
+            Some(prefix) => self
+                .model
+                .extend_input(prefix, &step)
+                .map_err(ServeError::InvalidInput)?,
+            None => {
+                self.model
+                    .validate_input(&step)
+                    .map_err(ServeError::InvalidInput)?;
+                step
+            }
+        };
+        let logits = self
+            .model
+            .forward_logits(self.ps, std::slice::from_ref(&grown));
+        debug_assert_eq!(logits.dims(), &[1, self.classes]);
+        *self.prefix.borrow_mut() = Some(grown);
+        self.steps.set(self.steps.get() + 1);
+        let (resolver, pending) = Pending::channel();
+        resolver.resolve_at(
+            logits.data()[..self.classes].to_vec(),
+            std::time::Instant::now(),
+        );
+        Ok(pending)
+    }
+
+    /// Steps served so far.
+    pub fn steps(&self) -> usize {
+        self.steps.get()
+    }
+
+    /// Positions (tokens) in the current prefix — `0` before the first
+    /// step ([`ServableModel::input_positions`]).
+    pub fn prefix_positions(&self) -> usize {
+        self.prefix
+            .borrow()
+            .as_ref()
+            .map_or(0, |p| self.model.input_positions(p))
+    }
+
+    /// The compiled per-unit plan, in forward order.
+    pub fn plan(&self) -> &[DecodePlan] {
+        &self.plan
+    }
+
+    /// How many stages run on LUT engines (the rest take the dense path).
+    pub fn lut_stages(&self) -> usize {
+        self.plan.iter().filter(|p| p.is_lut()).count()
+    }
+
+    /// Final logits width.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-stage prefix-reuse counters, in forward order: `(unit name,
+    /// stats)` for every LUT stage; dense units are skipped. On a causal
+    /// model, `reused_rows` should dominate from the second step on.
+    pub fn decode_stats(&self) -> Vec<(&str, DecodeStageStats)> {
+        self.plan
+            .iter()
+            .filter_map(|p| p.stage_stats().map(|s| (p.name(), s)))
+            .collect()
+    }
+}
+
+impl<M: ServableModel> Drop for DecodeSession<'_, M> {
+    fn drop(&mut self) {
+        // Hand the layers back to training-mode forwards; the engines stay
+        // warm in the runtime cache.
+        for lut in &self.luts {
+            lut.clear_deploy();
+        }
+    }
+}
+
+impl<M: ServableModel> std::fmt::Debug for DecodeSession<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeSession")
+            .field("units", &self.plan.len())
+            .field("lut_stages", &self.lut_stages())
+            .field("classes", &self.classes)
+            .field("steps", &self.steps())
+            .field("prefix_positions", &self.prefix_positions())
+            .finish()
+    }
+}
+
 impl<M: ServableModel> std::fmt::Debug for ModelSession<'_, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelSession")
@@ -266,7 +408,7 @@ mod tests {
     use crate::lut_gemm::LutConfig;
     use crate::runtime::LutRuntime;
     use lutdla_models::trainable::{
-        distilbert_mini, resnet20_mini, ConvNet, TransformerClassifier,
+        distilbert_mini, gpt_mini, resnet20_mini, ConvNet, TransformerClassifier,
     };
     use lutdla_nn::{Graph, ImageModel, SeqModel};
     use lutdla_vq::{FloatPrecision, LutQuant};
@@ -328,6 +470,25 @@ mod tests {
         (ps, net, tokens)
     }
 
+    fn converted_gpt() -> (ParamSet, TransformerClassifier, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(141);
+        let mut ps = ParamSet::new();
+        let mut net = gpt_mini(&mut ps, 5);
+        let tokens: Vec<usize> = (0..6 * 16).map(|i| (i * 11 + 2) % 64).collect();
+        let _ = lutify_transformer(
+            &mut net,
+            &mut ps,
+            LutConfig::default(),
+            CentroidInit::Kmeans,
+            ConvertPolicy::default(),
+            &tokens,
+            6,
+            16,
+            &mut rng,
+        );
+        (ps, net, tokens)
+    }
+
     fn image(images: &Tensor, i: usize) -> Tensor {
         let per = 3 * 16 * 16;
         Tensor::from_vec(images.data()[i * per..(i + 1) * per].to_vec(), &[3, 16, 16])
@@ -352,7 +513,7 @@ mod tests {
             let n = reference.dims()[1];
 
             // Whole-model session, same batch grouping.
-            let session = rt.model_session_with(&net, &ps, cfg);
+            let session = rt.serve(&net, &ps).config(cfg).build_model();
             assert!(session.lut_stages() > 0, "nothing planned on engines");
             let grouped = session
                 .run((0..m).map(|i| image(&images, i)))
@@ -393,7 +554,7 @@ mod tests {
             undeploy_units(net.dense_units());
             let n = reference.dims()[1];
 
-            let session = rt.model_session_with(&net, &ps, cfg);
+            let session = rt.serve(&net, &ps).config(cfg).build_model();
             assert!(session.lut_stages() > 0, "nothing planned on engines");
             let grouped = session
                 .run((0..batch).map(|i| tokens[i * seq_len..(i + 1) * seq_len].to_vec()))
@@ -434,12 +595,12 @@ mod tests {
         });
         for cfg in all_combos() {
             let reference = {
-                let session = rt.model_session_with(&net, &ps, cfg);
+                let session = rt.serve(&net, &ps).config(cfg).build_model();
                 session
                     .run((0..m).map(|i| image(&images, i)))
                     .expect("valid images")
             };
-            let session = rt.model_session_with_policy(&net, &ps, cfg, policy);
+            let session = rt.serve(&net, &ps).config(cfg).policy(policy).build_model();
             let adaptive = session
                 .run((0..m).map(|i| image(&images, i)))
                 .expect("valid images");
@@ -475,7 +636,7 @@ mod tests {
         let mut rt = LutRuntime::new(DeployConfig::fp32());
         // Baseline: one flush of one image measures r_s per stage.
         let per_image: Vec<(String, usize)> = {
-            let session = rt.model_session(&net, &ps);
+            let session = rt.serve(&net, &ps).build_model();
             let _ = session.run([image(&images, 0)]).expect("valid image");
             session
                 .stage_stats()
@@ -488,7 +649,11 @@ mod tests {
         let cap = 4096usize;
         let policy =
             lutdla_vq::BatchPolicy::Adaptive(lutdla_vq::AdaptiveOptions::drain_only(1, cap));
-        let session = rt.model_session_with_policy(&net, &ps, DeployConfig::fp32(), policy);
+        let session = rt
+            .serve(&net, &ps)
+            .config(DeployConfig::fp32())
+            .policy(policy)
+            .build_model();
         let flushes = 16; // enough doublings to reach any stage's fixed point
         let batch = 3usize;
         for round in 0..flushes {
@@ -533,7 +698,7 @@ mod tests {
     fn concurrent_submitters_account_rows_per_stage() {
         let (ps, net, images) = converted_convnet();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
 
         // Calibration: one image's per-stage row footprint.
         let _ = session.run([image(&images, 0)]).expect("valid image");
@@ -610,7 +775,7 @@ mod tests {
     fn session_handles_carry_one_resolve_stamp_per_flush() {
         let (ps, net, images) = converted_convnet();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let before = std::time::Instant::now();
         let h1 = session.submit(image(&images, 0)).expect("valid image");
         let h2 = session.submit(image(&images, 1)).expect("valid image");
@@ -636,7 +801,7 @@ mod tests {
     fn session_compiles_lut_and_dense_stages_in_walk_order() {
         let (ps, net, _) = converted_convnet();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let units = net.dense_units();
         assert_eq!(session.plan().len(), units.len());
         for (plan, unit) in session.plan().iter().zip(&units) {
@@ -657,7 +822,7 @@ mod tests {
     fn submissions_coalesce_until_max_batch_and_stages_serve_blocks() {
         let (ps, net, images) = converted_convnet();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let handles: Vec<Pending> = (0..3)
             .map(|i| session.submit(image(&images, i)).expect("valid image"))
             .collect();
@@ -687,7 +852,7 @@ mod tests {
     fn incompatible_sequence_lengths_split_batches_transparently() {
         let (ps, net, tokens) = converted_transformer();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let short = session.submit(tokens[..8].to_vec()).expect("valid");
         // A 16-token request cannot share the 8-token batch: the open batch
         // flushes first, then the new request queues.
@@ -704,7 +869,7 @@ mod tests {
     fn drop_flushes_outstanding_requests_and_undeploys() {
         let (ps, net, images) = converted_convnet();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let lut_stages = session.lut_stages();
         let handle = session.submit(image(&images, 0)).expect("valid image");
         // While the session lives, converted layers are deployed (batched).
@@ -726,15 +891,169 @@ mod tests {
     fn invalid_inputs_are_rejected_before_queueing() {
         let (ps, net, _) = converted_convnet();
         let mut rt = LutRuntime::new(DeployConfig::fp32());
-        let session = rt.model_session(&net, &ps);
+        let session = rt.serve(&net, &ps).build_model();
         let err = session
             .submit(Tensor::zeros(&[3, 8, 8]))
             .expect_err("wrong spatial size");
-        assert!(matches!(err, SessionError::InvalidInput(_)));
+        assert!(matches!(err, ServeError::InvalidInput(_)));
         assert_eq!(session.queued(), 0);
         // An empty run() is an error, not a zero-row tensor (the tensor
         // crate rejects zero-sized dimensions) and not a panic.
         let err = session.run(Vec::new()).expect_err("empty input set");
-        assert_eq!(err, SessionError::EmptyRun);
+        assert_eq!(err, ServeError::EmptyRun);
+    }
+
+    /// Tentpole acceptance: after N decode steps, the logits of **every**
+    /// step are bit-identical to a fresh full-sequence `ModelSession` eval
+    /// of the same prefix — at every prefix length, for every
+    /// `LutQuant × FloatPrecision` combo. Prefix-code splicing is a pure
+    /// reuse optimization; it must never change a bit.
+    #[test]
+    fn decode_bit_identical_to_full_sequence_eval_all_combos_all_prefixes() {
+        let (ps, net, tokens) = converted_gpt();
+        let steps = 8;
+        for cfg in all_combos() {
+            let mut rt = LutRuntime::new(cfg);
+            let stepped: Vec<Vec<f32>> = {
+                let decode = rt.decode_session(&net, &ps).expect("causal model");
+                assert!(decode.lut_stages() > 0, "nothing planned on engines");
+                (0..steps)
+                    .map(|i| {
+                        let h = decode.step(vec![tokens[i]]).expect("valid step");
+                        h.wait().expect("step resolved")
+                    })
+                    .collect()
+                // `decode` drops here, releasing the layers' deploy state
+                // for the reference sessions below.
+            };
+            for (i, step_logits) in stepped.iter().enumerate() {
+                let fresh = rt.serve(&net, &ps).config(cfg).build_model();
+                let h = fresh.submit(tokens[..=i].to_vec()).expect("valid prefix");
+                fresh.flush();
+                let reference = h.wait().expect("session alive");
+                assert_eq!(
+                    step_logits, &reference,
+                    "step {i} diverged from full-sequence eval at {cfg:?}"
+                );
+            }
+        }
+    }
+
+    /// The economics behind the tentpole: from the second step on, every
+    /// LUT stage re-encodes only the new token's rows — the prefix's rows
+    /// splice in as already-packed codes ([`DecodeStageStats`]).
+    #[test]
+    fn decode_reuses_prefix_codes_after_the_first_step() {
+        let (ps, net, tokens) = converted_gpt();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let decode = rt.decode_session(&net, &ps).expect("causal model");
+        assert_eq!((decode.steps(), decode.prefix_positions()), (0, 0));
+
+        let _ = decode.step(vec![tokens[0]]).expect("seed step");
+        for (name, s) in decode.decode_stats() {
+            assert_eq!(s.reused_rows, 0, "stage {name} had nothing to reuse yet");
+            assert!(s.walked_rows > 0, "stage {name} never walked its rows");
+        }
+        let after_first: Vec<u64> = decode
+            .decode_stats()
+            .iter()
+            .map(|(_, s)| s.walked_rows)
+            .collect();
+
+        let steps = 6;
+        for &tok in &tokens[1..steps] {
+            let _ = decode.step(vec![tok]).expect("valid step");
+        }
+        assert_eq!((decode.steps(), decode.prefix_positions()), (steps, steps));
+        for ((name, s), first_walk) in decode.decode_stats().iter().zip(after_first) {
+            assert!(
+                s.reused_rows > 0,
+                "stage {name} never reused a prefix row across {steps} steps"
+            );
+            // A causal stage re-walks only the appended token's rows: the
+            // per-step walk cost stays flat while reuse grows with the
+            // prefix, so total walked rows stay well under a full re-walk
+            // of every prefix (which would be quadratic in steps).
+            let full_rewalk = first_walk * (steps as u64 * (steps as u64 + 1)) / 2;
+            assert!(
+                s.walked_rows < full_rewalk,
+                "stage {name} walked {} rows — no better than re-encoding \
+                 every prefix from scratch ({full_rewalk})",
+                s.walked_rows
+            );
+        }
+    }
+
+    /// Decode steps route through the same engine encode-memo plumbing as
+    /// batched sessions: a memo-backed runtime must stay bit-identical.
+    #[test]
+    fn decode_with_encode_memo_stays_bit_identical() {
+        let (ps, net, tokens) = converted_gpt();
+        let cfg = DeployConfig::bf16_int8();
+        let mut plain_rt = LutRuntime::new(cfg);
+        let mut memo_rt = LutRuntime::with_options(
+            cfg,
+            crate::runtime::RuntimeOptions {
+                memo_rows: 4096,
+                ..crate::runtime::RuntimeOptions::default()
+            },
+        );
+        let plain = plain_rt.decode_session(&net, &ps).expect("causal model");
+        let steps = 5;
+        let want: Vec<Vec<f32>> = (0..steps)
+            .map(|i| {
+                let h = plain.step(vec![tokens[i]]).expect("valid step");
+                h.wait().expect("resolved")
+            })
+            .collect();
+        drop(plain);
+        let memo = memo_rt.decode_session(&net, &ps).expect("causal model");
+        for (i, want) in want.iter().enumerate() {
+            let h = memo.step(vec![tokens[i]]).expect("valid step");
+            let got = h.wait().expect("resolved");
+            assert_eq!(&got, want, "memo-backed decode diverged at step {i}");
+        }
+    }
+
+    /// Front-door rejections: a bad first step, a bad later step, and an
+    /// overgrown sequence all fail with [`ServeError::InvalidInput`] and
+    /// leave the prefix exactly where it was.
+    #[test]
+    fn decode_rejects_invalid_steps_without_growing_the_prefix() {
+        let (ps, net, tokens) = converted_gpt();
+        let mut rt = LutRuntime::new(DeployConfig::fp32());
+        let decode = rt.decode_session(&net, &ps).expect("causal model");
+
+        // First step must pass full input validation.
+        assert!(matches!(
+            decode.step(vec![999]),
+            Err(ServeError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            decode.step(vec![]),
+            Err(ServeError::InvalidInput(_))
+        ));
+        assert_eq!((decode.steps(), decode.prefix_positions()), (0, 0));
+
+        let _ = decode.step(vec![tokens[0]]).expect("valid seed");
+        assert!(matches!(
+            decode.step(vec![999]),
+            Err(ServeError::InvalidInput(_))
+        ));
+        assert_eq!(
+            decode.prefix_positions(),
+            1,
+            "rejected step grew the prefix"
+        );
+
+        // Growing past max_seq is rejected by `extend_input`'s validation.
+        for &tok in &tokens[1..16] {
+            let _ = decode.step(vec![tok]).expect("still in range");
+        }
+        assert!(matches!(
+            decode.step(vec![tokens[0]]),
+            Err(ServeError::InvalidInput(_))
+        ));
+        assert_eq!(decode.prefix_positions(), 16);
     }
 }

@@ -220,6 +220,39 @@ pub trait ServableModel {
 
     /// Output width of [`ServableModel::forward_logits`].
     fn num_classes(&self) -> usize;
+
+    /// Whether the model honours the **incremental-forward contract** an
+    /// autoregressive decode session relies on: inputs are growing
+    /// position sequences ([`ServableModel::extend_input`] appends), and
+    /// every per-position activation feeding a dense unit is **bitwise**
+    /// independent of later positions — so a step that appends one token
+    /// leaves the whole prefix's per-stage rows unchanged, and a decode
+    /// cache can re-encode only the new rows. A causal transformer
+    /// ([`TransformerConfig::causal`]) satisfies this; image models and
+    /// bidirectional encoders do not. The default declines with a reason.
+    fn decode_contract(&self) -> Result<(), String> {
+        Err("model has no incremental-forward contract (decode needs per-position prefix stability)"
+            .to_string())
+    }
+
+    /// Appends a decode step's tokens onto a growing prefix, validating
+    /// the combined input. Only meaningful when
+    /// [`ServableModel::decode_contract`] holds; the default declines.
+    fn extend_input(
+        &self,
+        prefix: &Self::Input,
+        step: &Self::Input,
+    ) -> Result<Self::Input, String> {
+        let _ = (prefix, step);
+        Err("model has no incremental-forward contract".to_string())
+    }
+
+    /// Decode positions carried by one input (tokens of a sequence). Image
+    /// requests are a single position.
+    fn input_positions(&self, input: &Self::Input) -> usize {
+        let _ = input;
+        1
+    }
 }
 
 /// Rearranges GEMM conv output `[batch·oh·ow, cout]` into NCHW.
@@ -679,6 +712,13 @@ pub struct TransformerConfig {
     pub num_classes: usize,
     /// Initialisation seed.
     pub seed: u64,
+    /// Causal (autoregressive) attention: position `t` attends only to
+    /// positions `≤ t`. The mask is additive `-1e30` pre-softmax, which
+    /// absorbs any finite score exactly in f32 and underflows `exp` to
+    /// `0.0` — so every per-position activation is **bitwise** independent
+    /// of later tokens, the invariant an incremental decode session's
+    /// prefix reuse relies on ([`ServableModel::decode_contract`]).
+    pub causal: bool,
 }
 
 struct EncoderBlock {
@@ -691,6 +731,7 @@ struct EncoderBlock {
     ln1: LayerNorm,
     ln2: LayerNorm,
     heads: usize,
+    causal: bool,
 }
 
 impl EncoderBlock {
@@ -701,6 +742,7 @@ impl EncoderBlock {
         d: usize,
         d_ff: usize,
         heads: usize,
+        causal: bool,
     ) -> Self {
         Self {
             wq: DenseUnit::plain(ps, rng, &format!("{name}.wq"), d, d, true),
@@ -712,6 +754,7 @@ impl EncoderBlock {
             ln1: LayerNorm::new(ps, &format!("{name}.ln1"), d),
             ln2: LayerNorm::new(ps, &format!("{name}.ln2"), d),
             heads,
+            causal,
         }
     }
 
@@ -747,7 +790,30 @@ impl EncoderBlock {
         let scores = g.bmm(qh, kt);
         let dh = d / self.heads;
         let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
-        let att = g.softmax(scaled);
+        let masked = if self.causal {
+            // Additive causal mask over `[B·H, T, T]` score blocks. The
+            // f32 ulp at 1e30 is ~1.2e23, so `score + (-1e30)` rounds to
+            // exactly -1e30 for any realistic score, and after the row-max
+            // subtraction `exp` underflows to exactly +0.0 — masked
+            // columns contribute bitwise nothing to softmax or to the
+            // value mix, whatever the future tokens hold. The mask enters
+            // as a gradient-free input leaf, so training backprops through
+            // the add unchanged on the unmasked entries.
+            let bh = b * self.heads;
+            let mut mask = vec![0.0f32; bh * t * t];
+            for block in mask.chunks_exact_mut(t * t) {
+                for i in 0..t {
+                    for slot in block[i * t + i + 1..(i + 1) * t].iter_mut() {
+                        *slot = -1e30;
+                    }
+                }
+            }
+            let mask_node = g.input(Tensor::from_vec(mask, &[bh, t, t]));
+            g.add(scaled, mask_node)
+        } else {
+            scaled
+        };
+        let att = g.softmax(masked);
         let ctx = g.bmm(att, vh);
         let merged = g.merge_heads(ctx, self.heads);
         let mflat = g.reshape(merged, &[b * t, d]);
@@ -819,6 +885,7 @@ impl TransformerClassifier {
                     cfg.d_model,
                     cfg.d_ff,
                     cfg.heads,
+                    cfg.causal,
                 )
             })
             .collect();
@@ -1002,6 +1069,34 @@ impl ServableModel for TransformerClassifier {
     fn num_classes(&self) -> usize {
         self.cfg.num_classes
     }
+
+    fn decode_contract(&self) -> Result<(), String> {
+        if self.cfg.causal {
+            Ok(())
+        } else {
+            Err("transformer attention is bidirectional; build with \
+                 TransformerConfig::causal = true for decode serving"
+                .to_string())
+        }
+    }
+
+    fn extend_input(
+        &self,
+        prefix: &Self::Input,
+        step: &Self::Input,
+    ) -> Result<Self::Input, String> {
+        if step.is_empty() {
+            return Err("decode step carries no tokens".to_string());
+        }
+        let mut next = prefix.clone();
+        next.extend_from_slice(step);
+        self.validate_input(&next)?;
+        Ok(next)
+    }
+
+    fn input_positions(&self, input: &Self::Input) -> usize {
+        input.len()
+    }
 }
 
 /// BERT proxy: 2 encoder blocks, d=32.
@@ -1017,6 +1112,7 @@ pub fn bert_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassifier
             layers: 2,
             num_classes,
             seed: 201,
+            causal: false,
         },
     )
 }
@@ -1034,6 +1130,7 @@ pub fn distilbert_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClas
             layers: 1,
             num_classes,
             seed: 202,
+            causal: false,
         },
     )
 }
@@ -1051,6 +1148,27 @@ pub fn opt125m_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassif
             layers: 2,
             num_classes,
             seed: 203,
+            causal: false,
+        },
+    )
+}
+
+/// GPT-style causal proxy: 1 decoder block, d=32, causal attention — the
+/// model a token-streaming decode session serves
+/// ([`ServableModel::decode_contract`] holds).
+pub fn gpt_mini(ps: &mut ParamSet, num_classes: usize) -> TransformerClassifier {
+    TransformerClassifier::new(
+        ps,
+        TransformerConfig {
+            vocab: 64,
+            max_seq: 16,
+            d_model: 32,
+            heads: 4,
+            d_ff: 64,
+            layers: 1,
+            num_classes,
+            seed: 204,
+            causal: true,
         },
     )
 }
@@ -1219,6 +1337,115 @@ mod tests {
         // Unequal lengths must not share a batch; equal lengths may.
         assert!(!net.batch_compatible(&vec![0; 8], &vec![0; 9]));
         assert!(net.batch_compatible(&vec![0; 8], &vec![1; 8]));
+    }
+
+    /// The incremental-forward invariant decode sessions rely on: with
+    /// causal attention, every per-position stage input for a prefix is
+    /// **bitwise** unchanged by later tokens — or by the sequence simply
+    /// being shorter.
+    #[test]
+    fn causal_prefix_stage_rows_are_bitwise_stable() {
+        let mut ps = ParamSet::new();
+        let net = gpt_mini(&mut ps, 3);
+        let full: Vec<usize> = (0..16).map(|i| (i * 7 + 2) % 64).collect();
+        let mut diverged = full.clone();
+        diverged[12] = (diverged[12] + 11) % 64;
+        let cap_full = net.capture_gemm_inputs(&ps, &full, 1, 16);
+        let cap_div = net.capture_gemm_inputs(&ps, &diverged, 1, 16);
+        let cap_short = net.capture_gemm_inputs(&ps, &full[..12], 1, 12);
+        let mut per_position = 0;
+        for (s, ((a, b), c)) in cap_full.iter().zip(&cap_div).zip(&cap_short).enumerate() {
+            if a.dims()[0] != 16 {
+                continue; // the mean-pooled head row depends on every token
+            }
+            per_position += 1;
+            let d = a.dims()[1];
+            assert_eq!(
+                &a.data()[..12 * d],
+                &b.data()[..12 * d],
+                "stage {s}: a future token leaked into the prefix"
+            );
+            assert_eq!(c.dims(), &[12, d]);
+            assert_eq!(
+                &a.data()[..12 * d],
+                c.data(),
+                "stage {s}: prefix rows depend on sequence length"
+            );
+        }
+        assert!(per_position >= 6, "captures missing per-position stages");
+
+        // Counterexample: bidirectional attention does *not* hold the
+        // invariant — a future token perturbs post-attention prefix rows.
+        let mut ps = ParamSet::new();
+        let net = distilbert_mini(&mut ps, 3);
+        let cap_full = net.capture_gemm_inputs(&ps, &full, 1, 16);
+        let cap_div = net.capture_gemm_inputs(&ps, &diverged, 1, 16);
+        let leaked = cap_full
+            .iter()
+            .zip(&cap_div)
+            .filter(|(a, _)| a.dims()[0] == 16)
+            .any(|(a, b)| {
+                let d = a.dims()[1];
+                a.data()[..12 * d] != b.data()[..12 * d]
+            });
+        assert!(leaked, "bidirectional prefix rows unexpectedly stable");
+    }
+
+    #[test]
+    fn decode_contract_accepts_causal_transformers_only() {
+        let mut ps = ParamSet::new();
+        let gpt = gpt_mini(&mut ps, 3);
+        gpt.decode_contract().expect("causal transformer decodes");
+
+        let mut ps = ParamSet::new();
+        let bert = bert_mini(&mut ps, 3);
+        assert!(bert.decode_contract().is_err(), "bidirectional decoded");
+
+        let mut ps = ParamSet::new();
+        let conv = resnet20_mini(&mut ps, 4);
+        assert!(conv.decode_contract().is_err(), "image model decoded");
+        assert!(conv
+            .extend_input(&Tensor::zeros(&[3, 16, 16]), &Tensor::zeros(&[3, 16, 16]))
+            .is_err());
+        assert_eq!(conv.input_positions(&Tensor::zeros(&[3, 16, 16])), 1);
+    }
+
+    #[test]
+    fn extend_input_appends_and_validates() {
+        let mut ps = ParamSet::new();
+        let net = gpt_mini(&mut ps, 3);
+        let prefix = vec![1usize, 2, 3];
+        let next = net.extend_input(&prefix, &vec![4]).expect("fits");
+        assert_eq!(next, vec![1, 2, 3, 4]);
+        assert_eq!(net.input_positions(&next), 4);
+        assert!(net.extend_input(&prefix, &vec![]).is_err(), "empty step");
+        assert!(net.extend_input(&prefix, &vec![64]).is_err(), "bad token");
+        let full: Vec<usize> = vec![0; 16];
+        assert!(net.extend_input(&full, &vec![1]).is_err(), "over max_seq");
+    }
+
+    #[test]
+    fn causal_transformer_trains() {
+        let cfg = SeqTaskConfig {
+            n_train: 128,
+            n_test: 64,
+            ..SeqTaskConfig::glue_proxy(9, 2)
+        };
+        let (train, test) = synthetic_sequences(&cfg);
+        let mut ps = ParamSet::new();
+        let net = TransformerClassifier::new(
+            &mut ps,
+            TransformerConfig {
+                causal: true,
+                ..*distilbert_mini(&mut ParamSet::new(), 2).config()
+            },
+        );
+        let mut opt = Optimizer::Adam(Adam::new(3e-3));
+        for _ in 0..8 {
+            train_epoch_seq(&net, &mut ps, &mut opt, &train, 32);
+        }
+        let acc = eval_seq(&net, &ps, &test, 32);
+        assert!(acc > 0.6, "causal test accuracy {acc}");
     }
 
     #[test]

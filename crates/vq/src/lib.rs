@@ -59,5 +59,5 @@ pub use pool::{PoolScope, WorkerPool};
 pub use precision::{bf16_round, fp16_round, FloatPrecision, Int8Block};
 pub use serve::{
     lock_engine, share, AdaptiveOptions, BatchOptions, BatchPolicy, MicroBatcher, Pending,
-    PendingResolver, ServeTiming, SharedEngine, StageStats, SubmitError,
+    PendingResolver, ServeError, ServeTiming, SharedEngine, StageStats, SubmitError,
 };

@@ -392,6 +392,91 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// The one error surface every serving front door above the engine speaks
+/// — whole-model sessions, decode sessions, and multi-tenant gateways all
+/// return `ServeError`, so callers match a single enum whether a request
+/// died at engine-level validation ([`SubmitError`], converted via
+/// `From`), at model-level validation, or in the session machinery.
+///
+/// The `Display` text is stable: the engine-level variants render exactly
+/// as their [`SubmitError`] counterparts, so log scrapers survive the
+/// unification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submitted row does not have the engine's input width `K`.
+    RowShape {
+        /// Engine input width.
+        expected: usize,
+        /// Submitted row length.
+        got: usize,
+    },
+    /// A submitted block is empty or not a whole number of `K`-wide rows.
+    BlockShape {
+        /// Engine input width (block length must be a non-zero multiple).
+        row_width: usize,
+        /// Submitted block length.
+        got: usize,
+    },
+    /// The serving path shut down before the request could be served.
+    Closed,
+    /// Admission control turned the request away (bounded queue full);
+    /// nothing was enqueued.
+    Shed {
+        /// Queue depth observed at the shed decision.
+        queue_depth: usize,
+    },
+    /// The request never reached a queue: it failed validation at the
+    /// front door (unknown tenant, malformed stream, …).
+    Invalid {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// The request failed the model's input validation.
+    InvalidInput(String),
+    /// A batch entry point was handed no inputs.
+    EmptyRun,
+    /// A handle's resolver was dropped before resolving it (a forward
+    /// panicked mid-flush and unwound past the queue).
+    Lost,
+}
+
+impl From<SubmitError> for ServeError {
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::RowShape { expected, got } => ServeError::RowShape { expected, got },
+            SubmitError::BlockShape { row_width, got } => ServeError::BlockShape { row_width, got },
+            SubmitError::Closed => ServeError::Closed,
+            SubmitError::Shed { queue_depth } => ServeError::Shed { queue_depth },
+            SubmitError::Invalid { reason } => ServeError::Invalid { reason },
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::RowShape { expected, got } => {
+                write!(f, "row holds {got} values, engine expects K = {expected}")
+            }
+            ServeError::BlockShape { row_width, got } => write!(
+                f,
+                "block holds {got} values, expected a non-zero multiple of K = {row_width}"
+            ),
+            ServeError::Closed => write!(f, "micro-batcher is shut down"),
+            ServeError::Shed { queue_depth } => write!(
+                f,
+                "request shed by admission control (bounded queue at depth {queue_depth})"
+            ),
+            ServeError::Invalid { reason } => write!(f, "invalid request: {reason}"),
+            ServeError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ServeError::EmptyRun => write!(f, "run() needs at least one input"),
+            ServeError::Lost => write!(f, "request handle dropped unresolved"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// Submit→resolve timestamps of one served request, returned by
 /// [`Pending::wait_timed`].
 ///
@@ -513,6 +598,19 @@ impl Pending {
     pub fn forward(self, next: &MicroBatcher) -> Result<Pending, SubmitError> {
         let rows = self.wait()?;
         next.submit_owned(rows)
+    }
+
+    /// Blocks until this request resolves, then resolves `next` with the
+    /// same rows **and the same resolution stamp** — the step-granular
+    /// relay a serving layer uses when it waits on an inner handle (a
+    /// stage batcher, a shared model session) while owning an outer handle
+    /// of its own: the outer waiter's [`ServeTiming`] then reports when
+    /// the work actually finished, not when the relay got scheduled.
+    /// Propagates [`ServeError::Closed`] if the inner resolver died first.
+    pub fn chain(self, next: PendingResolver) -> Result<(), ServeError> {
+        let (rows, timing) = self.wait_timed()?;
+        next.resolve_at(rows, timing.resolved_at);
+        Ok(())
     }
 
     /// Non-blocking poll: `Ok(Some(row))` once the batch has run,
@@ -1729,6 +1827,58 @@ mod tests {
         assert_eq!(invalid.to_string(), "invalid request: unknown tenant id 7");
         // Structured matching stays available to retry logic.
         assert!(matches!(shed, SubmitError::Shed { queue_depth: 16 }));
+        // The unified ServeError renders engine-level variants with the
+        // exact same stable text — conversion never rewrites messages.
+        for e in [
+            SubmitError::RowShape {
+                expected: 8,
+                got: 3,
+            },
+            SubmitError::BlockShape {
+                row_width: 8,
+                got: 12,
+            },
+            SubmitError::Closed,
+            shed,
+            invalid,
+        ] {
+            let text = e.to_string();
+            assert_eq!(ServeError::from(e).to_string(), text);
+        }
+        // And the session-level variants have their own stable text.
+        assert_eq!(
+            ServeError::InvalidInput("token 99 outside vocab".to_string()).to_string(),
+            "invalid input: token 99 outside vocab"
+        );
+        assert_eq!(
+            ServeError::EmptyRun.to_string(),
+            "run() needs at least one input"
+        );
+        assert_eq!(
+            ServeError::Lost.to_string(),
+            "request handle dropped unresolved"
+        );
+    }
+
+    #[test]
+    fn chain_relays_rows_and_the_inner_resolution_stamp() {
+        let (inner_resolver, inner) = Pending::channel();
+        let (outer_resolver, outer) = Pending::channel();
+        let stamp = Instant::now();
+        inner_resolver.resolve_at(vec![1.0, 2.0], stamp);
+        inner.chain(outer_resolver).expect("inner resolved");
+        let (rows, timing) = outer.wait_timed().expect("outer resolved");
+        assert_eq!(rows, vec![1.0, 2.0]);
+        // The relay preserves the *inner* resolution instant, so an outer
+        // waiter's latency excludes relay scheduling slack.
+        assert_eq!(timing.resolved_at, stamp);
+
+        // A dead inner resolver surfaces as the unified Closed error.
+        let (dead, never) = Pending::channel();
+        drop(dead);
+        let (outer_resolver, outer) = Pending::channel();
+        assert_eq!(never.chain(outer_resolver), Err(ServeError::Closed));
+        assert_eq!(outer.wait(), Err(SubmitError::Closed));
     }
 
     #[test]

@@ -103,8 +103,11 @@ fn main() {
     //        stages widen under backlog and collapse when idle,
     //        independently. -------------------------------------------------
     let cfg_deploy = rt.config();
-    let session =
-        rt.model_session_with_policy(&lut_net, &lut_ps, cfg_deploy, BatchPolicy::adaptive());
+    let session = rt
+        .serve(&lut_net, &lut_ps)
+        .config(cfg_deploy)
+        .policy(BatchPolicy::adaptive())
+        .build_model();
     println!(
         "ModelSession: {} LUT stages + {} dense units (engine cache: {:?})",
         session.lut_stages(),
